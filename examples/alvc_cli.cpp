@@ -1,0 +1,141 @@
+// alvc_cli — command-line driver over the public API.
+//
+//   alvc_cli describe  [seed]            build a DC and print its shape
+//   alvc_cli dot       [seed]            emit Graphviz DOT (clusters colored)
+//   alvc_cli json      [seed]            emit topology + clusters + chains JSON
+//   alvc_cli fail      [seed] [ops_id]   inject an OPS failure, show the repair
+//   alvc_cli sim       [seed] [flows]    run a traffic epoch and print metrics
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+#include "core/alvc.h"
+#include "io/dot.h"
+#include "io/serialize.h"
+
+namespace {
+
+using namespace alvc;
+
+core::DataCenterConfig cli_config(std::uint64_t seed) {
+  core::DataCenterConfig config;
+  config.topology.rack_count = 8;
+  config.topology.ops_count = 32;
+  config.topology.tor_ops_degree = 8;
+  config.topology.service_count = 3;
+  config.topology.optoelectronic_fraction = 0.5;
+  config.topology.core = topology::CoreKind::kRing;
+  config.topology.seed = seed;
+  return config;
+}
+
+/// Builds the standard CLI deployment: clusters + one chain per service.
+core::DataCenter make_dc(std::uint64_t seed) {
+  core::DataCenter dc(cli_config(seed));
+  if (auto built = dc.build_clusters(); !built) {
+    throw std::runtime_error("cluster build failed: " + built.error().to_string());
+  }
+  for (std::uint32_t s = 0; s < 3; ++s) {
+    nfv::NfcSpec spec;
+    spec.service = util::ServiceId{s};
+    spec.name = "cli-chain-" + std::to_string(s);
+    spec.bandwidth_gbps = 1.0;
+    spec.functions = {*dc.catalog().find_by_type(nfv::VnfType::kFirewall),
+                      *dc.catalog().find_by_type(nfv::VnfType::kNat)};
+    (void)dc.provision_chain(spec, core::PlacementAlgorithm::kGreedyOptical);
+  }
+  return dc;
+}
+
+int cmd_describe(std::uint64_t seed) {
+  const auto dc = make_dc(seed);
+  std::cout << dc.describe() << '\n';
+  for (const auto* vc : dc.clusters().clusters()) {
+    std::cout << "  cluster " << vc->id.value() << " (" << dc.services().name(vc->service)
+              << "): " << vc->vms.size() << " VMs, AL of " << vc->layer.opss.size()
+              << " OPSs, " << (vc->connected ? "connected" : "DISCONNECTED") << '\n';
+  }
+  for (const auto* chain : dc.orchestrator().chains()) {
+    std::cout << "  chain " << chain->record.spec.name << ": " << chain->route.total_hops()
+              << " hops, " << chain->placement.conversions.mid_chain << " O/E/O, "
+              << chain->flow_rules << " rules\n";
+  }
+  return 0;
+}
+
+int cmd_dot(std::uint64_t seed) {
+  const auto dc = make_dc(seed);
+  std::cout << io::to_dot(dc.topology(), dc.clusters());
+  return 0;
+}
+
+int cmd_json(std::uint64_t seed) {
+  const auto dc = make_dc(seed);
+  io::JsonObject document;
+  document.emplace("topology", io::topology_to_json(dc.topology()));
+  document.emplace("clusters", io::clusters_to_json(dc.clusters()));
+  document.emplace("chains", io::chains_to_json(dc.orchestrator()));
+  std::cout << io::dump(io::JsonValue(std::move(document)), 2) << '\n';
+  return 0;
+}
+
+int cmd_fail(std::uint64_t seed, util::OpsId victim) {
+  auto dc = make_dc(seed);
+  std::cout << "Before: " << dc.orchestrator().chain_count() << " chains, OPS "
+            << victim.value() << " owner="
+            << (dc.clusters().ownership().owner(victim).valid()
+                    ? std::to_string(dc.clusters().ownership().owner(victim).value())
+                    : std::string("none"))
+            << '\n';
+  const auto affected = dc.orchestrator().chains_using_ops(victim);
+  std::cout << "Chains affected: " << affected.size() << '\n';
+  const auto repaired = dc.orchestrator().handle_ops_failure(victim);
+  if (!repaired) {
+    std::cout << "Failure handling error: " << repaired.error().to_string() << '\n';
+    return 1;
+  }
+  std::cout << "Repaired " << *repaired << " chain(s); lost "
+            << dc.orchestrator().stats().chains_lost << "; VNFs relocated "
+            << dc.orchestrator().stats().vnfs_relocated << '\n';
+  const auto violations = dc.clusters().check_invariants();
+  std::cout << "Cluster invariants: " << (violations.empty() ? "OK" : violations.front()) << '\n';
+  return violations.empty() ? 0 : 1;
+}
+
+int cmd_sim(std::uint64_t seed, std::size_t flows) {
+  const auto dc = make_dc(seed);
+  sim::SimulationConfig config;
+  config.flow_count = flows;
+  config.workload.seed = seed;
+  const auto vm_traffic = sim::simulate_traffic(dc.clusters(), config);
+  std::cout << "VM traffic:    " << vm_traffic.summary() << '\n';
+  const auto chain_traffic = sim::simulate_chain_traffic(dc.orchestrator(), config);
+  std::cout << "Chain traffic: " << chain_traffic.summary() << '\n';
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string command = argc > 1 ? argv[1] : "describe";
+  const std::uint64_t seed = argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 1;
+  try {
+    if (command == "describe") return cmd_describe(seed);
+    if (command == "dot") return cmd_dot(seed);
+    if (command == "json") return cmd_json(seed);
+    if (command == "fail") {
+      const auto ops = static_cast<alvc::util::OpsId::value_type>(
+          argc > 3 ? std::strtoul(argv[3], nullptr, 10) : 0);
+      return cmd_fail(seed, alvc::util::OpsId{ops});
+    }
+    if (command == "sim") {
+      const std::size_t flows = argc > 3 ? std::strtoull(argv[3], nullptr, 10) : 10'000;
+      return cmd_sim(seed, flows);
+    }
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << '\n';
+    return 1;
+  }
+  std::cerr << "usage: alvc_cli {describe|dot|json|fail|sim} [seed] [arg]\n";
+  return 2;
+}

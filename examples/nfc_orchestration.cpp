@@ -1,0 +1,95 @@
+// Reproduces the paper's Fig. 5 scenario: three network function chains
+// (the blue, black, and green paths), each orchestrated onto its own
+// virtual cluster / optical slice, each traversing its own NF/VNF sequence.
+//
+//   ./examples/nfc_orchestration
+#include <iostream>
+
+#include "core/alvc.h"
+
+namespace {
+
+std::string domain_of(const alvc::nfv::HostRef& host) {
+  return alvc::nfv::is_optical_host(host) ? "optical" : "electronic";
+}
+
+std::string host_name(const alvc::nfv::HostRef& host) {
+  if (const auto* ops = std::get_if<alvc::util::OpsId>(&host)) {
+    return "OPS-" + std::to_string(ops->value());
+  }
+  return "server-" + std::to_string(std::get<alvc::util::ServerId>(host).value());
+}
+
+}  // namespace
+
+int main() {
+  using namespace alvc;
+  using nfv::VnfType;
+
+  core::DataCenterConfig config;
+  config.topology.rack_count = 9;
+  config.topology.ops_count = 36;
+  config.topology.tor_ops_degree = 8;
+  config.topology.service_count = 3;
+  config.topology.optoelectronic_fraction = 0.5;
+  config.topology.core = topology::CoreKind::kRing;
+  config.topology.seed = 5;
+
+  core::DataCenter dc(config);
+  if (auto built = dc.build_clusters(); !built) {
+    std::cerr << "clusters failed: " << built.error().to_string() << '\n';
+    return 1;
+  }
+
+  // The paper's three example chains: a security chain, an inspection
+  // chain, and a content chain — one per service/VC.
+  struct ChainPlan {
+    const char* name;
+    std::vector<VnfType> functions;
+  };
+  const std::vector<ChainPlan> plans{
+      {"blue:  gw -> firewall -> nat", {VnfType::kSecurityGateway, VnfType::kFirewall, VnfType::kNat}},
+      {"black: firewall -> dpi -> lb", {VnfType::kFirewall, VnfType::kDeepPacketInspection, VnfType::kLoadBalancer}},
+      {"green: proxy -> cache", {VnfType::kProxy, VnfType::kCache}},
+  };
+
+  std::cout << "Orchestrating " << plans.size() << " NFCs over AL-VC (paper Fig. 5)\n\n";
+  core::TextTable table({"chain", "slice", "hosts (in order)", "path hops", "optical hops",
+                         "O/E/O", "rules"});
+  for (std::size_t i = 0; i < plans.size(); ++i) {
+    nfv::NfcSpec spec;
+    spec.tenant = util::TenantId{static_cast<util::TenantId::value_type>(i)};
+    spec.name = plans[i].name;
+    spec.service = util::ServiceId{static_cast<util::ServiceId::value_type>(i)};
+    spec.bandwidth_gbps = 2.0;
+    for (auto t : plans[i].functions) spec.functions.push_back(*dc.catalog().find_by_type(t));
+
+    const auto id = dc.provision_chain(spec, core::PlacementAlgorithm::kOeoMinimizing);
+    if (!id) {
+      std::cerr << "provisioning '" << plans[i].name << "' failed: " << id.error().to_string()
+                << '\n';
+      return 1;
+    }
+    const auto* chain = dc.orchestrator().chain(*id);
+    std::string hosts;
+    for (const auto& h : chain->placement.hosts) {
+      if (!hosts.empty()) hosts += " -> ";
+      hosts += host_name(h) + "(" + domain_of(h) + ")";
+    }
+    table.add_row_values(plans[i].name, chain->slice.value(), hosts,
+                         chain->route.total_hops(), chain->route.optical_hops,
+                         chain->placement.conversions.mid_chain, chain->flow_rules);
+  }
+  table.print();
+
+  const auto isolation = dc.orchestrator().check_isolation();
+  std::cout << "\nPer-chain slice isolation violations: " << isolation.size()
+            << " (paper: each slice works independently)\n";
+
+  // Run some traffic through the chains.
+  sim::SimulationConfig sim_config;
+  sim_config.flow_count = 3000;
+  const auto metrics = sim::simulate_chain_traffic(dc.orchestrator(), sim_config);
+  std::cout << "Traffic: " << metrics.summary() << '\n';
+  return isolation.empty() ? 0 : 1;
+}

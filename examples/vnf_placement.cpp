@@ -1,0 +1,73 @@
+// Reproduces the paper's Fig. 8 walk-through: a 3-VNF chain, first with two
+// VNFs in the electronic domain (two O/E/O conversions), then with one more
+// VNF moved into the optical domain (one conversion saved), then comparing
+// every placement strategy on conversions and per-flow energy.
+//
+//   ./examples/vnf_placement
+#include <iostream>
+
+#include "core/alvc.h"
+
+int main() {
+  using namespace alvc;
+  using nfv::VnfType;
+
+  // One cluster is enough; give it optoelectronic routers with room for
+  // exactly two light VNFs so the Fig. 8 progression is visible.
+  core::DataCenterConfig config;
+  config.topology.rack_count = 4;
+  config.topology.ops_count = 12;
+  config.topology.tor_ops_degree = 4;
+  config.topology.service_count = 1;
+  config.topology.optoelectronic_fraction = 0.4;
+  config.topology.core = topology::CoreKind::kRing;
+  config.topology.seed = 11;
+
+  const std::vector<core::PlacementAlgorithm> strategies{
+      core::PlacementAlgorithm::kElectronicOnly,
+      core::PlacementAlgorithm::kRandom,
+      core::PlacementAlgorithm::kGreedyOptical,
+      core::PlacementAlgorithm::kOeoMinimizing,
+  };
+
+  std::cout << "Fig. 8: O/E/O conversions of one 3-VNF chain under different placements.\n"
+            << "Chain: security-gw -> firewall -> nat (all light enough for optical hosting)\n\n";
+
+  const orchestrator::OeoCostModel energy_model;
+  const double flow_bytes = 1e9;  // a 1 GB elephant flow
+
+  core::TextTable table({"placement", "optical VNFs", "electronic VNFs", "O/E/O (mid-chain)",
+                         "conversion energy / 1GB flow (J)"});
+  for (const auto strategy : strategies) {
+    // Fresh DC per strategy so reservations do not leak between runs.
+    core::DataCenter dc(config);
+    if (auto built = dc.build_clusters(); !built) {
+      std::cerr << "clusters failed: " << built.error().to_string() << '\n';
+      return 1;
+    }
+    nfv::NfcSpec spec;
+    spec.name = "fig8-chain";
+    spec.service = util::ServiceId{0};
+    spec.bandwidth_gbps = 1.0;
+    spec.functions = {*dc.catalog().find_by_type(VnfType::kSecurityGateway),
+                      *dc.catalog().find_by_type(VnfType::kFirewall),
+                      *dc.catalog().find_by_type(VnfType::kNat)};
+    const auto id = dc.provision_chain(spec, strategy);
+    if (!id) {
+      std::cerr << to_string(strategy) << " failed: " << id.error().to_string() << '\n';
+      return 1;
+    }
+    const auto* chain = dc.orchestrator().chain(*id);
+    const double joules =
+        orchestrator::conversion_energy(chain->placement.conversions, flow_bytes, energy_model);
+    table.add_row_values(to_string(strategy), chain->placement.optical_count,
+                         chain->placement.electronic_count,
+                         chain->placement.conversions.mid_chain, core::fmt(joules, 3));
+  }
+  table.print();
+
+  std::cout << "\nPaper claim: every VNF moved into the optical domain saves one O/E/O\n"
+               "conversion; with all three hosted on optoelectronic routers the flow\n"
+               "never leaves the optical domain mid-chain.\n";
+  return 0;
+}

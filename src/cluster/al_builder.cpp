@@ -1,0 +1,411 @@
+#include "cluster/al_builder.h"
+
+#include <algorithm>
+#include <queue>
+#include <set>
+
+#include "graph/articulation.h"
+#include "graph/set_cover.h"
+#include "graph/vertex_cover.h"
+#include "util/bitset.h"
+
+namespace alvc::cluster {
+
+using alvc::graph::BipartiteGraph;
+using alvc::topology::DataCenterTopology;
+using alvc::util::DynamicBitset;
+using alvc::util::Error;
+using alvc::util::ErrorCode;
+using alvc::util::Rng;
+
+namespace {
+
+/// Distinct ToRs hosting at least one VM of the group, ascending.
+std::vector<TorId> tors_of_group(const DataCenterTopology& topo, std::span<const VmId> group) {
+  std::set<TorId> tors;
+  for (VmId vm : group) tors.insert(topo.tor_of_vm(vm));
+  return {tors.begin(), tors.end()};
+}
+
+/// Stage 1 (paper): minimum ToR set covering all VMs of the group.
+std::vector<TorId> select_tors(const DataCenterTopology& topo, std::span<const VmId> group,
+                               bool exact, std::size_t node_budget) {
+  const BipartiteGraph g = topo.vm_tor_graph(group);
+  std::vector<std::size_t> chosen;
+  if (exact) {
+    if (auto result = alvc::graph::exact_one_sided_cover(g, node_budget)) {
+      chosen = std::move(*result);
+    } else {
+      chosen = alvc::graph::greedy_one_sided_cover(g);
+    }
+  } else {
+    chosen = alvc::graph::greedy_one_sided_cover(g);
+  }
+  std::vector<TorId> tors;
+  tors.reserve(chosen.size());
+  for (std::size_t t : chosen) tors.push_back(TorId{static_cast<TorId::value_type>(t)});
+  return tors;
+}
+
+/// Stage 2 (paper): minimum set of FREE OPSs covering every selected ToR.
+/// Returns kInfeasible if some ToR has no free uplink.
+Expected<std::vector<OpsId>> select_ops(const DataCenterTopology& topo,
+                                        std::span<const TorId> tors,
+                                        const OpsOwnership& ownership, bool exact,
+                                        std::size_t node_budget) {
+  // Left = selected ToRs (dense re-index), right = all OPSs; edges only to
+  // free OPSs so ownership exclusivity is respected by construction.
+  BipartiteGraph g(tors.size(), topo.ops_count());
+  for (std::size_t i = 0; i < tors.size(); ++i) {
+    bool any = false;
+    for (OpsId ops : topo.tor(tors[i]).uplinks) {
+      if (ownership.is_free(ops) && topo.ops_usable(ops)) {
+        g.add_edge(i, ops.index());
+        any = true;
+      }
+    }
+    if (!any) {
+      return Error{ErrorCode::kInfeasible,
+                   "ToR " + std::to_string(tors[i].value()) + " has no free OPS uplink"};
+    }
+  }
+  std::vector<std::size_t> chosen;
+  if (exact) {
+    if (auto result = alvc::graph::exact_one_sided_cover(g, node_budget)) {
+      chosen = std::move(*result);
+    } else {
+      chosen = alvc::graph::greedy_one_sided_cover(g);
+    }
+  } else {
+    chosen = alvc::graph::greedy_one_sided_cover(g);
+  }
+  std::vector<OpsId> opss;
+  opss.reserve(chosen.size());
+  for (std::size_t o : chosen) opss.push_back(OpsId{static_cast<OpsId::value_type>(o)});
+  return opss;
+}
+
+}  // namespace
+
+std::size_t augment_layer_connectivity(const DataCenterTopology& topo,
+                                       const OpsOwnership& ownership, AbstractionLayer& layer,
+                                       bool& connected) {
+  const auto& g = topo.switch_graph();
+  std::size_t added = 0;
+
+  const auto in_layer = [&](std::size_t v) {
+    if (topo.is_ops_vertex(v)) return layer.contains_ops(topo.vertex_to_ops(v));
+    return layer.contains_tor(topo.vertex_to_tor(v));
+  };
+  const auto traversable = [&](std::size_t v) {
+    if (in_layer(v)) return true;
+    // May recruit free, working optical switches only; foreign ToRs are
+    // off-limits. (Failed OPSs have no switch-graph edges anyway; the
+    // explicit check keeps the invariant local.)
+    if (!topo.is_ops_vertex(v)) return false;
+    const OpsId ops = topo.vertex_to_ops(v);
+    return ownership.is_free(ops) && topo.ops_usable(ops);
+  };
+
+  for (;;) {
+    // Label the layer's vertices by connected component (within the layer).
+    std::vector<std::size_t> members;
+    for (TorId t : layer.tors) members.push_back(topo.tor_vertex(t));
+    for (OpsId o : layer.opss) members.push_back(topo.ops_vertex(o));
+    if (members.size() <= 1) {
+      connected = true;
+      return added;
+    }
+    constexpr std::size_t kNone = static_cast<std::size_t>(-1);
+    std::vector<std::size_t> component(g.vertex_count(), kNone);
+    std::size_t comp_count = 0;
+    for (std::size_t seed : members) {
+      if (component[seed] != kNone) continue;
+      const std::size_t label = comp_count++;
+      std::queue<std::size_t> queue;
+      component[seed] = label;
+      queue.push(seed);
+      while (!queue.empty()) {
+        const std::size_t v = queue.front();
+        queue.pop();
+        for (const auto& nb : g.neighbors(v)) {
+          if (component[nb.vertex] != kNone || !in_layer(nb.vertex)) continue;
+          component[nb.vertex] = label;
+          queue.push(nb.vertex);
+        }
+      }
+    }
+    if (comp_count <= 1) {
+      connected = true;
+      return added;
+    }
+
+    // Multi-source BFS from component 0 through traversable vertices to the
+    // nearest vertex of any other component; recruit the free OPSs on the
+    // path.
+    std::vector<std::size_t> pred(g.vertex_count(), kNone);
+    std::vector<bool> visited(g.vertex_count(), false);
+    std::queue<std::size_t> queue;
+    for (std::size_t v : members) {
+      if (component[v] == 0) {
+        visited[v] = true;
+        queue.push(v);
+      }
+    }
+    std::size_t meet = kNone;
+    while (!queue.empty() && meet == kNone) {
+      const std::size_t v = queue.front();
+      queue.pop();
+      for (const auto& nb : g.neighbors(v)) {
+        if (visited[nb.vertex] || !traversable(nb.vertex)) continue;
+        visited[nb.vertex] = true;
+        pred[nb.vertex] = v;
+        if (component[nb.vertex] != kNone && component[nb.vertex] != 0) {
+          meet = nb.vertex;
+          break;
+        }
+        queue.push(nb.vertex);
+      }
+    }
+    if (meet == kNone) {
+      connected = false;  // other components unreachable through free OPSs
+      return added;
+    }
+    for (std::size_t v = pred[meet]; v != kNone && !in_layer(v); v = pred[v]) {
+      layer.opss.push_back(topo.vertex_to_ops(v));
+      ++added;
+    }
+    std::sort(layer.opss.begin(), layer.opss.end());
+  }
+}
+
+namespace {
+
+Expected<AlBuildResult> finish(const DataCenterTopology& topo, const OpsOwnership& ownership,
+                               AbstractionLayer layer, const AlBuilderOptions& options) {
+  std::sort(layer.tors.begin(), layer.tors.end());
+  std::sort(layer.opss.begin(), layer.opss.end());
+  AlBuildResult result{.layer = std::move(layer)};
+  if (options.ensure_connectivity) {
+    result.augmented_ops =
+        augment_layer_connectivity(topo, ownership, result.layer, result.connected);
+  } else {
+    result.connected = cluster_subgraph_connected(topo, result.layer);
+  }
+  return result;
+}
+
+}  // namespace
+
+Expected<AlBuildResult> VertexCoverAlBuilder::build(const DataCenterTopology& topo,
+                                                    std::span<const VmId> group,
+                                                    const OpsOwnership& ownership) const {
+  if (group.empty()) return Error{ErrorCode::kInvalidArgument, "empty VM group"};
+  AbstractionLayer layer;
+  layer.tors = select_tors(topo, group, /*exact=*/false, 0);
+  auto opss = select_ops(topo, layer.tors, ownership, /*exact=*/false, 0);
+  if (!opss) return opss.error();
+  layer.opss = std::move(*opss);
+  return finish(topo, ownership, std::move(layer), options_);
+}
+
+Expected<AlBuildResult> RandomAlBuilder::build(const DataCenterTopology& topo,
+                                               std::span<const VmId> group,
+                                               const OpsOwnership& ownership) const {
+  if (group.empty()) return Error{ErrorCode::kInvalidArgument, "empty VM group"};
+  // Seed varies with the group's first VM so different clusters draw
+  // different streams while staying reproducible.
+  Rng rng(seed_ ^ (0x517cc1b727220a95ULL * (group.front().value() + 1)));
+  AbstractionLayer layer;
+  layer.tors = tors_of_group(topo, group);  // no ToR minimisation (ref [15])
+
+  std::vector<char> covered(layer.tors.size(), 0);
+  std::size_t remaining = layer.tors.size();
+  std::set<OpsId> picked;
+  // Candidate pool: free OPSs adjacent to any group ToR.
+  std::vector<OpsId> pool;
+  {
+    std::set<OpsId> pool_set;
+    for (TorId t : layer.tors) {
+      for (OpsId o : topo.tor(t).uplinks) {
+        if (ownership.is_free(o) && topo.ops_usable(o)) pool_set.insert(o);
+      }
+    }
+    pool.assign(pool_set.begin(), pool_set.end());
+  }
+  rng.shuffle(pool);
+  for (OpsId ops : pool) {
+    if (remaining == 0) break;
+    bool useful = false;
+    for (std::size_t i = 0; i < layer.tors.size(); ++i) {
+      if (covered[i]) continue;
+      const auto& uplinks = topo.tor(layer.tors[i]).uplinks;
+      if (std::find(uplinks.begin(), uplinks.end(), ops) != uplinks.end()) {
+        covered[i] = 1;
+        --remaining;
+        useful = true;
+      }
+    }
+    // Random baseline keeps even "useless" picks with some probability,
+    // modelling the unguided selection of ref [15].
+    if (useful || rng.bernoulli(0.25)) picked.insert(ops);
+  }
+  if (remaining > 0) {
+    return Error{ErrorCode::kInfeasible, "random AL: some group ToR has no free OPS uplink"};
+  }
+  layer.opss.assign(picked.begin(), picked.end());
+  return finish(topo, ownership, std::move(layer), options_);
+}
+
+Expected<AlBuildResult> GreedySetCoverAlBuilder::build(const DataCenterTopology& topo,
+                                                       std::span<const VmId> group,
+                                                       const OpsOwnership& ownership) const {
+  if (group.empty()) return Error{ErrorCode::kInvalidArgument, "empty VM group"};
+  AbstractionLayer layer;
+  layer.tors = tors_of_group(topo, group);  // cover ALL group ToRs
+
+  alvc::graph::SetCoverInstance instance;
+  instance.universe_size = layer.tors.size();
+  std::vector<OpsId> set_ops;
+  for (std::size_t o = 0; o < topo.ops_count(); ++o) {
+    const OpsId ops{static_cast<OpsId::value_type>(o)};
+    if (!ownership.is_free(ops) || !topo.ops_usable(ops)) continue;
+    DynamicBitset covers(layer.tors.size());
+    const auto& links = topo.ops(ops).tor_links;
+    for (std::size_t i = 0; i < layer.tors.size(); ++i) {
+      if (std::find(links.begin(), links.end(), layer.tors[i]) != links.end()) covers.set(i);
+    }
+    if (covers.any()) {
+      instance.add_set(std::move(covers));
+      set_ops.push_back(ops);
+    }
+  }
+  const auto chosen = alvc::graph::greedy_set_cover(instance);
+  if (!chosen) {
+    return Error{ErrorCode::kInfeasible, "set-cover AL: some group ToR has no free OPS uplink"};
+  }
+  for (std::size_t i : *chosen) layer.opss.push_back(set_ops[i]);
+  return finish(topo, ownership, std::move(layer), options_);
+}
+
+Expected<AlBuildResult> ResilientAlBuilder::build(const DataCenterTopology& topo,
+                                                  std::span<const VmId> group,
+                                                  const OpsOwnership& ownership) const {
+  // Start from the paper's construction (connectivity forced on — a
+  // disconnected AL cannot become 2-connected by adding vertices it is not
+  // even attached to in our greedy scheme).
+  AlBuilderOptions base_options = options_;
+  base_options.ensure_connectivity = true;
+  auto result = VertexCoverAlBuilder{base_options}.build(topo, group, ownership);
+  if (!result) return result;
+  if (!result->connected) return result;  // can't harden a split layer
+
+  // Candidate pool: free, usable OPSs adjacent to the cluster subgraph.
+  const auto& g = topo.switch_graph();
+  const auto adjacent_free_ops = [&](const AbstractionLayer& layer) {
+    std::set<OpsId> pool;
+    const auto consider_vertex = [&](std::size_t v) {
+      for (const auto& nb : g.neighbors(v)) {
+        if (!topo.is_ops_vertex(nb.vertex)) continue;
+        const OpsId o = topo.vertex_to_ops(nb.vertex);
+        if (ownership.is_free(o) && topo.ops_usable(o) && !layer.contains_ops(o)) pool.insert(o);
+      }
+    };
+    for (TorId t : layer.tors) consider_vertex(topo.tor_vertex(t));
+    for (OpsId o : layer.opss) consider_vertex(topo.ops_vertex(o));
+    return pool;
+  };
+
+  // Greedy: add the candidate that removes the most critical OPSs; stop at
+  // zero exposure or when nothing helps.
+  for (;;) {
+    const auto critical = critical_ops(topo, result->layer);
+    if (critical.empty()) break;
+    OpsId best = OpsId::invalid();
+    std::size_t best_remaining = critical.size();
+    for (OpsId candidate : adjacent_free_ops(result->layer)) {
+      AbstractionLayer trial = result->layer;
+      trial.opss.push_back(candidate);
+      const std::size_t remaining = critical_ops(topo, trial).size();
+      if (remaining < best_remaining) {
+        best_remaining = remaining;
+        best = candidate;
+      }
+    }
+    if (!best.valid()) break;  // no candidate reduces exposure
+    result->layer.opss.push_back(best);
+    std::sort(result->layer.opss.begin(), result->layer.opss.end());
+    ++result->augmented_ops;
+  }
+  return result;
+}
+
+Expected<AlBuildResult> ExactAlBuilder::build(const DataCenterTopology& topo,
+                                              std::span<const VmId> group,
+                                              const OpsOwnership& ownership) const {
+  if (group.empty()) return Error{ErrorCode::kInvalidArgument, "empty VM group"};
+  AbstractionLayer layer;
+  layer.tors = select_tors(topo, group, /*exact=*/true, node_budget_);
+  auto opss = select_ops(topo, layer.tors, ownership, /*exact=*/true, node_budget_);
+  if (!opss) return opss.error();
+  layer.opss = std::move(*opss);
+  return finish(topo, ownership, std::move(layer), options_);
+}
+
+bool cluster_subgraph_connected(const DataCenterTopology& topo, const AbstractionLayer& layer) {
+  std::vector<std::size_t> members;
+  for (TorId t : layer.tors) members.push_back(topo.tor_vertex(t));
+  for (OpsId o : layer.opss) members.push_back(topo.ops_vertex(o));
+  if (members.size() <= 1) return true;
+  const auto& g = topo.switch_graph();
+  std::set<std::size_t> member_set(members.begin(), members.end());
+  std::queue<std::size_t> queue;
+  std::set<std::size_t> seen;
+  queue.push(members.front());
+  seen.insert(members.front());
+  while (!queue.empty()) {
+    const std::size_t v = queue.front();
+    queue.pop();
+    for (const auto& nb : g.neighbors(v)) {
+      if (!member_set.contains(nb.vertex) || seen.contains(nb.vertex)) continue;
+      seen.insert(nb.vertex);
+      queue.push(nb.vertex);
+    }
+  }
+  return seen.size() == members.size();
+}
+
+std::vector<OpsId> critical_ops(const DataCenterTopology& topo, const AbstractionLayer& layer) {
+  std::vector<std::size_t> members;
+  for (TorId t : layer.tors) members.push_back(topo.tor_vertex(t));
+  for (OpsId o : layer.opss) members.push_back(topo.ops_vertex(o));
+  const auto cuts = alvc::graph::articulation_points_in_subgraph(topo.switch_graph(), members);
+  std::vector<OpsId> out;
+  for (std::size_t v : cuts) {
+    if (topo.is_ops_vertex(v)) out.push_back(topo.vertex_to_ops(v));
+  }
+  return out;
+}
+
+bool al_covers_group(const DataCenterTopology& topo, std::span<const VmId> group,
+                     const AbstractionLayer& layer) {
+  for (VmId vm : group) {
+    const auto homes = topo.tors_of_vm(vm);
+    const bool covered = std::any_of(homes.begin(), homes.end(),
+                                     [&](TorId t) { return layer.contains_tor(t); });
+    if (!covered) return false;
+  }
+  for (TorId t : layer.tors) {
+    bool linked = false;
+    for (OpsId o : topo.tor(t).uplinks) {
+      if (layer.contains_ops(o)) {
+        linked = true;
+        break;
+      }
+    }
+    if (!linked) return false;
+  }
+  return true;
+}
+
+}  // namespace alvc::cluster

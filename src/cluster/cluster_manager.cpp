@@ -1,0 +1,408 @@
+#include "cluster/cluster_manager.h"
+
+#include <algorithm>
+
+#include "cluster/service.h"
+
+namespace alvc::cluster {
+
+using alvc::topology::DataCenterTopology;
+using alvc::util::Error;
+using alvc::util::ErrorCode;
+using alvc::util::TorId;
+
+ClusterManager::ClusterManager(DataCenterTopology& topo)
+    : topo_(&topo), ownership_(topo.ops_count()) {}
+
+Expected<ClusterId> ClusterManager::create_cluster(ServiceId service, std::span<const VmId> group,
+                                                   const AlBuilder& builder) {
+  for (VmId vm : group) {
+    for (const auto& [cid, vc] : clusters_) {
+      if (vc.contains_vm(vm)) {
+        return Error{ErrorCode::kConflict, "VM " + std::to_string(vm.value()) +
+                                               " already in cluster " + std::to_string(cid.value())};
+      }
+    }
+  }
+  auto built = builder.build(*topo_, group, ownership_);
+  if (!built) return built.error();
+
+  const ClusterId id{next_id_++};
+  if (auto status = ownership_.acquire(built->layer.opss, id); !status.is_ok()) {
+    return status.error();  // defensive: builder returned a non-free OPS
+  }
+  VirtualCluster vc{.id = id,
+                    .service = service,
+                    .vms = {group.begin(), group.end()},
+                    .layer = std::move(built->layer),
+                    .connected = built->connected};
+  clusters_.emplace(id, std::move(vc));
+  return id;
+}
+
+Expected<std::vector<ClusterId>> ClusterManager::create_clusters_by_service(
+    const AlBuilder& builder) {
+  const auto groups = group_vms_by_service(*topo_);
+  std::vector<ClusterId> ids;
+  for (std::size_t s = 0; s < groups.size(); ++s) {
+    if (groups[s].empty()) continue;
+    auto id = create_cluster(ServiceId{static_cast<ServiceId::value_type>(s)}, groups[s], builder);
+    if (!id) return id.error();
+    ids.push_back(*id);
+  }
+  return ids;
+}
+
+Status ClusterManager::destroy_cluster(ClusterId id) {
+  const auto it = clusters_.find(id);
+  if (it == clusters_.end()) {
+    return Error{ErrorCode::kNotFound, "no cluster " + std::to_string(id.value())};
+  }
+  ownership_.release_all(id);
+  clusters_.erase(it);
+  return Status::ok();
+}
+
+Expected<UpdateCost> ClusterManager::add_vm(ClusterId id, VmId vm) {
+  VirtualCluster* vc = find_mutable(id);
+  if (vc == nullptr) return Error{ErrorCode::kNotFound, "no cluster " + std::to_string(id.value())};
+  if (vc->contains_vm(vm)) {
+    return Error{ErrorCode::kInvalidArgument, "VM already in this cluster"};
+  }
+  for (const auto& [cid, other] : clusters_) {
+    if (cid != id && other.contains_vm(vm)) {
+      return Error{ErrorCode::kConflict, "VM belongs to another cluster"};
+    }
+  }
+  UpdateCost cost;
+  const auto homes = topo_->tors_of_vm(vm);
+  const bool covered = std::any_of(homes.begin(), homes.end(), [&](TorId t) {
+    return vc->layer.contains_tor(t);
+  });
+  if (!covered) {
+    auto extend = cover_tor(*vc, topo_->tor_of_vm(vm));
+    if (!extend) return extend.error();
+    cost += *extend;
+  }
+  vc->vms.push_back(vm);
+  cost.flow_rules += 1;  // install the VM's rule at its ToR
+  return cost;
+}
+
+Expected<UpdateCost> ClusterManager::remove_vm(ClusterId id, VmId vm) {
+  VirtualCluster* vc = find_mutable(id);
+  if (vc == nullptr) return Error{ErrorCode::kNotFound, "no cluster " + std::to_string(id.value())};
+  const auto it = std::find(vc->vms.begin(), vc->vms.end(), vm);
+  if (it == vc->vms.end()) return Error{ErrorCode::kNotFound, "VM not in cluster"};
+  const TorId tor = topo_->tor_of_vm(vm);
+  vc->vms.erase(it);
+  UpdateCost cost;
+  cost.flow_rules += 1;  // remove the VM's rule
+  // Shrink only when no remaining member reaches the ToR by ANY homing, so
+  // multi-homed coverage never breaks.
+  const bool tor_still_used = std::any_of(vc->vms.begin(), vc->vms.end(), [&](VmId other) {
+    const auto homes = topo_->tors_of_vm(other);
+    return std::find(homes.begin(), homes.end(), tor) != homes.end();
+  });
+  if (!tor_still_used && vc->layer.contains_tor(tor)) {
+    cost += uncover_tor(*vc, tor);
+  }
+  return cost;
+}
+
+Expected<UpdateCost> ClusterManager::migrate_vm(ClusterId id, VmId vm, ServerId new_server) {
+  VirtualCluster* vc = find_mutable(id);
+  if (vc == nullptr) return Error{ErrorCode::kNotFound, "no cluster " + std::to_string(id.value())};
+  if (!vc->contains_vm(vm)) return Error{ErrorCode::kNotFound, "VM not in cluster"};
+  if (new_server.index() >= topo_->server_count()) {
+    return Error{ErrorCode::kInvalidArgument, "bad target server"};
+  }
+  const TorId old_tor = topo_->tor_of_vm(vm);
+  const TorId new_tor = topo_->server(new_server).tor;
+  UpdateCost cost;
+  if (old_tor == new_tor) {
+    topo_->move_vm(vm, new_server);
+    return cost;  // same rack: no network update at all
+  }
+  // Join side first so a cover failure leaves everything untouched.
+  if (!vc->layer.contains_tor(new_tor)) {
+    auto extend = cover_tor(*vc, new_tor);
+    if (!extend) return extend.error();
+    cost += *extend;
+  }
+  topo_->move_vm(vm, new_server);
+  cost.flow_rules += 2;  // remove rule at old ToR, install at new ToR
+  const bool old_tor_still_used = std::any_of(vc->vms.begin(), vc->vms.end(), [&](VmId other) {
+    const auto homes = topo_->tors_of_vm(other);
+    return std::find(homes.begin(), homes.end(), old_tor) != homes.end();
+  });
+  if (!old_tor_still_used && vc->layer.contains_tor(old_tor)) {
+    cost += uncover_tor(*vc, old_tor);
+  }
+  return cost;
+}
+
+Expected<UpdateCost> ClusterManager::reoptimize_cluster(ClusterId id, const AlBuilder& builder) {
+  VirtualCluster* vc = find_mutable(id);
+  if (vc == nullptr) return Error{ErrorCode::kNotFound, "no cluster " + std::to_string(id.value())};
+  if (vc->vms.empty()) return UpdateCost{};
+
+  // Build against an ownership view where this cluster's OPSs are free, so
+  // the rebuild may keep any of them.
+  OpsOwnership scratch = ownership_;
+  scratch.release_all(id);
+  auto rebuilt = builder.build(*topo_, vc->vms, scratch);
+  if (!rebuilt) return rebuilt.error();
+  if (rebuilt->layer.opss.size() >= vc->layer.opss.size()) {
+    return UpdateCost{};  // no improvement: keep the incumbent AL
+  }
+  UpdateCost cost;
+  // Rules: remove what leaves, add what arrives (symmetric difference).
+  for (alvc::util::OpsId o : vc->layer.opss) {
+    if (!rebuilt->layer.contains_ops(o)) {
+      cost.ops_changes += 1;
+      cost.flow_rules += 1;
+    }
+  }
+  for (alvc::util::OpsId o : rebuilt->layer.opss) {
+    if (!vc->layer.contains_ops(o)) {
+      cost.ops_changes += 1;
+      cost.flow_rules += 1;
+    }
+  }
+  for (TorId t : vc->layer.tors) {
+    if (!rebuilt->layer.contains_tor(t)) {
+      cost.tor_changes += 1;
+      cost.flow_rules += 1;
+    }
+  }
+  for (TorId t : rebuilt->layer.tors) {
+    if (!vc->layer.contains_tor(t)) {
+      cost.tor_changes += 1;
+      cost.flow_rules += 1;
+    }
+  }
+  ownership_.release_all(id);
+  if (auto status = ownership_.acquire(rebuilt->layer.opss, id); !status.is_ok()) {
+    // Should not happen (scratch proved feasibility); restore the old AL.
+    (void)ownership_.acquire(vc->layer.opss, id);
+    return status.error();
+  }
+  vc->layer = std::move(rebuilt->layer);
+  vc->connected = rebuilt->connected;
+  return cost;
+}
+
+Expected<UpdateCost> ClusterManager::handle_ops_failure(alvc::util::OpsId ops) {
+  if (ops.index() >= topo_->ops_count()) {
+    return Error{ErrorCode::kInvalidArgument, "bad OPS id"};
+  }
+  const ClusterId owner = ownership_.owner(ops);
+  topo_->set_ops_failed(ops, true);
+  UpdateCost cost;
+  if (!owner.valid()) return cost;
+  VirtualCluster* vc = find_mutable(owner);
+  if (vc == nullptr) return cost;  // stale ownership; nothing to repair
+
+  // The hardware is gone regardless of how the repair goes: evict it.
+  std::erase(vc->layer.opss, ops);
+  ownership_.release(std::span<const alvc::util::OpsId>(&ops, 1), owner);
+  cost.ops_changes += 1;
+  cost.flow_rules += 1;
+
+  // Repair on a candidate copy so an infeasible repair leaves the cluster
+  // merely degraded, never holding OPSs it does not own.
+  AbstractionLayer candidate = vc->layer;
+  for (TorId tor : candidate.tors) {
+    bool covered = false;
+    for (alvc::util::OpsId o : topo_->tor(tor).uplinks) {
+      if (candidate.contains_ops(o) && topo_->ops_usable(o)) {
+        covered = true;
+        break;
+      }
+    }
+    if (covered) continue;
+    alvc::util::OpsId pick = alvc::util::OpsId::invalid();
+    for (alvc::util::OpsId o : topo_->tor(tor).uplinks) {
+      if (ownership_.is_free(o) && topo_->ops_usable(o) && !candidate.contains_ops(o)) {
+        pick = o;
+        break;
+      }
+    }
+    if (!pick.valid()) {
+      vc->connected = cluster_subgraph_connected(*topo_, vc->layer);
+      vc->degraded = true;
+      return Error{ErrorCode::kInfeasible,
+                   "AL repair: ToR " + std::to_string(tor.value()) + " has no usable uplink"};
+    }
+    candidate.opss.push_back(pick);
+    cost.ops_changes += 1;
+    cost.flow_rules += 1;
+  }
+  std::sort(candidate.opss.begin(), candidate.opss.end());
+
+  bool connected = false;
+  const std::size_t added = augment_layer_connectivity(*topo_, ownership_, candidate, connected);
+  cost.ops_changes += added;
+  cost.flow_rules += added;
+  if (auto status = ownership_.acquire(candidate.opss, owner); !status.is_ok()) {
+    vc->degraded = true;
+    return status.error();
+  }
+  vc->layer = std::move(candidate);
+  vc->connected = connected;
+  vc->degraded = false;
+  return cost;
+}
+
+const VirtualCluster* ClusterManager::find(ClusterId id) const {
+  const auto it = clusters_.find(id);
+  return it == clusters_.end() ? nullptr : &it->second;
+}
+
+VirtualCluster* ClusterManager::find_mutable(ClusterId id) {
+  const auto it = clusters_.find(id);
+  return it == clusters_.end() ? nullptr : &it->second;
+}
+
+std::vector<const VirtualCluster*> ClusterManager::clusters() const {
+  std::vector<const VirtualCluster*> out;
+  out.reserve(clusters_.size());
+  for (const auto& [id, vc] : clusters_) out.push_back(&vc);
+  std::sort(out.begin(), out.end(),
+            [](const VirtualCluster* a, const VirtualCluster* b) { return a->id < b->id; });
+  return out;
+}
+
+Expected<UpdateCost> ClusterManager::cover_tor(VirtualCluster& vc, TorId tor) {
+  UpdateCost cost;
+  AbstractionLayer candidate = vc.layer;
+  candidate.tors.push_back(tor);
+  std::sort(candidate.tors.begin(), candidate.tors.end());
+  cost.tor_changes += 1;
+  cost.flow_rules += 1;  // programme the new ToR
+
+  // Does any AL OPS already serve this ToR?
+  bool covered = false;
+  for (alvc::util::OpsId o : topo_->tor(tor).uplinks) {
+    if (candidate.contains_ops(o)) {
+      covered = true;
+      break;
+    }
+  }
+  if (!covered) {
+    // Recruit a free uplink OPS; prefer one adjacent to the current AL so
+    // connectivity survives without further augmentation.
+    const auto& g = topo_->switch_graph();
+    alvc::util::OpsId pick = alvc::util::OpsId::invalid();
+    for (alvc::util::OpsId o : topo_->tor(tor).uplinks) {
+      if (!ownership_.is_free(o) || !topo_->ops_usable(o)) continue;
+      if (!pick.valid()) pick = o;
+      for (const auto& nb : g.neighbors(topo_->ops_vertex(o))) {
+        const bool touches_al =
+            (topo_->is_ops_vertex(nb.vertex) &&
+             candidate.contains_ops(topo_->vertex_to_ops(nb.vertex))) ||
+            (!topo_->is_ops_vertex(nb.vertex) &&
+             candidate.contains_tor(topo_->vertex_to_tor(nb.vertex)));
+        if (touches_al) {
+          pick = o;
+          break;
+        }
+      }
+    }
+    if (!pick.valid()) {
+      return Error{ErrorCode::kInfeasible,
+                   "no free OPS uplink for ToR " + std::to_string(tor.value())};
+    }
+    candidate.opss.push_back(pick);
+    std::sort(candidate.opss.begin(), candidate.opss.end());
+    cost.ops_changes += 1;
+    cost.flow_rules += 1;
+  }
+  // Re-establish connectivity if the growth split the layer.
+  bool connected = false;
+  const std::size_t added =
+      augment_layer_connectivity(*topo_, ownership_, candidate, connected);
+  cost.ops_changes += added;
+  cost.flow_rules += added;
+
+  if (auto status = ownership_.acquire(candidate.opss, vc.id); !status.is_ok()) {
+    return status.error();
+  }
+  vc.layer = std::move(candidate);
+  vc.connected = connected;
+  return cost;
+}
+
+UpdateCost ClusterManager::uncover_tor(VirtualCluster& vc, TorId tor) {
+  UpdateCost cost;
+  std::erase(vc.layer.tors, tor);
+  cost.tor_changes += 1;
+  cost.flow_rules += 1;
+
+  if (vc.layer.tors.empty()) {
+    // Last rack gone: the AL dissolves entirely.
+    cost.ops_changes += vc.layer.opss.size();
+    cost.flow_rules += vc.layer.opss.size();
+    ownership_.release(vc.layer.opss, vc.id);
+    vc.layer.opss.clear();
+    vc.connected = true;
+    return cost;
+  }
+  // Release OPSs that no longer uplink any remaining ToR, as long as the
+  // layer stays connected without them.
+  for (std::size_t i = vc.layer.opss.size(); i-- > 0;) {
+    const alvc::util::OpsId ops = vc.layer.opss[i];
+    const auto& links = topo_->ops(ops).tor_links;
+    const bool still_needed = std::any_of(links.begin(), links.end(), [&](TorId t) {
+      return vc.layer.contains_tor(t);
+    });
+    if (still_needed) continue;
+    AbstractionLayer trimmed = vc.layer;
+    trimmed.opss.erase(trimmed.opss.begin() + static_cast<std::ptrdiff_t>(i));
+    if (cluster_subgraph_connected(*topo_, trimmed)) {
+      ownership_.release(std::span<const alvc::util::OpsId>(&ops, 1), vc.id);
+      vc.layer = std::move(trimmed);
+      cost.ops_changes += 1;
+      cost.flow_rules += 1;
+    }
+  }
+  vc.connected = cluster_subgraph_connected(*topo_, vc.layer);
+  return cost;
+}
+
+std::vector<std::string> ClusterManager::check_invariants() const {
+  std::vector<std::string> violations;
+  // Ownership consistency.
+  for (std::size_t i = 0; i < ownership_.ops_count(); ++i) {
+    const alvc::util::OpsId ops{static_cast<alvc::util::OpsId::value_type>(i)};
+    const ClusterId owner = ownership_.owner(ops);
+    if (!owner.valid()) continue;
+    const auto it = clusters_.find(owner);
+    if (it == clusters_.end()) {
+      violations.push_back("OPS " + std::to_string(i) + " owned by unknown cluster");
+    } else if (!it->second.layer.contains_ops(ops)) {
+      violations.push_back("OPS " + std::to_string(i) + " owned but not in its cluster's AL");
+    }
+  }
+  std::vector<char> vm_seen(topo_->vm_count(), 0);
+  for (const auto& [id, vc] : clusters_) {
+    for (alvc::util::OpsId ops : vc.layer.opss) {
+      if (ownership_.owner(ops) != id) {
+        violations.push_back("cluster " + std::to_string(id.value()) + " lists OPS " +
+                             std::to_string(ops.value()) + " it does not own");
+      }
+    }
+    if (!vc.degraded && !vc.vms.empty() && !al_covers_group(*topo_, vc.vms, vc.layer)) {
+      violations.push_back("cluster " + std::to_string(id.value()) + " AL does not cover group");
+    }
+    for (VmId vm : vc.vms) {
+      if (vm_seen[vm.index()]++) {
+        violations.push_back("VM " + std::to_string(vm.value()) + " in multiple clusters");
+      }
+    }
+  }
+  return violations;
+}
+
+}  // namespace alvc::cluster

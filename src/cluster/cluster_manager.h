@@ -1,0 +1,129 @@
+// Cluster lifecycle and churn handling.
+//
+// ClusterManager owns the set of Virtual Clusters over one topology and is
+// the only writer of OpsOwnership, so the paper's exclusivity constraint
+// ("one OPS cannot be part of two ALs") holds globally by construction.
+//
+// Churn events (VM join / leave / migrate) are first-class because the
+// authors' companion work (ref [14]) argues AL-VC's selling point is LOW
+// NETWORK UPDATE COST: a VM arriving under an already-covered ToR costs one
+// rule install at that ToR, while only rack-set changes touch the AL. Every
+// mutation returns an UpdateCost breakdown that the ABL1 bench aggregates.
+#pragma once
+
+#include <optional>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "cluster/al_builder.h"
+#include "cluster/virtual_cluster.h"
+#include "topology/topology.h"
+#include "util/error.h"
+
+namespace alvc::cluster {
+
+using alvc::util::Expected;
+using alvc::util::ServerId;
+using alvc::util::Status;
+
+/// Control-plane work done by one churn/build event.
+struct UpdateCost {
+  std::size_t flow_rules = 0;   // match/action rule installs or removals
+  std::size_t tor_changes = 0;  // ToRs added to / removed from the AL's ToR set
+  std::size_t ops_changes = 0;  // OPSs acquired or released by the AL
+
+  UpdateCost& operator+=(const UpdateCost& other) noexcept {
+    flow_rules += other.flow_rules;
+    tor_changes += other.tor_changes;
+    ops_changes += other.ops_changes;
+    return *this;
+  }
+  [[nodiscard]] std::size_t total() const noexcept {
+    return flow_rules + tor_changes + ops_changes;
+  }
+};
+
+class ClusterManager {
+ public:
+  /// The manager keeps a reference to the topology; the topology must
+  /// outlive it. VM migration mutates the topology through this reference.
+  explicit ClusterManager(alvc::topology::DataCenterTopology& topo);
+
+  // ---- cluster lifecycle ----
+
+  /// Builds an AL for `group` with `builder`, acquires its OPSs, and
+  /// registers the cluster. Fails (kInfeasible/kConflict) without side
+  /// effects.
+  [[nodiscard]] Expected<ClusterId> create_cluster(ServiceId service, std::span<const VmId> group,
+                                                   const AlBuilder& builder);
+
+  /// Convenience: one cluster per service label (paper Fig. 1), skipping
+  /// empty groups. Returns the created ids; stops at the first failure and
+  /// rolls back nothing (partial results are returned in the error-free
+  /// case only).
+  [[nodiscard]] Expected<std::vector<ClusterId>> create_clusters_by_service(
+      const AlBuilder& builder);
+
+  /// Releases the cluster's OPSs and forgets it.
+  [[nodiscard]] Status destroy_cluster(ClusterId id);
+
+  // ---- churn ----
+
+  /// Adds a VM to an existing cluster, extending the AL if the VM's ToR is
+  /// not yet covered. Returns the control-plane cost.
+  [[nodiscard]] Expected<UpdateCost> add_vm(ClusterId id, VmId vm);
+
+  /// Removes a VM; shrinks the ToR set (and releases now-unneeded OPSs)
+  /// when the VM was the last cluster member behind its ToR.
+  [[nodiscard]] Expected<UpdateCost> remove_vm(ClusterId id, VmId vm);
+
+  /// Migrates a VM to another server (possibly another rack), updating the
+  /// topology and the AL. Cost is the sum of the leave and join sides.
+  [[nodiscard]] Expected<UpdateCost> migrate_vm(ClusterId id, VmId vm, ServerId new_server);
+
+  /// Rebuilds a cluster's AL from scratch with `builder` and swaps it in if
+  /// strictly smaller (churn inflates ALs over time; incremental updates
+  /// are cheap but drift from the optimum). Returns the control-plane cost
+  /// of the swap (rules for removed + added OPSs/ToRs), or a zero cost when
+  /// the current AL is already as good.
+  [[nodiscard]] Expected<UpdateCost> reoptimize_cluster(ClusterId id, const AlBuilder& builder);
+
+  // ---- failure handling ----
+
+  /// Reacts to an OPS failure: marks it failed in the topology, evicts it
+  /// from the owning AL (if any), re-covers the ToRs that lost their only
+  /// AL uplink, and re-establishes connectivity. Returns the repair cost
+  /// (zero if the OPS was unowned). kInfeasible when the AL cannot be
+  /// repaired — the cluster is left covering what it can and disconnected.
+  [[nodiscard]] Expected<UpdateCost> handle_ops_failure(alvc::util::OpsId ops);
+
+  // ---- inspection ----
+
+  [[nodiscard]] std::size_t cluster_count() const noexcept { return clusters_.size(); }
+  [[nodiscard]] const VirtualCluster* find(ClusterId id) const;
+  [[nodiscard]] std::vector<const VirtualCluster*> clusters() const;
+  [[nodiscard]] const OpsOwnership& ownership() const noexcept { return ownership_; }
+  [[nodiscard]] alvc::topology::DataCenterTopology& topology() noexcept { return *topo_; }
+  [[nodiscard]] const alvc::topology::DataCenterTopology& topology() const noexcept {
+    return *topo_;
+  }
+
+  /// Checks every global invariant (ownership consistency, AL covers its
+  /// group, no shared OPSs); used by tests and ABL benches.
+  [[nodiscard]] std::vector<std::string> check_invariants() const;
+
+ private:
+  VirtualCluster* find_mutable(ClusterId id);
+  /// Extends `vc`'s AL to cover `tor`; returns the incremental cost.
+  [[nodiscard]] Expected<UpdateCost> cover_tor(VirtualCluster& vc, alvc::util::TorId tor);
+  /// Shrinks `vc` after `tor` lost its last VM; returns the cost.
+  UpdateCost uncover_tor(VirtualCluster& vc, alvc::util::TorId tor);
+
+  alvc::topology::DataCenterTopology* topo_;
+  OpsOwnership ownership_;
+  std::unordered_map<ClusterId, VirtualCluster> clusters_;
+  ClusterId::value_type next_id_ = 0;
+};
+
+}  // namespace alvc::cluster

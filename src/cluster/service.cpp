@@ -1,0 +1,39 @@
+#include "cluster/service.h"
+
+#include <array>
+
+namespace alvc::cluster {
+
+ServiceId ServiceRegistry::add(std::string name) {
+  names_.push_back(std::move(name));
+  return ServiceId{static_cast<ServiceId::value_type>(names_.size() - 1)};
+}
+
+ServiceRegistry ServiceRegistry::make_default(std::size_t count) {
+  static constexpr std::array<const char*, 8> kNames = {
+      "web", "map-reduce", "sns", "file", "backup", "database", "cache", "streaming"};
+  ServiceRegistry registry;
+  for (std::size_t i = 0; i < count; ++i) {
+    if (i < kNames.size()) {
+      registry.add(kNames[i]);
+    } else {
+      registry.add("service-" + std::to_string(i));
+    }
+  }
+  return registry;
+}
+
+std::vector<std::vector<VmId>> group_vms_by_service(
+    const alvc::topology::DataCenterTopology& topo, std::size_t min_groups) {
+  std::size_t groups = min_groups;
+  for (const auto& vm : topo.vms()) {
+    groups = std::max(groups, vm.service.index() + 1);
+  }
+  std::vector<std::vector<VmId>> result(groups);
+  for (const auto& vm : topo.vms()) {
+    result[vm.service.index()].push_back(vm.id);
+  }
+  return result;
+}
+
+}  // namespace alvc::cluster

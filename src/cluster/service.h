@@ -1,0 +1,45 @@
+// Service-type registry (paper §III-A).
+//
+// VMs are grouped by the network service they provide (web, map-reduce,
+// SNS, file, backup, ...). The paper leaves the set of services to the
+// operator; the registry maps dense ServiceId values to names and provides
+// the canonical grouping used to form virtual clusters.
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "topology/topology.h"
+#include "util/ids.h"
+
+namespace alvc::cluster {
+
+using alvc::util::ServiceId;
+using alvc::util::VmId;
+
+/// Named service types. Ids are dense: id.value() indexes the registry.
+class ServiceRegistry {
+ public:
+  /// Registers a service; returns its id.
+  ServiceId add(std::string name);
+
+  [[nodiscard]] std::size_t size() const noexcept { return names_.size(); }
+  [[nodiscard]] const std::string& name(ServiceId id) const { return names_.at(id.index()); }
+
+  /// Pre-populated registry with `count` services named like the paper's
+  /// examples (web, map-reduce, sns, file, backup, ...), cycling with a
+  /// numeric suffix beyond the built-in names.
+  [[nodiscard]] static ServiceRegistry make_default(std::size_t count);
+
+ private:
+  std::vector<std::string> names_;
+};
+
+/// Groups every VM in the topology by its service label. Result is indexed
+/// by ServiceId value; services with no VMs yield empty groups. The number
+/// of groups is max(service label)+1, or `min_groups` if larger.
+[[nodiscard]] std::vector<std::vector<VmId>> group_vms_by_service(
+    const alvc::topology::DataCenterTopology& topo, std::size_t min_groups = 0);
+
+}  // namespace alvc::cluster

@@ -1,0 +1,11 @@
+#include "cluster/virtual_cluster.h"
+
+#include <algorithm>
+
+namespace alvc::cluster {
+
+bool VirtualCluster::contains_vm(VmId vm) const noexcept {
+  return std::find(vms.begin(), vms.end(), vm) != vms.end();
+}
+
+}  // namespace alvc::cluster

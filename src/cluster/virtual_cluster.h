@@ -1,0 +1,31 @@
+// Virtual Cluster: a VM group plus its Abstraction Layer (paper Fig. 3).
+#pragma once
+
+#include <vector>
+
+#include "cluster/abstraction_layer.h"
+#include "util/ids.h"
+
+namespace alvc::cluster {
+
+using alvc::util::ClusterId;
+using alvc::util::ServiceId;
+using alvc::util::VmId;
+
+struct VirtualCluster {
+  ClusterId id;
+  ServiceId service;  // the service type this VC serves (may be invalid for ad-hoc groups)
+  std::vector<VmId> vms;
+  AbstractionLayer layer;
+  /// Whether the AL + ToRs induce a connected subgraph (set at build time
+  /// and maintained across churn).
+  bool connected = false;
+  /// Set when hardware failures could not be repaired: some of the group's
+  /// ToRs have no usable AL uplink. A degraded cluster keeps serving what
+  /// it can; coverage invariants are relaxed until capacity returns.
+  bool degraded = false;
+
+  [[nodiscard]] bool contains_vm(VmId vm) const noexcept;
+};
+
+}  // namespace alvc::cluster

@@ -1,0 +1,30 @@
+// Umbrella header for the AL-VC library.
+//
+// Reproduction of: Bashir, Ohsita, Murata, "Abstraction Layer Based Virtual
+// Data Center Architecture for Network Function Chaining", ICDCSW 2016.
+//
+//   #include "core/alvc.h"
+//
+//   alvc::core::DataCenterConfig config;
+//   alvc::core::DataCenter dc(config);
+//   auto clusters = dc.build_clusters();            // §III: VCs + ALs
+//   auto chain = dc.provision_chain(spec,           // §IV: NFC over a slice
+//       alvc::core::PlacementAlgorithm::kOeoMinimizing);
+#pragma once
+
+#include "cluster/abstraction_layer.h"   // IWYU pragma: export
+#include "cluster/al_builder.h"          // IWYU pragma: export
+#include "cluster/cluster_manager.h"     // IWYU pragma: export
+#include "cluster/service.h"             // IWYU pragma: export
+#include "cluster/virtual_cluster.h"     // IWYU pragma: export
+#include "core/config.h"                 // IWYU pragma: export
+#include "core/datacenter.h"             // IWYU pragma: export
+#include "core/experiment.h"             // IWYU pragma: export
+#include "nfv/catalog.h"                 // IWYU pragma: export
+#include "nfv/lifecycle.h"               // IWYU pragma: export
+#include "nfv/nfc.h"                     // IWYU pragma: export
+#include "orchestrator/orchestrator.h"   // IWYU pragma: export
+#include "orchestrator/placement.h"      // IWYU pragma: export
+#include "sim/simulator.h"               // IWYU pragma: export
+#include "topology/builder.h"            // IWYU pragma: export
+#include "topology/topology.h"           // IWYU pragma: export

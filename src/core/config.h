@@ -1,0 +1,54 @@
+// Top-level configuration for an AL-VC deployment.
+#pragma once
+
+#include <cstdint>
+
+#include "sim/simulator.h"
+#include "topology/builder.h"
+
+namespace alvc::core {
+
+/// How abstraction layers are constructed (see cluster/al_builder.h).
+enum class AlAlgorithm : std::uint8_t {
+  kVertexCover,     // the paper's algorithm
+  kRandom,          // ref [15] baseline
+  kGreedySetCover,  // ablation
+  kExact,           // ground truth (small instances)
+};
+
+[[nodiscard]] constexpr const char* to_string(AlAlgorithm algorithm) noexcept {
+  switch (algorithm) {
+    case AlAlgorithm::kVertexCover: return "vertex-cover";
+    case AlAlgorithm::kRandom: return "random";
+    case AlAlgorithm::kGreedySetCover: return "greedy-set-cover";
+    case AlAlgorithm::kExact: return "exact";
+  }
+  return "?";
+}
+
+/// How VNFs are placed onto slice hosts (see orchestrator/placement.h).
+enum class PlacementAlgorithm : std::uint8_t {
+  kElectronicOnly,
+  kRandom,
+  kGreedyOptical,
+  kOeoMinimizing,
+};
+
+[[nodiscard]] constexpr const char* to_string(PlacementAlgorithm algorithm) noexcept {
+  switch (algorithm) {
+    case PlacementAlgorithm::kElectronicOnly: return "electronic-only";
+    case PlacementAlgorithm::kRandom: return "random";
+    case PlacementAlgorithm::kGreedyOptical: return "greedy-optical";
+    case PlacementAlgorithm::kOeoMinimizing: return "oeo-min";
+  }
+  return "?";
+}
+
+struct DataCenterConfig {
+  alvc::topology::TopologyParams topology;
+  AlAlgorithm al_algorithm = AlAlgorithm::kVertexCover;
+  bool ensure_al_connectivity = true;
+  std::uint64_t seed = 1;
+};
+
+}  // namespace alvc::core

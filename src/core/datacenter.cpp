@@ -1,0 +1,78 @@
+#include "core/datacenter.h"
+
+#include <sstream>
+
+namespace alvc::core {
+
+using alvc::cluster::AlBuilder;
+using alvc::cluster::AlBuilderOptions;
+using alvc::orchestrator::PlacementStrategy;
+
+DataCenter::DataCenter(const DataCenterConfig& config)
+    : config_(config),
+      topo_(alvc::topology::build_topology(config.topology)),
+      services_(alvc::cluster::ServiceRegistry::make_default(config.topology.service_count)),
+      catalog_(alvc::nfv::VnfCatalog::make_default()),
+      clusters_(std::make_unique<alvc::cluster::ClusterManager>(topo_)),
+      orchestrator_(
+          std::make_unique<alvc::orchestrator::NetworkOrchestrator>(*clusters_, catalog_)) {}
+
+std::unique_ptr<AlBuilder> DataCenter::make_al_builder(AlAlgorithm algorithm, std::uint64_t seed,
+                                                       bool ensure_connectivity) {
+  const AlBuilderOptions options{.ensure_connectivity = ensure_connectivity};
+  switch (algorithm) {
+    case AlAlgorithm::kVertexCover:
+      return std::make_unique<alvc::cluster::VertexCoverAlBuilder>(options);
+    case AlAlgorithm::kRandom:
+      return std::make_unique<alvc::cluster::RandomAlBuilder>(seed, options);
+    case AlAlgorithm::kGreedySetCover:
+      return std::make_unique<alvc::cluster::GreedySetCoverAlBuilder>(options);
+    case AlAlgorithm::kExact:
+      return std::make_unique<alvc::cluster::ExactAlBuilder>(options);
+  }
+  return std::make_unique<alvc::cluster::VertexCoverAlBuilder>(options);
+}
+
+std::unique_ptr<PlacementStrategy> DataCenter::make_placement(PlacementAlgorithm algorithm,
+                                                              std::uint64_t seed) {
+  switch (algorithm) {
+    case PlacementAlgorithm::kElectronicOnly:
+      return std::make_unique<alvc::orchestrator::ElectronicOnlyPlacement>();
+    case PlacementAlgorithm::kRandom:
+      return std::make_unique<alvc::orchestrator::RandomPlacement>(seed);
+    case PlacementAlgorithm::kGreedyOptical:
+      return std::make_unique<alvc::orchestrator::GreedyOpticalPlacement>();
+    case PlacementAlgorithm::kOeoMinimizing:
+      return std::make_unique<alvc::orchestrator::OeoMinimizingPlacement>();
+  }
+  return std::make_unique<alvc::orchestrator::GreedyOpticalPlacement>();
+}
+
+alvc::util::Expected<std::vector<alvc::util::ClusterId>> DataCenter::build_clusters() {
+  const auto builder =
+      make_al_builder(config_.al_algorithm, config_.seed, config_.ensure_al_connectivity);
+  return clusters_->create_clusters_by_service(*builder);
+}
+
+alvc::util::Expected<alvc::util::NfcId> DataCenter::provision_chain(
+    const alvc::nfv::NfcSpec& spec, PlacementAlgorithm placement) {
+  const auto strategy = make_placement(placement, config_.seed);
+  return orchestrator_->provision_chain(spec, *strategy);
+}
+
+alvc::util::Status DataCenter::teardown_chain(alvc::util::NfcId id) {
+  return orchestrator_->teardown_chain(id);
+}
+
+std::string DataCenter::describe() const {
+  std::ostringstream os;
+  os << "AL-VC data center: " << topo_.tor_count() << " racks x "
+     << config_.topology.servers_per_rack << " servers x " << config_.topology.vms_per_server
+     << " VMs (" << topo_.vm_count() << " VMs total), " << topo_.ops_count() << " OPSs ("
+     << to_string(config_.topology.core) << " core), " << services_.size() << " services, AL="
+     << to_string(config_.al_algorithm) << ", clusters=" << clusters_->cluster_count()
+     << ", chains=" << orchestrator_->chain_count();
+  return os.str();
+}
+
+}  // namespace alvc::core

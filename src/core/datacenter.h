@@ -1,0 +1,78 @@
+// alvc::core::DataCenter — the library's front door.
+//
+// Owns the whole stack (topology, service registry, VNF catalog, cluster
+// manager, orchestrator) and exposes the workflow a user of AL-VC walks
+// through: build the DC, cluster it by service, orchestrate chains, run
+// traffic. Components remain individually accessible for advanced use —
+// the facade adds convenience, not a wall.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "cluster/cluster_manager.h"
+#include "cluster/service.h"
+#include "core/config.h"
+#include "nfv/catalog.h"
+#include "orchestrator/orchestrator.h"
+
+namespace alvc::core {
+
+class DataCenter {
+ public:
+  /// Builds the physical topology from config (seeded, deterministic) and
+  /// wires up the control plane. Does NOT create clusters yet.
+  explicit DataCenter(const DataCenterConfig& config);
+
+  /// Groups VMs by service and builds one virtual cluster per service with
+  /// the configured AL algorithm. Returns the cluster ids.
+  [[nodiscard]] alvc::util::Expected<std::vector<alvc::util::ClusterId>> build_clusters();
+
+  /// Provisions one chain with the given placement algorithm.
+  [[nodiscard]] alvc::util::Expected<alvc::util::NfcId> provision_chain(
+      const alvc::nfv::NfcSpec& spec, PlacementAlgorithm placement);
+
+  /// Tears a chain down.
+  [[nodiscard]] alvc::util::Status teardown_chain(alvc::util::NfcId id);
+
+  // ---- component access ----
+  [[nodiscard]] alvc::topology::DataCenterTopology& topology() noexcept { return topo_; }
+  [[nodiscard]] const alvc::topology::DataCenterTopology& topology() const noexcept {
+    return topo_;
+  }
+  [[nodiscard]] alvc::cluster::ClusterManager& clusters() noexcept { return *clusters_; }
+  [[nodiscard]] const alvc::cluster::ClusterManager& clusters() const noexcept {
+    return *clusters_;
+  }
+  [[nodiscard]] alvc::orchestrator::NetworkOrchestrator& orchestrator() noexcept {
+    return *orchestrator_;
+  }
+  [[nodiscard]] const alvc::orchestrator::NetworkOrchestrator& orchestrator() const noexcept {
+    return *orchestrator_;
+  }
+  [[nodiscard]] const alvc::nfv::VnfCatalog& catalog() const noexcept { return catalog_; }
+  [[nodiscard]] const alvc::cluster::ServiceRegistry& services() const noexcept {
+    return services_;
+  }
+  [[nodiscard]] const DataCenterConfig& config() const noexcept { return config_; }
+
+  /// Builds the AL-builder strategy named by the config (also used by
+  /// benches to compare algorithms side by side).
+  [[nodiscard]] static std::unique_ptr<alvc::cluster::AlBuilder> make_al_builder(
+      AlAlgorithm algorithm, std::uint64_t seed, bool ensure_connectivity);
+  [[nodiscard]] static std::unique_ptr<alvc::orchestrator::PlacementStrategy>
+  make_placement(PlacementAlgorithm algorithm, std::uint64_t seed);
+
+  /// Human-readable one-paragraph description of the deployment.
+  [[nodiscard]] std::string describe() const;
+
+ private:
+  DataCenterConfig config_;
+  alvc::topology::DataCenterTopology topo_;
+  alvc::cluster::ServiceRegistry services_;
+  alvc::nfv::VnfCatalog catalog_;
+  std::unique_ptr<alvc::cluster::ClusterManager> clusters_;
+  std::unique_ptr<alvc::orchestrator::NetworkOrchestrator> orchestrator_;
+};
+
+}  // namespace alvc::core

@@ -1,0 +1,46 @@
+#include "core/experiment.h"
+
+#include <algorithm>
+#include <iomanip>
+#include <sstream>
+#include <stdexcept>
+
+namespace alvc::core {
+
+TextTable::TextTable(std::vector<std::string> header) : header_(std::move(header)) {
+  if (header_.empty()) throw std::invalid_argument("TextTable: empty header");
+}
+
+void TextTable::add_row(std::vector<std::string> row) {
+  if (row.size() != header_.size()) {
+    throw std::invalid_argument("TextTable: row width mismatch");
+  }
+  rows_.push_back(std::move(row));
+}
+
+void TextTable::print(std::ostream& os) const {
+  std::vector<std::size_t> width(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) width[c] = header_[c].size();
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) width[c] = std::max(width[c], row[c].size());
+  }
+  const auto print_row = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      os << std::left << std::setw(static_cast<int>(width[c]) + 2) << row[c];
+    }
+    os << '\n';
+  };
+  print_row(header_);
+  std::string rule;
+  for (std::size_t c = 0; c < header_.size(); ++c) rule += std::string(width[c], '-') + "  ";
+  os << rule << '\n';
+  for (const auto& row : rows_) print_row(row);
+}
+
+std::string fmt(double value, int digits) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(digits) << value;
+  return os.str();
+}
+
+}  // namespace alvc::core

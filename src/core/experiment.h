@@ -1,0 +1,68 @@
+// Experiment-driver helpers shared by benches and examples: wall-clock
+// timing and aligned table printing (every bench prints the same style of
+// rows the paper's figures would plot).
+#pragma once
+
+#include <chrono>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <type_traits>
+#include <vector>
+
+namespace alvc::core {
+
+/// Monotonic stopwatch.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(clock::now()) {}
+  void reset() { start_ = clock::now(); }
+  [[nodiscard]] double elapsed_s() const {
+    return std::chrono::duration<double>(clock::now() - start_).count();
+  }
+  [[nodiscard]] double elapsed_ms() const { return elapsed_s() * 1e3; }
+  [[nodiscard]] double elapsed_us() const { return elapsed_s() * 1e6; }
+
+ private:
+  using clock = std::chrono::steady_clock;
+  clock::time_point start_;
+};
+
+/// Fixed-width text table (header + rows) printed to a stream.
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  void add_row(std::vector<std::string> row);
+
+  template <typename... Ts>
+  void add_row_values(const Ts&... values) {
+    std::vector<std::string> row;
+    row.reserve(sizeof...(values));
+    (row.push_back(to_cell(values)), ...);
+    add_row(std::move(row));
+  }
+
+  void print(std::ostream& os = std::cout) const;
+  [[nodiscard]] std::size_t row_count() const noexcept { return rows_.size(); }
+
+ private:
+  template <typename T>
+  static std::string to_cell(const T& value) {
+    if constexpr (std::is_same_v<T, std::string> || std::is_convertible_v<T, std::string>) {
+      return std::string(value);
+    } else {
+      std::ostringstream os;
+      os << value;
+      return os.str();
+    }
+  }
+
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats a double with `digits` significant decimals.
+[[nodiscard]] std::string fmt(double value, int digits = 3);
+
+}  // namespace alvc::core

@@ -1,0 +1,32 @@
+#include "graph/bipartite.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace alvc::graph {
+
+void BipartiteGraph::add_edge(std::size_t left, std::size_t right) {
+  if (left >= left_adj_.size()) throw std::out_of_range("BipartiteGraph: left out of range");
+  if (right >= right_adj_.size()) throw std::out_of_range("BipartiteGraph: right out of range");
+  left_adj_[left].push_back(right);
+  right_adj_[right].push_back(left);
+  ++edge_count_;
+}
+
+std::span<const std::size_t> BipartiteGraph::left_neighbors(std::size_t left) const {
+  if (left >= left_adj_.size()) throw std::out_of_range("BipartiteGraph: left out of range");
+  return left_adj_[left];
+}
+
+std::span<const std::size_t> BipartiteGraph::right_neighbors(std::size_t right) const {
+  if (right >= right_adj_.size()) throw std::out_of_range("BipartiteGraph: right out of range");
+  return right_adj_[right];
+}
+
+bool BipartiteGraph::has_edge(std::size_t left, std::size_t right) const {
+  const auto neighbors = left_neighbors(left);
+  if (right >= right_adj_.size()) throw std::out_of_range("BipartiteGraph: right out of range");
+  return std::find(neighbors.begin(), neighbors.end(), right) != neighbors.end();
+}
+
+}  // namespace alvc::graph

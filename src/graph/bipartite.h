@@ -1,0 +1,43 @@
+// Bipartite graph between "left" and "right" vertex sets.
+//
+// The AL construction algorithm (paper §III-C) works on two bipartite
+// graphs: VM -> ToR (which ToR does each VM sit behind / connect to) and
+// ToR -> OPS (which optical switches each ToR uplinks to). Left and right
+// vertices are dense indices into their own ranges.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace alvc::graph {
+
+class BipartiteGraph {
+ public:
+  BipartiteGraph(std::size_t left_count, std::size_t right_count)
+      : left_adj_(left_count), right_adj_(right_count) {}
+
+  [[nodiscard]] std::size_t left_count() const noexcept { return left_adj_.size(); }
+  [[nodiscard]] std::size_t right_count() const noexcept { return right_adj_.size(); }
+  [[nodiscard]] std::size_t edge_count() const noexcept { return edge_count_; }
+
+  /// Adds an edge (idempotence is not enforced; callers add each pair once).
+  void add_edge(std::size_t left, std::size_t right);
+
+  [[nodiscard]] std::span<const std::size_t> left_neighbors(std::size_t left) const;
+  [[nodiscard]] std::span<const std::size_t> right_neighbors(std::size_t right) const;
+  [[nodiscard]] std::size_t left_degree(std::size_t left) const {
+    return left_neighbors(left).size();
+  }
+  [[nodiscard]] std::size_t right_degree(std::size_t right) const {
+    return right_neighbors(right).size();
+  }
+  [[nodiscard]] bool has_edge(std::size_t left, std::size_t right) const;
+
+ private:
+  std::vector<std::vector<std::size_t>> left_adj_;
+  std::vector<std::vector<std::size_t>> right_adj_;
+  std::size_t edge_count_ = 0;
+};
+
+}  // namespace alvc::graph

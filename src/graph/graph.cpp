@@ -1,0 +1,51 @@
+#include "graph/graph.h"
+
+#include <stdexcept>
+
+namespace alvc::graph {
+
+std::size_t Graph::add_vertex() {
+  adjacency_.emplace_back();
+  return adjacency_.size() - 1;
+}
+
+std::size_t Graph::add_edge(std::size_t from, std::size_t to, double weight) {
+  check_vertex(from);
+  check_vertex(to);
+  const std::size_t e = edges_.size();
+  edges_.push_back(Edge{from, to, weight});
+  adjacency_[from].push_back(Neighbor{to, e, weight});
+  if (kind_ == Kind::kUndirected && from != to) {
+    adjacency_[to].push_back(Neighbor{from, e, weight});
+  }
+  return e;
+}
+
+std::span<const Neighbor> Graph::neighbors(std::size_t v) const {
+  check_vertex(v);
+  return adjacency_[v];
+}
+
+bool Graph::has_edge(std::size_t a, std::size_t b) const {
+  check_vertex(a);
+  check_vertex(b);
+  const auto& smaller = adjacency_[a].size() <= adjacency_[b].size() ? adjacency_[a] : adjacency_[b];
+  const std::size_t target = adjacency_[a].size() <= adjacency_[b].size() ? b : a;
+  for (const auto& n : smaller) {
+    if (n.vertex == target) return true;
+  }
+  // Directed graphs store the edge only on `from`, so check the other side too.
+  if (kind_ == Kind::kDirected) {
+    for (const auto& n : adjacency_[a]) {
+      if (n.vertex == b) return true;
+    }
+    return false;
+  }
+  return false;
+}
+
+void Graph::check_vertex(std::size_t v) const {
+  if (v >= adjacency_.size()) throw std::out_of_range("Graph vertex out of range");
+}
+
+}  // namespace alvc::graph

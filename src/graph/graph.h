@@ -1,0 +1,61 @@
+// General-purpose weighted graph (adjacency list).
+//
+// Used for the physical network (ToR/OPS links) and any derived logical
+// topologies. Vertices are dense indices [0, vertex_count); edges are stored
+// once and exposed per-endpoint. Supports directed and undirected modes.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace alvc::graph {
+
+struct Edge {
+  std::size_t from = 0;
+  std::size_t to = 0;
+  double weight = 1.0;
+};
+
+/// Half-edge as seen from a vertex.
+struct Neighbor {
+  std::size_t vertex = 0;
+  std::size_t edge = 0;  // index into edges()
+  double weight = 1.0;
+};
+
+class Graph {
+ public:
+  enum class Kind { kUndirected, kDirected };
+
+  explicit Graph(std::size_t vertex_count = 0, Kind kind = Kind::kUndirected)
+      : kind_(kind), adjacency_(vertex_count) {}
+
+  [[nodiscard]] Kind kind() const noexcept { return kind_; }
+  [[nodiscard]] std::size_t vertex_count() const noexcept { return adjacency_.size(); }
+  [[nodiscard]] std::size_t edge_count() const noexcept { return edges_.size(); }
+
+  /// Adds a vertex; returns its index.
+  std::size_t add_vertex();
+
+  /// Adds an edge; returns its index. Undirected edges appear in both
+  /// endpoints' adjacency. Throws on out-of-range endpoints.
+  std::size_t add_edge(std::size_t from, std::size_t to, double weight = 1.0);
+
+  [[nodiscard]] std::span<const Neighbor> neighbors(std::size_t v) const;
+  [[nodiscard]] std::span<const Edge> edges() const noexcept { return edges_; }
+  [[nodiscard]] const Edge& edge(std::size_t e) const { return edges_.at(e); }
+  [[nodiscard]] std::size_t degree(std::size_t v) const { return neighbors(v).size(); }
+
+  /// True if some edge directly connects a and b (O(min degree)).
+  [[nodiscard]] bool has_edge(std::size_t a, std::size_t b) const;
+
+ private:
+  void check_vertex(std::size_t v) const;
+
+  Kind kind_;
+  std::vector<Edge> edges_;
+  std::vector<std::vector<Neighbor>> adjacency_;
+};
+
+}  // namespace alvc::graph

@@ -1,0 +1,25 @@
+// Yen's algorithm: k loopless shortest paths.
+//
+// Used by load-balanced chain routing: instead of always taking THE
+// shortest slice-internal path for a leg, enumerate the k shortest and pick
+// the one with the most bandwidth headroom, spreading chains across the AL.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+#include "graph/graph.h"
+#include "graph/shortest_path.h"
+
+namespace alvc::graph {
+
+/// Up to `k` loopless paths from `source` to `target`, ordered by hop count
+/// (BFS metric), ties broken deterministically. Vertices where
+/// filter(v) == false are not traversed (source exempt). Returns fewer than
+/// k when the graph has fewer distinct loopless paths.
+[[nodiscard]] std::vector<std::vector<std::size_t>> k_shortest_paths(
+    const Graph& g, std::size_t source, std::size_t target, std::size_t k,
+    const VertexFilter& filter = nullptr);
+
+}  // namespace alvc::graph

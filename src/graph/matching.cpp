@@ -1,0 +1,71 @@
+#include "graph/matching.h"
+
+#include <limits>
+#include <queue>
+
+namespace alvc::graph {
+
+namespace {
+constexpr std::size_t kInf = std::numeric_limits<std::size_t>::max();
+}
+
+Matching maximum_bipartite_matching(const BipartiteGraph& g) {
+  const std::size_t nl = g.left_count();
+  Matching m;
+  m.match_left.assign(nl, Matching::kUnmatched);
+  m.match_right.assign(g.right_count(), Matching::kUnmatched);
+
+  std::vector<std::size_t> dist(nl, kInf);
+
+  // BFS layering from free left vertices; returns true if an augmenting
+  // path exists.
+  const auto bfs = [&]() -> bool {
+    std::queue<std::size_t> queue;
+    for (std::size_t l = 0; l < nl; ++l) {
+      if (m.match_left[l] == Matching::kUnmatched) {
+        dist[l] = 0;
+        queue.push(l);
+      } else {
+        dist[l] = kInf;
+      }
+    }
+    bool found = false;
+    while (!queue.empty()) {
+      const std::size_t l = queue.front();
+      queue.pop();
+      for (std::size_t r : g.left_neighbors(l)) {
+        const std::size_t next = m.match_right[r];
+        if (next == Matching::kUnmatched) {
+          found = true;
+        } else if (dist[next] == kInf) {
+          dist[next] = dist[l] + 1;
+          queue.push(next);
+        }
+      }
+    }
+    return found;
+  };
+
+  // DFS along layered graph.
+  const auto dfs = [&](auto&& self, std::size_t l) -> bool {
+    for (std::size_t r : g.left_neighbors(l)) {
+      const std::size_t next = m.match_right[r];
+      if (next == Matching::kUnmatched || (dist[next] == dist[l] + 1 && self(self, next))) {
+        m.match_left[l] = r;
+        m.match_right[r] = l;
+        return true;
+      }
+    }
+    dist[l] = kInf;
+    return false;
+  };
+
+  while (bfs()) {
+    for (std::size_t l = 0; l < nl; ++l) {
+      if (m.match_left[l] == Matching::kUnmatched && dfs(dfs, l)) ++m.size;
+    }
+  }
+  return m;
+}
+
+}  // namespace alvc::graph

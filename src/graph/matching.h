@@ -1,0 +1,29 @@
+// Maximum bipartite matching (Hopcroft–Karp).
+//
+// Needed for (a) the exact minimum vertex cover on bipartite graphs via
+// Kőnig's theorem, giving a ground-truth optimum to compare the paper's
+// greedy "max-weightage" heuristic against, and (b) the 2-approximation via
+// maximal matching on general graphs.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "graph/bipartite.h"
+
+namespace alvc::graph {
+
+struct Matching {
+  /// match_left[l] = matched right vertex or kUnmatched.
+  std::vector<std::size_t> match_left;
+  /// match_right[r] = matched left vertex or kUnmatched.
+  std::vector<std::size_t> match_right;
+  std::size_t size = 0;
+
+  static constexpr std::size_t kUnmatched = static_cast<std::size_t>(-1);
+};
+
+/// Hopcroft–Karp: O(E * sqrt(V)).
+[[nodiscard]] Matching maximum_bipartite_matching(const BipartiteGraph& g);
+
+}  // namespace alvc::graph

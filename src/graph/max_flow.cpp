@@ -1,0 +1,83 @@
+#include "graph/max_flow.h"
+
+#include <limits>
+#include <queue>
+#include <stdexcept>
+
+namespace alvc::graph {
+
+FlowNetwork::FlowNetwork(std::size_t vertex_count) : adjacency_(vertex_count) {}
+
+std::size_t FlowNetwork::add_edge(std::size_t u, std::size_t v, double capacity) {
+  if (u >= adjacency_.size() || v >= adjacency_.size()) {
+    throw std::out_of_range("FlowNetwork: vertex out of range");
+  }
+  if (capacity < 0) throw std::invalid_argument("FlowNetwork: negative capacity");
+  const std::size_t forward = arcs_.size();
+  arcs_.push_back(Arc{v, forward + 1, capacity, 0});
+  arcs_.push_back(Arc{u, forward, 0, 0});
+  adjacency_[u].push_back(forward);
+  adjacency_[v].push_back(forward + 1);
+  return forward;
+}
+
+bool FlowNetwork::bfs_layers(std::size_t s, std::size_t t) {
+  level_.assign(adjacency_.size(), -1);
+  std::queue<std::size_t> queue;
+  level_[s] = 0;
+  queue.push(s);
+  while (!queue.empty()) {
+    const std::size_t v = queue.front();
+    queue.pop();
+    for (std::size_t e : adjacency_[v]) {
+      const Arc& arc = arcs_[e];
+      if (level_[arc.to] == -1 && arc.capacity - arc.flow > 1e-12) {
+        level_[arc.to] = level_[v] + 1;
+        queue.push(arc.to);
+      }
+    }
+  }
+  return level_[t] != -1;
+}
+
+double FlowNetwork::dfs_push(std::size_t v, std::size_t t, double pushed) {
+  if (v == t || pushed <= 0) return pushed;
+  for (std::size_t& i = next_arc_[v]; i < adjacency_[v].size(); ++i) {
+    const std::size_t e = adjacency_[v][i];
+    Arc& arc = arcs_[e];
+    if (level_[arc.to] != level_[v] + 1) continue;
+    const double residual = arc.capacity - arc.flow;
+    if (residual <= 1e-12) continue;
+    const double got = dfs_push(arc.to, t, std::min(pushed, residual));
+    if (got > 0) {
+      arc.flow += got;
+      arcs_[arc.reverse].flow -= got;
+      return got;
+    }
+  }
+  return 0;
+}
+
+double FlowNetwork::max_flow(std::size_t s, std::size_t t) {
+  if (s >= adjacency_.size() || t >= adjacency_.size()) {
+    throw std::out_of_range("FlowNetwork: terminal out of range");
+  }
+  if (s == t) throw std::invalid_argument("FlowNetwork: source equals sink");
+  for (auto& arc : arcs_) arc.flow = 0;
+  double total = 0;
+  while (bfs_layers(s, t)) {
+    next_arc_.assign(adjacency_.size(), 0);
+    for (;;) {
+      const double pushed = dfs_push(s, t, std::numeric_limits<double>::infinity());
+      if (pushed <= 0) break;
+      total += pushed;
+    }
+  }
+  return total;
+}
+
+double FlowNetwork::flow_on(std::size_t e) const { return arcs_.at(e).flow; }
+
+double FlowNetwork::capacity_of(std::size_t e) const { return arcs_.at(e).capacity; }
+
+}  // namespace alvc::graph

@@ -1,0 +1,52 @@
+// Maximum flow (Dinic's algorithm).
+//
+// Used by bandwidth-aware admission: a chain asking for B Gbps is feasible
+// inside its slice only if the slice's switch subgraph carries a flow of at
+// least B between the chain's ingress and egress, given per-link capacities
+// and what earlier chains already reserved.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace alvc::graph {
+
+/// Directed flow network with residual bookkeeping. Add an undirected
+/// capacity with two add_edge calls (one per direction).
+class FlowNetwork {
+ public:
+  explicit FlowNetwork(std::size_t vertex_count);
+
+  [[nodiscard]] std::size_t vertex_count() const noexcept { return adjacency_.size(); }
+
+  /// Adds a directed arc u->v with `capacity`; returns the arc index.
+  /// A reverse residual arc with zero capacity is created automatically.
+  std::size_t add_edge(std::size_t u, std::size_t v, double capacity);
+
+  /// Max flow from s to t (Dinic, O(V^2 E); tiny on slice-sized graphs).
+  /// Resets previous flow before computing.
+  double max_flow(std::size_t s, std::size_t t);
+
+  /// Flow currently assigned to arc `e` (after max_flow).
+  [[nodiscard]] double flow_on(std::size_t e) const;
+  /// Capacity of arc `e`.
+  [[nodiscard]] double capacity_of(std::size_t e) const;
+
+ private:
+  struct Arc {
+    std::size_t to;
+    std::size_t reverse;  // index of the paired residual arc
+    double capacity;
+    double flow;
+  };
+
+  bool bfs_layers(std::size_t s, std::size_t t);
+  double dfs_push(std::size_t v, std::size_t t, double pushed);
+
+  std::vector<Arc> arcs_;
+  std::vector<std::vector<std::size_t>> adjacency_;  // arc indices per vertex
+  std::vector<int> level_;
+  std::vector<std::size_t> next_arc_;
+};
+
+}  // namespace alvc::graph

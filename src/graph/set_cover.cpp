@@ -1,0 +1,149 @@
+#include "graph/set_cover.h"
+
+#include <algorithm>
+#include <limits>
+#include <stdexcept>
+
+namespace alvc::graph {
+
+using alvc::util::DynamicBitset;
+
+void SetCoverInstance::add_set(DynamicBitset set, double cost) {
+  if (set.size() != universe_size) {
+    throw std::invalid_argument("SetCoverInstance: set size != universe size");
+  }
+  if (cost <= 0) throw std::invalid_argument("SetCoverInstance: cost must be positive");
+  sets.push_back(std::move(set));
+  costs.push_back(cost);
+}
+
+std::optional<std::vector<std::size_t>> greedy_set_cover(const SetCoverInstance& instance) {
+  DynamicBitset covered(instance.universe_size);
+  std::vector<std::size_t> chosen;
+  std::size_t remaining = instance.universe_size;
+  while (remaining > 0) {
+    std::size_t best = instance.sets.size();
+    double best_ratio = std::numeric_limits<double>::infinity();
+    std::size_t best_gain = 0;
+    for (std::size_t i = 0; i < instance.sets.size(); ++i) {
+      const std::size_t gain = instance.sets[i].count_andnot(covered);
+      if (gain == 0) continue;
+      const double ratio = instance.costs[i] / static_cast<double>(gain);
+      if (ratio < best_ratio || (ratio == best_ratio && gain > best_gain)) {
+        best = i;
+        best_ratio = ratio;
+        best_gain = gain;
+      }
+    }
+    if (best == instance.sets.size()) return std::nullopt;  // uncoverable element
+    chosen.push_back(best);
+    covered |= instance.sets[best];
+    remaining = instance.universe_size - covered.count();
+  }
+  std::sort(chosen.begin(), chosen.end());
+  return chosen;
+}
+
+std::vector<std::size_t> greedy_max_coverage(const SetCoverInstance& instance, std::size_t k) {
+  DynamicBitset covered(instance.universe_size);
+  std::vector<std::size_t> chosen;
+  for (std::size_t round = 0; round < k; ++round) {
+    std::size_t best = instance.sets.size();
+    std::size_t best_gain = 0;
+    for (std::size_t i = 0; i < instance.sets.size(); ++i) {
+      const std::size_t gain = instance.sets[i].count_andnot(covered);
+      if (gain > best_gain) {
+        best = i;
+        best_gain = gain;
+      }
+    }
+    if (best == instance.sets.size()) break;  // nothing left to gain
+    chosen.push_back(best);
+    covered |= instance.sets[best];
+  }
+  std::sort(chosen.begin(), chosen.end());
+  return chosen;
+}
+
+bool is_set_cover(const SetCoverInstance& instance, const std::vector<std::size_t>& chosen) {
+  DynamicBitset covered(instance.universe_size);
+  for (std::size_t i : chosen) {
+    if (i >= instance.sets.size()) return false;
+    covered |= instance.sets[i];
+  }
+  return covered.all();
+}
+
+namespace {
+
+class ExactSetCoverSolver {
+ public:
+  ExactSetCoverSolver(const SetCoverInstance& instance, std::size_t node_budget)
+      : instance_(instance), node_budget_(node_budget) {}
+
+  std::optional<std::vector<std::size_t>> solve() {
+    auto greedy = greedy_set_cover(instance_);
+    if (!greedy) return std::nullopt;  // infeasible
+    best_ = *greedy;
+    DynamicBitset covered(instance_.universe_size);
+    std::vector<std::size_t> current;
+    budget_ok_ = true;
+    branch(covered, current);
+    if (!budget_ok_) return std::nullopt;
+    std::sort(best_.begin(), best_.end());
+    return best_;
+  }
+
+ private:
+  void branch(DynamicBitset& covered, std::vector<std::size_t>& current) {
+    if (!budget_ok_ || ++explored_ > node_budget_) {
+      budget_ok_ = false;
+      return;
+    }
+    if (current.size() >= best_.size()) return;
+    // First uncovered element with the fewest covering sets.
+    std::size_t pick = instance_.universe_size;
+    std::size_t pick_options = static_cast<std::size_t>(-1);
+    for (std::size_t e = 0; e < instance_.universe_size; ++e) {
+      if (covered.test(e)) continue;
+      std::size_t options = 0;
+      for (const auto& s : instance_.sets) {
+        if (s.test(e)) ++options;
+      }
+      if (options < pick_options) {
+        pick = e;
+        pick_options = options;
+      }
+    }
+    if (pick == instance_.universe_size) {
+      best_ = current;
+      return;
+    }
+    for (std::size_t i = 0; i < instance_.sets.size(); ++i) {
+      if (!instance_.sets[i].test(pick)) continue;
+      DynamicBitset saved = covered;
+      covered |= instance_.sets[i];
+      current.push_back(i);
+      branch(covered, current);
+      current.pop_back();
+      covered = std::move(saved);
+      if (!budget_ok_) return;
+    }
+  }
+
+  const SetCoverInstance& instance_;
+  std::size_t node_budget_;
+  std::size_t explored_ = 0;
+  bool budget_ok_ = true;
+  std::vector<std::size_t> best_;
+};
+
+}  // namespace
+
+std::optional<std::vector<std::size_t>> exact_set_cover(const SetCoverInstance& instance,
+                                                        std::size_t node_budget) {
+  ExactSetCoverSolver solver(instance, node_budget);
+  return solver.solve();
+}
+
+}  // namespace alvc::graph

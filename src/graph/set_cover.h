@@ -1,0 +1,46 @@
+// Weighted set cover / max-coverage.
+//
+// The second stage of AL construction — choosing OPSs for the selected
+// ToRs — is a set-cover instance: every chosen ToR must be attached to at
+// least one chosen OPS, and OPSs may carry weights (free capacity, load).
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <vector>
+
+#include "util/bitset.h"
+
+namespace alvc::graph {
+
+struct SetCoverInstance {
+  /// Number of universe elements.
+  std::size_t universe_size = 0;
+  /// sets[i] = bitset over the universe.
+  std::vector<alvc::util::DynamicBitset> sets;
+  /// Optional per-set cost (default 1). Lower cost preferred.
+  std::vector<double> costs;
+
+  void add_set(alvc::util::DynamicBitset set, double cost = 1.0);
+};
+
+/// Greedy weighted set cover: repeatedly pick the set minimising
+/// cost / newly-covered. ln(n)-approximation. Returns chosen set indices,
+/// or nullopt if some universe element is not coverable.
+[[nodiscard]] std::optional<std::vector<std::size_t>> greedy_set_cover(
+    const SetCoverInstance& instance);
+
+/// Greedy max-coverage: choose at most k sets maximising covered elements.
+[[nodiscard]] std::vector<std::size_t> greedy_max_coverage(const SetCoverInstance& instance,
+                                                           std::size_t k);
+
+/// Exact minimum-cardinality set cover via branch and bound (unit costs).
+/// Returns nullopt if infeasible or `node_budget` exhausted.
+[[nodiscard]] std::optional<std::vector<std::size_t>> exact_set_cover(
+    const SetCoverInstance& instance, std::size_t node_budget = 5'000'000);
+
+/// True if the chosen sets cover the whole universe.
+[[nodiscard]] bool is_set_cover(const SetCoverInstance& instance,
+                                const std::vector<std::size_t>& chosen);
+
+}  // namespace alvc::graph

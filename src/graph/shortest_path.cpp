@@ -1,0 +1,74 @@
+#include "graph/shortest_path.h"
+
+#include <algorithm>
+#include <queue>
+#include <stdexcept>
+
+namespace alvc::graph {
+
+PathResult bfs(const Graph& g, std::size_t source, const VertexFilter& filter) {
+  if (source >= g.vertex_count()) throw std::out_of_range("bfs: source out of range");
+  PathResult result;
+  result.distance.assign(g.vertex_count(), kUnreachable);
+  result.predecessor.assign(g.vertex_count(), kNoVertex);
+  result.distance[source] = 0;
+  std::queue<std::size_t> queue;
+  queue.push(source);
+  while (!queue.empty()) {
+    const std::size_t v = queue.front();
+    queue.pop();
+    for (const auto& nb : g.neighbors(v)) {
+      if (result.distance[nb.vertex] != kUnreachable) continue;
+      if (filter && nb.vertex != source && !filter(nb.vertex)) continue;
+      result.distance[nb.vertex] = result.distance[v] + 1;
+      result.predecessor[nb.vertex] = v;
+      queue.push(nb.vertex);
+    }
+  }
+  return result;
+}
+
+PathResult dijkstra(const Graph& g, std::size_t source, const VertexFilter& filter) {
+  if (source >= g.vertex_count()) throw std::out_of_range("dijkstra: source out of range");
+  PathResult result;
+  result.distance.assign(g.vertex_count(), kUnreachable);
+  result.predecessor.assign(g.vertex_count(), kNoVertex);
+  result.distance[source] = 0;
+
+  using Entry = std::pair<double, std::size_t>;  // (distance, vertex)
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap;
+  heap.emplace(0.0, source);
+  while (!heap.empty()) {
+    const auto [dist, v] = heap.top();
+    heap.pop();
+    if (dist > result.distance[v]) continue;  // stale entry
+    for (const auto& nb : g.neighbors(v)) {
+      if (nb.weight < 0) throw std::invalid_argument("dijkstra: negative edge weight");
+      if (filter && nb.vertex != source && !filter(nb.vertex)) continue;
+      const double cand = dist + nb.weight;
+      if (cand < result.distance[nb.vertex]) {
+        result.distance[nb.vertex] = cand;
+        result.predecessor[nb.vertex] = v;
+        heap.emplace(cand, nb.vertex);
+      }
+    }
+  }
+  return result;
+}
+
+std::optional<std::vector<std::size_t>> extract_path(const PathResult& result,
+                                                     std::size_t target) {
+  if (target >= result.distance.size()) throw std::out_of_range("extract_path: target");
+  if (result.distance[target] == kUnreachable) return std::nullopt;
+  std::vector<std::size_t> path;
+  for (std::size_t v = target; v != kNoVertex; v = result.predecessor[v]) {
+    path.push_back(v);
+    if (path.size() > result.distance.size()) {
+      throw std::logic_error("extract_path: predecessor cycle");
+    }
+  }
+  std::reverse(path.begin(), path.end());
+  return path;
+}
+
+}  // namespace alvc::graph

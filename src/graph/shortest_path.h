@@ -1,0 +1,42 @@
+// Shortest paths: BFS (hop count) and Dijkstra (weighted).
+//
+// Routing a flow through its NFC visits the chain's hosts in order; each
+// leg is a shortest path in the hybrid topology, optionally restricted to a
+// vertex subset (the slice's AL plus its ToRs).
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <limits>
+#include <optional>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace alvc::graph {
+
+inline constexpr double kUnreachable = std::numeric_limits<double>::infinity();
+inline constexpr std::size_t kNoVertex = static_cast<std::size_t>(-1);
+
+struct PathResult {
+  std::vector<double> distance;        // distance[v] or kUnreachable
+  std::vector<std::size_t> predecessor;  // predecessor[v] or kNoVertex
+};
+
+/// Optional vertex filter: vertices where filter(v) is false are not
+/// traversed (source is always allowed).
+using VertexFilter = std::function<bool(std::size_t)>;
+
+/// Unweighted BFS from `source`.
+[[nodiscard]] PathResult bfs(const Graph& g, std::size_t source,
+                             const VertexFilter& filter = nullptr);
+
+/// Dijkstra from `source` over edge weights (must be >= 0).
+[[nodiscard]] PathResult dijkstra(const Graph& g, std::size_t source,
+                                  const VertexFilter& filter = nullptr);
+
+/// Reconstructs source->target as a vertex sequence; nullopt if unreachable.
+[[nodiscard]] std::optional<std::vector<std::size_t>> extract_path(const PathResult& result,
+                                                                   std::size_t target);
+
+}  // namespace alvc::graph

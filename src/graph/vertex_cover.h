@@ -1,0 +1,69 @@
+// Minimum vertex cover algorithms.
+//
+// Paper §III-C: "using the vertex cover algorithm, we draw a bipartite
+// graph that connects all the VMs to ToRs and selects the minimum set of
+// vertices", then a greedy "maximum-weighted" pass picks ToRs by incoming/
+// outgoing connection count until all VMs are covered.
+//
+// We provide three solvers on general graphs (greedy max-degree, maximal-
+// matching 2-approximation, exact branch-and-bound for small instances) and
+// two on bipartite graphs (the paper's one-sided greedy cover, and the exact
+// Kőnig construction from a maximum matching). The one-sided cover — select
+// the fewest RIGHT vertices so that every non-isolated LEFT vertex has a
+// chosen neighbour — is what the AL builder actually needs; it is a set-
+// cover instance, and we expose both the paper's degree-greedy rule and an
+// exact solver for benchmarking the optimality gap.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <vector>
+
+#include "graph/bipartite.h"
+#include "graph/graph.h"
+
+namespace alvc::graph {
+
+/// Greedy max-degree vertex cover on a general graph. Returns chosen
+/// vertex indices (sorted). No approximation guarantee, good in practice.
+[[nodiscard]] std::vector<std::size_t> greedy_vertex_cover(const Graph& g);
+
+/// Classic 2-approximation: take both endpoints of a maximal matching.
+[[nodiscard]] std::vector<std::size_t> matching_vertex_cover(const Graph& g);
+
+/// Exact minimum vertex cover by branch and bound. Practical up to a few
+/// dozen vertices of nonzero degree; returns nullopt if the search exceeds
+/// `node_budget` explored nodes.
+[[nodiscard]] std::optional<std::vector<std::size_t>> exact_vertex_cover(
+    const Graph& g, std::size_t node_budget = 5'000'000);
+
+/// True if `cover` touches every edge of `g`.
+[[nodiscard]] bool is_vertex_cover(const Graph& g, const std::vector<std::size_t>& cover);
+
+/// Exact minimum vertex cover of a bipartite graph via Kőnig's theorem
+/// (|min cover| = |max matching|). Returns (left_vertices, right_vertices).
+struct BipartiteCover {
+  std::vector<std::size_t> left;
+  std::vector<std::size_t> right;
+  [[nodiscard]] std::size_t size() const noexcept { return left.size() + right.size(); }
+};
+[[nodiscard]] BipartiteCover koenig_vertex_cover(const BipartiteGraph& g);
+
+/// The paper's one-sided cover: choose the fewest right vertices (ToRs)
+/// such that every left vertex (VM) with at least one edge has a chosen
+/// neighbour. Greedy "max-weightage": repeatedly take the right vertex
+/// covering the most still-uncovered left vertices; skip right vertices
+/// whose left neighbours are all covered already. Ties break toward the
+/// lower index for determinism.
+[[nodiscard]] std::vector<std::size_t> greedy_one_sided_cover(const BipartiteGraph& g);
+
+/// Exact one-sided cover (set cover over left vertices) by branch and
+/// bound; nullopt if `node_budget` exceeded.
+[[nodiscard]] std::optional<std::vector<std::size_t>> exact_one_sided_cover(
+    const BipartiteGraph& g, std::size_t node_budget = 5'000'000);
+
+/// True if every non-isolated left vertex has a neighbour in `chosen_right`.
+[[nodiscard]] bool is_one_sided_cover(const BipartiteGraph& g,
+                                      const std::vector<std::size_t>& chosen_right);
+
+}  // namespace alvc::graph

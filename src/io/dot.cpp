@@ -1,0 +1,62 @@
+#include "io/dot.h"
+
+#include <array>
+#include <sstream>
+
+namespace alvc::io {
+
+namespace {
+
+constexpr std::array<const char*, 8> kPalette = {
+    "#8dd3c7", "#bebada", "#fb8072", "#80b1d3", "#fdb462", "#b3de69", "#fccde5", "#d9d9d9",
+};
+
+void emit_common(const alvc::topology::DataCenterTopology& topo, std::ostringstream& os,
+                 const alvc::cluster::ClusterManager* manager) {
+  os << "graph alvc {\n  layout=neato;\n  overlap=false;\n";
+  for (const auto& t : topo.tors()) {
+    os << "  tor" << t.id.value() << " [shape=box,label=\"ToR" << t.id.value() << "\"];\n";
+  }
+  for (const auto& o : topo.opss()) {
+    os << "  ops" << o.id.value() << " [shape=" << (o.optoelectronic ? "doublecircle" : "circle")
+       << ",label=\"O" << o.id.value() << "\"";
+    if (manager != nullptr) {
+      const auto owner = manager->ownership().owner(o.id);
+      if (owner.valid()) {
+        os << ",style=filled,fillcolor=\"" << kPalette[owner.index() % kPalette.size()] << "\"";
+      }
+    }
+    if (o.failed) os << ",color=red,penwidth=3";
+    os << "];\n";
+  }
+  for (const auto& t : topo.tors()) {
+    for (auto o : t.uplinks) {
+      os << "  tor" << t.id.value() << " -- ops" << o.value() << ";\n";
+    }
+  }
+  for (const auto& o : topo.opss()) {
+    for (auto peer : o.peer_links) {
+      if (o.id < peer) {
+        os << "  ops" << o.id.value() << " -- ops" << peer.value() << " [style=dashed];\n";
+      }
+    }
+  }
+  os << "}\n";
+}
+
+}  // namespace
+
+std::string to_dot(const alvc::topology::DataCenterTopology& topo) {
+  std::ostringstream os;
+  emit_common(topo, os, nullptr);
+  return os.str();
+}
+
+std::string to_dot(const alvc::topology::DataCenterTopology& topo,
+                   const alvc::cluster::ClusterManager& manager) {
+  std::ostringstream os;
+  emit_common(topo, os, &manager);
+  return os.str();
+}
+
+}  // namespace alvc::io

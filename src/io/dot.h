@@ -1,0 +1,22 @@
+// Graphviz DOT export of the switch layer, colored by cluster.
+//
+// `dot -Tsvg out.dot > out.svg` renders ToRs as boxes, OPSs as circles
+// (doublecircle when optoelectronic), one fill color per AL, gray for free
+// switches, red outline for failed ones.
+#pragma once
+
+#include <string>
+
+#include "cluster/cluster_manager.h"
+#include "topology/topology.h"
+
+namespace alvc::io {
+
+/// Topology only (no cluster coloring).
+[[nodiscard]] std::string to_dot(const alvc::topology::DataCenterTopology& topo);
+
+/// Topology colored by the manager's cluster assignment.
+[[nodiscard]] std::string to_dot(const alvc::topology::DataCenterTopology& topo,
+                                 const alvc::cluster::ClusterManager& manager);
+
+}  // namespace alvc::io

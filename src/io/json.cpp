@@ -1,0 +1,314 @@
+#include "io/json.h"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+
+namespace alvc::io {
+
+using alvc::util::Error;
+using alvc::util::ErrorCode;
+using alvc::util::Expected;
+
+const JsonValue& JsonValue::at(const std::string& key) const {
+  const auto& object = as_object();
+  const auto it = object.find(key);
+  if (it == object.end()) throw std::out_of_range("JSON object has no key '" + key + "'");
+  return it->second;
+}
+
+bool JsonValue::contains(const std::string& key) const {
+  return is_object() && as_object().contains(key);
+}
+
+namespace {
+
+void dump_string(const std::string& s, std::string& out) {
+  out += '"';
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buffer[8];
+          std::snprintf(buffer, sizeof buffer, "\\u%04x", c);
+          out += buffer;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+}
+
+void dump_number(double n, std::string& out) {
+  if (n == std::floor(n) && std::abs(n) < 1e15) {
+    // Integral values print without a fraction for readability.
+    out += std::to_string(static_cast<long long>(n));
+  } else {
+    std::ostringstream os;
+    os.precision(17);
+    os << n;
+    out += os.str();
+  }
+}
+
+void dump_value(const JsonValue& value, int indent, int depth, std::string& out) {
+  const auto newline = [&](int d) {
+    if (indent > 0) {
+      out += '\n';
+      out.append(static_cast<std::size_t>(indent * d), ' ');
+    }
+  };
+  if (value.is_null()) {
+    out += "null";
+  } else if (value.is_bool()) {
+    out += value.as_bool() ? "true" : "false";
+  } else if (value.is_number()) {
+    dump_number(value.as_number(), out);
+  } else if (value.is_string()) {
+    dump_string(value.as_string(), out);
+  } else if (value.is_array()) {
+    const auto& array = value.as_array();
+    if (array.empty()) {
+      out += "[]";
+      return;
+    }
+    out += '[';
+    for (std::size_t i = 0; i < array.size(); ++i) {
+      if (i) out += ',';
+      newline(depth + 1);
+      dump_value(array[i], indent, depth + 1, out);
+    }
+    newline(depth);
+    out += ']';
+  } else {
+    const auto& object = value.as_object();
+    if (object.empty()) {
+      out += "{}";
+      return;
+    }
+    out += '{';
+    bool first = true;
+    for (const auto& [key, field] : object) {
+      if (!first) out += ',';
+      first = false;
+      newline(depth + 1);
+      dump_string(key, out);
+      out += indent > 0 ? ": " : ":";
+      dump_value(field, indent, depth + 1, out);
+    }
+    newline(depth);
+    out += '}';
+  }
+}
+
+class Parser {
+ public:
+  explicit Parser(const std::string& text) : text_(text) {}
+
+  Expected<JsonValue> parse_document() {
+    skip_whitespace();
+    auto value = parse_value();
+    if (!value) return value;
+    skip_whitespace();
+    if (pos_ != text_.size()) return fail("trailing characters after document");
+    return value;
+  }
+
+ private:
+  Expected<JsonValue> fail(const std::string& message) const {
+    return Error{ErrorCode::kInvalidArgument,
+                 "JSON parse error at offset " + std::to_string(pos_) + ": " + message};
+  }
+
+  void skip_whitespace() {
+    while (pos_ < text_.size() && std::isspace(static_cast<unsigned char>(text_[pos_]))) ++pos_;
+  }
+
+  [[nodiscard]] bool consume(char c) {
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  Expected<JsonValue> parse_value() {
+    if (pos_ >= text_.size()) return fail("unexpected end of input");
+    const char c = text_[pos_];
+    switch (c) {
+      case '{': return parse_object();
+      case '[': return parse_array();
+      case '"': {
+        auto s = parse_string();
+        if (!s) return s.error();
+        return JsonValue(std::move(*s));
+      }
+      case 't':
+        if (text_.compare(pos_, 4, "true") == 0) {
+          pos_ += 4;
+          return JsonValue(true);
+        }
+        return fail("bad literal");
+      case 'f':
+        if (text_.compare(pos_, 5, "false") == 0) {
+          pos_ += 5;
+          return JsonValue(false);
+        }
+        return fail("bad literal");
+      case 'n':
+        if (text_.compare(pos_, 4, "null") == 0) {
+          pos_ += 4;
+          return JsonValue(nullptr);
+        }
+        return fail("bad literal");
+      default:
+        return parse_number();
+    }
+  }
+
+  Expected<JsonValue> parse_number() {
+    const std::size_t start = pos_;
+    if (consume('-')) {
+    }
+    while (pos_ < text_.size() && std::isdigit(static_cast<unsigned char>(text_[pos_]))) ++pos_;
+    if (pos_ == start || (pos_ == start + 1 && text_[start] == '-')) {
+      return fail("invalid number");
+    }
+    if (consume('.')) {
+      const std::size_t frac = pos_;
+      while (pos_ < text_.size() && std::isdigit(static_cast<unsigned char>(text_[pos_]))) ++pos_;
+      if (pos_ == frac) return fail("invalid fraction");
+    }
+    if (pos_ < text_.size() && (text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      ++pos_;
+      if (pos_ < text_.size() && (text_[pos_] == '+' || text_[pos_] == '-')) ++pos_;
+      const std::size_t exp = pos_;
+      while (pos_ < text_.size() && std::isdigit(static_cast<unsigned char>(text_[pos_]))) ++pos_;
+      if (pos_ == exp) return fail("invalid exponent");
+    }
+    return JsonValue(std::stod(text_.substr(start, pos_ - start)));
+  }
+
+  Expected<std::string> parse_string() {
+    if (!consume('"')) {
+      return Error{ErrorCode::kInvalidArgument,
+                   "JSON parse error at offset " + std::to_string(pos_) + ": expected string"};
+    }
+    std::string out;
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_++];
+      if (c == '"') return out;
+      if (c == '\\') {
+        if (pos_ >= text_.size()) break;
+        const char esc = text_[pos_++];
+        switch (esc) {
+          case '"': out += '"'; break;
+          case '\\': out += '\\'; break;
+          case '/': out += '/'; break;
+          case 'n': out += '\n'; break;
+          case 't': out += '\t'; break;
+          case 'r': out += '\r'; break;
+          case 'b': out += '\b'; break;
+          case 'f': out += '\f'; break;
+          case 'u': {
+            if (pos_ + 4 > text_.size()) {
+              return Error{ErrorCode::kInvalidArgument, "truncated \\u escape"};
+            }
+            unsigned code = 0;
+            for (int i = 0; i < 4; ++i) {
+              const char h = text_[pos_++];
+              code <<= 4;
+              if (h >= '0' && h <= '9') {
+                code += static_cast<unsigned>(h - '0');
+              } else if (h >= 'a' && h <= 'f') {
+                code += static_cast<unsigned>(h - 'a' + 10);
+              } else if (h >= 'A' && h <= 'F') {
+                code += static_cast<unsigned>(h - 'A' + 10);
+              } else {
+                return Error{ErrorCode::kInvalidArgument, "bad \\u escape"};
+              }
+            }
+            // UTF-8 encode (BMP only).
+            if (code < 0x80) {
+              out += static_cast<char>(code);
+            } else if (code < 0x800) {
+              out += static_cast<char>(0xC0 | (code >> 6));
+              out += static_cast<char>(0x80 | (code & 0x3F));
+            } else {
+              out += static_cast<char>(0xE0 | (code >> 12));
+              out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+              out += static_cast<char>(0x80 | (code & 0x3F));
+            }
+            break;
+          }
+          default:
+            return Error{ErrorCode::kInvalidArgument, "bad escape character"};
+        }
+      } else {
+        out += c;
+      }
+    }
+    return Error{ErrorCode::kInvalidArgument, "unterminated string"};
+  }
+
+  Expected<JsonValue> parse_array() {
+    (void)consume('[');
+    JsonArray array;
+    skip_whitespace();
+    if (consume(']')) return JsonValue(std::move(array));
+    for (;;) {
+      skip_whitespace();
+      auto value = parse_value();
+      if (!value) return value;
+      array.push_back(std::move(*value));
+      skip_whitespace();
+      if (consume(']')) return JsonValue(std::move(array));
+      if (!consume(',')) return fail("expected ',' or ']' in array");
+    }
+  }
+
+  Expected<JsonValue> parse_object() {
+    (void)consume('{');
+    JsonObject object;
+    skip_whitespace();
+    if (consume('}')) return JsonValue(std::move(object));
+    for (;;) {
+      skip_whitespace();
+      auto key = parse_string();
+      if (!key) return key.error();
+      skip_whitespace();
+      if (!consume(':')) return fail("expected ':' after object key");
+      skip_whitespace();
+      auto value = parse_value();
+      if (!value) return value;
+      object.insert_or_assign(std::move(*key), std::move(*value));
+      skip_whitespace();
+      if (consume('}')) return JsonValue(std::move(object));
+      if (!consume(',')) return fail("expected ',' or '}' in object");
+    }
+  }
+
+  const std::string& text_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+std::string dump(const JsonValue& value, int indent) {
+  std::string out;
+  dump_value(value, indent, 0, out);
+  return out;
+}
+
+Expected<JsonValue> parse(const std::string& text) { return Parser(text).parse_document(); }
+
+}  // namespace alvc::io

@@ -1,0 +1,72 @@
+// Minimal JSON document model, parser, and serialiser.
+//
+// Used to persist topologies and deployment state (io/serialize.h) and to
+// emit machine-readable experiment results. Self-contained: no external
+// dependencies. Supports the full JSON grammar except unicode escapes
+// beyond \uXXXX for the BMP.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "util/error.h"
+
+namespace alvc::io {
+
+class JsonValue;
+
+using JsonArray = std::vector<JsonValue>;
+/// std::map keeps keys ordered -> deterministic dumps.
+using JsonObject = std::map<std::string, JsonValue>;
+
+class JsonValue {
+ public:
+  JsonValue() = default;                                           // null
+  JsonValue(std::nullptr_t) : storage_(std::monostate{}) {}        // NOLINT
+  JsonValue(bool b) : storage_(b) {}                     // NOLINT
+  JsonValue(double n) : storage_(n) {}                   // NOLINT
+  JsonValue(int n) : storage_(static_cast<double>(n)) {}  // NOLINT
+  JsonValue(std::size_t n) : storage_(static_cast<double>(n)) {}  // NOLINT
+  JsonValue(const char* s) : storage_(std::string(s)) {}  // NOLINT
+  JsonValue(std::string s) : storage_(std::move(s)) {}    // NOLINT
+  JsonValue(JsonArray a) : storage_(std::move(a)) {}      // NOLINT
+  JsonValue(JsonObject o) : storage_(std::move(o)) {}     // NOLINT
+
+  [[nodiscard]] bool is_null() const noexcept { return std::holds_alternative<std::monostate>(storage_); }
+  [[nodiscard]] bool is_bool() const noexcept { return std::holds_alternative<bool>(storage_); }
+  [[nodiscard]] bool is_number() const noexcept { return std::holds_alternative<double>(storage_); }
+  [[nodiscard]] bool is_string() const noexcept { return std::holds_alternative<std::string>(storage_); }
+  [[nodiscard]] bool is_array() const noexcept { return std::holds_alternative<JsonArray>(storage_); }
+  [[nodiscard]] bool is_object() const noexcept { return std::holds_alternative<JsonObject>(storage_); }
+
+  /// Typed accessors throw std::bad_variant_access on mismatch.
+  [[nodiscard]] bool as_bool() const { return std::get<bool>(storage_); }
+  [[nodiscard]] double as_number() const { return std::get<double>(storage_); }
+  [[nodiscard]] std::size_t as_index() const { return static_cast<std::size_t>(as_number()); }
+  [[nodiscard]] const std::string& as_string() const { return std::get<std::string>(storage_); }
+  [[nodiscard]] const JsonArray& as_array() const { return std::get<JsonArray>(storage_); }
+  [[nodiscard]] JsonArray& as_array() { return std::get<JsonArray>(storage_); }
+  [[nodiscard]] const JsonObject& as_object() const { return std::get<JsonObject>(storage_); }
+  [[nodiscard]] JsonObject& as_object() { return std::get<JsonObject>(storage_); }
+
+  /// Object field access; throws std::out_of_range when missing.
+  [[nodiscard]] const JsonValue& at(const std::string& key) const;
+  [[nodiscard]] bool contains(const std::string& key) const;
+
+  bool operator==(const JsonValue& other) const = default;
+
+ private:
+  std::variant<std::monostate, bool, double, std::string, JsonArray, JsonObject> storage_;
+};
+
+/// Serialises with stable key order; `indent` > 0 pretty-prints.
+[[nodiscard]] std::string dump(const JsonValue& value, int indent = 0);
+
+/// Parses a complete JSON document (trailing garbage is an error).
+[[nodiscard]] alvc::util::Expected<JsonValue> parse(const std::string& text);
+
+}  // namespace alvc::io

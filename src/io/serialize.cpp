@@ -1,0 +1,175 @@
+#include "io/serialize.h"
+
+#include <string>
+
+namespace alvc::io {
+
+using alvc::topology::DataCenterTopology;
+using alvc::topology::Resources;
+using alvc::util::Error;
+using alvc::util::ErrorCode;
+using alvc::util::Expected;
+
+namespace {
+
+JsonValue resources_to_json(const Resources& r) {
+  return JsonObject{{"cpu", r.cpu_cores}, {"mem", r.memory_gb}, {"storage", r.storage_gb}};
+}
+
+Resources resources_from_json(const JsonValue& v) {
+  return Resources{.cpu_cores = v.at("cpu").as_number(),
+                   .memory_gb = v.at("mem").as_number(),
+                   .storage_gb = v.at("storage").as_number()};
+}
+
+}  // namespace
+
+JsonValue topology_to_json(const DataCenterTopology& topo) {
+  JsonArray opss;
+  for (const auto& o : topo.opss()) {
+    JsonArray peers;
+    for (auto p : o.peer_links) {
+      if (o.id < p) peers.push_back(p.index());  // each core link stored once
+    }
+    opss.push_back(JsonObject{{"optoelectronic", o.optoelectronic},
+                              {"compute", resources_to_json(o.compute)},
+                              {"port_gbps", o.port_bandwidth_gbps},
+                              {"failed", o.failed},
+                              {"peers", std::move(peers)}});
+  }
+  JsonArray tors;
+  for (const auto& t : topo.tors()) {
+    JsonArray uplinks;
+    for (auto o : t.uplinks) uplinks.push_back(o.index());
+    tors.push_back(JsonObject{{"port_gbps", t.port_bandwidth_gbps},
+                              {"uplinks", std::move(uplinks)}});
+  }
+  JsonArray servers;
+  for (const auto& s : topo.servers()) {
+    JsonArray homings;
+    for (auto t : s.secondary_tors) homings.push_back(t.index());
+    servers.push_back(JsonObject{{"tor", s.tor.index()},
+                                 {"capacity", resources_to_json(s.capacity)},
+                                 {"secondary_tors", std::move(homings)}});
+  }
+  JsonArray vms;
+  for (const auto& vm : topo.vms()) {
+    vms.push_back(JsonObject{{"server", vm.server.index()},
+                             {"service", vm.service.index()},
+                             {"demand", resources_to_json(vm.demand)}});
+  }
+  return JsonObject{{"format", "alvc-topology"},
+                    {"version", 1},
+                    {"opss", std::move(opss)},
+                    {"tors", std::move(tors)},
+                    {"servers", std::move(servers)},
+                    {"vms", std::move(vms)}};
+}
+
+Expected<DataCenterTopology> topology_from_json(const JsonValue& value) {
+  const auto malformed = [](const std::string& what) {
+    return Error{ErrorCode::kInvalidArgument, "topology_from_json: " + what};
+  };
+  try {
+    if (!value.is_object() || !value.contains("format") ||
+        value.at("format").as_string() != "alvc-topology") {
+      return malformed("missing or wrong format tag");
+    }
+    DataCenterTopology topo;
+    const auto& opss = value.at("opss").as_array();
+    for (const auto& o : opss) {
+      topo.add_ops(o.at("optoelectronic").as_bool(), resources_from_json(o.at("compute")),
+                   o.at("port_gbps").as_number());
+    }
+    // Second pass: core links and failure flags (peers may point forward).
+    for (std::size_t i = 0; i < opss.size(); ++i) {
+      const alvc::util::OpsId id{static_cast<alvc::util::OpsId::value_type>(i)};
+      for (const auto& peer : opss[i].at("peers").as_array()) {
+        const std::size_t p = peer.as_index();
+        if (p >= opss.size()) return malformed("OPS peer out of range");
+        topo.connect_ops_ops(id, alvc::util::OpsId{static_cast<alvc::util::OpsId::value_type>(p)});
+      }
+      if (opss[i].at("failed").as_bool()) topo.set_ops_failed(id, true);
+    }
+    for (const auto& t : value.at("tors").as_array()) {
+      const auto tor = topo.add_tor(t.at("port_gbps").as_number());
+      for (const auto& uplink : t.at("uplinks").as_array()) {
+        const std::size_t o = uplink.as_index();
+        if (o >= topo.ops_count()) return malformed("ToR uplink out of range");
+        topo.connect_tor_ops(tor, alvc::util::OpsId{static_cast<alvc::util::OpsId::value_type>(o)});
+      }
+    }
+    for (const auto& s : value.at("servers").as_array()) {
+      const std::size_t t = s.at("tor").as_index();
+      if (t >= topo.tor_count()) return malformed("server ToR out of range");
+      const auto server = topo.add_server(
+          alvc::util::TorId{static_cast<alvc::util::TorId::value_type>(t)},
+          resources_from_json(s.at("capacity")));
+      for (const auto& homing : s.at("secondary_tors").as_array()) {
+        const std::size_t h = homing.as_index();
+        if (h >= topo.tor_count()) return malformed("secondary homing out of range");
+        topo.add_server_homing(server,
+                               alvc::util::TorId{static_cast<alvc::util::TorId::value_type>(h)});
+      }
+    }
+    for (const auto& vm : value.at("vms").as_array()) {
+      const std::size_t s = vm.at("server").as_index();
+      if (s >= topo.server_count()) return malformed("VM server out of range");
+      topo.add_vm(alvc::util::ServerId{static_cast<alvc::util::ServerId::value_type>(s)},
+                  alvc::util::ServiceId{
+                      static_cast<alvc::util::ServiceId::value_type>(vm.at("service").as_index())},
+                  resources_from_json(vm.at("demand")));
+    }
+    return topo;
+  } catch (const std::exception& e) {
+    return malformed(e.what());
+  }
+}
+
+JsonValue clusters_to_json(const alvc::cluster::ClusterManager& manager) {
+  JsonArray clusters;
+  for (const auto* vc : manager.clusters()) {
+    JsonArray vms;
+    for (auto vm : vc->vms) vms.push_back(vm.index());
+    JsonArray tors;
+    for (auto t : vc->layer.tors) tors.push_back(t.index());
+    JsonArray opss;
+    for (auto o : vc->layer.opss) opss.push_back(o.index());
+    clusters.push_back(JsonObject{{"id", vc->id.index()},
+                                  {"service", vc->service.index()},
+                                  {"vms", std::move(vms)},
+                                  {"tors", std::move(tors)},
+                                  {"al", std::move(opss)},
+                                  {"connected", vc->connected}});
+  }
+  return JsonObject{{"format", "alvc-clusters"}, {"clusters", std::move(clusters)}};
+}
+
+JsonValue chains_to_json(const alvc::orchestrator::NetworkOrchestrator& orch) {
+  JsonArray chains;
+  for (const auto* chain : orch.chains()) {
+    JsonArray hosts;
+    for (const auto& host : chain->placement.hosts) {
+      if (const auto* ops = std::get_if<alvc::util::OpsId>(&host)) {
+        hosts.push_back(JsonObject{{"domain", "optical"}, {"ops", ops->index()}});
+      } else {
+        hosts.push_back(JsonObject{{"domain", "electronic"},
+                                   {"server", std::get<alvc::util::ServerId>(host).index()}});
+      }
+    }
+    JsonArray route;
+    for (std::size_t v : chain->route.vertices) route.push_back(v);
+    chains.push_back(JsonObject{{"id", chain->record.id.index()},
+                                {"name", chain->record.spec.name},
+                                {"service", chain->record.spec.service.index()},
+                                {"bandwidth_gbps", chain->record.spec.bandwidth_gbps},
+                                {"cluster", chain->cluster.index()},
+                                {"hosts", std::move(hosts)},
+                                {"route", std::move(route)},
+                                {"oeo_mid_chain", chain->placement.conversions.mid_chain},
+                                {"flow_rules", chain->flow_rules}});
+  }
+  return JsonObject{{"format", "alvc-chains"}, {"chains", std::move(chains)}};
+}
+
+}  // namespace alvc::io

@@ -1,0 +1,30 @@
+// Topology and deployment-state serialization.
+//
+// Topologies round-trip through JSON so experiments can be archived and
+// replayed exactly; clusters and chains serialise one-way for inspection
+// and plotting (their state is reconstructable from the topology + seeds).
+#pragma once
+
+#include "cluster/cluster_manager.h"
+#include "io/json.h"
+#include "orchestrator/orchestrator.h"
+#include "topology/topology.h"
+#include "util/error.h"
+
+namespace alvc::io {
+
+/// Full structural dump: every element, link, homing, and failure flag.
+[[nodiscard]] JsonValue topology_to_json(const alvc::topology::DataCenterTopology& topo);
+
+/// Rebuilds a topology from topology_to_json output. Validates referential
+/// integrity; kInvalidArgument on malformed documents.
+[[nodiscard]] alvc::util::Expected<alvc::topology::DataCenterTopology> topology_from_json(
+    const JsonValue& value);
+
+/// Cluster state: per-VC service, members, AL, connectivity.
+[[nodiscard]] JsonValue clusters_to_json(const alvc::cluster::ClusterManager& manager);
+
+/// Live chains: spec, placement (hosts + domains), route, conversions.
+[[nodiscard]] JsonValue chains_to_json(const alvc::orchestrator::NetworkOrchestrator& orch);
+
+}  // namespace alvc::io

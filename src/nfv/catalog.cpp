@@ -1,0 +1,50 @@
+#include "nfv/catalog.h"
+
+namespace alvc::nfv {
+
+VnfId VnfCatalog::add(VnfType type, std::string name, Resources demand,
+                      double processing_us_per_kb, bool electronic_only) {
+  const VnfId id{static_cast<VnfId::value_type>(descriptors_.size())};
+  descriptors_.push_back(VnfDescriptor{.id = id,
+                                       .type = type,
+                                       .name = std::move(name),
+                                       .demand = demand,
+                                       .processing_us_per_kb = processing_us_per_kb,
+                                       .electronic_only = electronic_only});
+  return id;
+}
+
+std::optional<VnfId> VnfCatalog::find_by_type(VnfType type) const noexcept {
+  for (const auto& d : descriptors_) {
+    if (d.type == type) return d.id;
+  }
+  return std::nullopt;
+}
+
+VnfCatalog VnfCatalog::make_default() {
+  VnfCatalog catalog;
+  // Light, optically hostable functions.
+  catalog.add(VnfType::kFirewall, "firewall",
+              Resources{.cpu_cores = 1, .memory_gb = 2, .storage_gb = 4}, 0.05);
+  catalog.add(VnfType::kNat, "nat", Resources{.cpu_cores = 1, .memory_gb = 1, .storage_gb = 2},
+              0.02);
+  catalog.add(VnfType::kSecurityGateway, "security-gw",
+              Resources{.cpu_cores = 2, .memory_gb = 4, .storage_gb = 8}, 0.08);
+  catalog.add(VnfType::kLoadBalancer, "load-balancer",
+              Resources{.cpu_cores = 2, .memory_gb = 4, .storage_gb = 4}, 0.04);
+  catalog.add(VnfType::kProxy, "proxy",
+              Resources{.cpu_cores = 2, .memory_gb = 6, .storage_gb = 16}, 0.06);
+  // Heavy functions: exceed the default optoelectronic budget or pinned.
+  catalog.add(VnfType::kDeepPacketInspection, "dpi",
+              Resources{.cpu_cores = 8, .memory_gb = 16, .storage_gb = 64}, 0.5);
+  catalog.add(VnfType::kIntrusionDetection, "ids",
+              Resources{.cpu_cores = 6, .memory_gb = 12, .storage_gb = 128}, 0.4);
+  catalog.add(VnfType::kCache, "cache",
+              Resources{.cpu_cores = 2, .memory_gb = 32, .storage_gb = 512}, 0.03);
+  catalog.add(VnfType::kWanOptimizer, "wan-optimizer",
+              Resources{.cpu_cores = 4, .memory_gb = 8, .storage_gb = 64}, 0.2,
+              /*electronic_only=*/true);
+  return catalog;
+}
+
+}  // namespace alvc::nfv

@@ -1,0 +1,41 @@
+// VNF catalog: the registry of deployable network functions.
+#pragma once
+
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "nfv/vnf.h"
+
+namespace alvc::nfv {
+
+class VnfCatalog {
+ public:
+  /// Registers a descriptor; the returned id indexes the catalog densely.
+  VnfId add(VnfType type, std::string name, Resources demand, double processing_us_per_kb = 0.1,
+            bool electronic_only = false);
+
+  [[nodiscard]] std::size_t size() const noexcept { return descriptors_.size(); }
+  [[nodiscard]] const VnfDescriptor& descriptor(VnfId id) const {
+    return descriptors_.at(id.index());
+  }
+  [[nodiscard]] std::span<const VnfDescriptor> descriptors() const noexcept {
+    return descriptors_;
+  }
+
+  /// First descriptor of the given type, if any.
+  [[nodiscard]] std::optional<VnfId> find_by_type(VnfType type) const noexcept;
+
+  /// A realistic default catalog. Light functions (firewall, NAT, security
+  /// gateway, load balancer) fit the default optoelectronic budget
+  /// (4 cores / 8 GB / 32 GB); heavy ones (DPI, IDS, cache, WAN optimiser)
+  /// exceed it or are pinned electronic — mirroring §IV-D's "some VNFs'
+  /// resource demand is quite large and cannot be met by optoelectronic
+  /// routers".
+  [[nodiscard]] static VnfCatalog make_default();
+
+ private:
+  std::vector<VnfDescriptor> descriptors_;
+};
+
+}  // namespace alvc::nfv

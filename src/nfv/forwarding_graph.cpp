@@ -1,0 +1,141 @@
+#include "nfv/forwarding_graph.h"
+
+#include <algorithm>
+#include <queue>
+#include <stdexcept>
+
+namespace alvc::nfv {
+
+using alvc::util::Error;
+using alvc::util::ErrorCode;
+
+std::size_t ForwardingGraph::add_node(VnfId function) {
+  nodes_.push_back(function);
+  return nodes_.size() - 1;
+}
+
+void ForwardingGraph::add_edge(std::size_t from, std::size_t to) {
+  if (from >= nodes_.size() || to >= nodes_.size()) {
+    throw std::out_of_range("ForwardingGraph: edge endpoint out of range");
+  }
+  edges_.push_back(Edge{from, to});
+}
+
+std::vector<std::size_t> ForwardingGraph::in_degrees() const {
+  std::vector<std::size_t> degree(nodes_.size(), 0);
+  for (const Edge& e : edges_) ++degree[e.to];
+  return degree;
+}
+
+std::size_t ForwardingGraph::entry() const {
+  const auto degree = in_degrees();
+  for (std::size_t i = 0; i < degree.size(); ++i) {
+    if (degree[i] == 0) return i;
+  }
+  throw std::logic_error("ForwardingGraph::entry on cyclic graph");
+}
+
+std::vector<std::size_t> ForwardingGraph::exits() const {
+  std::vector<char> has_successor(nodes_.size(), 0);
+  for (const Edge& e : edges_) has_successor[e.from] = 1;
+  std::vector<std::size_t> out;
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    if (!has_successor[i]) out.push_back(i);
+  }
+  return out;
+}
+
+Status ForwardingGraph::validate() const {
+  if (nodes_.empty()) return Error{ErrorCode::kInvalidArgument, "forwarding graph is empty"};
+  for (const Edge& e : edges_) {
+    if (e.from == e.to) return Error{ErrorCode::kInvalidArgument, "self loop"};
+  }
+  for (std::size_t i = 0; i < edges_.size(); ++i) {
+    for (std::size_t j = i + 1; j < edges_.size(); ++j) {
+      if (edges_[i].from == edges_[j].from && edges_[i].to == edges_[j].to) {
+        return Error{ErrorCode::kInvalidArgument, "duplicate edge"};
+      }
+    }
+  }
+  // Exactly one entry.
+  const auto degree = in_degrees();
+  std::size_t entries = 0;
+  std::size_t entry_node = 0;
+  for (std::size_t i = 0; i < degree.size(); ++i) {
+    if (degree[i] == 0) {
+      ++entries;
+      entry_node = i;
+    }
+  }
+  if (entries != 1) {
+    return Error{ErrorCode::kInvalidArgument,
+                 "forwarding graph needs exactly one entry, has " + std::to_string(entries)};
+  }
+  // Acyclic: Kahn's algorithm consumes every node.
+  const auto order = topological_order();
+  if (order.size() != nodes_.size()) {
+    return Error{ErrorCode::kInvalidArgument, "forwarding graph contains a cycle"};
+  }
+  // Reachability from the entry.
+  std::vector<char> reachable(nodes_.size(), 0);
+  std::queue<std::size_t> queue;
+  reachable[entry_node] = 1;
+  queue.push(entry_node);
+  while (!queue.empty()) {
+    const std::size_t v = queue.front();
+    queue.pop();
+    for (const Edge& e : edges_) {
+      if (e.from == v && !reachable[e.to]) {
+        reachable[e.to] = 1;
+        queue.push(e.to);
+      }
+    }
+  }
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    if (!reachable[i]) {
+      return Error{ErrorCode::kInvalidArgument,
+                   "node " + std::to_string(i) + " unreachable from the entry"};
+    }
+  }
+  return Status::ok();
+}
+
+std::vector<std::size_t> ForwardingGraph::topological_order() const {
+  auto degree = in_degrees();
+  // Min-heap for determinism.
+  std::priority_queue<std::size_t, std::vector<std::size_t>, std::greater<>> ready;
+  for (std::size_t i = 0; i < degree.size(); ++i) {
+    if (degree[i] == 0) ready.push(i);
+  }
+  std::vector<std::size_t> order;
+  while (!ready.empty()) {
+    const std::size_t v = ready.top();
+    ready.pop();
+    order.push_back(v);
+    for (const Edge& e : edges_) {
+      if (e.from == v && --degree[e.to] == 0) ready.push(e.to);
+    }
+  }
+  return order;  // shorter than node_count() iff cyclic
+}
+
+ForwardingGraph ForwardingGraph::linear(std::span<const VnfId> functions) {
+  ForwardingGraph graph;
+  for (VnfId f : functions) graph.add_node(f);
+  for (std::size_t i = 0; i + 1 < functions.size(); ++i) graph.add_edge(i, i + 1);
+  return graph;
+}
+
+NfcSpec GraphNfcSpec::to_linear_spec() const {
+  NfcSpec spec;
+  spec.tenant = tenant;
+  spec.name = name;
+  spec.bandwidth_gbps = bandwidth_gbps;
+  spec.service = service;
+  for (std::size_t node : graph.topological_order()) {
+    spec.functions.push_back(graph.function(node));
+  }
+  return spec;
+}
+
+}  // namespace alvc::nfv

@@ -1,0 +1,85 @@
+// Network forwarding graphs (paper §IV-A).
+//
+// "An NFC is defined as a set of Network Functions, packet processing order
+// (simple or complex), network resource requirements, and network
+// forwarding graph." Linear chains (NfcSpec) cover the "simple" order;
+// this type models the complex one: a DAG of VNF nodes with a unique entry,
+// one or more exits, and per-edge traffic splits (e.g. a load balancer
+// fanning out to a firewall path and a DPI path).
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "nfv/nfc.h"
+#include "nfv/vnf.h"
+#include "util/error.h"
+#include "util/ids.h"
+
+namespace alvc::nfv {
+
+using alvc::util::ServiceId;
+using alvc::util::Status;
+using alvc::util::TenantId;
+using alvc::util::VnfId;
+
+class ForwardingGraph {
+ public:
+  struct Edge {
+    std::size_t from;
+    std::size_t to;
+  };
+
+  /// Adds a VNF node; returns its dense index.
+  std::size_t add_node(VnfId function);
+  /// Adds a directed processing edge between node indices.
+  /// Throws std::out_of_range on bad indices.
+  void add_edge(std::size_t from, std::size_t to);
+
+  [[nodiscard]] std::size_t node_count() const noexcept { return nodes_.size(); }
+  [[nodiscard]] std::size_t edge_count() const noexcept { return edges_.size(); }
+  [[nodiscard]] VnfId function(std::size_t node) const { return nodes_.at(node); }
+  [[nodiscard]] std::span<const VnfId> functions() const noexcept { return nodes_; }
+  [[nodiscard]] std::span<const Edge> edges() const noexcept { return edges_; }
+
+  /// The unique node with no predecessors (call validate() first).
+  [[nodiscard]] std::size_t entry() const;
+  /// Nodes with no successors, ascending.
+  [[nodiscard]] std::vector<std::size_t> exits() const;
+
+  /// Structural well-formedness: non-empty, acyclic, exactly one entry,
+  /// at least one exit, every node reachable from the entry, no self loops
+  /// or duplicate edges.
+  [[nodiscard]] Status validate() const;
+
+  /// Topological order (validate() must pass). Deterministic: among ready
+  /// nodes the smallest index goes first.
+  [[nodiscard]] std::vector<std::size_t> topological_order() const;
+
+  /// Convenience: a linear graph from an ordered function list.
+  [[nodiscard]] static ForwardingGraph linear(std::span<const VnfId> functions);
+
+ private:
+  [[nodiscard]] std::vector<std::size_t> in_degrees() const;
+
+  std::vector<VnfId> nodes_;
+  std::vector<Edge> edges_;
+};
+
+/// A chain request with a complex processing order.
+struct GraphNfcSpec {
+  TenantId tenant;
+  std::string name;
+  ForwardingGraph graph;
+  double bandwidth_gbps = 1.0;
+  ServiceId service;
+
+  /// The equivalent linear spec over the graph's topological order — what
+  /// placement strategies consume (they place nodes; routing follows the
+  /// real edges).
+  [[nodiscard]] NfcSpec to_linear_spec() const;
+};
+
+}  // namespace alvc::nfv

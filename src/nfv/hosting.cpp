@@ -1,0 +1,94 @@
+#include "nfv/hosting.h"
+
+#include <algorithm>
+
+namespace alvc::nfv {
+
+using alvc::util::Error;
+using alvc::util::ErrorCode;
+using alvc::util::OpsId;
+using alvc::util::ServerId;
+
+HostingPool::HostingPool(const alvc::topology::DataCenterTopology& topo) : topo_(&topo) {}
+
+Resources HostingPool::nominal_capacity(const HostRef& host) const {
+  if (const auto* server = std::get_if<ServerId>(&host)) {
+    return topo_->server(*server).capacity;
+  }
+  const auto& ops = topo_->ops(std::get<OpsId>(host));
+  return ops.optoelectronic ? ops.compute : Resources{};
+}
+
+Resources& HostingPool::used(const HostRef& host) {
+  if (const auto* server = std::get_if<ServerId>(&host)) return server_used_[*server];
+  return ops_used_[std::get<OpsId>(host)];
+}
+
+Resources HostingPool::used_or_zero(const HostRef& host) const {
+  if (const auto* server = std::get_if<ServerId>(&host)) {
+    const auto it = server_used_.find(*server);
+    return it == server_used_.end() ? Resources{} : it->second;
+  }
+  const auto it = ops_used_.find(std::get<OpsId>(host));
+  return it == ops_used_.end() ? Resources{} : it->second;
+}
+
+Resources HostingPool::free_capacity(const HostRef& host) const {
+  return nominal_capacity(host) - used_or_zero(host);
+}
+
+bool HostingPool::fits(const HostRef& host, const Resources& demand) const {
+  return demand.fits_within(free_capacity(host));
+}
+
+Status HostingPool::reserve(const HostRef& host, const Resources& demand) {
+  if (!fits(host, demand)) {
+    return Error{ErrorCode::kCapacityExceeded, "host cannot take VNF demand"};
+  }
+  used(host) += demand;
+  return Status::ok();
+}
+
+void HostingPool::release(const HostRef& host, const Resources& demand) {
+  Resources& u = used(host);
+  u -= demand;
+  // Clamp against over-release.
+  u.cpu_cores = std::max(u.cpu_cores, 0.0);
+  u.memory_gb = std::max(u.memory_gb, 0.0);
+  u.storage_gb = std::max(u.storage_gb, 0.0);
+}
+
+std::vector<OpsId> HostingPool::optical_hosts_with_capacity(
+    const Resources& demand, const std::vector<OpsId>& candidates) const {
+  std::vector<OpsId> out;
+  const auto consider = [&](const alvc::topology::OpticalSwitch& ops) {
+    if (!ops.optoelectronic || ops.failed) return;
+    if (fits(HostRef{ops.id}, demand)) out.push_back(ops.id);
+  };
+  if (candidates.empty()) {
+    for (const auto& ops : topo_->opss()) consider(ops);
+  } else {
+    for (OpsId id : candidates) consider(topo_->ops(id));
+  }
+  return out;
+}
+
+std::vector<ServerId> HostingPool::electronic_hosts_with_capacity(const Resources& demand) const {
+  std::vector<ServerId> out;
+  for (const auto& server : topo_->servers()) {
+    if (fits(HostRef{server.id}, demand)) out.push_back(server.id);
+  }
+  return out;
+}
+
+bool HostingPool::is_consistent() const {
+  for (const auto& [id, used] : server_used_) {
+    if (!(nominal_capacity(HostRef{id}) - used).non_negative()) return false;
+  }
+  for (const auto& [id, used] : ops_used_) {
+    if (!(nominal_capacity(HostRef{id}) - used).non_negative()) return false;
+  }
+  return true;
+}
+
+}  // namespace alvc::nfv

@@ -1,0 +1,67 @@
+// Host capacity tracking for VNF placement.
+//
+// A HostingPool views one topology and answers: which hosts can take this
+// VNF, and what is left after placement? Optical hosts are the
+// optoelectronic routers; electronic hosts are the servers. Reservations
+// are tracked here so placement strategies can be pure functions over a
+// pool snapshot.
+#pragma once
+
+#include <unordered_map>
+#include <vector>
+
+#include "nfv/lifecycle.h"
+#include "nfv/vnf.h"
+#include "topology/topology.h"
+#include "util/error.h"
+
+namespace alvc::nfv {
+
+using alvc::util::Status;
+
+class HostingPool {
+ public:
+  explicit HostingPool(const alvc::topology::DataCenterTopology& topo);
+
+  /// Remaining capacity of a host.
+  [[nodiscard]] Resources free_capacity(const HostRef& host) const;
+
+  /// Whether `demand` (scaled) currently fits on `host`. Plain (non-
+  /// optoelectronic) OPSs never host anything.
+  [[nodiscard]] bool fits(const HostRef& host, const Resources& demand) const;
+
+  /// Reserves capacity; kCapacityExceeded if it does not fit.
+  [[nodiscard]] Status reserve(const HostRef& host, const Resources& demand);
+
+  /// Returns previously reserved capacity. Over-release is clamped to the
+  /// host's nominal capacity (defensive; flagged by is_consistent()).
+  void release(const HostRef& host, const Resources& demand);
+
+  /// Optical hosts (optoelectronic routers) with any free capacity,
+  /// restricted to `candidates` when non-empty.
+  [[nodiscard]] std::vector<alvc::util::OpsId> optical_hosts_with_capacity(
+      const Resources& demand,
+      const std::vector<alvc::util::OpsId>& candidates = {}) const;
+
+  /// Electronic hosts (servers) that can take `demand`.
+  [[nodiscard]] std::vector<alvc::util::ServerId> electronic_hosts_with_capacity(
+      const Resources& demand) const;
+
+  /// True if no host is over-committed.
+  [[nodiscard]] bool is_consistent() const;
+
+  [[nodiscard]] const alvc::topology::DataCenterTopology& topology() const noexcept {
+    return *topo_;
+  }
+
+ private:
+  [[nodiscard]] Resources nominal_capacity(const HostRef& host) const;
+  [[nodiscard]] Resources& used(const HostRef& host);
+  [[nodiscard]] Resources used_or_zero(const HostRef& host) const;
+
+  const alvc::topology::DataCenterTopology* topo_;
+  std::unordered_map<alvc::util::ServerId, Resources> server_used_;
+  std::unordered_map<alvc::util::OpsId, Resources> ops_used_;
+};
+
+}  // namespace alvc::nfv

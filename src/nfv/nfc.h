@@ -1,0 +1,43 @@
+// Network Function Chains (paper §IV-A).
+//
+// "An NFC is defined as a set of Network Functions, packet processing order
+// (simple or complex), network resource requirements (node and links), and
+// network forwarding graph." We model the common linear chain (the paper's
+// Fig. 5 paths) with per-user/per-application scope: a chain belongs to a
+// tenant, names the ordered VNFs a flow must traverse, and carries its
+// bandwidth demand.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "nfv/vnf.h"
+#include "util/ids.h"
+
+namespace alvc::nfv {
+
+using alvc::util::NfcId;
+using alvc::util::ServiceId;
+using alvc::util::TenantId;
+using alvc::util::VnfId;
+
+/// Specification of a chain as requested by a tenant (before placement).
+struct NfcSpec {
+  TenantId tenant;
+  std::string name;
+  /// Ordered catalog descriptors the flow visits.
+  std::vector<VnfId> functions;
+  /// Requested bandwidth for the chain's flows (Gbps).
+  double bandwidth_gbps = 1.0;
+  /// Service type of the VM group this chain serves (one VC hosts one NFC,
+  /// §IV-C).
+  ServiceId service;
+};
+
+/// Handle for a provisioned chain (assigned by the orchestrator).
+struct NfcRecord {
+  NfcId id;
+  NfcSpec spec;
+};
+
+}  // namespace alvc::nfv

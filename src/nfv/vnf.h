@@ -1,0 +1,70 @@
+// Network functions and their virtualised descriptors (paper §IV).
+//
+// NFs come as middleboxes (firewall, DPI, load balancer, security gateway,
+// ...); NFV turns them into VNFs deployable "when and where required". Each
+// VNF type carries a resource-demand profile: §IV-D's placement rule is
+// that only low-demand VNFs fit on optoelectronic routers, while heavy ones
+// (e.g. DPI) must stay in the electronic domain.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "topology/elements.h"
+#include "util/ids.h"
+
+namespace alvc::nfv {
+
+using alvc::topology::Resources;
+using alvc::util::VnfId;
+
+/// Middlebox families named in the paper (§I, §IV-A) plus common extras.
+enum class VnfType : std::uint8_t {
+  kFirewall,
+  kDeepPacketInspection,
+  kLoadBalancer,
+  kSecurityGateway,
+  kNat,
+  kIntrusionDetection,
+  kProxy,
+  kWanOptimizer,
+  kCache,
+};
+
+[[nodiscard]] constexpr std::string_view to_string(VnfType type) noexcept {
+  switch (type) {
+    case VnfType::kFirewall: return "firewall";
+    case VnfType::kDeepPacketInspection: return "dpi";
+    case VnfType::kLoadBalancer: return "load-balancer";
+    case VnfType::kSecurityGateway: return "security-gw";
+    case VnfType::kNat: return "nat";
+    case VnfType::kIntrusionDetection: return "ids";
+    case VnfType::kProxy: return "proxy";
+    case VnfType::kWanOptimizer: return "wan-optimizer";
+    case VnfType::kCache: return "cache";
+  }
+  return "?";
+}
+
+/// Immutable template for instantiating a VNF.
+struct VnfDescriptor {
+  VnfId id;
+  VnfType type = VnfType::kFirewall;
+  std::string name;
+  Resources demand;
+  /// Per-byte processing latency contribution (microseconds per KB), used
+  /// by the flow simulator.
+  double processing_us_per_kb = 0.1;
+  /// Some functions are pinned to the electronic domain regardless of
+  /// resource fit (e.g. they need full server OS facilities).
+  bool electronic_only = false;
+
+  /// Whether this VNF could run on an optoelectronic router with `capacity`
+  /// compute (§IV-D feasibility test).
+  [[nodiscard]] bool optical_hostable(const Resources& capacity) const noexcept {
+    return !electronic_only && demand.fits_within(capacity);
+  }
+};
+
+}  // namespace alvc::nfv

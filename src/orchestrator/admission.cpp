@@ -1,0 +1,111 @@
+#include "orchestrator/admission.h"
+
+#include <algorithm>
+#include <limits>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "graph/max_flow.h"
+
+namespace alvc::orchestrator {
+
+using alvc::nfv::HostRef;
+using alvc::topology::Resources;
+using alvc::util::Error;
+using alvc::util::ErrorCode;
+
+Status AdmissionController::admit(const alvc::nfv::NfcSpec& spec,
+                                  const alvc::cluster::VirtualCluster& cluster,
+                                  const alvc::nfv::HostingPool& pool) {
+  if (spec.functions.empty()) {
+    ++stats_.rejected_malformed;
+    return Error{ErrorCode::kRejected, "chain has no functions"};
+  }
+  if (spec.bandwidth_gbps <= 0) {
+    ++stats_.rejected_malformed;
+    return Error{ErrorCode::kRejected, "non-positive bandwidth request"};
+  }
+  // Bandwidth: the chain rides the slice's ToRs and OPSs; the tightest
+  // port on the slice bounds it.
+  double min_port = std::numeric_limits<double>::infinity();
+  for (alvc::util::TorId t : cluster.layer.tors) {
+    min_port = std::min(min_port, topo_->tor(t).port_bandwidth_gbps);
+  }
+  for (alvc::util::OpsId o : cluster.layer.opss) {
+    min_port = std::min(min_port, topo_->ops(o).port_bandwidth_gbps);
+  }
+  if (spec.bandwidth_gbps > min_port) {
+    ++stats_.rejected_bandwidth;
+    return Error{ErrorCode::kRejected,
+                 "requested " + std::to_string(spec.bandwidth_gbps) + " Gbps exceeds slice port " +
+                     std::to_string(min_port) + " Gbps"};
+  }
+  // Max-flow feasibility between the chain's default anchors: a single
+  // fat port does not help if some slice-internal cut is thinner.
+  if (!cluster.layer.tors.empty()) {
+    const double capacity = slice_capacity_gbps(cluster, cluster.layer.tors.front(),
+                                                cluster.layer.tors.back());
+    if (spec.bandwidth_gbps > capacity + 1e-9) {
+      ++stats_.rejected_capacity_flow;
+      return Error{ErrorCode::kRejected,
+                   "requested " + std::to_string(spec.bandwidth_gbps) +
+                       " Gbps exceeds the slice's min-cut capacity of " +
+                       std::to_string(capacity) + " Gbps"};
+    }
+  }
+  // Aggregate resource feasibility (necessary condition).
+  Resources total_demand;
+  for (alvc::util::VnfId fn : spec.functions) {
+    total_demand += catalog_->descriptor(fn).demand;
+  }
+  Resources total_free;
+  for (alvc::util::OpsId o : cluster.layer.opss) {
+    if (topo_->ops(o).optoelectronic) total_free += pool.free_capacity(HostRef{o});
+  }
+  for (alvc::util::TorId t : cluster.layer.tors) {
+    for (alvc::util::ServerId s : topo_->tor(t).servers) {
+      total_free += pool.free_capacity(HostRef{s});
+    }
+  }
+  if (!total_demand.fits_within(total_free)) {
+    ++stats_.rejected_resources;
+    return Error{ErrorCode::kRejected, "slice lacks aggregate capacity for the chain"};
+  }
+  ++stats_.admitted;
+  return Status::ok();
+}
+
+double AdmissionController::slice_capacity_gbps(const alvc::cluster::VirtualCluster& cluster,
+                                                alvc::util::TorId ingress,
+                                                alvc::util::TorId egress) const {
+  if (ingress == egress) return std::numeric_limits<double>::infinity();
+  // Dense re-index of the slice's switch vertices.
+  std::unordered_map<std::size_t, std::size_t> index;
+  std::unordered_set<std::size_t> members;
+  const auto add_member = [&](std::size_t v) {
+    if (members.insert(v).second) index.emplace(v, index.size());
+  };
+  for (alvc::util::TorId t : cluster.layer.tors) add_member(topo_->tor_vertex(t));
+  for (alvc::util::OpsId o : cluster.layer.opss) add_member(topo_->ops_vertex(o));
+  const std::size_t src_v = topo_->tor_vertex(ingress);
+  const std::size_t dst_v = topo_->tor_vertex(egress);
+  add_member(src_v);
+  add_member(dst_v);
+
+  const auto port_of = [&](std::size_t v) {
+    if (topo_->is_ops_vertex(v)) return topo_->ops(topo_->vertex_to_ops(v)).port_bandwidth_gbps;
+    return topo_->tor(topo_->vertex_to_tor(v)).port_bandwidth_gbps;
+  };
+
+  alvc::graph::FlowNetwork net(index.size());
+  const auto& g = topo_->switch_graph();
+  for (const auto& edge : g.edges()) {
+    if (!members.contains(edge.from) || !members.contains(edge.to)) continue;
+    const double capacity = std::min(port_of(edge.from), port_of(edge.to));
+    net.add_edge(index.at(edge.from), index.at(edge.to), capacity);
+    net.add_edge(index.at(edge.to), index.at(edge.from), capacity);
+  }
+  return net.max_flow(index.at(src_v), index.at(dst_v));
+}
+
+}  // namespace alvc::orchestrator

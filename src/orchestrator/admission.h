@@ -1,0 +1,58 @@
+// Admission control for chain provisioning.
+//
+// Before the orchestrator spends work on placement and routing, a chain is
+// checked against its slice's resources: the requested bandwidth must fit
+// every switch port it could use, and the chain's aggregate VNF demand must
+// fit the slice's aggregate free capacity (a cheap necessary condition;
+// placement does the exact per-host check).
+#pragma once
+
+#include "cluster/virtual_cluster.h"
+#include "nfv/catalog.h"
+#include "nfv/hosting.h"
+#include "nfv/nfc.h"
+#include "topology/topology.h"
+#include "util/error.h"
+
+namespace alvc::orchestrator {
+
+using alvc::util::Status;
+
+struct AdmissionStats {
+  std::size_t admitted = 0;
+  std::size_t rejected_bandwidth = 0;
+  std::size_t rejected_capacity_flow = 0;  // max-flow check failed
+  std::size_t rejected_resources = 0;
+  std::size_t rejected_malformed = 0;
+};
+
+class AdmissionController {
+ public:
+  AdmissionController(const alvc::topology::DataCenterTopology& topo,
+                      const alvc::nfv::VnfCatalog& catalog)
+      : topo_(&topo), catalog_(&catalog) {}
+
+  /// kRejected with a reason when the chain cannot possibly be served by
+  /// the cluster's slice; ok otherwise. Mutates counters.
+  [[nodiscard]] Status admit(const alvc::nfv::NfcSpec& spec,
+                             const alvc::cluster::VirtualCluster& cluster,
+                             const alvc::nfv::HostingPool& pool);
+
+  [[nodiscard]] const AdmissionStats& stats() const noexcept { return stats_; }
+
+  /// Maximum bandwidth the slice can carry between two of its ToRs,
+  /// computed as a max flow over the slice's switch subgraph with per-link
+  /// capacity = min(port bandwidth of the endpoints). Used by admit() to
+  /// reject chains whose demand exceeds any slice-internal cut, not just
+  /// the single weakest port.
+  [[nodiscard]] double slice_capacity_gbps(const alvc::cluster::VirtualCluster& cluster,
+                                           alvc::util::TorId ingress,
+                                           alvc::util::TorId egress) const;
+
+ private:
+  const alvc::topology::DataCenterTopology* topo_;
+  const alvc::nfv::VnfCatalog* catalog_;
+  AdmissionStats stats_;
+};
+
+}  // namespace alvc::orchestrator

@@ -1,0 +1,85 @@
+#include "orchestrator/bandwidth.h"
+
+#include <algorithm>
+
+namespace alvc::orchestrator {
+
+using alvc::util::Error;
+using alvc::util::ErrorCode;
+using alvc::util::Status;
+
+BandwidthLedger::LinkKey BandwidthLedger::key(std::size_t u, std::size_t v) noexcept {
+  const auto [lo, hi] = std::minmax(u, v);
+  return (static_cast<LinkKey>(lo) << 32) | static_cast<LinkKey>(hi & 0xffffffffULL);
+}
+
+double BandwidthLedger::vertex_port(std::size_t v) const {
+  if (topo_->is_ops_vertex(v)) return topo_->ops(topo_->vertex_to_ops(v)).port_bandwidth_gbps;
+  return topo_->tor(topo_->vertex_to_tor(v)).port_bandwidth_gbps;
+}
+
+double BandwidthLedger::capacity_gbps(std::size_t u, std::size_t v) const {
+  return std::min(vertex_port(u), vertex_port(v));
+}
+
+double BandwidthLedger::capacity_of_key(LinkKey k) const {
+  const auto u = static_cast<std::size_t>(k >> 32);
+  const auto v = static_cast<std::size_t>(k & 0xffffffffULL);
+  return capacity_gbps(u, v);
+}
+
+double BandwidthLedger::reserved_gbps(std::size_t u, std::size_t v) const {
+  const auto it = reserved_.find(key(u, v));
+  return it == reserved_.end() ? 0.0 : it->second;
+}
+
+double BandwidthLedger::free_gbps(std::size_t u, std::size_t v) const {
+  return capacity_gbps(u, v) - reserved_gbps(u, v);
+}
+
+std::vector<BandwidthLedger::LinkKey> BandwidthLedger::distinct_links(
+    std::span<const std::size_t> walk) {
+  std::vector<LinkKey> links;
+  for (std::size_t i = 0; i + 1 < walk.size(); ++i) {
+    if (walk[i] == walk[i + 1]) continue;
+    links.push_back(key(walk[i], walk[i + 1]));
+  }
+  std::sort(links.begin(), links.end());
+  links.erase(std::unique(links.begin(), links.end()), links.end());
+  return links;
+}
+
+Status BandwidthLedger::reserve_walk(std::span<const std::size_t> walk, double gbps) {
+  if (gbps < 0) return Error{ErrorCode::kInvalidArgument, "negative bandwidth"};
+  const auto links = distinct_links(walk);
+  for (LinkKey k : links) {
+    const auto it = reserved_.find(k);
+    const double used = it == reserved_.end() ? 0.0 : it->second;
+    if (used + gbps > capacity_of_key(k) + 1e-9) {
+      return Error{ErrorCode::kCapacityExceeded,
+                   "link lacks bandwidth headroom for " + std::to_string(gbps) + " Gbps"};
+    }
+  }
+  for (LinkKey k : links) reserved_[k] += gbps;
+  return Status::ok();
+}
+
+void BandwidthLedger::release_walk(std::span<const std::size_t> walk, double gbps) {
+  for (LinkKey k : distinct_links(walk)) {
+    const auto it = reserved_.find(k);
+    if (it == reserved_.end()) continue;
+    it->second = std::max(0.0, it->second - gbps);
+    if (it->second <= 1e-12) reserved_.erase(it);
+  }
+}
+
+double BandwidthLedger::peak_load() const {
+  double peak = 0;
+  for (const auto& [k, used] : reserved_) {
+    const double capacity = capacity_of_key(k);
+    if (capacity > 0) peak = std::max(peak, used / capacity);
+  }
+  return peak;
+}
+
+}  // namespace alvc::orchestrator

@@ -1,0 +1,59 @@
+// Per-link bandwidth bookkeeping.
+//
+// Chains carry a bandwidth demand ("network resource requirements (node and
+// links)", §IV-A). The ledger tracks, per switch-graph link, how much of
+// its capacity is reserved, so provisioning can reserve along the routed
+// walk and teardown can return it. Slices are OPS-disjoint, but ToR-OPS
+// links of shared ToRs and future multi-chain extensions make the explicit
+// ledger worthwhile — and it exposes per-link headroom for diagnostics.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "topology/topology.h"
+#include "util/error.h"
+
+namespace alvc::orchestrator {
+
+class BandwidthLedger {
+ public:
+  /// Capacities derive from the topology: a link carries
+  /// min(port bandwidth of its endpoints) Gbps.
+  explicit BandwidthLedger(const alvc::topology::DataCenterTopology& topo) : topo_(&topo) {}
+
+  /// Total capacity of the link between adjacent switch vertices.
+  [[nodiscard]] double capacity_gbps(std::size_t u, std::size_t v) const;
+  /// Unreserved capacity of the link.
+  [[nodiscard]] double free_gbps(std::size_t u, std::size_t v) const;
+  /// Currently reserved bandwidth on the link.
+  [[nodiscard]] double reserved_gbps(std::size_t u, std::size_t v) const;
+
+  /// Atomically reserves `gbps` on every distinct link of `walk` (a vertex
+  /// sequence; repeated links count once). kCapacityExceeded if any link
+  /// lacks headroom; nothing is reserved in that case.
+  [[nodiscard]] alvc::util::Status reserve_walk(std::span<const std::size_t> walk, double gbps);
+
+  /// Releases a prior reservation (same walk, same gbps). Over-release is
+  /// clamped at zero.
+  void release_walk(std::span<const std::size_t> walk, double gbps);
+
+  /// Links with reservations, for diagnostics.
+  [[nodiscard]] std::size_t reserved_link_count() const noexcept { return reserved_.size(); }
+  /// Highest reserved/capacity ratio across links (0 when nothing reserved).
+  [[nodiscard]] double peak_load() const;
+
+ private:
+  using LinkKey = std::uint64_t;
+  [[nodiscard]] static LinkKey key(std::size_t u, std::size_t v) noexcept;
+  [[nodiscard]] static std::vector<LinkKey> distinct_links(std::span<const std::size_t> walk);
+  [[nodiscard]] double capacity_of_key(LinkKey k) const;
+  [[nodiscard]] double vertex_port(std::size_t v) const;
+
+  const alvc::topology::DataCenterTopology* topo_;
+  std::unordered_map<LinkKey, double> reserved_;
+};
+
+}  // namespace alvc::orchestrator

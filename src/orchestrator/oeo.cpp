@@ -1,0 +1,33 @@
+#include "orchestrator/oeo.h"
+
+namespace alvc::orchestrator {
+
+using alvc::nfv::HostRef;
+using alvc::nfv::is_optical_host;
+using alvc::util::ServerId;
+
+OeoCount count_conversions(std::span<const HostRef> hosts) {
+  OeoCount count;
+  bool in_electronic_run = false;
+  ServerId run_server = ServerId::invalid();
+  for (const HostRef& host : hosts) {
+    if (is_optical_host(host)) {
+      in_electronic_run = false;
+      run_server = ServerId::invalid();
+      continue;
+    }
+    const ServerId server = std::get<ServerId>(host);
+    if (!in_electronic_run || server != run_server) {
+      ++count.mid_chain;  // new excursion into the electronic domain
+      in_electronic_run = true;
+      run_server = server;
+    }
+  }
+  return count;
+}
+
+double conversion_energy(const OeoCount& count, double bytes, const OeoCostModel& model) {
+  return static_cast<double>(count.total()) * bytes * model.conversion_joules_per_byte;
+}
+
+}  // namespace alvc::orchestrator

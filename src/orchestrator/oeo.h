@@ -1,0 +1,54 @@
+// O/E/O conversion accounting (paper §IV-D, Fig. 8).
+//
+// Traffic in the core is optical; every visit to an electronic-domain VNF
+// forces the flow out of the optical domain and back — one O/E/O conversion
+// whose energy cost is proportional to the flow's length (bytes). Moving a
+// VNF onto an optoelectronic router removes that excursion.
+//
+// Conventions (documented in DESIGN.md):
+//   * conversions are counted per maximal run of consecutive electronic-
+//     hosted VNFs on the same server; consecutive electronic VNFs on
+//     DIFFERENT servers re-enter the optical core between them and count
+//     separately (inter-rack traffic traverses the core);
+//   * the fixed ingress (E->O) and egress (O->E) conversions at the chain
+//     endpoints exist for every placement and are reported separately.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "nfv/lifecycle.h"
+
+namespace alvc::orchestrator {
+
+/// Energy model parameters. Defaults give readable joule figures; only
+/// ratios matter for the paper's comparisons.
+struct OeoCostModel {
+  /// Energy of one O/E/O conversion per byte converted.
+  double conversion_joules_per_byte = 1.0e-9;
+  /// Transport energy per byte-hop in each domain (optical is cheaper —
+  /// the reason the paper builds the core from OPSs).
+  double optical_joules_per_byte_hop = 0.05e-9;
+  double electronic_joules_per_byte_hop = 0.2e-9;
+};
+
+/// Conversion breakdown of one chain placement.
+struct OeoCount {
+  /// Mid-chain O/E/O conversions caused by electronic-hosted VNFs.
+  std::size_t mid_chain = 0;
+  /// Fixed endpoint conversions (ingress E->O + egress O->E), always 2
+  /// for a chain anchored at ToRs.
+  std::size_t endpoint = 2;
+
+  [[nodiscard]] std::size_t total() const noexcept { return mid_chain + endpoint; }
+};
+
+/// Counts mid-chain conversions from the host sequence alone.
+[[nodiscard]] OeoCount count_conversions(std::span<const alvc::nfv::HostRef> hosts);
+
+/// Energy spent on conversions for a flow of `bytes` under `model`.
+[[nodiscard]] double conversion_energy(const OeoCount& count, double bytes,
+                                       const OeoCostModel& model);
+
+}  // namespace alvc::orchestrator

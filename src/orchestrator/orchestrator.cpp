@@ -1,0 +1,504 @@
+#include "orchestrator/orchestrator.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+namespace alvc::orchestrator {
+
+using alvc::cluster::VirtualCluster;
+using alvc::nfv::HostRef;
+using alvc::util::ClusterId;
+using alvc::util::Error;
+using alvc::util::ErrorCode;
+using alvc::util::Expected;
+using alvc::util::ServiceId;
+using alvc::util::Status;
+
+NetworkOrchestrator::NetworkOrchestrator(alvc::cluster::ClusterManager& clusters,
+                                         const alvc::nfv::VnfCatalog& catalog)
+    : clusters_(&clusters),
+      catalog_(&catalog),
+      cloud_(catalog, clusters.topology()),
+      controller_(clusters.topology()),
+      admission_(clusters.topology(), catalog),
+      bandwidth_(clusters.topology()),
+      router_(clusters.topology()) {}
+
+const VirtualCluster* NetworkOrchestrator::cluster_for_service(ServiceId service) const {
+  for (const VirtualCluster* vc : clusters_->clusters()) {
+    if (vc->service == service) return vc;
+  }
+  return nullptr;
+}
+
+Expected<NfcId> NetworkOrchestrator::provision_chain(const alvc::nfv::NfcSpec& spec,
+                                                     const PlacementStrategy& placement) {
+  const VirtualCluster* vc = cluster_for_service(spec.service);
+  if (vc == nullptr) {
+    ++stats_.provision_failures;
+    return Error{ErrorCode::kNotFound,
+                 "no cluster serves service " + std::to_string(spec.service.value())};
+  }
+  if (vc->layer.tors.empty()) {
+    ++stats_.provision_failures;
+    return Error{ErrorCode::kInfeasible, "cluster has an empty abstraction layer"};
+  }
+  if (auto status = admission_.admit(spec, *vc, cloud_.pool()); !status.is_ok()) {
+    ++stats_.provision_failures;
+    return status.error();
+  }
+  const NfcId id{next_id_++};
+  auto slice = slices_.allocate(vc->id, id, spec.bandwidth_gbps);
+  if (!slice) {
+    ++stats_.provision_failures;
+    return slice.error();
+  }
+
+  PlacementContext context{.topo = &clusters_->topology(),
+                           .cluster = vc,
+                           .catalog = catalog_,
+                           .pool = &cloud_.pool()};
+  auto placed = placement.place(spec, context);
+  if (!placed) {
+    (void)slices_.release(id);
+    ++stats_.provision_failures;
+    return placed.error();
+  }
+  // place() reserved capacity directly in the pool; release those raw
+  // reservations and re-reserve through the cloud manager so lifecycle and
+  // capacity stay coupled.
+  for (std::size_t i = 0; i < placed->hosts.size(); ++i) {
+    cloud_.pool().release(placed->hosts[i],
+                          catalog_->descriptor(spec.functions[i]).demand);
+  }
+  std::vector<alvc::nfv::VnfInstanceId> instances;
+  bool deploy_failed = false;
+  for (std::size_t i = 0; i < placed->hosts.size(); ++i) {
+    auto inst = cloud_.deploy(spec.functions[i], placed->hosts[i]);
+    if (!inst) {
+      deploy_failed = true;
+      break;
+    }
+    instances.push_back(*inst);
+  }
+  if (deploy_failed) {
+    for (auto inst : instances) (void)cloud_.terminate(inst);
+    (void)slices_.release(id);
+    ++stats_.provision_failures;
+    return Error{ErrorCode::kInternal, "deployment failed after successful placement"};
+  }
+
+  // Route ingress ToR -> hosts -> egress ToR inside the slice. Default
+  // anchors: the cluster's first and last ToRs.
+  const alvc::util::TorId ingress = vc->layer.tors.front();
+  const alvc::util::TorId egress = vc->layer.tors.back();
+  auto route = load_balanced_routing_
+                   ? router_.route_balanced(*vc, ingress, egress, placed->hosts, bandwidth_,
+                                            routing_k_)
+                   : router_.route(*vc, ingress, egress, placed->hosts);
+  if (!route) {
+    for (auto inst : instances) (void)cloud_.terminate(inst);
+    (void)slices_.release(id);
+    ++stats_.provision_failures;
+    return route.error();
+  }
+  std::size_t rules = 0;
+  for (const auto& leg : route->legs) {
+    if (auto status = controller_.install_path(id, leg); !status.is_ok()) {
+      controller_.remove_chain(id);
+      for (auto inst : instances) (void)cloud_.terminate(inst);
+      (void)slices_.release(id);
+      ++stats_.provision_failures;
+      return status.error();
+    }
+  }
+  if (auto status = bandwidth_.reserve_walk(route->vertices, spec.bandwidth_gbps);
+      !status.is_ok()) {
+    controller_.remove_chain(id);
+    for (auto inst : instances) (void)cloud_.terminate(inst);
+    (void)slices_.release(id);
+    ++stats_.provision_failures;
+    return status.error();
+  }
+  rules = controller_.chain_rule_count(id);
+
+  ProvisionedChain chain{.record = alvc::nfv::NfcRecord{.id = id, .spec = spec},
+                         .cluster = vc->id,
+                         .slice = *slice,
+                         .instances = std::move(instances),
+                         .placement = std::move(*placed),
+                         .route = std::move(*route),
+                         .flow_rules = rules};
+  chains_.emplace(id, std::move(chain));
+  log_.append(sdn::ControlEventType::kSliceAllocated, slice->value());
+  log_.append(sdn::ControlEventType::kChainProvisioned, id.value(), spec.name);
+  ++stats_.chains_provisioned;
+  return id;
+}
+
+Expected<NfcId> NetworkOrchestrator::provision_forwarding_graph(
+    const alvc::nfv::GraphNfcSpec& gspec, const PlacementStrategy& placement) {
+  if (auto status = gspec.graph.validate(); !status.is_ok()) {
+    ++stats_.provision_failures;
+    return status.error();
+  }
+  const alvc::nfv::NfcSpec spec = gspec.to_linear_spec();
+  const VirtualCluster* vc = cluster_for_service(spec.service);
+  if (vc == nullptr) {
+    ++stats_.provision_failures;
+    return Error{ErrorCode::kNotFound,
+                 "no cluster serves service " + std::to_string(spec.service.value())};
+  }
+  if (vc->layer.tors.empty()) {
+    ++stats_.provision_failures;
+    return Error{ErrorCode::kInfeasible, "cluster has an empty abstraction layer"};
+  }
+  if (auto status = admission_.admit(spec, *vc, cloud_.pool()); !status.is_ok()) {
+    ++stats_.provision_failures;
+    return status.error();
+  }
+  const NfcId id{next_id_++};
+  auto slice = slices_.allocate(vc->id, id, spec.bandwidth_gbps);
+  if (!slice) {
+    ++stats_.provision_failures;
+    return slice.error();
+  }
+
+  PlacementContext context{.topo = &clusters_->topology(),
+                           .cluster = vc,
+                           .catalog = catalog_,
+                           .pool = &cloud_.pool()};
+  auto placed = placement.place(spec, context);
+  if (!placed) {
+    (void)slices_.release(id);
+    ++stats_.provision_failures;
+    return placed.error();
+  }
+  for (std::size_t i = 0; i < placed->hosts.size(); ++i) {
+    cloud_.pool().release(placed->hosts[i], catalog_->descriptor(spec.functions[i]).demand);
+  }
+  std::vector<alvc::nfv::VnfInstanceId> instances;
+  bool deploy_failed = false;
+  for (std::size_t i = 0; i < placed->hosts.size(); ++i) {
+    auto inst = cloud_.deploy(spec.functions[i], placed->hosts[i]);
+    if (!inst) {
+      deploy_failed = true;
+      break;
+    }
+    instances.push_back(*inst);
+  }
+  if (deploy_failed) {
+    for (auto inst : instances) (void)cloud_.terminate(inst);
+    (void)slices_.release(id);
+    ++stats_.provision_failures;
+    return Error{ErrorCode::kInternal, "deployment failed after successful placement"};
+  }
+
+  // Map topological placement order back to node indices for routing.
+  const auto order = gspec.graph.topological_order();
+  std::vector<HostRef> node_hosts(order.size(), HostRef{alvc::util::ServerId{0}});
+  for (std::size_t i = 0; i < order.size(); ++i) node_hosts[order[i]] = placed->hosts[i];
+
+  const alvc::util::TorId ingress = vc->layer.tors.front();
+  const alvc::util::TorId egress = vc->layer.tors.back();
+  auto route = router_.route_graph(*vc, ingress, egress, gspec.graph, node_hosts);
+  if (!route) {
+    for (auto inst : instances) (void)cloud_.terminate(inst);
+    (void)slices_.release(id);
+    ++stats_.provision_failures;
+    return route.error();
+  }
+  for (const auto& leg : route->legs) {
+    if (auto status = controller_.install_path(id, leg); !status.is_ok()) {
+      controller_.remove_chain(id);
+      for (auto inst : instances) (void)cloud_.terminate(inst);
+      (void)slices_.release(id);
+      ++stats_.provision_failures;
+      return status.error();
+    }
+  }
+  if (auto status = bandwidth_.reserve_walk(route->vertices, spec.bandwidth_gbps);
+      !status.is_ok()) {
+    controller_.remove_chain(id);
+    for (auto inst : instances) (void)cloud_.terminate(inst);
+    (void)slices_.release(id);
+    ++stats_.provision_failures;
+    return status.error();
+  }
+  // The DAG's conversion count is authoritative for this chain.
+  placed->conversions = route->conversions;
+
+  ProvisionedChain chain{.record = alvc::nfv::NfcRecord{.id = id, .spec = spec},
+                         .cluster = vc->id,
+                         .slice = *slice,
+                         .instances = std::move(instances),
+                         .placement = std::move(*placed),
+                         .route = std::move(*route),
+                         .flow_rules = controller_.chain_rule_count(id),
+                         .graph = gspec.graph,
+                         .forwarding_order = order};
+  chains_.emplace(id, std::move(chain));
+  log_.append(sdn::ControlEventType::kSliceAllocated, slice->value());
+  log_.append(sdn::ControlEventType::kChainProvisioned, id.value(), spec.name);
+  ++stats_.chains_provisioned;
+  return id;
+}
+
+Status NetworkOrchestrator::teardown_chain(NfcId id) {
+  const auto it = chains_.find(id);
+  if (it == chains_.end()) {
+    return Error{ErrorCode::kNotFound, "no chain " + std::to_string(id.value())};
+  }
+  controller_.remove_chain(id);
+  for (auto inst : it->second.instances) (void)cloud_.terminate(inst);
+  bandwidth_.release_walk(it->second.route.vertices, it->second.record.spec.bandwidth_gbps);
+  (void)slices_.release(id);
+  chains_.erase(it);
+  log_.append(sdn::ControlEventType::kSliceReleased, id.value());
+  log_.append(sdn::ControlEventType::kChainTornDown, id.value());
+  ++stats_.chains_torn_down;
+  return Status::ok();
+}
+
+Status NetworkOrchestrator::scale_function(NfcId id, std::size_t function_index, double factor) {
+  const auto it = chains_.find(id);
+  if (it == chains_.end()) {
+    return Error{ErrorCode::kNotFound, "no chain " + std::to_string(id.value())};
+  }
+  if (function_index >= it->second.instances.size()) {
+    return Error{ErrorCode::kInvalidArgument, "function index out of range"};
+  }
+  return cloud_.scale(it->second.instances[function_index], factor);
+}
+
+Status NetworkOrchestrator::migrate_function(NfcId id, std::size_t function_index,
+                                             const HostRef& target) {
+  const auto it = chains_.find(id);
+  if (it == chains_.end()) {
+    return Error{ErrorCode::kNotFound, "no chain " + std::to_string(id.value())};
+  }
+  ProvisionedChain& chain = it->second;
+  if (function_index >= chain.placement.hosts.size()) {
+    return Error{ErrorCode::kInvalidArgument, "function index out of range"};
+  }
+  const alvc::cluster::VirtualCluster* vc = clusters_->find(chain.cluster);
+  if (vc == nullptr) return Error{ErrorCode::kInternal, "chain references a dead cluster"};
+
+  // Target must be inside the slice.
+  bool in_slice = false;
+  if (const auto* ops = std::get_if<alvc::util::OpsId>(&target)) {
+    const auto& topo = clusters_->topology();
+    in_slice = vc->layer.contains_ops(*ops) && topo.ops(*ops).optoelectronic &&
+               topo.ops_usable(*ops);
+  } else {
+    const auto server = std::get<alvc::util::ServerId>(target);
+    in_slice = vc->layer.contains_tor(clusters_->topology().server(server).tor);
+  }
+  if (!in_slice) {
+    return Error{ErrorCode::kInvalidArgument, "migration target is outside the chain's slice"};
+  }
+  const auto& desc = catalog_->descriptor(chain.record.spec.functions[function_index]);
+  if (desc.electronic_only && alvc::nfv::is_optical_host(target)) {
+    return Error{ErrorCode::kInvalidArgument, "VNF is pinned to the electronic domain"};
+  }
+  if (chain.placement.hosts[function_index] == target) return Status::ok();
+  if (!cloud_.pool().fits(target, desc.demand)) {
+    return Error{ErrorCode::kCapacityExceeded, "target host cannot take the VNF"};
+  }
+
+  // Tentatively compute the new route before committing anything.
+  auto hosts = chain.placement.hosts;
+  hosts[function_index] = target;
+  auto route = router_.route(*vc, vc->layer.tors.front(), vc->layer.tors.back(), hosts);
+  if (!route) return route.error();
+  // Move the bandwidth reservation (conservative: new walk reserved while
+  // the old one is still held, so shared links must fit both briefly).
+  const double gbps = chain.record.spec.bandwidth_gbps;
+  if (auto status = bandwidth_.reserve_walk(route->vertices, gbps); !status.is_ok()) {
+    return status.error();
+  }
+  bandwidth_.release_walk(chain.route.vertices, gbps);
+
+  // Commit: move the instance, swap route and rules.
+  (void)cloud_.terminate(chain.instances[function_index]);
+  auto fresh = cloud_.deploy(chain.record.spec.functions[function_index], target);
+  if (!fresh) return fresh.error();  // capacity raced away; old instance already gone
+  chain.instances[function_index] = *fresh;
+  chain.placement.hosts[function_index] = target;
+  finalize_placement(chain.placement);
+  controller_.remove_chain(id);
+  for (const auto& leg : route->legs) {
+    if (auto status = controller_.install_path(id, leg); !status.is_ok()) return status;
+  }
+  chain.route = std::move(*route);
+  chain.flow_rules = controller_.chain_rule_count(id);
+  log_.append(sdn::ControlEventType::kVnfRelocated, id.value(),
+              "operator migration of function " + std::to_string(function_index));
+  ++stats_.vnfs_relocated;
+  return Status::ok();
+}
+
+std::vector<NfcId> NetworkOrchestrator::chains_using_ops(alvc::util::OpsId ops) const {
+  const auto& topo = clusters_->topology();
+  const std::size_t vertex = topo.ops_vertex(ops);
+  std::vector<NfcId> affected;
+  for (const auto& [id, chain] : chains_) {
+    bool hit = std::find(chain.route.vertices.begin(), chain.route.vertices.end(), vertex) !=
+               chain.route.vertices.end();
+    if (!hit) {
+      for (const HostRef& host : chain.placement.hosts) {
+        if (const auto* o = std::get_if<alvc::util::OpsId>(&host); o != nullptr && *o == ops) {
+          hit = true;
+          break;
+        }
+      }
+    }
+    if (hit) affected.push_back(id);
+  }
+  std::sort(affected.begin(), affected.end());
+  return affected;
+}
+
+Expected<std::size_t> NetworkOrchestrator::handle_ops_failure(alvc::util::OpsId ops) {
+  const auto& topo = clusters_->topology();
+  if (ops.index() >= topo.ops_count()) {
+    return Error{ErrorCode::kInvalidArgument, "bad OPS id"};
+  }
+  const auto affected = chains_using_ops(ops);
+  // Repair the AL first (marks the OPS failed in the topology as a side
+  // effect, so every later decision sees the failure).
+  log_.append(sdn::ControlEventType::kOpsFailed, ops.value());
+  const auto repair = clusters_->handle_ops_failure(ops);
+  const bool al_repaired = repair.has_value();
+  if (al_repaired) log_.append(sdn::ControlEventType::kAlRepaired, ops.value());
+
+  std::size_t repaired = 0;
+  for (NfcId id : affected) {
+    auto it = chains_.find(id);
+    if (it == chains_.end()) continue;
+    ProvisionedChain& chain = it->second;
+    const alvc::cluster::VirtualCluster* vc = clusters_->find(chain.cluster);
+    bool ok = al_repaired && vc != nullptr && !vc->layer.tors.empty();
+
+    // Relocate every instance stranded on the failed router.
+    if (ok) {
+      PlacementContext context{.topo = &topo,
+                               .cluster = vc,
+                               .catalog = catalog_,
+                               .pool = &cloud_.pool()};
+      const auto optical = context.slice_optical_hosts();
+      const auto electronic = context.slice_electronic_hosts();
+      for (std::size_t i = 0; i < chain.placement.hosts.size() && ok; ++i) {
+        const auto* host_ops = std::get_if<alvc::util::OpsId>(&chain.placement.hosts[i]);
+        if (host_ops == nullptr || *host_ops != ops) continue;
+        const auto& desc = catalog_->descriptor(chain.record.spec.functions[i]);
+        // Prefer staying optical, fall back to a server.
+        std::optional<HostRef> target;
+        for (alvc::util::OpsId candidate : optical) {
+          if (cloud_.pool().fits(HostRef{candidate}, desc.demand)) {
+            target = HostRef{candidate};
+            break;
+          }
+        }
+        if (!target) {
+          for (alvc::util::ServerId candidate : electronic) {
+            if (cloud_.pool().fits(HostRef{candidate}, desc.demand)) {
+              target = HostRef{candidate};
+              break;
+            }
+          }
+        }
+        if (!target) {
+          ok = false;
+          break;
+        }
+        (void)cloud_.terminate(chain.instances[i]);
+        auto fresh = cloud_.deploy(chain.record.spec.functions[i], *target);
+        if (!fresh) {
+          ok = false;
+          break;
+        }
+        chain.instances[i] = *fresh;
+        chain.placement.hosts[i] = *target;
+        log_.append(sdn::ControlEventType::kVnfRelocated, id.value(),
+                    "failure relocation of function " + std::to_string(i));
+        ++stats_.vnfs_relocated;
+      }
+    }
+    // Re-route and re-program.
+    if (ok) {
+      finalize_placement(chain.placement);
+      auto route = router_.route(*vc, vc->layer.tors.front(), vc->layer.tors.back(),
+                                 chain.placement.hosts);
+      ok = route.has_value();
+      if (ok) {
+        controller_.remove_chain(id);
+        for (const auto& leg : route->legs) {
+          if (!controller_.install_path(id, leg).is_ok()) {
+            ok = false;
+            break;
+          }
+        }
+        if (ok) {
+          const double gbps = chain.record.spec.bandwidth_gbps;
+          bandwidth_.release_walk(chain.route.vertices, gbps);
+          if (!bandwidth_.reserve_walk(route->vertices, gbps).is_ok()) {
+            ok = false;  // headroom vanished; chain will be torn down
+          } else {
+            chain.route = std::move(*route);
+            chain.flow_rules = controller_.chain_rule_count(id);
+          }
+        }
+      }
+    }
+    if (ok) {
+      ++repaired;
+      log_.append(sdn::ControlEventType::kChainRepaired, id.value());
+      ++stats_.chains_repaired;
+    } else {
+      (void)teardown_chain(id);
+      log_.append(sdn::ControlEventType::kChainLost, id.value());
+      ++stats_.chains_lost;
+    }
+  }
+  return repaired;
+}
+
+const ProvisionedChain* NetworkOrchestrator::chain(NfcId id) const {
+  const auto it = chains_.find(id);
+  return it == chains_.end() ? nullptr : &it->second;
+}
+
+std::vector<const ProvisionedChain*> NetworkOrchestrator::chains() const {
+  std::vector<const ProvisionedChain*> out;
+  out.reserve(chains_.size());
+  for (const auto& [id, chain] : chains_) out.push_back(&chain);
+  std::sort(out.begin(), out.end(), [](const ProvisionedChain* a, const ProvisionedChain* b) {
+    return a->record.id < b->record.id;
+  });
+  return out;
+}
+
+std::vector<std::string> NetworkOrchestrator::check_isolation() const {
+  std::vector<std::string> violations;
+  const auto& topo = clusters_->topology();
+  for (const auto& [id, chain] : chains_) {
+    const VirtualCluster* vc = clusters_->find(chain.cluster);
+    if (vc == nullptr) {
+      violations.push_back("chain " + std::to_string(id.value()) + " references a dead cluster");
+      continue;
+    }
+    std::unordered_set<std::size_t> slice_vertices;
+    for (auto t : vc->layer.tors) slice_vertices.insert(topo.tor_vertex(t));
+    for (auto o : vc->layer.opss) slice_vertices.insert(topo.ops_vertex(o));
+    for (std::size_t v : chain.route.vertices) {
+      if (!slice_vertices.contains(v)) {
+        violations.push_back("chain " + std::to_string(id.value()) + " rides switch vertex " +
+                             std::to_string(v) + " outside its slice");
+      }
+    }
+  }
+  return violations;
+}
+
+}  // namespace alvc::orchestrator

@@ -1,0 +1,159 @@
+// The network orchestrator (paper §IV-B, Figs. 6-7).
+//
+// "On top of this architecture, we proposed a network orchestrator for
+// multiple-tenant SDN-enabled networks. It is responsible for managing
+// (provisioning, creation, modification, upgradation, and deletion) of
+// multiple NFCs. It will logically divide the optical network into virtual
+// slices and allocate each slice to a single NFC."
+//
+// NetworkOrchestrator composes every substrate:
+//   ClusterManager  — VCs + ALs, OPS exclusivity            (§III)
+//   SliceManager    — AL <-> NFC bijection                  (§IV-C)
+//   AdmissionController — can this slice serve this chain?
+//   PlacementStrategy   — hosts for each VNF                (§IV-D)
+//   CloudNfvManager — lifecycle + capacity                  (§IV-B)
+//   ChainRouter     — slice-internal forwarding path
+//   SdnController   — flow-rule installation                (§IV-B)
+#pragma once
+
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "cluster/cluster_manager.h"
+#include "nfv/catalog.h"
+#include "nfv/nfc.h"
+#include "orchestrator/admission.h"
+#include "orchestrator/bandwidth.h"
+#include "orchestrator/oeo.h"
+#include "orchestrator/placement.h"
+#include "orchestrator/routing.h"
+#include "orchestrator/slice.h"
+#include "sdn/cloud_manager.h"
+#include "sdn/controller.h"
+#include "sdn/events.h"
+
+namespace alvc::orchestrator {
+
+using alvc::util::NfcId;
+
+/// Everything the orchestrator knows about a live chain.
+struct ProvisionedChain {
+  alvc::nfv::NfcRecord record;
+  alvc::util::ClusterId cluster;
+  SliceId slice;
+  std::vector<alvc::nfv::VnfInstanceId> instances;
+  PlacementResult placement;
+  ChainRoute route;
+  std::size_t flow_rules = 0;  // rules the SDN controller installed
+  /// Set for complex chains (paper's "network forwarding graph"); the
+  /// record's linear spec then lists functions in topological order and
+  /// placement.hosts[i] hosts graph node forwarding_order[i].
+  std::optional<alvc::nfv::ForwardingGraph> graph;
+  std::vector<std::size_t> forwarding_order;  // topo order used for placement
+};
+
+struct OrchestratorStats {
+  std::size_t chains_provisioned = 0;
+  std::size_t chains_torn_down = 0;
+  std::size_t provision_failures = 0;
+  std::size_t chains_repaired = 0;   // survived an OPS failure
+  std::size_t chains_lost = 0;       // torn down because repair was impossible
+  std::size_t vnfs_relocated = 0;    // instances moved off failed hardware
+};
+
+class NetworkOrchestrator {
+ public:
+  /// The orchestrator borrows the cluster manager (clusters are built by
+  /// the operator beforehand, §III) and owns the NFV/SDN control plane.
+  NetworkOrchestrator(alvc::cluster::ClusterManager& clusters,
+                      const alvc::nfv::VnfCatalog& catalog);
+
+  /// Provisions a chain end to end onto the cluster serving spec.service:
+  /// admission -> slice allocation -> placement -> VNF deployment ->
+  /// routing -> rule installation. All-or-nothing: any failure rolls back.
+  [[nodiscard]] alvc::util::Expected<NfcId> provision_chain(const alvc::nfv::NfcSpec& spec,
+                                                            const PlacementStrategy& placement);
+
+  /// Switches linear-chain routing between plain shortest paths (default)
+  /// and the load-balanced k-shortest variant that avoids links other
+  /// chains already reserved.
+  void set_load_balanced_routing(bool enabled, std::size_t k = 4) noexcept {
+    load_balanced_routing_ = enabled;
+    routing_k_ = k;
+  }
+
+  /// Provisions a chain with a complex processing order (paper §IV-A's
+  /// "network forwarding graph"): nodes are placed like a linear chain in
+  /// topological order, then routed per DAG edge (entry from the ingress
+  /// ToR, every exit to the egress ToR). Same all-or-nothing semantics as
+  /// provision_chain.
+  [[nodiscard]] alvc::util::Expected<NfcId> provision_forwarding_graph(
+      const alvc::nfv::GraphNfcSpec& spec, const PlacementStrategy& placement);
+
+  /// Deletes a chain: rules out, VNFs terminated, slice released.
+  [[nodiscard]] alvc::util::Status teardown_chain(NfcId id);
+
+  /// Scales one function of a live chain ("modification/upgradation").
+  [[nodiscard]] alvc::util::Status scale_function(NfcId id, std::size_t function_index,
+                                                  double factor);
+
+  /// Moves one function of a live chain to a specific host inside its
+  /// slice (operator-driven migration, e.g. draining a router before
+  /// maintenance). Re-routes and re-programs the chain. The target must be
+  /// a slice member with capacity; kInvalidArgument/kCapacityExceeded
+  /// otherwise, with the chain untouched.
+  [[nodiscard]] alvc::util::Status migrate_function(NfcId id, std::size_t function_index,
+                                                    const alvc::nfv::HostRef& target);
+
+  /// Chains whose route crosses `ops` or whose VNFs are hosted on it.
+  [[nodiscard]] std::vector<NfcId> chains_using_ops(alvc::util::OpsId ops) const;
+
+  /// Full OPS-failure workflow: repairs the owning AL (ClusterManager),
+  /// relocates VNF instances stranded on the failed router, re-routes and
+  /// re-programs every affected chain. Unrepairable chains are torn down.
+  /// Returns the number of chains repaired.
+  [[nodiscard]] alvc::util::Expected<std::size_t> handle_ops_failure(alvc::util::OpsId ops);
+
+  [[nodiscard]] const ProvisionedChain* chain(NfcId id) const;
+  [[nodiscard]] std::vector<const ProvisionedChain*> chains() const;
+  [[nodiscard]] std::size_t chain_count() const noexcept { return chains_.size(); }
+
+  [[nodiscard]] const OrchestratorStats& stats() const noexcept { return stats_; }
+  [[nodiscard]] const SliceManager& slices() const noexcept { return slices_; }
+  [[nodiscard]] const sdn::SdnController& controller() const noexcept { return controller_; }
+  [[nodiscard]] const sdn::CloudNfvManager& cloud() const noexcept { return cloud_; }
+  [[nodiscard]] sdn::CloudNfvManager& cloud() noexcept { return cloud_; }
+  [[nodiscard]] const AdmissionController& admission() const noexcept { return admission_; }
+  [[nodiscard]] const BandwidthLedger& bandwidth() const noexcept { return bandwidth_; }
+  /// Audit trail of every orchestration action, in order.
+  [[nodiscard]] const sdn::ControlPlaneLog& control_log() const noexcept { return log_; }
+  [[nodiscard]] const alvc::cluster::ClusterManager& clusters() const noexcept {
+    return *clusters_;
+  }
+
+  /// Cross-chain isolation check: no switch carries rules of two chains
+  /// whose slices differ... every rule of chain c sits on a switch of c's
+  /// slice. Returns violations (empty = isolated).
+  [[nodiscard]] std::vector<std::string> check_isolation() const;
+
+ private:
+  const alvc::cluster::VirtualCluster* cluster_for_service(alvc::util::ServiceId service) const;
+
+  alvc::cluster::ClusterManager* clusters_;
+  const alvc::nfv::VnfCatalog* catalog_;
+  sdn::CloudNfvManager cloud_;
+  sdn::SdnController controller_;
+  SliceManager slices_;
+  AdmissionController admission_;
+  BandwidthLedger bandwidth_;
+  ChainRouter router_;
+  std::unordered_map<NfcId, ProvisionedChain> chains_;
+  sdn::ControlPlaneLog log_;
+  OrchestratorStats stats_;
+  NfcId::value_type next_id_ = 0;
+  bool load_balanced_routing_ = false;
+  std::size_t routing_k_ = 4;
+};
+
+}  // namespace alvc::orchestrator

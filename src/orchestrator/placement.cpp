@@ -1,0 +1,250 @@
+#include "orchestrator/placement.h"
+
+#include <algorithm>
+#include <limits>
+
+namespace alvc::orchestrator {
+
+using alvc::nfv::HostingPool;
+using alvc::nfv::is_optical_host;
+using alvc::topology::Resources;
+using alvc::util::Error;
+using alvc::util::ErrorCode;
+using alvc::util::OpsId;
+using alvc::util::Rng;
+using alvc::util::ServerId;
+
+std::vector<OpsId> PlacementContext::slice_optical_hosts() const {
+  std::vector<OpsId> out;
+  for (OpsId o : cluster->layer.opss) {
+    const auto& ops = topo->ops(o);
+    if (ops.optoelectronic && !ops.failed) out.push_back(o);
+  }
+  return out;
+}
+
+std::vector<ServerId> PlacementContext::slice_electronic_hosts() const {
+  std::vector<ServerId> out;
+  for (alvc::util::TorId t : cluster->layer.tors) {
+    const auto& tor = topo->tor(t);
+    out.insert(out.end(), tor.servers.begin(), tor.servers.end());
+  }
+  return out;
+}
+
+void finalize_placement(PlacementResult& result) {
+  result.conversions = count_conversions(result.hosts);
+  result.optical_count = 0;
+  result.electronic_count = 0;
+  for (const HostRef& host : result.hosts) {
+    if (is_optical_host(host)) {
+      ++result.optical_count;
+    } else {
+      ++result.electronic_count;
+    }
+  }
+}
+
+namespace {
+
+/// Best-fit: the feasible host with the least free CPU after placement
+/// (keeps big holes for big VNFs).
+template <typename Id>
+std::optional<Id> best_fit(const HostingPool& pool, const std::vector<Id>& candidates,
+                           const Resources& demand) {
+  std::optional<Id> best;
+  double best_slack = std::numeric_limits<double>::infinity();
+  for (Id id : candidates) {
+    const HostRef ref{id};
+    if (!pool.fits(ref, demand)) continue;
+    const double slack = pool.free_capacity(ref).cpu_cores - demand.cpu_cores;
+    if (slack < best_slack) {
+      best_slack = slack;
+      best = id;
+    }
+  }
+  return best;
+}
+
+/// Rolls back every reservation in `hosts` (parallel to `demands`).
+void rollback(HostingPool& pool, const std::vector<HostRef>& hosts,
+              const std::vector<Resources>& demands) {
+  for (std::size_t i = 0; i < hosts.size(); ++i) pool.release(hosts[i], demands[i]);
+}
+
+/// Places one chain following a fixed domain pattern (optical[i] says
+/// whether function i should go optical). Returns nullopt when some
+/// function cannot be placed in its prescribed domain.
+std::optional<std::vector<HostRef>> place_with_pattern(
+    const alvc::nfv::NfcSpec& spec, PlacementContext& context,
+    const std::vector<char>& optical_flags) {
+  const auto optical = context.slice_optical_hosts();
+  const auto electronic = context.slice_electronic_hosts();
+  std::vector<HostRef> hosts;
+  std::vector<Resources> demands;
+  for (std::size_t i = 0; i < spec.functions.size(); ++i) {
+    const auto& desc = context.catalog->descriptor(spec.functions[i]);
+    std::optional<HostRef> chosen;
+    if (optical_flags[i]) {
+      if (!desc.electronic_only) {
+        if (const auto pick = best_fit(*context.pool, optical, desc.demand)) {
+          chosen = HostRef{*pick};
+        }
+      }
+    } else {
+      if (const auto pick = best_fit(*context.pool, electronic, desc.demand)) {
+        chosen = HostRef{*pick};
+      }
+    }
+    if (!chosen) {
+      rollback(*context.pool, hosts, demands);
+      return std::nullopt;
+    }
+    if (!context.pool->reserve(*chosen, desc.demand).is_ok()) {
+      rollback(*context.pool, hosts, demands);
+      return std::nullopt;
+    }
+    hosts.push_back(*chosen);
+    demands.push_back(desc.demand);
+  }
+  return hosts;
+}
+
+Error placement_failure(const alvc::nfv::NfcSpec& spec) {
+  return Error{ErrorCode::kInfeasible, "cannot place chain '" + spec.name + "' in its slice"};
+}
+
+}  // namespace
+
+Expected<PlacementResult> ElectronicOnlyPlacement::place(const alvc::nfv::NfcSpec& spec,
+                                                         PlacementContext& context) const {
+  if (spec.functions.empty()) return Error{ErrorCode::kInvalidArgument, "empty chain"};
+  const std::vector<char> pattern(spec.functions.size(), 0);
+  auto hosts = place_with_pattern(spec, context, pattern);
+  if (!hosts) return placement_failure(spec);
+  PlacementResult result{.hosts = std::move(*hosts)};
+  finalize_placement(result);
+  return result;
+}
+
+Expected<PlacementResult> RandomPlacement::place(const alvc::nfv::NfcSpec& spec,
+                                                 PlacementContext& context) const {
+  if (spec.functions.empty()) return Error{ErrorCode::kInvalidArgument, "empty chain"};
+  Rng rng(seed_ ^ (0x2545f4914f6cdd1dULL * (spec.tenant.value() + 1)));
+  const auto optical = context.slice_optical_hosts();
+  const auto electronic = context.slice_electronic_hosts();
+  std::vector<HostRef> hosts;
+  std::vector<Resources> demands;
+  for (alvc::util::VnfId fn : spec.functions) {
+    const auto& desc = context.catalog->descriptor(fn);
+    // Collect every feasible host, then draw uniformly.
+    std::vector<HostRef> feasible;
+    if (!desc.electronic_only) {
+      for (OpsId o : optical) {
+        if (context.pool->fits(HostRef{o}, desc.demand)) feasible.emplace_back(o);
+      }
+    }
+    for (ServerId s : electronic) {
+      if (context.pool->fits(HostRef{s}, desc.demand)) feasible.emplace_back(s);
+    }
+    if (feasible.empty()) {
+      rollback(*context.pool, hosts, demands);
+      return placement_failure(spec);
+    }
+    const HostRef chosen = feasible[rng.uniform_index(feasible.size())];
+    if (!context.pool->reserve(chosen, desc.demand).is_ok()) {
+      rollback(*context.pool, hosts, demands);
+      return placement_failure(spec);
+    }
+    hosts.push_back(chosen);
+    demands.push_back(desc.demand);
+  }
+  PlacementResult result{.hosts = std::move(hosts)};
+  finalize_placement(result);
+  return result;
+}
+
+Expected<PlacementResult> GreedyOpticalPlacement::place(const alvc::nfv::NfcSpec& spec,
+                                                        PlacementContext& context) const {
+  if (spec.functions.empty()) return Error{ErrorCode::kInvalidArgument, "empty chain"};
+  const auto optical = context.slice_optical_hosts();
+  const auto electronic = context.slice_electronic_hosts();
+  std::vector<HostRef> hosts;
+  std::vector<Resources> demands;
+  for (alvc::util::VnfId fn : spec.functions) {
+    const auto& desc = context.catalog->descriptor(fn);
+    std::optional<HostRef> chosen;
+    if (!desc.electronic_only) {
+      if (const auto pick = best_fit(*context.pool, optical, desc.demand)) {
+        chosen = HostRef{*pick};
+      }
+    }
+    if (!chosen) {
+      if (const auto pick = best_fit(*context.pool, electronic, desc.demand)) {
+        chosen = HostRef{*pick};
+      }
+    }
+    if (!chosen || !context.pool->reserve(*chosen, desc.demand).is_ok()) {
+      rollback(*context.pool, hosts, demands);
+      return placement_failure(spec);
+    }
+    hosts.push_back(*chosen);
+    demands.push_back(desc.demand);
+  }
+  PlacementResult result{.hosts = std::move(hosts)};
+  finalize_placement(result);
+  return result;
+}
+
+Expected<PlacementResult> OeoMinimizingPlacement::place(const alvc::nfv::NfcSpec& spec,
+                                                        PlacementContext& context) const {
+  if (spec.functions.empty()) return Error{ErrorCode::kInvalidArgument, "empty chain"};
+  const std::size_t n = spec.functions.size();
+  if (n > exhaustive_limit_) {
+    return GreedyOpticalPlacement{}.place(spec, context);
+  }
+  // Try every optical/electronic pattern on a scratch copy of the pool;
+  // keep the one with the fewest mid-chain conversions (ties: more optical
+  // functions, then first found). Patterns that pin electronic-only VNFs
+  // optical are skipped up front.
+  std::optional<std::vector<char>> best_pattern;
+  OeoCount best_count;
+  std::size_t best_optical = 0;
+  for (std::uint64_t mask = 0; mask < (1ULL << n); ++mask) {
+    std::vector<char> pattern(n, 0);
+    bool legal = true;
+    std::size_t optical_count = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (mask & (1ULL << i)) {
+        if (context.catalog->descriptor(spec.functions[i]).electronic_only) {
+          legal = false;
+          break;
+        }
+        pattern[i] = 1;
+        ++optical_count;
+      }
+    }
+    if (!legal) continue;
+    HostingPool scratch = *context.pool;  // value copy, same topology view
+    PlacementContext scratch_context = context;
+    scratch_context.pool = &scratch;
+    const auto hosts = place_with_pattern(spec, scratch_context, pattern);
+    if (!hosts) continue;
+    const OeoCount count = count_conversions(*hosts);
+    const bool better = !best_pattern || count.mid_chain < best_count.mid_chain ||
+                        (count.mid_chain == best_count.mid_chain && optical_count > best_optical);
+    if (better) {
+      best_pattern = pattern;
+      best_count = count;
+      best_optical = optical_count;
+    }
+  }
+  if (!best_pattern) return placement_failure(spec);
+  auto hosts = place_with_pattern(spec, context, *best_pattern);
+  if (!hosts) return placement_failure(spec);  // pool changed since scan: defensive
+  PlacementResult result{.hosts = std::move(*hosts)};
+  finalize_placement(result);
+  return result;
+}
+
+}  // namespace alvc::orchestrator

@@ -1,0 +1,109 @@
+// VNF placement strategies (paper §IV-D, Fig. 8).
+//
+// Given a chain and its slice (the cluster's AL plus the racks behind its
+// ToRs), choose a host for every VNF. The paper's proposal: move VNFs into
+// the optical domain (optoelectronic routers of the AL) whenever their
+// resource demand fits, because each electronic-hosted VNF costs one O/E/O
+// conversion per flow traversal.
+//
+// Strategies:
+//   * ElectronicOnlyPlacement — the pre-NFV status quo; every VNF on a
+//     server. Baseline for the FIG8 savings claim.
+//   * RandomPlacement — uniformly random feasible host; ablation.
+//   * GreedyOpticalPlacement — chain order, optical-first best fit; the
+//     paper's rule of thumb.
+//   * OeoMinimizingPlacement — exhaustive search over optical/electronic
+//     domain patterns (chains are short) with best-fit host selection,
+//     minimising mid-chain conversions; ground truth for the gap between
+//     greedy and optimal.
+//
+// A successful place() COMMITS reservations to the pool; failures roll
+// back.
+#pragma once
+
+#include <memory>
+#include <string_view>
+#include <vector>
+
+#include "cluster/virtual_cluster.h"
+#include "nfv/catalog.h"
+#include "nfv/hosting.h"
+#include "nfv/nfc.h"
+#include "orchestrator/oeo.h"
+#include "util/error.h"
+#include "util/rng.h"
+
+namespace alvc::orchestrator {
+
+using alvc::nfv::HostRef;
+using alvc::util::Expected;
+
+struct PlacementContext {
+  const alvc::topology::DataCenterTopology* topo = nullptr;
+  const alvc::cluster::VirtualCluster* cluster = nullptr;
+  const alvc::nfv::VnfCatalog* catalog = nullptr;
+  alvc::nfv::HostingPool* pool = nullptr;
+
+  /// Optoelectronic routers inside the slice's AL.
+  [[nodiscard]] std::vector<alvc::util::OpsId> slice_optical_hosts() const;
+  /// Servers behind the slice's ToRs.
+  [[nodiscard]] std::vector<alvc::util::ServerId> slice_electronic_hosts() const;
+};
+
+struct PlacementResult {
+  std::vector<HostRef> hosts;  // one per chain function, in order
+  OeoCount conversions;
+  std::size_t optical_count = 0;
+  std::size_t electronic_count = 0;
+};
+
+class PlacementStrategy {
+ public:
+  virtual ~PlacementStrategy() = default;
+  [[nodiscard]] virtual std::string_view name() const noexcept = 0;
+  [[nodiscard]] virtual Expected<PlacementResult> place(const alvc::nfv::NfcSpec& spec,
+                                                        PlacementContext& context) const = 0;
+};
+
+class ElectronicOnlyPlacement final : public PlacementStrategy {
+ public:
+  [[nodiscard]] std::string_view name() const noexcept override { return "electronic-only"; }
+  [[nodiscard]] Expected<PlacementResult> place(const alvc::nfv::NfcSpec& spec,
+                                                PlacementContext& context) const override;
+};
+
+class RandomPlacement final : public PlacementStrategy {
+ public:
+  explicit RandomPlacement(std::uint64_t seed) : seed_(seed) {}
+  [[nodiscard]] std::string_view name() const noexcept override { return "random"; }
+  [[nodiscard]] Expected<PlacementResult> place(const alvc::nfv::NfcSpec& spec,
+                                                PlacementContext& context) const override;
+
+ private:
+  std::uint64_t seed_;
+};
+
+class GreedyOpticalPlacement final : public PlacementStrategy {
+ public:
+  [[nodiscard]] std::string_view name() const noexcept override { return "greedy-optical"; }
+  [[nodiscard]] Expected<PlacementResult> place(const alvc::nfv::NfcSpec& spec,
+                                                PlacementContext& context) const override;
+};
+
+class OeoMinimizingPlacement final : public PlacementStrategy {
+ public:
+  /// Chains longer than `exhaustive_limit` fall back to greedy-optical.
+  explicit OeoMinimizingPlacement(std::size_t exhaustive_limit = 16)
+      : exhaustive_limit_(exhaustive_limit) {}
+  [[nodiscard]] std::string_view name() const noexcept override { return "oeo-min"; }
+  [[nodiscard]] Expected<PlacementResult> place(const alvc::nfv::NfcSpec& spec,
+                                                PlacementContext& context) const override;
+
+ private:
+  std::size_t exhaustive_limit_;
+};
+
+/// Fills the result's derived fields from its host list.
+void finalize_placement(PlacementResult& result);
+
+}  // namespace alvc::orchestrator

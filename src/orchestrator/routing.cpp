@@ -1,0 +1,195 @@
+#include "orchestrator/routing.h"
+
+#include <algorithm>
+#include <limits>
+#include <unordered_set>
+
+#include "graph/k_shortest.h"
+#include "graph/shortest_path.h"
+
+namespace alvc::orchestrator {
+
+using alvc::nfv::HostRef;
+using alvc::util::Error;
+using alvc::util::ErrorCode;
+using alvc::util::OpsId;
+using alvc::util::ServerId;
+
+namespace {
+
+/// Vertices a chain of `cluster` may traverse, plus any explicit extras.
+std::unordered_set<std::size_t> slice_vertices(const alvc::topology::DataCenterTopology& topo,
+                                               const alvc::cluster::VirtualCluster& cluster,
+                                               std::span<const std::size_t> extras) {
+  std::unordered_set<std::size_t> allowed;
+  for (TorId t : cluster.layer.tors) allowed.insert(topo.tor_vertex(t));
+  for (OpsId o : cluster.layer.opss) allowed.insert(topo.ops_vertex(o));
+  for (std::size_t v : extras) allowed.insert(v);
+  return allowed;
+}
+
+/// Shortest slice-internal path from `from` to `to`; kInfeasible when none.
+alvc::util::Expected<std::vector<std::size_t>> route_leg(
+    const alvc::topology::DataCenterTopology& topo,
+    const std::unordered_set<std::size_t>& allowed, std::size_t from, std::size_t to,
+    std::size_t leg_index) {
+  if (from == to) return std::vector<std::size_t>{from};
+  const auto filter = [&](std::size_t v) { return allowed.contains(v); };
+  const auto result = alvc::graph::bfs(topo.switch_graph(), from, filter);
+  auto path = alvc::graph::extract_path(result, to);
+  if (!path) {
+    return Error{ErrorCode::kInfeasible,
+                 "no slice-internal path for leg " + std::to_string(leg_index)};
+  }
+  return std::move(*path);
+}
+
+/// Concatenates legs into the walk and tallies hop domains.
+void finish_route(const alvc::topology::DataCenterTopology& topo, ChainRoute& route) {
+  for (const auto& leg : route.legs) {
+    for (std::size_t v : leg) {
+      if (route.vertices.empty() || route.vertices.back() != v) route.vertices.push_back(v);
+    }
+  }
+  for (std::size_t i = 0; i + 1 < route.vertices.size(); ++i) {
+    const bool both_optical = topo.is_ops_vertex(route.vertices[i]) &&
+                              topo.is_ops_vertex(route.vertices[i + 1]);
+    if (both_optical) {
+      ++route.optical_hops;
+    } else {
+      ++route.electronic_hops;
+    }
+  }
+}
+
+}  // namespace
+
+std::size_t ChainRouter::attach_vertex(const HostRef& host) const {
+  if (const auto* server = std::get_if<ServerId>(&host)) {
+    return topo_->tor_vertex(topo_->server(*server).tor);
+  }
+  return topo_->ops_vertex(std::get<OpsId>(host));
+}
+
+Expected<ChainRoute> ChainRouter::route(const alvc::cluster::VirtualCluster& cluster,
+                                        TorId ingress, TorId egress,
+                                        std::span<const HostRef> hosts) const {
+  std::vector<std::size_t> stops;
+  stops.push_back(topo_->tor_vertex(ingress));
+  for (const HostRef& host : hosts) stops.push_back(attach_vertex(host));
+  stops.push_back(topo_->tor_vertex(egress));
+
+  const auto allowed = slice_vertices(*topo_, cluster, stops);
+  ChainRoute route;
+  route.conversions = count_conversions(hosts);
+  for (std::size_t i = 0; i + 1 < stops.size(); ++i) {
+    auto leg = route_leg(*topo_, allowed, stops[i], stops[i + 1], i);
+    if (!leg) return leg.error();
+    route.legs.push_back(std::move(*leg));
+  }
+  finish_route(*topo_, route);
+  return route;
+}
+
+Expected<ChainRoute> ChainRouter::route_balanced(const alvc::cluster::VirtualCluster& cluster,
+                                                 TorId ingress, TorId egress,
+                                                 std::span<const HostRef> hosts,
+                                                 const BandwidthLedger& ledger,
+                                                 std::size_t k) const {
+  std::vector<std::size_t> stops;
+  stops.push_back(topo_->tor_vertex(ingress));
+  for (const HostRef& host : hosts) stops.push_back(attach_vertex(host));
+  stops.push_back(topo_->tor_vertex(egress));
+  const auto allowed = slice_vertices(*topo_, cluster, stops);
+  const auto filter = [&](std::size_t v) { return allowed.contains(v); };
+
+  ChainRoute route;
+  route.conversions = count_conversions(hosts);
+  for (std::size_t i = 0; i + 1 < stops.size(); ++i) {
+    if (stops[i] == stops[i + 1]) {
+      route.legs.push_back({stops[i]});
+      continue;
+    }
+    const auto candidates =
+        alvc::graph::k_shortest_paths(topo_->switch_graph(), stops[i], stops[i + 1], k, filter);
+    if (candidates.empty()) {
+      return Error{ErrorCode::kInfeasible,
+                   "no slice-internal path for leg " + std::to_string(i)};
+    }
+    // Bottleneck headroom of each candidate; first max wins (candidates are
+    // length-ordered, so ties prefer the shorter path).
+    std::size_t best = 0;
+    double best_headroom = -1;
+    for (std::size_t c = 0; c < candidates.size(); ++c) {
+      double headroom = std::numeric_limits<double>::infinity();
+      for (std::size_t j = 0; j + 1 < candidates[c].size(); ++j) {
+        headroom = std::min(headroom, ledger.free_gbps(candidates[c][j], candidates[c][j + 1]));
+      }
+      if (headroom > best_headroom + 1e-12) {
+        best_headroom = headroom;
+        best = c;
+      }
+    }
+    route.legs.push_back(candidates[best]);
+  }
+  finish_route(*topo_, route);
+  return route;
+}
+
+Expected<ChainRoute> ChainRouter::route_graph(const alvc::cluster::VirtualCluster& cluster,
+                                              TorId ingress, TorId egress,
+                                              const alvc::nfv::ForwardingGraph& graph,
+                                              std::span<const HostRef> node_hosts) const {
+  if (node_hosts.size() != graph.node_count()) {
+    return Error{ErrorCode::kInvalidArgument, "node_hosts size != graph node count"};
+  }
+  if (auto status = graph.validate(); !status.is_ok()) return status.error();
+
+  std::vector<std::size_t> attach(node_hosts.size());
+  std::vector<std::size_t> extras;
+  for (std::size_t i = 0; i < node_hosts.size(); ++i) {
+    attach[i] = attach_vertex(node_hosts[i]);
+    extras.push_back(attach[i]);
+  }
+  const std::size_t ingress_v = topo_->tor_vertex(ingress);
+  const std::size_t egress_v = topo_->tor_vertex(egress);
+  extras.push_back(ingress_v);
+  extras.push_back(egress_v);
+  const auto allowed = slice_vertices(*topo_, cluster, extras);
+
+  ChainRoute route;
+  std::size_t leg_index = 0;
+  // Ingress -> entry node.
+  {
+    auto leg = route_leg(*topo_, allowed, ingress_v, attach[graph.entry()], leg_index++);
+    if (!leg) return leg.error();
+    route.legs.push_back(std::move(*leg));
+  }
+  // One leg per DAG edge; conversions per optical->electronic edge.
+  std::size_t conversions = 0;
+  for (const auto& edge : graph.edges()) {
+    auto leg = route_leg(*topo_, allowed, attach[edge.from], attach[edge.to], leg_index++);
+    if (!leg) return leg.error();
+    route.legs.push_back(std::move(*leg));
+    if (alvc::nfv::is_optical_host(node_hosts[edge.from]) &&
+        !alvc::nfv::is_optical_host(node_hosts[edge.to])) {
+      ++conversions;
+    }
+  }
+  // Every exit -> egress.
+  for (std::size_t exit : graph.exits()) {
+    auto leg = route_leg(*topo_, allowed, attach[exit], egress_v, leg_index++);
+    if (!leg) return leg.error();
+    route.legs.push_back(std::move(*leg));
+  }
+  // Entry counts once when the (electronic) ingress hands to an electronic
+  // entry host and optical segments exist later — keep the simple per-edge
+  // definition and add the entry excursion only if the entry host is
+  // electronic (the flow dips out of the optical ingress segment).
+  if (!alvc::nfv::is_optical_host(node_hosts[graph.entry()])) ++conversions;
+  route.conversions.mid_chain = conversions;
+  finish_route(*topo_, route);
+  return route;
+}
+
+}  // namespace alvc::orchestrator

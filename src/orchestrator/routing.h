@@ -1,0 +1,78 @@
+// Chain routing over the hybrid topology (paper Fig. 5).
+//
+// A provisioned chain's flow enters at an ingress ToR, visits its VNF hosts
+// in order, and leaves at an egress ToR. Each leg is a shortest path in the
+// switch graph RESTRICTED TO THE SLICE (the cluster's ToRs + its AL OPSs
+// plus the leg endpoints) — that restriction is what makes slices isolated:
+// a chain cannot ride another cluster's switches.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "cluster/virtual_cluster.h"
+#include "nfv/forwarding_graph.h"
+#include "nfv/lifecycle.h"
+#include "orchestrator/bandwidth.h"
+#include "orchestrator/oeo.h"
+#include "topology/topology.h"
+#include "util/error.h"
+
+namespace alvc::orchestrator {
+
+using alvc::util::Expected;
+using alvc::util::TorId;
+
+struct ChainRoute {
+  /// Concatenated switch-level walk (junction vertices not repeated).
+  std::vector<std::size_t> vertices;
+  /// Per-leg vertex paths (leg i connects stop i to stop i+1).
+  std::vector<std::vector<std::size_t>> legs;
+  std::size_t optical_hops = 0;     // OPS-OPS links traversed
+  std::size_t electronic_hops = 0;  // links touching a ToR
+  OeoCount conversions;             // from the hosts' domains
+
+  [[nodiscard]] std::size_t total_hops() const noexcept {
+    return optical_hops + electronic_hops;
+  }
+};
+
+class ChainRouter {
+ public:
+  explicit ChainRouter(const alvc::topology::DataCenterTopology& topo) : topo_(&topo) {}
+
+  /// Routes ingress -> hosts... -> egress inside `cluster`'s slice.
+  /// kInfeasible when a leg cannot be completed inside the slice.
+  [[nodiscard]] Expected<ChainRoute> route(const alvc::cluster::VirtualCluster& cluster,
+                                           TorId ingress, TorId egress,
+                                           std::span<const alvc::nfv::HostRef> hosts) const;
+
+  /// Load-balanced variant of route(): each leg considers the k shortest
+  /// slice-internal paths and takes the one with the largest bottleneck
+  /// headroom in `ledger` (ties: shorter, then first). Spreads chains off
+  /// already-reserved links at the cost of slightly longer paths.
+  [[nodiscard]] Expected<ChainRoute> route_balanced(
+      const alvc::cluster::VirtualCluster& cluster, TorId ingress, TorId egress,
+      std::span<const alvc::nfv::HostRef> hosts, const BandwidthLedger& ledger,
+      std::size_t k = 4) const;
+
+  /// Routes a complex forwarding graph (paper §IV-A): one leg from the
+  /// ingress to the entry node's host, one leg per DAG edge, and one leg
+  /// from every exit node's host to the egress. `node_hosts[i]` is the host
+  /// of graph node i. Mid-graph conversions are counted per DAG edge whose
+  /// source host is optical and whose target host is electronic (each such
+  /// edge forces the flow out of the optical domain).
+  [[nodiscard]] Expected<ChainRoute> route_graph(
+      const alvc::cluster::VirtualCluster& cluster, TorId ingress, TorId egress,
+      const alvc::nfv::ForwardingGraph& graph,
+      std::span<const alvc::nfv::HostRef> node_hosts) const;
+
+  /// Switch-graph vertex where a host attaches (server -> its rack ToR,
+  /// optoelectronic router -> its OPS vertex).
+  [[nodiscard]] std::size_t attach_vertex(const alvc::nfv::HostRef& host) const;
+
+ private:
+  const alvc::topology::DataCenterTopology* topo_;
+};
+
+}  // namespace alvc::orchestrator

@@ -1,0 +1,59 @@
+#include "orchestrator/slice.h"
+
+#include <algorithm>
+
+namespace alvc::orchestrator {
+
+using alvc::util::Error;
+using alvc::util::ErrorCode;
+
+Expected<SliceId> SliceManager::allocate(ClusterId cluster, NfcId nfc, double bandwidth_gbps) {
+  if (bandwidth_gbps < 0) {
+    return Error{ErrorCode::kInvalidArgument, "negative bandwidth"};
+  }
+  if (by_cluster_.contains(cluster)) {
+    return Error{ErrorCode::kConflict,
+                 "cluster " + std::to_string(cluster.value()) + " already backs a slice"};
+  }
+  if (by_nfc_.contains(nfc)) {
+    return Error{ErrorCode::kConflict,
+                 "NFC " + std::to_string(nfc.value()) + " already has a slice"};
+  }
+  const SliceId id{next_id_++};
+  by_nfc_.emplace(nfc, OpticalSlice{id, cluster, nfc, bandwidth_gbps});
+  by_cluster_.emplace(cluster, nfc);
+  return id;
+}
+
+Status SliceManager::release(NfcId nfc) {
+  const auto it = by_nfc_.find(nfc);
+  if (it == by_nfc_.end()) {
+    return Error{ErrorCode::kNotFound, "no slice for NFC " + std::to_string(nfc.value())};
+  }
+  by_cluster_.erase(it->second.cluster);
+  by_nfc_.erase(it);
+  return Status::ok();
+}
+
+std::optional<OpticalSlice> SliceManager::slice_of_chain(NfcId nfc) const {
+  const auto it = by_nfc_.find(nfc);
+  if (it == by_nfc_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::optional<OpticalSlice> SliceManager::slice_of_cluster(ClusterId cluster) const {
+  const auto it = by_cluster_.find(cluster);
+  if (it == by_cluster_.end()) return std::nullopt;
+  return slice_of_chain(it->second);
+}
+
+std::vector<OpticalSlice> SliceManager::slices() const {
+  std::vector<OpticalSlice> out;
+  out.reserve(by_nfc_.size());
+  for (const auto& [nfc, slice] : by_nfc_) out.push_back(slice);
+  std::sort(out.begin(), out.end(),
+            [](const OpticalSlice& a, const OpticalSlice& b) { return a.id < b.id; });
+  return out;
+}
+
+}  // namespace alvc::orchestrator

@@ -1,0 +1,54 @@
+// Optical slices (paper §IV-B/C, Fig. 7).
+//
+// The orchestrator "logically divides the optical network into virtual
+// slices and allocates each slice to a single NFC. In AL-VC, that division
+// is in the shape of ALs": slice == the AL of one virtual cluster, bound
+// 1:1 to one chain. SliceManager enforces the bijection and hands out the
+// per-slice resource view (which OPSs / ToRs / servers the chain may use).
+#pragma once
+
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "cluster/virtual_cluster.h"
+#include "util/error.h"
+#include "util/ids.h"
+
+namespace alvc::orchestrator {
+
+using alvc::util::ClusterId;
+using alvc::util::Expected;
+using alvc::util::NfcId;
+using alvc::util::SliceId;
+using alvc::util::Status;
+
+struct OpticalSlice {
+  SliceId id;
+  ClusterId cluster;  // the VC whose AL forms this slice
+  NfcId nfc;          // the one chain bound to it
+  double bandwidth_gbps = 0.0;
+};
+
+class SliceManager {
+ public:
+  /// Binds `cluster`'s AL to `nfc` as a new slice. kConflict if the cluster
+  /// already backs a slice (one VC hosts one NFC) or the chain already has
+  /// one.
+  [[nodiscard]] Expected<SliceId> allocate(ClusterId cluster, NfcId nfc, double bandwidth_gbps);
+
+  /// Releases the slice bound to `nfc`.
+  [[nodiscard]] Status release(NfcId nfc);
+
+  [[nodiscard]] std::optional<OpticalSlice> slice_of_chain(NfcId nfc) const;
+  [[nodiscard]] std::optional<OpticalSlice> slice_of_cluster(ClusterId cluster) const;
+  [[nodiscard]] std::size_t slice_count() const noexcept { return by_nfc_.size(); }
+  [[nodiscard]] std::vector<OpticalSlice> slices() const;
+
+ private:
+  std::unordered_map<NfcId, OpticalSlice> by_nfc_;
+  std::unordered_map<ClusterId, NfcId> by_cluster_;
+  SliceId::value_type next_id_ = 0;
+};
+
+}  // namespace alvc::orchestrator

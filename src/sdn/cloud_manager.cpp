@@ -1,0 +1,103 @@
+#include "sdn/cloud_manager.h"
+
+namespace alvc::sdn {
+
+using alvc::nfv::VnfState;
+using alvc::topology::Resources;
+using alvc::util::Error;
+using alvc::util::ErrorCode;
+
+namespace {
+
+Resources scaled(const Resources& demand, double factor) {
+  return Resources{.cpu_cores = demand.cpu_cores * factor,
+                   .memory_gb = demand.memory_gb * factor,
+                   .storage_gb = demand.storage_gb * factor};
+}
+
+}  // namespace
+
+Expected<VnfInstanceId> CloudNfvManager::deploy(alvc::util::VnfId descriptor, HostRef host) {
+  const auto& desc = catalog_->descriptor(descriptor);
+  if (desc.electronic_only && alvc::nfv::is_optical_host(host)) {
+    ++stats_.rejected;
+    return Error{ErrorCode::kInvalidArgument,
+                 "VNF " + desc.name + " is pinned to the electronic domain"};
+  }
+  if (auto status = pool_.reserve(host, desc.demand); !status.is_ok()) {
+    ++stats_.rejected;
+    return status.error();
+  }
+  const VnfInstanceId id = lifecycle_.create(descriptor, host);
+  if (auto status = lifecycle_.activate(id); !status.is_ok()) {
+    pool_.release(host, desc.demand);
+    return status.error();
+  }
+  ++stats_.deployed;
+  return id;
+}
+
+Status CloudNfvManager::terminate(VnfInstanceId id) {
+  if (id.index() >= lifecycle_.instance_count()) {
+    return Error{ErrorCode::kNotFound, "no such instance"};
+  }
+  const auto& inst = lifecycle_.instance(id);
+  if (inst.state == VnfState::kTerminated) {
+    return Error{ErrorCode::kInvalidArgument, "already terminated"};
+  }
+  const Resources held = reserved_demand(id);
+  if (auto status = lifecycle_.terminate(id); !status.is_ok()) return status;
+  pool_.release(inst.host, held);
+  ++stats_.terminated;
+  return Status::ok();
+}
+
+Status CloudNfvManager::scale(VnfInstanceId id, double factor) {
+  if (id.index() >= lifecycle_.instance_count()) {
+    return Error{ErrorCode::kNotFound, "no such instance"};
+  }
+  const auto& inst = lifecycle_.instance(id);
+  if (inst.state != VnfState::kActive) {
+    return Error{ErrorCode::kInvalidArgument, "can only scale an active instance"};
+  }
+  const auto& desc = catalog_->descriptor(inst.descriptor);
+  const Resources current = scaled(desc.demand, inst.scale);
+  const Resources target = scaled(desc.demand, factor);
+  if (factor > inst.scale) {
+    const Resources delta = target - current;
+    if (auto status = pool_.reserve(inst.host, delta); !status.is_ok()) {
+      ++stats_.rejected;
+      return status.error();
+    }
+  } else {
+    pool_.release(inst.host, current - target);
+  }
+  if (auto status = lifecycle_.scale(id, factor); !status.is_ok()) {
+    // Roll the reservation back (state machine refused, e.g. factor <= 0).
+    if (factor > inst.scale) {
+      pool_.release(inst.host, target - current);
+    } else {
+      (void)pool_.reserve(inst.host, current - target);
+    }
+    return status;
+  }
+  ++stats_.scaled;
+  return Status::ok();
+}
+
+Status CloudNfvManager::update(VnfInstanceId id) {
+  if (id.index() >= lifecycle_.instance_count()) {
+    return Error{ErrorCode::kNotFound, "no such instance"};
+  }
+  if (auto status = lifecycle_.update(id); !status.is_ok()) return status;
+  ++stats_.updated;
+  return Status::ok();
+}
+
+alvc::topology::Resources CloudNfvManager::reserved_demand(VnfInstanceId id) const {
+  const auto& inst = lifecycle_.instance(id);
+  if (inst.state == VnfState::kTerminated) return Resources{};
+  return scaled(catalog_->descriptor(inst.descriptor).demand, inst.scale);
+}
+
+}  // namespace alvc::sdn

@@ -1,0 +1,69 @@
+// Cloud/NFV manager (paper §IV-B, Fig. 6).
+//
+// "Responsible for managing VMs and storage resources … and for managing
+// the VNFs during their lifetime (creation, scaling, termination, update)."
+// This class couples the lifecycle state machine with capacity accounting:
+// a VNF only becomes Active if its host had room, and capacity returns on
+// termination. Scaling re-reserves the delta.
+#pragma once
+
+#include "nfv/catalog.h"
+#include "nfv/hosting.h"
+#include "nfv/lifecycle.h"
+#include "util/error.h"
+
+namespace alvc::sdn {
+
+using alvc::nfv::HostRef;
+using alvc::nfv::VnfInstanceId;
+using alvc::util::Expected;
+using alvc::util::Status;
+
+struct CloudManagerStats {
+  std::size_t deployed = 0;
+  std::size_t terminated = 0;
+  std::size_t scaled = 0;
+  std::size_t updated = 0;
+  std::size_t rejected = 0;  // capacity rejections
+};
+
+class CloudNfvManager {
+ public:
+  CloudNfvManager(const alvc::nfv::VnfCatalog& catalog,
+                  const alvc::topology::DataCenterTopology& topo)
+      : catalog_(&catalog), pool_(topo) {}
+
+  /// Reserves capacity on `host` and drives the instance to Active.
+  /// kCapacityExceeded if the host cannot take the descriptor's demand.
+  [[nodiscard]] Expected<VnfInstanceId> deploy(alvc::util::VnfId descriptor, HostRef host);
+
+  /// Terminates the instance and releases its capacity.
+  [[nodiscard]] Status terminate(VnfInstanceId id);
+
+  /// Rescales an Active instance to `factor` times nominal demand,
+  /// adjusting the reservation; fails without state change if the host
+  /// cannot take the increase.
+  [[nodiscard]] Status scale(VnfInstanceId id, double factor);
+
+  /// Software-update event (active -> updating -> active).
+  [[nodiscard]] Status update(VnfInstanceId id);
+
+  [[nodiscard]] const alvc::nfv::VnfLifecycleManager& lifecycle() const noexcept {
+    return lifecycle_;
+  }
+  [[nodiscard]] const alvc::nfv::HostingPool& pool() const noexcept { return pool_; }
+  [[nodiscard]] alvc::nfv::HostingPool& pool() noexcept { return pool_; }
+  [[nodiscard]] const CloudManagerStats& stats() const noexcept { return stats_; }
+  [[nodiscard]] const alvc::nfv::VnfCatalog& catalog() const noexcept { return *catalog_; }
+
+  /// Scaled demand of a live instance (what is currently reserved).
+  [[nodiscard]] alvc::topology::Resources reserved_demand(VnfInstanceId id) const;
+
+ private:
+  const alvc::nfv::VnfCatalog* catalog_;
+  alvc::nfv::HostingPool pool_;
+  alvc::nfv::VnfLifecycleManager lifecycle_;
+  CloudManagerStats stats_;
+};
+
+}  // namespace alvc::sdn

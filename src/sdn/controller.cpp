@@ -1,0 +1,67 @@
+#include "sdn/controller.h"
+
+#include <algorithm>
+
+namespace alvc::sdn {
+
+using alvc::util::Error;
+using alvc::util::ErrorCode;
+
+SdnController::SdnController(const alvc::topology::DataCenterTopology& topo)
+    : topo_(&topo), tables_(topo.switch_graph().vertex_count()) {}
+
+Status SdnController::install_path(NfcId nfc, std::span<const std::size_t> path) {
+  if (path.empty()) return Error{ErrorCode::kInvalidArgument, "empty path"};
+  const auto& g = topo_->switch_graph();
+  for (std::size_t v : path) {
+    if (v >= g.vertex_count()) {
+      return Error{ErrorCode::kInvalidArgument, "path vertex out of range"};
+    }
+  }
+  for (std::size_t i = 0; i + 1 < path.size(); ++i) {
+    if (!g.has_edge(path[i], path[i + 1])) {
+      return Error{ErrorCode::kInvalidArgument,
+                   "path hop " + std::to_string(path[i]) + "->" + std::to_string(path[i + 1]) +
+                       " is not a link"};
+    }
+  }
+  auto& owned = chain_switches_[nfc];
+  for (std::size_t i = 0; i + 1 < path.size(); ++i) {
+    if (tables_.table(path[i]).install(nfc, path[i + 1])) {
+      owned.push_back(path[i]);
+      ++stats_.rules_installed;
+    }
+  }
+  ++stats_.paths_installed;
+  return Status::ok();
+}
+
+std::size_t SdnController::remove_chain(NfcId nfc) {
+  const auto it = chain_switches_.find(nfc);
+  if (it == chain_switches_.end()) return 0;
+  std::size_t removed = 0;
+  for (std::size_t v : it->second) {
+    if (tables_.table(v).remove(nfc)) ++removed;
+  }
+  stats_.rules_removed += removed;
+  if (removed > 0) ++stats_.paths_removed;
+  chain_switches_.erase(it);
+  return removed;
+}
+
+std::size_t SdnController::chain_rule_count(NfcId nfc) const {
+  const auto it = chain_switches_.find(nfc);
+  if (it == chain_switches_.end()) return 0;
+  // `chain_switches_` may hold duplicates if two legs share a switch; count
+  // live rules instead.
+  std::size_t n = 0;
+  std::vector<std::size_t> seen;
+  for (std::size_t v : it->second) {
+    if (std::find(seen.begin(), seen.end(), v) != seen.end()) continue;
+    seen.push_back(v);
+    if (tables_.table(v).lookup(nfc)) ++n;
+  }
+  return n;
+}
+
+}  // namespace alvc::sdn

@@ -1,0 +1,60 @@
+// SDN controller (paper §IV-B, Fig. 6).
+//
+// "SDN controller provisions, controls, and manages the optical network and
+// provides virtual connectivity services to users between VMs hosting
+// VNFs." Concretely: given a chain's switch-level path, install one rule
+// per on-path switch; tear paths down when chains are deleted; keep an
+// operation counter so the control-plane bench (FIG6) can report
+// provisioning throughput and per-chain rule footprints.
+#pragma once
+
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "sdn/flow_table.h"
+#include "topology/topology.h"
+#include "util/error.h"
+#include "util/ids.h"
+
+namespace alvc::sdn {
+
+using alvc::util::Expected;
+using alvc::util::NfcId;
+using alvc::util::Status;
+
+struct ControllerStats {
+  std::size_t rules_installed = 0;
+  std::size_t rules_removed = 0;
+  std::size_t paths_installed = 0;
+  std::size_t paths_removed = 0;
+};
+
+class SdnController {
+ public:
+  explicit SdnController(const alvc::topology::DataCenterTopology& topo);
+
+  /// Installs the forwarding path (switch-graph vertex sequence) for `nfc`.
+  /// Each vertex except the last receives a rule pointing to its successor.
+  /// Fails (kInvalidArgument) on non-contiguous paths; a chain may own
+  /// several path segments (one per chain leg).
+  [[nodiscard]] Status install_path(NfcId nfc, std::span<const std::size_t> path);
+
+  /// Removes every rule owned by `nfc` across all switches.
+  std::size_t remove_chain(NfcId nfc);
+
+  /// Number of rules currently installed for `nfc`.
+  [[nodiscard]] std::size_t chain_rule_count(NfcId nfc) const;
+
+  [[nodiscard]] const FlowTableSet& tables() const noexcept { return tables_; }
+  [[nodiscard]] const ControllerStats& stats() const noexcept { return stats_; }
+
+ private:
+  const alvc::topology::DataCenterTopology* topo_;
+  FlowTableSet tables_;
+  ControllerStats stats_;
+  /// Which switches hold a rule for each chain (for O(1) teardown).
+  std::unordered_map<NfcId, std::vector<std::size_t>> chain_switches_;
+};
+
+}  // namespace alvc::sdn

@@ -1,0 +1,33 @@
+#include "sdn/events.h"
+
+namespace alvc::sdn {
+
+void ControlPlaneLog::append(ControlEventType type, std::uint32_t subject, std::string detail) {
+  events_.push_back(
+      ControlEvent{next_sequence_++, type, subject, std::move(detail)});
+}
+
+std::vector<ControlEvent> ControlPlaneLog::by_type(ControlEventType type) const {
+  std::vector<ControlEvent> out;
+  for (const auto& e : events_) {
+    if (e.type == type) out.push_back(e);
+  }
+  return out;
+}
+
+std::size_t ControlPlaneLog::count(ControlEventType type) const noexcept {
+  std::size_t n = 0;
+  for (const auto& e : events_) {
+    if (e.type == type) ++n;
+  }
+  return n;
+}
+
+bool ControlPlaneLog::is_ordered() const noexcept {
+  for (std::size_t i = 1; i < events_.size(); ++i) {
+    if (events_[i].sequence <= events_[i - 1].sequence) return false;
+  }
+  return true;
+}
+
+}  // namespace alvc::sdn

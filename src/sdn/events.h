@@ -1,0 +1,77 @@
+// Unified control-plane event log (paper Fig. 6's management plane).
+//
+// Every orchestration action — chain provisioning/teardown, slice churn,
+// VNF relocation, failure repair — appends a typed, monotonically sequenced
+// event. The log is the audit trail operators replay after incidents and
+// what the FIG6 bench inspects for ordering integrity.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/ids.h"
+
+namespace alvc::sdn {
+
+enum class ControlEventType : std::uint8_t {
+  kChainProvisioned,
+  kChainTornDown,
+  kChainRepaired,
+  kChainLost,
+  kSliceAllocated,
+  kSliceReleased,
+  kVnfRelocated,
+  kOpsFailed,
+  kAlRepaired,
+};
+
+[[nodiscard]] constexpr std::string_view to_string(ControlEventType type) noexcept {
+  switch (type) {
+    case ControlEventType::kChainProvisioned: return "chain-provisioned";
+    case ControlEventType::kChainTornDown: return "chain-torn-down";
+    case ControlEventType::kChainRepaired: return "chain-repaired";
+    case ControlEventType::kChainLost: return "chain-lost";
+    case ControlEventType::kSliceAllocated: return "slice-allocated";
+    case ControlEventType::kSliceReleased: return "slice-released";
+    case ControlEventType::kVnfRelocated: return "vnf-relocated";
+    case ControlEventType::kOpsFailed: return "ops-failed";
+    case ControlEventType::kAlRepaired: return "al-repaired";
+  }
+  return "?";
+}
+
+struct ControlEvent {
+  std::uint64_t sequence = 0;
+  ControlEventType type = ControlEventType::kChainProvisioned;
+  /// Primary subject (chain id, slice id, OPS id... by type); kInvalid when
+  /// not applicable.
+  std::uint32_t subject = 0;
+  std::string detail;
+};
+
+class ControlPlaneLog {
+ public:
+  void append(ControlEventType type, std::uint32_t subject, std::string detail = {});
+
+  [[nodiscard]] std::size_t size() const noexcept { return events_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return events_.empty(); }
+  [[nodiscard]] std::span<const ControlEvent> events() const noexcept { return events_; }
+
+  /// Events of one type, in order.
+  [[nodiscard]] std::vector<ControlEvent> by_type(ControlEventType type) const;
+  /// Count of events of one type.
+  [[nodiscard]] std::size_t count(ControlEventType type) const noexcept;
+  /// True when sequence numbers strictly increase (they always should).
+  [[nodiscard]] bool is_ordered() const noexcept;
+
+  void clear() noexcept { events_.clear(); }
+
+ private:
+  std::vector<ControlEvent> events_;
+  std::uint64_t next_sequence_ = 0;
+};
+
+}  // namespace alvc::sdn

@@ -1,0 +1,23 @@
+#include "sdn/flow_table.h"
+
+namespace alvc::sdn {
+
+bool FlowTable::install(NfcId nfc, std::size_t next_hop) {
+  return rules_.insert_or_assign(nfc, next_hop).second;
+}
+
+bool FlowTable::remove(NfcId nfc) { return rules_.erase(nfc) > 0; }
+
+std::optional<std::size_t> FlowTable::lookup(NfcId nfc) const {
+  const auto it = rules_.find(nfc);
+  if (it == rules_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::size_t FlowTableSet::total_rules() const noexcept {
+  std::size_t n = 0;
+  for (const auto& t : tables_) n += t.size();
+  return n;
+}
+
+}  // namespace alvc::sdn

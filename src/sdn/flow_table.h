@@ -1,0 +1,54 @@
+// Match/action flow tables for the switch layer.
+//
+// The SDN controller (paper Fig. 6) programs ToRs and OPSs by installing
+// per-chain forwarding rules. We model the minimal useful rule: match a
+// chain (NfcId) at a switch vertex, forward to the next switch vertex.
+// Rule counts are the currency of the update-cost experiments (ABL1).
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "util/ids.h"
+
+namespace alvc::sdn {
+
+using alvc::util::NfcId;
+
+/// One forwarding rule at a switch: chain -> next-hop switch vertex.
+struct FlowRule {
+  NfcId nfc;
+  std::size_t next_hop;  // switch-graph vertex index
+};
+
+/// Rules of one switch.
+class FlowTable {
+ public:
+  /// Installs or overwrites the rule for `nfc`; returns true if new.
+  bool install(NfcId nfc, std::size_t next_hop);
+  /// Removes the rule; returns true if one existed.
+  bool remove(NfcId nfc);
+  [[nodiscard]] std::optional<std::size_t> lookup(NfcId nfc) const;
+  [[nodiscard]] std::size_t size() const noexcept { return rules_.size(); }
+
+ private:
+  std::unordered_map<NfcId, std::size_t> rules_;
+};
+
+/// All switch tables, keyed by switch-graph vertex.
+class FlowTableSet {
+ public:
+  explicit FlowTableSet(std::size_t switch_count) : tables_(switch_count) {}
+
+  [[nodiscard]] FlowTable& table(std::size_t vertex) { return tables_.at(vertex); }
+  [[nodiscard]] const FlowTable& table(std::size_t vertex) const { return tables_.at(vertex); }
+  [[nodiscard]] std::size_t switch_count() const noexcept { return tables_.size(); }
+  [[nodiscard]] std::size_t total_rules() const noexcept;
+
+ private:
+  std::vector<FlowTable> tables_;
+};
+
+}  // namespace alvc::sdn

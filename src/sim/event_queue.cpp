@@ -1,0 +1,33 @@
+#include "sim/event_queue.h"
+
+#include <stdexcept>
+
+namespace alvc::sim {
+
+void EventQueue::schedule(SimTime at, Action action) {
+  if (at < now_) throw std::invalid_argument("EventQueue: scheduling into the past");
+  heap_.push(Entry{at, next_sequence_++, std::move(action)});
+}
+
+bool EventQueue::step() {
+  if (heap_.empty()) return false;
+  // priority_queue::top is const; move out via const_cast on the known-safe
+  // pattern is avoidable: copy the action handle instead.
+  Entry entry = std::move(const_cast<Entry&>(heap_.top()));
+  heap_.pop();
+  now_ = entry.time;
+  ++processed_;
+  entry.action();
+  return true;
+}
+
+std::uint64_t EventQueue::run(SimTime until) {
+  std::uint64_t n = 0;
+  while (!heap_.empty() && heap_.top().time < until) {
+    step();
+    ++n;
+  }
+  return n;
+}
+
+}  // namespace alvc::sim

@@ -1,0 +1,56 @@
+// Discrete-event simulation core.
+//
+// A classic priority-queue DES: events are (time, sequence, action);
+// sequence numbers break ties deterministically so runs are reproducible.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <limits>
+#include <queue>
+#include <vector>
+
+namespace alvc::sim {
+
+using SimTime = double;  // seconds
+
+class EventQueue {
+ public:
+  using Action = std::function<void()>;
+
+  /// Schedules `action` at absolute time `at` (must be >= now()).
+  void schedule(SimTime at, Action action);
+  /// Schedules `action` `delay` seconds from now.
+  void schedule_in(SimTime delay, Action action) { schedule(now_ + delay, std::move(action)); }
+
+  [[nodiscard]] SimTime now() const noexcept { return now_; }
+  [[nodiscard]] bool empty() const noexcept { return heap_.empty(); }
+  [[nodiscard]] std::size_t pending() const noexcept { return heap_.size(); }
+  [[nodiscard]] std::uint64_t processed() const noexcept { return processed_; }
+
+  /// Pops and runs the earliest event; returns false when empty.
+  bool step();
+
+  /// Runs until empty or `until` (exclusive); returns events processed.
+  std::uint64_t run(SimTime until = std::numeric_limits<SimTime>::infinity());
+
+ private:
+  struct Entry {
+    SimTime time;
+    std::uint64_t sequence;
+    Action action;
+  };
+  struct Later {
+    bool operator()(const Entry& a, const Entry& b) const noexcept {
+      if (a.time != b.time) return a.time > b.time;
+      return a.sequence > b.sequence;
+    }
+  };
+
+  std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+  SimTime now_ = 0;
+  std::uint64_t next_sequence_ = 0;
+  std::uint64_t processed_ = 0;
+};
+
+}  // namespace alvc::sim

@@ -1,0 +1,18 @@
+#include "sim/metrics.h"
+
+#include <sstream>
+
+namespace alvc::sim {
+
+std::string TrafficMetrics::summary() const {
+  std::ostringstream os;
+  os << "flows=" << flows << " intra=" << intra_fraction() << " unroutable=" << unroutable_flows
+     << " mean_hops=" << hops.mean() << " mean_latency_us=" << latency_us.mean()
+     << " mean_conversions=" << conversions.mean() << " energy_j=" << total_energy_j;
+  if (switch_utilization.count() > 0) {
+    os << " mean_util=" << switch_utilization.mean() << " peak_util=" << peak_utilization;
+  }
+  return os.str();
+}
+
+}  // namespace alvc::sim

@@ -1,0 +1,34 @@
+// Metric collection for simulation runs.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "util/stats.h"
+
+namespace alvc::sim {
+
+/// Aggregated results of one traffic simulation.
+struct TrafficMetrics {
+  std::uint64_t flows = 0;
+  std::uint64_t intra_cluster_flows = 0;  // src and dst share a service/VC
+  std::uint64_t unroutable_flows = 0;
+  alvc::util::SampleSet hops;
+  alvc::util::SampleSet latency_us;
+  alvc::util::SampleSet conversions;   // O/E/O per flow
+  double total_bytes = 0;
+  double total_energy_j = 0;
+  /// Per-switch offered load over the run as a fraction of port capacity
+  /// (one sample per switch that carried at least one flow).
+  alvc::util::SampleSet switch_utilization;
+  double peak_utilization = 0;
+  /// Switch-graph vertex with the highest utilization (or SIZE_MAX).
+  std::size_t hottest_switch = static_cast<std::size_t>(-1);
+
+  [[nodiscard]] double intra_fraction() const noexcept {
+    return flows == 0 ? 0.0 : static_cast<double>(intra_cluster_flows) / static_cast<double>(flows);
+  }
+  [[nodiscard]] std::string summary() const;
+};
+
+}  // namespace alvc::sim

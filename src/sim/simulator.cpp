@@ -1,0 +1,257 @@
+#include "sim/simulator.h"
+
+#include <unordered_map>
+#include <unordered_set>
+
+#include "graph/shortest_path.h"
+
+namespace alvc::sim {
+
+using alvc::cluster::VirtualCluster;
+using alvc::topology::DataCenterTopology;
+using alvc::util::ClusterId;
+using alvc::util::VmId;
+
+namespace {
+
+/// Per-flow cost along a switch-vertex walk.
+struct WalkCost {
+  std::size_t hops = 0;
+  std::size_t conversions = 0;  // mid-path O->E->O round trips
+  double latency_us = 0;
+  double energy_j = 0;
+};
+
+WalkCost cost_of_walk(const DataCenterTopology& topo, std::span<const std::size_t> walk,
+                      double bytes, const LatencyModel& latency,
+                      const alvc::orchestrator::OeoCostModel& energy) {
+  WalkCost cost;
+  if (walk.size() < 2) return cost;
+  // Count hop domains and domain transitions. The walk starts and ends at
+  // ToRs (electronic); every optical->electronic->optical round trip in the
+  // middle is a conversion, and the two endpoint crossings are fixed.
+  std::size_t o_to_e = 0;
+  std::size_t e_to_o = 0;
+  for (std::size_t i = 0; i + 1 < walk.size(); ++i) {
+    const bool from_optical = topo.is_ops_vertex(walk[i]);
+    const bool to_optical = topo.is_ops_vertex(walk[i + 1]);
+    ++cost.hops;
+    if (from_optical && to_optical) {
+      cost.latency_us += latency.optical_hop_us;
+      cost.energy_j += bytes * energy.optical_joules_per_byte_hop;
+    } else {
+      cost.latency_us += latency.electronic_hop_us;
+      cost.energy_j += bytes * energy.electronic_joules_per_byte_hop;
+    }
+    if (from_optical && !to_optical) ++o_to_e;
+    if (!from_optical && to_optical) ++e_to_o;
+  }
+  // Mid-path conversions: each O->E that later returns to O. The final
+  // descent to the egress ToR is an endpoint crossing, not a conversion.
+  // Callers add the conversion latency/energy themselves (chain traffic
+  // overrides the count with the placement-derived one).
+  cost.conversions = (o_to_e > 0) ? o_to_e - 1 : 0;
+  return cost;
+}
+
+}  // namespace
+
+TrafficMetrics simulate_traffic(const alvc::cluster::ClusterManager& clusters,
+                                const SimulationConfig& config, TraceRecorder* trace) {
+  const DataCenterTopology& topo = clusters.topology();
+  TrafficMetrics metrics;
+  WorkloadGenerator generator(topo, config.workload);
+
+  // Map each VM to its cluster (if any).
+  std::unordered_map<VmId, ClusterId> vm_cluster;
+  for (const VirtualCluster* vc : clusters.clusters()) {
+    for (VmId vm : vc->vms) vm_cluster.emplace(vm, vc->id);
+  }
+
+  // Cache shortest-path trees per source ToR over the full switch graph
+  // (inter-cluster flows) — the DC is static during a run.
+  const auto& g = topo.switch_graph();
+  std::unordered_map<std::size_t, alvc::graph::PathResult> bfs_cache;
+  const auto tree_from = [&](std::size_t src) -> const alvc::graph::PathResult& {
+    auto it = bfs_cache.find(src);
+    if (it == bfs_cache.end()) {
+      it = bfs_cache.emplace(src, alvc::graph::bfs(g, src)).first;
+    }
+    return it->second;
+  };
+
+  // Per-switch byte counters for utilization accounting, plus (only when
+  // the queueing model is on) each routed flow's path, aligned with the
+  // latency_us sample order.
+  std::vector<double> vertex_bytes(g.vertex_count(), 0.0);
+  std::vector<std::vector<std::size_t>> flow_paths;
+  const bool keep_paths = config.latency.mm1_queueing;
+
+  EventQueue queue;
+  for (std::size_t i = 0; i < config.flow_count; ++i) {
+    const Flow flow = generator.next();
+    queue.schedule(flow.arrival_s, [&, flow] {
+      ++metrics.flows;
+      metrics.total_bytes += flow.bytes;
+      const auto src_it = vm_cluster.find(flow.src);
+      const auto dst_it = vm_cluster.find(flow.dst);
+      const bool intra = src_it != vm_cluster.end() && dst_it != vm_cluster.end() &&
+                         src_it->second == dst_it->second;
+      if (intra) ++metrics.intra_cluster_flows;
+
+      FlowRecord record{.id = flow.id,
+                        .src = flow.src,
+                        .dst = flow.dst,
+                        .bytes = flow.bytes,
+                        .arrival_s = flow.arrival_s,
+                        .intra_cluster = intra};
+      const std::size_t src_v = topo.tor_vertex(topo.tor_of_vm(flow.src));
+      const std::size_t dst_v = topo.tor_vertex(topo.tor_of_vm(flow.dst));
+      if (src_v == dst_v) {
+        // Same rack: one electronic hop, no core traversal.
+        if (keep_paths) flow_paths.push_back({src_v});
+        metrics.hops.add(1);
+        metrics.latency_us.add(config.latency.electronic_hop_us);
+        metrics.conversions.add(0);
+        metrics.total_energy_j +=
+            flow.bytes * config.energy.electronic_joules_per_byte_hop;
+        if (trace != nullptr) {
+          record.hops = 1;
+          record.latency_us = config.latency.electronic_hop_us;
+          record.energy_j = flow.bytes * config.energy.electronic_joules_per_byte_hop;
+          trace->record(record);
+        }
+        return;
+      }
+      const auto& tree = tree_from(src_v);
+      const auto path = alvc::graph::extract_path(tree, dst_v);
+      if (!path) {
+        ++metrics.unroutable_flows;
+        if (trace != nullptr) {
+          record.routable = false;
+          trace->record(record);
+        }
+        return;
+      }
+      for (std::size_t v : *path) vertex_bytes[v] += flow.bytes;
+      if (keep_paths) flow_paths.push_back(*path);
+      const WalkCost cost =
+          cost_of_walk(topo, *path, flow.bytes, config.latency, config.energy);
+      const double latency_us = cost.latency_us + static_cast<double>(cost.conversions) *
+                                                      config.latency.conversion_us;
+      const double energy_j = cost.energy_j + static_cast<double>(cost.conversions) * flow.bytes *
+                                                  config.energy.conversion_joules_per_byte;
+      metrics.hops.add(static_cast<double>(cost.hops));
+      metrics.latency_us.add(latency_us);
+      metrics.conversions.add(static_cast<double>(cost.conversions));
+      metrics.total_energy_j += energy_j;
+      if (trace != nullptr) {
+        record.hops = cost.hops;
+        record.conversions = cost.conversions;
+        record.latency_us = latency_us;
+        record.energy_j = energy_j;
+        trace->record(record);
+      }
+    });
+  }
+  queue.run();
+
+  // Utilization: offered load per switch over the run horizon vs its port
+  // capacity. The horizon is the simulated wall clock (last arrival).
+  const double duration_s = std::max(queue.now(), 1e-9);
+  std::vector<double> utilization(vertex_bytes.size(), 0.0);
+  for (std::size_t v = 0; v < vertex_bytes.size(); ++v) {
+    if (vertex_bytes[v] <= 0) continue;
+    const double port_gbps = topo.is_ops_vertex(v)
+                                 ? topo.ops(topo.vertex_to_ops(v)).port_bandwidth_gbps
+                                 : topo.tor(topo.vertex_to_tor(v)).port_bandwidth_gbps;
+    utilization[v] = (vertex_bytes[v] * 8.0) / (duration_s * port_gbps * 1e9);
+    metrics.switch_utilization.add(utilization[v]);
+    if (utilization[v] > metrics.peak_utilization) {
+      metrics.peak_utilization = utilization[v];
+      metrics.hottest_switch = v;
+    }
+  }
+  // Second pass: M/M/1-style queueing delays from the now-known per-switch
+  // utilization. Latency samples are recomputed per flow; aggregates only
+  // (traces keep their congestion-free figures).
+  if (config.latency.mm1_queueing && !flow_paths.empty()) {
+    alvc::util::SampleSet queued_latency;
+    std::size_t path_index = 0;
+    const auto& base = metrics.latency_us.samples();
+    for (double base_latency : base) {
+      double queue_delay = 0;
+      if (path_index < flow_paths.size()) {
+        for (std::size_t v : flow_paths[path_index]) {
+          const double rho = std::min(utilization[v], config.latency.max_utilization);
+          if (rho > 0) {
+            queue_delay += config.latency.switch_service_us * rho / (1.0 - rho);
+          }
+        }
+      }
+      queued_latency.add(base_latency + queue_delay);
+      ++path_index;
+    }
+    metrics.latency_us = std::move(queued_latency);
+  }
+  return metrics;
+}
+
+TrafficMetrics simulate_chain_traffic(const alvc::orchestrator::NetworkOrchestrator& orch,
+                                      const SimulationConfig& config, TraceRecorder* trace) {
+  TrafficMetrics metrics;
+  const auto chains = orch.chains();
+  if (chains.empty()) return metrics;
+  const auto& topo = orch.clusters().topology();
+
+  alvc::util::Rng rng(config.workload.seed);
+  EventQueue queue;
+  double clock = 0;
+  for (std::size_t i = 0; i < config.flow_count; ++i) {
+    clock += rng.exponential(config.workload.arrival_rate_per_s);
+    const auto* chain = chains[i % chains.size()];
+    const double bytes = rng.bounded_pareto(config.workload.pareto_alpha,
+                                            config.workload.min_bytes, config.workload.max_bytes);
+    queue.schedule(clock, [&, chain, bytes] {
+      ++metrics.flows;
+      ++metrics.intra_cluster_flows;  // chain traffic is slice-internal by construction
+      metrics.total_bytes += bytes;
+      WalkCost cost = cost_of_walk(topo, chain->route.vertices, bytes, config.latency,
+                                   config.energy);
+      // The placement-derived conversion count is authoritative (it knows
+      // same-server runs); walk-derived counts are for plain traffic.
+      cost.conversions = chain->placement.conversions.mid_chain;
+      // VNF processing time scales with flow size.
+      double processing_us = 0;
+      const auto& catalog = orch.cloud().catalog();
+      for (alvc::util::VnfId fn : chain->record.spec.functions) {
+        processing_us += catalog.descriptor(fn).processing_us_per_kb * (bytes / 1024.0);
+      }
+      const double latency_us =
+          cost.latency_us +
+          static_cast<double>(cost.conversions) * config.latency.conversion_us + processing_us;
+      const double energy_j =
+          cost.energy_j + static_cast<double>(cost.conversions) * bytes *
+                              config.energy.conversion_joules_per_byte;
+      metrics.hops.add(static_cast<double>(cost.hops));
+      metrics.latency_us.add(latency_us);
+      metrics.conversions.add(static_cast<double>(cost.conversions));
+      metrics.total_energy_j += energy_j;
+      if (trace != nullptr) {
+        trace->record(FlowRecord{.id = alvc::util::FlowId{static_cast<
+                                     alvc::util::FlowId::value_type>(metrics.flows - 1)},
+                                 .bytes = bytes,
+                                 .arrival_s = queue.now(),
+                                 .hops = cost.hops,
+                                 .conversions = cost.conversions,
+                                 .latency_us = latency_us,
+                                 .energy_j = energy_j,
+                                 .intra_cluster = true});
+      }
+    });
+  }
+  queue.run();
+  return metrics;
+}
+
+}  // namespace alvc::sim

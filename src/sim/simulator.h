@@ -1,0 +1,61 @@
+// Flow-level simulator over the AL-VC architecture.
+//
+// Two modes:
+//   * simulate_traffic — plain VM-to-VM traffic over the clustered DC
+//     (FIG1: intra- vs inter-cluster fractions, hop counts, energy);
+//   * simulate_chain_traffic — per-flow traversal of a provisioned NFC
+//     (FIG8: conversions and energy as placements change).
+//
+// Latency model (flow level, no queueing): per-hop propagation+switching
+// latency by domain, plus per-VNF processing proportional to flow size,
+// plus a fixed penalty per O/E/O conversion. Energy: per-byte-hop transport
+// by domain plus per-byte conversion energy (OeoCostModel).
+#pragma once
+
+#include <span>
+
+#include "cluster/cluster_manager.h"
+#include "orchestrator/orchestrator.h"
+#include "sim/event_queue.h"
+#include "sim/metrics.h"
+#include "sim/trace.h"
+#include "sim/workload.h"
+
+namespace alvc::sim {
+
+struct LatencyModel {
+  double optical_hop_us = 0.5;
+  double electronic_hop_us = 5.0;
+  double conversion_us = 10.0;
+  /// Optional congestion model: when true, each traversed switch adds an
+  /// M/M/1-style queueing delay of service_us * rho / (1 - rho), where rho
+  /// is the switch's offered utilization over the run (capped below 1).
+  /// Computed in a second pass once all flows are routed.
+  bool mm1_queueing = false;
+  double switch_service_us = 1.0;
+  double max_utilization = 0.95;
+};
+
+struct SimulationConfig {
+  WorkloadParams workload;
+  LatencyModel latency;
+  alvc::orchestrator::OeoCostModel energy;
+  std::size_t flow_count = 10'000;
+};
+
+/// VM-to-VM traffic over the clustered topology. Flows between VMs of the
+/// same cluster ride that cluster's AL; inter-cluster flows cross ALs (we
+/// route them over the full switch graph and count their extra cost).
+/// `trace` (optional) captures every flow's outcome for CSV export.
+[[nodiscard]] TrafficMetrics simulate_traffic(const alvc::cluster::ClusterManager& clusters,
+                                              const SimulationConfig& config,
+                                              TraceRecorder* trace = nullptr);
+
+/// Pushes flows round-robin through every provisioned chain of the
+/// orchestrator and accounts conversions/energy/latency per the chain's
+/// route and placement. `trace` (optional) captures per-flow records.
+[[nodiscard]] TrafficMetrics simulate_chain_traffic(
+    const alvc::orchestrator::NetworkOrchestrator& orch, const SimulationConfig& config,
+    TraceRecorder* trace = nullptr);
+
+}  // namespace alvc::sim

@@ -1,0 +1,30 @@
+#include "sim/trace.h"
+
+namespace alvc::sim {
+
+namespace {
+const std::vector<std::string> kHeader = {
+    "flow", "src_vm", "dst_vm", "bytes",        "arrival_s", "hops",
+    "oeo",  "latency_us", "energy_j", "intra_cluster", "routable"};
+}  // namespace
+
+void TraceRecorder::emit(alvc::util::CsvWriter& writer) const {
+  for (const FlowRecord& r : records_) {
+    writer.row_values(r.id.value(), r.src.value(), r.dst.value(), r.bytes, r.arrival_s, r.hops,
+                      r.conversions, r.latency_us, r.energy_j, r.intra_cluster ? 1 : 0,
+                      r.routable ? 1 : 0);
+  }
+}
+
+void TraceRecorder::write_csv(const std::string& path) const {
+  alvc::util::CsvWriter writer(path, kHeader);
+  emit(writer);
+}
+
+std::string TraceRecorder::to_csv() const {
+  alvc::util::CsvWriter writer(kHeader);
+  emit(writer);
+  return writer.str();
+}
+
+}  // namespace alvc::sim

@@ -1,0 +1,53 @@
+// Per-flow trace recording.
+//
+// The simulators aggregate by default; attaching a TraceRecorder captures
+// every flow's outcome so experiments can be re-plotted (CDFs, scatter) or
+// archived without re-running. Exports to CSV via util::CsvWriter.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "util/csv.h"
+#include "util/ids.h"
+
+namespace alvc::sim {
+
+struct FlowRecord {
+  alvc::util::FlowId id;
+  alvc::util::VmId src;
+  alvc::util::VmId dst;
+  double bytes = 0;
+  double arrival_s = 0;
+  std::size_t hops = 0;
+  std::size_t conversions = 0;
+  double latency_us = 0;
+  double energy_j = 0;
+  bool intra_cluster = false;
+  bool routable = true;
+};
+
+class TraceRecorder {
+ public:
+  /// Pre-sizes the buffer; records beyond `capacity_hint` still append.
+  explicit TraceRecorder(std::size_t capacity_hint = 0) { records_.reserve(capacity_hint); }
+
+  void record(FlowRecord record) { records_.push_back(record); }
+
+  [[nodiscard]] std::size_t size() const noexcept { return records_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return records_.empty(); }
+  [[nodiscard]] const std::vector<FlowRecord>& records() const noexcept { return records_; }
+  void clear() noexcept { records_.clear(); }
+
+  /// Writes all records to `path` as CSV (header + one row per flow).
+  void write_csv(const std::string& path) const;
+  /// In-memory CSV (tests, piping).
+  [[nodiscard]] std::string to_csv() const;
+
+ private:
+  void emit(alvc::util::CsvWriter& writer) const;
+
+  std::vector<FlowRecord> records_;
+};
+
+}  // namespace alvc::sim

@@ -1,0 +1,57 @@
+#include "sim/workload.h"
+
+#include <stdexcept>
+
+namespace alvc::sim {
+
+WorkloadGenerator::WorkloadGenerator(const alvc::topology::DataCenterTopology& topo,
+                                     WorkloadParams params)
+    : topo_(&topo), params_(params), rng_(params.seed) {
+  if (topo.vm_count() < 2) {
+    throw std::invalid_argument("WorkloadGenerator: need at least two VMs");
+  }
+  if (params.arrival_rate_per_s <= 0) {
+    throw std::invalid_argument("WorkloadGenerator: arrival rate must be positive");
+  }
+  std::size_t services = 0;
+  for (const auto& vm : topo.vms()) services = std::max(services, vm.service.index() + 1);
+  by_service_.resize(services);
+  for (const auto& vm : topo.vms()) by_service_[vm.service.index()].push_back(vm.id);
+}
+
+VmId WorkloadGenerator::pick_destination(VmId src) {
+  const auto& src_vm = topo_->vm(src);
+  const auto& same = by_service_[src_vm.service.index()];
+  // Locality draw, but only if the source's service has another member.
+  if (same.size() > 1 && rng_.bernoulli(params_.locality)) {
+    for (;;) {
+      const VmId dst = same[rng_.uniform_index(same.size())];
+      if (dst != src) return dst;
+    }
+  }
+  for (;;) {
+    const VmId dst{static_cast<VmId::value_type>(rng_.uniform_index(topo_->vm_count()))};
+    if (dst != src) return dst;
+  }
+}
+
+Flow WorkloadGenerator::next() {
+  clock_s_ += rng_.exponential(params_.arrival_rate_per_s);
+  const VmId src{static_cast<VmId::value_type>(rng_.uniform_index(topo_->vm_count()))};
+  Flow flow;
+  flow.id = FlowId{next_id_++};
+  flow.src = src;
+  flow.dst = pick_destination(src);
+  flow.bytes = rng_.bounded_pareto(params_.pareto_alpha, params_.min_bytes, params_.max_bytes);
+  flow.arrival_s = clock_s_;
+  return flow;
+}
+
+std::vector<Flow> WorkloadGenerator::generate(std::size_t count) {
+  std::vector<Flow> flows;
+  flows.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) flows.push_back(next());
+  return flows;
+}
+
+}  // namespace alvc::sim

@@ -1,0 +1,64 @@
+// Synthetic traffic generation (DESIGN.md §2: substitute for production
+// traces).
+//
+// Flows arrive as a Poisson process; sizes are bounded-Pareto (heavy tail,
+// the standard DCN assumption); endpoints are VM pairs drawn with a
+// tunable service-locality bias: with probability `locality` the
+// destination shares the source's service type (§III-A's "machines
+// offering identical services are likely to interact with each other more
+// often").
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "topology/topology.h"
+#include "util/ids.h"
+#include "util/rng.h"
+
+namespace alvc::sim {
+
+using alvc::util::FlowId;
+using alvc::util::VmId;
+
+struct Flow {
+  FlowId id;
+  VmId src;
+  VmId dst;
+  double bytes = 0;
+  double arrival_s = 0;
+};
+
+struct WorkloadParams {
+  double arrival_rate_per_s = 1000.0;  // Poisson rate
+  double mean_duration_s = 1.0;        // horizon = flows/rate
+  double pareto_alpha = 1.3;           // size tail index
+  double min_bytes = 1e3;              // 1 KB mice ...
+  double max_bytes = 1e9;              // ... to 1 GB elephants
+  double locality = 0.8;               // P(dst service == src service)
+  std::uint64_t seed = 1;
+};
+
+class WorkloadGenerator {
+ public:
+  WorkloadGenerator(const alvc::topology::DataCenterTopology& topo, WorkloadParams params);
+
+  /// Next flow in arrival order. Deterministic in the seed.
+  [[nodiscard]] Flow next();
+
+  /// Generates `count` flows.
+  [[nodiscard]] std::vector<Flow> generate(std::size_t count);
+
+ private:
+  [[nodiscard]] VmId pick_destination(VmId src);
+
+  const alvc::topology::DataCenterTopology* topo_;
+  WorkloadParams params_;
+  alvc::util::Rng rng_;
+  double clock_s_ = 0;
+  FlowId::value_type next_id_ = 0;
+  /// VMs bucketed by service for locality-biased destination draws.
+  std::vector<std::vector<VmId>> by_service_;
+};
+
+}  // namespace alvc::sim

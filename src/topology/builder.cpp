@@ -1,0 +1,197 @@
+#include "topology/builder.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <set>
+#include <stdexcept>
+
+namespace alvc::topology {
+
+using alvc::util::Rng;
+
+const char* to_string(CoreKind kind) noexcept {
+  switch (kind) {
+    case CoreKind::kNone: return "none";
+    case CoreKind::kFullMesh: return "full-mesh";
+    case CoreKind::kRing: return "ring";
+    case CoreKind::kTorus2D: return "torus2d";
+    case CoreKind::kRandomRegular: return "random-regular";
+  }
+  return "?";
+}
+
+namespace {
+
+void build_core(DataCenterTopology& topo, const TopologyParams& params, Rng& rng) {
+  const std::size_t n = params.ops_count;
+  const auto ops_id = [](std::size_t i) { return OpsId{static_cast<OpsId::value_type>(i)}; };
+  switch (params.core) {
+    case CoreKind::kNone:
+      break;
+    case CoreKind::kFullMesh:
+      for (std::size_t i = 0; i < n; ++i) {
+        for (std::size_t j = i + 1; j < n; ++j) topo.connect_ops_ops(ops_id(i), ops_id(j));
+      }
+      break;
+    case CoreKind::kRing:
+      if (n >= 2) {
+        for (std::size_t i = 0; i + 1 < n; ++i) topo.connect_ops_ops(ops_id(i), ops_id(i + 1));
+        if (n > 2) topo.connect_ops_ops(ops_id(n - 1), ops_id(0));
+      }
+      break;
+    case CoreKind::kTorus2D: {
+      // Closest factorisation rows*cols = n with rows <= cols.
+      std::size_t rows = static_cast<std::size_t>(std::sqrt(static_cast<double>(n)));
+      while (rows > 1 && n % rows != 0) --rows;
+      const std::size_t cols = n / rows;
+      std::set<std::pair<std::size_t, std::size_t>> added;
+      const auto link = [&](std::size_t a, std::size_t b) {
+        if (a == b) return;
+        const auto key = std::minmax(a, b);
+        if (added.insert(key).second) topo.connect_ops_ops(ops_id(a), ops_id(b));
+      };
+      for (std::size_t r = 0; r < rows; ++r) {
+        for (std::size_t c = 0; c < cols; ++c) {
+          const std::size_t v = r * cols + c;
+          link(v, r * cols + (c + 1) % cols);
+          link(v, ((r + 1) % rows) * cols + c);
+        }
+      }
+      break;
+    }
+    case CoreKind::kRandomRegular: {
+      if (n < 2) break;
+      const std::size_t d = std::min(params.core_degree, n - 1);
+      // Pairing model with dedup and a bounded number of retries; the result
+      // is near-regular, which is all the benches rely on.
+      std::set<std::pair<std::size_t, std::size_t>> added;
+      for (int attempt = 0; attempt < 200; ++attempt) {
+        std::vector<std::size_t> stubs;
+        std::vector<std::size_t> deficit(n, d);
+        for (std::size_t v = 0; v < n; ++v) {
+          for (const auto& [a, b] : added) {
+            if (a == v || b == v) {
+              if (deficit[v] > 0) --deficit[v];
+            }
+          }
+          for (std::size_t k = 0; k < deficit[v]; ++k) stubs.push_back(v);
+        }
+        if (stubs.size() < 2) break;
+        rng.shuffle(stubs);
+        for (std::size_t i = 0; i + 1 < stubs.size(); i += 2) {
+          const auto key = std::minmax(stubs[i], stubs[i + 1]);
+          if (key.first == key.second || added.contains(key)) continue;
+          added.insert(key);
+        }
+        // Stop once everyone is within one link of the target degree.
+        bool done = true;
+        std::vector<std::size_t> degree(n, 0);
+        for (const auto& [a, b] : added) {
+          ++degree[a];
+          ++degree[b];
+        }
+        for (std::size_t v = 0; v < n; ++v) {
+          if (degree[v] + 1 < d) done = false;
+        }
+        if (done) break;
+      }
+      for (const auto& [a, b] : added) topo.connect_ops_ops(ops_id(a), ops_id(b));
+      break;
+    }
+  }
+}
+
+}  // namespace
+
+DataCenterTopology build_topology(const TopologyParams& params) {
+  if (params.rack_count == 0 || params.servers_per_rack == 0 || params.vms_per_server == 0) {
+    throw std::invalid_argument("build_topology: racks/servers/VMs must be positive");
+  }
+  if (params.ops_count == 0) throw std::invalid_argument("build_topology: ops_count must be > 0");
+  if (params.tor_ops_degree == 0) {
+    throw std::invalid_argument("build_topology: tor_ops_degree must be > 0");
+  }
+  if (params.service_count == 0) {
+    throw std::invalid_argument("build_topology: service_count must be > 0");
+  }
+  if (params.optoelectronic_fraction < 0 || params.optoelectronic_fraction > 1) {
+    throw std::invalid_argument("build_topology: optoelectronic_fraction out of [0,1]");
+  }
+
+  Rng rng(params.seed);
+  DataCenterTopology topo;
+
+  // OPS layer first (ids 0..ops_count-1). Which switches are optoelectronic
+  // is a random subset of the requested size.
+  std::size_t oe_count =
+      static_cast<std::size_t>(std::round(params.optoelectronic_fraction *
+                                          static_cast<double>(params.ops_count)));
+  if (params.optoelectronic_fraction > 0 && oe_count == 0) oe_count = 1;
+  std::vector<std::size_t> ops_order(params.ops_count);
+  std::iota(ops_order.begin(), ops_order.end(), std::size_t{0});
+  rng.shuffle(ops_order);
+  std::vector<bool> is_oe(params.ops_count, false);
+  for (std::size_t i = 0; i < oe_count; ++i) is_oe[ops_order[i]] = true;
+  for (std::size_t i = 0; i < params.ops_count; ++i) {
+    topo.add_ops(is_oe[i], params.optoelectronic_compute);
+  }
+
+  build_core(topo, params, rng);
+
+  // Racks: ToR, servers, VMs. Each ToR picks `tor_ops_degree` distinct OPS
+  // uplinks at random (the paper's "each ToR is connected to multiple OPSs").
+  const std::size_t degree = std::min(params.tor_ops_degree, params.ops_count);
+
+  if (params.dual_homing_probability < 0 || params.dual_homing_probability > 1) {
+    throw std::invalid_argument("build_topology: dual_homing_probability out of [0,1]");
+  }
+  if (params.uplink_locality < 0 || params.uplink_locality > 1) {
+    throw std::invalid_argument("build_topology: uplink_locality out of [0,1]");
+  }
+  for (std::size_t r = 0; r < params.rack_count; ++r) {
+    const TorId tor = topo.add_tor();
+    // Local picks come from a contiguous OPS window anchored at the rack's
+    // position; random picks from the whole layer. Distinctness enforced.
+    const std::size_t window_base =
+        (r * params.ops_count) / std::max<std::size_t>(params.rack_count, 1);
+    std::set<std::size_t> chosen;
+    std::size_t local_cursor = 0;
+    while (chosen.size() < degree) {
+      std::size_t pick;
+      if (params.uplink_locality > 0 && rng.bernoulli(params.uplink_locality)) {
+        pick = (window_base + local_cursor++) % params.ops_count;
+      } else {
+        pick = rng.uniform_index(params.ops_count);
+      }
+      chosen.insert(pick);
+    }
+    for (std::size_t o : chosen) {
+      topo.connect_tor_ops(tor, OpsId{static_cast<OpsId::value_type>(o)});
+    }
+    for (std::size_t s = 0; s < params.servers_per_rack; ++s) {
+      const ServerId server = topo.add_server(tor, params.server_capacity);
+      for (std::size_t v = 0; v < params.vms_per_server; ++v) {
+        const std::size_t service = params.service_skew > 0
+                                        ? rng.zipf(params.service_count, params.service_skew)
+                                        : rng.uniform_index(params.service_count);
+        topo.add_vm(server, ServiceId{static_cast<ServiceId::value_type>(service)},
+                    params.vm_demand);
+      }
+    }
+  }
+  // Second pass: optional dual homing once every ToR exists.
+  if (params.dual_homing_probability > 0 && params.rack_count > 1) {
+    for (const auto& server : topo.servers()) {
+      if (!rng.bernoulli(params.dual_homing_probability)) continue;
+      TorId other{static_cast<TorId::value_type>(rng.uniform_index(params.rack_count))};
+      if (other == server.tor) {
+        other = TorId{static_cast<TorId::value_type>((other.value() + 1) % params.rack_count)};
+      }
+      topo.add_server_homing(server.id, other);
+    }
+  }
+  return topo;
+}
+
+}  // namespace alvc::topology

@@ -1,0 +1,72 @@
+// Parametric, seeded construction of AL-VC topologies.
+//
+// The paper's testbed (Fig. 2) is: racks of servers behind ToRs, each ToR
+// uplinked to several OPSs, OPS core wired per the authors' earlier OPS
+// topology work [29]. We parameterise every knob so benches can sweep
+// scale, and substitute the unavailable hardware with a deterministic
+// generator (see DESIGN.md §2).
+#pragma once
+
+#include <cstdint>
+
+#include "topology/elements.h"
+#include "topology/topology.h"
+#include "util/rng.h"
+
+namespace alvc::topology {
+
+/// Shape of the OPS-OPS core (ref [29] evaluates several such families).
+enum class CoreKind : std::uint8_t {
+  kNone,           // no OPS-OPS links (ToR-OPS bipartite only)
+  kFullMesh,       // every OPS pair linked
+  kRing,           // cycle over OPSs
+  kTorus2D,        // 2-D wrap-around grid (closest square factorisation)
+  kRandomRegular,  // random d-regular multigraph (pairing model, deduped)
+};
+
+[[nodiscard]] const char* to_string(CoreKind kind) noexcept;
+
+struct TopologyParams {
+  std::size_t rack_count = 8;
+  std::size_t servers_per_rack = 4;
+  std::size_t vms_per_server = 4;
+  std::size_t ops_count = 8;
+  /// Uplinks per ToR into the OPS layer (capped at ops_count).
+  std::size_t tor_ops_degree = 3;
+  /// Probability that each uplink is drawn from the rack's local window of
+  /// OPSs (physically nearby switches) instead of uniformly at random.
+  /// 0 = fully random wiring; 1 = fully local. Local wiring keeps ALs
+  /// geographically compact, which matters at large scale (ABL2).
+  double uplink_locality = 0.0;
+  CoreKind core = CoreKind::kRing;
+  /// Degree for kRandomRegular cores.
+  std::size_t core_degree = 3;
+  /// Fraction of OPSs that are optoelectronic routers (capable of hosting
+  /// VNFs, §IV-D). Rounded to at least one when > 0.
+  double optoelectronic_fraction = 0.5;
+  /// Number of distinct service types VMs are labelled with (§III-A: "the
+  /// number of services in a data center is defined by the network
+  /// operator").
+  std::size_t service_count = 4;
+  /// Zipf exponent for the service popularity skew (0 = uniform).
+  double service_skew = 0.8;
+  /// Probability that a server is additionally homed to a second, random
+  /// ToR (multi-homed machines, Fig. 4). 0 disables multi-homing.
+  double dual_homing_probability = 0.0;
+  Resources server_capacity{.cpu_cores = 32, .memory_gb = 128, .storage_gb = 1024};
+  Resources vm_demand{.cpu_cores = 2, .memory_gb = 8, .storage_gb = 64};
+  /// Compute available on each optoelectronic router ("limited buffer,
+  /// storage, and processing capability").
+  Resources optoelectronic_compute{.cpu_cores = 4, .memory_gb = 8, .storage_gb = 32};
+  std::uint64_t seed = 1;
+
+  [[nodiscard]] std::size_t total_vms() const noexcept {
+    return rack_count * servers_per_rack * vms_per_server;
+  }
+};
+
+/// Builds a topology from `params`. Deterministic in params.seed.
+/// Throws std::invalid_argument on degenerate parameters (zero racks, ...).
+[[nodiscard]] DataCenterTopology build_topology(const TopologyParams& params);
+
+}  // namespace alvc::topology

@@ -1,0 +1,114 @@
+// The hybrid data-center topology (paper Fig. 2).
+//
+// Owns all elements (servers, VMs, ToRs, OPSs) and the physical links
+// between them, and exposes the two derived views the rest of the system
+// needs:
+//   * a unified switch-level Graph (ToRs + OPSs) for routing, where vertex
+//     indices are ToRs first then OPSs;
+//   * bipartite VM->ToR and ToR->OPS graphs for AL construction.
+//
+// Invariant: ids are dense (id.value() indexes the owning vector).
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "graph/bipartite.h"
+#include "graph/graph.h"
+#include "topology/elements.h"
+#include "util/error.h"
+
+namespace alvc::topology {
+
+class DataCenterTopology {
+ public:
+  // ---- construction (used by TopologyBuilder and tests) ----
+
+  /// Adds a ToR switch; returns its id.
+  TorId add_tor(double port_bandwidth_gbps = 10.0);
+  /// Adds a server under `tor`. Throws std::out_of_range on bad tor.
+  ServerId add_server(TorId tor, const Resources& capacity);
+  /// Adds a VM on `server` with a service label.
+  VmId add_vm(ServerId server, ServiceId service, const Resources& demand = {});
+  /// Adds an optical switch; optoelectronic ones get compute capacity.
+  OpsId add_ops(bool optoelectronic = false, const Resources& compute = {},
+                double port_bandwidth_gbps = 100.0);
+  /// Connects a ToR to an OPS (the electronic/optical boundary link).
+  void connect_tor_ops(TorId tor, OpsId ops);
+  /// Connects two OPSs in the optical core.
+  void connect_ops_ops(OpsId a, OpsId b);
+
+  /// Migrates a VM to another server (live migration / churn events).
+  /// Throws std::out_of_range on bad ids.
+  void move_vm(VmId vm, ServerId new_server);
+
+  /// Adds a secondary ToR homing to a server (multi-homed machines,
+  /// Fig. 4). No-op if already homed to `tor`.
+  void add_server_homing(ServerId server, TorId tor);
+
+  /// Marks an OPS failed (or repaired). Failed OPSs disappear from the
+  /// switch graph and must be skipped by AL construction and placement.
+  void set_ops_failed(OpsId ops, bool failed);
+  /// Usable = exists and not failed.
+  [[nodiscard]] bool ops_usable(OpsId ops) const { return !this->ops(ops).failed; }
+
+  // ---- element access ----
+
+  [[nodiscard]] std::size_t server_count() const noexcept { return servers_.size(); }
+  [[nodiscard]] std::size_t vm_count() const noexcept { return vms_.size(); }
+  [[nodiscard]] std::size_t tor_count() const noexcept { return tors_.size(); }
+  [[nodiscard]] std::size_t ops_count() const noexcept { return opss_.size(); }
+
+  [[nodiscard]] const Server& server(ServerId id) const { return servers_.at(id.index()); }
+  [[nodiscard]] const Vm& vm(VmId id) const { return vms_.at(id.index()); }
+  [[nodiscard]] const TorSwitch& tor(TorId id) const { return tors_.at(id.index()); }
+  [[nodiscard]] const OpticalSwitch& ops(OpsId id) const { return opss_.at(id.index()); }
+
+  [[nodiscard]] std::span<const Server> servers() const noexcept { return servers_; }
+  [[nodiscard]] std::span<const Vm> vms() const noexcept { return vms_; }
+  [[nodiscard]] std::span<const TorSwitch> tors() const noexcept { return tors_; }
+  [[nodiscard]] std::span<const OpticalSwitch> opss() const noexcept { return opss_; }
+
+  /// The primary ToR a VM hangs off (via its server's rack).
+  [[nodiscard]] TorId tor_of_vm(VmId id) const { return server(vm(id).server).tor; }
+
+  /// All ToRs a VM can reach (primary first, then secondary homings).
+  [[nodiscard]] std::vector<TorId> tors_of_vm(VmId id) const;
+
+  // ---- derived graph views ----
+
+  /// Switch-level graph over ToRs and OPSs. Vertex layout:
+  /// [0, tor_count) are ToRs, [tor_count, tor_count + ops_count) are OPSs.
+  /// Rebuilt lazily after structural changes.
+  [[nodiscard]] const alvc::graph::Graph& switch_graph() const;
+  [[nodiscard]] std::size_t tor_vertex(TorId id) const { return id.index(); }
+  [[nodiscard]] std::size_t ops_vertex(OpsId id) const { return tors_.size() + id.index(); }
+  [[nodiscard]] bool is_ops_vertex(std::size_t v) const noexcept { return v >= tors_.size(); }
+  [[nodiscard]] Domain vertex_domain(std::size_t v) const noexcept {
+    return is_ops_vertex(v) ? Domain::kOptical : Domain::kElectronic;
+  }
+  [[nodiscard]] OpsId vertex_to_ops(std::size_t v) const;
+  [[nodiscard]] TorId vertex_to_tor(std::size_t v) const;
+
+  /// Bipartite VM->ToR graph restricted to `group` (left index i is
+  /// group[i]), one edge per reachable ToR (primary + secondary homings);
+  /// the AL builder's first-stage input.
+  [[nodiscard]] alvc::graph::BipartiteGraph vm_tor_graph(std::span<const VmId> group) const;
+
+  /// Bipartite ToR->OPS graph over all ToRs and OPSs.
+  [[nodiscard]] alvc::graph::BipartiteGraph tor_ops_graph() const;
+
+ private:
+  void invalidate_cache() noexcept { switch_graph_valid_ = false; }
+
+  std::vector<Server> servers_;
+  std::vector<Vm> vms_;
+  std::vector<TorSwitch> tors_;
+  std::vector<OpticalSwitch> opss_;
+
+  mutable alvc::graph::Graph switch_graph_;
+  mutable bool switch_graph_valid_ = false;
+};
+
+}  // namespace alvc::topology

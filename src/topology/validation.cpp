@@ -1,0 +1,99 @@
+#include "topology/validation.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "graph/union_find.h"
+
+namespace alvc::topology {
+
+namespace {
+
+template <typename... Args>
+std::string format(Args&&... args) {
+  std::ostringstream os;
+  (os << ... << args);
+  return os.str();
+}
+
+}  // namespace
+
+ValidationReport validate(const DataCenterTopology& topo) {
+  ValidationReport report;
+  const auto fail = [&](std::string msg) { report.violations.push_back(std::move(msg)); };
+
+  // Dense id invariant.
+  for (std::size_t i = 0; i < topo.server_count(); ++i) {
+    const auto& s = topo.servers()[i];
+    if (s.id.index() != i) fail(format("server ", i, " has id ", s.id));
+    if (s.tor.index() >= topo.tor_count()) fail(format("server ", i, " references bad tor"));
+    for (auto sec : s.secondary_tors) {
+      if (sec.index() >= topo.tor_count()) {
+        fail(format("server ", i, " has bad secondary tor"));
+      } else if (sec == s.tor) {
+        fail(format("server ", i, " secondary tor duplicates primary"));
+      }
+    }
+  }
+  for (std::size_t i = 0; i < topo.vm_count(); ++i) {
+    const auto& v = topo.vms()[i];
+    if (v.id.index() != i) fail(format("vm ", i, " has id ", v.id));
+    if (v.server.index() >= topo.server_count()) {
+      fail(format("vm ", i, " references bad server"));
+      continue;
+    }
+    // Server must list the VM back.
+    const auto& owner = topo.server(v.server);
+    if (std::find(owner.vms.begin(), owner.vms.end(), v.id) == owner.vms.end()) {
+      fail(format("vm ", i, " missing from its server's vm list"));
+    }
+  }
+  for (std::size_t i = 0; i < topo.tor_count(); ++i) {
+    const auto& t = topo.tors()[i];
+    if (t.id.index() != i) fail(format("tor ", i, " has id ", t.id));
+    for (ServerId s : t.servers) {
+      if (s.index() >= topo.server_count()) {
+        fail(format("tor ", i, " lists bad server"));
+      } else if (topo.server(s).tor != t.id) {
+        fail(format("tor ", i, " lists server ", s, " that points elsewhere"));
+      }
+    }
+    for (OpsId o : t.uplinks) {
+      if (o.index() >= topo.ops_count()) {
+        fail(format("tor ", i, " uplinks to bad ops"));
+      } else {
+        const auto& links = topo.ops(o).tor_links;
+        if (std::find(links.begin(), links.end(), t.id) == links.end()) {
+          fail(format("tor ", i, " -> ops ", o, " link not mirrored"));
+        }
+      }
+    }
+  }
+  for (std::size_t i = 0; i < topo.ops_count(); ++i) {
+    const auto& o = topo.opss()[i];
+    if (o.id.index() != i) fail(format("ops ", i, " has id ", o.id));
+    if (!o.optoelectronic &&
+        (o.compute.cpu_cores != 0 || o.compute.memory_gb != 0 || o.compute.storage_gb != 0)) {
+      fail(format("plain ops ", i, " has nonzero compute"));
+    }
+    for (OpsId peer : o.peer_links) {
+      if (peer.index() >= topo.ops_count()) {
+        fail(format("ops ", i, " peers with bad ops"));
+      } else if (peer == o.id) {
+        fail(format("ops ", i, " has self peer-link"));
+      } else {
+        const auto& back = topo.ops(peer).peer_links;
+        if (std::find(back.begin(), back.end(), o.id) == back.end()) {
+          fail(format("ops ", i, " <-> ops ", peer, " core link not mirrored"));
+        }
+      }
+    }
+  }
+  return report;
+}
+
+bool switch_layer_connected(const DataCenterTopology& topo) {
+  return alvc::graph::is_connected(topo.switch_graph());
+}
+
+}  // namespace alvc::topology

@@ -1,0 +1,27 @@
+// Structural invariant checks for a DataCenterTopology.
+//
+// Used by tests and by benches before trusting a generated topology:
+// referential integrity of ids, bidirectional link consistency, domain
+// sanity (plain OPSs have no compute), and connectivity diagnostics.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "topology/topology.h"
+
+namespace alvc::topology {
+
+struct ValidationReport {
+  std::vector<std::string> violations;
+  [[nodiscard]] bool ok() const noexcept { return violations.empty(); }
+};
+
+/// Checks every structural invariant; collects human-readable violations.
+[[nodiscard]] ValidationReport validate(const DataCenterTopology& topo);
+
+/// True if the switch-level graph (ToRs + OPSs) is one connected component.
+/// ToR-less or OPS-less corner cases count as connected when trivially so.
+[[nodiscard]] bool switch_layer_connected(const DataCenterTopology& topo);
+
+}  // namespace alvc::topology

@@ -1,0 +1,146 @@
+#include "util/bitset.h"
+
+#include <bit>
+#include <stdexcept>
+
+namespace alvc::util {
+
+DynamicBitset::DynamicBitset(std::size_t bits, bool value)
+    : bits_(bits), words_((bits + kWordBits - 1) / kWordBits, value ? ~0ULL : 0ULL) {
+  clear_trailing_bits();
+}
+
+void DynamicBitset::check_index(std::size_t i) const {
+  if (i >= bits_) throw std::out_of_range("DynamicBitset index");
+}
+
+void DynamicBitset::check_same_size(const DynamicBitset& other) const {
+  if (bits_ != other.bits_) throw std::invalid_argument("DynamicBitset size mismatch");
+}
+
+void DynamicBitset::clear_trailing_bits() noexcept {
+  const std::size_t rem = bits_ % kWordBits;
+  if (rem != 0 && !words_.empty()) words_.back() &= (1ULL << rem) - 1;
+}
+
+void DynamicBitset::set(std::size_t i) {
+  check_index(i);
+  words_[i / kWordBits] |= 1ULL << (i % kWordBits);
+}
+
+void DynamicBitset::reset(std::size_t i) {
+  check_index(i);
+  words_[i / kWordBits] &= ~(1ULL << (i % kWordBits));
+}
+
+void DynamicBitset::set_all() noexcept {
+  for (auto& w : words_) w = ~0ULL;
+  clear_trailing_bits();
+}
+
+void DynamicBitset::reset_all() noexcept {
+  for (auto& w : words_) w = 0;
+}
+
+bool DynamicBitset::test(std::size_t i) const {
+  check_index(i);
+  return (words_[i / kWordBits] >> (i % kWordBits)) & 1ULL;
+}
+
+std::size_t DynamicBitset::count() const noexcept {
+  std::size_t n = 0;
+  for (auto w : words_) n += static_cast<std::size_t>(std::popcount(w));
+  return n;
+}
+
+bool DynamicBitset::any() const noexcept {
+  for (auto w : words_) {
+    if (w) return true;
+  }
+  return false;
+}
+
+bool DynamicBitset::all() const noexcept { return count() == bits_; }
+
+std::size_t DynamicBitset::find_first() const noexcept {
+  for (std::size_t wi = 0; wi < words_.size(); ++wi) {
+    if (words_[wi]) {
+      return wi * kWordBits + static_cast<std::size_t>(std::countr_zero(words_[wi]));
+    }
+  }
+  return bits_;
+}
+
+std::size_t DynamicBitset::find_next(std::size_t i) const noexcept {
+  if (i + 1 >= bits_) return bits_;
+  std::size_t start = i + 1;
+  std::size_t wi = start / kWordBits;
+  const std::uint64_t masked = words_[wi] & (~0ULL << (start % kWordBits));
+  if (masked) return wi * kWordBits + static_cast<std::size_t>(std::countr_zero(masked));
+  for (++wi; wi < words_.size(); ++wi) {
+    if (words_[wi]) {
+      return wi * kWordBits + static_cast<std::size_t>(std::countr_zero(words_[wi]));
+    }
+  }
+  return bits_;
+}
+
+DynamicBitset& DynamicBitset::operator|=(const DynamicBitset& other) {
+  check_same_size(other);
+  for (std::size_t i = 0; i < words_.size(); ++i) words_[i] |= other.words_[i];
+  return *this;
+}
+
+DynamicBitset& DynamicBitset::operator&=(const DynamicBitset& other) {
+  check_same_size(other);
+  for (std::size_t i = 0; i < words_.size(); ++i) words_[i] &= other.words_[i];
+  return *this;
+}
+
+DynamicBitset& DynamicBitset::operator^=(const DynamicBitset& other) {
+  check_same_size(other);
+  for (std::size_t i = 0; i < words_.size(); ++i) words_[i] ^= other.words_[i];
+  return *this;
+}
+
+DynamicBitset& DynamicBitset::subtract(const DynamicBitset& other) {
+  check_same_size(other);
+  for (std::size_t i = 0; i < words_.size(); ++i) words_[i] &= ~other.words_[i];
+  return *this;
+}
+
+std::size_t DynamicBitset::count_and(const DynamicBitset& other) const {
+  check_same_size(other);
+  std::size_t n = 0;
+  for (std::size_t i = 0; i < words_.size(); ++i) {
+    n += static_cast<std::size_t>(std::popcount(words_[i] & other.words_[i]));
+  }
+  return n;
+}
+
+std::size_t DynamicBitset::count_andnot(const DynamicBitset& other) const {
+  check_same_size(other);
+  std::size_t n = 0;
+  for (std::size_t i = 0; i < words_.size(); ++i) {
+    n += static_cast<std::size_t>(std::popcount(words_[i] & ~other.words_[i]));
+  }
+  return n;
+}
+
+bool DynamicBitset::is_subset_of(const DynamicBitset& other) const {
+  check_same_size(other);
+  for (std::size_t i = 0; i < words_.size(); ++i) {
+    if (words_[i] & ~other.words_[i]) return false;
+  }
+  return true;
+}
+
+bool DynamicBitset::intersects(const DynamicBitset& other) const {
+  check_same_size(other);
+  for (std::size_t i = 0; i < words_.size(); ++i) {
+    if (words_[i] & other.words_[i]) return true;
+  }
+  return false;
+}
+
+}  // namespace alvc::util

@@ -1,0 +1,74 @@
+// Dynamic bitset used by the cover algorithms.
+//
+// The vertex-cover and set-cover solvers repeatedly ask "which VMs are still
+// uncovered?" over sets sized by the VM group; a word-packed bitset makes
+// union/intersection/count O(n/64).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace alvc::util {
+
+class DynamicBitset {
+ public:
+  DynamicBitset() = default;
+  explicit DynamicBitset(std::size_t bits, bool value = false);
+
+  [[nodiscard]] std::size_t size() const noexcept { return bits_; }
+  [[nodiscard]] bool empty() const noexcept { return bits_ == 0; }
+
+  void set(std::size_t i);
+  void reset(std::size_t i);
+  void set_all() noexcept;
+  void reset_all() noexcept;
+  [[nodiscard]] bool test(std::size_t i) const;
+
+  [[nodiscard]] std::size_t count() const noexcept;
+  [[nodiscard]] bool any() const noexcept;
+  [[nodiscard]] bool none() const noexcept { return !any(); }
+  [[nodiscard]] bool all() const noexcept;
+
+  /// Index of first set bit, or size() if none.
+  [[nodiscard]] std::size_t find_first() const noexcept;
+  /// Index of first set bit strictly after `i`, or size() if none.
+  [[nodiscard]] std::size_t find_next(std::size_t i) const noexcept;
+
+  DynamicBitset& operator|=(const DynamicBitset& other);
+  DynamicBitset& operator&=(const DynamicBitset& other);
+  DynamicBitset& operator^=(const DynamicBitset& other);
+  /// this &= ~other
+  DynamicBitset& subtract(const DynamicBitset& other);
+
+  [[nodiscard]] friend DynamicBitset operator|(DynamicBitset a, const DynamicBitset& b) {
+    a |= b;
+    return a;
+  }
+  [[nodiscard]] friend DynamicBitset operator&(DynamicBitset a, const DynamicBitset& b) {
+    a &= b;
+    return a;
+  }
+
+  /// popcount(this & other) without materialising the intersection.
+  [[nodiscard]] std::size_t count_and(const DynamicBitset& other) const;
+  /// popcount(this & ~other): how many of our bits the other set misses.
+  [[nodiscard]] std::size_t count_andnot(const DynamicBitset& other) const;
+  /// True when every set bit of this is also set in other.
+  [[nodiscard]] bool is_subset_of(const DynamicBitset& other) const;
+  [[nodiscard]] bool intersects(const DynamicBitset& other) const;
+
+  bool operator==(const DynamicBitset& other) const noexcept = default;
+
+ private:
+  static constexpr std::size_t kWordBits = 64;
+  [[nodiscard]] std::size_t word_count() const noexcept { return words_.size(); }
+  void check_index(std::size_t i) const;
+  void check_same_size(const DynamicBitset& other) const;
+  void clear_trailing_bits() noexcept;
+
+  std::size_t bits_ = 0;
+  std::vector<std::uint64_t> words_;
+};
+
+}  // namespace alvc::util

@@ -1,0 +1,62 @@
+#include "util/csv.h"
+
+#include <stdexcept>
+
+namespace alvc::util {
+
+CsvWriter::CsvWriter(const std::string& path, const std::vector<std::string>& header)
+    : columns_(header.size()), file_(path), to_file_(true) {
+  if (!file_) throw std::runtime_error("CsvWriter: cannot open " + path);
+  if (header.empty()) throw std::invalid_argument("CsvWriter: empty header");
+  std::string line;
+  for (std::size_t i = 0; i < header.size(); ++i) {
+    if (i) line += ',';
+    line += escape(header[i]);
+  }
+  emit(line);
+}
+
+CsvWriter::CsvWriter(const std::vector<std::string>& header) : columns_(header.size()) {
+  if (header.empty()) throw std::invalid_argument("CsvWriter: empty header");
+  std::string line;
+  for (std::size_t i = 0; i < header.size(); ++i) {
+    if (i) line += ',';
+    line += escape(header[i]);
+  }
+  emit(line);
+}
+
+void CsvWriter::row(const std::vector<std::string>& fields) {
+  if (fields.size() != columns_) {
+    throw std::invalid_argument("CsvWriter: row width " + std::to_string(fields.size()) +
+                                " != header width " + std::to_string(columns_));
+  }
+  std::string line;
+  for (std::size_t i = 0; i < fields.size(); ++i) {
+    if (i) line += ',';
+    line += escape(fields[i]);
+  }
+  emit(line);
+  ++rows_;
+}
+
+std::string CsvWriter::escape(const std::string& field) {
+  if (field.find_first_of(",\"\n") == std::string::npos) return field;
+  std::string out = "\"";
+  for (char c : field) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+void CsvWriter::emit(const std::string& line) {
+  if (to_file_) {
+    file_ << line << '\n';
+  } else {
+    buffer_ << line << '\n';
+  }
+}
+
+}  // namespace alvc::util

@@ -1,0 +1,54 @@
+// CSV emission for bench results.
+//
+// Benches print human-readable rows to stdout and can mirror them into a
+// CSV file so figures can be re-plotted without re-running.
+#pragma once
+
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace alvc::util {
+
+class CsvWriter {
+ public:
+  /// Opens `path` for writing and emits the header row. Throws on failure.
+  CsvWriter(const std::string& path, const std::vector<std::string>& header);
+  /// In-memory writer (for tests); use str() to read back.
+  explicit CsvWriter(const std::vector<std::string>& header);
+
+  /// Appends one row; the number of fields must match the header.
+  void row(const std::vector<std::string>& fields);
+
+  /// Convenience for mixed types.
+  template <typename... Ts>
+  void row_values(const Ts&... values) {
+    std::vector<std::string> fields;
+    fields.reserve(sizeof...(values));
+    (fields.push_back(to_field(values)), ...);
+    row(fields);
+  }
+
+  [[nodiscard]] std::string str() const { return buffer_.str(); }
+  [[nodiscard]] std::size_t rows_written() const noexcept { return rows_; }
+
+ private:
+  template <typename T>
+  static std::string to_field(const T& value) {
+    std::ostringstream os;
+    os << value;
+    return os.str();
+  }
+
+  static std::string escape(const std::string& field);
+  void emit(const std::string& line);
+
+  std::size_t columns_;
+  std::size_t rows_ = 0;
+  std::ofstream file_;
+  std::ostringstream buffer_;
+  bool to_file_ = false;
+};
+
+}  // namespace alvc::util

@@ -1,0 +1,118 @@
+// Lightweight error handling for recoverable failures.
+//
+// Operations that can fail for reasons the caller must handle (admission
+// rejected, no feasible placement, exhausted OPS pool) return
+// Expected<T>. Programming errors (violated preconditions) use assertions
+// and exceptions instead.
+#pragma once
+
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace alvc::util {
+
+/// Category of a recoverable failure.
+enum class ErrorCode {
+  kInvalidArgument,
+  kNotFound,
+  kCapacityExceeded,
+  kConflict,       // e.g. OPS already owned by another abstraction layer
+  kInfeasible,     // no solution exists (placement/cover)
+  kRejected,       // admission control said no
+  kInternal,
+};
+
+[[nodiscard]] constexpr const char* to_string(ErrorCode code) noexcept {
+  switch (code) {
+    case ErrorCode::kInvalidArgument: return "invalid_argument";
+    case ErrorCode::kNotFound: return "not_found";
+    case ErrorCode::kCapacityExceeded: return "capacity_exceeded";
+    case ErrorCode::kConflict: return "conflict";
+    case ErrorCode::kInfeasible: return "infeasible";
+    case ErrorCode::kRejected: return "rejected";
+    case ErrorCode::kInternal: return "internal";
+  }
+  return "unknown";
+}
+
+/// A recoverable failure: code plus human-readable context.
+struct Error {
+  ErrorCode code = ErrorCode::kInternal;
+  std::string message;
+
+  [[nodiscard]] std::string to_string() const {
+    return std::string(alvc::util::to_string(code)) + ": " + message;
+  }
+};
+
+/// Minimal expected-like type (std::expected is C++23).
+template <typename T>
+class Expected {
+ public:
+  Expected(T value) : storage_(std::move(value)) {}  // NOLINT(google-explicit-constructor)
+  Expected(Error error) : storage_(std::move(error)) {}  // NOLINT(google-explicit-constructor)
+
+  [[nodiscard]] bool has_value() const noexcept { return std::holds_alternative<T>(storage_); }
+  explicit operator bool() const noexcept { return has_value(); }
+
+  [[nodiscard]] T& value() & {
+    require_value();
+    return std::get<T>(storage_);
+  }
+  [[nodiscard]] const T& value() const& {
+    require_value();
+    return std::get<T>(storage_);
+  }
+  [[nodiscard]] T&& value() && {
+    require_value();
+    return std::get<T>(std::move(storage_));
+  }
+
+  [[nodiscard]] const Error& error() const {
+    if (has_value()) throw std::logic_error("Expected holds a value, not an error");
+    return std::get<Error>(storage_);
+  }
+
+  [[nodiscard]] T value_or(T fallback) const {
+    return has_value() ? std::get<T>(storage_) : std::move(fallback);
+  }
+
+  [[nodiscard]] T* operator->() { return &value(); }
+  [[nodiscard]] const T* operator->() const { return &value(); }
+  [[nodiscard]] T& operator*() & { return value(); }
+  [[nodiscard]] const T& operator*() const& { return value(); }
+
+ private:
+  void require_value() const {
+    if (!has_value()) {
+      throw std::runtime_error("Expected holds error: " + std::get<Error>(storage_).to_string());
+    }
+  }
+
+  std::variant<T, Error> storage_;
+};
+
+/// Expected<void> analogue.
+class Status {
+ public:
+  Status() = default;
+  Status(Error error) : error_(std::move(error)) {}  // NOLINT(google-explicit-constructor)
+
+  [[nodiscard]] static Status ok() { return Status{}; }
+
+  [[nodiscard]] bool is_ok() const noexcept { return !error_.has_value(); }
+  explicit operator bool() const noexcept { return is_ok(); }
+
+  [[nodiscard]] const Error& error() const {
+    if (is_ok()) throw std::logic_error("Status is ok, no error");
+    return *error_;
+  }
+
+ private:
+  std::optional<Error> error_;
+};
+
+}  // namespace alvc::util

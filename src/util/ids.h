@@ -1,0 +1,93 @@
+// Strong identifier types.
+//
+// Every entity in the AL-VC system (server, VM, ToR switch, optical switch,
+// cluster, NFC, VNF instance, flow, ...) is referred to by a small integer
+// index. Using a raw std::size_t for all of them invites silent cross-entity
+// mix-ups (passing a VM id where a ToR id is expected), so each entity gets
+// its own tagged id type. Ids are cheap value types: trivially copyable,
+// totally ordered, and hashable.
+#pragma once
+
+#include <compare>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <limits>
+#include <ostream>
+
+namespace alvc::util {
+
+/// A strongly typed integer identifier. `Tag` only disambiguates the type;
+/// it is never instantiated.
+template <typename Tag>
+class TaggedId {
+ public:
+  using value_type = std::uint32_t;
+
+  /// Sentinel for "no such entity".
+  static constexpr value_type kInvalidValue = std::numeric_limits<value_type>::max();
+
+  constexpr TaggedId() noexcept = default;
+  constexpr explicit TaggedId(value_type v) noexcept : value_(v) {}
+
+  [[nodiscard]] constexpr value_type value() const noexcept { return value_; }
+  [[nodiscard]] constexpr bool valid() const noexcept { return value_ != kInvalidValue; }
+
+  /// Convenience for indexing into dense arrays keyed by this id.
+  [[nodiscard]] constexpr std::size_t index() const noexcept {
+    return static_cast<std::size_t>(value_);
+  }
+
+  [[nodiscard]] static constexpr TaggedId invalid() noexcept { return TaggedId{}; }
+
+  friend constexpr auto operator<=>(TaggedId, TaggedId) noexcept = default;
+
+ private:
+  value_type value_ = kInvalidValue;
+};
+
+template <typename Tag>
+std::ostream& operator<<(std::ostream& os, TaggedId<Tag> id) {
+  if (!id.valid()) return os << "<invalid>";
+  return os << id.value();
+}
+
+// Entity tags. The structs are intentionally incomplete.
+struct ServerTag;
+struct VmTag;
+struct TorTag;
+struct OpsTag;
+struct LinkTag;
+struct ClusterTag;
+struct ServiceTag;
+struct NfcTag;
+struct VnfTag;
+struct VnfInstanceTag;
+struct FlowTag;
+struct SliceTag;
+struct TenantTag;
+
+using ServerId = TaggedId<ServerTag>;
+using VmId = TaggedId<VmTag>;
+using TorId = TaggedId<TorTag>;
+using OpsId = TaggedId<OpsTag>;
+using LinkId = TaggedId<LinkTag>;
+using ClusterId = TaggedId<ClusterTag>;
+using ServiceId = TaggedId<ServiceTag>;
+using NfcId = TaggedId<NfcTag>;
+using VnfId = TaggedId<VnfTag>;
+using VnfInstanceId = TaggedId<VnfInstanceTag>;
+using FlowId = TaggedId<FlowTag>;
+using SliceId = TaggedId<SliceTag>;
+using TenantId = TaggedId<TenantTag>;
+
+}  // namespace alvc::util
+
+namespace std {
+template <typename Tag>
+struct hash<alvc::util::TaggedId<Tag>> {
+  size_t operator()(alvc::util::TaggedId<Tag> id) const noexcept {
+    return std::hash<typename alvc::util::TaggedId<Tag>::value_type>{}(id.value());
+  }
+};
+}  // namespace std

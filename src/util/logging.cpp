@@ -1,0 +1,16 @@
+#include "util/logging.h"
+
+namespace alvc::util {
+
+Logger& Logger::instance() {
+  static Logger logger;
+  return logger;
+}
+
+void Logger::log(LogLevel level, std::string_view component, std::string_view message) {
+  if (!enabled(level)) return;
+  std::ostream& os = (level >= LogLevel::kWarn) ? std::cerr : std::clog;
+  os << '[' << to_string(level) << "] " << component << ": " << message << '\n';
+}
+
+}  // namespace alvc::util

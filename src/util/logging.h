@@ -1,0 +1,75 @@
+// Minimal leveled logger.
+//
+// The library itself stays quiet by default (kWarn); examples and benches
+// raise the level for narration. Not thread-safe by design — the simulator
+// is single-threaded and benches run one workload at a time.
+#pragma once
+
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <string_view>
+
+namespace alvc::util {
+
+enum class LogLevel { kTrace = 0, kDebug = 1, kInfo = 2, kWarn = 3, kError = 4, kOff = 5 };
+
+[[nodiscard]] constexpr std::string_view to_string(LogLevel level) noexcept {
+  switch (level) {
+    case LogLevel::kTrace: return "TRACE";
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO";
+    case LogLevel::kWarn: return "WARN";
+    case LogLevel::kError: return "ERROR";
+    case LogLevel::kOff: return "OFF";
+  }
+  return "?";
+}
+
+class Logger {
+ public:
+  static Logger& instance();
+
+  void set_level(LogLevel level) noexcept { level_ = level; }
+  [[nodiscard]] LogLevel level() const noexcept { return level_; }
+  [[nodiscard]] bool enabled(LogLevel level) const noexcept { return level >= level_; }
+
+  void log(LogLevel level, std::string_view component, std::string_view message);
+
+ private:
+  Logger() = default;
+  LogLevel level_ = LogLevel::kWarn;
+};
+
+/// Stream-style log statement builder used by the ALVC_LOG macro.
+class LogStatement {
+ public:
+  LogStatement(LogLevel level, std::string_view component) : level_(level), component_(component) {}
+  ~LogStatement() { Logger::instance().log(level_, component_, stream_.str()); }
+
+  LogStatement(const LogStatement&) = delete;
+  LogStatement& operator=(const LogStatement&) = delete;
+
+  template <typename T>
+  LogStatement& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::string_view component_;
+  std::ostringstream stream_;
+};
+
+}  // namespace alvc::util
+
+#define ALVC_LOG(level, component)                                      \
+  if (!::alvc::util::Logger::instance().enabled(level)) {               \
+  } else                                                                \
+    ::alvc::util::LogStatement(level, component)
+
+#define ALVC_LOG_DEBUG(component) ALVC_LOG(::alvc::util::LogLevel::kDebug, component)
+#define ALVC_LOG_INFO(component) ALVC_LOG(::alvc::util::LogLevel::kInfo, component)
+#define ALVC_LOG_WARN(component) ALVC_LOG(::alvc::util::LogLevel::kWarn, component)
+#define ALVC_LOG_ERROR(component) ALVC_LOG(::alvc::util::LogLevel::kError, component)

@@ -1,0 +1,113 @@
+#include "util/rng.h"
+
+#include <cmath>
+
+namespace alvc::util {
+
+namespace {
+
+constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+  return (x << k) | (x >> (64 - k));
+}
+
+std::uint64_t splitmix64(std::uint64_t& x) noexcept {
+  x += 0x9e3779b97f4a7c15ULL;
+  std::uint64_t z = x;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+}  // namespace
+
+void Rng::reseed(std::uint64_t seed) {
+  std::uint64_t sm = seed;
+  for (auto& s : state_) s = splitmix64(sm);
+  // xoshiro must not start from the all-zero state.
+  if ((state_[0] | state_[1] | state_[2] | state_[3]) == 0) state_[0] = 1;
+}
+
+std::uint64_t Rng::next() {
+  const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+  const std::uint64_t t = state_[1] << 17;
+  state_[2] ^= state_[0];
+  state_[3] ^= state_[1];
+  state_[1] ^= state_[2];
+  state_[0] ^= state_[3];
+  state_[2] ^= t;
+  state_[3] = rotl(state_[3], 45);
+  return result;
+}
+
+std::uint64_t Rng::uniform_u64(std::uint64_t lo, std::uint64_t hi) {
+  if (lo > hi) throw std::invalid_argument("uniform_u64: lo > hi");
+  const std::uint64_t span = hi - lo;
+  if (span == ~0ULL) return next();
+  // Rejection sampling to avoid modulo bias.
+  const std::uint64_t bound = span + 1;
+  const std::uint64_t limit = (~0ULL) - ((~0ULL) % bound) - ((((~0ULL) % bound) + 1 == bound) ? 0 : 0);
+  std::uint64_t r = next();
+  // Use Lemire-style rejection: accept when r below largest multiple of bound.
+  const std::uint64_t max_multiple = (~0ULL / bound) * bound;
+  while (r >= max_multiple) r = next();
+  (void)limit;
+  return lo + (r % bound);
+}
+
+std::size_t Rng::uniform_index(std::size_t n) {
+  if (n == 0) throw std::invalid_argument("uniform_index: n == 0");
+  return static_cast<std::size_t>(uniform_u64(0, n - 1));
+}
+
+double Rng::uniform01() {
+  // 53 random mantissa bits.
+  return static_cast<double>(next() >> 11) * (1.0 / 9007199254740992.0);
+}
+
+double Rng::uniform(double lo, double hi) {
+  if (lo > hi) throw std::invalid_argument("uniform: lo > hi");
+  return lo + (hi - lo) * uniform01();
+}
+
+bool Rng::bernoulli(double p) { return uniform01() < p; }
+
+double Rng::exponential(double lambda) {
+  if (lambda <= 0) throw std::invalid_argument("exponential: lambda must be > 0");
+  double u = uniform01();
+  // Guard against log(0).
+  if (u <= 0) u = 1e-300;
+  return -std::log(u) / lambda;
+}
+
+double Rng::bounded_pareto(double alpha, double lo, double hi) {
+  if (alpha <= 0 || lo <= 0 || hi <= lo) {
+    throw std::invalid_argument("bounded_pareto: require alpha>0, 0<lo<hi");
+  }
+  const double u = uniform01();
+  const double la = std::pow(lo, alpha);
+  const double ha = std::pow(hi, alpha);
+  return std::pow(-(u * ha - u * la - ha) / (ha * la), -1.0 / alpha);
+}
+
+std::uint64_t Rng::poisson(double lambda) {
+  if (lambda < 0) throw std::invalid_argument("poisson: lambda must be >= 0");
+  if (lambda == 0) return 0;
+  std::poisson_distribution<std::uint64_t> dist(lambda);
+  return dist(*this);
+}
+
+std::size_t Rng::zipf(std::size_t n, double s) {
+  if (n == 0) throw std::invalid_argument("zipf: n == 0");
+  // Inverse-CDF over the (small) normalised harmonic weights. n is the
+  // number of service types or VNF kinds, so linear scan is fine.
+  double norm = 0;
+  for (std::size_t i = 1; i <= n; ++i) norm += 1.0 / std::pow(static_cast<double>(i), s);
+  double u = uniform01() * norm;
+  for (std::size_t i = 1; i <= n; ++i) {
+    u -= 1.0 / std::pow(static_cast<double>(i), s);
+    if (u <= 0) return i - 1;
+  }
+  return n - 1;
+}
+
+}  // namespace alvc::util

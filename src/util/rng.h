@@ -1,0 +1,78 @@
+// Deterministic pseudo-random number generation.
+//
+// All stochastic components (topology generation, workload arrivals, the
+// random AL-construction baseline) draw from an explicitly seeded Rng so
+// every experiment is reproducible from its seed. The engine is
+// xoshiro256**, which is fast, has a 256-bit state, and passes BigCrush.
+#pragma once
+
+#include <cstdint>
+#include <random>
+#include <span>
+#include <stdexcept>
+#include <vector>
+
+namespace alvc::util {
+
+/// xoshiro256** engine with convenience distributions.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL) { reseed(seed); }
+
+  /// Re-initialises state from `seed` via SplitMix64 (recommended by the
+  /// xoshiro authors so that nearby seeds yield uncorrelated streams).
+  void reseed(std::uint64_t seed);
+
+  /// Raw 64 random bits.
+  std::uint64_t next();
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~0ULL; }
+  result_type operator()() { return next(); }
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  std::uint64_t uniform_u64(std::uint64_t lo, std::uint64_t hi);
+  /// Uniform size_t in [0, n). Requires n > 0.
+  std::size_t uniform_index(std::size_t n);
+  /// Uniform double in [0, 1).
+  double uniform01();
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi);
+  /// Bernoulli trial with success probability p.
+  bool bernoulli(double p);
+  /// Exponential with rate lambda (> 0).
+  double exponential(double lambda);
+  /// Bounded Pareto on [lo, hi] with shape alpha — heavy-tailed flow sizes.
+  double bounded_pareto(double alpha, double lo, double hi);
+  /// Poisson with mean lambda (uses std::poisson_distribution).
+  std::uint64_t poisson(double lambda);
+  /// Zipf-like categorical index in [0, n) with exponent s.
+  std::size_t zipf(std::size_t n, double s);
+
+  /// Fisher-Yates shuffle.
+  template <typename T>
+  void shuffle(std::vector<T>& items) {
+    for (std::size_t i = items.size(); i > 1; --i) {
+      std::swap(items[i - 1], items[uniform_index(i)]);
+    }
+  }
+
+  /// Reservoir-samples `k` distinct elements from `items` (order arbitrary).
+  template <typename T>
+  std::vector<T> sample(std::span<const T> items, std::size_t k) {
+    if (k > items.size()) throw std::invalid_argument("sample: k exceeds population");
+    std::vector<T> out(items.begin(), items.begin() + static_cast<std::ptrdiff_t>(k));
+    for (std::size_t i = k; i < items.size(); ++i) {
+      const std::size_t j = uniform_index(i + 1);
+      if (j < k) out[j] = items[i];
+    }
+    return out;
+  }
+
+ private:
+  std::uint64_t state_[4] = {};
+};
+
+}  // namespace alvc::util

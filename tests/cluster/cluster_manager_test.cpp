@@ -1,0 +1,372 @@
+#include "cluster/cluster_manager.h"
+
+#include <gtest/gtest.h>
+
+#include "cluster/service.h"
+#include "topology/builder.h"
+
+namespace alvc::cluster {
+namespace {
+
+using alvc::topology::build_topology;
+using alvc::topology::DataCenterTopology;
+using alvc::topology::TopologyParams;
+using alvc::util::ErrorCode;
+using alvc::util::ServerId;
+using alvc::util::ServiceId;
+
+TopologyParams default_params(std::uint64_t seed = 1) {
+  TopologyParams params;
+  params.seed = seed;
+  params.rack_count = 8;
+  // Each ToR needs roughly one free uplink per cluster that covers it, so a
+  // 3-service DC wants degree comfortably above 3 (see bench_fig3 for the
+  // exhaustion curve).
+  params.ops_count = 30;
+  params.tor_ops_degree = 8;
+  params.service_count = 3;
+  params.core = alvc::topology::CoreKind::kRing;
+  return params;
+}
+
+TEST(ClusterManagerTest, CreateClusterAcquiresOps) {
+  auto topo = build_topology(default_params());
+  ClusterManager manager(topo);
+  const auto groups = group_vms_by_service(topo);
+  const VertexCoverAlBuilder builder;
+  const auto id = manager.create_cluster(ServiceId{0}, groups[0], builder);
+  ASSERT_TRUE(id.has_value()) << id.error().to_string();
+  const auto* vc = manager.find(*id);
+  ASSERT_NE(vc, nullptr);
+  EXPECT_FALSE(vc->layer.opss.empty());
+  for (auto o : vc->layer.opss) {
+    EXPECT_EQ(manager.ownership().owner(o), *id);
+  }
+  EXPECT_TRUE(manager.check_invariants().empty());
+}
+
+TEST(ClusterManagerTest, CreateAllServiceClusters) {
+  auto topo = build_topology(default_params());
+  ClusterManager manager(topo);
+  const VertexCoverAlBuilder builder;
+  const auto ids = manager.create_clusters_by_service(builder);
+  ASSERT_TRUE(ids.has_value()) << ids.error().to_string();
+  EXPECT_EQ(ids->size(), 3u);
+  EXPECT_EQ(manager.cluster_count(), 3u);
+  // Exclusivity: no OPS shared between clusters is implied by ownership;
+  // verify via invariants.
+  EXPECT_TRUE(manager.check_invariants().empty());
+}
+
+TEST(ClusterManagerTest, VmCannotJoinTwoClusters) {
+  auto topo = build_topology(default_params());
+  ClusterManager manager(topo);
+  const auto groups = group_vms_by_service(topo);
+  const VertexCoverAlBuilder builder;
+  const auto first = manager.create_cluster(ServiceId{0}, groups[0], builder);
+  ASSERT_TRUE(first.has_value());
+  // Second cluster claiming an overlapping VM set must fail.
+  const auto second = manager.create_cluster(ServiceId{1}, groups[0], builder);
+  ASSERT_FALSE(second.has_value());
+  EXPECT_EQ(second.error().code, ErrorCode::kConflict);
+}
+
+TEST(ClusterManagerTest, DestroyReleasesOps) {
+  auto topo = build_topology(default_params());
+  ClusterManager manager(topo);
+  const auto groups = group_vms_by_service(topo);
+  const VertexCoverAlBuilder builder;
+  const auto id = manager.create_cluster(ServiceId{0}, groups[0], builder);
+  ASSERT_TRUE(id.has_value());
+  const auto free_before = manager.ownership().free_count();
+  ASSERT_TRUE(manager.destroy_cluster(*id).is_ok());
+  EXPECT_GT(manager.ownership().free_count(), free_before);
+  EXPECT_EQ(manager.ownership().free_count(), topo.ops_count());
+  EXPECT_EQ(manager.find(*id), nullptr);
+  EXPECT_FALSE(manager.destroy_cluster(*id).is_ok());
+}
+
+TEST(ClusterManagerTest, AddVmUnderCoveredTorIsCheap) {
+  auto topo = build_topology(default_params());
+  ClusterManager manager(topo);
+  const auto groups = group_vms_by_service(topo);
+  const VertexCoverAlBuilder builder;
+  // Build cluster 0 from all but one VM of group 0 whose ToR is shared
+  // with another member (so its rack is already covered).
+  auto group = groups[0];
+  ASSERT_GE(group.size(), 2u);
+  // Find a VM sharing a primary ToR with another group member.
+  VmId held_out = VmId::invalid();
+  for (std::size_t i = 0; i < group.size() && !held_out.valid(); ++i) {
+    for (std::size_t j = 0; j < group.size(); ++j) {
+      if (i != j && topo.tor_of_vm(group[i]) == topo.tor_of_vm(group[j])) {
+        held_out = group[i];
+        group.erase(group.begin() + static_cast<std::ptrdiff_t>(i));
+        break;
+      }
+    }
+  }
+  ASSERT_TRUE(held_out.valid()) << "test topology too sparse";
+  const auto id = manager.create_cluster(ServiceId{0}, group, builder);
+  ASSERT_TRUE(id.has_value());
+  const auto cost = manager.add_vm(*id, held_out);
+  ASSERT_TRUE(cost.has_value());
+  EXPECT_EQ(cost->flow_rules, 1u);  // one rule at the already-covered ToR
+  EXPECT_EQ(cost->tor_changes, 0u);
+  EXPECT_EQ(cost->ops_changes, 0u);
+  EXPECT_TRUE(manager.check_invariants().empty());
+}
+
+TEST(ClusterManagerTest, AddVmUnderNewTorExtendsAl) {
+  // Manual topology: cluster starts on rack 0; a VM on rack 1 joins.
+  DataCenterTopology topo;
+  using alvc::util::OpsId;
+  using alvc::util::TorId;
+  const auto o0 = topo.add_ops();
+  const auto o1 = topo.add_ops();
+  topo.connect_ops_ops(o0, o1);
+  const auto t0 = topo.add_tor();
+  const auto t1 = topo.add_tor();
+  topo.connect_tor_ops(t0, o0);
+  topo.connect_tor_ops(t1, o1);
+  const auto s0 = topo.add_server(t0, {});
+  const auto s1 = topo.add_server(t1, {});
+  const auto v0 = topo.add_vm(s0, ServiceId{0});
+  const auto v1 = topo.add_vm(s1, ServiceId{0});
+
+  ClusterManager manager(topo);
+  const VertexCoverAlBuilder builder;
+  const std::vector<VmId> group{v0};
+  const auto id = manager.create_cluster(ServiceId{0}, group, builder);
+  ASSERT_TRUE(id.has_value());
+  EXPECT_EQ(manager.find(*id)->layer.opss.size(), 1u);
+
+  const auto cost = manager.add_vm(*id, v1);
+  ASSERT_TRUE(cost.has_value());
+  EXPECT_EQ(cost->tor_changes, 1u);
+  EXPECT_GE(cost->ops_changes, 1u);  // recruited O1
+  const auto* vc = manager.find(*id);
+  EXPECT_TRUE(vc->layer.contains_tor(t1));
+  EXPECT_TRUE(vc->layer.contains_ops(o1));
+  EXPECT_TRUE(vc->connected);
+  EXPECT_TRUE(manager.check_invariants().empty());
+}
+
+TEST(ClusterManagerTest, AddDuplicateVmRejected) {
+  auto topo = build_topology(default_params());
+  ClusterManager manager(topo);
+  const auto groups = group_vms_by_service(topo);
+  const VertexCoverAlBuilder builder;
+  const auto id = manager.create_cluster(ServiceId{0}, groups[0], builder);
+  ASSERT_TRUE(id.has_value());
+  const auto cost = manager.add_vm(*id, groups[0][0]);
+  ASSERT_FALSE(cost.has_value());
+  EXPECT_EQ(cost.error().code, ErrorCode::kInvalidArgument);
+}
+
+TEST(ClusterManagerTest, AddVmFromOtherClusterRejected) {
+  auto topo = build_topology(default_params());
+  ClusterManager manager(topo);
+  const auto groups = group_vms_by_service(topo);
+  const VertexCoverAlBuilder builder;
+  const auto a = manager.create_cluster(ServiceId{0}, groups[0], builder);
+  const auto b = manager.create_cluster(ServiceId{1}, groups[1], builder);
+  ASSERT_TRUE(a.has_value());
+  ASSERT_TRUE(b.has_value());
+  const auto cost = manager.add_vm(*b, groups[0][0]);
+  ASSERT_FALSE(cost.has_value());
+  EXPECT_EQ(cost.error().code, ErrorCode::kConflict);
+}
+
+TEST(ClusterManagerTest, RemoveLastVmOfTorShrinksAl) {
+  DataCenterTopology topo;
+  using alvc::util::TorId;
+  const auto o0 = topo.add_ops();
+  const auto o1 = topo.add_ops();
+  topo.connect_ops_ops(o0, o1);
+  const auto t0 = topo.add_tor();
+  const auto t1 = topo.add_tor();
+  topo.connect_tor_ops(t0, o0);
+  topo.connect_tor_ops(t1, o1);
+  const auto s0 = topo.add_server(t0, {});
+  const auto s1 = topo.add_server(t1, {});
+  const auto v0 = topo.add_vm(s0, ServiceId{0});
+  const auto v1 = topo.add_vm(s1, ServiceId{0});
+
+  ClusterManager manager(topo);
+  const VertexCoverAlBuilder builder;
+  const std::vector<VmId> group{v0, v1};
+  const auto id = manager.create_cluster(ServiceId{0}, group, builder);
+  ASSERT_TRUE(id.has_value());
+  ASSERT_EQ(manager.find(*id)->layer.opss.size(), 2u);
+
+  const auto cost = manager.remove_vm(*id, v1);
+  ASSERT_TRUE(cost.has_value());
+  EXPECT_EQ(cost->tor_changes, 1u);
+  EXPECT_EQ(cost->ops_changes, 1u);  // O1 released
+  const auto* vc = manager.find(*id);
+  EXPECT_FALSE(vc->layer.contains_tor(t1));
+  EXPECT_TRUE(manager.ownership().is_free(o1));
+  EXPECT_TRUE(manager.check_invariants().empty());
+}
+
+TEST(ClusterManagerTest, RemoveAllVmsDissolvesAl) {
+  DataCenterTopology topo;
+  const auto o0 = topo.add_ops();
+  const auto t0 = topo.add_tor();
+  topo.connect_tor_ops(t0, o0);
+  const auto s0 = topo.add_server(t0, {});
+  const auto v0 = topo.add_vm(s0, ServiceId{0});
+  ClusterManager manager(topo);
+  const VertexCoverAlBuilder builder;
+  const std::vector<VmId> group{v0};
+  const auto id = manager.create_cluster(ServiceId{0}, group, builder);
+  ASSERT_TRUE(id.has_value());
+  const auto cost = manager.remove_vm(*id, v0);
+  ASSERT_TRUE(cost.has_value());
+  EXPECT_TRUE(manager.find(*id)->layer.opss.empty());
+  EXPECT_EQ(manager.ownership().free_count(), 1u);
+}
+
+TEST(ClusterManagerTest, RemoveUnknownVmFails) {
+  auto topo = build_topology(default_params());
+  ClusterManager manager(topo);
+  const auto groups = group_vms_by_service(topo);
+  const VertexCoverAlBuilder builder;
+  const auto id = manager.create_cluster(ServiceId{0}, groups[0], builder);
+  ASSERT_TRUE(id.has_value());
+  const auto cost = manager.remove_vm(*id, groups[1][0]);
+  ASSERT_FALSE(cost.has_value());
+  EXPECT_EQ(cost.error().code, ErrorCode::kNotFound);
+}
+
+TEST(ClusterManagerTest, MigrateWithinRackIsFree) {
+  DataCenterTopology topo;
+  const auto o0 = topo.add_ops();
+  const auto t0 = topo.add_tor();
+  topo.connect_tor_ops(t0, o0);
+  const auto s0 = topo.add_server(t0, {});
+  const auto s1 = topo.add_server(t0, {});
+  const auto v0 = topo.add_vm(s0, ServiceId{0});
+  ClusterManager manager(topo);
+  const VertexCoverAlBuilder builder;
+  const std::vector<VmId> group{v0};
+  const auto id = manager.create_cluster(ServiceId{0}, group, builder);
+  ASSERT_TRUE(id.has_value());
+  const auto cost = manager.migrate_vm(*id, v0, s1);
+  ASSERT_TRUE(cost.has_value());
+  EXPECT_EQ(cost->total(), 0u);
+  EXPECT_EQ(topo.vm(v0).server, s1);
+}
+
+TEST(ClusterManagerTest, MigrateAcrossRacksUpdatesAl) {
+  DataCenterTopology topo;
+  using alvc::util::TorId;
+  const auto o0 = topo.add_ops();
+  const auto o1 = topo.add_ops();
+  topo.connect_ops_ops(o0, o1);
+  const auto t0 = topo.add_tor();
+  const auto t1 = topo.add_tor();
+  topo.connect_tor_ops(t0, o0);
+  topo.connect_tor_ops(t1, o1);
+  const auto s0 = topo.add_server(t0, {});
+  const auto s1 = topo.add_server(t1, {});
+  const auto v0 = topo.add_vm(s0, ServiceId{0});
+  ClusterManager manager(topo);
+  const VertexCoverAlBuilder builder;
+  const std::vector<VmId> group{v0};
+  const auto id = manager.create_cluster(ServiceId{0}, group, builder);
+  ASSERT_TRUE(id.has_value());
+  const auto cost = manager.migrate_vm(*id, v0, s1);
+  ASSERT_TRUE(cost.has_value());
+  EXPECT_GE(cost->flow_rules, 2u);  // uninstall + install
+  const auto* vc = manager.find(*id);
+  EXPECT_TRUE(vc->layer.contains_tor(t1));
+  EXPECT_FALSE(vc->layer.contains_tor(t0));  // old rack shrunk away
+  EXPECT_TRUE(manager.ownership().is_free(o0));
+  EXPECT_TRUE(manager.check_invariants().empty());
+}
+
+TEST(ClusterManagerTest, MigrateToBadServerFails) {
+  auto topo = build_topology(default_params());
+  ClusterManager manager(topo);
+  const auto groups = group_vms_by_service(topo);
+  const VertexCoverAlBuilder builder;
+  const auto id = manager.create_cluster(ServiceId{0}, groups[0], builder);
+  ASSERT_TRUE(id.has_value());
+  const auto cost = manager.migrate_vm(*id, groups[0][0], ServerId{9999});
+  ASSERT_FALSE(cost.has_value());
+  EXPECT_EQ(cost.error().code, ErrorCode::kInvalidArgument);
+}
+
+TEST(ClusterManagerTest, OpsExclusivityAcrossManyClusters) {
+  TopologyParams params = default_params(7);
+  params.service_count = 4;
+  params.ops_count = 48;
+  params.tor_ops_degree = 10;
+  auto topo = build_topology(params);
+  ClusterManager manager(topo);
+  const VertexCoverAlBuilder builder;
+  const auto ids = manager.create_clusters_by_service(builder);
+  ASSERT_TRUE(ids.has_value());
+  // Count ownership: every AL OPS owned exactly once.
+  std::vector<int> owned(topo.ops_count(), 0);
+  for (const auto* vc : manager.clusters()) {
+    for (auto o : vc->layer.opss) ++owned[o.index()];
+  }
+  for (int count : owned) EXPECT_LE(count, 1);
+  EXPECT_TRUE(manager.check_invariants().empty());
+}
+
+class ChurnPropertyTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ChurnPropertyTest, InvariantsSurviveRandomChurn) {
+  TopologyParams params = default_params(GetParam());
+  params.rack_count = 10;
+  params.ops_count = 20;
+  params.service_count = 2;
+  auto topo = build_topology(params);
+  ClusterManager manager(topo);
+  const VertexCoverAlBuilder builder;
+  const auto groups = group_vms_by_service(topo);
+  // Seed cluster from half of group 0.
+  std::vector<VmId> half(groups[0].begin(),
+                         groups[0].begin() + static_cast<std::ptrdiff_t>(groups[0].size() / 2));
+  std::vector<VmId> rest(groups[0].begin() + static_cast<std::ptrdiff_t>(groups[0].size() / 2),
+                         groups[0].end());
+  const auto id = manager.create_cluster(ServiceId{0}, half, builder);
+  ASSERT_TRUE(id.has_value());
+
+  alvc::util::Rng rng(GetParam() * 31 + 5);
+  std::vector<VmId> inside = half;
+  std::vector<VmId> outside = rest;
+  for (int step = 0; step < 200; ++step) {
+    const double action = rng.uniform01();
+    if (action < 0.4 && !outside.empty()) {
+      const std::size_t i = rng.uniform_index(outside.size());
+      const auto cost = manager.add_vm(*id, outside[i]);
+      if (cost.has_value()) {
+        inside.push_back(outside[i]);
+        outside.erase(outside.begin() + static_cast<std::ptrdiff_t>(i));
+      }
+    } else if (action < 0.7 && inside.size() > 1) {
+      const std::size_t i = rng.uniform_index(inside.size());
+      const auto cost = manager.remove_vm(*id, inside[i]);
+      ASSERT_TRUE(cost.has_value());
+      outside.push_back(inside[i]);
+      inside.erase(inside.begin() + static_cast<std::ptrdiff_t>(i));
+    } else if (!inside.empty()) {
+      const std::size_t i = rng.uniform_index(inside.size());
+      const ServerId target{
+          static_cast<ServerId::value_type>(rng.uniform_index(topo.server_count()))};
+      (void)manager.migrate_vm(*id, inside[i], target);
+    }
+    const auto violations = manager.check_invariants();
+    ASSERT_TRUE(violations.empty()) << "step " << step << ": " << violations.front();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ChurnPropertyTest, ::testing::Values(1, 2, 3, 4, 5));
+
+}  // namespace
+}  // namespace alvc::cluster

@@ -1,0 +1,98 @@
+// AL re-optimization: churn inflates ALs; a rebuild should shrink them back
+// without ever breaking coverage or exclusivity.
+#include <gtest/gtest.h>
+
+#include "cluster/cluster_manager.h"
+#include "cluster/service.h"
+#include "topology/builder.h"
+
+namespace alvc::cluster {
+namespace {
+
+using alvc::topology::build_topology;
+using alvc::topology::TopologyParams;
+using alvc::util::ServerId;
+using alvc::util::ServiceId;
+using alvc::util::VmId;
+
+TopologyParams params() {
+  TopologyParams p;
+  p.rack_count = 10;
+  p.ops_count = 40;
+  p.tor_ops_degree = 10;
+  p.service_count = 2;
+  p.seed = 91;
+  return p;
+}
+
+TEST(ReoptimizeTest, NoImprovementCostsNothing) {
+  auto topo = build_topology(params());
+  ClusterManager manager(topo);
+  const VertexCoverAlBuilder builder;
+  const auto groups = group_vms_by_service(topo);
+  const auto id = manager.create_cluster(ServiceId{0}, groups[0], builder);
+  ASSERT_TRUE(id.has_value());
+  // Fresh cluster: rebuilding with the same algorithm cannot shrink it.
+  const auto cost = manager.reoptimize_cluster(*id, builder);
+  ASSERT_TRUE(cost.has_value());
+  EXPECT_EQ(cost->total(), 0u);
+  EXPECT_TRUE(manager.check_invariants().empty());
+}
+
+TEST(ReoptimizeTest, ShrinksChurnInflatedAl) {
+  auto topo = build_topology(params());
+  ClusterManager manager(topo);
+  const VertexCoverAlBuilder builder;
+  const auto groups = group_vms_by_service(topo);
+  const auto id = manager.create_cluster(ServiceId{0}, groups[0], builder);
+  ASSERT_TRUE(id.has_value());
+
+  // Churn: migrate many VMs around to inflate the AL.
+  alvc::util::Rng rng(17);
+  for (int i = 0; i < 120; ++i) {
+    const auto* vc = manager.find(*id);
+    if (vc->vms.empty()) break;
+    const auto vm = vc->vms[rng.uniform_index(vc->vms.size())];
+    const ServerId target{
+        static_cast<ServerId::value_type>(rng.uniform_index(topo.server_count()))};
+    (void)manager.migrate_vm(*id, vm, target);
+  }
+  const auto inflated = manager.find(*id)->layer.opss.size();
+  const auto cost = manager.reoptimize_cluster(*id, builder);
+  ASSERT_TRUE(cost.has_value()) << cost.error().to_string();
+  const auto after = manager.find(*id)->layer.opss.size();
+  EXPECT_LE(after, inflated);
+  if (after < inflated) {
+    EXPECT_GT(cost->total(), 0u);
+  }
+  // Coverage and invariants intact either way.
+  const auto* vc = manager.find(*id);
+  EXPECT_TRUE(al_covers_group(topo, vc->vms, vc->layer));
+  EXPECT_TRUE(manager.check_invariants().empty());
+}
+
+TEST(ReoptimizeTest, RespectsOtherClustersOwnership) {
+  auto topo = build_topology(params());
+  ClusterManager manager(topo);
+  const VertexCoverAlBuilder builder;
+  ASSERT_TRUE(manager.create_clusters_by_service(builder).has_value());
+  const auto clusters = manager.clusters();
+  ASSERT_EQ(clusters.size(), 2u);
+  const auto id0 = clusters[0]->id;
+  const auto other_al = clusters[1]->layer.opss;
+  const auto cost = manager.reoptimize_cluster(id0, builder);
+  ASSERT_TRUE(cost.has_value());
+  // Cluster 1's AL is untouched.
+  EXPECT_EQ(manager.find(clusters[1]->id)->layer.opss, other_al);
+  EXPECT_TRUE(manager.check_invariants().empty());
+}
+
+TEST(ReoptimizeTest, UnknownClusterFails) {
+  auto topo = build_topology(params());
+  ClusterManager manager(topo);
+  const VertexCoverAlBuilder builder;
+  EXPECT_FALSE(manager.reoptimize_cluster(alvc::util::ClusterId{9}, builder).has_value());
+}
+
+}  // namespace
+}  // namespace alvc::cluster

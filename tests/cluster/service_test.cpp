@@ -1,0 +1,71 @@
+#include "cluster/service.h"
+
+#include <gtest/gtest.h>
+
+#include "topology/builder.h"
+
+namespace alvc::cluster {
+namespace {
+
+TEST(ServiceRegistryTest, AddAndName) {
+  ServiceRegistry reg;
+  const auto web = reg.add("web");
+  const auto mr = reg.add("map-reduce");
+  EXPECT_EQ(reg.size(), 2u);
+  EXPECT_EQ(reg.name(web), "web");
+  EXPECT_EQ(reg.name(mr), "map-reduce");
+  EXPECT_EQ(web.index(), 0u);
+  EXPECT_EQ(mr.index(), 1u);
+}
+
+TEST(ServiceRegistryTest, DefaultRegistryNames) {
+  const auto reg = ServiceRegistry::make_default(10);
+  EXPECT_EQ(reg.size(), 10u);
+  EXPECT_EQ(reg.name(ServiceId{0}), "web");
+  EXPECT_EQ(reg.name(ServiceId{7}), "streaming");
+  EXPECT_EQ(reg.name(ServiceId{8}), "service-8");
+}
+
+TEST(ServiceRegistryTest, BadIdThrows) {
+  const auto reg = ServiceRegistry::make_default(2);
+  EXPECT_THROW((void)reg.name(ServiceId{5}), std::out_of_range);
+}
+
+TEST(GroupVmsByServiceTest, PartitionCoversEveryVmOnce) {
+  alvc::topology::TopologyParams params;
+  params.service_count = 5;
+  const auto topo = alvc::topology::build_topology(params);
+  const auto groups = group_vms_by_service(topo);
+  std::size_t total = 0;
+  for (const auto& g : groups) total += g.size();
+  EXPECT_EQ(total, topo.vm_count());
+  // Every VM in its labelled group.
+  for (const auto& g : groups) {
+    for (VmId vm : g) {
+      EXPECT_EQ(&g, &groups[topo.vm(vm).service.index()]);
+    }
+  }
+}
+
+TEST(GroupVmsByServiceTest, MinGroupsPadsEmpty) {
+  alvc::topology::DataCenterTopology topo;
+  const auto o = topo.add_ops();
+  const auto t = topo.add_tor();
+  topo.connect_tor_ops(t, o);
+  const auto s = topo.add_server(t, {});
+  topo.add_vm(s, ServiceId{1});
+  const auto groups = group_vms_by_service(topo, 4);
+  ASSERT_EQ(groups.size(), 4u);
+  EXPECT_TRUE(groups[0].empty());
+  EXPECT_EQ(groups[1].size(), 1u);
+  EXPECT_TRUE(groups[2].empty());
+}
+
+TEST(GroupVmsByServiceTest, EmptyTopology) {
+  alvc::topology::DataCenterTopology topo;
+  EXPECT_TRUE(group_vms_by_service(topo).empty());
+  EXPECT_EQ(group_vms_by_service(topo, 2).size(), 2u);
+}
+
+}  // namespace
+}  // namespace alvc::cluster

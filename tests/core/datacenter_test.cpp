@@ -1,0 +1,122 @@
+#include "core/datacenter.h"
+
+#include <gtest/gtest.h>
+
+#include "core/alvc.h"
+
+namespace alvc::core {
+namespace {
+
+using alvc::nfv::NfcSpec;
+using alvc::nfv::VnfType;
+using alvc::util::ServiceId;
+
+DataCenterConfig test_config() {
+  DataCenterConfig config;
+  config.topology.seed = 4;
+  config.topology.rack_count = 8;
+  config.topology.ops_count = 32;
+  config.topology.tor_ops_degree = 8;
+  config.topology.service_count = 3;
+  config.topology.optoelectronic_fraction = 0.5;
+  return config;
+}
+
+TEST(DataCenterTest, ConstructionBuildsTopology) {
+  const DataCenter dc(test_config());
+  EXPECT_EQ(dc.topology().tor_count(), 8u);
+  EXPECT_EQ(dc.topology().ops_count(), 32u);
+  EXPECT_EQ(dc.services().size(), 3u);
+  EXPECT_GT(dc.catalog().size(), 0u);
+  EXPECT_EQ(dc.clusters().cluster_count(), 0u) << "clusters are not built implicitly";
+}
+
+TEST(DataCenterTest, BuildClustersCreatesOnePerService) {
+  DataCenter dc(test_config());
+  const auto ids = dc.build_clusters();
+  ASSERT_TRUE(ids.has_value()) << ids.error().to_string();
+  EXPECT_EQ(ids->size(), 3u);
+  EXPECT_TRUE(dc.clusters().check_invariants().empty());
+}
+
+TEST(DataCenterTest, ProvisionAndTeardownChain) {
+  DataCenter dc(test_config());
+  ASSERT_TRUE(dc.build_clusters().has_value());
+  NfcSpec spec;
+  spec.name = "quickstart";
+  spec.service = ServiceId{0};
+  spec.bandwidth_gbps = 1.0;
+  spec.functions = {*dc.catalog().find_by_type(VnfType::kFirewall),
+                    *dc.catalog().find_by_type(VnfType::kNat)};
+  const auto id = dc.provision_chain(spec, PlacementAlgorithm::kOeoMinimizing);
+  ASSERT_TRUE(id.has_value()) << id.error().to_string();
+  EXPECT_EQ(dc.orchestrator().chain_count(), 1u);
+  ASSERT_TRUE(dc.teardown_chain(*id).is_ok());
+  EXPECT_EQ(dc.orchestrator().chain_count(), 0u);
+}
+
+TEST(DataCenterTest, MakeAlBuilderCoversAllAlgorithms) {
+  for (auto algorithm : {AlAlgorithm::kVertexCover, AlAlgorithm::kRandom,
+                         AlAlgorithm::kGreedySetCover, AlAlgorithm::kExact}) {
+    const auto builder = DataCenter::make_al_builder(algorithm, 1, true);
+    ASSERT_NE(builder, nullptr);
+    EXPECT_EQ(builder->name(), std::string_view(to_string(algorithm)));
+  }
+}
+
+TEST(DataCenterTest, MakePlacementCoversAllAlgorithms) {
+  for (auto algorithm : {PlacementAlgorithm::kElectronicOnly, PlacementAlgorithm::kRandom,
+                         PlacementAlgorithm::kGreedyOptical, PlacementAlgorithm::kOeoMinimizing}) {
+    const auto placement = DataCenter::make_placement(algorithm, 1);
+    ASSERT_NE(placement, nullptr);
+    EXPECT_EQ(placement->name(), std::string_view(to_string(algorithm)));
+  }
+}
+
+TEST(DataCenterTest, DescribeMentionsKeyFacts) {
+  DataCenter dc(test_config());
+  ASSERT_TRUE(dc.build_clusters().has_value());
+  const auto text = dc.describe();
+  EXPECT_NE(text.find("8 racks"), std::string::npos);
+  EXPECT_NE(text.find("clusters=3"), std::string::npos);
+  EXPECT_NE(text.find("vertex-cover"), std::string::npos);
+}
+
+TEST(DataCenterTest, RandomAlAlgorithmEndToEnd) {
+  auto config = test_config();
+  config.al_algorithm = AlAlgorithm::kRandom;
+  DataCenter dc(config);
+  const auto ids = dc.build_clusters();
+  ASSERT_TRUE(ids.has_value()) << ids.error().to_string();
+  EXPECT_TRUE(dc.clusters().check_invariants().empty());
+}
+
+TEST(ExperimentTest, StopwatchAdvances) {
+  Stopwatch sw;
+  volatile double sink = 0;
+  for (int i = 0; i < 100000; ++i) sink = sink + i;
+  EXPECT_GT(sw.elapsed_s(), 0.0);
+  EXPECT_GT(sw.elapsed_us(), sw.elapsed_ms());
+}
+
+TEST(ExperimentTest, TextTableFormats) {
+  TextTable table({"name", "value"});
+  table.add_row_values("alpha", 1);
+  table.add_row_values("beta", fmt(2.5, 1));
+  EXPECT_EQ(table.row_count(), 2u);
+  std::ostringstream os;
+  table.print(os);
+  const auto text = os.str();
+  EXPECT_NE(text.find("alpha"), std::string::npos);
+  EXPECT_NE(text.find("2.5"), std::string::npos);
+  EXPECT_THROW(table.add_row({"only-one"}), std::invalid_argument);
+  EXPECT_THROW(TextTable({}), std::invalid_argument);
+}
+
+TEST(ExperimentTest, FmtPrecision) {
+  EXPECT_EQ(fmt(3.14159, 2), "3.14");
+  EXPECT_EQ(fmt(1.0, 0), "1");
+}
+
+}  // namespace
+}  // namespace alvc::core

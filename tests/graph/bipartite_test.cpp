@@ -1,0 +1,51 @@
+#include "graph/bipartite.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace alvc::graph {
+namespace {
+
+TEST(BipartiteGraphTest, Construction) {
+  BipartiteGraph g(3, 4);
+  EXPECT_EQ(g.left_count(), 3u);
+  EXPECT_EQ(g.right_count(), 4u);
+  EXPECT_EQ(g.edge_count(), 0u);
+}
+
+TEST(BipartiteGraphTest, EdgesVisibleFromBothSides) {
+  BipartiteGraph g(2, 2);
+  g.add_edge(0, 1);
+  EXPECT_EQ(g.edge_count(), 1u);
+  ASSERT_EQ(g.left_neighbors(0).size(), 1u);
+  EXPECT_EQ(g.left_neighbors(0)[0], 1u);
+  ASSERT_EQ(g.right_neighbors(1).size(), 1u);
+  EXPECT_EQ(g.right_neighbors(1)[0], 0u);
+  EXPECT_TRUE(g.has_edge(0, 1));
+  EXPECT_FALSE(g.has_edge(0, 0));
+}
+
+TEST(BipartiteGraphTest, Degrees) {
+  BipartiteGraph g(3, 2);
+  g.add_edge(0, 0);
+  g.add_edge(1, 0);
+  g.add_edge(2, 0);
+  g.add_edge(0, 1);
+  EXPECT_EQ(g.right_degree(0), 3u);
+  EXPECT_EQ(g.right_degree(1), 1u);
+  EXPECT_EQ(g.left_degree(0), 2u);
+  EXPECT_EQ(g.left_degree(2), 1u);
+}
+
+TEST(BipartiteGraphTest, OutOfRangeThrows) {
+  BipartiteGraph g(2, 2);
+  EXPECT_THROW(g.add_edge(2, 0), std::out_of_range);
+  EXPECT_THROW(g.add_edge(0, 2), std::out_of_range);
+  EXPECT_THROW((void)g.left_neighbors(2), std::out_of_range);
+  EXPECT_THROW((void)g.right_neighbors(2), std::out_of_range);
+  EXPECT_THROW((void)g.has_edge(0, 5), std::out_of_range);
+}
+
+}  // namespace
+}  // namespace alvc::graph

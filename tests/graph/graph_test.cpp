@@ -1,0 +1,77 @@
+#include "graph/graph.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace alvc::graph {
+namespace {
+
+TEST(GraphTest, EmptyGraph) {
+  Graph g;
+  EXPECT_EQ(g.vertex_count(), 0u);
+  EXPECT_EQ(g.edge_count(), 0u);
+}
+
+TEST(GraphTest, AddVertexGrows) {
+  Graph g(2);
+  EXPECT_EQ(g.add_vertex(), 2u);
+  EXPECT_EQ(g.vertex_count(), 3u);
+}
+
+TEST(GraphTest, UndirectedEdgeVisibleFromBothSides) {
+  Graph g(3);
+  const auto e = g.add_edge(0, 1, 2.5);
+  EXPECT_EQ(e, 0u);
+  ASSERT_EQ(g.neighbors(0).size(), 1u);
+  ASSERT_EQ(g.neighbors(1).size(), 1u);
+  EXPECT_EQ(g.neighbors(0)[0].vertex, 1u);
+  EXPECT_EQ(g.neighbors(1)[0].vertex, 0u);
+  EXPECT_DOUBLE_EQ(g.neighbors(0)[0].weight, 2.5);
+  EXPECT_TRUE(g.has_edge(0, 1));
+  EXPECT_TRUE(g.has_edge(1, 0));
+  EXPECT_FALSE(g.has_edge(0, 2));
+}
+
+TEST(GraphTest, DirectedEdgeOnlyForward) {
+  Graph g(3, Graph::Kind::kDirected);
+  g.add_edge(0, 1);
+  EXPECT_EQ(g.neighbors(0).size(), 1u);
+  EXPECT_EQ(g.neighbors(1).size(), 0u);
+  EXPECT_TRUE(g.has_edge(0, 1));
+  EXPECT_FALSE(g.has_edge(1, 0));
+}
+
+TEST(GraphTest, SelfLoopAppearsOnce) {
+  Graph g(2);
+  g.add_edge(1, 1);
+  EXPECT_EQ(g.neighbors(1).size(), 1u);
+  EXPECT_EQ(g.degree(1), 1u);
+}
+
+TEST(GraphTest, OutOfRangeThrows) {
+  Graph g(2);
+  EXPECT_THROW(g.add_edge(0, 2), std::out_of_range);
+  EXPECT_THROW((void)g.neighbors(5), std::out_of_range);
+  EXPECT_THROW((void)g.edge(0), std::out_of_range);
+}
+
+TEST(GraphTest, EdgeRecordsEndpoints) {
+  Graph g(4);
+  g.add_edge(1, 3, 7.0);
+  const Edge& e = g.edge(0);
+  EXPECT_EQ(e.from, 1u);
+  EXPECT_EQ(e.to, 3u);
+  EXPECT_DOUBLE_EQ(e.weight, 7.0);
+}
+
+TEST(GraphTest, ParallelEdgesAllowed) {
+  Graph g(2);
+  g.add_edge(0, 1);
+  g.add_edge(0, 1);
+  EXPECT_EQ(g.edge_count(), 2u);
+  EXPECT_EQ(g.degree(0), 2u);
+}
+
+}  // namespace
+}  // namespace alvc::graph

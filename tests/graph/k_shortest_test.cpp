@@ -1,0 +1,105 @@
+#include "graph/k_shortest.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "util/rng.h"
+
+namespace alvc::graph {
+namespace {
+
+/// Square: 0-1, 1-3, 0-2, 2-3 plus diagonal chord 0-3.
+Graph square_with_chord() {
+  Graph g(4);
+  g.add_edge(0, 1);
+  g.add_edge(1, 3);
+  g.add_edge(0, 2);
+  g.add_edge(2, 3);
+  g.add_edge(0, 3);
+  return g;
+}
+
+TEST(KShortestTest, EnumeratesInLengthOrder) {
+  const auto g = square_with_chord();
+  const auto paths = k_shortest_paths(g, 0, 3, 5);
+  ASSERT_EQ(paths.size(), 3u);
+  EXPECT_EQ(paths[0], (std::vector<std::size_t>{0, 3}));
+  // Two 2-hop alternatives, lexicographic order.
+  EXPECT_EQ(paths[1], (std::vector<std::size_t>{0, 1, 3}));
+  EXPECT_EQ(paths[2], (std::vector<std::size_t>{0, 2, 3}));
+}
+
+TEST(KShortestTest, KLimitsResults) {
+  const auto g = square_with_chord();
+  EXPECT_EQ(k_shortest_paths(g, 0, 3, 1).size(), 1u);
+  EXPECT_EQ(k_shortest_paths(g, 0, 3, 2).size(), 2u);
+  EXPECT_TRUE(k_shortest_paths(g, 0, 3, 0).empty());
+}
+
+TEST(KShortestTest, SourceEqualsTarget) {
+  const auto g = square_with_chord();
+  const auto paths = k_shortest_paths(g, 2, 2, 3);
+  ASSERT_EQ(paths.size(), 1u);
+  EXPECT_EQ(paths[0], (std::vector<std::size_t>{2}));
+}
+
+TEST(KShortestTest, DisconnectedYieldsNothing) {
+  Graph g(4);
+  g.add_edge(0, 1);
+  g.add_edge(2, 3);
+  EXPECT_TRUE(k_shortest_paths(g, 0, 3, 3).empty());
+}
+
+TEST(KShortestTest, FilterRestrictsPaths) {
+  const auto g = square_with_chord();
+  // Ban vertex 1: only {0,3} and {0,2,3} remain.
+  const auto paths = k_shortest_paths(g, 0, 3, 5, [](std::size_t v) { return v != 1; });
+  ASSERT_EQ(paths.size(), 2u);
+  EXPECT_EQ(paths[0], (std::vector<std::size_t>{0, 3}));
+  EXPECT_EQ(paths[1], (std::vector<std::size_t>{0, 2, 3}));
+}
+
+TEST(KShortestTest, OutOfRangeThrows) {
+  const auto g = square_with_chord();
+  EXPECT_THROW((void)k_shortest_paths(g, 0, 9, 2), std::out_of_range);
+}
+
+class KShortestPropertyTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(KShortestPropertyTest, PathsAreValidLooplessDistinctAndOrdered) {
+  alvc::util::Rng rng(GetParam());
+  const std::size_t n = 8 + rng.uniform_index(8);
+  Graph g(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) {
+      if (rng.bernoulli(0.3)) g.add_edge(i, j);
+    }
+  }
+  const auto paths = k_shortest_paths(g, 0, n - 1, 6);
+  std::set<std::vector<std::size_t>> unique(paths.begin(), paths.end());
+  EXPECT_EQ(unique.size(), paths.size()) << "paths must be distinct";
+  for (std::size_t p = 0; p < paths.size(); ++p) {
+    const auto& path = paths[p];
+    ASSERT_GE(path.size(), 2u);
+    EXPECT_EQ(path.front(), 0u);
+    EXPECT_EQ(path.back(), n - 1);
+    std::set<std::size_t> visited(path.begin(), path.end());
+    EXPECT_EQ(visited.size(), path.size()) << "loopless";
+    for (std::size_t i = 0; i + 1 < path.size(); ++i) {
+      EXPECT_TRUE(g.has_edge(path[i], path[i + 1]));
+    }
+    if (p > 0) EXPECT_GE(path.size(), paths[p - 1].size()) << "length-ordered";
+  }
+  // First path is a true shortest path.
+  if (!paths.empty()) {
+    const auto tree = bfs(g, 0);
+    EXPECT_DOUBLE_EQ(static_cast<double>(paths[0].size() - 1), tree.distance[n - 1]);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, KShortestPropertyTest,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+}  // namespace
+}  // namespace alvc::graph

@@ -1,0 +1,96 @@
+#include "graph/matching.h"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+
+namespace alvc::graph {
+namespace {
+
+/// Matching invariants: consistency of the two arrays, edges exist.
+void check_matching(const BipartiteGraph& g, const Matching& m) {
+  std::size_t count = 0;
+  for (std::size_t l = 0; l < g.left_count(); ++l) {
+    const std::size_t r = m.match_left[l];
+    if (r == Matching::kUnmatched) continue;
+    ++count;
+    EXPECT_EQ(m.match_right[r], l);
+    EXPECT_TRUE(g.has_edge(l, r));
+  }
+  EXPECT_EQ(count, m.size);
+}
+
+TEST(MatchingTest, EmptyGraph) {
+  BipartiteGraph g(0, 0);
+  const auto m = maximum_bipartite_matching(g);
+  EXPECT_EQ(m.size, 0u);
+}
+
+TEST(MatchingTest, NoEdges) {
+  BipartiteGraph g(3, 3);
+  const auto m = maximum_bipartite_matching(g);
+  EXPECT_EQ(m.size, 0u);
+}
+
+TEST(MatchingTest, PerfectMatchingOnDiagonal) {
+  BipartiteGraph g(4, 4);
+  for (std::size_t i = 0; i < 4; ++i) g.add_edge(i, i);
+  const auto m = maximum_bipartite_matching(g);
+  EXPECT_EQ(m.size, 4u);
+  check_matching(g, m);
+}
+
+TEST(MatchingTest, RequiresAugmentingPath) {
+  // Classic instance where greedy can get stuck but HK finds size 3:
+  // L0-{R0,R1}, L1-{R0}, L2-{R1,R2}.
+  BipartiteGraph g(3, 3);
+  g.add_edge(0, 0);
+  g.add_edge(0, 1);
+  g.add_edge(1, 0);
+  g.add_edge(2, 1);
+  g.add_edge(2, 2);
+  const auto m = maximum_bipartite_matching(g);
+  EXPECT_EQ(m.size, 3u);
+  check_matching(g, m);
+}
+
+TEST(MatchingTest, StarGraphMatchesOne) {
+  BipartiteGraph g(5, 1);
+  for (std::size_t l = 0; l < 5; ++l) g.add_edge(l, 0);
+  const auto m = maximum_bipartite_matching(g);
+  EXPECT_EQ(m.size, 1u);
+  check_matching(g, m);
+}
+
+TEST(MatchingTest, CompleteBipartiteMatchesMinSide) {
+  BipartiteGraph g(4, 7);
+  for (std::size_t l = 0; l < 4; ++l) {
+    for (std::size_t r = 0; r < 7; ++r) g.add_edge(l, r);
+  }
+  const auto m = maximum_bipartite_matching(g);
+  EXPECT_EQ(m.size, 4u);
+  check_matching(g, m);
+}
+
+class MatchingRandomTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(MatchingRandomTest, InvariantsHoldOnRandomGraphs) {
+  alvc::util::Rng rng(GetParam());
+  const std::size_t nl = 10 + rng.uniform_index(30);
+  const std::size_t nr = 10 + rng.uniform_index(30);
+  BipartiteGraph g(nl, nr);
+  for (std::size_t l = 0; l < nl; ++l) {
+    for (std::size_t r = 0; r < nr; ++r) {
+      if (rng.bernoulli(0.15)) g.add_edge(l, r);
+    }
+  }
+  const auto m = maximum_bipartite_matching(g);
+  check_matching(g, m);
+  EXPECT_LE(m.size, std::min(nl, nr));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MatchingRandomTest,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8, 9, 10));
+
+}  // namespace
+}  // namespace alvc::graph

@@ -1,0 +1,150 @@
+#include "graph/set_cover.h"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+
+namespace alvc::graph {
+namespace {
+
+using alvc::util::DynamicBitset;
+
+DynamicBitset make_set(std::size_t universe, std::initializer_list<std::size_t> elements) {
+  DynamicBitset s(universe);
+  for (auto e : elements) s.set(e);
+  return s;
+}
+
+TEST(SetCoverTest, AddSetValidation) {
+  SetCoverInstance inst;
+  inst.universe_size = 4;
+  EXPECT_THROW(inst.add_set(DynamicBitset(3)), std::invalid_argument);
+  EXPECT_THROW(inst.add_set(DynamicBitset(4), 0.0), std::invalid_argument);
+  inst.add_set(DynamicBitset(4));
+  EXPECT_EQ(inst.sets.size(), 1u);
+}
+
+TEST(SetCoverTest, GreedyCoversSimpleInstance) {
+  SetCoverInstance inst;
+  inst.universe_size = 5;
+  inst.add_set(make_set(5, {0, 1, 2}));
+  inst.add_set(make_set(5, {2, 3}));
+  inst.add_set(make_set(5, {4}));
+  const auto chosen = greedy_set_cover(inst);
+  ASSERT_TRUE(chosen.has_value());
+  EXPECT_TRUE(is_set_cover(inst, *chosen));
+  EXPECT_EQ(chosen->size(), 3u);
+}
+
+TEST(SetCoverTest, GreedyDetectsInfeasible) {
+  SetCoverInstance inst;
+  inst.universe_size = 3;
+  inst.add_set(make_set(3, {0, 1}));
+  EXPECT_EQ(greedy_set_cover(inst), std::nullopt);
+}
+
+TEST(SetCoverTest, EmptyUniverseNeedsNothing) {
+  SetCoverInstance inst;
+  inst.universe_size = 0;
+  const auto chosen = greedy_set_cover(inst);
+  ASSERT_TRUE(chosen.has_value());
+  EXPECT_TRUE(chosen->empty());
+}
+
+TEST(SetCoverTest, WeightedGreedyPrefersCheapSets) {
+  SetCoverInstance inst;
+  inst.universe_size = 2;
+  inst.add_set(make_set(2, {0, 1}), 10.0);  // expensive combo
+  inst.add_set(make_set(2, {0}), 1.0);
+  inst.add_set(make_set(2, {1}), 1.0);
+  const auto chosen = greedy_set_cover(inst);
+  ASSERT_TRUE(chosen.has_value());
+  EXPECT_EQ(*chosen, (std::vector<std::size_t>{1, 2}));
+}
+
+TEST(SetCoverTest, MaxCoverageRespectsK) {
+  SetCoverInstance inst;
+  inst.universe_size = 6;
+  inst.add_set(make_set(6, {0, 1, 2}));
+  inst.add_set(make_set(6, {3, 4}));
+  inst.add_set(make_set(6, {5}));
+  const auto one = greedy_max_coverage(inst, 1);
+  EXPECT_EQ(one, (std::vector<std::size_t>{0}));
+  const auto two = greedy_max_coverage(inst, 2);
+  EXPECT_EQ(two, (std::vector<std::size_t>{0, 1}));
+  const auto many = greedy_max_coverage(inst, 10);
+  EXPECT_EQ(many.size(), 3u);
+}
+
+TEST(SetCoverTest, MaxCoverageStopsWhenNoGain) {
+  SetCoverInstance inst;
+  inst.universe_size = 2;
+  inst.add_set(make_set(2, {0, 1}));
+  inst.add_set(make_set(2, {0}));
+  const auto chosen = greedy_max_coverage(inst, 5);
+  EXPECT_EQ(chosen.size(), 1u);
+}
+
+TEST(ExactSetCoverTest, FindsOptimumWhereGreedyFails) {
+  // Standard greedy-trap instance (same as the one-sided cover test).
+  SetCoverInstance inst;
+  inst.universe_size = 6;
+  inst.add_set(make_set(6, {0, 1, 2, 3}));
+  inst.add_set(make_set(6, {0, 1, 4}));
+  inst.add_set(make_set(6, {2, 3, 5}));
+  const auto greedy = greedy_set_cover(inst);
+  ASSERT_TRUE(greedy.has_value());
+  EXPECT_EQ(greedy->size(), 3u);
+  const auto exact = exact_set_cover(inst);
+  ASSERT_TRUE(exact.has_value());
+  EXPECT_EQ(exact->size(), 2u);
+  EXPECT_TRUE(is_set_cover(inst, *exact));
+}
+
+TEST(ExactSetCoverTest, InfeasibleReturnsNullopt) {
+  SetCoverInstance inst;
+  inst.universe_size = 2;
+  inst.add_set(make_set(2, {0}));
+  EXPECT_EQ(exact_set_cover(inst), std::nullopt);
+}
+
+TEST(IsSetCoverTest, RejectsOutOfRangeIndex) {
+  SetCoverInstance inst;
+  inst.universe_size = 1;
+  inst.add_set(make_set(1, {0}));
+  EXPECT_FALSE(is_set_cover(inst, {3}));
+  EXPECT_TRUE(is_set_cover(inst, {0}));
+}
+
+class SetCoverRandomTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SetCoverRandomTest, ExactNeverWorseThanGreedy) {
+  alvc::util::Rng rng(GetParam());
+  SetCoverInstance inst;
+  inst.universe_size = 4 + rng.uniform_index(8);
+  const std::size_t num_sets = 3 + rng.uniform_index(5);
+  for (std::size_t s = 0; s < num_sets; ++s) {
+    DynamicBitset set(inst.universe_size);
+    for (std::size_t e = 0; e < inst.universe_size; ++e) {
+      if (rng.bernoulli(0.4)) set.set(e);
+    }
+    inst.add_set(std::move(set));
+  }
+  // Ensure feasibility: one set covering everything missing.
+  DynamicBitset all(inst.universe_size, true);
+  inst.add_set(std::move(all), 1.0);
+
+  const auto greedy = greedy_set_cover(inst);
+  ASSERT_TRUE(greedy.has_value());
+  EXPECT_TRUE(is_set_cover(inst, *greedy));
+  const auto exact = exact_set_cover(inst);
+  ASSERT_TRUE(exact.has_value());
+  EXPECT_TRUE(is_set_cover(inst, *exact));
+  EXPECT_LE(exact->size(), greedy->size());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SetCoverRandomTest,
+                         ::testing::Values(41, 42, 43, 44, 45, 46, 47, 48, 49, 50));
+
+}  // namespace
+}  // namespace alvc::graph

@@ -1,0 +1,55 @@
+#include "graph/union_find.h"
+
+#include <gtest/gtest.h>
+
+namespace alvc::graph {
+namespace {
+
+TEST(UnionFindTest, InitiallyAllSeparate) {
+  UnionFind uf(5);
+  EXPECT_EQ(uf.component_count(), 5u);
+  EXPECT_FALSE(uf.connected(0, 1));
+}
+
+TEST(UnionFindTest, UniteMergesComponents) {
+  UnionFind uf(5);
+  EXPECT_TRUE(uf.unite(0, 1));
+  EXPECT_TRUE(uf.unite(1, 2));
+  EXPECT_FALSE(uf.unite(0, 2));  // already connected
+  EXPECT_EQ(uf.component_count(), 3u);
+  EXPECT_TRUE(uf.connected(0, 2));
+  EXPECT_FALSE(uf.connected(0, 3));
+}
+
+TEST(UnionFindTest, FindOutOfRangeThrows) {
+  UnionFind uf(2);
+  EXPECT_THROW((void)uf.find(2), std::out_of_range);
+}
+
+TEST(ConnectedComponentsTest, LabelsPartitionVertices) {
+  Graph g(6);
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  g.add_edge(3, 4);
+  const auto labels = connected_components(g);
+  EXPECT_EQ(labels[0], labels[1]);
+  EXPECT_EQ(labels[1], labels[2]);
+  EXPECT_EQ(labels[3], labels[4]);
+  EXPECT_NE(labels[0], labels[3]);
+  EXPECT_NE(labels[5], labels[0]);
+  EXPECT_NE(labels[5], labels[3]);
+}
+
+TEST(IsConnectedTest, Cases) {
+  Graph empty(0);
+  EXPECT_TRUE(is_connected(empty));
+  Graph single(1);
+  EXPECT_TRUE(is_connected(single));
+  Graph two(2);
+  EXPECT_FALSE(is_connected(two));
+  two.add_edge(0, 1);
+  EXPECT_TRUE(is_connected(two));
+}
+
+}  // namespace
+}  // namespace alvc::graph

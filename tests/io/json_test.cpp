@@ -1,0 +1,130 @@
+#include "io/json.h"
+
+#include <gtest/gtest.h>
+
+namespace alvc::io {
+namespace {
+
+TEST(JsonValueTest, TypePredicates) {
+  EXPECT_TRUE(JsonValue().is_null());
+  EXPECT_TRUE(JsonValue(true).is_bool());
+  EXPECT_TRUE(JsonValue(3.5).is_number());
+  EXPECT_TRUE(JsonValue(7).is_number());
+  EXPECT_TRUE(JsonValue("hi").is_string());
+  EXPECT_TRUE(JsonValue(JsonArray{}).is_array());
+  EXPECT_TRUE(JsonValue(JsonObject{}).is_object());
+}
+
+TEST(JsonValueTest, Accessors) {
+  const JsonValue v(JsonObject{{"a", 1}, {"b", "two"}});
+  EXPECT_DOUBLE_EQ(v.at("a").as_number(), 1.0);
+  EXPECT_EQ(v.at("a").as_index(), 1u);
+  EXPECT_EQ(v.at("b").as_string(), "two");
+  EXPECT_TRUE(v.contains("a"));
+  EXPECT_FALSE(v.contains("z"));
+  EXPECT_THROW((void)v.at("z"), std::out_of_range);
+  EXPECT_THROW((void)v.at("a").as_string(), std::bad_variant_access);
+}
+
+TEST(JsonDumpTest, Scalars) {
+  EXPECT_EQ(dump(JsonValue()), "null");
+  EXPECT_EQ(dump(JsonValue(true)), "true");
+  EXPECT_EQ(dump(JsonValue(false)), "false");
+  EXPECT_EQ(dump(JsonValue(42)), "42");
+  EXPECT_EQ(dump(JsonValue(-3)), "-3");
+  EXPECT_EQ(dump(JsonValue("hi")), "\"hi\"");
+}
+
+TEST(JsonDumpTest, FractionalNumbers) {
+  EXPECT_EQ(dump(JsonValue(2.5)), "2.5");
+}
+
+TEST(JsonDumpTest, StringEscapes) {
+  EXPECT_EQ(dump(JsonValue("a\"b\\c\nd\te")), "\"a\\\"b\\\\c\\nd\\te\"");
+  EXPECT_EQ(dump(JsonValue(std::string(1, '\x01'))), "\"\\u0001\"");
+}
+
+TEST(JsonDumpTest, CompactContainers) {
+  const JsonValue v(JsonObject{{"a", JsonArray{1, 2}}, {"b", JsonObject{}}});
+  EXPECT_EQ(dump(v), "{\"a\":[1,2],\"b\":{}}");
+  EXPECT_EQ(dump(JsonValue(JsonArray{})), "[]");
+}
+
+TEST(JsonDumpTest, PrettyPrinting) {
+  const JsonValue v(JsonObject{{"k", JsonArray{1}}});
+  EXPECT_EQ(dump(v, 2), "{\n  \"k\": [\n    1\n  ]\n}");
+}
+
+TEST(JsonDumpTest, KeysAreSorted) {
+  const JsonValue v(JsonObject{{"zebra", 1}, {"alpha", 2}});
+  EXPECT_EQ(dump(v), "{\"alpha\":2,\"zebra\":1}");
+}
+
+TEST(JsonParseTest, Scalars) {
+  EXPECT_TRUE(parse("null")->is_null());
+  EXPECT_EQ(parse("true")->as_bool(), true);
+  EXPECT_EQ(parse("false")->as_bool(), false);
+  EXPECT_DOUBLE_EQ(parse("42")->as_number(), 42.0);
+  EXPECT_DOUBLE_EQ(parse("-3.25")->as_number(), -3.25);
+  EXPECT_DOUBLE_EQ(parse("1e3")->as_number(), 1000.0);
+  EXPECT_DOUBLE_EQ(parse("2.5E-2")->as_number(), 0.025);
+  EXPECT_EQ(parse("\"hi\"")->as_string(), "hi");
+}
+
+TEST(JsonParseTest, Containers) {
+  const auto v = parse(R"({"list":[1,2,3],"nested":{"x":true}})");
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(v->at("list").as_array().size(), 3u);
+  EXPECT_DOUBLE_EQ(v->at("list").as_array()[2].as_number(), 3.0);
+  EXPECT_TRUE(v->at("nested").at("x").as_bool());
+}
+
+TEST(JsonParseTest, WhitespaceTolerated) {
+  const auto v = parse(" \n\t{ \"a\" : [ 1 , 2 ] } \n");
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(v->at("a").as_array().size(), 2u);
+}
+
+TEST(JsonParseTest, Escapes) {
+  EXPECT_EQ(parse(R"("a\"b")")->as_string(), "a\"b");
+  EXPECT_EQ(parse(R"("line\nbreak")")->as_string(), "line\nbreak");
+  EXPECT_EQ(parse(R"("A")")->as_string(), "A");
+  EXPECT_EQ(parse(R"("é")")->as_string(), "\xc3\xa9");   // é in UTF-8
+  EXPECT_EQ(parse(R"("€")")->as_string(), "\xe2\x82\xac");  // €
+}
+
+TEST(JsonParseTest, Errors) {
+  EXPECT_FALSE(parse("").has_value());
+  EXPECT_FALSE(parse("{").has_value());
+  EXPECT_FALSE(parse("[1,]").has_value());
+  EXPECT_FALSE(parse("{\"a\":}").has_value());
+  EXPECT_FALSE(parse("{\"a\" 1}").has_value());
+  EXPECT_FALSE(parse("tru").has_value());
+  EXPECT_FALSE(parse("\"unterminated").has_value());
+  EXPECT_FALSE(parse("1 2").has_value()) << "trailing garbage";
+  EXPECT_FALSE(parse("-").has_value());
+  EXPECT_FALSE(parse("1.").has_value());
+  EXPECT_FALSE(parse("1e").has_value());
+  EXPECT_FALSE(parse(R"("\q")").has_value());
+  EXPECT_FALSE(parse(R"("\u12g4")").has_value());
+}
+
+TEST(JsonRoundTripTest, DumpThenParseIsIdentity) {
+  const JsonValue original(JsonObject{
+      {"name", "alvc"},
+      {"count", 3},
+      {"ratio", 0.5},
+      {"flag", true},
+      {"nothing", nullptr},
+      {"items", JsonArray{1, "two", JsonObject{{"three", 3}}}},
+  });
+  for (int indent : {0, 2, 4}) {
+    const auto text = dump(original, indent);
+    const auto parsed = parse(text);
+    ASSERT_TRUE(parsed.has_value()) << parsed.error().to_string();
+    EXPECT_EQ(*parsed, original) << "indent=" << indent;
+  }
+}
+
+}  // namespace
+}  // namespace alvc::io

@@ -1,0 +1,198 @@
+#include "io/serialize.h"
+
+#include <gtest/gtest.h>
+
+#include "io/dot.h"
+#include "support/fixtures.h"
+#include "topology/builder.h"
+#include "topology/validation.h"
+
+namespace alvc::io {
+namespace {
+
+using alvc::test::ClusterFixture;
+using alvc::topology::build_topology;
+using alvc::topology::TopologyParams;
+
+TopologyParams rich_params() {
+  TopologyParams params;
+  params.rack_count = 6;
+  params.ops_count = 12;
+  params.tor_ops_degree = 4;
+  params.service_count = 3;
+  params.dual_homing_probability = 0.3;
+  params.core = alvc::topology::CoreKind::kTorus2D;
+  params.seed = 19;
+  return params;
+}
+
+void expect_topologies_equal(const alvc::topology::DataCenterTopology& a,
+                             const alvc::topology::DataCenterTopology& b) {
+  ASSERT_EQ(a.ops_count(), b.ops_count());
+  ASSERT_EQ(a.tor_count(), b.tor_count());
+  ASSERT_EQ(a.server_count(), b.server_count());
+  ASSERT_EQ(a.vm_count(), b.vm_count());
+  for (std::size_t i = 0; i < a.ops_count(); ++i) {
+    const auto& oa = a.opss()[i];
+    const auto& ob = b.opss()[i];
+    EXPECT_EQ(oa.optoelectronic, ob.optoelectronic);
+    EXPECT_EQ(oa.failed, ob.failed);
+    EXPECT_DOUBLE_EQ(oa.compute.cpu_cores, ob.compute.cpu_cores);
+    auto pa = oa.peer_links;
+    auto pb = ob.peer_links;
+    std::sort(pa.begin(), pa.end());
+    std::sort(pb.begin(), pb.end());
+    EXPECT_EQ(pa, pb);
+  }
+  for (std::size_t i = 0; i < a.tor_count(); ++i) {
+    auto ua = a.tors()[i].uplinks;
+    auto ub = b.tors()[i].uplinks;
+    std::sort(ua.begin(), ua.end());
+    std::sort(ub.begin(), ub.end());
+    EXPECT_EQ(ua, ub);
+  }
+  for (std::size_t i = 0; i < a.server_count(); ++i) {
+    EXPECT_EQ(a.servers()[i].tor, b.servers()[i].tor);
+    EXPECT_EQ(a.servers()[i].secondary_tors, b.servers()[i].secondary_tors);
+    EXPECT_DOUBLE_EQ(a.servers()[i].capacity.memory_gb, b.servers()[i].capacity.memory_gb);
+  }
+  for (std::size_t i = 0; i < a.vm_count(); ++i) {
+    EXPECT_EQ(a.vms()[i].server, b.vms()[i].server);
+    EXPECT_EQ(a.vms()[i].service, b.vms()[i].service);
+  }
+}
+
+TEST(TopologySerializeTest, RoundTripPreservesStructure) {
+  const auto original = build_topology(rich_params());
+  const auto json = topology_to_json(original);
+  const auto restored = topology_from_json(json);
+  ASSERT_TRUE(restored.has_value()) << restored.error().to_string();
+  expect_topologies_equal(original, *restored);
+  EXPECT_TRUE(alvc::topology::validate(*restored).ok());
+}
+
+TEST(TopologySerializeTest, RoundTripThroughText) {
+  auto original = build_topology(rich_params());
+  original.set_ops_failed(alvc::util::OpsId{3}, true);
+  const auto text = dump(topology_to_json(original), 2);
+  const auto parsed = parse(text);
+  ASSERT_TRUE(parsed.has_value());
+  const auto restored = topology_from_json(*parsed);
+  ASSERT_TRUE(restored.has_value());
+  expect_topologies_equal(original, *restored);
+  EXPECT_TRUE(restored->opss()[3].failed);
+}
+
+TEST(TopologySerializeTest, RejectsWrongFormat) {
+  EXPECT_FALSE(topology_from_json(JsonValue(JsonObject{{"format", "nope"}})).has_value());
+  EXPECT_FALSE(topology_from_json(JsonValue(42)).has_value());
+  EXPECT_FALSE(topology_from_json(JsonValue(JsonObject{})).has_value());
+}
+
+TEST(TopologySerializeTest, RejectsDanglingReferences) {
+  auto json = topology_to_json(build_topology(rich_params()));
+  // Point the first VM at a nonexistent server.
+  json.as_object()["vms"].as_array()[0].as_object()["server"] = 9999;
+  EXPECT_FALSE(topology_from_json(json).has_value());
+}
+
+TEST(ClustersSerializeTest, EmitsEveryCluster) {
+  ClusterFixture f;
+  const auto json = clusters_to_json(f.manager);
+  EXPECT_EQ(json.at("format").as_string(), "alvc-clusters");
+  const auto& clusters = json.at("clusters").as_array();
+  ASSERT_EQ(clusters.size(), 1u);
+  EXPECT_EQ(clusters[0].at("vms").as_array().size(), f.cluster().vms.size());
+  EXPECT_EQ(clusters[0].at("al").as_array().size(), f.cluster().layer.opss.size());
+  EXPECT_TRUE(clusters[0].at("connected").as_bool());
+}
+
+TEST(ChainsSerializeTest, EmitsPlacementAndRoute) {
+  ClusterFixture f;
+  alvc::orchestrator::NetworkOrchestrator orch(f.manager, f.catalog);
+  alvc::nfv::NfcSpec spec;
+  spec.name = "serial-chain";
+  spec.service = alvc::util::ServiceId{0};
+  spec.bandwidth_gbps = 1.0;
+  spec.functions = {*f.catalog.find_by_type(alvc::nfv::VnfType::kFirewall),
+                    *f.catalog.find_by_type(alvc::nfv::VnfType::kDeepPacketInspection)};
+  const alvc::orchestrator::GreedyOpticalPlacement placement;
+  ASSERT_TRUE(orch.provision_chain(spec, placement).has_value());
+
+  const auto json = chains_to_json(orch);
+  const auto& chains = json.at("chains").as_array();
+  ASSERT_EQ(chains.size(), 1u);
+  EXPECT_EQ(chains[0].at("name").as_string(), "serial-chain");
+  const auto& hosts = chains[0].at("hosts").as_array();
+  ASSERT_EQ(hosts.size(), 2u);
+  EXPECT_EQ(hosts[0].at("domain").as_string(), "optical");
+  EXPECT_EQ(hosts[1].at("domain").as_string(), "electronic");
+  EXPECT_FALSE(chains[0].at("route").as_array().empty());
+  // Round-trips through text as valid JSON.
+  EXPECT_TRUE(parse(dump(json, 2)).has_value());
+}
+
+class RoundTripPropertyTest
+    : public ::testing::TestWithParam<std::tuple<std::uint64_t, alvc::topology::CoreKind>> {};
+
+TEST_P(RoundTripPropertyTest, GeneratedTopologiesSurviveTextRoundTrip) {
+  const auto [seed, core] = GetParam();
+  alvc::topology::TopologyParams params;
+  params.seed = seed;
+  params.rack_count = 4 + seed % 6;
+  params.ops_count = 8 + (seed % 4) * 4;
+  params.tor_ops_degree = 3;
+  params.service_count = 2 + seed % 3;
+  params.dual_homing_probability = (seed % 2) * 0.4;
+  params.optoelectronic_fraction = 0.5;
+  params.core = core;
+  params.core_degree = 3;
+  const auto original = alvc::topology::build_topology(params);
+  const auto text = dump(topology_to_json(original));
+  const auto parsed = parse(text);
+  ASSERT_TRUE(parsed.has_value());
+  const auto restored = topology_from_json(*parsed);
+  ASSERT_TRUE(restored.has_value()) << restored.error().to_string();
+  expect_topologies_equal(original, *restored);
+  // The restored DC behaves identically: clusters come out the same size.
+  auto topo_a = original;
+  auto topo_b = *restored;
+  alvc::cluster::ClusterManager ma(topo_a);
+  alvc::cluster::ClusterManager mb(topo_b);
+  const alvc::cluster::VertexCoverAlBuilder builder;
+  const auto ca = ma.create_clusters_by_service(builder);
+  const auto cb = mb.create_clusters_by_service(builder);
+  ASSERT_EQ(ca.has_value(), cb.has_value());
+  if (ca.has_value()) {
+    ASSERT_EQ(ca->size(), cb->size());
+    for (std::size_t i = 0; i < ca->size(); ++i) {
+      EXPECT_EQ(ma.find((*ca)[i])->layer.opss, mb.find((*cb)[i])->layer.opss);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SeedsAndCores, RoundTripPropertyTest,
+    ::testing::Combine(::testing::Values(1, 2, 3, 4),
+                       ::testing::Values(alvc::topology::CoreKind::kRing,
+                                         alvc::topology::CoreKind::kTorus2D,
+                                         alvc::topology::CoreKind::kRandomRegular)));
+
+TEST(DotExportTest, ContainsEveryElement) {
+  ClusterFixture f;
+  const auto plain = to_dot(f.topo);
+  EXPECT_NE(plain.find("tor0"), std::string::npos);
+  EXPECT_NE(plain.find("ops3"), std::string::npos);
+  EXPECT_NE(plain.find("doublecircle"), std::string::npos);  // OE routers
+  EXPECT_EQ(plain.find("fillcolor"), std::string::npos);     // no clusters given
+
+  const auto colored = to_dot(f.topo, f.manager);
+  EXPECT_NE(colored.find("fillcolor"), std::string::npos);
+
+  f.topo.set_ops_failed(alvc::util::OpsId{1}, true);
+  const auto failed = to_dot(f.topo, f.manager);
+  EXPECT_NE(failed.find("color=red"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace alvc::io

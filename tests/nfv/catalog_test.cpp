@@ -1,0 +1,59 @@
+#include "nfv/catalog.h"
+
+#include <gtest/gtest.h>
+
+namespace alvc::nfv {
+namespace {
+
+TEST(VnfCatalogTest, AddAndLookup) {
+  VnfCatalog catalog;
+  const auto fw = catalog.add(VnfType::kFirewall, "fw",
+                              Resources{.cpu_cores = 1, .memory_gb = 1, .storage_gb = 1});
+  EXPECT_EQ(catalog.size(), 1u);
+  const auto& d = catalog.descriptor(fw);
+  EXPECT_EQ(d.type, VnfType::kFirewall);
+  EXPECT_EQ(d.name, "fw");
+  EXPECT_EQ(d.id, fw);
+  EXPECT_THROW((void)catalog.descriptor(VnfId{9}), std::out_of_range);
+}
+
+TEST(VnfCatalogTest, FindByType) {
+  const auto catalog = VnfCatalog::make_default();
+  const auto dpi = catalog.find_by_type(VnfType::kDeepPacketInspection);
+  ASSERT_TRUE(dpi.has_value());
+  EXPECT_EQ(catalog.descriptor(*dpi).name, "dpi");
+  VnfCatalog empty;
+  EXPECT_FALSE(empty.find_by_type(VnfType::kNat).has_value());
+}
+
+TEST(VnfCatalogTest, DefaultCatalogSplitsLightAndHeavy) {
+  const auto catalog = VnfCatalog::make_default();
+  // The default optoelectronic budget from TopologyParams.
+  const Resources oe_budget{.cpu_cores = 4, .memory_gb = 8, .storage_gb = 32};
+  std::size_t optical_ok = 0;
+  std::size_t electronic_only = 0;
+  for (const auto& d : catalog.descriptors()) {
+    if (d.optical_hostable(oe_budget)) ++optical_ok;
+    if (!d.demand.fits_within(oe_budget) || d.electronic_only) ++electronic_only;
+  }
+  EXPECT_GE(optical_ok, 4u) << "light functions must fit optoelectronic routers";
+  EXPECT_GE(electronic_only, 3u) << "heavy functions must exceed the budget";
+  EXPECT_EQ(optical_ok + electronic_only, catalog.size());
+}
+
+TEST(VnfCatalogTest, ElectronicOnlyNeverOpticalHostable) {
+  const auto catalog = VnfCatalog::make_default();
+  const auto wan = catalog.find_by_type(VnfType::kWanOptimizer);
+  ASSERT_TRUE(wan.has_value());
+  const Resources huge{.cpu_cores = 1000, .memory_gb = 1000, .storage_gb = 10000};
+  EXPECT_FALSE(catalog.descriptor(*wan).optical_hostable(huge));
+}
+
+TEST(VnfTypeTest, Names) {
+  EXPECT_EQ(to_string(VnfType::kFirewall), "firewall");
+  EXPECT_EQ(to_string(VnfType::kDeepPacketInspection), "dpi");
+  EXPECT_EQ(to_string(VnfType::kCache), "cache");
+}
+
+}  // namespace
+}  // namespace alvc::nfv

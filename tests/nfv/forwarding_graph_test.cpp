@@ -1,0 +1,129 @@
+#include "nfv/forwarding_graph.h"
+
+#include <gtest/gtest.h>
+
+namespace alvc::nfv {
+namespace {
+
+ForwardingGraph diamond() {
+  // 0 -> {1, 2} -> 3 (load balancer fanning out and rejoining).
+  ForwardingGraph g;
+  for (int i = 0; i < 4; ++i) g.add_node(VnfId{static_cast<VnfId::value_type>(i)});
+  g.add_edge(0, 1);
+  g.add_edge(0, 2);
+  g.add_edge(1, 3);
+  g.add_edge(2, 3);
+  return g;
+}
+
+TEST(ForwardingGraphTest, LinearFactory) {
+  const std::vector<VnfId> fns{VnfId{5}, VnfId{7}, VnfId{9}};
+  const auto g = ForwardingGraph::linear(fns);
+  EXPECT_EQ(g.node_count(), 3u);
+  EXPECT_EQ(g.edge_count(), 2u);
+  EXPECT_TRUE(g.validate().is_ok());
+  EXPECT_EQ(g.entry(), 0u);
+  EXPECT_EQ(g.exits(), (std::vector<std::size_t>{2}));
+  EXPECT_EQ(g.topological_order(), (std::vector<std::size_t>{0, 1, 2}));
+  EXPECT_EQ(g.function(1), VnfId{7});
+}
+
+TEST(ForwardingGraphTest, DiamondIsValid) {
+  const auto g = diamond();
+  EXPECT_TRUE(g.validate().is_ok());
+  EXPECT_EQ(g.entry(), 0u);
+  EXPECT_EQ(g.exits(), (std::vector<std::size_t>{3}));
+  const auto order = g.topological_order();
+  ASSERT_EQ(order.size(), 4u);
+  EXPECT_EQ(order.front(), 0u);
+  EXPECT_EQ(order.back(), 3u);
+}
+
+TEST(ForwardingGraphTest, MultipleExits) {
+  ForwardingGraph g;
+  for (int i = 0; i < 3; ++i) g.add_node(VnfId{0});
+  g.add_edge(0, 1);
+  g.add_edge(0, 2);
+  EXPECT_TRUE(g.validate().is_ok());
+  EXPECT_EQ(g.exits(), (std::vector<std::size_t>{1, 2}));
+}
+
+TEST(ForwardingGraphTest, RejectsEmpty) {
+  ForwardingGraph g;
+  EXPECT_FALSE(g.validate().is_ok());
+}
+
+TEST(ForwardingGraphTest, RejectsCycle) {
+  ForwardingGraph g;
+  for (int i = 0; i < 3; ++i) g.add_node(VnfId{0});
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  g.add_edge(2, 1);  // cycle 1 <-> 2
+  EXPECT_FALSE(g.validate().is_ok());
+}
+
+TEST(ForwardingGraphTest, RejectsSelfLoopAndDuplicateEdge) {
+  ForwardingGraph g;
+  g.add_node(VnfId{0});
+  g.add_node(VnfId{1});
+  g.add_edge(0, 1);
+  g.add_edge(0, 1);
+  EXPECT_FALSE(g.validate().is_ok());
+
+  ForwardingGraph h;
+  h.add_node(VnfId{0});
+  h.add_node(VnfId{1});
+  h.add_edge(0, 1);
+  h.add_edge(1, 1);
+  EXPECT_FALSE(h.validate().is_ok());
+}
+
+TEST(ForwardingGraphTest, RejectsTwoEntries) {
+  ForwardingGraph g;
+  for (int i = 0; i < 3; ++i) g.add_node(VnfId{0});
+  g.add_edge(0, 2);
+  g.add_edge(1, 2);  // nodes 0 and 1 are both entries
+  EXPECT_FALSE(g.validate().is_ok());
+}
+
+TEST(ForwardingGraphTest, RejectsUnreachableNode) {
+  // A single-entry graph with an unreachable cycle component.
+  ForwardingGraph g;
+  for (int i = 0; i < 3; ++i) g.add_node(VnfId{0});
+  g.add_edge(1, 2);
+  g.add_edge(2, 1);  // 1 and 2 form a cycle detached from entry 0
+  EXPECT_FALSE(g.validate().is_ok());
+}
+
+TEST(ForwardingGraphTest, EdgeBoundsChecked) {
+  ForwardingGraph g;
+  g.add_node(VnfId{0});
+  EXPECT_THROW(g.add_edge(0, 5), std::out_of_range);
+}
+
+TEST(ForwardingGraphTest, TopologicalOrderRespectsEdges) {
+  const auto g = diamond();
+  const auto order = g.topological_order();
+  std::vector<std::size_t> position(order.size());
+  for (std::size_t i = 0; i < order.size(); ++i) position[order[i]] = i;
+  for (const auto& edge : g.edges()) {
+    EXPECT_LT(position[edge.from], position[edge.to]);
+  }
+}
+
+TEST(GraphNfcSpecTest, ToLinearSpecFollowsTopologicalOrder) {
+  GraphNfcSpec spec;
+  spec.name = "diamond";
+  spec.bandwidth_gbps = 2.0;
+  spec.service = alvc::util::ServiceId{1};
+  spec.graph = diamond();
+  const auto linear = spec.to_linear_spec();
+  EXPECT_EQ(linear.name, "diamond");
+  EXPECT_DOUBLE_EQ(linear.bandwidth_gbps, 2.0);
+  ASSERT_EQ(linear.functions.size(), 4u);
+  EXPECT_EQ(linear.functions.front(), VnfId{0});
+  EXPECT_EQ(linear.functions.back(), VnfId{3});
+}
+
+}  // namespace
+}  // namespace alvc::nfv

@@ -1,0 +1,107 @@
+#include "nfv/hosting.h"
+
+#include <gtest/gtest.h>
+
+#include "topology/builder.h"
+
+namespace alvc::nfv {
+namespace {
+
+using alvc::topology::DataCenterTopology;
+using alvc::util::ErrorCode;
+using alvc::util::OpsId;
+using alvc::util::ServerId;
+using alvc::util::ServiceId;
+
+DataCenterTopology hosting_dc() {
+  DataCenterTopology topo;
+  topo.add_ops(true, Resources{.cpu_cores = 4, .memory_gb = 8, .storage_gb = 32});  // OE router
+  topo.add_ops();                                                                   // plain OPS
+  const auto t = topo.add_tor();
+  topo.connect_tor_ops(t, OpsId{0});
+  topo.connect_tor_ops(t, OpsId{1});
+  topo.add_server(t, Resources{.cpu_cores = 16, .memory_gb = 64, .storage_gb = 512});
+  return topo;
+}
+
+TEST(HostingPoolTest, NominalCapacities) {
+  const auto topo = hosting_dc();
+  HostingPool pool(topo);
+  EXPECT_DOUBLE_EQ(pool.free_capacity(HostRef{ServerId{0}}).cpu_cores, 16);
+  EXPECT_DOUBLE_EQ(pool.free_capacity(HostRef{OpsId{0}}).cpu_cores, 4);
+  EXPECT_DOUBLE_EQ(pool.free_capacity(HostRef{OpsId{1}}).cpu_cores, 0);
+}
+
+TEST(HostingPoolTest, PlainOpsNeverHosts) {
+  const auto topo = hosting_dc();
+  HostingPool pool(topo);
+  const Resources tiny{.cpu_cores = 0.1, .memory_gb = 0.1, .storage_gb = 0.1};
+  EXPECT_FALSE(pool.fits(HostRef{OpsId{1}}, tiny));
+  EXPECT_TRUE(pool.fits(HostRef{OpsId{0}}, tiny));
+}
+
+TEST(HostingPoolTest, ReserveAndRelease) {
+  const auto topo = hosting_dc();
+  HostingPool pool(topo);
+  const Resources demand{.cpu_cores = 2, .memory_gb = 4, .storage_gb = 8};
+  ASSERT_TRUE(pool.reserve(HostRef{OpsId{0}}, demand).is_ok());
+  EXPECT_DOUBLE_EQ(pool.free_capacity(HostRef{OpsId{0}}).cpu_cores, 2);
+  // Second identical reservation exceeds memory (4+4 <= 8 ok) — cpu 2+2 <= 4 ok,
+  // storage 8+8 <= 32 ok: it fits exactly.
+  ASSERT_TRUE(pool.reserve(HostRef{OpsId{0}}, demand).is_ok());
+  // Third does not.
+  const auto status = pool.reserve(HostRef{OpsId{0}}, demand);
+  ASSERT_FALSE(status.is_ok());
+  EXPECT_EQ(status.error().code, ErrorCode::kCapacityExceeded);
+  pool.release(HostRef{OpsId{0}}, demand);
+  EXPECT_TRUE(pool.reserve(HostRef{OpsId{0}}, demand).is_ok());
+  EXPECT_TRUE(pool.is_consistent());
+}
+
+TEST(HostingPoolTest, OverReleaseClamped) {
+  const auto topo = hosting_dc();
+  HostingPool pool(topo);
+  const Resources demand{.cpu_cores = 2, .memory_gb = 2, .storage_gb = 2};
+  pool.release(HostRef{ServerId{0}}, demand);  // nothing reserved
+  EXPECT_DOUBLE_EQ(pool.free_capacity(HostRef{ServerId{0}}).cpu_cores, 16);
+  EXPECT_TRUE(pool.is_consistent());
+}
+
+TEST(HostingPoolTest, OpticalHostEnumeration) {
+  const auto topo = hosting_dc();
+  HostingPool pool(topo);
+  const Resources small{.cpu_cores = 1, .memory_gb = 1, .storage_gb = 1};
+  const auto hosts = pool.optical_hosts_with_capacity(small);
+  ASSERT_EQ(hosts.size(), 1u);
+  EXPECT_EQ(hosts[0], OpsId{0});
+  // Restricted to a candidate list that excludes it.
+  const std::vector<OpsId> only_plain{OpsId{1}};
+  EXPECT_TRUE(pool.optical_hosts_with_capacity(small, only_plain).empty());
+  // Demand too large for the OE router.
+  const Resources huge{.cpu_cores = 100, .memory_gb = 1, .storage_gb = 1};
+  EXPECT_TRUE(pool.optical_hosts_with_capacity(huge).empty());
+}
+
+TEST(HostingPoolTest, ElectronicHostEnumeration) {
+  const auto topo = hosting_dc();
+  HostingPool pool(topo);
+  const Resources big{.cpu_cores = 10, .memory_gb = 32, .storage_gb = 100};
+  const auto hosts = pool.electronic_hosts_with_capacity(big);
+  ASSERT_EQ(hosts.size(), 1u);
+  EXPECT_EQ(hosts[0], ServerId{0});
+  ASSERT_TRUE(pool.reserve(HostRef{ServerId{0}}, big).is_ok());
+  EXPECT_TRUE(pool.electronic_hosts_with_capacity(big).empty());
+}
+
+TEST(HostingPoolTest, GeneratedTopologyRespectsOeFraction) {
+  alvc::topology::TopologyParams params;
+  params.ops_count = 10;
+  params.optoelectronic_fraction = 0.4;
+  const auto topo = alvc::topology::build_topology(params);
+  HostingPool pool(topo);
+  const Resources tiny{.cpu_cores = 0.5, .memory_gb = 0.5, .storage_gb = 0.5};
+  EXPECT_EQ(pool.optical_hosts_with_capacity(tiny).size(), 4u);
+}
+
+}  // namespace
+}  // namespace alvc::nfv

@@ -1,0 +1,177 @@
+#include "orchestrator/admission.h"
+
+#include <gtest/gtest.h>
+
+#include "support/fixtures.h"
+
+namespace alvc::orchestrator {
+namespace {
+
+using alvc::nfv::HostingPool;
+using alvc::nfv::NfcSpec;
+using alvc::nfv::VnfType;
+using alvc::test::ClusterFixture;
+using alvc::util::ErrorCode;
+using alvc::util::ServiceId;
+
+struct AdmissionFixture : ClusterFixture {
+  HostingPool pool{topo};
+  AdmissionController admission{topo, catalog};
+
+  NfcSpec chain(std::initializer_list<VnfType> types, double bandwidth = 1.0) {
+    NfcSpec spec;
+    spec.name = "chain";
+    spec.bandwidth_gbps = bandwidth;
+    spec.service = ServiceId{0};
+    for (auto t : types) spec.functions.push_back(*catalog.find_by_type(t));
+    return spec;
+  }
+};
+
+TEST(AdmissionTest, AdmitsReasonableChain) {
+  AdmissionFixture f;
+  const auto spec = f.chain({VnfType::kFirewall, VnfType::kNat});
+  EXPECT_TRUE(f.admission.admit(spec, f.cluster(), f.pool).is_ok());
+  EXPECT_EQ(f.admission.stats().admitted, 1u);
+}
+
+TEST(AdmissionTest, RejectsEmptyChain) {
+  AdmissionFixture f;
+  const auto spec = f.chain({});
+  const auto status = f.admission.admit(spec, f.cluster(), f.pool);
+  ASSERT_FALSE(status.is_ok());
+  EXPECT_EQ(status.error().code, ErrorCode::kRejected);
+  EXPECT_EQ(f.admission.stats().rejected_malformed, 1u);
+}
+
+TEST(AdmissionTest, RejectsNonPositiveBandwidth) {
+  AdmissionFixture f;
+  const auto spec = f.chain({VnfType::kFirewall}, 0.0);
+  EXPECT_FALSE(f.admission.admit(spec, f.cluster(), f.pool).is_ok());
+}
+
+TEST(AdmissionTest, RejectsBandwidthBeyondSlicePorts) {
+  AdmissionFixture f;
+  // ToR ports default to 10 Gbps; ask for 50.
+  const auto spec = f.chain({VnfType::kFirewall}, 50.0);
+  const auto status = f.admission.admit(spec, f.cluster(), f.pool);
+  ASSERT_FALSE(status.is_ok());
+  EXPECT_EQ(f.admission.stats().rejected_bandwidth, 1u);
+}
+
+TEST(AdmissionTest, RejectsAggregateOverload) {
+  AdmissionFixture f;
+  NfcSpec spec = f.chain({});
+  // 200 caches: 200 * 32 GB memory >> slice total memory.
+  for (int i = 0; i < 200; ++i) {
+    spec.functions.push_back(*f.catalog.find_by_type(VnfType::kCache));
+  }
+  const auto status = f.admission.admit(spec, f.cluster(), f.pool);
+  ASSERT_FALSE(status.is_ok());
+  EXPECT_EQ(f.admission.stats().rejected_resources, 1u);
+}
+
+TEST(AdmissionTest, AccountsForExistingReservations) {
+  AdmissionFixture f;
+  // Fill every server almost completely.
+  for (const auto& server : f.topo.servers()) {
+    const auto free = f.pool.free_capacity(alvc::nfv::HostRef{server.id});
+    ASSERT_TRUE(f.pool
+                    .reserve(alvc::nfv::HostRef{server.id},
+                             alvc::topology::Resources{.cpu_cores = free.cpu_cores,
+                                                       .memory_gb = free.memory_gb,
+                                                       .storage_gb = free.storage_gb})
+                    .is_ok());
+  }
+  NfcSpec spec = f.chain({});
+  for (int i = 0; i < 4; ++i) {
+    spec.functions.push_back(*f.catalog.find_by_type(VnfType::kDeepPacketInspection));
+  }
+  EXPECT_FALSE(f.admission.admit(spec, f.cluster(), f.pool).is_ok());
+}
+
+TEST(AdmissionTest, SliceCapacityIsMaxFlowNotMinPort) {
+  // Slice shaped like T0 - O0 - T1 with 10 Gbps ToR ports and a 100 Gbps
+  // OPS: capacity between T0 and T1 is 10 (ToR-limited), even though every
+  // individual port pair check would pass 10.
+  alvc::topology::DataCenterTopology topo;
+  const auto o0 = topo.add_ops();
+  const auto t0 = topo.add_tor(10.0);
+  const auto t1 = topo.add_tor(10.0);
+  topo.connect_tor_ops(t0, o0);
+  topo.connect_tor_ops(t1, o0);
+  alvc::cluster::VirtualCluster vc;
+  vc.layer.tors = {t0, t1};
+  vc.layer.opss = {o0};
+  const auto catalog = alvc::nfv::VnfCatalog::make_default();
+  AdmissionController admission(topo, catalog);
+  EXPECT_DOUBLE_EQ(admission.slice_capacity_gbps(vc, t0, t1), 10.0);
+}
+
+TEST(AdmissionTest, ParallelOpsPathsAddCapacity) {
+  // T0 and T1 joined through TWO OPSs: max flow 20 even though each single
+  // path carries only 10.
+  alvc::topology::DataCenterTopology topo;
+  const auto o0 = topo.add_ops();
+  const auto o1 = topo.add_ops();
+  const auto t0 = topo.add_tor(20.0);
+  const auto t1 = topo.add_tor(20.0);
+  for (auto o : {o0, o1}) {
+    topo.connect_tor_ops(t0, o);
+    topo.connect_tor_ops(t1, o);
+  }
+  alvc::cluster::VirtualCluster vc;
+  vc.layer.tors = {t0, t1};
+  vc.layer.opss = {o0, o1};
+  // Give the OPSs 10 Gbps ports so each path is OPS-limited.
+  // (add_ops defaults to 100; rebuild with explicit ports.)
+  alvc::topology::DataCenterTopology topo2;
+  const auto p0 = topo2.add_ops(false, {}, 10.0);
+  const auto p1 = topo2.add_ops(false, {}, 10.0);
+  const auto q0 = topo2.add_tor(20.0);
+  const auto q1 = topo2.add_tor(20.0);
+  for (auto o : {p0, p1}) {
+    topo2.connect_tor_ops(q0, o);
+    topo2.connect_tor_ops(q1, o);
+  }
+  alvc::cluster::VirtualCluster vc2;
+  vc2.layer.tors = {q0, q1};
+  vc2.layer.opss = {p0, p1};
+  const auto catalog = alvc::nfv::VnfCatalog::make_default();
+  AdmissionController admission(topo2, catalog);
+  EXPECT_DOUBLE_EQ(admission.slice_capacity_gbps(vc2, q0, q1), 20.0);
+}
+
+TEST(AdmissionTest, SameTorCapacityIsUnbounded) {
+  AdmissionFixture f;
+  const auto t = f.cluster().layer.tors.front();
+  EXPECT_TRUE(std::isinf(f.admission.slice_capacity_gbps(f.cluster(), t, t)));
+}
+
+TEST(AdmissionTest, DisconnectedSliceHasZeroCapacity) {
+  alvc::topology::DataCenterTopology topo;
+  const auto o0 = topo.add_ops();
+  const auto o1 = topo.add_ops();
+  const auto t0 = topo.add_tor();
+  const auto t1 = topo.add_tor();
+  topo.connect_tor_ops(t0, o0);
+  topo.connect_tor_ops(t1, o1);
+  alvc::cluster::VirtualCluster vc;
+  vc.layer.tors = {t0, t1};
+  vc.layer.opss = {o0};  // o1 excluded: t1 unreachable inside the slice
+  const auto catalog = alvc::nfv::VnfCatalog::make_default();
+  AdmissionController admission(topo, catalog);
+  EXPECT_DOUBLE_EQ(admission.slice_capacity_gbps(vc, t0, t1), 0.0);
+  // And admit() rejects any positive bandwidth via the flow check.
+  alvc::nfv::NfcSpec spec;
+  spec.name = "x";
+  spec.bandwidth_gbps = 1.0;
+  spec.functions = {*catalog.find_by_type(alvc::nfv::VnfType::kNat)};
+  alvc::nfv::HostingPool pool(topo);
+  const auto status = admission.admit(spec, vc, pool);
+  ASSERT_FALSE(status.is_ok());
+  EXPECT_EQ(admission.stats().rejected_capacity_flow, 1u);
+}
+
+}  // namespace
+}  // namespace alvc::orchestrator

@@ -1,0 +1,100 @@
+// Load-balanced (k-shortest) routing: legs shift away from links that other
+// reservations already loaded.
+#include <gtest/gtest.h>
+
+#include "orchestrator/bandwidth.h"
+#include "orchestrator/orchestrator.h"
+#include "orchestrator/routing.h"
+#include "support/fixtures.h"
+
+namespace alvc::orchestrator {
+namespace {
+
+using alvc::nfv::HostRef;
+using alvc::test::ClusterFixture;
+using alvc::util::OpsId;
+using alvc::util::TorId;
+
+/// Two parallel optical rails between the slice's ToRs:
+/// T0 - O0 - T1 and T0 - O1 - T1. Vertices: T0=0, T1=1, O0=2, O1=3.
+struct RailsFixture {
+  alvc::topology::DataCenterTopology topo;
+  alvc::cluster::VirtualCluster vc;
+
+  RailsFixture() {
+    const auto o0 = topo.add_ops();
+    const auto o1 = topo.add_ops();
+    const auto t0 = topo.add_tor();
+    const auto t1 = topo.add_tor();
+    for (auto o : {o0, o1}) {
+      topo.connect_tor_ops(t0, o);
+      topo.connect_tor_ops(t1, o);
+    }
+    vc.id = alvc::util::ClusterId{0};
+    vc.layer.tors = {t0, t1};
+    vc.layer.opss = {o0, o1};
+  }
+};
+
+TEST(BalancedRoutingTest, AvoidsReservedRail) {
+  RailsFixture f;
+  ChainRouter router(f.topo);
+  BandwidthLedger ledger(f.topo);
+  // Saturate the O0 rail: T0-O0 and O0-T1 hold 9 of 10 Gbps.
+  const std::vector<std::size_t> rail0{f.topo.tor_vertex(TorId{0}), f.topo.ops_vertex(OpsId{0}),
+                                       f.topo.tor_vertex(TorId{1})};
+  ASSERT_TRUE(ledger.reserve_walk(rail0, 9.0).is_ok());
+
+  const std::vector<HostRef> no_hosts;
+  const auto balanced =
+      router.route_balanced(f.vc, TorId{0}, TorId{1}, no_hosts, ledger, /*k=*/4);
+  ASSERT_TRUE(balanced.has_value()) << balanced.error().to_string();
+  // Must ride O1 (vertex 3), not the loaded O0 (vertex 2).
+  const auto& walk = balanced->vertices;
+  EXPECT_NE(std::find(walk.begin(), walk.end(), f.topo.ops_vertex(OpsId{1})), walk.end());
+  EXPECT_EQ(std::find(walk.begin(), walk.end(), f.topo.ops_vertex(OpsId{0})), walk.end());
+}
+
+TEST(BalancedRoutingTest, UnloadedLedgerMatchesShortestLength) {
+  RailsFixture f;
+  ChainRouter router(f.topo);
+  BandwidthLedger ledger(f.topo);
+  const std::vector<HostRef> no_hosts;
+  const auto plain = router.route(f.vc, TorId{0}, TorId{1}, no_hosts);
+  const auto balanced = router.route_balanced(f.vc, TorId{0}, TorId{1}, no_hosts, ledger);
+  ASSERT_TRUE(plain.has_value());
+  ASSERT_TRUE(balanced.has_value());
+  EXPECT_EQ(balanced->total_hops(), plain->total_hops());
+}
+
+TEST(BalancedRoutingTest, InfeasibleOutsideSlice) {
+  RailsFixture f;
+  // Shrink the slice to exclude both OPSs: no path.
+  f.vc.layer.opss.clear();
+  ChainRouter router(f.topo);
+  BandwidthLedger ledger(f.topo);
+  const std::vector<HostRef> no_hosts;
+  const auto balanced = router.route_balanced(f.vc, TorId{0}, TorId{1}, no_hosts, ledger);
+  ASSERT_FALSE(balanced.has_value());
+}
+
+TEST(BalancedRoutingTest, OrchestratorFlagRoutesChains) {
+  ClusterFixture f;
+  NetworkOrchestrator orch(f.manager, f.catalog);
+  orch.set_load_balanced_routing(true, 4);
+  alvc::nfv::NfcSpec spec;
+  spec.name = "balanced";
+  spec.service = alvc::util::ServiceId{0};
+  spec.bandwidth_gbps = 1.0;
+  spec.functions = {*f.catalog.find_by_type(alvc::nfv::VnfType::kFirewall)};
+  const GreedyOpticalPlacement placement;
+  const auto id = orch.provision_chain(spec, placement);
+  ASSERT_TRUE(id.has_value()) << id.error().to_string();
+  EXPECT_TRUE(orch.check_isolation().empty());
+  EXPECT_GT(orch.bandwidth().reserved_link_count(), 0u);
+  ASSERT_TRUE(orch.teardown_chain(*id).is_ok());
+  EXPECT_EQ(orch.bandwidth().reserved_link_count(), 0u);
+}
+
+}  // namespace
+}  // namespace alvc::orchestrator

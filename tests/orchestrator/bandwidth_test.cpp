@@ -1,0 +1,122 @@
+#include "orchestrator/bandwidth.h"
+
+#include <gtest/gtest.h>
+
+#include "orchestrator/orchestrator.h"
+#include "support/fixtures.h"
+
+namespace alvc::orchestrator {
+namespace {
+
+using alvc::test::ClusterFixture;
+using alvc::util::ErrorCode;
+
+/// T0(10G) - O0(100G) - O1(100G) - T1(10G); vertices: tors 0,1; opss 2,3.
+struct LedgerFixture {
+  alvc::topology::DataCenterTopology topo;
+
+  LedgerFixture() {
+    const auto o0 = topo.add_ops();
+    const auto o1 = topo.add_ops();
+    topo.connect_ops_ops(o0, o1);
+    const auto t0 = topo.add_tor(10.0);
+    const auto t1 = topo.add_tor(10.0);
+    topo.connect_tor_ops(t0, o0);
+    topo.connect_tor_ops(t1, o1);
+  }
+};
+
+TEST(BandwidthLedgerTest, CapacityIsMinOfEndpointPorts) {
+  LedgerFixture f;
+  BandwidthLedger ledger(f.topo);
+  EXPECT_DOUBLE_EQ(ledger.capacity_gbps(0, 2), 10.0);   // ToR-OPS
+  EXPECT_DOUBLE_EQ(ledger.capacity_gbps(2, 3), 100.0);  // OPS-OPS
+  EXPECT_DOUBLE_EQ(ledger.free_gbps(0, 2), 10.0);
+}
+
+TEST(BandwidthLedgerTest, ReserveAndRelease) {
+  LedgerFixture f;
+  BandwidthLedger ledger(f.topo);
+  const std::vector<std::size_t> walk{0, 2, 3, 1};
+  ASSERT_TRUE(ledger.reserve_walk(walk, 4.0).is_ok());
+  EXPECT_DOUBLE_EQ(ledger.reserved_gbps(0, 2), 4.0);
+  EXPECT_DOUBLE_EQ(ledger.reserved_gbps(2, 3), 4.0);
+  EXPECT_DOUBLE_EQ(ledger.free_gbps(0, 2), 6.0);
+  EXPECT_EQ(ledger.reserved_link_count(), 3u);
+  EXPECT_NEAR(ledger.peak_load(), 0.4, 1e-12);
+  ledger.release_walk(walk, 4.0);
+  EXPECT_DOUBLE_EQ(ledger.reserved_gbps(0, 2), 0.0);
+  EXPECT_EQ(ledger.reserved_link_count(), 0u);
+}
+
+TEST(BandwidthLedgerTest, AtomicRejection) {
+  LedgerFixture f;
+  BandwidthLedger ledger(f.topo);
+  const std::vector<std::size_t> walk{0, 2, 3, 1};
+  ASSERT_TRUE(ledger.reserve_walk(walk, 8.0).is_ok());
+  // 8 + 4 > 10 on the ToR links: reject and change nothing.
+  const auto status = ledger.reserve_walk(walk, 4.0);
+  ASSERT_FALSE(status.is_ok());
+  EXPECT_EQ(status.error().code, ErrorCode::kCapacityExceeded);
+  EXPECT_DOUBLE_EQ(ledger.reserved_gbps(2, 3), 8.0) << "atomic: no partial reservation";
+}
+
+TEST(BandwidthLedgerTest, RepeatedLinksCountOnce) {
+  LedgerFixture f;
+  BandwidthLedger ledger(f.topo);
+  // Walk that bounces back over the same link: 0-2-0-2 -> link (0,2) once.
+  const std::vector<std::size_t> walk{0, 2, 0, 2};
+  ASSERT_TRUE(ledger.reserve_walk(walk, 6.0).is_ok());
+  EXPECT_DOUBLE_EQ(ledger.reserved_gbps(0, 2), 6.0);
+  EXPECT_EQ(ledger.reserved_link_count(), 1u);
+}
+
+TEST(BandwidthLedgerTest, NegativeAndOverRelease) {
+  LedgerFixture f;
+  BandwidthLedger ledger(f.topo);
+  const std::vector<std::size_t> walk{0, 2};
+  EXPECT_FALSE(ledger.reserve_walk(walk, -1.0).is_ok());
+  ledger.release_walk(walk, 5.0);  // nothing reserved: clamped no-op
+  EXPECT_DOUBLE_EQ(ledger.reserved_gbps(0, 2), 0.0);
+}
+
+TEST(BandwidthLedgerTest, OrchestratorReservesAndReleases) {
+  ClusterFixture f;
+  NetworkOrchestrator orch(f.manager, f.catalog);
+  alvc::nfv::NfcSpec spec;
+  spec.name = "bw";
+  spec.service = alvc::util::ServiceId{0};
+  spec.bandwidth_gbps = 3.0;
+  spec.functions = {*f.catalog.find_by_type(alvc::nfv::VnfType::kFirewall)};
+  const GreedyOpticalPlacement placement;
+  const auto id = orch.provision_chain(spec, placement);
+  ASSERT_TRUE(id.has_value());
+  EXPECT_GT(orch.bandwidth().reserved_link_count(), 0u);
+  EXPECT_GT(orch.bandwidth().peak_load(), 0.0);
+  ASSERT_TRUE(orch.teardown_chain(*id).is_ok());
+  EXPECT_EQ(orch.bandwidth().reserved_link_count(), 0u);
+}
+
+TEST(BandwidthLedgerTest, MigrationMovesReservation) {
+  ClusterFixture f;
+  NetworkOrchestrator orch(f.manager, f.catalog);
+  alvc::nfv::NfcSpec spec;
+  spec.name = "bw-migrate";
+  spec.service = alvc::util::ServiceId{0};
+  spec.bandwidth_gbps = 2.0;
+  spec.functions = {*f.catalog.find_by_type(alvc::nfv::VnfType::kFirewall)};
+  const GreedyOpticalPlacement placement;
+  const auto id = orch.provision_chain(spec, placement);
+  ASSERT_TRUE(id.has_value());
+  const auto links_before = orch.bandwidth().reserved_link_count();
+  ASSERT_GT(links_before, 0u);
+  // Migrate to a server: reservation follows the new route.
+  ASSERT_TRUE(orch.migrate_function(*id, 0, alvc::nfv::HostRef{alvc::util::ServerId{0}})
+                  .is_ok());
+  EXPECT_GT(orch.bandwidth().reserved_link_count(), 0u);
+  ASSERT_TRUE(orch.teardown_chain(*id).is_ok());
+  EXPECT_EQ(orch.bandwidth().reserved_link_count(), 0u) << "no reservation leak";
+}
+
+}  // namespace
+}  // namespace alvc::orchestrator

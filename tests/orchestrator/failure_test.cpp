@@ -1,0 +1,136 @@
+// Failure injection at the orchestration layer: OPS failures that strand
+// VNF instances and break chain routes; the orchestrator must relocate,
+// re-route, and re-program — or tear the chain down cleanly.
+#include <gtest/gtest.h>
+
+#include "orchestrator/orchestrator.h"
+#include "support/fixtures.h"
+
+namespace alvc::orchestrator {
+namespace {
+
+using alvc::nfv::NfcSpec;
+using alvc::nfv::VnfType;
+using alvc::test::ClusterFixture;
+using alvc::util::OpsId;
+using alvc::util::ServiceId;
+
+struct FailureFixture : ClusterFixture {
+  NetworkOrchestrator orch{manager, catalog};
+
+  alvc::util::NfcId provision(std::initializer_list<VnfType> types) {
+    NfcSpec spec;
+    spec.name = "chain";
+    spec.service = ServiceId{0};
+    spec.bandwidth_gbps = 1.0;
+    for (auto t : types) spec.functions.push_back(*catalog.find_by_type(t));
+    const GreedyOpticalPlacement placement;
+    auto id = orch.provision_chain(spec, placement);
+    if (!id.has_value()) throw std::runtime_error(id.error().to_string());
+    return *id;
+  }
+};
+
+TEST(OrchestratorFailureTest, ChainsUsingOpsDetectsHostsAndRoutes) {
+  FailureFixture f;
+  const auto id = f.provision({VnfType::kFirewall, VnfType::kNat});
+  const auto* chain = f.orch.chain(id);
+  // Find the OPS hosting the first VNF.
+  const auto* host_ops = std::get_if<OpsId>(&chain->placement.hosts[0]);
+  ASSERT_NE(host_ops, nullptr) << "greedy-optical should host light VNFs optically";
+  const auto affected = f.orch.chains_using_ops(*host_ops);
+  ASSERT_EQ(affected.size(), 1u);
+  EXPECT_EQ(affected[0], id);
+  // An OPS in no route and hosting nothing affects nothing.
+  OpsId untouched = OpsId::invalid();
+  for (std::size_t i = 0; i < f.topo.ops_count(); ++i) {
+    const OpsId o{static_cast<OpsId::value_type>(i)};
+    if (f.orch.chains_using_ops(o).empty()) {
+      untouched = o;
+      break;
+    }
+  }
+  if (untouched.valid()) {
+    EXPECT_TRUE(f.orch.chains_using_ops(untouched).empty());
+  }
+}
+
+TEST(OrchestratorFailureTest, VnfRelocatedOffFailedRouter) {
+  FailureFixture f;
+  const auto id = f.provision({VnfType::kFirewall, VnfType::kNat});
+  const auto* chain = f.orch.chain(id);
+  const auto* host_ops = std::get_if<OpsId>(&chain->placement.hosts[0]);
+  ASSERT_NE(host_ops, nullptr);
+  const OpsId victim = *host_ops;
+
+  const auto repaired = f.orch.handle_ops_failure(victim);
+  ASSERT_TRUE(repaired.has_value());
+  EXPECT_EQ(*repaired, 1u);
+  EXPECT_EQ(f.orch.stats().chains_repaired, 1u);
+  EXPECT_GE(f.orch.stats().vnfs_relocated, 1u);
+
+  const auto* after = f.orch.chain(id);
+  ASSERT_NE(after, nullptr) << "chain must survive";
+  for (const auto& host : after->placement.hosts) {
+    if (const auto* o = std::get_if<OpsId>(&host)) {
+      EXPECT_NE(*o, victim) << "VNF still on the failed router";
+    }
+  }
+  // Route avoids the failed OPS.
+  const std::size_t failed_vertex = f.topo.ops_vertex(victim);
+  for (std::size_t v : after->route.vertices) EXPECT_NE(v, failed_vertex);
+  EXPECT_GT(after->flow_rules, 0u);
+  EXPECT_TRUE(f.orch.check_isolation().empty());
+}
+
+TEST(OrchestratorFailureTest, UnrelatedFailureLeavesChainAlone) {
+  FailureFixture f;
+  const auto id = f.provision({VnfType::kFirewall});
+  // Find an OPS not used by the chain and not in the AL.
+  OpsId unrelated = OpsId::invalid();
+  for (std::size_t i = 0; i < f.topo.ops_count(); ++i) {
+    const OpsId o{static_cast<OpsId::value_type>(i)};
+    if (f.orch.chains_using_ops(o).empty() && f.manager.ownership().is_free(o)) {
+      unrelated = o;
+      break;
+    }
+  }
+  if (!unrelated.valid()) GTEST_SKIP() << "fixture too small to have an unrelated OPS";
+  const auto rules_before = f.orch.chain(id)->flow_rules;
+  const auto repaired = f.orch.handle_ops_failure(unrelated);
+  ASSERT_TRUE(repaired.has_value());
+  EXPECT_EQ(*repaired, 0u);
+  EXPECT_EQ(f.orch.chain(id)->flow_rules, rules_before);
+  EXPECT_EQ(f.orch.stats().chains_lost, 0u);
+}
+
+TEST(OrchestratorFailureTest, BadOpsIdRejected) {
+  FailureFixture f;
+  const auto result = f.orch.handle_ops_failure(OpsId{999});
+  ASSERT_FALSE(result.has_value());
+}
+
+TEST(OrchestratorFailureTest, CascadingFailuresEndInCleanTeardown) {
+  FailureFixture f;
+  const auto id = f.provision({VnfType::kFirewall, VnfType::kNat});
+  // Fail every OPS one by one; at some point the chain becomes
+  // unrepairable and must be torn down, never left half-dead.
+  for (std::size_t i = 0; i < f.topo.ops_count(); ++i) {
+    const OpsId o{static_cast<OpsId::value_type>(i)};
+    if (!f.topo.ops_usable(o)) continue;
+    (void)f.orch.handle_ops_failure(o);
+    if (f.orch.chain(id) == nullptr) break;
+  }
+  if (f.orch.chain(id) == nullptr) {
+    EXPECT_EQ(f.orch.slices().slice_count(), 0u);
+    EXPECT_EQ(f.orch.controller().tables().total_rules(), 0u);
+    EXPECT_EQ(f.orch.cloud().lifecycle().active_count(), 0u);
+    EXPECT_GE(f.orch.stats().chains_lost, 1u);
+  } else {
+    // Survived everything: still fully consistent.
+    EXPECT_TRUE(f.orch.check_isolation().empty());
+  }
+}
+
+}  // namespace
+}  // namespace alvc::orchestrator

@@ -1,0 +1,144 @@
+// Complex (DAG) chain provisioning: the paper's "network forwarding graph".
+#include <gtest/gtest.h>
+
+#include "orchestrator/orchestrator.h"
+#include "support/fixtures.h"
+
+namespace alvc::orchestrator {
+namespace {
+
+using alvc::nfv::ForwardingGraph;
+using alvc::nfv::GraphNfcSpec;
+using alvc::nfv::VnfType;
+using alvc::test::ClusterFixture;
+using alvc::util::ServiceId;
+
+struct GraphChainFixture : ClusterFixture {
+  NetworkOrchestrator orch{manager, catalog};
+
+  GraphNfcSpec diamond_spec() {
+    // lb -> {firewall, nat} -> security-gw.
+    GraphNfcSpec spec;
+    spec.name = "diamond";
+    spec.service = ServiceId{0};
+    spec.bandwidth_gbps = 1.0;
+    const auto lb = spec.graph.add_node(*catalog.find_by_type(VnfType::kLoadBalancer));
+    const auto fw = spec.graph.add_node(*catalog.find_by_type(VnfType::kFirewall));
+    const auto nat = spec.graph.add_node(*catalog.find_by_type(VnfType::kNat));
+    const auto gw = spec.graph.add_node(*catalog.find_by_type(VnfType::kSecurityGateway));
+    spec.graph.add_edge(lb, fw);
+    spec.graph.add_edge(lb, nat);
+    spec.graph.add_edge(fw, gw);
+    spec.graph.add_edge(nat, gw);
+    return spec;
+  }
+};
+
+TEST(GraphChainTest, ProvisionDiamond) {
+  GraphChainFixture f;
+  const GreedyOpticalPlacement placement;
+  const auto id = f.orch.provision_forwarding_graph(f.diamond_spec(), placement);
+  ASSERT_TRUE(id.has_value()) << id.error().to_string();
+  const auto* chain = f.orch.chain(*id);
+  ASSERT_NE(chain, nullptr);
+  ASSERT_TRUE(chain->graph.has_value());
+  EXPECT_EQ(chain->graph->node_count(), 4u);
+  EXPECT_EQ(chain->instances.size(), 4u);
+  // Legs: ingress->entry (1) + 4 DAG edges + 1 exit->egress = 6.
+  EXPECT_EQ(chain->route.legs.size(), 6u);
+  EXPECT_GT(chain->flow_rules, 0u);
+  EXPECT_TRUE(f.orch.check_isolation().empty());
+  // All light functions fit the AL's OE routers: zero conversions.
+  EXPECT_EQ(chain->placement.conversions.mid_chain, 0u);
+}
+
+TEST(GraphChainTest, MultiExitGraphRoutesEveryExit) {
+  GraphChainFixture f;
+  GraphNfcSpec spec;
+  spec.name = "fanout";
+  spec.service = ServiceId{0};
+  spec.bandwidth_gbps = 1.0;
+  const auto lb = spec.graph.add_node(*f.catalog.find_by_type(VnfType::kLoadBalancer));
+  const auto fw = spec.graph.add_node(*f.catalog.find_by_type(VnfType::kFirewall));
+  const auto nat = spec.graph.add_node(*f.catalog.find_by_type(VnfType::kNat));
+  spec.graph.add_edge(lb, fw);
+  spec.graph.add_edge(lb, nat);
+  const GreedyOpticalPlacement placement;
+  const auto id = f.orch.provision_forwarding_graph(spec, placement);
+  ASSERT_TRUE(id.has_value()) << id.error().to_string();
+  const auto* chain = f.orch.chain(*id);
+  // Legs: ingress->lb + 2 edges + 2 exits->egress = 5.
+  EXPECT_EQ(chain->route.legs.size(), 5u);
+}
+
+TEST(GraphChainTest, ElectronicNodesCountEdgeConversions) {
+  GraphChainFixture f;
+  GraphNfcSpec spec;
+  spec.name = "mixed";
+  spec.service = ServiceId{0};
+  spec.bandwidth_gbps = 1.0;
+  // fw(optical) -> dpi(electronic) -> nat(optical): one O->E edge + return.
+  const auto fw = spec.graph.add_node(*f.catalog.find_by_type(VnfType::kFirewall));
+  const auto dpi = spec.graph.add_node(*f.catalog.find_by_type(VnfType::kDeepPacketInspection));
+  const auto nat = spec.graph.add_node(*f.catalog.find_by_type(VnfType::kNat));
+  spec.graph.add_edge(fw, dpi);
+  spec.graph.add_edge(dpi, nat);
+  const GreedyOpticalPlacement placement;
+  const auto id = f.orch.provision_forwarding_graph(spec, placement);
+  ASSERT_TRUE(id.has_value());
+  const auto* chain = f.orch.chain(*id);
+  EXPECT_EQ(chain->placement.conversions.mid_chain, 1u);
+}
+
+TEST(GraphChainTest, InvalidGraphRejected) {
+  GraphChainFixture f;
+  GraphNfcSpec spec;
+  spec.name = "cyclic";
+  spec.service = ServiceId{0};
+  spec.bandwidth_gbps = 1.0;
+  const auto a = spec.graph.add_node(*f.catalog.find_by_type(VnfType::kFirewall));
+  const auto b = spec.graph.add_node(*f.catalog.find_by_type(VnfType::kNat));
+  spec.graph.add_edge(a, b);
+  spec.graph.add_edge(b, a);
+  const GreedyOpticalPlacement placement;
+  const auto id = f.orch.provision_forwarding_graph(spec, placement);
+  ASSERT_FALSE(id.has_value());
+  EXPECT_EQ(f.orch.stats().provision_failures, 1u);
+  EXPECT_EQ(f.orch.slices().slice_count(), 0u);
+}
+
+TEST(GraphChainTest, TeardownWorksLikeLinearChains) {
+  GraphChainFixture f;
+  const GreedyOpticalPlacement placement;
+  const auto id = f.orch.provision_forwarding_graph(f.diamond_spec(), placement);
+  ASSERT_TRUE(id.has_value());
+  ASSERT_TRUE(f.orch.teardown_chain(*id).is_ok());
+  EXPECT_EQ(f.orch.chain_count(), 0u);
+  EXPECT_EQ(f.orch.cloud().lifecycle().active_count(), 0u);
+  EXPECT_EQ(f.orch.controller().tables().total_rules(), 0u);
+  EXPECT_EQ(f.orch.slices().slice_count(), 0u);
+}
+
+TEST(GraphChainTest, OneSlicePerClusterStillHolds) {
+  GraphChainFixture f;
+  const GreedyOpticalPlacement placement;
+  ASSERT_TRUE(f.orch.provision_forwarding_graph(f.diamond_spec(), placement).has_value());
+  const auto second = f.orch.provision_forwarding_graph(f.diamond_spec(), placement);
+  ASSERT_FALSE(second.has_value());
+  EXPECT_EQ(second.error().code, alvc::util::ErrorCode::kConflict);
+}
+
+TEST(RouteGraphTest, RejectsSizeMismatch) {
+  GraphChainFixture f;
+  ChainRouter router(f.topo);
+  ForwardingGraph g;
+  g.add_node(alvc::util::VnfId{0});
+  const std::vector<alvc::nfv::HostRef> hosts;  // wrong size
+  const auto route = router.route_graph(f.cluster(), f.cluster().layer.tors.front(),
+                                        f.cluster().layer.tors.back(), g, hosts);
+  ASSERT_FALSE(route.has_value());
+  EXPECT_EQ(route.error().code, alvc::util::ErrorCode::kInvalidArgument);
+}
+
+}  // namespace
+}  // namespace alvc::orchestrator

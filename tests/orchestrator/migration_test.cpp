@@ -1,0 +1,148 @@
+// Operator-driven VNF migration (drain a router, rebalance a slice).
+#include <gtest/gtest.h>
+
+#include "orchestrator/orchestrator.h"
+#include "support/fixtures.h"
+
+namespace alvc::orchestrator {
+namespace {
+
+using alvc::nfv::HostRef;
+using alvc::nfv::NfcSpec;
+using alvc::nfv::VnfType;
+using alvc::test::ClusterFixture;
+using alvc::util::ErrorCode;
+using alvc::util::OpsId;
+using alvc::util::ServerId;
+using alvc::util::ServiceId;
+
+struct MigrationFixture : ClusterFixture {
+  NetworkOrchestrator orch{manager, catalog};
+  alvc::util::NfcId chain_id;
+
+  MigrationFixture() {
+    NfcSpec spec;
+    spec.name = "migratable";
+    spec.service = ServiceId{0};
+    spec.bandwidth_gbps = 1.0;
+    spec.functions = {*catalog.find_by_type(VnfType::kFirewall),
+                      *catalog.find_by_type(VnfType::kNat)};
+    const GreedyOpticalPlacement placement;
+    auto id = orch.provision_chain(spec, placement);
+    if (!id.has_value()) throw std::runtime_error(id.error().to_string());
+    chain_id = *id;
+  }
+
+  /// An optical slice host other than where function 0 currently sits.
+  [[nodiscard]] std::optional<OpsId> other_optical_host() const {
+    const auto* chain = orch.chain(chain_id);
+    const auto* current = std::get_if<OpsId>(&chain->placement.hosts[0]);
+    const auto* vc = manager.find(chain->cluster);
+    for (OpsId o : vc->layer.opss) {
+      if (topo.ops(o).optoelectronic && (current == nullptr || o != *current)) return o;
+    }
+    return std::nullopt;
+  }
+};
+
+TEST(MigrationTest, MoveToAnotherOpticalHost) {
+  MigrationFixture f;
+  const auto target = f.other_optical_host();
+  ASSERT_TRUE(target.has_value()) << "fixture must have two OE routers in the AL";
+  const auto status = f.orch.migrate_function(f.chain_id, 0, HostRef{*target});
+  ASSERT_TRUE(status.is_ok()) << status.error().to_string();
+  const auto* chain = f.orch.chain(f.chain_id);
+  ASSERT_TRUE(std::holds_alternative<OpsId>(chain->placement.hosts[0]));
+  EXPECT_EQ(std::get<OpsId>(chain->placement.hosts[0]), *target);
+  EXPECT_GT(chain->flow_rules, 0u);
+  EXPECT_EQ(f.orch.stats().vnfs_relocated, 1u);
+  EXPECT_TRUE(f.orch.check_isolation().empty());
+  EXPECT_EQ(f.orch.cloud().lifecycle().active_count(), 2u) << "old instance terminated";
+}
+
+TEST(MigrationTest, MoveToServerChangesDomainAndConversions) {
+  MigrationFixture f;
+  const auto before = f.orch.chain(f.chain_id)->placement.conversions.mid_chain;
+  // Server 0 is behind a cluster ToR.
+  const auto status = f.orch.migrate_function(f.chain_id, 0, HostRef{ServerId{0}});
+  ASSERT_TRUE(status.is_ok()) << status.error().to_string();
+  const auto* chain = f.orch.chain(f.chain_id);
+  EXPECT_TRUE(std::holds_alternative<ServerId>(chain->placement.hosts[0]));
+  EXPECT_GT(chain->placement.conversions.mid_chain, before)
+      << "moving a VNF electronic must add an O/E/O conversion";
+}
+
+TEST(MigrationTest, MigrateToSameHostIsNoop) {
+  MigrationFixture f;
+  const auto host = f.orch.chain(f.chain_id)->placement.hosts[0];
+  const auto rules = f.orch.chain(f.chain_id)->flow_rules;
+  ASSERT_TRUE(f.orch.migrate_function(f.chain_id, 0, host).is_ok());
+  EXPECT_EQ(f.orch.chain(f.chain_id)->flow_rules, rules);
+  EXPECT_EQ(f.orch.stats().vnfs_relocated, 0u);
+}
+
+TEST(MigrationTest, RejectsTargetOutsideSlice) {
+  MigrationFixture f;
+  // A plain OPS (never a host) and an OPS outside the AL both fail.
+  const auto* vc = f.manager.find(f.orch.chain(f.chain_id)->cluster);
+  OpsId outside = OpsId::invalid();
+  for (std::size_t i = 0; i < f.topo.ops_count(); ++i) {
+    const OpsId o{static_cast<OpsId::value_type>(i)};
+    if (!vc->layer.contains_ops(o)) {
+      outside = o;
+      break;
+    }
+  }
+  if (outside.valid()) {
+    const auto status = f.orch.migrate_function(f.chain_id, 0, HostRef{outside});
+    ASSERT_FALSE(status.is_ok());
+    EXPECT_EQ(status.error().code, ErrorCode::kInvalidArgument);
+  }
+}
+
+TEST(MigrationTest, RejectsElectronicOnlyVnfOnOpticalTarget) {
+  ClusterFixture base;
+  NetworkOrchestrator orch(base.manager, base.catalog);
+  NfcSpec spec;
+  spec.name = "pinned";
+  spec.service = ServiceId{0};
+  spec.bandwidth_gbps = 1.0;
+  spec.functions = {*base.catalog.find_by_type(VnfType::kWanOptimizer)};
+  const GreedyOpticalPlacement placement;
+  const auto id = orch.provision_chain(spec, placement);
+  ASSERT_TRUE(id.has_value());
+  const auto* vc = base.manager.find(orch.chain(*id)->cluster);
+  OpsId oe = OpsId::invalid();
+  for (OpsId o : vc->layer.opss) {
+    if (base.topo.ops(o).optoelectronic) {
+      oe = o;
+      break;
+    }
+  }
+  ASSERT_TRUE(oe.valid());
+  const auto status = orch.migrate_function(*id, 0, HostRef{oe});
+  ASSERT_FALSE(status.is_ok());
+  EXPECT_EQ(status.error().code, ErrorCode::kInvalidArgument);
+}
+
+TEST(MigrationTest, RejectsBadIndexAndUnknownChain) {
+  MigrationFixture f;
+  EXPECT_FALSE(f.orch.migrate_function(f.chain_id, 9, HostRef{ServerId{0}}).is_ok());
+  EXPECT_FALSE(
+      f.orch.migrate_function(alvc::util::NfcId{77}, 0, HostRef{ServerId{0}}).is_ok());
+}
+
+TEST(MigrationTest, RejectsOverloadedTarget) {
+  MigrationFixture f;
+  const auto target = f.other_optical_host();
+  ASSERT_TRUE(target.has_value());
+  // Fill the target so the firewall no longer fits.
+  const auto free = f.orch.cloud().pool().free_capacity(HostRef{*target});
+  ASSERT_TRUE(f.orch.cloud().pool().reserve(HostRef{*target}, free).is_ok());
+  const auto status = f.orch.migrate_function(f.chain_id, 0, HostRef{*target});
+  ASSERT_FALSE(status.is_ok());
+  EXPECT_EQ(status.error().code, ErrorCode::kCapacityExceeded);
+}
+
+}  // namespace
+}  // namespace alvc::orchestrator

@@ -1,0 +1,75 @@
+#include "orchestrator/oeo.h"
+
+#include <gtest/gtest.h>
+
+namespace alvc::orchestrator {
+namespace {
+
+using alvc::nfv::HostRef;
+using alvc::util::OpsId;
+using alvc::util::ServerId;
+
+TEST(CountConversionsTest, EmptyChainHasOnlyEndpoints) {
+  const std::vector<HostRef> hosts;
+  const auto count = count_conversions(hosts);
+  EXPECT_EQ(count.mid_chain, 0u);
+  EXPECT_EQ(count.endpoint, 2u);
+  EXPECT_EQ(count.total(), 2u);
+}
+
+TEST(CountConversionsTest, AllOpticalIsFree) {
+  const std::vector<HostRef> hosts{OpsId{0}, OpsId{1}, OpsId{2}};
+  EXPECT_EQ(count_conversions(hosts).mid_chain, 0u);
+}
+
+TEST(CountConversionsTest, PaperFig8Scenario) {
+  // "Initially, two VNFs are hosted by the electronic domain; therefore the
+  // flow needs to traverse twice between the optical and electronic domain
+  // and consuming two O/E/O conversions."
+  const std::vector<HostRef> before{OpsId{0}, ServerId{1}, ServerId{2}};
+  EXPECT_EQ(count_conversions(before).mid_chain, 2u);
+  // "By moving one more VNF in the optical domain, we can save another
+  // O/E/O conversion."
+  const std::vector<HostRef> after{OpsId{0}, OpsId{1}, ServerId{2}};
+  EXPECT_EQ(count_conversions(after).mid_chain, 1u);
+  const std::vector<HostRef> all_optical{OpsId{0}, OpsId{1}, OpsId{2}};
+  EXPECT_EQ(count_conversions(all_optical).mid_chain, 0u);
+}
+
+TEST(CountConversionsTest, ConsecutiveSameServerCountsOnce) {
+  const std::vector<HostRef> hosts{ServerId{1}, ServerId{1}, ServerId{1}};
+  EXPECT_EQ(count_conversions(hosts).mid_chain, 1u);
+}
+
+TEST(CountConversionsTest, ConsecutiveDifferentServersCountSeparately) {
+  const std::vector<HostRef> hosts{ServerId{1}, ServerId{2}};
+  EXPECT_EQ(count_conversions(hosts).mid_chain, 2u);
+}
+
+TEST(CountConversionsTest, ReturnToSameServerAfterOpticalCountsAgain) {
+  const std::vector<HostRef> hosts{ServerId{1}, OpsId{0}, ServerId{1}};
+  EXPECT_EQ(count_conversions(hosts).mid_chain, 2u);
+}
+
+TEST(CountConversionsTest, AlternatingPattern) {
+  const std::vector<HostRef> hosts{ServerId{0}, OpsId{0}, ServerId{1}, OpsId{1}, ServerId{2}};
+  EXPECT_EQ(count_conversions(hosts).mid_chain, 3u);
+}
+
+TEST(ConversionEnergyTest, ProportionalToBytesAndCount) {
+  OeoCostModel model;
+  model.conversion_joules_per_byte = 2.0;
+  OeoCount count;
+  count.mid_chain = 3;  // total 5 with endpoints
+  EXPECT_DOUBLE_EQ(conversion_energy(count, 10.0, model), 5 * 10.0 * 2.0);
+  // Cost scales with flow length — the paper's "larger the flow, higher the
+  // cost".
+  EXPECT_GT(conversion_energy(count, 100.0, model), conversion_energy(count, 10.0, model));
+}
+
+TEST(ConversionEnergyTest, ZeroBytesZeroEnergy) {
+  EXPECT_DOUBLE_EQ(conversion_energy(OeoCount{}, 0.0, OeoCostModel{}), 0.0);
+}
+
+}  // namespace
+}  // namespace alvc::orchestrator

@@ -1,0 +1,143 @@
+// Property sweeps over random topologies and chains: invariants every
+// placement strategy must satisfy, plus the quality ordering between them.
+#include <gtest/gtest.h>
+
+#include "cluster/cluster_manager.h"
+#include "cluster/service.h"
+#include "nfv/hosting.h"
+#include "orchestrator/placement.h"
+#include "topology/builder.h"
+#include "util/rng.h"
+
+namespace alvc::orchestrator {
+namespace {
+
+using alvc::nfv::HostingPool;
+using alvc::nfv::is_optical_host;
+using alvc::nfv::NfcSpec;
+using alvc::nfv::VnfCatalog;
+using alvc::util::ServiceId;
+
+struct RandomDeployment {
+  alvc::topology::DataCenterTopology topo;
+  std::unique_ptr<alvc::cluster::ClusterManager> manager;
+  VnfCatalog catalog = VnfCatalog::make_default();
+  const alvc::cluster::VirtualCluster* cluster = nullptr;
+
+  explicit RandomDeployment(std::uint64_t seed) {
+    alvc::topology::TopologyParams params;
+    params.seed = seed;
+    params.rack_count = 4 + seed % 5;
+    params.ops_count = 16 + (seed % 3) * 8;
+    params.tor_ops_degree = 6;
+    params.service_count = 1;
+    params.optoelectronic_fraction = 0.5;
+    params.core = alvc::topology::CoreKind::kRing;
+    topo = alvc::topology::build_topology(params);
+    manager = std::make_unique<alvc::cluster::ClusterManager>(topo);
+    const alvc::cluster::VertexCoverAlBuilder builder;
+    const auto groups = alvc::cluster::group_vms_by_service(topo);
+    auto id = manager->create_cluster(ServiceId{0}, groups[0], builder);
+    if (!id.has_value()) throw std::runtime_error(id.error().to_string());
+    cluster = manager->find(*id);
+  }
+
+  NfcSpec random_chain(alvc::util::Rng& rng) const {
+    NfcSpec spec;
+    spec.name = "prop";
+    spec.service = ServiceId{0};
+    spec.bandwidth_gbps = 1.0;
+    const std::size_t length = 1 + rng.uniform_index(6);
+    for (std::size_t i = 0; i < length; ++i) {
+      spec.functions.push_back(
+          alvc::util::VnfId{static_cast<alvc::util::VnfId::value_type>(
+              rng.uniform_index(catalog.size()))});
+    }
+    return spec;
+  }
+};
+
+class PlacementPropertyTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(PlacementPropertyTest, EveryStrategySatisfiesCoreInvariants) {
+  RandomDeployment deployment(GetParam());
+  alvc::util::Rng rng(GetParam() * 3 + 1);
+  std::vector<std::unique_ptr<PlacementStrategy>> strategies;
+  strategies.push_back(std::make_unique<ElectronicOnlyPlacement>());
+  strategies.push_back(std::make_unique<RandomPlacement>(GetParam()));
+  strategies.push_back(std::make_unique<GreedyOpticalPlacement>());
+  strategies.push_back(std::make_unique<OeoMinimizingPlacement>());
+
+  for (int round = 0; round < 8; ++round) {
+    const auto spec = deployment.random_chain(rng);
+    for (const auto& strategy : strategies) {
+      HostingPool pool(deployment.topo);
+      PlacementContext context{.topo = &deployment.topo,
+                               .cluster = deployment.cluster,
+                               .catalog = &deployment.catalog,
+                               .pool = &pool};
+      const auto result = strategy->place(spec, context);
+      if (!result.has_value()) {
+        // Rollback on failure: pool must be pristine.
+        for (const auto& server : deployment.topo.servers()) {
+          EXPECT_DOUBLE_EQ(
+              pool.free_capacity(alvc::nfv::HostRef{server.id}).cpu_cores,
+              server.capacity.cpu_cores)
+              << strategy->name();
+        }
+        continue;
+      }
+      ASSERT_EQ(result->hosts.size(), spec.functions.size()) << strategy->name();
+      EXPECT_EQ(result->optical_count + result->electronic_count, result->hosts.size());
+      EXPECT_TRUE(pool.is_consistent()) << strategy->name();
+      // Hosts are slice members; electronic-only pins all hosts electronic.
+      for (std::size_t i = 0; i < result->hosts.size(); ++i) {
+        const auto& host = result->hosts[i];
+        const auto& desc = deployment.catalog.descriptor(spec.functions[i]);
+        if (const auto* ops = std::get_if<alvc::util::OpsId>(&host)) {
+          EXPECT_TRUE(deployment.cluster->layer.contains_ops(*ops)) << strategy->name();
+          EXPECT_TRUE(deployment.topo.ops(*ops).optoelectronic);
+          EXPECT_FALSE(desc.electronic_only)
+              << strategy->name() << " placed a pinned VNF optically";
+        } else {
+          const auto server = std::get<alvc::util::ServerId>(host);
+          EXPECT_TRUE(deployment.cluster->layer.contains_tor(
+              deployment.topo.server(server).tor))
+              << strategy->name();
+        }
+      }
+      // The conversions field matches a recount of the host list.
+      EXPECT_EQ(result->conversions.mid_chain, count_conversions(result->hosts).mid_chain);
+    }
+  }
+}
+
+TEST_P(PlacementPropertyTest, OeoMinNeverWorseThanGreedyOrElectronic) {
+  RandomDeployment deployment(GetParam() + 100);
+  alvc::util::Rng rng(GetParam() * 7 + 5);
+  for (int round = 0; round < 6; ++round) {
+    const auto spec = deployment.random_chain(rng);
+    const auto run = [&](const PlacementStrategy& strategy)
+        -> std::optional<std::size_t> {
+      HostingPool pool(deployment.topo);
+      PlacementContext context{.topo = &deployment.topo,
+                               .cluster = deployment.cluster,
+                               .catalog = &deployment.catalog,
+                               .pool = &pool};
+      const auto result = strategy.place(spec, context);
+      if (!result.has_value()) return std::nullopt;
+      return result->conversions.mid_chain;
+    };
+    const auto minimal = run(OeoMinimizingPlacement{});
+    const auto greedy = run(GreedyOpticalPlacement{});
+    if (minimal && greedy) {
+      EXPECT_LE(*minimal, *greedy) << "round " << round;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PlacementPropertyTest,
+                         ::testing::Values(1, 2, 3, 4, 5, 6));
+
+}  // namespace
+}  // namespace alvc::orchestrator

@@ -1,0 +1,71 @@
+#include "orchestrator/slice.h"
+
+#include <gtest/gtest.h>
+
+namespace alvc::orchestrator {
+namespace {
+
+using alvc::util::ErrorCode;
+
+TEST(SliceManagerTest, AllocateAndLookup) {
+  SliceManager mgr;
+  const auto id = mgr.allocate(ClusterId{1}, NfcId{10}, 5.0);
+  ASSERT_TRUE(id.has_value());
+  EXPECT_EQ(mgr.slice_count(), 1u);
+  const auto by_chain = mgr.slice_of_chain(NfcId{10});
+  ASSERT_TRUE(by_chain.has_value());
+  EXPECT_EQ(by_chain->cluster, ClusterId{1});
+  EXPECT_DOUBLE_EQ(by_chain->bandwidth_gbps, 5.0);
+  const auto by_cluster = mgr.slice_of_cluster(ClusterId{1});
+  ASSERT_TRUE(by_cluster.has_value());
+  EXPECT_EQ(by_cluster->nfc, NfcId{10});
+}
+
+TEST(SliceManagerTest, OneChainPerCluster) {
+  SliceManager mgr;
+  ASSERT_TRUE(mgr.allocate(ClusterId{1}, NfcId{10}, 1.0).has_value());
+  const auto second = mgr.allocate(ClusterId{1}, NfcId{11}, 1.0);
+  ASSERT_FALSE(second.has_value());
+  EXPECT_EQ(second.error().code, ErrorCode::kConflict);
+}
+
+TEST(SliceManagerTest, OneSlicePerChain) {
+  SliceManager mgr;
+  ASSERT_TRUE(mgr.allocate(ClusterId{1}, NfcId{10}, 1.0).has_value());
+  const auto second = mgr.allocate(ClusterId{2}, NfcId{10}, 1.0);
+  ASSERT_FALSE(second.has_value());
+  EXPECT_EQ(second.error().code, ErrorCode::kConflict);
+}
+
+TEST(SliceManagerTest, ReleaseFreesBothSides) {
+  SliceManager mgr;
+  ASSERT_TRUE(mgr.allocate(ClusterId{1}, NfcId{10}, 1.0).has_value());
+  ASSERT_TRUE(mgr.release(NfcId{10}).is_ok());
+  EXPECT_EQ(mgr.slice_count(), 0u);
+  EXPECT_FALSE(mgr.slice_of_chain(NfcId{10}).has_value());
+  EXPECT_FALSE(mgr.slice_of_cluster(ClusterId{1}).has_value());
+  // Reusable afterwards.
+  EXPECT_TRUE(mgr.allocate(ClusterId{1}, NfcId{11}, 1.0).has_value());
+  EXPECT_FALSE(mgr.release(NfcId{10}).is_ok());
+}
+
+TEST(SliceManagerTest, NegativeBandwidthRejected) {
+  SliceManager mgr;
+  const auto id = mgr.allocate(ClusterId{1}, NfcId{1}, -1.0);
+  ASSERT_FALSE(id.has_value());
+  EXPECT_EQ(id.error().code, ErrorCode::kInvalidArgument);
+}
+
+TEST(SliceManagerTest, SlicesSortedById) {
+  SliceManager mgr;
+  ASSERT_TRUE(mgr.allocate(ClusterId{3}, NfcId{30}, 1.0).has_value());
+  ASSERT_TRUE(mgr.allocate(ClusterId{1}, NfcId{10}, 1.0).has_value());
+  ASSERT_TRUE(mgr.allocate(ClusterId{2}, NfcId{20}, 1.0).has_value());
+  const auto slices = mgr.slices();
+  ASSERT_EQ(slices.size(), 3u);
+  EXPECT_LT(slices[0].id, slices[1].id);
+  EXPECT_LT(slices[1].id, slices[2].id);
+}
+
+}  // namespace
+}  // namespace alvc::orchestrator

@@ -1,0 +1,134 @@
+#include "sdn/cloud_manager.h"
+
+#include <gtest/gtest.h>
+
+#include "topology/topology.h"
+
+namespace alvc::sdn {
+namespace {
+
+using alvc::nfv::VnfCatalog;
+using alvc::nfv::VnfState;
+using alvc::nfv::VnfType;
+using alvc::topology::DataCenterTopology;
+using alvc::topology::Resources;
+using alvc::util::ErrorCode;
+using alvc::util::OpsId;
+using alvc::util::ServerId;
+using alvc::util::ServiceId;
+
+struct Fixture {
+  DataCenterTopology topo;
+  VnfCatalog catalog = VnfCatalog::make_default();
+
+  Fixture() {
+    topo.add_ops(true, Resources{.cpu_cores = 4, .memory_gb = 8, .storage_gb = 32});
+    const auto t = topo.add_tor();
+    topo.connect_tor_ops(t, OpsId{0});
+    topo.add_server(t, Resources{.cpu_cores = 16, .memory_gb = 64, .storage_gb = 512});
+  }
+};
+
+TEST(CloudNfvManagerTest, DeployReservesAndActivates) {
+  Fixture f;
+  CloudNfvManager mgr(f.catalog, f.topo);
+  const auto fw = *f.catalog.find_by_type(VnfType::kFirewall);
+  const auto id = mgr.deploy(fw, alvc::nfv::HostRef{OpsId{0}});
+  ASSERT_TRUE(id.has_value()) << id.error().to_string();
+  EXPECT_EQ(mgr.lifecycle().instance(*id).state, VnfState::kActive);
+  EXPECT_EQ(mgr.stats().deployed, 1u);
+  const auto free = mgr.pool().free_capacity(alvc::nfv::HostRef{OpsId{0}});
+  EXPECT_DOUBLE_EQ(free.cpu_cores, 3);  // 4 - 1
+}
+
+TEST(CloudNfvManagerTest, DeployRejectsOverCapacity) {
+  Fixture f;
+  CloudNfvManager mgr(f.catalog, f.topo);
+  const auto dpi = *f.catalog.find_by_type(VnfType::kDeepPacketInspection);
+  const auto id = mgr.deploy(dpi, alvc::nfv::HostRef{OpsId{0}});
+  ASSERT_FALSE(id.has_value());
+  EXPECT_EQ(id.error().code, ErrorCode::kCapacityExceeded);
+  EXPECT_EQ(mgr.stats().rejected, 1u);
+  // Server can take it.
+  const auto on_server = mgr.deploy(dpi, alvc::nfv::HostRef{ServerId{0}});
+  EXPECT_TRUE(on_server.has_value());
+}
+
+TEST(CloudNfvManagerTest, ElectronicOnlyPinnedOffOptical) {
+  Fixture f;
+  CloudNfvManager mgr(f.catalog, f.topo);
+  const auto wan = *f.catalog.find_by_type(VnfType::kWanOptimizer);
+  const auto id = mgr.deploy(wan, alvc::nfv::HostRef{OpsId{0}});
+  ASSERT_FALSE(id.has_value());
+  EXPECT_EQ(id.error().code, ErrorCode::kInvalidArgument);
+  EXPECT_TRUE(mgr.deploy(wan, alvc::nfv::HostRef{ServerId{0}}).has_value());
+}
+
+TEST(CloudNfvManagerTest, TerminateReleasesCapacity) {
+  Fixture f;
+  CloudNfvManager mgr(f.catalog, f.topo);
+  const auto fw = *f.catalog.find_by_type(VnfType::kFirewall);
+  const auto id = mgr.deploy(fw, alvc::nfv::HostRef{OpsId{0}});
+  ASSERT_TRUE(id.has_value());
+  ASSERT_TRUE(mgr.terminate(*id).is_ok());
+  EXPECT_EQ(mgr.lifecycle().instance(*id).state, VnfState::kTerminated);
+  const auto free = mgr.pool().free_capacity(alvc::nfv::HostRef{OpsId{0}});
+  EXPECT_DOUBLE_EQ(free.cpu_cores, 4);
+  EXPECT_FALSE(mgr.terminate(*id).is_ok());
+  EXPECT_FALSE(mgr.terminate(alvc::nfv::VnfInstanceId{42}).is_ok());
+}
+
+TEST(CloudNfvManagerTest, ScaleUpAndDownAdjustReservation) {
+  Fixture f;
+  CloudNfvManager mgr(f.catalog, f.topo);
+  const auto fw = *f.catalog.find_by_type(VnfType::kFirewall);  // 1 core
+  const auto id = mgr.deploy(fw, alvc::nfv::HostRef{OpsId{0}});
+  ASSERT_TRUE(id.has_value());
+  ASSERT_TRUE(mgr.scale(*id, 3.0).is_ok());
+  EXPECT_DOUBLE_EQ(mgr.pool().free_capacity(alvc::nfv::HostRef{OpsId{0}}).cpu_cores, 1);
+  ASSERT_TRUE(mgr.scale(*id, 1.0).is_ok());
+  EXPECT_DOUBLE_EQ(mgr.pool().free_capacity(alvc::nfv::HostRef{OpsId{0}}).cpu_cores, 3);
+  EXPECT_EQ(mgr.stats().scaled, 2u);
+}
+
+TEST(CloudNfvManagerTest, ScaleBeyondCapacityFailsCleanly) {
+  Fixture f;
+  CloudNfvManager mgr(f.catalog, f.topo);
+  const auto fw = *f.catalog.find_by_type(VnfType::kFirewall);
+  const auto id = mgr.deploy(fw, alvc::nfv::HostRef{OpsId{0}});
+  ASSERT_TRUE(id.has_value());
+  const auto status = mgr.scale(*id, 100.0);
+  ASSERT_FALSE(status.is_ok());
+  EXPECT_EQ(status.error().code, ErrorCode::kCapacityExceeded);
+  // State and reservation untouched.
+  EXPECT_EQ(mgr.lifecycle().instance(*id).state, VnfState::kActive);
+  EXPECT_DOUBLE_EQ(mgr.lifecycle().instance(*id).scale, 1.0);
+  EXPECT_DOUBLE_EQ(mgr.pool().free_capacity(alvc::nfv::HostRef{OpsId{0}}).cpu_cores, 3);
+}
+
+TEST(CloudNfvManagerTest, UpdateEvent) {
+  Fixture f;
+  CloudNfvManager mgr(f.catalog, f.topo);
+  const auto fw = *f.catalog.find_by_type(VnfType::kFirewall);
+  const auto id = mgr.deploy(fw, alvc::nfv::HostRef{ServerId{0}});
+  ASSERT_TRUE(id.has_value());
+  ASSERT_TRUE(mgr.update(*id).is_ok());
+  EXPECT_EQ(mgr.stats().updated, 1u);
+  EXPECT_FALSE(mgr.update(alvc::nfv::VnfInstanceId{42}).is_ok());
+}
+
+TEST(CloudNfvManagerTest, ReservedDemandTracksScale) {
+  Fixture f;
+  CloudNfvManager mgr(f.catalog, f.topo);
+  const auto fw = *f.catalog.find_by_type(VnfType::kFirewall);
+  const auto id = mgr.deploy(fw, alvc::nfv::HostRef{ServerId{0}});
+  ASSERT_TRUE(id.has_value());
+  EXPECT_DOUBLE_EQ(mgr.reserved_demand(*id).cpu_cores, 1.0);
+  ASSERT_TRUE(mgr.scale(*id, 2.0).is_ok());
+  EXPECT_DOUBLE_EQ(mgr.reserved_demand(*id).cpu_cores, 2.0);
+  ASSERT_TRUE(mgr.terminate(*id).is_ok());
+  EXPECT_DOUBLE_EQ(mgr.reserved_demand(*id).cpu_cores, 0.0);
+}
+
+}  // namespace
+}  // namespace alvc::sdn

@@ -1,0 +1,97 @@
+#include "sdn/controller.h"
+
+#include <gtest/gtest.h>
+
+#include "topology/builder.h"
+
+namespace alvc::sdn {
+namespace {
+
+using alvc::topology::DataCenterTopology;
+using alvc::util::ErrorCode;
+using alvc::util::OpsId;
+using alvc::util::TorId;
+
+/// Line topology: T0 - O0 - O1 - T1 (switch vertices 0,1 = ToRs; 2,3 = OPSs).
+DataCenterTopology line_dc() {
+  DataCenterTopology topo;
+  const auto o0 = topo.add_ops();
+  const auto o1 = topo.add_ops();
+  topo.connect_ops_ops(o0, o1);
+  const auto t0 = topo.add_tor();
+  const auto t1 = topo.add_tor();
+  topo.connect_tor_ops(t0, o0);
+  topo.connect_tor_ops(t1, o1);
+  return topo;
+}
+
+TEST(SdnControllerTest, InstallPathInstallsPerHopRules) {
+  const auto topo = line_dc();
+  SdnController controller(topo);
+  // Path T0(0) -> O0(2) -> O1(3) -> T1(1).
+  const std::vector<std::size_t> path{0, 2, 3, 1};
+  ASSERT_TRUE(controller.install_path(NfcId{1}, path).is_ok());
+  EXPECT_EQ(controller.stats().rules_installed, 3u);
+  EXPECT_EQ(controller.chain_rule_count(NfcId{1}), 3u);
+  EXPECT_EQ(*controller.tables().table(0).lookup(NfcId{1}), 2u);
+  EXPECT_EQ(*controller.tables().table(2).lookup(NfcId{1}), 3u);
+  EXPECT_EQ(*controller.tables().table(3).lookup(NfcId{1}), 1u);
+  EXPECT_FALSE(controller.tables().table(1).lookup(NfcId{1}).has_value());
+}
+
+TEST(SdnControllerTest, RejectsNonContiguousPath) {
+  const auto topo = line_dc();
+  SdnController controller(topo);
+  const std::vector<std::size_t> bad{0, 3};  // T0 and O1 are not adjacent
+  const auto status = controller.install_path(NfcId{1}, bad);
+  ASSERT_FALSE(status.is_ok());
+  EXPECT_EQ(status.error().code, ErrorCode::kInvalidArgument);
+  EXPECT_EQ(controller.stats().rules_installed, 0u);
+}
+
+TEST(SdnControllerTest, RejectsEmptyAndOutOfRange) {
+  const auto topo = line_dc();
+  SdnController controller(topo);
+  EXPECT_FALSE(controller.install_path(NfcId{1}, {}).is_ok());
+  const std::vector<std::size_t> oob{0, 99};
+  EXPECT_FALSE(controller.install_path(NfcId{1}, oob).is_ok());
+}
+
+TEST(SdnControllerTest, SingleVertexPathInstallsNothing) {
+  const auto topo = line_dc();
+  SdnController controller(topo);
+  const std::vector<std::size_t> self{2};
+  ASSERT_TRUE(controller.install_path(NfcId{1}, self).is_ok());
+  EXPECT_EQ(controller.stats().rules_installed, 0u);
+  EXPECT_EQ(controller.stats().paths_installed, 1u);
+}
+
+TEST(SdnControllerTest, RemoveChainClearsAllRules) {
+  const auto topo = line_dc();
+  SdnController controller(topo);
+  const std::vector<std::size_t> path{0, 2, 3, 1};
+  ASSERT_TRUE(controller.install_path(NfcId{1}, path).is_ok());
+  ASSERT_TRUE(controller.install_path(NfcId{2}, path).is_ok());
+  EXPECT_EQ(controller.remove_chain(NfcId{1}), 3u);
+  EXPECT_EQ(controller.chain_rule_count(NfcId{1}), 0u);
+  EXPECT_EQ(controller.chain_rule_count(NfcId{2}), 3u);
+  EXPECT_EQ(controller.tables().total_rules(), 3u);
+  EXPECT_EQ(controller.remove_chain(NfcId{1}), 0u);
+  EXPECT_EQ(controller.stats().rules_removed, 3u);
+}
+
+TEST(SdnControllerTest, MultiLegChainSharesSwitches) {
+  const auto topo = line_dc();
+  SdnController controller(topo);
+  // Leg 1: T0 -> O0 -> O1; leg 2: O1 -> T1. (A chain visiting a host at O1.)
+  const std::vector<std::size_t> leg1{0, 2, 3};
+  const std::vector<std::size_t> leg2{3, 1};
+  ASSERT_TRUE(controller.install_path(NfcId{5}, leg1).is_ok());
+  ASSERT_TRUE(controller.install_path(NfcId{5}, leg2).is_ok());
+  EXPECT_EQ(controller.chain_rule_count(NfcId{5}), 3u);
+  EXPECT_EQ(controller.remove_chain(NfcId{5}), 3u);
+  EXPECT_EQ(controller.tables().total_rules(), 0u);
+}
+
+}  // namespace
+}  // namespace alvc::sdn

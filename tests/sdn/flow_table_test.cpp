@@ -1,0 +1,39 @@
+#include "sdn/flow_table.h"
+
+#include <gtest/gtest.h>
+
+namespace alvc::sdn {
+namespace {
+
+TEST(FlowTableTest, InstallLookupRemove) {
+  FlowTable table;
+  EXPECT_TRUE(table.install(NfcId{1}, 5));
+  EXPECT_EQ(table.size(), 1u);
+  ASSERT_TRUE(table.lookup(NfcId{1}).has_value());
+  EXPECT_EQ(*table.lookup(NfcId{1}), 5u);
+  EXPECT_FALSE(table.lookup(NfcId{2}).has_value());
+  EXPECT_TRUE(table.remove(NfcId{1}));
+  EXPECT_FALSE(table.remove(NfcId{1}));
+  EXPECT_EQ(table.size(), 0u);
+}
+
+TEST(FlowTableTest, InstallOverwrites) {
+  FlowTable table;
+  EXPECT_TRUE(table.install(NfcId{1}, 5));
+  EXPECT_FALSE(table.install(NfcId{1}, 9));  // overwrite, not new
+  EXPECT_EQ(*table.lookup(NfcId{1}), 9u);
+  EXPECT_EQ(table.size(), 1u);
+}
+
+TEST(FlowTableSetTest, TotalRules) {
+  FlowTableSet set(3);
+  EXPECT_EQ(set.switch_count(), 3u);
+  set.table(0).install(NfcId{1}, 1);
+  set.table(1).install(NfcId{1}, 2);
+  set.table(1).install(NfcId{2}, 0);
+  EXPECT_EQ(set.total_rules(), 3u);
+  EXPECT_THROW((void)set.table(3), std::out_of_range);
+}
+
+}  // namespace
+}  // namespace alvc::sdn

@@ -1,0 +1,174 @@
+#include "sim/simulator.h"
+
+#include <gtest/gtest.h>
+
+#include "cluster/service.h"
+#include "support/fixtures.h"
+#include "topology/builder.h"
+
+namespace alvc::sim {
+namespace {
+
+using alvc::nfv::NfcSpec;
+using alvc::nfv::VnfType;
+using alvc::test::ClusterFixture;
+using alvc::util::ServiceId;
+
+struct SimFixture {
+  alvc::topology::DataCenterTopology topo;
+  std::unique_ptr<alvc::cluster::ClusterManager> manager;
+
+  explicit SimFixture(double service_skew = 0.8) {
+    alvc::topology::TopologyParams params;
+    params.seed = 9;
+    params.rack_count = 8;
+    params.ops_count = 32;
+    params.tor_ops_degree = 8;
+    params.service_count = 3;
+    params.service_skew = service_skew;
+    params.optoelectronic_fraction = 0.5;
+    params.core = alvc::topology::CoreKind::kRing;
+    topo = alvc::topology::build_topology(params);
+    manager = std::make_unique<alvc::cluster::ClusterManager>(topo);
+    const alvc::cluster::VertexCoverAlBuilder builder;
+    auto ids = manager->create_clusters_by_service(builder);
+    if (!ids.has_value()) throw std::runtime_error(ids.error().to_string());
+  }
+};
+
+TEST(SimulateTrafficTest, ProcessesAllFlows) {
+  SimFixture f;
+  SimulationConfig config;
+  config.flow_count = 2000;
+  const auto metrics = simulate_traffic(*f.manager, config);
+  EXPECT_EQ(metrics.flows, 2000u);
+  EXPECT_EQ(metrics.unroutable_flows, 0u);
+  EXPECT_GT(metrics.total_bytes, 0.0);
+  EXPECT_GT(metrics.total_energy_j, 0.0);
+  EXPECT_EQ(metrics.hops.count() , 2000u);
+}
+
+TEST(SimulateTrafficTest, LocalityRaisesIntraClusterFraction) {
+  SimFixture f;
+  SimulationConfig high;
+  high.flow_count = 4000;
+  high.workload.locality = 0.9;
+  SimulationConfig low;
+  low.flow_count = 4000;
+  low.workload.locality = 0.1;
+  const auto m_high = simulate_traffic(*f.manager, high);
+  const auto m_low = simulate_traffic(*f.manager, low);
+  EXPECT_GT(m_high.intra_fraction(), m_low.intra_fraction() + 0.2);
+}
+
+TEST(SimulateTrafficTest, DeterministicPerSeed) {
+  SimFixture f;
+  SimulationConfig config;
+  config.flow_count = 500;
+  const auto a = simulate_traffic(*f.manager, config);
+  const auto b = simulate_traffic(*f.manager, config);
+  EXPECT_EQ(a.flows, b.flows);
+  EXPECT_DOUBLE_EQ(a.total_energy_j, b.total_energy_j);
+  EXPECT_DOUBLE_EQ(a.hops.mean(), b.hops.mean());
+}
+
+TEST(SimulateTrafficTest, SummaryMentionsFlows) {
+  SimFixture f;
+  SimulationConfig config;
+  config.flow_count = 10;
+  const auto metrics = simulate_traffic(*f.manager, config);
+  EXPECT_NE(metrics.summary().find("flows=10"), std::string::npos);
+}
+
+TEST(SimulateTrafficTest, UtilizationAccounting) {
+  SimFixture f;
+  SimulationConfig config;
+  config.flow_count = 3000;
+  const auto metrics = simulate_traffic(*f.manager, config);
+  ASSERT_GT(metrics.switch_utilization.count(), 0u);
+  EXPECT_GT(metrics.peak_utilization, 0.0);
+  EXPECT_GE(metrics.peak_utilization, metrics.switch_utilization.mean());
+  EXPECT_NE(metrics.hottest_switch, static_cast<std::size_t>(-1));
+  EXPECT_LT(metrics.hottest_switch, f.topo.switch_graph().vertex_count());
+  EXPECT_NE(metrics.summary().find("peak_util="), std::string::npos);
+}
+
+TEST(SimulateTrafficTest, HigherOfferedLoadRaisesUtilization) {
+  SimFixture f;
+  SimulationConfig light;
+  light.flow_count = 2000;
+  light.workload.max_bytes = 1e6;
+  SimulationConfig heavy = light;
+  heavy.workload.max_bytes = 1e9;  // elephants at the same arrival rate
+  const auto m_light = simulate_traffic(*f.manager, light);
+  const auto m_heavy = simulate_traffic(*f.manager, heavy);
+  EXPECT_GT(m_heavy.peak_utilization, m_light.peak_utilization);
+}
+
+TEST(SimulateTrafficTest, QueueingModelAddsDelay) {
+  SimFixture f;
+  SimulationConfig base;
+  base.flow_count = 3000;
+  SimulationConfig queued = base;
+  queued.latency.mm1_queueing = true;
+  queued.latency.switch_service_us = 5.0;
+  const auto m_base = simulate_traffic(*f.manager, base);
+  const auto m_queued = simulate_traffic(*f.manager, queued);
+  EXPECT_EQ(m_base.flows, m_queued.flows);
+  EXPECT_GT(m_queued.latency_us.mean(), m_base.latency_us.mean());
+  // Everything else identical (same seed, same routes).
+  EXPECT_DOUBLE_EQ(m_base.hops.mean(), m_queued.hops.mean());
+  EXPECT_DOUBLE_EQ(m_base.total_energy_j, m_queued.total_energy_j);
+}
+
+TEST(SimulateTrafficTest, QueueingDelayGrowsWithLoad) {
+  SimFixture f;
+  SimulationConfig light;
+  light.flow_count = 3000;
+  light.latency.mm1_queueing = true;
+  light.workload.max_bytes = 1e6;
+  SimulationConfig heavy = light;
+  heavy.workload.max_bytes = 1e9;
+  const auto m_light = simulate_traffic(*f.manager, light);
+  const auto m_heavy = simulate_traffic(*f.manager, heavy);
+  EXPECT_GT(m_heavy.latency_us.mean(), m_light.latency_us.mean());
+}
+
+TEST(SimulateChainTrafficTest, EmptyOrchestratorYieldsNothing) {
+  ClusterFixture f;
+  alvc::orchestrator::NetworkOrchestrator orch(f.manager, f.catalog);
+  SimulationConfig config;
+  const auto metrics = simulate_chain_traffic(orch, config);
+  EXPECT_EQ(metrics.flows, 0u);
+}
+
+TEST(SimulateChainTrafficTest, OpticalPlacementCutsEnergyVersusElectronic) {
+  // Two identical setups; chains placed electronic-only vs oeo-min. The
+  // paper's Fig. 8 claim: optical hosting saves conversion energy.
+  const auto run = [](auto&& placement) {
+    ClusterFixture f;
+    alvc::orchestrator::NetworkOrchestrator orch(f.manager, f.catalog);
+    NfcSpec spec;
+    spec.name = "chain";
+    spec.service = ServiceId{0};
+    spec.bandwidth_gbps = 1.0;
+    spec.functions = {*f.catalog.find_by_type(VnfType::kFirewall),
+                      *f.catalog.find_by_type(VnfType::kNat),
+                      *f.catalog.find_by_type(VnfType::kSecurityGateway)};
+    auto id = orch.provision_chain(spec, placement);
+    if (!id.has_value()) throw std::runtime_error(id.error().to_string());
+    SimulationConfig config;
+    config.flow_count = 1000;
+    return simulate_chain_traffic(orch, config);
+  };
+  const auto electronic = run(alvc::orchestrator::ElectronicOnlyPlacement{});
+  const auto optical = run(alvc::orchestrator::OeoMinimizingPlacement{});
+  EXPECT_EQ(electronic.flows, 1000u);
+  EXPECT_EQ(optical.flows, 1000u);
+  EXPECT_GT(electronic.conversions.mean(), optical.conversions.mean());
+  EXPECT_GT(electronic.total_energy_j, optical.total_energy_j);
+  EXPECT_GT(electronic.latency_us.mean(), optical.latency_us.mean());
+}
+
+}  // namespace
+}  // namespace alvc::sim

@@ -1,0 +1,111 @@
+#include "sim/workload.h"
+
+#include <gtest/gtest.h>
+
+#include "topology/builder.h"
+
+namespace alvc::sim {
+namespace {
+
+alvc::topology::DataCenterTopology test_topo(std::size_t services = 4) {
+  alvc::topology::TopologyParams params;
+  params.rack_count = 6;
+  params.service_count = services;
+  params.seed = 3;
+  return alvc::topology::build_topology(params);
+}
+
+TEST(WorkloadTest, ArrivalsAreMonotonic) {
+  const auto topo = test_topo();
+  WorkloadGenerator gen(topo, WorkloadParams{});
+  double last = 0;
+  for (int i = 0; i < 1000; ++i) {
+    const auto flow = gen.next();
+    EXPECT_GT(flow.arrival_s, last);
+    last = flow.arrival_s;
+  }
+}
+
+TEST(WorkloadTest, ArrivalRateApproximatelyHolds) {
+  const auto topo = test_topo();
+  WorkloadParams params;
+  params.arrival_rate_per_s = 100.0;
+  WorkloadGenerator gen(topo, params);
+  const auto flows = gen.generate(10000);
+  const double horizon = flows.back().arrival_s;
+  EXPECT_NEAR(10000.0 / horizon, 100.0, 5.0);
+}
+
+TEST(WorkloadTest, EndpointsDistinctAndInRange) {
+  const auto topo = test_topo();
+  WorkloadGenerator gen(topo, WorkloadParams{});
+  for (const auto& flow : gen.generate(2000)) {
+    EXPECT_NE(flow.src, flow.dst);
+    EXPECT_LT(flow.src.index(), topo.vm_count());
+    EXPECT_LT(flow.dst.index(), topo.vm_count());
+  }
+}
+
+TEST(WorkloadTest, SizesWithinBounds) {
+  const auto topo = test_topo();
+  WorkloadParams params;
+  params.min_bytes = 100;
+  params.max_bytes = 1e6;
+  WorkloadGenerator gen(topo, params);
+  for (const auto& flow : gen.generate(2000)) {
+    EXPECT_GE(flow.bytes, 100.0);
+    EXPECT_LE(flow.bytes, 1e6 + 1);
+  }
+}
+
+TEST(WorkloadTest, LocalityBiasesDestinations) {
+  const auto topo = test_topo();
+  WorkloadParams high;
+  high.locality = 0.95;
+  high.seed = 7;
+  WorkloadParams low;
+  low.locality = 0.05;
+  low.seed = 7;
+  const auto count_same_service = [&](WorkloadParams params) {
+    WorkloadGenerator gen(topo, params);
+    std::size_t same = 0;
+    for (const auto& flow : gen.generate(4000)) {
+      if (topo.vm(flow.src).service == topo.vm(flow.dst).service) ++same;
+    }
+    return same;
+  };
+  EXPECT_GT(count_same_service(high), count_same_service(low) + 1000);
+}
+
+TEST(WorkloadTest, DeterministicPerSeed) {
+  const auto topo = test_topo();
+  WorkloadParams params;
+  params.seed = 11;
+  WorkloadGenerator a(topo, params);
+  WorkloadGenerator b(topo, params);
+  for (int i = 0; i < 100; ++i) {
+    const auto fa = a.next();
+    const auto fb = b.next();
+    EXPECT_EQ(fa.src, fb.src);
+    EXPECT_EQ(fa.dst, fb.dst);
+    EXPECT_DOUBLE_EQ(fa.bytes, fb.bytes);
+  }
+}
+
+TEST(WorkloadTest, RejectsDegenerateInputs) {
+  alvc::topology::DataCenterTopology tiny;
+  const auto o = tiny.add_ops();
+  const auto t = tiny.add_tor();
+  tiny.connect_tor_ops(t, o);
+  const auto s = tiny.add_server(t, {});
+  tiny.add_vm(s, alvc::util::ServiceId{0});
+  EXPECT_THROW(WorkloadGenerator(tiny, WorkloadParams{}), std::invalid_argument);
+
+  const auto topo = test_topo();
+  WorkloadParams bad;
+  bad.arrival_rate_per_s = 0;
+  EXPECT_THROW(WorkloadGenerator(topo, bad), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace alvc::sim

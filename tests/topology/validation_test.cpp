@@ -1,0 +1,51 @@
+#include "topology/validation.h"
+
+#include <gtest/gtest.h>
+
+#include "topology/builder.h"
+
+namespace alvc::topology {
+namespace {
+
+TEST(ValidationTest, EmptyTopologyIsValid) {
+  DataCenterTopology topo;
+  EXPECT_TRUE(validate(topo).ok());
+  EXPECT_TRUE(switch_layer_connected(topo));
+}
+
+TEST(ValidationTest, GeneratedTopologyIsValid) {
+  const auto topo = build_topology(TopologyParams{});
+  const auto report = validate(topo);
+  EXPECT_TRUE(report.ok());
+}
+
+TEST(ValidationTest, WellFormedManualTopology) {
+  DataCenterTopology topo;
+  const auto o = topo.add_ops();
+  const auto t = topo.add_tor();
+  topo.connect_tor_ops(t, o);
+  const auto s = topo.add_server(t, Resources{.cpu_cores = 8, .memory_gb = 32, .storage_gb = 100});
+  topo.add_vm(s, alvc::util::ServiceId{0});
+  EXPECT_TRUE(validate(topo).ok());
+  EXPECT_TRUE(switch_layer_connected(topo));
+}
+
+TEST(ValidationTest, DisconnectedSwitchLayerDetected) {
+  DataCenterTopology topo;
+  topo.add_ops();
+  topo.add_ops();  // two OPSs, no links
+  EXPECT_FALSE(switch_layer_connected(topo));
+}
+
+TEST(ValidationTest, IsolatedTorDetectedAsDisconnected) {
+  DataCenterTopology topo;
+  const auto o = topo.add_ops();
+  const auto t0 = topo.add_tor();
+  topo.add_tor();  // no uplinks
+  topo.connect_tor_ops(t0, o);
+  EXPECT_FALSE(switch_layer_connected(topo));
+  EXPECT_TRUE(validate(topo).ok());  // structurally fine, just disconnected
+}
+
+}  // namespace
+}  // namespace alvc::topology

@@ -1,0 +1,142 @@
+#include "util/bitset.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace alvc::util {
+namespace {
+
+TEST(DynamicBitsetTest, ConstructionAndSize) {
+  DynamicBitset b(100);
+  EXPECT_EQ(b.size(), 100u);
+  EXPECT_EQ(b.count(), 0u);
+  EXPECT_TRUE(b.none());
+  DynamicBitset full(100, true);
+  EXPECT_EQ(full.count(), 100u);
+  EXPECT_TRUE(full.all());
+}
+
+TEST(DynamicBitsetTest, SetResetTest) {
+  DynamicBitset b(70);
+  b.set(0);
+  b.set(63);
+  b.set(64);
+  b.set(69);
+  EXPECT_TRUE(b.test(0));
+  EXPECT_TRUE(b.test(63));
+  EXPECT_TRUE(b.test(64));
+  EXPECT_TRUE(b.test(69));
+  EXPECT_FALSE(b.test(1));
+  EXPECT_EQ(b.count(), 4u);
+  b.reset(63);
+  EXPECT_FALSE(b.test(63));
+  EXPECT_EQ(b.count(), 3u);
+}
+
+TEST(DynamicBitsetTest, BoundsChecked) {
+  DynamicBitset b(10);
+  EXPECT_THROW(b.set(10), std::out_of_range);
+  EXPECT_THROW(b.reset(10), std::out_of_range);
+  EXPECT_THROW((void)b.test(10), std::out_of_range);
+}
+
+TEST(DynamicBitsetTest, SetAllClearsTrailingBits) {
+  DynamicBitset b(65);
+  b.set_all();
+  EXPECT_EQ(b.count(), 65u);
+  EXPECT_TRUE(b.all());
+  b.reset_all();
+  EXPECT_TRUE(b.none());
+}
+
+TEST(DynamicBitsetTest, FindFirstAndNext) {
+  DynamicBitset b(200);
+  EXPECT_EQ(b.find_first(), 200u);
+  b.set(5);
+  b.set(64);
+  b.set(199);
+  EXPECT_EQ(b.find_first(), 5u);
+  EXPECT_EQ(b.find_next(5), 64u);
+  EXPECT_EQ(b.find_next(64), 199u);
+  EXPECT_EQ(b.find_next(199), 200u);
+}
+
+TEST(DynamicBitsetTest, IterationViaFindNextVisitsAllBits) {
+  DynamicBitset b(130);
+  for (std::size_t i = 0; i < 130; i += 7) b.set(i);
+  std::size_t visited = 0;
+  for (std::size_t i = b.find_first(); i < b.size(); i = b.find_next(i)) {
+    EXPECT_EQ(i % 7, 0u);
+    ++visited;
+  }
+  EXPECT_EQ(visited, b.count());
+}
+
+TEST(DynamicBitsetTest, BitwiseOps) {
+  DynamicBitset a(10);
+  DynamicBitset b(10);
+  a.set(1);
+  a.set(2);
+  b.set(2);
+  b.set(3);
+  auto u = a | b;
+  EXPECT_EQ(u.count(), 3u);
+  auto i = a & b;
+  EXPECT_EQ(i.count(), 1u);
+  EXPECT_TRUE(i.test(2));
+  auto x = a;
+  x ^= b;
+  EXPECT_EQ(x.count(), 2u);
+  EXPECT_TRUE(x.test(1));
+  EXPECT_TRUE(x.test(3));
+  auto s = a;
+  s.subtract(b);
+  EXPECT_EQ(s.count(), 1u);
+  EXPECT_TRUE(s.test(1));
+}
+
+TEST(DynamicBitsetTest, SizeMismatchThrows) {
+  DynamicBitset a(10);
+  DynamicBitset b(11);
+  EXPECT_THROW(a |= b, std::invalid_argument);
+  EXPECT_THROW((void)a.count_and(b), std::invalid_argument);
+}
+
+TEST(DynamicBitsetTest, CountAndVariants) {
+  DynamicBitset a(128);
+  DynamicBitset b(128);
+  for (std::size_t i = 0; i < 128; i += 2) a.set(i);
+  for (std::size_t i = 0; i < 128; i += 3) b.set(i);
+  EXPECT_EQ(a.count_and(b), 22u);     // multiples of 6 in [0,128)
+  EXPECT_EQ(a.count_andnot(b), 64u - 22u);
+}
+
+TEST(DynamicBitsetTest, SubsetAndIntersects) {
+  DynamicBitset a(50);
+  DynamicBitset b(50);
+  a.set(3);
+  b.set(3);
+  b.set(7);
+  EXPECT_TRUE(a.is_subset_of(b));
+  EXPECT_FALSE(b.is_subset_of(a));
+  EXPECT_TRUE(a.intersects(b));
+  DynamicBitset c(50);
+  c.set(9);
+  EXPECT_FALSE(a.intersects(c));
+  DynamicBitset empty(50);
+  EXPECT_TRUE(empty.is_subset_of(a));
+}
+
+TEST(DynamicBitsetTest, Equality) {
+  DynamicBitset a(20);
+  DynamicBitset b(20);
+  EXPECT_EQ(a, b);
+  a.set(5);
+  EXPECT_NE(a, b);
+  b.set(5);
+  EXPECT_EQ(a, b);
+}
+
+}  // namespace
+}  // namespace alvc::util

@@ -1,0 +1,60 @@
+#include "util/csv.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <stdexcept>
+
+namespace alvc::util {
+namespace {
+
+TEST(CsvWriterTest, InMemoryHeaderAndRows) {
+  CsvWriter w({"a", "b", "c"});
+  w.row({"1", "2", "3"});
+  w.row_values(4, 5.5, "six");
+  EXPECT_EQ(w.str(), "a,b,c\n1,2,3\n4,5.5,six\n");
+  EXPECT_EQ(w.rows_written(), 2u);
+}
+
+TEST(CsvWriterTest, RejectsWrongWidth) {
+  CsvWriter w({"a", "b"});
+  EXPECT_THROW(w.row({"1"}), std::invalid_argument);
+  EXPECT_THROW(w.row({"1", "2", "3"}), std::invalid_argument);
+}
+
+TEST(CsvWriterTest, RejectsEmptyHeader) {
+  EXPECT_THROW(CsvWriter({}), std::invalid_argument);
+}
+
+TEST(CsvWriterTest, EscapesSpecialCharacters) {
+  CsvWriter w({"x"});
+  w.row({"plain"});
+  w.row({"has,comma"});
+  w.row({"has\"quote"});
+  w.row({"has\nnewline"});
+  EXPECT_EQ(w.str(), "x\nplain\n\"has,comma\"\n\"has\"\"quote\"\n\"has\nnewline\"\n");
+}
+
+TEST(CsvWriterTest, WritesToFile) {
+  const std::string path = ::testing::TempDir() + "/alvc_csv_test.csv";
+  {
+    CsvWriter w(path, {"k", "v"});
+    w.row({"size", "10"});
+  }
+  std::ifstream in(path);
+  std::string line1;
+  std::string line2;
+  std::getline(in, line1);
+  std::getline(in, line2);
+  EXPECT_EQ(line1, "k,v");
+  EXPECT_EQ(line2, "size,10");
+  std::remove(path.c_str());
+}
+
+TEST(CsvWriterTest, ThrowsOnUnopenablePath) {
+  EXPECT_THROW(CsvWriter("/nonexistent-dir/foo.csv", {"a"}), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace alvc::util

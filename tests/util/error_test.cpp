@@ -1,0 +1,69 @@
+#include "util/error.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace alvc::util {
+namespace {
+
+TEST(ErrorTest, ToStringIncludesCodeAndMessage) {
+  Error e{ErrorCode::kConflict, "OPS 3 already owned"};
+  EXPECT_EQ(e.to_string(), "conflict: OPS 3 already owned");
+}
+
+TEST(ErrorTest, AllCodesHaveNames) {
+  for (auto code : {ErrorCode::kInvalidArgument, ErrorCode::kNotFound,
+                    ErrorCode::kCapacityExceeded, ErrorCode::kConflict, ErrorCode::kInfeasible,
+                    ErrorCode::kRejected, ErrorCode::kInternal}) {
+    EXPECT_NE(std::string(to_string(code)), "unknown");
+  }
+}
+
+TEST(ExpectedTest, HoldsValue) {
+  Expected<int> e = 42;
+  ASSERT_TRUE(e.has_value());
+  EXPECT_EQ(e.value(), 42);
+  EXPECT_EQ(*e, 42);
+  EXPECT_EQ(e.value_or(0), 42);
+}
+
+TEST(ExpectedTest, HoldsError) {
+  Expected<int> e = Error{ErrorCode::kNotFound, "missing"};
+  EXPECT_FALSE(e.has_value());
+  EXPECT_EQ(e.error().code, ErrorCode::kNotFound);
+  EXPECT_EQ(e.value_or(-1), -1);
+  EXPECT_THROW((void)e.value(), std::runtime_error);
+}
+
+TEST(ExpectedTest, ErrorAccessOnValueThrows) {
+  Expected<int> e = 1;
+  EXPECT_THROW((void)e.error(), std::logic_error);
+}
+
+TEST(ExpectedTest, MoveOutValue) {
+  Expected<std::string> e = std::string("hello");
+  std::string s = std::move(e).value();
+  EXPECT_EQ(s, "hello");
+}
+
+TEST(ExpectedTest, ArrowOperator) {
+  Expected<std::string> e = std::string("hello");
+  EXPECT_EQ(e->size(), 5u);
+}
+
+TEST(StatusTest, OkByDefault) {
+  Status s;
+  EXPECT_TRUE(s.is_ok());
+  EXPECT_TRUE(static_cast<bool>(s));
+  EXPECT_THROW((void)s.error(), std::logic_error);
+}
+
+TEST(StatusTest, CarriesError) {
+  Status s = Error{ErrorCode::kRejected, "admission"};
+  EXPECT_FALSE(s.is_ok());
+  EXPECT_EQ(s.error().code, ErrorCode::kRejected);
+}
+
+}  // namespace
+}  // namespace alvc::util

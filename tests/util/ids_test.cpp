@@ -1,0 +1,55 @@
+#include "util/ids.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <unordered_set>
+
+namespace alvc::util {
+namespace {
+
+TEST(TaggedIdTest, DefaultConstructedIsInvalid) {
+  VmId id;
+  EXPECT_FALSE(id.valid());
+  EXPECT_EQ(id, VmId::invalid());
+}
+
+TEST(TaggedIdTest, ValueRoundTrip) {
+  VmId id{42};
+  EXPECT_TRUE(id.valid());
+  EXPECT_EQ(id.value(), 42u);
+  EXPECT_EQ(id.index(), 42u);
+}
+
+TEST(TaggedIdTest, Ordering) {
+  EXPECT_LT(VmId{1}, VmId{2});
+  EXPECT_EQ(VmId{7}, VmId{7});
+  EXPECT_NE(VmId{7}, VmId{8});
+}
+
+TEST(TaggedIdTest, DistinctTagsAreDistinctTypes) {
+  static_assert(!std::is_same_v<VmId, TorId>);
+  static_assert(!std::is_same_v<OpsId, TorId>);
+}
+
+TEST(TaggedIdTest, Hashable) {
+  std::unordered_set<OpsId> set;
+  set.insert(OpsId{1});
+  set.insert(OpsId{2});
+  set.insert(OpsId{1});
+  EXPECT_EQ(set.size(), 2u);
+}
+
+TEST(TaggedIdTest, StreamOutput) {
+  std::ostringstream os;
+  os << TorId{5} << ' ' << TorId::invalid();
+  EXPECT_EQ(os.str(), "5 <invalid>");
+}
+
+TEST(TaggedIdTest, MaxValueIsReservedAsInvalid) {
+  VmId id{VmId::kInvalidValue};
+  EXPECT_FALSE(id.valid());
+}
+
+}  // namespace
+}  // namespace alvc::util

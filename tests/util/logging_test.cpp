@@ -1,0 +1,93 @@
+#include "util/logging.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace alvc::util {
+namespace {
+
+/// Captures std::clog / std::cerr for the duration of a test.
+class StreamCapture {
+ public:
+  StreamCapture()
+      : old_clog_(std::clog.rdbuf(clog_buffer_.rdbuf())),
+        old_cerr_(std::cerr.rdbuf(cerr_buffer_.rdbuf())) {}
+  ~StreamCapture() {
+    std::clog.rdbuf(old_clog_);
+    std::cerr.rdbuf(old_cerr_);
+  }
+  [[nodiscard]] std::string clog_text() const { return clog_buffer_.str(); }
+  [[nodiscard]] std::string cerr_text() const { return cerr_buffer_.str(); }
+
+ private:
+  std::ostringstream clog_buffer_;
+  std::ostringstream cerr_buffer_;
+  std::streambuf* old_clog_;
+  std::streambuf* old_cerr_;
+};
+
+class LoggingTest : public ::testing::Test {
+ protected:
+  void SetUp() override { previous_level_ = Logger::instance().level(); }
+  void TearDown() override { Logger::instance().set_level(previous_level_); }
+  LogLevel previous_level_ = LogLevel::kWarn;
+};
+
+TEST_F(LoggingTest, LevelNames) {
+  EXPECT_EQ(to_string(LogLevel::kTrace), "TRACE");
+  EXPECT_EQ(to_string(LogLevel::kDebug), "DEBUG");
+  EXPECT_EQ(to_string(LogLevel::kInfo), "INFO");
+  EXPECT_EQ(to_string(LogLevel::kWarn), "WARN");
+  EXPECT_EQ(to_string(LogLevel::kError), "ERROR");
+  EXPECT_EQ(to_string(LogLevel::kOff), "OFF");
+}
+
+TEST_F(LoggingTest, DefaultLevelSuppressesInfo) {
+  Logger::instance().set_level(LogLevel::kWarn);
+  EXPECT_FALSE(Logger::instance().enabled(LogLevel::kInfo));
+  EXPECT_TRUE(Logger::instance().enabled(LogLevel::kWarn));
+  EXPECT_TRUE(Logger::instance().enabled(LogLevel::kError));
+}
+
+TEST_F(LoggingTest, InfoGoesToClogWarnToCerr) {
+  Logger::instance().set_level(LogLevel::kInfo);
+  StreamCapture capture;
+  ALVC_LOG_INFO("test") << "hello " << 42;
+  ALVC_LOG_WARN("test") << "watch out";
+  EXPECT_NE(capture.clog_text().find("[INFO] test: hello 42"), std::string::npos);
+  EXPECT_NE(capture.cerr_text().find("[WARN] test: watch out"), std::string::npos);
+  EXPECT_EQ(capture.clog_text().find("watch out"), std::string::npos);
+}
+
+TEST_F(LoggingTest, SuppressedLevelsEmitNothing) {
+  Logger::instance().set_level(LogLevel::kError);
+  StreamCapture capture;
+  ALVC_LOG_INFO("test") << "invisible";
+  ALVC_LOG_WARN("test") << "also invisible";
+  EXPECT_TRUE(capture.clog_text().empty());
+  EXPECT_TRUE(capture.cerr_text().empty());
+}
+
+TEST_F(LoggingTest, OffSilencesEverything) {
+  Logger::instance().set_level(LogLevel::kOff);
+  StreamCapture capture;
+  ALVC_LOG_ERROR("test") << "nope";
+  EXPECT_TRUE(capture.cerr_text().empty());
+}
+
+TEST_F(LoggingTest, MacroShortCircuitsDisabledStatements) {
+  Logger::instance().set_level(LogLevel::kError);
+  int evaluations = 0;
+  const auto side_effect = [&] {
+    ++evaluations;
+    return "x";
+  };
+  ALVC_LOG_DEBUG("test") << side_effect();
+  EXPECT_EQ(evaluations, 0) << "disabled log statements must not evaluate operands";
+  ALVC_LOG_ERROR("test") << side_effect();
+  EXPECT_EQ(evaluations, 1);
+}
+
+}  // namespace
+}  // namespace alvc::util

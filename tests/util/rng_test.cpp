@@ -1,0 +1,172 @@
+#include "util/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <array>
+#include <numeric>
+#include <set>
+
+namespace alvc::util {
+namespace {
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a(1);
+  Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.next() == b.next()) ++same;
+  }
+  EXPECT_LT(same, 2);
+}
+
+TEST(RngTest, ReseedRestartsStream) {
+  Rng a(7);
+  const auto first = a.next();
+  a.next();
+  a.reseed(7);
+  EXPECT_EQ(a.next(), first);
+}
+
+TEST(RngTest, UniformU64RespectsBounds) {
+  Rng rng(42);
+  for (int i = 0; i < 10000; ++i) {
+    const auto v = rng.uniform_u64(10, 20);
+    EXPECT_GE(v, 10u);
+    EXPECT_LE(v, 20u);
+  }
+}
+
+TEST(RngTest, UniformU64SingletonRange) {
+  Rng rng(42);
+  EXPECT_EQ(rng.uniform_u64(5, 5), 5u);
+}
+
+TEST(RngTest, UniformU64FullRangeDoesNotHang) {
+  Rng rng(42);
+  (void)rng.uniform_u64(0, ~0ULL);
+}
+
+TEST(RngTest, UniformU64RejectsInvertedBounds) {
+  Rng rng(42);
+  EXPECT_THROW((void)rng.uniform_u64(3, 2), std::invalid_argument);
+}
+
+TEST(RngTest, UniformIndexCoversAllValues) {
+  Rng rng(42);
+  std::set<std::size_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(rng.uniform_index(5));
+  EXPECT_EQ(seen.size(), 5u);
+  EXPECT_THROW((void)rng.uniform_index(0), std::invalid_argument);
+}
+
+TEST(RngTest, Uniform01InHalfOpenRange) {
+  Rng rng(42);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform01();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(RngTest, Uniform01MeanIsAboutHalf) {
+  Rng rng(42);
+  double sum = 0;
+  constexpr int kN = 100000;
+  for (int i = 0; i < kN; ++i) sum += rng.uniform01();
+  EXPECT_NEAR(sum / kN, 0.5, 0.01);
+}
+
+TEST(RngTest, BernoulliFrequency) {
+  Rng rng(42);
+  int hits = 0;
+  constexpr int kN = 100000;
+  for (int i = 0; i < kN; ++i) hits += rng.bernoulli(0.3) ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(hits) / kN, 0.3, 0.01);
+}
+
+TEST(RngTest, ExponentialMeanMatchesRate) {
+  Rng rng(42);
+  double sum = 0;
+  constexpr int kN = 100000;
+  for (int i = 0; i < kN; ++i) sum += rng.exponential(2.0);
+  EXPECT_NEAR(sum / kN, 0.5, 0.02);
+  EXPECT_THROW((void)rng.exponential(0.0), std::invalid_argument);
+}
+
+TEST(RngTest, BoundedParetoStaysInBounds) {
+  Rng rng(42);
+  for (int i = 0; i < 10000; ++i) {
+    const double x = rng.bounded_pareto(1.2, 1.0, 1000.0);
+    EXPECT_GE(x, 1.0);
+    EXPECT_LE(x, 1000.0 + 1e-9);
+  }
+  EXPECT_THROW((void)rng.bounded_pareto(1.0, 5.0, 2.0), std::invalid_argument);
+}
+
+TEST(RngTest, BoundedParetoIsHeavyTailed) {
+  // Median should be much closer to lo than to hi for alpha > 1.
+  Rng rng(42);
+  std::vector<double> xs;
+  for (int i = 0; i < 10001; ++i) xs.push_back(rng.bounded_pareto(1.5, 1.0, 10000.0));
+  std::sort(xs.begin(), xs.end());
+  EXPECT_LT(xs[xs.size() / 2], 10.0);
+  EXPECT_GT(xs.back(), 100.0);
+}
+
+TEST(RngTest, PoissonMean) {
+  Rng rng(42);
+  double sum = 0;
+  constexpr int kN = 50000;
+  for (int i = 0; i < kN; ++i) sum += static_cast<double>(rng.poisson(4.0));
+  EXPECT_NEAR(sum / kN, 4.0, 0.1);
+  EXPECT_EQ(rng.poisson(0.0), 0u);
+}
+
+TEST(RngTest, ZipfSkewsTowardLowIndices) {
+  Rng rng(42);
+  std::array<int, 10> counts{};
+  for (int i = 0; i < 100000; ++i) ++counts[rng.zipf(10, 1.0)];
+  EXPECT_GT(counts[0], counts[4]);
+  EXPECT_GT(counts[0], counts[9]);
+  EXPECT_THROW((void)rng.zipf(0, 1.0), std::invalid_argument);
+}
+
+TEST(RngTest, ShufflePreservesMultiset) {
+  Rng rng(42);
+  std::vector<int> v(100);
+  std::iota(v.begin(), v.end(), 0);
+  auto copy = v;
+  rng.shuffle(copy);
+  EXPECT_NE(copy, v);  // overwhelmingly likely
+  std::sort(copy.begin(), copy.end());
+  EXPECT_EQ(copy, v);
+}
+
+TEST(RngTest, SampleDrawsDistinctElements) {
+  Rng rng(42);
+  std::vector<int> population(50);
+  std::iota(population.begin(), population.end(), 0);
+  const auto picked = rng.sample(std::span<const int>(population), 10);
+  EXPECT_EQ(picked.size(), 10u);
+  std::set<int> unique(picked.begin(), picked.end());
+  EXPECT_EQ(unique.size(), 10u);
+  EXPECT_THROW((void)rng.sample(std::span<const int>(population), 51), std::invalid_argument);
+}
+
+TEST(RngTest, SampleWholePopulation) {
+  Rng rng(42);
+  std::vector<int> population{1, 2, 3};
+  auto picked = rng.sample(std::span<const int>(population), 3);
+  std::sort(picked.begin(), picked.end());
+  EXPECT_EQ(picked, population);
+}
+
+}  // namespace
+}  // namespace alvc::util
