@@ -1,0 +1,35 @@
+#!/usr/bin/env bash
+# One-command tier-1 gate: configure + build + ctest, then the
+# thread-safety suites again under ThreadSanitizer.
+#
+# Usage:
+#   scripts/check.sh             # plain build + full ctest + TSan 'sanitize' label
+#   ALVC_SKIP_TSAN=1 scripts/check.sh   # skip the TSan pass (e.g. unsupported host)
+#   ALVC_JOBS=8 scripts/check.sh        # override parallelism
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+jobs="${ALVC_JOBS:-$(nproc 2>/dev/null || echo 2)}"
+
+echo "== configure + build (plain) =="
+cmake -B build -S . >/dev/null
+cmake --build build -j "$jobs"
+
+echo "== ctest (full suite) =="
+ctest --test-dir build --output-on-failure -j "$jobs"
+
+if [[ "${ALVC_SKIP_TSAN:-0}" == "1" ]]; then
+  echo "== TSan pass skipped (ALVC_SKIP_TSAN=1) =="
+  exit 0
+fi
+
+echo "== configure + build (ThreadSanitizer) =="
+cmake -B build-tsan -S . -DALVC_SANITIZE=thread >/dev/null
+cmake --build build-tsan -j "$jobs" --target \
+  util_executor_test cluster_parallel_build_differential_test
+
+echo "== ctest -L sanitize (under TSan) =="
+ctest --test-dir build-tsan --output-on-failure -j "$jobs" -L sanitize
+
+echo "== all checks passed =="

@@ -14,8 +14,7 @@ using alvc::util::TorId;
 ClusterManager::ClusterManager(DataCenterTopology& topo)
     : topo_(&topo), ownership_(topo.ops_count()) {}
 
-Expected<ClusterId> ClusterManager::create_cluster(ServiceId service, std::span<const VmId> group,
-                                                   const AlBuilder& builder) {
+Status ClusterManager::check_group_free(std::span<const VmId> group) const {
   for (VmId vm : group) {
     for (const auto& [cid, vc] : clusters_) {
       if (vc.contains_vm(vm)) {
@@ -24,20 +23,30 @@ Expected<ClusterId> ClusterManager::create_cluster(ServiceId service, std::span<
       }
     }
   }
-  auto built = builder.build(*topo_, group, ownership_);
-  if (!built) return built.error();
+  return Status::ok();
+}
 
+Expected<ClusterId> ClusterManager::commit_built(ServiceId service, std::span<const VmId> group,
+                                                 AlBuildResult built) {
   const ClusterId id{next_id_++};
-  if (auto status = ownership_.acquire(built->layer.opss, id); !status.is_ok()) {
+  if (auto status = ownership_.acquire(built.layer.opss, id); !status.is_ok()) {
     return status.error();  // defensive: builder returned a non-free OPS
   }
   VirtualCluster vc{.id = id,
                     .service = service,
                     .vms = {group.begin(), group.end()},
-                    .layer = std::move(built->layer),
-                    .connected = built->connected};
+                    .layer = std::move(built.layer),
+                    .connected = built.connected};
   clusters_.emplace(id, std::move(vc));
   return id;
+}
+
+Expected<ClusterId> ClusterManager::create_cluster(ServiceId service, std::span<const VmId> group,
+                                                   const AlBuilder& builder) {
+  if (auto status = check_group_free(group); !status.is_ok()) return status.error();
+  auto built = builder.build(*topo_, group, ownership_);
+  if (!built) return built.error();
+  return commit_built(service, group, std::move(*built));
 }
 
 Expected<std::vector<ClusterId>> ClusterManager::create_clusters_by_service(
@@ -50,6 +59,76 @@ Expected<std::vector<ClusterId>> ClusterManager::create_clusters_by_service(
     if (!id) return id.error();
     ids.push_back(*id);
   }
+  return ids;
+}
+
+Expected<std::vector<ClusterId>> ClusterManager::build_all_clusters(const AlBuilder& builder,
+                                                                    alvc::util::Executor* executor,
+                                                                    BatchBuildStats* stats) {
+  const auto groups = group_vms_by_service(*topo_);
+  BatchBuildStats local;
+  for (const auto& group : groups) {
+    if (!group.empty()) ++local.groups;
+  }
+
+  if (executor == nullptr) {
+    local.serial_rebuilds = local.groups;
+    if (stats != nullptr) *stats += local;
+    return create_clusters_by_service(builder);
+  }
+
+  // Speculative phase: every group builds against the same ownership
+  // snapshot, recording which cells it read.
+  struct Speculation {
+    std::optional<Expected<AlBuildResult>> result;
+    alvc::util::DynamicBitset reads;
+  };
+  const OpsOwnership snapshot = ownership_;
+  std::vector<Speculation> spec(groups.size());
+  auto tasks = executor->new_task_group();
+  for (std::size_t s = 0; s < groups.size(); ++s) {
+    if (groups[s].empty()) continue;
+    tasks->submit([&, s] {
+      OpsOwnership local_view = snapshot;
+      spec[s].reads = alvc::util::DynamicBitset(local_view.ops_count());
+      local_view.set_read_log(&spec[s].reads);
+      spec[s].result.emplace(builder.build(*topo_, groups[s], local_view));
+    });
+  }
+  tasks->wait_all();
+
+  // Commit phase, ascending group id (the serial order). `dirty` holds
+  // every ownership cell changed since the snapshot; a speculative result
+  // whose read set avoids it is provably what the serial pass would have
+  // produced.
+  alvc::util::DynamicBitset dirty(ownership_.ops_count());
+  std::vector<ClusterId> ids;
+  for (std::size_t s = 0; s < groups.size(); ++s) {
+    if (groups[s].empty()) continue;
+    const ServiceId service{static_cast<ServiceId::value_type>(s)};
+    if (auto status = check_group_free(groups[s]); !status.is_ok()) {
+      if (stats != nullptr) *stats += local;
+      return status.error();
+    }
+    Expected<ClusterId> id = [&]() -> Expected<ClusterId> {
+      if (!spec[s].reads.empty() && !spec[s].reads.intersects(dirty)) {
+        ++local.parallel_commits;
+        if (!*spec[s].result) return spec[s].result->error();
+        return commit_built(service, groups[s], std::move(**spec[s].result));
+      }
+      ++local.serial_rebuilds;
+      auto built = builder.build(*topo_, groups[s], ownership_);
+      if (!built) return built.error();
+      return commit_built(service, groups[s], std::move(*built));
+    }();
+    if (!id) {
+      if (stats != nullptr) *stats += local;
+      return id.error();
+    }
+    for (OpsId o : find(*id)->layer.opss) dirty.set(o.index());
+    ids.push_back(*id);
+  }
+  if (stats != nullptr) *stats += local;
   return ids;
 }
 
@@ -142,6 +221,47 @@ Expected<UpdateCost> ClusterManager::migrate_vm(ClusterId id, VmId vm, ServerId 
   return cost;
 }
 
+Expected<UpdateCost> ClusterManager::apply_reoptimized(VirtualCluster& vc, AlBuildResult rebuilt) {
+  if (rebuilt.layer.opss.size() >= vc.layer.opss.size()) {
+    return UpdateCost{};  // no improvement: keep the incumbent AL
+  }
+  UpdateCost cost;
+  // Rules: remove what leaves, add what arrives (symmetric difference).
+  for (alvc::util::OpsId o : vc.layer.opss) {
+    if (!rebuilt.layer.contains_ops(o)) {
+      cost.ops_changes += 1;
+      cost.flow_rules += 1;
+    }
+  }
+  for (alvc::util::OpsId o : rebuilt.layer.opss) {
+    if (!vc.layer.contains_ops(o)) {
+      cost.ops_changes += 1;
+      cost.flow_rules += 1;
+    }
+  }
+  for (TorId t : vc.layer.tors) {
+    if (!rebuilt.layer.contains_tor(t)) {
+      cost.tor_changes += 1;
+      cost.flow_rules += 1;
+    }
+  }
+  for (TorId t : rebuilt.layer.tors) {
+    if (!vc.layer.contains_tor(t)) {
+      cost.tor_changes += 1;
+      cost.flow_rules += 1;
+    }
+  }
+  ownership_.release_all(vc.id);
+  if (auto status = ownership_.acquire(rebuilt.layer.opss, vc.id); !status.is_ok()) {
+    // Should not happen (scratch proved feasibility); restore the old AL.
+    (void)ownership_.acquire(vc.layer.opss, vc.id);
+    return status.error();
+  }
+  vc.layer = std::move(rebuilt.layer);
+  vc.connected = rebuilt.connected;
+  return cost;
+}
+
 Expected<UpdateCost> ClusterManager::reoptimize_cluster(ClusterId id, const AlBuilder& builder) {
   VirtualCluster* vc = find_mutable(id);
   if (vc == nullptr) return Error{ErrorCode::kNotFound, "no cluster " + std::to_string(id.value())};
@@ -153,44 +273,97 @@ Expected<UpdateCost> ClusterManager::reoptimize_cluster(ClusterId id, const AlBu
   scratch.release_all(id);
   auto rebuilt = builder.build(*topo_, vc->vms, scratch);
   if (!rebuilt) return rebuilt.error();
-  if (rebuilt->layer.opss.size() >= vc->layer.opss.size()) {
-    return UpdateCost{};  // no improvement: keep the incumbent AL
-  }
-  UpdateCost cost;
-  // Rules: remove what leaves, add what arrives (symmetric difference).
-  for (alvc::util::OpsId o : vc->layer.opss) {
-    if (!rebuilt->layer.contains_ops(o)) {
-      cost.ops_changes += 1;
-      cost.flow_rules += 1;
+  return apply_reoptimized(*vc, std::move(*rebuilt));
+}
+
+Expected<std::vector<UpdateCost>> ClusterManager::reoptimize_clusters(
+    std::span<const ClusterId> ids, const AlBuilder& builder, alvc::util::Executor* executor,
+    BatchBuildStats* stats) {
+  BatchBuildStats local;
+  local.groups = ids.size();
+
+  if (executor == nullptr) {
+    local.serial_rebuilds = ids.size();
+    std::vector<UpdateCost> costs;
+    costs.reserve(ids.size());
+    for (ClusterId id : ids) {
+      auto cost = reoptimize_cluster(id, builder);
+      if (!cost) {
+        if (stats != nullptr) *stats += local;
+        return cost.error();
+      }
+      costs.push_back(*cost);
     }
+    if (stats != nullptr) *stats += local;
+    return costs;
   }
-  for (alvc::util::OpsId o : rebuilt->layer.opss) {
-    if (!vc->layer.contains_ops(o)) {
-      cost.ops_changes += 1;
-      cost.flow_rules += 1;
+
+  // Speculative phase: each cluster rebuilds against the snapshot with its
+  // own OPSs released (so it may keep them), recording its reads.
+  struct Speculation {
+    std::optional<Expected<AlBuildResult>> result;
+    alvc::util::DynamicBitset reads;
+    bool attempted = false;
+  };
+  const OpsOwnership snapshot = ownership_;
+  std::vector<Speculation> spec(ids.size());
+  auto tasks = executor->new_task_group();
+  for (std::size_t i = 0; i < ids.size(); ++i) {
+    const VirtualCluster* vc = find(ids[i]);
+    if (vc == nullptr || vc->vms.empty()) continue;  // commit loop handles both
+    spec[i].attempted = true;
+    tasks->submit([&, i, vc] {
+      OpsOwnership local_view = snapshot;
+      local_view.release_all(vc->id);
+      spec[i].reads = alvc::util::DynamicBitset(local_view.ops_count());
+      local_view.set_read_log(&spec[i].reads);
+      spec[i].result.emplace(builder.build(*topo_, vc->vms, local_view));
+    });
+  }
+  tasks->wait_all();
+
+  // Commit phase in input order. A commit both releases this cluster's old
+  // OPSs and acquires the new ones; either kind of change invalidates any
+  // later speculation that read those cells.
+  alvc::util::DynamicBitset dirty(ownership_.ops_count());
+  std::vector<UpdateCost> costs;
+  costs.reserve(ids.size());
+  for (std::size_t i = 0; i < ids.size(); ++i) {
+    const auto fail = [&](const Error& error) -> Expected<std::vector<UpdateCost>> {
+      if (stats != nullptr) *stats += local;
+      return error;
+    };
+    VirtualCluster* vc = find_mutable(ids[i]);
+    if (vc == nullptr) {
+      return fail(Error{ErrorCode::kNotFound, "no cluster " + std::to_string(ids[i].value())});
     }
-  }
-  for (TorId t : vc->layer.tors) {
-    if (!rebuilt->layer.contains_tor(t)) {
-      cost.tor_changes += 1;
-      cost.flow_rules += 1;
+    if (vc->vms.empty()) {
+      costs.push_back(UpdateCost{});
+      continue;
     }
-  }
-  for (TorId t : rebuilt->layer.tors) {
-    if (!vc->layer.contains_tor(t)) {
-      cost.tor_changes += 1;
-      cost.flow_rules += 1;
+    const std::vector<alvc::util::OpsId> old_opss = vc->layer.opss;
+    Expected<UpdateCost> cost = [&]() -> Expected<UpdateCost> {
+      if (spec[i].attempted && !spec[i].reads.empty() && !spec[i].reads.intersects(dirty)) {
+        ++local.parallel_commits;
+        if (!*spec[i].result) return spec[i].result->error();
+        return apply_reoptimized(*vc, std::move(**spec[i].result));
+      }
+      ++local.serial_rebuilds;
+      OpsOwnership scratch = ownership_;
+      scratch.release_all(vc->id);
+      auto rebuilt = builder.build(*topo_, vc->vms, scratch);
+      if (!rebuilt) return rebuilt.error();
+      return apply_reoptimized(*vc, std::move(*rebuilt));
+    }();
+    if (!cost) return fail(cost.error());
+    if (cost->total() > 0) {  // the AL was swapped: both sides changed cells
+      for (alvc::util::OpsId o : old_opss) dirty.set(o.index());
+      for (alvc::util::OpsId o : vc->layer.opss) dirty.set(o.index());
     }
+    costs.push_back(*cost);
   }
-  ownership_.release_all(id);
-  if (auto status = ownership_.acquire(rebuilt->layer.opss, id); !status.is_ok()) {
-    // Should not happen (scratch proved feasibility); restore the old AL.
-    (void)ownership_.acquire(vc->layer.opss, id);
-    return status.error();
-  }
-  vc->layer = std::move(rebuilt->layer);
-  vc->connected = rebuilt->connected;
-  return cost;
+  if (stats != nullptr) *stats += local;
+  return costs;
 }
 
 Expected<UpdateCost> ClusterManager::handle_ops_failure(alvc::util::OpsId ops) {

@@ -20,6 +20,7 @@
 #include "cluster/virtual_cluster.h"
 #include "topology/topology.h"
 #include "util/error.h"
+#include "util/executor.h"
 
 namespace alvc::cluster {
 
@@ -44,6 +45,21 @@ struct UpdateCost {
   }
 };
 
+/// How a batch build/reoptimize resolved each unit of work (diagnostics;
+/// the output itself is identical either way).
+struct BatchBuildStats {
+  std::size_t groups = 0;             // units of work in the batch
+  std::size_t parallel_commits = 0;   // speculative results committed as-is
+  std::size_t serial_rebuilds = 0;    // interference detected -> rebuilt serially
+
+  BatchBuildStats& operator+=(const BatchBuildStats& other) noexcept {
+    groups += other.groups;
+    parallel_commits += other.parallel_commits;
+    serial_rebuilds += other.serial_rebuilds;
+    return *this;
+  }
+};
+
 class ClusterManager {
  public:
   /// The manager keeps a reference to the topology; the topology must
@@ -64,6 +80,19 @@ class ClusterManager {
   /// case only).
   [[nodiscard]] Expected<std::vector<ClusterId>> create_clusters_by_service(
       const AlBuilder& builder);
+
+  /// Parallel variant of create_clusters_by_service: fans each service
+  /// group's AlBuilder::build out to `executor` against a snapshot of the
+  /// ownership registry, then commits in ascending group id. A speculative
+  /// result is committed only when no ownership cell it read was changed by
+  /// an earlier commit (optimistic-concurrency validation); otherwise the
+  /// group is rebuilt serially against live ownership. Either way the
+  /// clusters, ids, ownership, and any error are BIT-IDENTICAL to the
+  /// serial path, including the paper's one-AL-per-OPS invariant. With a
+  /// null executor this IS the serial path.
+  [[nodiscard]] Expected<std::vector<ClusterId>> build_all_clusters(
+      const AlBuilder& builder, alvc::util::Executor* executor = nullptr,
+      BatchBuildStats* stats = nullptr);
 
   /// Releases the cluster's OPSs and forgets it.
   [[nodiscard]] Status destroy_cluster(ClusterId id);
@@ -88,6 +117,15 @@ class ClusterManager {
   /// of the swap (rules for removed + added OPSs/ToRs), or a zero cost when
   /// the current AL is already as good.
   [[nodiscard]] Expected<UpdateCost> reoptimize_cluster(ClusterId id, const AlBuilder& builder);
+
+  /// Batch reoptimization: rebuilds every cluster in `ids` (in the given
+  /// order) with `builder`, fanning the rebuilds out to `executor` and
+  /// committing with the same optimistic scheme as build_all_clusters.
+  /// Results (swapped ALs, costs, errors) are bit-identical to calling
+  /// reoptimize_cluster serially in order; stops at the first error.
+  [[nodiscard]] Expected<std::vector<UpdateCost>> reoptimize_clusters(
+      std::span<const ClusterId> ids, const AlBuilder& builder,
+      alvc::util::Executor* executor = nullptr, BatchBuildStats* stats = nullptr);
 
   // ---- failure handling ----
 
@@ -115,6 +153,15 @@ class ClusterManager {
 
  private:
   VirtualCluster* find_mutable(ClusterId id);
+  /// kConflict when any VM of `group` is already in a cluster.
+  [[nodiscard]] Status check_group_free(std::span<const VmId> group) const;
+  /// Registers a freshly built AL for `group`: acquires its OPSs and
+  /// creates the cluster. Shared tail of the serial and speculative paths.
+  [[nodiscard]] Expected<ClusterId> commit_built(ServiceId service, std::span<const VmId> group,
+                                                 AlBuildResult built);
+  /// Swap-if-smaller tail of reoptimize_cluster, shared with the batch
+  /// commit: computes the symmetric-difference cost and installs `rebuilt`.
+  [[nodiscard]] Expected<UpdateCost> apply_reoptimized(VirtualCluster& vc, AlBuildResult rebuilt);
   /// Extends `vc`'s AL to cover `tor`; returns the incremental cost.
   [[nodiscard]] Expected<UpdateCost> cover_tor(VirtualCluster& vc, alvc::util::TorId tor);
   /// Shrinks `vc` after `tor` lost its last VM; returns the cost.

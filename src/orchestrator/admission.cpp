@@ -14,16 +14,16 @@ using alvc::topology::Resources;
 using alvc::util::Error;
 using alvc::util::ErrorCode;
 
-Status AdmissionController::admit(const alvc::nfv::NfcSpec& spec,
-                                  const alvc::cluster::VirtualCluster& cluster,
-                                  const alvc::nfv::HostingPool& pool) {
+AdmissionDecision AdmissionController::check(const alvc::nfv::NfcSpec& spec,
+                                             const alvc::cluster::VirtualCluster& cluster,
+                                             const alvc::nfv::HostingPool& pool) const {
   if (spec.functions.empty()) {
-    ++stats_.rejected_malformed;
-    return Error{ErrorCode::kRejected, "chain has no functions"};
+    return {Error{ErrorCode::kRejected, "chain has no functions"},
+            AdmissionOutcome::kRejectedMalformed};
   }
   if (spec.bandwidth_gbps <= 0) {
-    ++stats_.rejected_malformed;
-    return Error{ErrorCode::kRejected, "non-positive bandwidth request"};
+    return {Error{ErrorCode::kRejected, "non-positive bandwidth request"},
+            AdmissionOutcome::kRejectedMalformed};
   }
   // Bandwidth: the chain rides the slice's ToRs and OPSs; the tightest
   // port on the slice bounds it.
@@ -35,10 +35,10 @@ Status AdmissionController::admit(const alvc::nfv::NfcSpec& spec,
     min_port = std::min(min_port, topo_->ops(o).port_bandwidth_gbps);
   }
   if (spec.bandwidth_gbps > min_port) {
-    ++stats_.rejected_bandwidth;
-    return Error{ErrorCode::kRejected,
-                 "requested " + std::to_string(spec.bandwidth_gbps) + " Gbps exceeds slice port " +
-                     std::to_string(min_port) + " Gbps"};
+    return {Error{ErrorCode::kRejected, "requested " + std::to_string(spec.bandwidth_gbps) +
+                                            " Gbps exceeds slice port " +
+                                            std::to_string(min_port) + " Gbps"},
+            AdmissionOutcome::kRejectedBandwidth};
   }
   // Max-flow feasibility between the chain's default anchors: a single
   // fat port does not help if some slice-internal cut is thinner.
@@ -46,11 +46,10 @@ Status AdmissionController::admit(const alvc::nfv::NfcSpec& spec,
     const double capacity = slice_capacity_gbps(cluster, cluster.layer.tors.front(),
                                                 cluster.layer.tors.back());
     if (spec.bandwidth_gbps > capacity + 1e-9) {
-      ++stats_.rejected_capacity_flow;
-      return Error{ErrorCode::kRejected,
-                   "requested " + std::to_string(spec.bandwidth_gbps) +
-                       " Gbps exceeds the slice's min-cut capacity of " +
-                       std::to_string(capacity) + " Gbps"};
+      return {Error{ErrorCode::kRejected, "requested " + std::to_string(spec.bandwidth_gbps) +
+                                              " Gbps exceeds the slice's min-cut capacity of " +
+                                              std::to_string(capacity) + " Gbps"},
+              AdmissionOutcome::kRejectedCapacityFlow};
     }
   }
   // Aggregate resource feasibility (necessary condition).
@@ -68,11 +67,28 @@ Status AdmissionController::admit(const alvc::nfv::NfcSpec& spec,
     }
   }
   if (!total_demand.fits_within(total_free)) {
-    ++stats_.rejected_resources;
-    return Error{ErrorCode::kRejected, "slice lacks aggregate capacity for the chain"};
+    return {Error{ErrorCode::kRejected, "slice lacks aggregate capacity for the chain"},
+            AdmissionOutcome::kRejectedResources};
   }
-  ++stats_.admitted;
-  return Status::ok();
+  return {Status::ok(), AdmissionOutcome::kAdmitted};
+}
+
+void AdmissionController::record(const AdmissionDecision& decision) noexcept {
+  switch (decision.outcome) {
+    case AdmissionOutcome::kAdmitted: ++stats_.admitted; break;
+    case AdmissionOutcome::kRejectedMalformed: ++stats_.rejected_malformed; break;
+    case AdmissionOutcome::kRejectedBandwidth: ++stats_.rejected_bandwidth; break;
+    case AdmissionOutcome::kRejectedCapacityFlow: ++stats_.rejected_capacity_flow; break;
+    case AdmissionOutcome::kRejectedResources: ++stats_.rejected_resources; break;
+  }
+}
+
+Status AdmissionController::admit(const alvc::nfv::NfcSpec& spec,
+                                  const alvc::cluster::VirtualCluster& cluster,
+                                  const alvc::nfv::HostingPool& pool) {
+  AdmissionDecision decision = check(spec, cluster, pool);
+  record(decision);
+  return decision.status;
 }
 
 double AdmissionController::slice_capacity_gbps(const alvc::cluster::VirtualCluster& cluster,

@@ -26,14 +26,39 @@ struct AdmissionStats {
   std::size_t rejected_malformed = 0;
 };
 
+/// Which stats counter an admission decision lands in.
+enum class AdmissionOutcome {
+  kAdmitted,
+  kRejectedMalformed,
+  kRejectedBandwidth,
+  kRejectedCapacityFlow,
+  kRejectedResources,
+};
+
+/// A check() decision: the status handed to the caller plus the counter it
+/// belongs to (so recording can be deferred, e.g. by the batch path).
+struct AdmissionDecision {
+  Status status;
+  AdmissionOutcome outcome = AdmissionOutcome::kAdmitted;
+};
+
 class AdmissionController {
  public:
   AdmissionController(const alvc::topology::DataCenterTopology& topo,
                       const alvc::nfv::VnfCatalog& catalog)
       : topo_(&topo), catalog_(&catalog) {}
 
+  /// Pure feasibility decision — no counter updates, safe to call from
+  /// several threads at once (reads topology/pool only).
+  [[nodiscard]] AdmissionDecision check(const alvc::nfv::NfcSpec& spec,
+                                        const alvc::cluster::VirtualCluster& cluster,
+                                        const alvc::nfv::HostingPool& pool) const;
+
+  /// Applies a decision to the stats counters.
+  void record(const AdmissionDecision& decision) noexcept;
+
   /// kRejected with a reason when the chain cannot possibly be served by
-  /// the cluster's slice; ok otherwise. Mutates counters.
+  /// the cluster's slice; ok otherwise. Equivalent to check() + record().
   [[nodiscard]] Status admit(const alvc::nfv::NfcSpec& spec,
                              const alvc::cluster::VirtualCluster& cluster,
                              const alvc::nfv::HostingPool& pool);

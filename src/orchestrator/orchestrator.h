@@ -17,6 +17,7 @@
 #pragma once
 
 #include <optional>
+#include <span>
 #include <unordered_map>
 #include <vector>
 
@@ -82,6 +83,17 @@ class NetworkOrchestrator {
     load_balanced_routing_ = enabled;
     routing_k_ = k;
   }
+
+  /// Batch admission pre-screen: evaluates every spec's admission decision
+  /// (against the cluster serving its service) without provisioning
+  /// anything. Checks fan out to `executor` (serial when null) — safe
+  /// because check() only reads — and results come back in input order,
+  /// identical to calling admission serially; counters are then recorded
+  /// once per spec in input order. Specs whose service has no cluster get
+  /// kNotFound and touch no counter. Typical use: screen a provisioning
+  /// wave cheaply, then provision_chain() the admitted ones.
+  [[nodiscard]] std::vector<alvc::util::Status> preadmit_chains(
+      std::span<const alvc::nfv::NfcSpec> specs, alvc::util::Executor* executor = nullptr);
 
   /// Provisions a chain with a complex processing order (paper §IV-A's
   /// "network forwarding graph"): nodes are placed like a linear chain in

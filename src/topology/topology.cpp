@@ -1,9 +1,43 @@
 #include "topology/topology.h"
 
 #include <algorithm>
+#include <mutex>
 #include <stdexcept>
+#include <utility>
 
 namespace alvc::topology {
+
+DataCenterTopology::DataCenterTopology(const DataCenterTopology& other)
+    : servers_(other.servers_), vms_(other.vms_), tors_(other.tors_), opss_(other.opss_) {}
+
+DataCenterTopology& DataCenterTopology::operator=(const DataCenterTopology& other) {
+  if (this == &other) return *this;
+  servers_ = other.servers_;
+  vms_ = other.vms_;
+  tors_ = other.tors_;
+  opss_ = other.opss_;
+  invalidate_cache();
+  return *this;
+}
+
+DataCenterTopology::DataCenterTopology(DataCenterTopology&& other) noexcept
+    : servers_(std::move(other.servers_)),
+      vms_(std::move(other.vms_)),
+      tors_(std::move(other.tors_)),
+      opss_(std::move(other.opss_)) {
+  other.invalidate_cache();
+}
+
+DataCenterTopology& DataCenterTopology::operator=(DataCenterTopology&& other) noexcept {
+  if (this == &other) return *this;
+  servers_ = std::move(other.servers_);
+  vms_ = std::move(other.vms_);
+  tors_ = std::move(other.tors_);
+  opss_ = std::move(other.opss_);
+  invalidate_cache();
+  other.invalidate_cache();
+  return *this;
+}
 
 TorId DataCenterTopology::add_tor(double port_bandwidth_gbps) {
   const TorId id{static_cast<TorId::value_type>(tors_.size())};
@@ -92,24 +126,30 @@ void DataCenterTopology::set_ops_failed(OpsId ops, bool failed) {
 }
 
 const alvc::graph::Graph& DataCenterTopology::switch_graph() const {
-  if (!switch_graph_valid_) {
-    alvc::graph::Graph g(tors_.size() + opss_.size());
-    for (const auto& t : tors_) {
-      for (OpsId ops : t.uplinks) {
-        if (opss_[ops.index()].failed) continue;
-        g.add_edge(tor_vertex(t.id), ops_vertex(ops));
-      }
-    }
-    for (const auto& o : opss_) {
-      if (o.failed) continue;
-      for (OpsId peer : o.peer_links) {
-        if (o.id < peer && !opss_[peer.index()].failed) {  // each undirected core link once
-          g.add_edge(ops_vertex(o.id), ops_vertex(peer));
+  // Double-checked lazy build: concurrent const readers (parallel AL
+  // construction) may race to warm the cache, so the build runs under a
+  // mutex and the valid flag publishes it with release/acquire ordering.
+  if (!switch_graph_valid_.load(std::memory_order_acquire)) {
+    const std::lock_guard<std::mutex> lock(switch_graph_mutex_);
+    if (!switch_graph_valid_.load(std::memory_order_relaxed)) {
+      alvc::graph::Graph g(tors_.size() + opss_.size());
+      for (const auto& t : tors_) {
+        for (OpsId ops : t.uplinks) {
+          if (opss_[ops.index()].failed) continue;
+          g.add_edge(tor_vertex(t.id), ops_vertex(ops));
         }
       }
+      for (const auto& o : opss_) {
+        if (o.failed) continue;
+        for (OpsId peer : o.peer_links) {
+          if (o.id < peer && !opss_[peer.index()].failed) {  // each undirected core link once
+            g.add_edge(ops_vertex(o.id), ops_vertex(peer));
+          }
+        }
+      }
+      switch_graph_ = std::move(g);
+      switch_graph_valid_.store(true, std::memory_order_release);
     }
-    switch_graph_ = std::move(g);
-    switch_graph_valid_ = true;
   }
   return switch_graph_;
 }

@@ -10,7 +10,9 @@
 // Invariant: ids are dense (id.value() indexes the owning vector).
 #pragma once
 
+#include <atomic>
 #include <cstddef>
+#include <mutex>
 #include <span>
 #include <vector>
 
@@ -23,6 +25,16 @@ namespace alvc::topology {
 
 class DataCenterTopology {
  public:
+  DataCenterTopology() = default;
+  // The switch-graph cache (and the mutex guarding its lazy build) is
+  // per-object state, not topology data: copies and moves transfer the
+  // elements and start with a cold cache.
+  DataCenterTopology(const DataCenterTopology& other);
+  DataCenterTopology& operator=(const DataCenterTopology& other);
+  DataCenterTopology(DataCenterTopology&& other) noexcept;
+  DataCenterTopology& operator=(DataCenterTopology&& other) noexcept;
+  ~DataCenterTopology() = default;
+
   // ---- construction (used by TopologyBuilder and tests) ----
 
   /// Adds a ToR switch; returns its id.
@@ -80,7 +92,9 @@ class DataCenterTopology {
 
   /// Switch-level graph over ToRs and OPSs. Vertex layout:
   /// [0, tor_count) are ToRs, [tor_count, tor_count + ops_count) are OPSs.
-  /// Rebuilt lazily after structural changes.
+  /// Rebuilt lazily after structural changes. The lazy build is
+  /// synchronised, so concurrent const readers (parallel AL builds) are
+  /// safe as long as no thread mutates the topology meanwhile.
   [[nodiscard]] const alvc::graph::Graph& switch_graph() const;
   [[nodiscard]] std::size_t tor_vertex(TorId id) const { return id.index(); }
   [[nodiscard]] std::size_t ops_vertex(OpsId id) const { return tors_.size() + id.index(); }
@@ -100,15 +114,18 @@ class DataCenterTopology {
   [[nodiscard]] alvc::graph::BipartiteGraph tor_ops_graph() const;
 
  private:
-  void invalidate_cache() noexcept { switch_graph_valid_ = false; }
+  void invalidate_cache() noexcept {
+    switch_graph_valid_.store(false, std::memory_order_release);
+  }
 
   std::vector<Server> servers_;
   std::vector<Vm> vms_;
   std::vector<TorSwitch> tors_;
   std::vector<OpticalSwitch> opss_;
 
+  mutable std::mutex switch_graph_mutex_;
   mutable alvc::graph::Graph switch_graph_;
-  mutable bool switch_graph_valid_ = false;
+  mutable std::atomic<bool> switch_graph_valid_{false};
 };
 
 }  // namespace alvc::topology

@@ -1,0 +1,101 @@
+#include "util/executor.h"
+
+#include <utility>
+
+namespace alvc::util {
+
+// ---- TaskGroup ----
+
+TaskGroup::~TaskGroup() {
+  std::unique_lock<std::mutex> lock(mu_);
+  done_cv_.wait(lock, [&] { return pending_ == 0; });
+}
+
+void TaskGroup::submit(std::function<void()> fn) {
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    ++pending_;
+  }
+  exec_->enqueue(this, std::move(fn));
+}
+
+void TaskGroup::wait_all() {
+  std::unique_lock<std::mutex> lock(mu_);
+  done_cv_.wait(lock, [&] { return pending_ == 0; });
+  if (first_error_) {
+    std::exception_ptr error = std::exchange(first_error_, nullptr);
+    lock.unlock();
+    std::rethrow_exception(error);
+  }
+}
+
+std::size_t TaskGroup::pending() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return pending_;
+}
+
+void TaskGroup::finish_one(std::exception_ptr error) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  if (error && !first_error_) first_error_ = std::move(error);
+  --pending_;
+  if (pending_ == 0) done_cv_.notify_all();
+}
+
+// ---- Executor ----
+
+Executor::Executor(std::size_t threads) {
+  if (threads == 0) {
+    threads = std::thread::hardware_concurrency();
+    if (threads == 0) threads = 1;
+  }
+  threads_.reserve(threads);
+  for (std::size_t i = 0; i < threads; ++i) {
+    threads_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+Executor::~Executor() {
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    shutdown_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& t : threads_) t.join();
+  // Orphaned items (enqueued after shutdown began) still owe their group a
+  // completion, else ~TaskGroup would hang.
+  for (Item& item : queue_) item.group->finish_one(nullptr);
+}
+
+std::unique_ptr<TaskGroup> Executor::new_task_group() {
+  return std::unique_ptr<TaskGroup>(new TaskGroup(*this));
+}
+
+void Executor::enqueue(TaskGroup* group, std::function<void()> fn) {
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    queue_.push_back(Item{group, std::move(fn)});
+  }
+  work_cv_.notify_one();
+}
+
+void Executor::worker_loop() {
+  for (;;) {
+    Item item;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_cv_.wait(lock, [&] { return shutdown_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // shutdown with a drained queue
+      item = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    std::exception_ptr error;
+    try {
+      item.fn();
+    } catch (...) {
+      error = std::current_exception();
+    }
+    item.group->finish_one(std::move(error));
+  }
+}
+
+}  // namespace alvc::util
