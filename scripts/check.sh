@@ -1,10 +1,12 @@
 #!/usr/bin/env bash
 # One-command tier-1 gate: configure + build + ctest, then the
-# thread-safety suites again under ThreadSanitizer.
+# thread-safety suites again under ThreadSanitizer, then the
+# failure/recovery suites under AddressSanitizer.
 #
 # Usage:
-#   scripts/check.sh             # plain build + full ctest + TSan 'sanitize' label
+#   scripts/check.sh             # plain build + full ctest + TSan + ASan legs
 #   ALVC_SKIP_TSAN=1 scripts/check.sh   # skip the TSan pass (e.g. unsupported host)
+#   ALVC_SKIP_ASAN=1 scripts/check.sh   # skip the ASan pass
 #   ALVC_JOBS=8 scripts/check.sh        # override parallelism
 set -euo pipefail
 
@@ -21,15 +23,29 @@ ctest --test-dir build --output-on-failure -j "$jobs"
 
 if [[ "${ALVC_SKIP_TSAN:-0}" == "1" ]]; then
   echo "== TSan pass skipped (ALVC_SKIP_TSAN=1) =="
-  exit 0
+else
+  echo "== configure + build (ThreadSanitizer) =="
+  cmake -B build-tsan -S . -DALVC_SANITIZE=thread >/dev/null
+  cmake --build build-tsan -j "$jobs" --target \
+    util_executor_test cluster_parallel_build_differential_test \
+    cluster_degraded_cluster_test
+
+  echo "== ctest -L sanitize (under TSan) =="
+  ctest --test-dir build-tsan --output-on-failure -j "$jobs" -L sanitize
 fi
 
-echo "== configure + build (ThreadSanitizer) =="
-cmake -B build-tsan -S . -DALVC_SANITIZE=thread >/dev/null
-cmake --build build-tsan -j "$jobs" --target \
-  util_executor_test cluster_parallel_build_differential_test
+if [[ "${ALVC_SKIP_ASAN:-0}" == "1" ]]; then
+  echo "== ASan pass skipped (ALVC_SKIP_ASAN=1) =="
+else
+  echo "== configure + build (AddressSanitizer) =="
+  cmake -B build-asan -S . -DALVC_SANITIZE=address >/dev/null
+  cmake --build build-asan -j "$jobs" --target \
+    topology_failure_api_test cluster_failure_test cluster_degraded_cluster_test \
+    orchestrator_failure_test faults_fault_injector_test faults_state_auditor_test \
+    faults_chaos_soak_test
 
-echo "== ctest -L sanitize (under TSan) =="
-ctest --test-dir build-tsan --output-on-failure -j "$jobs" -L sanitize
+  echo "== ctest -L failures (under ASan) =="
+  ctest --test-dir build-asan --output-on-failure -j "$jobs" -L failures
+fi
 
 echo "== all checks passed =="

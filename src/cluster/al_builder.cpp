@@ -59,7 +59,7 @@ Expected<std::vector<OpsId>> select_ops(const DataCenterTopology& topo,
   for (std::size_t i = 0; i < tors.size(); ++i) {
     bool any = false;
     for (OpsId ops : topo.tor(tors[i]).uplinks) {
-      if (ownership.is_free(ops) && topo.ops_usable(ops)) {
+      if (ownership.is_free(ops) && topo.link_usable(tors[i], ops)) {
         g.add_edge(i, ops.index());
         any = true;
       }
@@ -228,7 +228,7 @@ Expected<AlBuildResult> RandomAlBuilder::build(const DataCenterTopology& topo,
     std::set<OpsId> pool_set;
     for (TorId t : layer.tors) {
       for (OpsId o : topo.tor(t).uplinks) {
-        if (ownership.is_free(o) && topo.ops_usable(o)) pool_set.insert(o);
+        if (ownership.is_free(o) && topo.link_usable(t, o)) pool_set.insert(o);
       }
     }
     pool.assign(pool_set.begin(), pool_set.end());
@@ -240,7 +240,8 @@ Expected<AlBuildResult> RandomAlBuilder::build(const DataCenterTopology& topo,
     for (std::size_t i = 0; i < layer.tors.size(); ++i) {
       if (covered[i]) continue;
       const auto& uplinks = topo.tor(layer.tors[i]).uplinks;
-      if (std::find(uplinks.begin(), uplinks.end(), ops) != uplinks.end()) {
+      if (std::find(uplinks.begin(), uplinks.end(), ops) != uplinks.end() &&
+          topo.link_usable(layer.tors[i], ops)) {
         covered[i] = 1;
         --remaining;
         useful = true;
@@ -273,7 +274,10 @@ Expected<AlBuildResult> GreedySetCoverAlBuilder::build(const DataCenterTopology&
     DynamicBitset covers(layer.tors.size());
     const auto& links = topo.ops(ops).tor_links;
     for (std::size_t i = 0; i < layer.tors.size(); ++i) {
-      if (std::find(links.begin(), links.end(), layer.tors[i]) != links.end()) covers.set(i);
+      if (std::find(links.begin(), links.end(), layer.tors[i]) != links.end() &&
+          topo.link_usable(layer.tors[i], ops)) {
+        covers.set(i);
+      }
     }
     if (covers.any()) {
       instance.add_set(std::move(covers));
@@ -391,14 +395,16 @@ bool al_covers_group(const DataCenterTopology& topo, std::span<const VmId> group
                      const AbstractionLayer& layer) {
   for (VmId vm : group) {
     const auto homes = topo.tors_of_vm(vm);
-    const bool covered = std::any_of(homes.begin(), homes.end(),
-                                     [&](TorId t) { return layer.contains_tor(t); });
+    const bool covered = std::any_of(homes.begin(), homes.end(), [&](TorId t) {
+      return layer.contains_tor(t) && topo.tor_usable(t);
+    });
     if (!covered) return false;
   }
   for (TorId t : layer.tors) {
+    if (!topo.tor_usable(t)) return false;  // a dead ToR cannot anchor coverage
     bool linked = false;
     for (OpsId o : topo.tor(t).uplinks) {
-      if (layer.contains_ops(o)) {
+      if (layer.contains_ops(o) && topo.link_usable(t, o)) {
         linked = true;
         break;
       }

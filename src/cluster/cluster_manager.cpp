@@ -370,8 +370,9 @@ Expected<UpdateCost> ClusterManager::handle_ops_failure(alvc::util::OpsId ops) {
   if (ops.index() >= topo_->ops_count()) {
     return Error{ErrorCode::kInvalidArgument, "bad OPS id"};
   }
+  if (!topo_->ops_usable(ops)) return UpdateCost{};  // already failed: nothing new to repair
   const ClusterId owner = ownership_.owner(ops);
-  topo_->set_ops_failed(ops, true);
+  (void)topo_->set_ops_failed(ops, true);
   UpdateCost cost;
   if (!owner.valid()) return cost;
   VirtualCluster* vc = find_mutable(owner);
@@ -383,28 +384,33 @@ Expected<UpdateCost> ClusterManager::handle_ops_failure(alvc::util::OpsId ops) {
   cost.ops_changes += 1;
   cost.flow_rules += 1;
 
+  auto repair = repair_coverage(*vc);
+  if (!repair) return repair.error();
+  cost += *repair;
+  return cost;
+}
+
+Expected<UpdateCost> ClusterManager::repair_coverage(VirtualCluster& vc) {
+  UpdateCost cost;
   // Repair on a candidate copy so an infeasible repair leaves the cluster
   // merely degraded, never holding OPSs it does not own.
-  AbstractionLayer candidate = vc->layer;
+  AbstractionLayer candidate = vc.layer;
   for (TorId tor : candidate.tors) {
-    bool covered = false;
-    for (alvc::util::OpsId o : topo_->tor(tor).uplinks) {
-      if (candidate.contains_ops(o) && topo_->ops_usable(o)) {
-        covered = true;
-        break;
-      }
-    }
+    const auto usable = topo_->usable_uplinks(tor);
+    const bool covered = std::any_of(usable.begin(), usable.end(), [&](alvc::util::OpsId o) {
+      return candidate.contains_ops(o);
+    });
     if (covered) continue;
     alvc::util::OpsId pick = alvc::util::OpsId::invalid();
-    for (alvc::util::OpsId o : topo_->tor(tor).uplinks) {
-      if (ownership_.is_free(o) && topo_->ops_usable(o) && !candidate.contains_ops(o)) {
+    for (alvc::util::OpsId o : usable) {
+      if (ownership_.is_free(o) && !candidate.contains_ops(o)) {
         pick = o;
         break;
       }
     }
     if (!pick.valid()) {
-      vc->connected = cluster_subgraph_connected(*topo_, vc->layer);
-      vc->degraded = true;
+      vc.connected = cluster_subgraph_connected(*topo_, vc.layer);
+      vc.degraded = true;
       return Error{ErrorCode::kInfeasible,
                    "AL repair: ToR " + std::to_string(tor.value()) + " has no usable uplink"};
     }
@@ -418,14 +424,196 @@ Expected<UpdateCost> ClusterManager::handle_ops_failure(alvc::util::OpsId ops) {
   const std::size_t added = augment_layer_connectivity(*topo_, ownership_, candidate, connected);
   cost.ops_changes += added;
   cost.flow_rules += added;
-  if (auto status = ownership_.acquire(candidate.opss, owner); !status.is_ok()) {
-    vc->degraded = true;
+  if (auto status = ownership_.acquire(candidate.opss, vc.id); !status.is_ok()) {
+    vc.degraded = true;
     return status.error();
   }
-  vc->layer = std::move(candidate);
-  vc->connected = connected;
-  vc->degraded = false;
+  vc.layer = std::move(candidate);
+  vc.connected = connected;
+  // Uplink repair fixes ToR-to-OPS coverage only; the cluster may still be
+  // degraded for an unrelated reason (e.g. a member rack's ToR is down and
+  // its VMs are unreachable), so re-derive the flag from actual coverage.
+  vc.degraded = !al_covers_group(*topo_, vc.vms, vc.layer);
   return cost;
+}
+
+UpdateCost ClusterManager::rebuild_cluster(VirtualCluster& vc, const AlBuilder& builder) {
+  // Which members can the network still reach? A VM counts when at least
+  // one of its home ToRs is up with at least one usable uplink.
+  std::vector<VmId> reachable;
+  reachable.reserve(vc.vms.size());
+  for (VmId vm : vc.vms) {
+    const auto homes = topo_->tors_of_vm(vm);
+    const bool ok = std::any_of(homes.begin(), homes.end(), [&](TorId t) {
+      return topo_->tor_usable(t) && !topo_->usable_uplinks(t).empty();
+    });
+    if (ok) reachable.push_back(vm);
+  }
+
+  UpdateCost cost;
+  if (reachable.empty()) {
+    // Nothing left to serve: dissolve the AL but keep the cluster, so a
+    // future recovery can resurrect it.
+    cost.ops_changes += vc.layer.opss.size();
+    cost.tor_changes += vc.layer.tors.size();
+    cost.flow_rules += vc.layer.opss.size() + vc.layer.tors.size();
+    ownership_.release_all(vc.id);
+    vc.layer.opss.clear();
+    vc.layer.tors.clear();
+    vc.connected = true;  // vacuously
+    vc.degraded = !vc.vms.empty();
+    return cost;
+  }
+
+  OpsOwnership scratch = ownership_;
+  scratch.release_all(vc.id);
+  auto rebuilt = builder.build(*topo_, reachable, scratch);
+  if (!rebuilt) {
+    // Keep the incumbent AL (it may still serve part of the group) and mark
+    // the cluster degraded so a later recovery retries the rebuild.
+    vc.degraded = true;
+    vc.connected = cluster_subgraph_connected(*topo_, vc.layer);
+    return cost;
+  }
+
+  // Symmetric-difference cost, then an unconditional swap: unlike
+  // reoptimize, the incumbent AL references dead hardware, so "smaller" is
+  // not the criterion — live coverage is.
+  for (alvc::util::OpsId o : vc.layer.opss) {
+    if (!rebuilt->layer.contains_ops(o)) {
+      cost.ops_changes += 1;
+      cost.flow_rules += 1;
+    }
+  }
+  for (alvc::util::OpsId o : rebuilt->layer.opss) {
+    if (!vc.layer.contains_ops(o)) {
+      cost.ops_changes += 1;
+      cost.flow_rules += 1;
+    }
+  }
+  for (TorId t : vc.layer.tors) {
+    if (!rebuilt->layer.contains_tor(t)) {
+      cost.tor_changes += 1;
+      cost.flow_rules += 1;
+    }
+  }
+  for (TorId t : rebuilt->layer.tors) {
+    if (!vc.layer.contains_tor(t)) {
+      cost.tor_changes += 1;
+      cost.flow_rules += 1;
+    }
+  }
+  ownership_.release_all(vc.id);
+  if (auto status = ownership_.acquire(rebuilt->layer.opss, vc.id); !status.is_ok()) {
+    // Should not happen (scratch proved feasibility); restore the old AL.
+    (void)ownership_.acquire(vc.layer.opss, vc.id);
+    vc.degraded = true;
+    return UpdateCost{};
+  }
+  vc.layer = std::move(rebuilt->layer);
+  vc.connected = rebuilt->connected;
+  vc.degraded = reachable.size() != vc.vms.size();
+  return cost;
+}
+
+Expected<UpdateCost> ClusterManager::handle_tor_failure(TorId tor, const AlBuilder& builder) {
+  if (tor.index() >= topo_->tor_count()) {
+    return Error{ErrorCode::kInvalidArgument, "bad ToR id"};
+  }
+  if (!topo_->tor_usable(tor)) return UpdateCost{};  // already failed
+  (void)topo_->set_tor_failed(tor, true);
+  UpdateCost cost;
+  for (ClusterId id : sorted_cluster_ids()) {
+    VirtualCluster* vc = find_mutable(id);
+    if (vc == nullptr || !vc->layer.contains_tor(tor)) continue;
+    std::erase(vc->layer.tors, tor);
+    cost.tor_changes += 1;
+    cost.flow_rules += 1;
+    cost += rebuild_cluster(*vc, builder);
+  }
+  return cost;
+}
+
+Status ClusterManager::handle_server_failure(ServerId server) {
+  if (server.index() >= topo_->server_count()) {
+    return Error{ErrorCode::kInvalidArgument, "bad server id"};
+  }
+  return topo_->set_server_failed(server, true);
+}
+
+Status ClusterManager::handle_server_recovery(ServerId server) {
+  if (server.index() >= topo_->server_count()) {
+    return Error{ErrorCode::kInvalidArgument, "bad server id"};
+  }
+  return topo_->set_server_failed(server, false);
+}
+
+Expected<UpdateCost> ClusterManager::handle_link_failure(TorId tor, alvc::util::OpsId ops) {
+  if (tor.index() >= topo_->tor_count() || ops.index() >= topo_->ops_count()) {
+    return Error{ErrorCode::kInvalidArgument, "bad link endpoint id"};
+  }
+  if (topo_->link_failed(tor, ops)) return UpdateCost{};  // already cut
+  if (auto status = topo_->set_link_failed(tor, ops, true); !status.is_ok()) {
+    return status.error();  // kNotFound: no such link
+  }
+  UpdateCost cost;
+  for (ClusterId id : sorted_cluster_ids()) {
+    VirtualCluster* vc = find_mutable(id);
+    if (vc == nullptr || !vc->layer.contains_tor(tor)) continue;
+    // An infeasible repair leaves this cluster degraded; keep sweeping —
+    // one stranded cluster must not block the others.
+    if (auto repair = repair_coverage(*vc)) cost += *repair;
+  }
+  return cost;
+}
+
+Expected<UpdateCost> ClusterManager::handle_ops_recovery(alvc::util::OpsId ops,
+                                                         const AlBuilder& builder) {
+  if (ops.index() >= topo_->ops_count()) {
+    return Error{ErrorCode::kInvalidArgument, "bad OPS id"};
+  }
+  if (topo_->ops_usable(ops)) return UpdateCost{};  // was not failed
+  (void)topo_->set_ops_failed(ops, false);
+  return restore_degraded_clusters(builder);
+}
+
+Expected<UpdateCost> ClusterManager::handle_tor_recovery(TorId tor, const AlBuilder& builder) {
+  if (tor.index() >= topo_->tor_count()) {
+    return Error{ErrorCode::kInvalidArgument, "bad ToR id"};
+  }
+  if (topo_->tor_usable(tor)) return UpdateCost{};  // was not failed
+  (void)topo_->set_tor_failed(tor, false);
+  return restore_degraded_clusters(builder);
+}
+
+Expected<UpdateCost> ClusterManager::handle_link_recovery(TorId tor, alvc::util::OpsId ops,
+                                                          const AlBuilder& builder) {
+  if (tor.index() >= topo_->tor_count() || ops.index() >= topo_->ops_count()) {
+    return Error{ErrorCode::kInvalidArgument, "bad link endpoint id"};
+  }
+  if (!topo_->link_failed(tor, ops)) return UpdateCost{};  // was not cut
+  if (auto status = topo_->set_link_failed(tor, ops, false); !status.is_ok()) {
+    return status.error();
+  }
+  return restore_degraded_clusters(builder);
+}
+
+Expected<UpdateCost> ClusterManager::restore_degraded_clusters(const AlBuilder& builder) {
+  UpdateCost cost;
+  for (ClusterId id : sorted_cluster_ids()) {
+    VirtualCluster* vc = find_mutable(id);
+    if (vc == nullptr || !vc->degraded) continue;
+    cost += rebuild_cluster(*vc, builder);
+  }
+  return cost;
+}
+
+std::vector<ClusterId> ClusterManager::sorted_cluster_ids() const {
+  std::vector<ClusterId> ids;
+  ids.reserve(clusters_.size());
+  for (const auto& [id, vc] : clusters_) ids.push_back(id);
+  std::sort(ids.begin(), ids.end());
+  return ids;
 }
 
 const VirtualCluster* ClusterManager::find(ClusterId id) const {
@@ -455,9 +643,10 @@ Expected<UpdateCost> ClusterManager::cover_tor(VirtualCluster& vc, TorId tor) {
   cost.tor_changes += 1;
   cost.flow_rules += 1;  // programme the new ToR
 
-  // Does any AL OPS already serve this ToR?
+  // Does any AL OPS already serve this ToR (over a live link)?
+  const auto usable = topo_->usable_uplinks(tor);
   bool covered = false;
-  for (alvc::util::OpsId o : topo_->tor(tor).uplinks) {
+  for (alvc::util::OpsId o : usable) {
     if (candidate.contains_ops(o)) {
       covered = true;
       break;
@@ -468,8 +657,8 @@ Expected<UpdateCost> ClusterManager::cover_tor(VirtualCluster& vc, TorId tor) {
     // connectivity survives without further augmentation.
     const auto& g = topo_->switch_graph();
     alvc::util::OpsId pick = alvc::util::OpsId::invalid();
-    for (alvc::util::OpsId o : topo_->tor(tor).uplinks) {
-      if (!ownership_.is_free(o) || !topo_->ops_usable(o)) continue;
+    for (alvc::util::OpsId o : usable) {
+      if (!ownership_.is_free(o)) continue;
       if (!pick.valid()) pick = o;
       for (const auto& nb : g.neighbors(topo_->ops_vertex(o))) {
         const bool touches_al =
@@ -564,6 +753,16 @@ std::vector<std::string> ClusterManager::check_invariants() const {
       if (ownership_.owner(ops) != id) {
         violations.push_back("cluster " + std::to_string(id.value()) + " lists OPS " +
                              std::to_string(ops.value()) + " it does not own");
+      }
+      if (!topo_->ops_usable(ops)) {
+        violations.push_back("cluster " + std::to_string(id.value()) + " AL contains failed OPS " +
+                             std::to_string(ops.value()));
+      }
+    }
+    for (TorId t : vc.layer.tors) {
+      if (!topo_->tor_usable(t)) {
+        violations.push_back("cluster " + std::to_string(id.value()) + " AL contains failed ToR " +
+                             std::to_string(t.value()));
       }
     }
     if (!vc.degraded && !vc.vms.empty() && !al_covers_group(*topo_, vc.vms, vc.layer)) {

@@ -128,6 +128,10 @@ class ClusterManager {
       alvc::util::Executor* executor = nullptr, BatchBuildStats* stats = nullptr);
 
   // ---- failure handling ----
+  //
+  // All handlers are idempotent: a second report of an element already in
+  // the target state returns a zero cost with no side effects, so noisy
+  // fault feeds cannot double-count repair work.
 
   /// Reacts to an OPS failure: marks it failed in the topology, evicts it
   /// from the owning AL (if any), re-covers the ToRs that lost their only
@@ -135,6 +139,41 @@ class ClusterManager {
   /// (zero if the OPS was unowned). kInfeasible when the AL cannot be
   /// repaired — the cluster is left covering what it can and disconnected.
   [[nodiscard]] Expected<UpdateCost> handle_ops_failure(alvc::util::OpsId ops);
+
+  /// Reacts to a ToR failure: the rack is stranded, so every cluster whose
+  /// AL contained the ToR drops it and re-runs the Fig. 4 cover pass (via
+  /// `builder`) over its still-reachable members. Clusters whose rebuild is
+  /// infeasible right now are left degraded, not destroyed.
+  [[nodiscard]] Expected<UpdateCost> handle_tor_failure(alvc::util::TorId tor,
+                                                        const AlBuilder& builder);
+
+  /// Marks a server failed. ALs are a switch-level construct, so no AL
+  /// changes: the orchestrator owns relocating the VNFs that lived there.
+  [[nodiscard]] Status handle_server_failure(ServerId server);
+
+  /// Reacts to a single ToR-OPS link cut: re-covers the affected ToR in the
+  /// cluster that uses it (the AL may need a different uplink OPS).
+  /// kNotFound when the link does not exist.
+  [[nodiscard]] Expected<UpdateCost> handle_link_failure(alvc::util::TorId tor,
+                                                         alvc::util::OpsId ops);
+
+  /// Re-integrates a repaired OPS: it returns to the free pool and every
+  /// degraded cluster gets one rebuild attempt with `builder`.
+  [[nodiscard]] Expected<UpdateCost> handle_ops_recovery(alvc::util::OpsId ops,
+                                                         const AlBuilder& builder);
+  /// Same, for a repaired ToR (its rack becomes reachable again).
+  [[nodiscard]] Expected<UpdateCost> handle_tor_recovery(alvc::util::TorId tor,
+                                                         const AlBuilder& builder);
+  /// Same, for a repaired ToR-OPS link.
+  [[nodiscard]] Expected<UpdateCost> handle_link_recovery(alvc::util::TorId tor,
+                                                          alvc::util::OpsId ops,
+                                                          const AlBuilder& builder);
+  /// Clears a server's failed flag (no AL impact, mirror of failure).
+  [[nodiscard]] Status handle_server_recovery(ServerId server);
+
+  /// One rebuild attempt (with `builder`) for every degraded cluster, in
+  /// ascending cluster id. Run after any capacity-restoring event.
+  [[nodiscard]] Expected<UpdateCost> restore_degraded_clusters(const AlBuilder& builder);
 
   // ---- inspection ----
 
@@ -166,6 +205,15 @@ class ClusterManager {
   [[nodiscard]] Expected<UpdateCost> cover_tor(VirtualCluster& vc, alvc::util::TorId tor);
   /// Shrinks `vc` after `tor` lost its last VM; returns the cost.
   UpdateCost uncover_tor(VirtualCluster& vc, alvc::util::TorId tor);
+  /// Incremental repair: re-covers every AL ToR that lost its AL uplink and
+  /// re-establishes connectivity, on a candidate copy. kInfeasible leaves
+  /// the cluster degraded but internally consistent.
+  [[nodiscard]] Expected<UpdateCost> repair_coverage(VirtualCluster& vc);
+  /// Full best-effort rebuild over the cluster's still-reachable members.
+  /// Never fails: an infeasible rebuild (or one that cannot reach every
+  /// member) leaves/marks the cluster degraded instead.
+  UpdateCost rebuild_cluster(VirtualCluster& vc, const AlBuilder& builder);
+  [[nodiscard]] std::vector<ClusterId> sorted_cluster_ids() const;
 
   alvc::topology::DataCenterTopology* topo_;
   OpsOwnership ownership_;

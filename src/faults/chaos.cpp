@@ -1,0 +1,95 @@
+#include "faults/chaos.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "faults/state_auditor.h"
+#include "sim/event_queue.h"
+#include "util/rng.h"
+
+namespace alvc::faults {
+
+using alvc::orchestrator::ProvisionedChain;
+using alvc::sdn::ControlEventType;
+using alvc::util::Rng;
+
+ChaosReport ChaosRunner::run() {
+  ChaosReport report;
+
+  std::vector<std::uint32_t> baseline;
+  for (const ProvisionedChain* chain : orch_->chains()) {
+    baseline.push_back(chain->record.id.value());
+  }
+
+  auto events =
+      FaultInjector::generate(orch_->clusters().topology(), params_.schedule);
+  events.insert(events.end(), params_.scripted.begin(), params_.scripted.end());
+  std::stable_sort(events.begin(), events.end(),
+                   [](const FaultEvent& a, const FaultEvent& b) { return a.time_s < b.time_s; });
+  report.fault_events = events.size();
+
+  alvc::sim::EventQueue queue;
+  const auto record_violations = [&](const std::vector<std::string>& violations) {
+    report.audit_violations += violations.size();
+    for (const std::string& v : violations) {
+      if (report.violations.size() >= params_.max_recorded_violations) break;
+      report.violations.push_back("t=" + std::to_string(queue.now()) + " " + v);
+    }
+  };
+
+  FaultInjector::schedule(queue, std::move(events), [&](const FaultEvent& event) {
+    (event.failure ? report.failures_injected : report.repairs_injected) += 1;
+    if (!apply_fault(*orch_, event)) ++report.handler_errors;
+    if (params_.audit_every_event) record_violations(StateAuditor::audit(*orch_));
+  });
+
+  // Traffic: Poisson arrivals offered round-robin to the chain population,
+  // pre-generated so the schedule is deterministic in the traffic seed.
+  std::size_t next_chain = 0;
+  if (params_.flow_rate_per_s > 0) {
+    Rng rng(params_.traffic_seed);
+    double t = rng.exponential(params_.flow_rate_per_s);
+    while (t < params_.schedule.horizon_s) {
+      queue.schedule(t, [this, &report, &next_chain]() {
+        const auto chains = orch_->chains();
+        if (chains.empty()) {
+          ++report.flows_deferred;
+          return;
+        }
+        const ProvisionedChain* chain = chains[next_chain++ % chains.size()];
+        // A degraded chain with zero bandwidth is parked; anything holding
+        // bandwidth (full or fractional) still serves traffic.
+        (chain->reserved_gbps > 0 ? report.flows_served : report.flows_deferred) += 1;
+      });
+      t += rng.exponential(params_.flow_rate_per_s);
+    }
+  }
+
+  queue.run();
+
+  // Closing audit (covers the no-fault / audit-disabled cases too).
+  record_violations(StateAuditor::audit(*orch_));
+
+  // Silent-loss accounting: every baseline chain must end live (healthy or
+  // degraded) or have a deliberate teardown/loss event in the control log.
+  std::unordered_set<std::uint32_t> live;
+  for (const ProvisionedChain* chain : orch_->chains()) {
+    live.insert(chain->record.id.value());
+    (chain->degraded ? report.chains_live_degraded : report.chains_live_healthy) += 1;
+  }
+  std::unordered_set<std::uint32_t> accounted_gone;
+  for (const auto& event : orch_->control_log().events()) {
+    if (event.type == ControlEventType::kChainTornDown ||
+        event.type == ControlEventType::kChainLost) {
+      accounted_gone.insert(event.subject);
+    }
+  }
+  for (std::uint32_t id : baseline) {
+    if (!live.contains(id) && !accounted_gone.contains(id)) ++report.chains_unaccounted;
+  }
+  report.chains_lost = orch_->stats().chains_lost;
+  report.chains_restored = orch_->stats().chains_restored;
+  return report;
+}
+
+}  // namespace alvc::faults

@@ -1,0 +1,79 @@
+// Chaos soak harness: faults + traffic + invariant audits in one DES run.
+//
+// ChaosRunner drives a provisioned orchestrator through a stochastic fault
+// schedule while synthetic chain traffic keeps arriving, auditing the whole
+// control plane after every injected event. The report it returns encodes
+// the robustness contract this repo holds itself to:
+//
+//   * the audit never fails (audit_violations == 0),
+//   * every handler call succeeds (handler_errors == 0), and
+//   * no chain is ever silently lost (chains_unaccounted == 0): every chain
+//     that existed at the start either still runs, runs degraded with a
+//     recorded reason, or was deliberately torn down with a logged event.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "faults/fault_injector.h"
+#include "orchestrator/orchestrator.h"
+
+namespace alvc::faults {
+
+struct ChaosParams {
+  FaultScheduleParams schedule;  // fault rates, horizon, and seed
+  /// Scripted events (e.g. FaultInjector::whole_rack / whole_al) merged
+  /// into the stochastic schedule by time.
+  std::vector<FaultEvent> scripted;
+  /// Poisson arrival rate of synthetic flows offered to live chains
+  /// round-robin while faults land; 0 disables traffic interleaving.
+  double flow_rate_per_s = 0;
+  std::uint64_t traffic_seed = 1;
+  /// Audit after every fault event (the soak contract). Disable only for
+  /// throughput benchmarks where the audit would dominate.
+  bool audit_every_event = true;
+  std::size_t max_recorded_violations = 8;
+};
+
+struct ChaosReport {
+  std::size_t fault_events = 0;       // scheduled events over the horizon
+  std::size_t failures_injected = 0;  // events applied with failure=true
+  std::size_t repairs_injected = 0;
+  std::size_t handler_errors = 0;     // non-ok handler returns (want 0)
+  std::size_t flows_served = 0;       // arrivals that found a serving chain
+  std::size_t flows_deferred = 0;     // arrivals that hit a parked chain
+  std::size_t audit_violations = 0;   // total across all audits (want 0)
+  std::vector<std::string> violations;  // first few, timestamped
+
+  // End-state chain accounting (plus cumulative orchestrator stats).
+  std::size_t chains_live_healthy = 0;
+  std::size_t chains_live_degraded = 0;
+  std::size_t chains_lost = 0;         // stats().chains_lost
+  std::size_t chains_restored = 0;     // stats().chains_restored
+  std::size_t chains_unaccounted = 0;  // silently vanished (must be 0)
+
+  [[nodiscard]] bool clean() const noexcept {
+    return audit_violations == 0 && handler_errors == 0 && chains_unaccounted == 0;
+  }
+};
+
+class ChaosRunner {
+ public:
+  /// Borrows an orchestrator that already has its clusters built and
+  /// (typically) chains provisioned.
+  ChaosRunner(alvc::orchestrator::NetworkOrchestrator& orch, ChaosParams params)
+      : orch_(&orch), params_(std::move(params)) {}
+
+  /// Generates the schedule, interleaves it with traffic in one event
+  /// queue, runs to the horizon, and closes with a final audit plus the
+  /// silent-loss accounting.
+  [[nodiscard]] ChaosReport run();
+
+ private:
+  alvc::orchestrator::NetworkOrchestrator* orch_;
+  ChaosParams params_;
+};
+
+}  // namespace alvc::faults

@@ -1,0 +1,157 @@
+#include "faults/fault_injector.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "orchestrator/orchestrator.h"
+#include "util/rng.h"
+
+namespace alvc::faults {
+
+using alvc::topology::DataCenterTopology;
+using alvc::util::Expected;
+using alvc::util::OpsId;
+using alvc::util::Rng;
+using alvc::util::ServerId;
+using alvc::util::TorId;
+
+namespace {
+
+/// Per-element substream seed: splitmix-style scrambling keeps streams
+/// independent even for adjacent (class, index) pairs.
+std::uint64_t substream(std::uint64_t seed, FaultKind kind, std::size_t index) {
+  std::uint64_t x = seed;
+  x ^= 0x9e3779b97f4a7c15ULL * (static_cast<std::uint64_t>(kind) + 1);
+  x ^= 0xbf58476d1ce4e5b9ULL * (static_cast<std::uint64_t>(index) + 1);
+  x ^= x >> 31;
+  return x;
+}
+
+/// Emits one element's alternating up/down renewal process into `out`.
+template <typename EmitFn>
+void renewal_process(const ElementRates& rates, double horizon_s, Rng& rng, EmitFn&& emit) {
+  double t = rng.exponential(1.0 / rates.mtbf_s);
+  while (t < horizon_s) {
+    emit(t, /*failure=*/true);
+    if (rates.mttr_s <= 0) return;  // permanent fault
+    const double down = rng.exponential(1.0 / rates.mttr_s);
+    if (t + down >= horizon_s) return;  // repair falls past the horizon
+    t += down;
+    emit(t, /*failure=*/false);
+    t += rng.exponential(1.0 / rates.mtbf_s);
+  }
+}
+
+}  // namespace
+
+std::vector<FaultEvent> FaultInjector::generate(const DataCenterTopology& topo,
+                                                const FaultScheduleParams& params) {
+  std::vector<FaultEvent> events;
+  if (params.horizon_s <= 0) return events;
+
+  const auto emit_class = [&](FaultKind kind, const ElementRates& rates, std::size_t count,
+                              auto&& endpoints) {
+    if (rates.mtbf_s <= 0) return;
+    for (std::size_t i = 0; i < count; ++i) {
+      Rng rng(substream(params.seed, kind, i));
+      renewal_process(rates, params.horizon_s, rng, [&](double t, bool failure) {
+        const auto [id, ops] = endpoints(i);
+        events.push_back(FaultEvent{.time_s = t, .kind = kind, .failure = failure, .id = id, .ops = ops});
+      });
+    }
+  };
+
+  emit_class(FaultKind::kOps, params.ops, topo.ops_count(),
+             [](std::size_t i) { return std::pair{static_cast<std::uint32_t>(i), 0u}; });
+  emit_class(FaultKind::kTor, params.tor, topo.tor_count(),
+             [](std::size_t i) { return std::pair{static_cast<std::uint32_t>(i), 0u}; });
+  emit_class(FaultKind::kServer, params.server, topo.server_count(),
+             [](std::size_t i) { return std::pair{static_cast<std::uint32_t>(i), 0u}; });
+
+  // Links are enumerated in (ToR, uplink) order so the flat index is stable.
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> links;
+  for (const auto& tor : topo.tors()) {
+    for (OpsId ops : tor.uplinks) {
+      links.emplace_back(static_cast<std::uint32_t>(tor.id.value()),
+                         static_cast<std::uint32_t>(ops.value()));
+    }
+  }
+  emit_class(FaultKind::kLink, params.link, links.size(),
+             [&](std::size_t i) { return links[i]; });
+
+  // Stable sort keeps the per-element generation order on time ties, so the
+  // schedule is deterministic in (topology, params) alone.
+  std::stable_sort(events.begin(), events.end(),
+                   [](const FaultEvent& a, const FaultEvent& b) { return a.time_s < b.time_s; });
+  return events;
+}
+
+std::vector<FaultEvent> FaultInjector::whole_rack(const DataCenterTopology& topo, TorId tor,
+                                                  double at, double outage_s) {
+  std::vector<FaultEvent> events;
+  const auto tor_id = static_cast<std::uint32_t>(tor.value());
+  events.push_back(FaultEvent{.time_s = at, .kind = FaultKind::kTor, .failure = true, .id = tor_id});
+  for (ServerId s : topo.tor(tor).servers) {
+    events.push_back(FaultEvent{.time_s = at,
+                                .kind = FaultKind::kServer,
+                                .failure = true,
+                                .id = static_cast<std::uint32_t>(s.value())});
+  }
+  events.push_back(
+      FaultEvent{.time_s = at + outage_s, .kind = FaultKind::kTor, .failure = false, .id = tor_id});
+  for (ServerId s : topo.tor(tor).servers) {
+    events.push_back(FaultEvent{.time_s = at + outage_s,
+                                .kind = FaultKind::kServer,
+                                .failure = false,
+                                .id = static_cast<std::uint32_t>(s.value())});
+  }
+  return events;
+}
+
+std::vector<FaultEvent> FaultInjector::whole_al(const alvc::cluster::VirtualCluster& cluster,
+                                                double at, double outage_s, double stagger_s) {
+  std::vector<FaultEvent> events;
+  for (OpsId ops : cluster.layer.opss) {
+    events.push_back(FaultEvent{.time_s = at,
+                                .kind = FaultKind::kOps,
+                                .failure = true,
+                                .id = static_cast<std::uint32_t>(ops.value())});
+  }
+  double repair_at = at + outage_s;
+  for (OpsId ops : cluster.layer.opss) {
+    events.push_back(FaultEvent{.time_s = repair_at,
+                                .kind = FaultKind::kOps,
+                                .failure = false,
+                                .id = static_cast<std::uint32_t>(ops.value())});
+    repair_at += stagger_s;
+  }
+  return events;
+}
+
+void FaultInjector::schedule(alvc::sim::EventQueue& queue, std::vector<FaultEvent> events,
+                             std::function<void(const FaultEvent&)> apply) {
+  for (FaultEvent& event : events) {
+    queue.schedule(event.time_s, [event, apply]() { apply(event); });
+  }
+}
+
+Expected<std::size_t> apply_fault(alvc::orchestrator::NetworkOrchestrator& orch,
+                                  const FaultEvent& event) {
+  switch (event.kind) {
+    case FaultKind::kOps:
+      return event.failure ? orch.handle_ops_failure(OpsId{event.id})
+                           : orch.handle_ops_recovery(OpsId{event.id});
+    case FaultKind::kTor:
+      return event.failure ? orch.handle_tor_failure(TorId{event.id})
+                           : orch.handle_tor_recovery(TorId{event.id});
+    case FaultKind::kServer:
+      return event.failure ? orch.handle_server_failure(ServerId{event.id})
+                           : orch.handle_server_recovery(ServerId{event.id});
+    case FaultKind::kLink:
+      return event.failure ? orch.handle_link_failure(TorId{event.id}, OpsId{event.ops})
+                           : orch.handle_link_recovery(TorId{event.id}, OpsId{event.ops});
+  }
+  return alvc::util::Error{alvc::util::ErrorCode::kInvalidArgument, "unknown fault kind"};
+}
+
+}  // namespace alvc::faults

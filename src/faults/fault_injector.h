@@ -1,0 +1,113 @@
+// Deterministic fault-schedule generation for the robustness harness.
+//
+// The paper's recovery story (§III-C: re-running the Fig. 4 cover when an
+// OPS dies) only matters if failures actually arrive — interleaved with
+// chain traffic, overlapping each other, and eventually healing. This
+// module produces those schedules three ways:
+//
+//   * Stochastic: every element of a class (OPS / ToR / server / ToR-OPS
+//     link) follows an alternating-renewal process — exponential up-times
+//     with the class's MTBF alternate with exponential down-times with its
+//     MTTR. Each element draws from its own seeded substream, so a schedule
+//     is a pure function of (topology, params) and is stable when other
+//     classes are toggled on or off.
+//   * Scripted: callers hand-build FaultEvent vectors for exact scenarios.
+//   * Correlated: helpers for shared-fate modes — a whole rack (the ToR
+//     plus every server behind it) or a whole AL (every OPS one cluster
+//     owns) failing at the same instant.
+//
+// Schedules feed `sim::EventQueue`, so failures and repairs interleave
+// deterministically with whatever else the simulation has scheduled.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "cluster/virtual_cluster.h"
+#include "sim/event_queue.h"
+#include "topology/topology.h"
+#include "util/error.h"
+#include "util/ids.h"
+
+namespace alvc::orchestrator {
+class NetworkOrchestrator;
+}  // namespace alvc::orchestrator
+
+namespace alvc::faults {
+
+/// Which hardware class an event touches.
+enum class FaultKind : std::uint8_t { kOps, kTor, kServer, kLink };
+
+[[nodiscard]] constexpr const char* to_string(FaultKind kind) noexcept {
+  switch (kind) {
+    case FaultKind::kOps: return "ops";
+    case FaultKind::kTor: return "tor";
+    case FaultKind::kServer: return "server";
+    case FaultKind::kLink: return "link";
+  }
+  return "?";
+}
+
+/// One failure or repair at a point in simulated time.
+struct FaultEvent {
+  double time_s = 0;
+  FaultKind kind = FaultKind::kOps;
+  bool failure = true;  // false = repair
+  /// Element id: the OPS/ToR/server index; for kLink, the ToR endpoint.
+  std::uint32_t id = 0;
+  /// kLink only: the OPS endpoint of the failing uplink.
+  std::uint32_t ops = 0;
+};
+
+/// Alternating-renewal parameters for one element class. mtbf_s <= 0
+/// disables the class; mttr_s <= 0 makes its failures permanent (no
+/// repair is ever scheduled).
+struct ElementRates {
+  double mtbf_s = 0;
+  double mttr_s = 0;
+};
+
+struct FaultScheduleParams {
+  ElementRates ops;
+  ElementRates tor;
+  ElementRates server;
+  ElementRates link;
+  double horizon_s = 0;  // events strictly before this time
+  std::uint64_t seed = 1;
+};
+
+class FaultInjector {
+ public:
+  /// Generates the full stochastic schedule over `topo`, sorted by time
+  /// (ties broken by generation order: class, then element index — stable
+  /// across runs).
+  [[nodiscard]] static std::vector<FaultEvent> generate(
+      const alvc::topology::DataCenterTopology& topo, const FaultScheduleParams& params);
+
+  /// Correlated mode: the rack behind `tor` (the ToR plus every server in
+  /// it) fails at `at` and recovers together at `at + outage_s`.
+  [[nodiscard]] static std::vector<FaultEvent> whole_rack(
+      const alvc::topology::DataCenterTopology& topo, alvc::util::TorId tor, double at,
+      double outage_s);
+
+  /// Correlated mode: every OPS of `cluster`'s AL fails at `at`; repairs
+  /// start at `at + outage_s`, staggered by `stagger_s` per OPS so the AL
+  /// re-forms incrementally.
+  [[nodiscard]] static std::vector<FaultEvent> whole_al(const alvc::cluster::VirtualCluster& cluster,
+                                                        double at, double outage_s,
+                                                        double stagger_s = 0);
+
+  /// Feeds `events` into `queue` so `apply` fires at each scheduled time,
+  /// interleaved with whatever else the queue holds.
+  static void schedule(alvc::sim::EventQueue& queue, std::vector<FaultEvent> events,
+                       std::function<void(const FaultEvent&)> apply);
+};
+
+/// Dispatches one event to the orchestrator's matching failure/recovery
+/// handler. Returns the handler's result (chains touched); duplicate
+/// injections are idempotent and return 0.
+alvc::util::Expected<std::size_t> apply_fault(alvc::orchestrator::NetworkOrchestrator& orch,
+                                              const FaultEvent& event);
+
+}  // namespace alvc::faults

@@ -1,0 +1,140 @@
+#include "faults/state_auditor.h"
+
+#include <cmath>
+#include <unordered_set>
+#include <variant>
+
+namespace alvc::faults {
+
+using alvc::orchestrator::ProvisionedChain;
+using alvc::topology::DataCenterTopology;
+using alvc::util::NfcId;
+using alvc::util::OpsId;
+using alvc::util::ServerId;
+using alvc::util::TorId;
+
+namespace {
+
+constexpr double kGbpsEps = 1e-6;
+
+std::string chain_tag(const ProvisionedChain& chain) {
+  return "chain " + std::to_string(chain.record.id.value());
+}
+
+bool host_usable(const DataCenterTopology& topo, const alvc::nfv::HostRef& host) {
+  if (const auto* ops = std::get_if<OpsId>(&host)) return topo.ops_usable(*ops);
+  const auto server = std::get<ServerId>(host);
+  return topo.server_usable(server) && topo.tor_usable(topo.server(server).tor);
+}
+
+bool vertex_usable(const DataCenterTopology& topo, std::size_t v) {
+  if (topo.is_ops_vertex(v)) return topo.ops_usable(topo.vertex_to_ops(v));
+  return topo.tor_usable(topo.vertex_to_tor(v));
+}
+
+void audit_chain(const DataCenterTopology& topo, const ProvisionedChain& chain,
+                 std::vector<std::string>& out) {
+  // Placement: live instances must sit on usable hardware. Degraded chains
+  // may carry invalid (terminated) instance slots; those are exempt.
+  for (std::size_t i = 0; i < chain.placement.hosts.size(); ++i) {
+    const bool live = i >= chain.instances.size() || chain.instances[i].valid();
+    if (!live) continue;
+    if (!host_usable(topo, chain.placement.hosts[i])) {
+      out.push_back(chain_tag(chain) + ": function " + std::to_string(i) +
+                    " is placed on failed hardware");
+    }
+  }
+
+  // Chain state: healthy means full bandwidth and a full set of live
+  // instances; degraded means a recorded reason.
+  const double demanded = chain.record.spec.bandwidth_gbps;
+  if (!chain.degraded) {
+    if (std::abs(chain.reserved_gbps - demanded) > kGbpsEps) {
+      out.push_back(chain_tag(chain) + ": healthy but holds " +
+                    std::to_string(chain.reserved_gbps) + " of " + std::to_string(demanded) +
+                    " Gbps");
+    }
+    for (std::size_t i = 0; i < chain.instances.size(); ++i) {
+      if (!chain.instances[i].valid()) {
+        out.push_back(chain_tag(chain) + ": healthy but instance " + std::to_string(i) +
+                      " is terminated");
+      }
+    }
+  } else {
+    if (chain.degraded_reason.empty()) {
+      out.push_back(chain_tag(chain) + ": degraded without a reason");
+    }
+    if (chain.reserved_gbps > demanded + kGbpsEps) {
+      out.push_back(chain_tag(chain) + ": degraded yet over-reserved");
+    }
+  }
+
+  // Route: every vertex usable, every hop a live switch-graph edge.
+  const auto& graph = topo.switch_graph();
+  for (std::size_t v : chain.route.vertices) {
+    if (!vertex_usable(topo, v)) {
+      out.push_back(chain_tag(chain) + ": route visits failed vertex " + std::to_string(v));
+    }
+  }
+  for (const auto& leg : chain.route.legs) {
+    for (std::size_t i = 0; i + 1 < leg.size(); ++i) {
+      if (leg[i] == leg[i + 1]) continue;
+      if (!graph.has_edge(leg[i], leg[i + 1])) {
+        out.push_back(chain_tag(chain) + ": route hop " + std::to_string(leg[i]) + "->" +
+                      std::to_string(leg[i + 1]) + " is not a live link");
+      }
+    }
+  }
+}
+
+}  // namespace
+
+std::vector<std::string> StateAuditor::audit(
+    const alvc::orchestrator::NetworkOrchestrator& orch) {
+  std::vector<std::string> out;
+  const auto& clusters = orch.clusters();
+  const auto& topo = clusters.topology();
+
+  for (const std::string& v : clusters.check_invariants()) out.push_back("cluster: " + v);
+  for (const std::string& v : orch.check_isolation()) out.push_back("isolation: " + v);
+
+  std::unordered_set<std::uint32_t> live_chains;
+  for (const ProvisionedChain* chain : orch.chains()) {
+    live_chains.insert(chain->record.id.value());
+    audit_chain(topo, *chain, out);
+  }
+
+  // Flow tables: every rule belongs to a live chain and forwards over a
+  // live link of the current switch graph (failed elements have no edges).
+  const auto& tables = orch.controller().tables();
+  const auto& graph = topo.switch_graph();
+  for (std::size_t v = 0; v < tables.switch_count(); ++v) {
+    for (const auto& rule : tables.table(v).rules()) {
+      if (!live_chains.contains(rule.nfc.value())) {
+        out.push_back("flow table " + std::to_string(v) + ": stale rule for chain " +
+                      std::to_string(rule.nfc.value()));
+      }
+      if (v != rule.next_hop && !graph.has_edge(v, rule.next_hop)) {
+        out.push_back("flow table " + std::to_string(v) + ": rule forwards over dead link to " +
+                      std::to_string(rule.next_hop));
+      }
+    }
+  }
+
+  // Bandwidth: reservations fit capacity and ride live links.
+  for (const auto& link : orch.bandwidth().reserved_links()) {
+    const std::string tag =
+        "link " + std::to_string(link.u) + "-" + std::to_string(link.v);
+    if (link.gbps > orch.bandwidth().capacity_gbps(link.u, link.v) + kGbpsEps) {
+      out.push_back(tag + ": reserved " + std::to_string(link.gbps) + " Gbps exceeds capacity");
+    }
+    if (!vertex_usable(topo, link.u) || !vertex_usable(topo, link.v) ||
+        !graph.has_edge(link.u, link.v)) {
+      out.push_back(tag + ": reservation rides a dead link");
+    }
+  }
+
+  return out;
+}
+
+}  // namespace alvc::faults

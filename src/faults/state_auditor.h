@@ -1,0 +1,39 @@
+// Cross-layer invariant checker for the fault-injection harness.
+//
+// After every injected failure or repair the whole control plane must stay
+// self-consistent: ALs keep the paper's exclusivity property, nothing runs
+// on dead hardware, the SDN tables only forward over live links, and the
+// bandwidth ledger never promises more than the fabric has. The auditor
+// re-derives each invariant from primary state (topology flags, cluster
+// ownership, flow tables, reservations) rather than trusting any cached
+// counters, so a bug in one layer cannot hide a bug in another.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "orchestrator/orchestrator.h"
+
+namespace alvc::faults {
+
+class StateAuditor {
+ public:
+  /// Runs every invariant; returns human-readable violations (empty means
+  /// the control plane is consistent). Checks:
+  ///   * cluster invariants — one-AL-per-OPS, coverage, no failed hardware
+  ///     inside any AL (ClusterManager::check_invariants);
+  ///   * slice isolation — no AL shared between chains (check_isolation);
+  ///   * placement — every live VNF instance sits on usable hardware;
+  ///   * chain state — healthy chains hold exactly their demanded
+  ///     bandwidth with all instances live; degraded chains carry a reason;
+  ///   * routes — every route vertex is usable, every hop is a live edge
+  ///     of the current switch graph;
+  ///   * flow tables — every installed rule belongs to a live chain and
+  ///     forwards over a live link;
+  ///   * bandwidth — every reservation fits its link's capacity and rides
+  ///     a live link.
+  [[nodiscard]] static std::vector<std::string> audit(
+      const alvc::orchestrator::NetworkOrchestrator& orch);
+};
+
+}  // namespace alvc::faults

@@ -73,6 +73,17 @@ void BandwidthLedger::release_walk(std::span<const std::size_t> walk, double gbp
   }
 }
 
+std::vector<BandwidthLedger::ReservedLink> BandwidthLedger::reserved_links() const {
+  std::vector<ReservedLink> out;
+  out.reserve(reserved_.size());
+  for (const auto& [k, gbps] : reserved_) {
+    out.push_back(ReservedLink{.u = static_cast<std::size_t>(k >> 32),
+                               .v = static_cast<std::size_t>(k & 0xffffffffULL),
+                               .gbps = gbps});
+  }
+  return out;
+}
+
 double BandwidthLedger::peak_load() const {
   double peak = 0;
   for (const auto& [k, used] : reserved_) {

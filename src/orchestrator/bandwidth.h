@@ -45,6 +45,15 @@ class BandwidthLedger {
   /// Highest reserved/capacity ratio across links (0 when nothing reserved).
   [[nodiscard]] double peak_load() const;
 
+  /// One reserved link, unpacked for audits.
+  struct ReservedLink {
+    std::size_t u = 0;  // switch-graph vertices, u < v
+    std::size_t v = 0;
+    double gbps = 0;
+  };
+  /// Every link with a non-zero reservation, unordered.
+  [[nodiscard]] std::vector<ReservedLink> reserved_links() const;
+
  private:
   using LinkKey = std::uint64_t;
   [[nodiscard]] static LinkKey key(std::size_t u, std::size_t v) noexcept;

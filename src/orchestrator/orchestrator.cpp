@@ -168,7 +168,8 @@ Expected<NfcId> NetworkOrchestrator::provision_chain(const alvc::nfv::NfcSpec& s
                          .instances = std::move(instances),
                          .placement = std::move(*placed),
                          .route = std::move(*route),
-                         .flow_rules = rules};
+                         .flow_rules = rules,
+                         .reserved_gbps = spec.bandwidth_gbps};
   chains_.emplace(id, std::move(chain));
   log_.append(sdn::ControlEventType::kSliceAllocated, slice->value());
   log_.append(sdn::ControlEventType::kChainProvisioned, id.value(), spec.name);
@@ -276,7 +277,8 @@ Expected<NfcId> NetworkOrchestrator::provision_forwarding_graph(
                          .route = std::move(*route),
                          .flow_rules = controller_.chain_rule_count(id),
                          .graph = gspec.graph,
-                         .forwarding_order = order};
+                         .forwarding_order = order,
+                         .reserved_gbps = spec.bandwidth_gbps};
   chains_.emplace(id, std::move(chain));
   log_.append(sdn::ControlEventType::kSliceAllocated, slice->value());
   log_.append(sdn::ControlEventType::kChainProvisioned, id.value(), spec.name);
@@ -290,8 +292,10 @@ Status NetworkOrchestrator::teardown_chain(NfcId id) {
     return Error{ErrorCode::kNotFound, "no chain " + std::to_string(id.value())};
   }
   controller_.remove_chain(id);
-  for (auto inst : it->second.instances) (void)cloud_.terminate(inst);
-  bandwidth_.release_walk(it->second.route.vertices, it->second.record.spec.bandwidth_gbps);
+  for (auto inst : it->second.instances) {
+    if (inst.valid()) (void)cloud_.terminate(inst);  // degraded slots hold invalid ids
+  }
+  bandwidth_.release_walk(it->second.route.vertices, it->second.reserved_gbps);
   (void)slices_.release(id);
   chains_.erase(it);
   log_.append(sdn::ControlEventType::kSliceReleased, id.value());
@@ -304,6 +308,9 @@ Status NetworkOrchestrator::scale_function(NfcId id, std::size_t function_index,
   const auto it = chains_.find(id);
   if (it == chains_.end()) {
     return Error{ErrorCode::kNotFound, "no chain " + std::to_string(id.value())};
+  }
+  if (it->second.degraded) {
+    return Error{ErrorCode::kRejected, "chain is degraded; wait for restoration"};
   }
   if (function_index >= it->second.instances.size()) {
     return Error{ErrorCode::kInvalidArgument, "function index out of range"};
@@ -318,6 +325,9 @@ Status NetworkOrchestrator::migrate_function(NfcId id, std::size_t function_inde
     return Error{ErrorCode::kNotFound, "no chain " + std::to_string(id.value())};
   }
   ProvisionedChain& chain = it->second;
+  if (chain.degraded) {
+    return Error{ErrorCode::kRejected, "chain is degraded; wait for restoration"};
+  }
   if (function_index >= chain.placement.hosts.size()) {
     return Error{ErrorCode::kInvalidArgument, "function index out of range"};
   }
@@ -353,7 +363,7 @@ Status NetworkOrchestrator::migrate_function(NfcId id, std::size_t function_inde
   if (!route) return route.error();
   // Move the bandwidth reservation (conservative: new walk reserved while
   // the old one is still held, so shared links must fit both briefly).
-  const double gbps = chain.record.spec.bandwidth_gbps;
+  const double gbps = chain.reserved_gbps;
   if (auto status = bandwidth_.reserve_walk(route->vertices, gbps); !status.is_ok()) {
     return status.error();
   }
@@ -399,109 +409,368 @@ std::vector<NfcId> NetworkOrchestrator::chains_using_ops(alvc::util::OpsId ops) 
   return affected;
 }
 
+// ---- failure & recovery workflows ----
+
+bool NetworkOrchestrator::host_usable(const HostRef& host) const {
+  const auto& topo = clusters_->topology();
+  if (const auto* ops = std::get_if<alvc::util::OpsId>(&host)) return topo.ops_usable(*ops);
+  const auto server = std::get<alvc::util::ServerId>(host);
+  return topo.server_usable(server) && topo.tor_usable(topo.server(server).tor);
+}
+
+bool NetworkOrchestrator::host_in_slice(const HostRef& host,
+                                        const alvc::cluster::VirtualCluster& vc) const {
+  if (const auto* ops = std::get_if<alvc::util::OpsId>(&host)) return vc.layer.contains_ops(*ops);
+  const auto server = std::get<alvc::util::ServerId>(host);
+  return vc.layer.contains_tor(clusters_->topology().server(server).tor);
+}
+
+bool NetworkOrchestrator::route_broken(const ProvisionedChain& chain,
+                                       const alvc::cluster::VirtualCluster& vc) const {
+  const auto& topo = clusters_->topology();
+  for (std::size_t v : chain.route.vertices) {
+    if (topo.is_ops_vertex(v)) {
+      const auto ops = topo.vertex_to_ops(v);
+      if (!topo.ops_usable(ops) || !vc.layer.contains_ops(ops)) return true;
+    } else {
+      const auto tor = topo.vertex_to_tor(v);
+      if (!topo.tor_usable(tor) || !vc.layer.contains_tor(tor)) return true;
+    }
+  }
+  // A cut cable breaks the walk even when both endpoints survive.
+  for (std::size_t i = 0; i + 1 < chain.route.vertices.size(); ++i) {
+    const std::size_t a = chain.route.vertices[i];
+    const std::size_t b = chain.route.vertices[i + 1];
+    if (topo.is_ops_vertex(a) == topo.is_ops_vertex(b)) continue;
+    const std::size_t tor_v = topo.is_ops_vertex(a) ? b : a;
+    const std::size_t ops_v = topo.is_ops_vertex(a) ? a : b;
+    if (topo.link_failed(topo.vertex_to_tor(tor_v), topo.vertex_to_ops(ops_v))) return true;
+  }
+  return false;
+}
+
+bool NetworkOrchestrator::chain_needs_refit(const ProvisionedChain& chain,
+                                            const alvc::cluster::VirtualCluster* vc) const {
+  if (vc == nullptr || vc->layer.tors.empty()) return true;
+  for (std::size_t i = 0; i < chain.placement.hosts.size(); ++i) {
+    if (!chain.instances[i].valid()) return true;
+    if (!host_usable(chain.placement.hosts[i])) return true;
+    if (!host_in_slice(chain.placement.hosts[i], *vc)) return true;
+  }
+  return route_broken(chain, *vc);
+}
+
+bool NetworkOrchestrator::degraded_chain_disturbed(const ProvisionedChain& chain,
+                                                   const alvc::cluster::VirtualCluster* vc) const {
+  for (std::size_t i = 0; i < chain.placement.hosts.size(); ++i) {
+    if (!chain.instances[i].valid()) continue;  // already terminated: expected
+    if (!host_usable(chain.placement.hosts[i])) return true;
+    if (vc != nullptr && !host_in_slice(chain.placement.hosts[i], *vc)) return true;
+  }
+  if (chain.route.vertices.empty()) return false;  // fully parked
+  if (vc == nullptr || vc->layer.tors.empty()) return true;
+  return route_broken(chain, *vc);
+}
+
+void NetworkOrchestrator::park_chain(ProvisionedChain& chain) {
+  const NfcId id = chain.record.id;
+  controller_.remove_chain(id);
+  if (!chain.route.vertices.empty() && chain.reserved_gbps > 0) {
+    bandwidth_.release_walk(chain.route.vertices, chain.reserved_gbps);
+  }
+  chain.reserved_gbps = 0;
+  chain.route = ChainRoute{};
+  chain.flow_rules = 0;
+  for (std::size_t i = 0; i < chain.instances.size(); ++i) {
+    if (!chain.instances[i].valid()) continue;
+    if (host_usable(chain.placement.hosts[i])) continue;
+    (void)cloud_.terminate(chain.instances[i]);
+    chain.instances[i] = alvc::util::VnfInstanceId::invalid();
+  }
+}
+
+double NetworkOrchestrator::fit_chain(ProvisionedChain& chain) {
+  const NfcId id = chain.record.id;
+  const VirtualCluster* vc = clusters_->find(chain.cluster);
+  if (vc == nullptr || vc->layer.tors.empty()) return 0;
+  const auto& topo = clusters_->topology();
+
+  PlacementContext context{
+      .topo = &topo, .cluster = vc, .catalog = catalog_, .pool = &cloud_.pool()};
+  const auto optical = context.slice_optical_hosts();
+  const auto electronic = context.slice_electronic_hosts();
+  for (std::size_t i = 0; i < chain.placement.hosts.size(); ++i) {
+    const bool bad = !chain.instances[i].valid() || !host_usable(chain.placement.hosts[i]) ||
+                     !host_in_slice(chain.placement.hosts[i], *vc);
+    if (!bad) continue;
+    const auto& desc = catalog_->descriptor(chain.record.spec.functions[i]);
+    // Prefer staying optical, fall back to a server.
+    std::optional<HostRef> target;
+    if (!desc.electronic_only) {
+      for (alvc::util::OpsId candidate : optical) {
+        if (cloud_.pool().fits(HostRef{candidate}, desc.demand)) {
+          target = HostRef{candidate};
+          break;
+        }
+      }
+    }
+    if (!target) {
+      for (alvc::util::ServerId candidate : electronic) {
+        if (cloud_.pool().fits(HostRef{candidate}, desc.demand)) {
+          target = HostRef{candidate};
+          break;
+        }
+      }
+    }
+    if (!target) return 0;
+    if (chain.instances[i].valid()) {
+      (void)cloud_.terminate(chain.instances[i]);
+      chain.instances[i] = alvc::util::VnfInstanceId::invalid();
+    }
+    auto fresh = cloud_.deploy(chain.record.spec.functions[i], *target);
+    if (!fresh) return 0;
+    chain.instances[i] = *fresh;
+    chain.placement.hosts[i] = *target;
+    log_.append(sdn::ControlEventType::kVnfRelocated, id.value(),
+                "failure relocation of function " + std::to_string(i));
+    ++stats_.vnfs_relocated;
+  }
+  finalize_placement(chain.placement);
+
+  auto route =
+      router_.route(*vc, vc->layer.tors.front(), vc->layer.tors.back(), chain.placement.hosts);
+  if (!route) return 0;
+  for (const auto& leg : route->legs) {
+    if (!controller_.install_path(id, leg).is_ok()) {
+      controller_.remove_chain(id);
+      return 0;
+    }
+  }
+  // Largest feasible fraction of the spec's demand: full service first,
+  // then the degraded-mode ladder.
+  constexpr double kFractions[] = {1.0, 0.5, 0.25, 0.125};
+  for (double fraction : kFractions) {
+    const double gbps = chain.record.spec.bandwidth_gbps * fraction;
+    if (bandwidth_.reserve_walk(route->vertices, gbps).is_ok()) {
+      chain.route = std::move(*route);
+      chain.reserved_gbps = gbps;
+      chain.flow_rules = controller_.chain_rule_count(id);
+      return fraction;
+    }
+  }
+  controller_.remove_chain(id);
+  return 0;
+}
+
+void NetworkOrchestrator::mark_degraded(ProvisionedChain& chain, double fraction,
+                                        const std::string& reason) {
+  const bool entered = !chain.degraded;
+  chain.degraded = true;
+  chain.degraded_reason = reason;
+  if (entered) ++stats_.chains_degraded;
+  log_.append(sdn::ControlEventType::kChainDegraded, chain.record.id.value(),
+              reason + " (serving " + std::to_string(static_cast<int>(fraction * 100)) +
+                  "% of demanded bandwidth)");
+  enqueue_retry(chain.record.id);
+}
+
+std::size_t NetworkOrchestrator::sweep_chains() {
+  std::size_t repaired = 0;
+  for (NfcId id : sorted_chain_ids()) {
+    const auto it = chains_.find(id);
+    if (it == chains_.end()) continue;
+    ProvisionedChain& chain = it->second;
+    const VirtualCluster* vc = clusters_->find(chain.cluster);
+    if (chain.degraded) {
+      // The retry queue owns restoration, but a later failure can still hit
+      // the degraded chain's surviving residue — re-park and re-fit whatever
+      // best-effort slice remains so nothing stays on dead hardware.
+      if (degraded_chain_disturbed(chain, vc)) {
+        park_chain(chain);
+        (void)fit_chain(chain);
+      }
+      continue;
+    }
+    if (!chain_needs_refit(chain, vc)) continue;
+    park_chain(chain);
+    const double fraction = fit_chain(chain);
+    if (fraction >= 1.0) {
+      ++repaired;
+      log_.append(sdn::ControlEventType::kChainRepaired, id.value());
+      ++stats_.chains_repaired;
+    } else {
+      mark_degraded(chain, fraction, "full-bandwidth refit infeasible after failure");
+    }
+  }
+  return repaired;
+}
+
+std::size_t NetworkOrchestrator::drain_retry_queue() {
+  ++recovery_epoch_;
+  std::sort(retry_queue_.begin(), retry_queue_.end(),
+            [](const RetryEntry& a, const RetryEntry& b) { return a.id < b.id; });
+  constexpr std::size_t kMaxAttempts = 16;
+  std::size_t restored = 0;
+  std::vector<RetryEntry> keep;
+  for (RetryEntry entry : retry_queue_) {
+    const auto it = chains_.find(entry.id);
+    if (it == chains_.end()) continue;  // torn down meanwhile
+    ProvisionedChain& chain = it->second;
+    if (!chain.degraded) continue;  // already healthy again
+    if (entry.not_before > recovery_epoch_) {
+      keep.push_back(entry);  // still backing off
+      continue;
+    }
+    park_chain(chain);  // releases any reduced-bandwidth partial state
+    const double fraction = fit_chain(chain);
+    if (fraction >= 1.0) {
+      chain.degraded = false;
+      chain.degraded_reason.clear();
+      ++restored;
+      ++stats_.chains_restored;
+      log_.append(sdn::ControlEventType::kChainRestored, entry.id.value());
+      continue;
+    }
+    ++entry.attempts;
+    if (entry.attempts >= kMaxAttempts) continue;  // bounded: stays degraded, no more retries
+    // Deterministic exponential backoff, clocked in recovery events.
+    entry.not_before =
+        recovery_epoch_ + (1ULL << std::min<std::size_t>(entry.attempts, 6));
+    keep.push_back(entry);
+  }
+  retry_queue_ = std::move(keep);
+  return restored;
+}
+
+void NetworkOrchestrator::enqueue_retry(NfcId id) {
+  for (const RetryEntry& entry : retry_queue_) {
+    if (entry.id == id) return;
+  }
+  retry_queue_.push_back(RetryEntry{.id = id});
+}
+
+std::vector<NfcId> NetworkOrchestrator::sorted_chain_ids() const {
+  std::vector<NfcId> ids;
+  ids.reserve(chains_.size());
+  for (const auto& [id, chain] : chains_) ids.push_back(id);
+  std::sort(ids.begin(), ids.end());
+  return ids;
+}
+
+std::size_t NetworkOrchestrator::degraded_chain_count() const noexcept {
+  std::size_t n = 0;
+  for (const auto& [id, chain] : chains_) {
+    if (chain.degraded) ++n;
+  }
+  return n;
+}
+
 Expected<std::size_t> NetworkOrchestrator::handle_ops_failure(alvc::util::OpsId ops) {
   const auto& topo = clusters_->topology();
   if (ops.index() >= topo.ops_count()) {
     return Error{ErrorCode::kInvalidArgument, "bad OPS id"};
   }
-  const auto affected = chains_using_ops(ops);
+  if (!topo.ops_usable(ops)) return std::size_t{0};  // duplicate report
   // Repair the AL first (marks the OPS failed in the topology as a side
   // effect, so every later decision sees the failure).
   log_.append(sdn::ControlEventType::kOpsFailed, ops.value());
   const auto repair = clusters_->handle_ops_failure(ops);
-  const bool al_repaired = repair.has_value();
-  if (al_repaired) log_.append(sdn::ControlEventType::kAlRepaired, ops.value());
+  if (repair.has_value()) log_.append(sdn::ControlEventType::kAlRepaired, ops.value());
+  return sweep_chains();
+}
 
-  std::size_t repaired = 0;
-  for (NfcId id : affected) {
-    auto it = chains_.find(id);
-    if (it == chains_.end()) continue;
-    ProvisionedChain& chain = it->second;
-    const alvc::cluster::VirtualCluster* vc = clusters_->find(chain.cluster);
-    bool ok = al_repaired && vc != nullptr && !vc->layer.tors.empty();
-
-    // Relocate every instance stranded on the failed router.
-    if (ok) {
-      PlacementContext context{.topo = &topo,
-                               .cluster = vc,
-                               .catalog = catalog_,
-                               .pool = &cloud_.pool()};
-      const auto optical = context.slice_optical_hosts();
-      const auto electronic = context.slice_electronic_hosts();
-      for (std::size_t i = 0; i < chain.placement.hosts.size() && ok; ++i) {
-        const auto* host_ops = std::get_if<alvc::util::OpsId>(&chain.placement.hosts[i]);
-        if (host_ops == nullptr || *host_ops != ops) continue;
-        const auto& desc = catalog_->descriptor(chain.record.spec.functions[i]);
-        // Prefer staying optical, fall back to a server.
-        std::optional<HostRef> target;
-        for (alvc::util::OpsId candidate : optical) {
-          if (cloud_.pool().fits(HostRef{candidate}, desc.demand)) {
-            target = HostRef{candidate};
-            break;
-          }
-        }
-        if (!target) {
-          for (alvc::util::ServerId candidate : electronic) {
-            if (cloud_.pool().fits(HostRef{candidate}, desc.demand)) {
-              target = HostRef{candidate};
-              break;
-            }
-          }
-        }
-        if (!target) {
-          ok = false;
-          break;
-        }
-        (void)cloud_.terminate(chain.instances[i]);
-        auto fresh = cloud_.deploy(chain.record.spec.functions[i], *target);
-        if (!fresh) {
-          ok = false;
-          break;
-        }
-        chain.instances[i] = *fresh;
-        chain.placement.hosts[i] = *target;
-        log_.append(sdn::ControlEventType::kVnfRelocated, id.value(),
-                    "failure relocation of function " + std::to_string(i));
-        ++stats_.vnfs_relocated;
-      }
-    }
-    // Re-route and re-program.
-    if (ok) {
-      finalize_placement(chain.placement);
-      auto route = router_.route(*vc, vc->layer.tors.front(), vc->layer.tors.back(),
-                                 chain.placement.hosts);
-      ok = route.has_value();
-      if (ok) {
-        controller_.remove_chain(id);
-        for (const auto& leg : route->legs) {
-          if (!controller_.install_path(id, leg).is_ok()) {
-            ok = false;
-            break;
-          }
-        }
-        if (ok) {
-          const double gbps = chain.record.spec.bandwidth_gbps;
-          bandwidth_.release_walk(chain.route.vertices, gbps);
-          if (!bandwidth_.reserve_walk(route->vertices, gbps).is_ok()) {
-            ok = false;  // headroom vanished; chain will be torn down
-          } else {
-            chain.route = std::move(*route);
-            chain.flow_rules = controller_.chain_rule_count(id);
-          }
-        }
-      }
-    }
-    if (ok) {
-      ++repaired;
-      log_.append(sdn::ControlEventType::kChainRepaired, id.value());
-      ++stats_.chains_repaired;
-    } else {
-      (void)teardown_chain(id);
-      log_.append(sdn::ControlEventType::kChainLost, id.value());
-      ++stats_.chains_lost;
-    }
+Expected<std::size_t> NetworkOrchestrator::handle_tor_failure(alvc::util::TorId tor) {
+  const auto& topo = clusters_->topology();
+  if (tor.index() >= topo.tor_count()) {
+    return Error{ErrorCode::kInvalidArgument, "bad ToR id"};
   }
-  return repaired;
+  if (!topo.tor_usable(tor)) return std::size_t{0};
+  log_.append(sdn::ControlEventType::kTorFailed, tor.value());
+  const auto repair = clusters_->handle_tor_failure(tor, repair_builder_);
+  if (repair.has_value()) {
+    log_.append(sdn::ControlEventType::kAlRepaired, tor.value(), "after ToR failure");
+  }
+  return sweep_chains();
+}
+
+Expected<std::size_t> NetworkOrchestrator::handle_server_failure(alvc::util::ServerId server) {
+  const auto& topo = clusters_->topology();
+  if (server.index() >= topo.server_count()) {
+    return Error{ErrorCode::kInvalidArgument, "bad server id"};
+  }
+  if (!topo.server_usable(server)) return std::size_t{0};
+  log_.append(sdn::ControlEventType::kServerFailed, server.value());
+  (void)clusters_->handle_server_failure(server);
+  return sweep_chains();
+}
+
+Expected<std::size_t> NetworkOrchestrator::handle_link_failure(alvc::util::TorId tor,
+                                                               alvc::util::OpsId ops) {
+  const auto& topo = clusters_->topology();
+  if (tor.index() >= topo.tor_count() || ops.index() >= topo.ops_count()) {
+    return Error{ErrorCode::kInvalidArgument, "bad link endpoint id"};
+  }
+  const auto& uplinks = topo.tor(tor).uplinks;
+  if (std::find(uplinks.begin(), uplinks.end(), ops) == uplinks.end()) {
+    return Error{ErrorCode::kNotFound, "no such ToR-OPS link"};
+  }
+  if (topo.link_failed(tor, ops)) return std::size_t{0};
+  log_.append(sdn::ControlEventType::kLinkFailed, tor.value(),
+              "to OPS " + std::to_string(ops.value()));
+  (void)clusters_->handle_link_failure(tor, ops);
+  return sweep_chains();
+}
+
+Expected<std::size_t> NetworkOrchestrator::handle_ops_recovery(alvc::util::OpsId ops) {
+  const auto& topo = clusters_->topology();
+  if (ops.index() >= topo.ops_count()) {
+    return Error{ErrorCode::kInvalidArgument, "bad OPS id"};
+  }
+  if (topo.ops_usable(ops)) return std::size_t{0};  // was not failed
+  log_.append(sdn::ControlEventType::kOpsRecovered, ops.value());
+  (void)clusters_->handle_ops_recovery(ops, repair_builder_);
+  // Cluster rebuilds may have shifted slices under healthy chains; fix
+  // those first so capacity is settled before degraded chains compete.
+  (void)sweep_chains();
+  return drain_retry_queue();
+}
+
+Expected<std::size_t> NetworkOrchestrator::handle_tor_recovery(alvc::util::TorId tor) {
+  const auto& topo = clusters_->topology();
+  if (tor.index() >= topo.tor_count()) {
+    return Error{ErrorCode::kInvalidArgument, "bad ToR id"};
+  }
+  if (topo.tor_usable(tor)) return std::size_t{0};
+  log_.append(sdn::ControlEventType::kTorRecovered, tor.value());
+  (void)clusters_->handle_tor_recovery(tor, repair_builder_);
+  (void)sweep_chains();
+  return drain_retry_queue();
+}
+
+Expected<std::size_t> NetworkOrchestrator::handle_server_recovery(alvc::util::ServerId server) {
+  const auto& topo = clusters_->topology();
+  if (server.index() >= topo.server_count()) {
+    return Error{ErrorCode::kInvalidArgument, "bad server id"};
+  }
+  if (topo.server_usable(server)) return std::size_t{0};
+  log_.append(sdn::ControlEventType::kServerRecovered, server.value());
+  (void)clusters_->handle_server_recovery(server);
+  (void)sweep_chains();
+  return drain_retry_queue();
+}
+
+Expected<std::size_t> NetworkOrchestrator::handle_link_recovery(alvc::util::TorId tor,
+                                                                alvc::util::OpsId ops) {
+  const auto& topo = clusters_->topology();
+  if (tor.index() >= topo.tor_count() || ops.index() >= topo.ops_count()) {
+    return Error{ErrorCode::kInvalidArgument, "bad link endpoint id"};
+  }
+  if (!topo.link_failed(tor, ops)) return std::size_t{0};
+  log_.append(sdn::ControlEventType::kLinkRecovered, tor.value(),
+              "to OPS " + std::to_string(ops.value()));
+  (void)clusters_->handle_link_recovery(tor, ops, repair_builder_);
+  (void)sweep_chains();
+  return drain_retry_queue();
 }
 
 const ProvisionedChain* NetworkOrchestrator::chain(NfcId id) const {

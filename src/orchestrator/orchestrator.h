@@ -52,15 +52,26 @@ struct ProvisionedChain {
   /// placement.hosts[i] hosts graph node forwarding_order[i].
   std::optional<alvc::nfv::ForwardingGraph> graph;
   std::vector<std::size_t> forwarding_order;  // topo order used for placement
+  /// Bandwidth currently held on `route` — equals the spec's demand for a
+  /// healthy chain, less (possibly zero) for a degraded one.
+  double reserved_gbps = 0;
+  /// Degraded mode: repair was infeasible *now*, so the chain is parked —
+  /// kept alive at reduced (possibly zero) bandwidth, instances on dead
+  /// hardware terminated (those slots hold invalid ids) — instead of being
+  /// torn down. The retry queue re-provisions it on recovery events.
+  bool degraded = false;
+  std::string degraded_reason;
 };
 
 struct OrchestratorStats {
   std::size_t chains_provisioned = 0;
   std::size_t chains_torn_down = 0;
   std::size_t provision_failures = 0;
-  std::size_t chains_repaired = 0;   // survived an OPS failure
+  std::size_t chains_repaired = 0;   // refitted at full bandwidth after a failure
   std::size_t chains_lost = 0;       // torn down because repair was impossible
   std::size_t vnfs_relocated = 0;    // instances moved off failed hardware
+  std::size_t chains_degraded = 0;   // entered degraded mode (cumulative)
+  std::size_t chains_restored = 0;   // left degraded mode at full bandwidth
 };
 
 class NetworkOrchestrator {
@@ -121,11 +132,41 @@ class NetworkOrchestrator {
   /// Chains whose route crosses `ops` or whose VNFs are hosted on it.
   [[nodiscard]] std::vector<NfcId> chains_using_ops(alvc::util::OpsId ops) const;
 
-  /// Full OPS-failure workflow: repairs the owning AL (ClusterManager),
-  /// relocates VNF instances stranded on the failed router, re-routes and
-  /// re-programs every affected chain. Unrepairable chains are torn down.
-  /// Returns the number of chains repaired.
+  // ---- failure & recovery workflows ----
+  //
+  // Failure handlers: repair the affected ALs (ClusterManager), then
+  // refit every impacted chain — relocate stranded instances, re-route,
+  // re-program, re-reserve. Chains whose full-bandwidth refit is
+  // infeasible *now* enter degraded mode (alive at reduced or zero
+  // bandwidth) and join the bounded-retry queue instead of being torn
+  // down. All handlers are idempotent and return the number of chains
+  // refitted at full bandwidth.
+
   [[nodiscard]] alvc::util::Expected<std::size_t> handle_ops_failure(alvc::util::OpsId ops);
+  [[nodiscard]] alvc::util::Expected<std::size_t> handle_tor_failure(alvc::util::TorId tor);
+  [[nodiscard]] alvc::util::Expected<std::size_t> handle_server_failure(
+      alvc::util::ServerId server);
+  [[nodiscard]] alvc::util::Expected<std::size_t> handle_link_failure(alvc::util::TorId tor,
+                                                                      alvc::util::OpsId ops);
+
+  // Recovery handlers: re-integrate the repaired element (ClusterManager
+  // rebuilds degraded clusters with it), refit healthy chains whose slice
+  // shifted, then drain the retry queue — each eligible degraded chain
+  // gets one full restoration attempt, with deterministic exponential
+  // backoff (in recovery events, not wall time) between attempts. Return
+  // the number of chains restored to full bandwidth.
+
+  [[nodiscard]] alvc::util::Expected<std::size_t> handle_ops_recovery(alvc::util::OpsId ops);
+  [[nodiscard]] alvc::util::Expected<std::size_t> handle_tor_recovery(alvc::util::TorId tor);
+  [[nodiscard]] alvc::util::Expected<std::size_t> handle_server_recovery(
+      alvc::util::ServerId server);
+  [[nodiscard]] alvc::util::Expected<std::size_t> handle_link_recovery(alvc::util::TorId tor,
+                                                                       alvc::util::OpsId ops);
+
+  /// Chains currently in degraded mode.
+  [[nodiscard]] std::size_t degraded_chain_count() const noexcept;
+  /// Degraded chains awaiting a retry (subset of degraded: bounded retries).
+  [[nodiscard]] std::size_t retry_queue_size() const noexcept { return retry_queue_.size(); }
 
   [[nodiscard]] const ProvisionedChain* chain(NfcId id) const;
   [[nodiscard]] std::vector<const ProvisionedChain*> chains() const;
@@ -152,6 +193,46 @@ class NetworkOrchestrator {
  private:
   const alvc::cluster::VirtualCluster* cluster_for_service(alvc::util::ServiceId service) const;
 
+  /// One degraded chain waiting for another restoration attempt.
+  struct RetryEntry {
+    NfcId id;
+    std::size_t attempts = 0;
+    std::uint64_t not_before = 0;  // earliest recovery epoch for the next try
+  };
+
+  [[nodiscard]] bool host_usable(const alvc::nfv::HostRef& host) const;
+  [[nodiscard]] bool host_in_slice(const alvc::nfv::HostRef& host,
+                                   const alvc::cluster::VirtualCluster& vc) const;
+  /// True when the chain's route references dead or out-of-slice elements
+  /// or rides a cut ToR-OPS cable.
+  [[nodiscard]] bool route_broken(const ProvisionedChain& chain,
+                                  const alvc::cluster::VirtualCluster& vc) const;
+  /// True when the chain's placement or route references dead or
+  /// out-of-slice elements and must be re-fitted.
+  [[nodiscard]] bool chain_needs_refit(const ProvisionedChain& chain,
+                                       const alvc::cluster::VirtualCluster* vc) const;
+  /// Narrower check for chains already degraded: only their *live* residue
+  /// matters — surviving instances on now-dead hardware or a now-broken
+  /// partial route. Invalid (terminated) slots are expected, not a hazard.
+  [[nodiscard]] bool degraded_chain_disturbed(const ProvisionedChain& chain,
+                                              const alvc::cluster::VirtualCluster* vc) const;
+  /// Removes the chain from the data plane: rules out, bandwidth released,
+  /// route cleared, instances on unusable hosts terminated (slots invalid).
+  void park_chain(ProvisionedChain& chain);
+  /// Re-fits a parked chain: re-places invalid/bad instances inside the
+  /// slice, re-routes, re-programs, and reserves bandwidth at the largest
+  /// feasible fraction of the spec's demand. Returns the fraction achieved
+  /// (1.0 = full service, 0 = nothing could be established).
+  double fit_chain(ProvisionedChain& chain);
+  /// Marks a parked chain degraded (fraction < 1 after a fit attempt).
+  void mark_degraded(ProvisionedChain& chain, double fraction, const std::string& reason);
+  /// Refit-or-degrade pass over all chains; returns full-bandwidth repairs.
+  std::size_t sweep_chains();
+  /// One restoration attempt per eligible retry entry; returns restores.
+  std::size_t drain_retry_queue();
+  void enqueue_retry(NfcId id);
+  [[nodiscard]] std::vector<NfcId> sorted_chain_ids() const;
+
   alvc::cluster::ClusterManager* clusters_;
   const alvc::nfv::VnfCatalog* catalog_;
   sdn::CloudNfvManager cloud_;
@@ -163,6 +244,10 @@ class NetworkOrchestrator {
   std::unordered_map<NfcId, ProvisionedChain> chains_;
   sdn::ControlPlaneLog log_;
   OrchestratorStats stats_;
+  /// Builder used for AL repairs after ToR failures and on recoveries.
+  alvc::cluster::VertexCoverAlBuilder repair_builder_;
+  std::vector<RetryEntry> retry_queue_;
+  std::uint64_t recovery_epoch_ = 0;  // counts recovery events (backoff clock)
   NfcId::value_type next_id_ = 0;
   bool load_balanced_routing_ = false;
   std::size_t routing_k_ = 4;

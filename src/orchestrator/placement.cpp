@@ -27,7 +27,10 @@ std::vector<ServerId> PlacementContext::slice_electronic_hosts() const {
   std::vector<ServerId> out;
   for (alvc::util::TorId t : cluster->layer.tors) {
     const auto& tor = topo->tor(t);
-    out.insert(out.end(), tor.servers.begin(), tor.servers.end());
+    if (tor.failed) continue;  // the whole rack is unreachable
+    for (ServerId s : tor.servers) {
+      if (!topo->server(s).failed) out.push_back(s);
+    }
   }
   return out;
 }

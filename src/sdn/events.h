@@ -26,6 +26,15 @@ enum class ControlEventType : std::uint8_t {
   kVnfRelocated,
   kOpsFailed,
   kAlRepaired,
+  kTorFailed,
+  kServerFailed,
+  kLinkFailed,
+  kOpsRecovered,
+  kTorRecovered,
+  kServerRecovered,
+  kLinkRecovered,
+  kChainDegraded,
+  kChainRestored,
 };
 
 [[nodiscard]] constexpr std::string_view to_string(ControlEventType type) noexcept {
@@ -39,6 +48,15 @@ enum class ControlEventType : std::uint8_t {
     case ControlEventType::kVnfRelocated: return "vnf-relocated";
     case ControlEventType::kOpsFailed: return "ops-failed";
     case ControlEventType::kAlRepaired: return "al-repaired";
+    case ControlEventType::kTorFailed: return "tor-failed";
+    case ControlEventType::kServerFailed: return "server-failed";
+    case ControlEventType::kLinkFailed: return "link-failed";
+    case ControlEventType::kOpsRecovered: return "ops-recovered";
+    case ControlEventType::kTorRecovered: return "tor-recovered";
+    case ControlEventType::kServerRecovered: return "server-recovered";
+    case ControlEventType::kLinkRecovered: return "link-recovered";
+    case ControlEventType::kChainDegraded: return "chain-degraded";
+    case ControlEventType::kChainRestored: return "chain-restored";
   }
   return "?";
 }

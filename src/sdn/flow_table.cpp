@@ -14,6 +14,13 @@ std::optional<std::size_t> FlowTable::lookup(NfcId nfc) const {
   return it->second;
 }
 
+std::vector<FlowRule> FlowTable::rules() const {
+  std::vector<FlowRule> out;
+  out.reserve(rules_.size());
+  for (const auto& [nfc, next_hop] : rules_) out.push_back(FlowRule{nfc, next_hop});
+  return out;
+}
+
 std::size_t FlowTableSet::total_rules() const noexcept {
   std::size_t n = 0;
   for (const auto& t : tables_) n += t.size();

@@ -32,6 +32,8 @@ class FlowTable {
   bool remove(NfcId nfc);
   [[nodiscard]] std::optional<std::size_t> lookup(NfcId nfc) const;
   [[nodiscard]] std::size_t size() const noexcept { return rules_.size(); }
+  /// All rules, unordered (audit/diagnostic use).
+  [[nodiscard]] std::vector<FlowRule> rules() const;
 
  private:
   std::unordered_map<NfcId, std::size_t> rules_;

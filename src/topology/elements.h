@@ -59,6 +59,9 @@ struct Server {
   Resources capacity;   // what the server can host
   std::vector<VmId> vms;
   std::vector<TorId> secondary_tors;  // additional homings, excludes `tor`
+  /// Failure injection: a failed server hosts no VNF instances and its VMs
+  /// are unreachable until it is repaired.
+  bool failed = false;
 };
 
 /// A virtual machine, pinned to a server and labelled with a service type
@@ -76,6 +79,9 @@ struct TorSwitch {
   std::vector<ServerId> servers;
   std::vector<OpsId> uplinks;  // OPSs this ToR connects to
   double port_bandwidth_gbps = 10.0;
+  /// Failure injection: a failed ToR strands its whole rack — it leaves the
+  /// switch graph and every AL that contained it must be rebuilt.
+  bool failed = false;
 };
 
 /// Optical packet switch in the core. `optoelectronic` marks the special

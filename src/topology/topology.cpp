@@ -8,7 +8,11 @@
 namespace alvc::topology {
 
 DataCenterTopology::DataCenterTopology(const DataCenterTopology& other)
-    : servers_(other.servers_), vms_(other.vms_), tors_(other.tors_), opss_(other.opss_) {}
+    : servers_(other.servers_),
+      vms_(other.vms_),
+      tors_(other.tors_),
+      opss_(other.opss_),
+      failed_links_(other.failed_links_) {}
 
 DataCenterTopology& DataCenterTopology::operator=(const DataCenterTopology& other) {
   if (this == &other) return *this;
@@ -16,6 +20,7 @@ DataCenterTopology& DataCenterTopology::operator=(const DataCenterTopology& othe
   vms_ = other.vms_;
   tors_ = other.tors_;
   opss_ = other.opss_;
+  failed_links_ = other.failed_links_;
   invalidate_cache();
   return *this;
 }
@@ -24,7 +29,8 @@ DataCenterTopology::DataCenterTopology(DataCenterTopology&& other) noexcept
     : servers_(std::move(other.servers_)),
       vms_(std::move(other.vms_)),
       tors_(std::move(other.tors_)),
-      opss_(std::move(other.opss_)) {
+      opss_(std::move(other.opss_)),
+      failed_links_(std::move(other.failed_links_)) {
   other.invalidate_cache();
 }
 
@@ -34,6 +40,7 @@ DataCenterTopology& DataCenterTopology::operator=(DataCenterTopology&& other) no
   vms_ = std::move(other.vms_);
   tors_ = std::move(other.tors_);
   opss_ = std::move(other.opss_);
+  failed_links_ = std::move(other.failed_links_);
   invalidate_cache();
   other.invalidate_cache();
   return *this;
@@ -120,9 +127,66 @@ void DataCenterTopology::move_vm(VmId vm, ServerId new_server) {
   v.server = new_server;
 }
 
-void DataCenterTopology::set_ops_failed(OpsId ops, bool failed) {
-  opss_.at(ops.index()).failed = failed;
+alvc::util::Status DataCenterTopology::set_ops_failed(OpsId ops, bool failed) {
+  if (ops.index() >= opss_.size()) {
+    return alvc::util::Error{alvc::util::ErrorCode::kInvalidArgument,
+                             "set_ops_failed: bad OPS id " + std::to_string(ops.value())};
+  }
+  opss_[ops.index()].failed = failed;
   invalidate_cache();
+  return alvc::util::Status::ok();
+}
+
+alvc::util::Status DataCenterTopology::set_tor_failed(TorId tor, bool failed) {
+  if (tor.index() >= tors_.size()) {
+    return alvc::util::Error{alvc::util::ErrorCode::kInvalidArgument,
+                             "set_tor_failed: bad ToR id " + std::to_string(tor.value())};
+  }
+  tors_[tor.index()].failed = failed;
+  invalidate_cache();
+  return alvc::util::Status::ok();
+}
+
+alvc::util::Status DataCenterTopology::set_server_failed(ServerId server, bool failed) {
+  if (server.index() >= servers_.size()) {
+    return alvc::util::Error{alvc::util::ErrorCode::kInvalidArgument,
+                             "set_server_failed: bad server id " + std::to_string(server.value())};
+  }
+  servers_[server.index()].failed = failed;
+  // Servers are not switch-graph vertices; the cache survives.
+  return alvc::util::Status::ok();
+}
+
+alvc::util::Status DataCenterTopology::set_link_failed(TorId tor, OpsId ops, bool failed) {
+  if (tor.index() >= tors_.size() || ops.index() >= opss_.size()) {
+    return alvc::util::Error{alvc::util::ErrorCode::kInvalidArgument,
+                             "set_link_failed: bad endpoint id"};
+  }
+  const auto& uplinks = tors_[tor.index()].uplinks;
+  if (std::find(uplinks.begin(), uplinks.end(), ops) == uplinks.end()) {
+    return alvc::util::Error{alvc::util::ErrorCode::kNotFound,
+                             "set_link_failed: ToR " + std::to_string(tor.value()) +
+                                 " has no link to OPS " + std::to_string(ops.value())};
+  }
+  if (failed) {
+    failed_links_.insert(link_key(tor, ops));
+  } else {
+    failed_links_.erase(link_key(tor, ops));
+  }
+  invalidate_cache();
+  return alvc::util::Status::ok();
+}
+
+std::vector<OpsId> DataCenterTopology::usable_uplinks(TorId tor) const {
+  const TorSwitch& t = this->tor(tor);
+  std::vector<OpsId> out;
+  if (t.failed) return out;
+  out.reserve(t.uplinks.size());
+  for (OpsId ops : t.uplinks) {
+    if (opss_[ops.index()].failed || link_failed(tor, ops)) continue;
+    out.push_back(ops);
+  }
+  return out;
 }
 
 const alvc::graph::Graph& DataCenterTopology::switch_graph() const {
@@ -134,8 +198,9 @@ const alvc::graph::Graph& DataCenterTopology::switch_graph() const {
     if (!switch_graph_valid_.load(std::memory_order_relaxed)) {
       alvc::graph::Graph g(tors_.size() + opss_.size());
       for (const auto& t : tors_) {
+        if (t.failed) continue;
         for (OpsId ops : t.uplinks) {
-          if (opss_[ops.index()].failed) continue;
+          if (opss_[ops.index()].failed || link_failed(t.id, ops)) continue;
           g.add_edge(tor_vertex(t.id), ops_vertex(ops));
         }
       }
@@ -169,7 +234,10 @@ TorId DataCenterTopology::vertex_to_tor(std::size_t v) const {
 alvc::graph::BipartiteGraph DataCenterTopology::vm_tor_graph(std::span<const VmId> group) const {
   alvc::graph::BipartiteGraph g(group.size(), tors_.size());
   for (std::size_t i = 0; i < group.size(); ++i) {
-    for (TorId t : tors_of_vm(group[i])) g.add_edge(i, t.index());
+    for (TorId t : tors_of_vm(group[i])) {
+      if (tors_[t.index()].failed) continue;  // a dead ToR covers nobody
+      g.add_edge(i, t.index());
+    }
   }
   return g;
 }
@@ -177,7 +245,11 @@ alvc::graph::BipartiteGraph DataCenterTopology::vm_tor_graph(std::span<const VmI
 alvc::graph::BipartiteGraph DataCenterTopology::tor_ops_graph() const {
   alvc::graph::BipartiteGraph g(tors_.size(), opss_.size());
   for (const auto& t : tors_) {
-    for (OpsId ops : t.uplinks) g.add_edge(t.id.index(), ops.index());
+    if (t.failed) continue;
+    for (OpsId ops : t.uplinks) {
+      if (opss_[ops.index()].failed || link_failed(t.id, ops)) continue;
+      g.add_edge(t.id.index(), ops.index());
+    }
   }
   return g;
 }

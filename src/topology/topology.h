@@ -12,8 +12,10 @@
 
 #include <atomic>
 #include <cstddef>
+#include <cstdint>
 #include <mutex>
 #include <span>
+#include <unordered_set>
 #include <vector>
 
 #include "graph/bipartite.h"
@@ -59,11 +61,40 @@ class DataCenterTopology {
   /// Fig. 4). No-op if already homed to `tor`.
   void add_server_homing(ServerId server, TorId tor);
 
-  /// Marks an OPS failed (or repaired). Failed OPSs disappear from the
-  /// switch graph and must be skipped by AL construction and placement.
-  void set_ops_failed(OpsId ops, bool failed);
+  // ---- failure injection ----
+  //
+  // Every setter validates its ids and returns kInvalidArgument instead of
+  // throwing: failure handling must be total, a bad id from a fault script
+  // must never take the control plane down. Failed elements (and links)
+  // disappear from the switch graph and the bipartite AL-construction views
+  // until repaired.
+
+  /// Marks an OPS failed (or repaired).
+  alvc::util::Status set_ops_failed(OpsId ops, bool failed);
+  /// Marks a ToR failed (or repaired). A failed ToR strands its rack.
+  alvc::util::Status set_tor_failed(TorId tor, bool failed);
+  /// Marks a server failed (or repaired).
+  alvc::util::Status set_server_failed(ServerId server, bool failed);
+  /// Fails (or repairs) one ToR-OPS link. kNotFound when the link does not
+  /// exist. Both endpoints stay up; only the cable is cut.
+  alvc::util::Status set_link_failed(TorId tor, OpsId ops, bool failed);
+
   /// Usable = exists and not failed.
   [[nodiscard]] bool ops_usable(OpsId ops) const { return !this->ops(ops).failed; }
+  [[nodiscard]] bool tor_usable(TorId tor) const { return !this->tor(tor).failed; }
+  [[nodiscard]] bool server_usable(ServerId server) const { return !this->server(server).failed; }
+  /// Raw link flag (ignores endpoint state).
+  [[nodiscard]] bool link_failed(TorId tor, OpsId ops) const {
+    return failed_links_.contains(link_key(tor, ops));
+  }
+  /// True when the ToR-OPS link can carry traffic: both endpoints usable and
+  /// the link itself up. Does not check that the link exists.
+  [[nodiscard]] bool link_usable(TorId tor, OpsId ops) const {
+    return tor_usable(tor) && ops_usable(ops) && !link_failed(tor, ops);
+  }
+  /// The OPSs `tor` can actually reach right now: uplinks whose far end is
+  /// up and whose link is intact. Empty for a failed ToR.
+  [[nodiscard]] std::vector<OpsId> usable_uplinks(TorId tor) const;
 
   // ---- element access ----
 
@@ -117,11 +148,15 @@ class DataCenterTopology {
   void invalidate_cache() noexcept {
     switch_graph_valid_.store(false, std::memory_order_release);
   }
+  [[nodiscard]] static std::uint64_t link_key(TorId tor, OpsId ops) noexcept {
+    return (static_cast<std::uint64_t>(tor.value()) << 32) | ops.value();
+  }
 
   std::vector<Server> servers_;
   std::vector<Vm> vms_;
   std::vector<TorSwitch> tors_;
   std::vector<OpticalSwitch> opss_;
+  std::unordered_set<std::uint64_t> failed_links_;  // keyed by link_key
 
   mutable std::mutex switch_graph_mutex_;
   mutable alvc::graph::Graph switch_graph_;

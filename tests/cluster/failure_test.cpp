@@ -130,5 +130,23 @@ TEST(OpsFailureTest, RandomFailuresOnGeneratedDcKeepInvariants) {
   EXPECT_GT(repaired, 0u);
 }
 
+TEST(OpsFailureTest, HandleOpsFailureIsIdempotent) {
+  ClusterFixture f;
+  // First report does the real work: eviction plus AL repair.
+  const OpsId victim = f.cluster().layer.opss.front();
+  const auto first = f.manager.handle_ops_failure(victim);
+  ASSERT_TRUE(first.has_value()) << first.error().to_string();
+  EXPECT_GT(first->total(), 0u);
+  const auto layer_after = f.cluster().layer.opss;
+
+  // A duplicate report of the same dead OPS is a no-op, not a second
+  // eviction pass: zero cost, identical AL, invariants intact.
+  const auto second = f.manager.handle_ops_failure(victim);
+  ASSERT_TRUE(second.has_value()) << second.error().to_string();
+  EXPECT_EQ(second->total(), 0u);
+  EXPECT_EQ(f.cluster().layer.opss, layer_after);
+  EXPECT_TRUE(f.manager.check_invariants().empty());
+}
+
 }  // namespace
 }  // namespace alvc::cluster

@@ -1,0 +1,121 @@
+// Chaos soak: 20+ seeds of mixed OPS/ToR/server/link faults over a
+// provisioned data center with live chain traffic. The contract under test
+// is the robustness acceptance bar for the whole recovery stack:
+//   * every cross-layer invariant holds after every injected event,
+//   * every handler call succeeds (duplicates are idempotent, not errors),
+//   * zero chains are silently lost — each ends provisioned, degraded with
+//     a recorded reason, or deliberately torn down with a logged event,
+//   * and in aggregate, degraded chains do come back (restored > 0).
+#include <gtest/gtest.h>
+
+#include "core/alvc.h"
+#include "faults/chaos.h"
+#include "support/fixtures.h"
+
+namespace alvc::faults {
+namespace {
+
+using nfv::VnfType;
+
+constexpr std::uint64_t kSeeds = 20;
+
+core::DataCenter make_provisioned_dc(std::uint64_t seed) {
+  core::DataCenterConfig config;
+  config.topology.rack_count = 6;
+  config.topology.servers_per_rack = 2;
+  config.topology.vms_per_server = 2;
+  // Enough uplink fan-out that three service ALs always fit, but a small
+  // enough OPS pool that overlapping failures exhaust the spares and the
+  // degraded-mode path actually triggers.
+  config.topology.ops_count = 16;
+  config.topology.tor_ops_degree = 6;
+  config.topology.optoelectronic_fraction = 0.75;
+  config.topology.service_count = 3;
+  config.topology.seed = seed * 7 + 1;
+  config.seed = seed;
+  core::DataCenter dc(config);
+  auto clusters = dc.build_clusters();
+  if (!clusters.has_value()) throw std::runtime_error(clusters.error().to_string());
+  for (std::uint32_t s = 0; s < 3; ++s) {
+    nfv::NfcSpec spec;
+    spec.service = util::ServiceId{s};
+    spec.name = "chain-" + std::to_string(s);
+    spec.bandwidth_gbps = 1.0;
+    spec.functions = {*dc.catalog().find_by_type(VnfType::kFirewall),
+                      *dc.catalog().find_by_type(VnfType::kNat)};
+    (void)dc.provision_chain(spec, core::PlacementAlgorithm::kGreedyOptical);
+  }
+  return dc;
+}
+
+TEST(ChaosSoakTest, MixedFaultClassesOverManySeedsStayConsistent) {
+  std::size_t total_failures = 0;
+  std::size_t total_repairs = 0;
+  std::size_t total_flows = 0;
+  std::size_t total_degraded = 0;
+  std::size_t total_restored = 0;
+
+  for (std::uint64_t seed = 1; seed <= kSeeds; ++seed) {
+    ALVC_TRACE_SEED(seed);
+    auto dc = make_provisioned_dc(seed);
+    ASSERT_FALSE(dc.orchestrator().chains().empty());
+
+    ChaosParams params;
+    params.schedule.ops = {.mtbf_s = 35, .mttr_s = 7};
+    params.schedule.tor = {.mtbf_s = 55, .mttr_s = 6};
+    params.schedule.server = {.mtbf_s = 45, .mttr_s = 5};
+    params.schedule.link = {.mtbf_s = 40, .mttr_s = 6};
+    params.schedule.horizon_s = 40;
+    params.schedule.seed = seed;
+    params.flow_rate_per_s = 20;
+    params.traffic_seed = seed * 3 + 1;
+    // One correlated whole-AL outage per run guarantees the degraded path
+    // is exercised even on lucky stochastic draws.
+    const auto* vc0 = dc.clusters().clusters().front();
+    if (!vc0->layer.opss.empty()) {
+      params.scripted = FaultInjector::whole_al(*vc0, 12.0, 8.0, 0.5);
+    }
+
+    ChaosRunner runner(dc.orchestrator(), params);
+    const ChaosReport report = runner.run();
+
+    EXPECT_GT(report.fault_events, 0u);
+    EXPECT_EQ(report.handler_errors, 0u);
+    EXPECT_EQ(report.audit_violations, 0u)
+        << (report.violations.empty() ? "" : report.violations.front());
+    EXPECT_EQ(report.chains_unaccounted, 0u) << "a chain was silently lost";
+    EXPECT_TRUE(report.clean());
+
+    total_failures += report.failures_injected;
+    total_repairs += report.repairs_injected;
+    total_flows += report.flows_served + report.flows_deferred;
+    total_degraded += dc.orchestrator().stats().chains_degraded;
+    total_restored += report.chains_restored;
+  }
+
+  // The soak must actually exercise the machinery, not just pass vacuously.
+  EXPECT_GT(total_failures, 100u);
+  EXPECT_GT(total_repairs, 50u);
+  EXPECT_GT(total_flows, 100u);
+  EXPECT_GT(total_degraded, 0u) << "no chain ever entered degraded mode";
+  EXPECT_GT(total_restored, 0u) << "no degraded chain was ever restored";
+}
+
+TEST(ChaosSoakTest, WholeRackOutageIsSurvivedAndAudited) {
+  auto dc = make_provisioned_dc(99);
+  ChaosParams params;
+  params.schedule.horizon_s = 20;  // traffic window; no stochastic faults
+  params.flow_rate_per_s = 10;
+  params.traffic_seed = 5;
+  params.scripted = FaultInjector::whole_rack(dc.topology(), util::TorId{0}, 4.0, 6.0);
+
+  ChaosRunner runner(dc.orchestrator(), params);
+  const ChaosReport report = runner.run();
+  EXPECT_TRUE(report.clean()) << (report.violations.empty() ? "" : report.violations.front());
+  EXPECT_GT(report.failures_injected, 1u);  // the ToR plus its servers
+  EXPECT_EQ(report.failures_injected, report.repairs_injected);
+  EXPECT_GT(report.flows_served, 0u);
+}
+
+}  // namespace
+}  // namespace alvc::faults

@@ -1,0 +1,204 @@
+// FaultInjector: schedules must be deterministic in the seed, alternate
+// failure/repair per element, respect the horizon, and dispatch correctly
+// into the orchestrator's recovery handlers.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <tuple>
+
+#include "faults/fault_injector.h"
+#include "orchestrator/orchestrator.h"
+#include "sim/event_queue.h"
+#include "support/fixtures.h"
+#include "topology/builder.h"
+
+namespace alvc::faults {
+namespace {
+
+using alvc::test::ClusterFixture;
+using alvc::util::OpsId;
+using alvc::util::ServerId;
+using alvc::util::TorId;
+
+topology::DataCenterTopology make_topo(std::uint64_t seed = 11) {
+  topology::TopologyParams params;
+  params.rack_count = 4;
+  params.servers_per_rack = 2;
+  params.vms_per_server = 1;
+  params.ops_count = 8;
+  params.tor_ops_degree = 3;
+  params.seed = seed;
+  return topology::build_topology(params);
+}
+
+FaultScheduleParams mixed_rates(std::uint64_t seed) {
+  FaultScheduleParams params;
+  params.ops = {.mtbf_s = 30, .mttr_s = 6};
+  params.tor = {.mtbf_s = 50, .mttr_s = 8};
+  params.server = {.mtbf_s = 40, .mttr_s = 5};
+  params.link = {.mtbf_s = 35, .mttr_s = 4};
+  params.horizon_s = 60;
+  params.seed = seed;
+  return params;
+}
+
+bool same_event(const FaultEvent& a, const FaultEvent& b) {
+  return a.time_s == b.time_s && a.kind == b.kind && a.failure == b.failure && a.id == b.id &&
+         a.ops == b.ops;
+}
+
+TEST(FaultInjectorTest, ScheduleIsDeterministicInSeed) {
+  const auto topo = make_topo();
+  const auto first = FaultInjector::generate(topo, mixed_rates(7));
+  const auto second = FaultInjector::generate(topo, mixed_rates(7));
+  ASSERT_EQ(first.size(), second.size());
+  ASSERT_FALSE(first.empty());
+  for (std::size_t i = 0; i < first.size(); ++i) {
+    EXPECT_TRUE(same_event(first[i], second[i])) << "event " << i << " diverged";
+  }
+}
+
+TEST(FaultInjectorTest, DifferentSeedsProduceDifferentSchedules) {
+  const auto topo = make_topo();
+  const auto first = FaultInjector::generate(topo, mixed_rates(7));
+  const auto second = FaultInjector::generate(topo, mixed_rates(8));
+  bool identical = first.size() == second.size();
+  for (std::size_t i = 0; identical && i < first.size(); ++i) {
+    identical = same_event(first[i], second[i]);
+  }
+  EXPECT_FALSE(identical);
+}
+
+TEST(FaultInjectorTest, SortedWithinHorizonAndAlternating) {
+  const auto topo = make_topo();
+  const auto params = mixed_rates(3);
+  const auto events = FaultInjector::generate(topo, params);
+  ASSERT_FALSE(events.empty());
+  // Per-element streams must alternate failure/repair starting with a
+  // failure, at strictly increasing times; globally sorted by time.
+  std::map<std::tuple<FaultKind, std::uint32_t, std::uint32_t>, std::pair<bool, double>> last;
+  double prev_time = 0;
+  for (const FaultEvent& event : events) {
+    EXPECT_GE(event.time_s, prev_time);
+    EXPECT_LT(event.time_s, params.horizon_s);
+    prev_time = event.time_s;
+    const auto key = std::tuple{event.kind, event.id, event.ops};
+    const auto it = last.find(key);
+    if (it == last.end()) {
+      EXPECT_TRUE(event.failure) << "element's first event must be a failure";
+    } else {
+      EXPECT_NE(it->second.first, event.failure) << "failures and repairs must alternate";
+      EXPECT_GT(event.time_s, it->second.second);
+    }
+    last[key] = {event.failure, event.time_s};
+  }
+}
+
+TEST(FaultInjectorTest, ZeroMttrMakesFailuresPermanent) {
+  const auto topo = make_topo();
+  FaultScheduleParams params;
+  params.ops = {.mtbf_s = 10, .mttr_s = 0};
+  params.horizon_s = 100;
+  params.seed = 5;
+  const auto events = FaultInjector::generate(topo, params);
+  ASSERT_FALSE(events.empty());
+  std::map<std::uint32_t, int> per_ops;
+  for (const FaultEvent& event : events) {
+    EXPECT_TRUE(event.failure) << "no repairs with mttr = 0";
+    EXPECT_EQ(event.kind, FaultKind::kOps);
+    EXPECT_EQ(++per_ops[event.id], 1) << "a permanent fault fires once";
+  }
+}
+
+TEST(FaultInjectorTest, DisabledClassesEmitNothing) {
+  const auto topo = make_topo();
+  FaultScheduleParams params;  // every MTBF zero
+  params.horizon_s = 100;
+  EXPECT_TRUE(FaultInjector::generate(topo, params).empty());
+  EXPECT_TRUE(FaultInjector::generate(topo, FaultScheduleParams{}).empty());
+}
+
+TEST(FaultInjectorTest, WholeRackFailsAndRecoversTogether) {
+  const auto topo = make_topo();
+  const TorId tor{1};
+  const auto events = FaultInjector::whole_rack(topo, tor, 2.0, 5.0);
+  const std::size_t rack_size = 1 + topo.tor(tor).servers.size();
+  ASSERT_EQ(events.size(), 2 * rack_size);
+  std::size_t failures = 0;
+  for (const FaultEvent& event : events) {
+    if (event.failure) {
+      ++failures;
+      EXPECT_DOUBLE_EQ(event.time_s, 2.0);
+    } else {
+      EXPECT_DOUBLE_EQ(event.time_s, 7.0);
+    }
+  }
+  EXPECT_EQ(failures, rack_size);
+  EXPECT_EQ(events.front().kind, FaultKind::kTor);
+  EXPECT_EQ(events.front().id, tor.value());
+}
+
+TEST(FaultInjectorTest, WholeAlCoversEveryOwnedOpsWithStaggeredRepair) {
+  ClusterFixture f;
+  const auto& vc = f.cluster();
+  ASSERT_FALSE(vc.layer.opss.empty());
+  const auto events = FaultInjector::whole_al(vc, 1.0, 4.0, 0.5);
+  ASSERT_EQ(events.size(), 2 * vc.layer.opss.size());
+  double expected_repair = 5.0;
+  std::size_t seen = 0;
+  for (const FaultEvent& event : events) {
+    EXPECT_EQ(event.kind, FaultKind::kOps);
+    if (event.failure) {
+      EXPECT_DOUBLE_EQ(event.time_s, 1.0);
+    } else {
+      EXPECT_DOUBLE_EQ(event.time_s, expected_repair);
+      expected_repair += 0.5;
+      ++seen;
+    }
+  }
+  EXPECT_EQ(seen, vc.layer.opss.size());
+}
+
+TEST(FaultInjectorTest, ScheduleInterleavesWithOtherQueueWork) {
+  sim::EventQueue queue;
+  std::vector<std::string> order;
+  queue.schedule(1.0, [&] { order.push_back("traffic@1"); });
+  queue.schedule(3.0, [&] { order.push_back("traffic@3"); });
+  std::vector<FaultEvent> events{
+      FaultEvent{.time_s = 2.0, .kind = FaultKind::kOps, .failure = true, .id = 4},
+      FaultEvent{.time_s = 3.5, .kind = FaultKind::kOps, .failure = false, .id = 4},
+  };
+  FaultInjector::schedule(queue, events, [&](const FaultEvent& event) {
+    order.push_back(std::string(event.failure ? "fail-" : "repair-") + to_string(event.kind) +
+                    "@" + std::to_string(static_cast<int>(event.time_s * 10)));
+  });
+  queue.run();
+  const std::vector<std::string> expected{"traffic@1", "fail-ops@20", "traffic@3",
+                                          "repair-ops@35"};
+  EXPECT_EQ(order, expected);
+}
+
+TEST(FaultInjectorTest, ApplyFaultDispatchesToOrchestratorHandlers) {
+  ClusterFixture f;
+  orchestrator::NetworkOrchestrator orch{f.manager, f.catalog};
+
+  const FaultEvent fail_server{.kind = FaultKind::kServer, .failure = true, .id = 0};
+  ASSERT_TRUE(apply_fault(orch, fail_server).has_value());
+  EXPECT_FALSE(f.topo.server_usable(ServerId{0}));
+  const FaultEvent repair_server{.kind = FaultKind::kServer, .failure = false, .id = 0};
+  ASSERT_TRUE(apply_fault(orch, repair_server).has_value());
+  EXPECT_TRUE(f.topo.server_usable(ServerId{0}));
+
+  const FaultEvent fail_link{.kind = FaultKind::kLink, .failure = true, .id = 0, .ops = 0};
+  ASSERT_TRUE(apply_fault(orch, fail_link).has_value());
+  EXPECT_TRUE(f.topo.link_failed(TorId{0}, OpsId{0}));
+  const FaultEvent repair_link{.kind = FaultKind::kLink, .failure = false, .id = 0, .ops = 0};
+  ASSERT_TRUE(apply_fault(orch, repair_link).has_value());
+  EXPECT_FALSE(f.topo.link_failed(TorId{0}, OpsId{0}));
+
+  const FaultEvent bad{.kind = FaultKind::kOps, .failure = true, .id = 999};
+  EXPECT_FALSE(apply_fault(orch, bad).has_value());
+}
+
+}  // namespace
+}  // namespace alvc::faults

@@ -2,6 +2,8 @@
 // virtual cluster, ready for placement/routing/orchestration tests.
 #pragma once
 
+#include <gtest/gtest.h>
+
 #include <vector>
 
 #include "cluster/cluster_manager.h"
@@ -9,6 +11,10 @@
 #include "nfv/catalog.h"
 #include "topology/topology.h"
 #include "util/ids.h"
+
+/// Attaches the active RNG seed to every assertion in the enclosing scope,
+/// so a failing randomized/soak test prints the seed needed to replay it.
+#define ALVC_TRACE_SEED(seed) SCOPED_TRACE(::testing::Message() << "rng seed = " << (seed))
 
 namespace alvc::test {
 
