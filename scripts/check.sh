@@ -1,21 +1,70 @@
 #!/usr/bin/env bash
-# One-command tier-1 gate: configure + build + ctest, then the
-# thread-safety suites again under ThreadSanitizer, then the
-# failure/recovery suites under AddressSanitizer.
+# One-command gate: static analysis first, then configure + build + ctest,
+# then the thread-safety suites again under ThreadSanitizer, the
+# failure/recovery suites under AddressSanitizer, and the full suite under
+# UndefinedBehaviorSanitizer.
+#
+# The static stage runs BEFORE any test and has three parts:
+#   1. alvc_lint        — project rules (determinism, id arithmetic, naked
+#                         discards, layering); always runs, failure is fatal.
+#   2. -Wthread-safety  — clang thread-safety analysis of the ALVC_GUARDED_BY
+#                         annotations, built with -DALVC_STATIC_ANALYSIS=ON;
+#                         runs when clang++ is on PATH, else skipped with a
+#                         warning (the annotations compile away on GCC).
+#   3. clang-tidy       — .clang-tidy checks over src/; best-effort, runs
+#                         when a clang-tidy binary is on PATH, never fatal
+#                         on absence.
 #
 # Usage:
-#   scripts/check.sh             # plain build + full ctest + TSan + ASan legs
+#   scripts/check.sh                    # static gate + full ctest + sanitizer legs
+#   scripts/check.sh --static-only      # static gate only (fast pre-commit loop)
 #   ALVC_SKIP_TSAN=1 scripts/check.sh   # skip the TSan pass (e.g. unsupported host)
 #   ALVC_SKIP_ASAN=1 scripts/check.sh   # skip the ASan pass
+#   ALVC_SKIP_UBSAN=1 scripts/check.sh  # skip the UBSan pass
 #   ALVC_JOBS=8 scripts/check.sh        # override parallelism
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
 jobs="${ALVC_JOBS:-$(nproc 2>/dev/null || echo 2)}"
+static_only=0
+for arg in "$@"; do
+  case "$arg" in
+    --static-only) static_only=1 ;;
+    *) echo "unknown argument: $arg" >&2; exit 2 ;;
+  esac
+done
+
+echo "== static: alvc_lint =="
+cmake -B build -S . >/dev/null
+cmake --build build -j "$jobs" --target alvc_lint
+./build/tools/alvc_lint --exclude tests/tools/fixtures src tests tools
+
+if command -v clang++ >/dev/null 2>&1; then
+  echo "== static: clang -Wthread-safety (-DALVC_STATIC_ANALYSIS=ON) =="
+  cmake -B build-static -S . -DALVC_STATIC_ANALYSIS=ON \
+    -DCMAKE_CXX_COMPILER=clang++ >/dev/null
+  cmake --build build-static -j "$jobs"
+else
+  echo "== static: clang++ not found; thread-safety analysis skipped =="
+  echo "   (annotations still compile away cleanly under the host compiler)"
+fi
+
+if command -v clang-tidy >/dev/null 2>&1; then
+  echo "== static: clang-tidy (best effort) =="
+  # compile_commands.json is exported by the plain configure above.
+  mapfile -t tidy_sources < <(find src -name '*.cpp' | sort)
+  clang-tidy -p build --quiet "${tidy_sources[@]}"
+else
+  echo "== static: clang-tidy not found; tidy stage skipped (non-fatal) =="
+fi
+
+if [[ "$static_only" == "1" ]]; then
+  echo "== static gate passed (--static-only) =="
+  exit 0
+fi
 
 echo "== configure + build (plain) =="
-cmake -B build -S . >/dev/null
 cmake --build build -j "$jobs"
 
 echo "== ctest (full suite) =="
@@ -46,6 +95,17 @@ else
 
   echo "== ctest -L failures (under ASan) =="
   ctest --test-dir build-asan --output-on-failure -j "$jobs" -L failures
+fi
+
+if [[ "${ALVC_SKIP_UBSAN:-0}" == "1" ]]; then
+  echo "== UBSan pass skipped (ALVC_SKIP_UBSAN=1) =="
+else
+  echo "== configure + build (UndefinedBehaviorSanitizer) =="
+  cmake -B build-ubsan -S . -DALVC_SANITIZE=undefined >/dev/null
+  cmake --build build-ubsan -j "$jobs"
+
+  echo "== ctest (full suite, under UBSan) =="
+  ctest --test-dir build-ubsan --output-on-failure -j "$jobs"
 fi
 
 echo "== all checks passed =="

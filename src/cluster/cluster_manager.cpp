@@ -254,7 +254,8 @@ Expected<UpdateCost> ClusterManager::apply_reoptimized(VirtualCluster& vc, AlBui
   ownership_.release_all(vc.id);
   if (auto status = ownership_.acquire(rebuilt.layer.opss, vc.id); !status.is_ok()) {
     // Should not happen (scratch proved feasibility); restore the old AL.
-    (void)ownership_.acquire(vc.layer.opss, vc.id);
+    ALVC_IGNORE_STATUS(ownership_.acquire(vc.layer.opss, vc.id),
+                       "restoring the AL we just released; those OPSs are still free");
     return status.error();
   }
   vc.layer = std::move(rebuilt.layer);
@@ -372,7 +373,7 @@ Expected<UpdateCost> ClusterManager::handle_ops_failure(alvc::util::OpsId ops) {
   }
   if (!topo_->ops_usable(ops)) return UpdateCost{};  // already failed: nothing new to repair
   const ClusterId owner = ownership_.owner(ops);
-  (void)topo_->set_ops_failed(ops, true);
+  ALVC_IGNORE_STATUS(topo_->set_ops_failed(ops, true), "the ops id was validated above");
   UpdateCost cost;
   if (!owner.valid()) return cost;
   VirtualCluster* vc = find_mutable(owner);
@@ -506,7 +507,8 @@ UpdateCost ClusterManager::rebuild_cluster(VirtualCluster& vc, const AlBuilder& 
   ownership_.release_all(vc.id);
   if (auto status = ownership_.acquire(rebuilt->layer.opss, vc.id); !status.is_ok()) {
     // Should not happen (scratch proved feasibility); restore the old AL.
-    (void)ownership_.acquire(vc.layer.opss, vc.id);
+    ALVC_IGNORE_STATUS(ownership_.acquire(vc.layer.opss, vc.id),
+                       "restoring the AL we just released; those OPSs are still free");
     vc.degraded = true;
     return UpdateCost{};
   }
@@ -521,7 +523,7 @@ Expected<UpdateCost> ClusterManager::handle_tor_failure(TorId tor, const AlBuild
     return Error{ErrorCode::kInvalidArgument, "bad ToR id"};
   }
   if (!topo_->tor_usable(tor)) return UpdateCost{};  // already failed
-  (void)topo_->set_tor_failed(tor, true);
+  ALVC_IGNORE_STATUS(topo_->set_tor_failed(tor, true), "the tor id was validated above");
   UpdateCost cost;
   for (ClusterId id : sorted_cluster_ids()) {
     VirtualCluster* vc = find_mutable(id);
@@ -573,7 +575,7 @@ Expected<UpdateCost> ClusterManager::handle_ops_recovery(alvc::util::OpsId ops,
     return Error{ErrorCode::kInvalidArgument, "bad OPS id"};
   }
   if (topo_->ops_usable(ops)) return UpdateCost{};  // was not failed
-  (void)topo_->set_ops_failed(ops, false);
+  ALVC_IGNORE_STATUS(topo_->set_ops_failed(ops, false), "the ops id was validated above");
   return restore_degraded_clusters(builder);
 }
 
@@ -582,7 +584,7 @@ Expected<UpdateCost> ClusterManager::handle_tor_recovery(TorId tor, const AlBuil
     return Error{ErrorCode::kInvalidArgument, "bad ToR id"};
   }
   if (topo_->tor_usable(tor)) return UpdateCost{};  // was not failed
-  (void)topo_->set_tor_failed(tor, false);
+  ALVC_IGNORE_STATUS(topo_->set_tor_failed(tor, false), "the tor id was validated above");
   return restore_degraded_clusters(builder);
 }
 

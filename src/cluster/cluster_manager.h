@@ -60,6 +60,15 @@ struct BatchBuildStats {
   }
 };
 
+/// Threading contract: the manager holds no mutex and is externally
+/// synchronized — one writer at a time, no concurrent readers during a
+/// write. build_all_clusters is the one parallel entry point, and even
+/// there the concurrency lives inside the call: worker threads build
+/// speculative ALs against an immutable ownership snapshot (validated at
+/// commit under the calling thread), so the manager itself is only ever
+/// mutated by the caller's thread. The thread-safety annotations
+/// (ALVC_GUARDED_BY) therefore live in util::Executor, which supplies the
+/// synchronization this class relies on.
 class ClusterManager {
  public:
   /// The manager keeps a reference to the topology; the topology must

@@ -25,10 +25,7 @@ ServiceRegistry ServiceRegistry::make_default(std::size_t count) {
 
 std::vector<std::vector<VmId>> group_vms_by_service(
     const alvc::topology::DataCenterTopology& topo, std::size_t min_groups) {
-  std::size_t groups = min_groups;
-  for (const auto& vm : topo.vms()) {
-    groups = std::max(groups, vm.service.index() + 1);
-  }
+  const std::size_t groups = std::max(min_groups, topo.service_count());
   std::vector<std::vector<VmId>> result(groups);
   for (const auto& vm : topo.vms()) {
     result[vm.service.index()].push_back(vm.id);

@@ -59,6 +59,9 @@ struct ChaosReport {
   }
 };
 
+/// Threading contract: single-threaded driver. The runner serializes every
+/// orchestrator call through its own event loop, which is what makes it a
+/// valid client of the orchestrator's external-synchronization contract.
 class ChaosRunner {
  public:
   /// Borrows an orchestrator that already has its clusters built and

@@ -77,6 +77,9 @@ struct FaultScheduleParams {
   std::uint64_t seed = 1;
 };
 
+/// Threading contract: stateless; `generate` is a pure function of its
+/// arguments (const topology read + explicit seed) and is safe to call
+/// from any number of threads concurrently.
 class FaultInjector {
  public:
   /// Generates the full stochastic schedule over `topo`, sorted by time

@@ -16,6 +16,9 @@
 
 namespace alvc::faults {
 
+/// Threading contract: stateless; `audit` only reads the orchestrator and
+/// must not run concurrently with a mutation of it — callers provide the
+/// same external synchronization the orchestrator itself requires.
 class StateAuditor {
  public:
   /// Runs every invariant; returns human-readable violations (empty means

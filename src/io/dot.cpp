@@ -23,7 +23,9 @@ void emit_common(const alvc::topology::DataCenterTopology& topo, std::ostringstr
     if (manager != nullptr) {
       const auto owner = manager->ownership().owner(o.id);
       if (owner.valid()) {
-        os << ",style=filled,fillcolor=\"" << kPalette[owner.index() % kPalette.size()] << "\"";
+        os << ",style=filled,fillcolor=\""
+           << kPalette[owner.index() % kPalette.size()]  // alvc-lint: allow(index-arithmetic) — palette cycling, not layout
+           << "\"";
       }
     }
     if (o.failed) os << ",color=red,penwidth=3";

@@ -261,7 +261,7 @@ class Parser {
   }
 
   Expected<JsonValue> parse_array() {
-    (void)consume('[');
+    if (!consume('[')) return fail("expected '['");  // dispatcher guarantees the bracket
     JsonArray array;
     skip_whitespace();
     if (consume(']')) return JsonValue(std::move(array));
@@ -277,7 +277,7 @@ class Parser {
   }
 
   Expected<JsonValue> parse_object() {
-    (void)consume('{');
+    if (!consume('{')) return fail("expected '{'");  // dispatcher guarantees the brace
     JsonObject object;
     skip_whitespace();
     if (consume('}')) return JsonValue(std::move(object));

@@ -89,7 +89,10 @@ Expected<DataCenterTopology> topology_from_json(const JsonValue& value) {
         if (p >= opss.size()) return malformed("OPS peer out of range");
         topo.connect_ops_ops(id, alvc::util::OpsId{static_cast<alvc::util::OpsId::value_type>(p)});
       }
-      if (opss[i].at("failed").as_bool()) topo.set_ops_failed(id, true);
+      if (opss[i].at("failed").as_bool()) {
+        ALVC_IGNORE_STATUS(topo.set_ops_failed(id, true),
+                           "id is a loop index over the OPSs just added; always valid");
+      }
     }
     for (const auto& t : value.at("tors").as_array()) {
       const auto tor = topo.add_tor(t.at("port_gbps").as_number());

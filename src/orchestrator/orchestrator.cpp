@@ -100,7 +100,7 @@ Expected<NfcId> NetworkOrchestrator::provision_chain(const alvc::nfv::NfcSpec& s
                            .pool = &cloud_.pool()};
   auto placed = placement.place(spec, context);
   if (!placed) {
-    (void)slices_.release(id);
+    ALVC_IGNORE_STATUS(slices_.release(id), "unwinding a failed provision; slice just allocated");
     ++stats_.provision_failures;
     return placed.error();
   }
@@ -122,8 +122,11 @@ Expected<NfcId> NetworkOrchestrator::provision_chain(const alvc::nfv::NfcSpec& s
     instances.push_back(*inst);
   }
   if (deploy_failed) {
-    for (auto inst : instances) (void)cloud_.terminate(inst);
-    (void)slices_.release(id);
+    for (auto inst : instances) {
+      ALVC_IGNORE_STATUS(cloud_.terminate(inst),
+                         "unwinding a failed provision; the instance is dead either way");
+    }
+    ALVC_IGNORE_STATUS(slices_.release(id), "unwinding a failed provision; slice just allocated");
     ++stats_.provision_failures;
     return Error{ErrorCode::kInternal, "deployment failed after successful placement"};
   }
@@ -137,8 +140,11 @@ Expected<NfcId> NetworkOrchestrator::provision_chain(const alvc::nfv::NfcSpec& s
                                             routing_k_)
                    : router_.route(*vc, ingress, egress, placed->hosts);
   if (!route) {
-    for (auto inst : instances) (void)cloud_.terminate(inst);
-    (void)slices_.release(id);
+    for (auto inst : instances) {
+      ALVC_IGNORE_STATUS(cloud_.terminate(inst),
+                         "unwinding a failed provision; the instance is dead either way");
+    }
+    ALVC_IGNORE_STATUS(slices_.release(id), "unwinding a failed provision; slice just allocated");
     ++stats_.provision_failures;
     return route.error();
   }
@@ -146,8 +152,12 @@ Expected<NfcId> NetworkOrchestrator::provision_chain(const alvc::nfv::NfcSpec& s
   for (const auto& leg : route->legs) {
     if (auto status = controller_.install_path(id, leg); !status.is_ok()) {
       controller_.remove_chain(id);
-      for (auto inst : instances) (void)cloud_.terminate(inst);
-      (void)slices_.release(id);
+      for (auto inst : instances) {
+        ALVC_IGNORE_STATUS(cloud_.terminate(inst),
+                           "unwinding a failed provision; the instance is dead either way");
+      }
+      ALVC_IGNORE_STATUS(slices_.release(id),
+                         "unwinding a failed provision; slice just allocated");
       ++stats_.provision_failures;
       return status.error();
     }
@@ -155,8 +165,11 @@ Expected<NfcId> NetworkOrchestrator::provision_chain(const alvc::nfv::NfcSpec& s
   if (auto status = bandwidth_.reserve_walk(route->vertices, spec.bandwidth_gbps);
       !status.is_ok()) {
     controller_.remove_chain(id);
-    for (auto inst : instances) (void)cloud_.terminate(inst);
-    (void)slices_.release(id);
+    for (auto inst : instances) {
+      ALVC_IGNORE_STATUS(cloud_.terminate(inst),
+                         "unwinding a failed provision; the instance is dead either way");
+    }
+    ALVC_IGNORE_STATUS(slices_.release(id), "unwinding a failed provision; slice just allocated");
     ++stats_.provision_failures;
     return status.error();
   }
@@ -211,7 +224,7 @@ Expected<NfcId> NetworkOrchestrator::provision_forwarding_graph(
                            .pool = &cloud_.pool()};
   auto placed = placement.place(spec, context);
   if (!placed) {
-    (void)slices_.release(id);
+    ALVC_IGNORE_STATUS(slices_.release(id), "unwinding a failed provision; slice just allocated");
     ++stats_.provision_failures;
     return placed.error();
   }
@@ -229,8 +242,11 @@ Expected<NfcId> NetworkOrchestrator::provision_forwarding_graph(
     instances.push_back(*inst);
   }
   if (deploy_failed) {
-    for (auto inst : instances) (void)cloud_.terminate(inst);
-    (void)slices_.release(id);
+    for (auto inst : instances) {
+      ALVC_IGNORE_STATUS(cloud_.terminate(inst),
+                         "unwinding a failed provision; the instance is dead either way");
+    }
+    ALVC_IGNORE_STATUS(slices_.release(id), "unwinding a failed provision; slice just allocated");
     ++stats_.provision_failures;
     return Error{ErrorCode::kInternal, "deployment failed after successful placement"};
   }
@@ -244,16 +260,23 @@ Expected<NfcId> NetworkOrchestrator::provision_forwarding_graph(
   const alvc::util::TorId egress = vc->layer.tors.back();
   auto route = router_.route_graph(*vc, ingress, egress, gspec.graph, node_hosts);
   if (!route) {
-    for (auto inst : instances) (void)cloud_.terminate(inst);
-    (void)slices_.release(id);
+    for (auto inst : instances) {
+      ALVC_IGNORE_STATUS(cloud_.terminate(inst),
+                         "unwinding a failed provision; the instance is dead either way");
+    }
+    ALVC_IGNORE_STATUS(slices_.release(id), "unwinding a failed provision; slice just allocated");
     ++stats_.provision_failures;
     return route.error();
   }
   for (const auto& leg : route->legs) {
     if (auto status = controller_.install_path(id, leg); !status.is_ok()) {
       controller_.remove_chain(id);
-      for (auto inst : instances) (void)cloud_.terminate(inst);
-      (void)slices_.release(id);
+      for (auto inst : instances) {
+        ALVC_IGNORE_STATUS(cloud_.terminate(inst),
+                           "unwinding a failed provision; the instance is dead either way");
+      }
+      ALVC_IGNORE_STATUS(slices_.release(id),
+                         "unwinding a failed provision; slice just allocated");
       ++stats_.provision_failures;
       return status.error();
     }
@@ -261,8 +284,11 @@ Expected<NfcId> NetworkOrchestrator::provision_forwarding_graph(
   if (auto status = bandwidth_.reserve_walk(route->vertices, spec.bandwidth_gbps);
       !status.is_ok()) {
     controller_.remove_chain(id);
-    for (auto inst : instances) (void)cloud_.terminate(inst);
-    (void)slices_.release(id);
+    for (auto inst : instances) {
+      ALVC_IGNORE_STATUS(cloud_.terminate(inst),
+                         "unwinding a failed provision; the instance is dead either way");
+    }
+    ALVC_IGNORE_STATUS(slices_.release(id), "unwinding a failed provision; slice just allocated");
     ++stats_.provision_failures;
     return status.error();
   }
@@ -293,10 +319,13 @@ Status NetworkOrchestrator::teardown_chain(NfcId id) {
   }
   controller_.remove_chain(id);
   for (auto inst : it->second.instances) {
-    if (inst.valid()) (void)cloud_.terminate(inst);  // degraded slots hold invalid ids
+    // Degraded slots hold invalid ids; live ones must go regardless.
+    if (inst.valid()) {
+      ALVC_IGNORE_STATUS(cloud_.terminate(inst), "teardown: chain is going away regardless");
+    }
   }
   bandwidth_.release_walk(it->second.route.vertices, it->second.reserved_gbps);
-  (void)slices_.release(id);
+  ALVC_IGNORE_STATUS(slices_.release(id), "teardown: chain is going away regardless");
   chains_.erase(it);
   log_.append(sdn::ControlEventType::kSliceReleased, id.value());
   log_.append(sdn::ControlEventType::kChainTornDown, id.value());
@@ -370,7 +399,9 @@ Status NetworkOrchestrator::migrate_function(NfcId id, std::size_t function_inde
   bandwidth_.release_walk(chain.route.vertices, gbps);
 
   // Commit: move the instance, swap route and rules.
-  (void)cloud_.terminate(chain.instances[function_index]);
+  ALVC_IGNORE_STATUS(cloud_.terminate(chain.instances[function_index]),
+                     "migration commit point: the old instance must go; a deploy "
+                     "failure on the target is surfaced just below");
   auto fresh = cloud_.deploy(chain.record.spec.functions[function_index], target);
   if (!fresh) return fresh.error();  // capacity raced away; old instance already gone
   chain.instances[function_index] = *fresh;
@@ -484,7 +515,8 @@ void NetworkOrchestrator::park_chain(ProvisionedChain& chain) {
   for (std::size_t i = 0; i < chain.instances.size(); ++i) {
     if (!chain.instances[i].valid()) continue;
     if (host_usable(chain.placement.hosts[i])) continue;
-    (void)cloud_.terminate(chain.instances[i]);
+    ALVC_IGNORE_STATUS(cloud_.terminate(chain.instances[i]),
+                       "parking: the host is dead, the instance is gone either way");
     chain.instances[i] = alvc::util::VnfInstanceId::invalid();
   }
 }
@@ -524,7 +556,8 @@ double NetworkOrchestrator::fit_chain(ProvisionedChain& chain) {
     }
     if (!target) return 0;
     if (chain.instances[i].valid()) {
-      (void)cloud_.terminate(chain.instances[i]);
+      ALVC_IGNORE_STATUS(cloud_.terminate(chain.instances[i]),
+                         "relocation: the stranded instance is replaced either way");
       chain.instances[i] = alvc::util::VnfInstanceId::invalid();
     }
     auto fresh = cloud_.deploy(chain.record.spec.functions[i], *target);
@@ -587,7 +620,9 @@ std::size_t NetworkOrchestrator::sweep_chains() {
       // best-effort slice remains so nothing stays on dead hardware.
       if (degraded_chain_disturbed(chain, vc)) {
         park_chain(chain);
-        (void)fit_chain(chain);
+        ALVC_IGNORE_STATUS(fit_chain(chain),
+                           "best-effort re-fit of a disturbed degraded chain; the achieved "
+                           "fraction is recorded in the chain state, retries own restoration");
       }
       continue;
     }
@@ -700,7 +735,8 @@ Expected<std::size_t> NetworkOrchestrator::handle_server_failure(alvc::util::Ser
   }
   if (!topo.server_usable(server)) return std::size_t{0};
   log_.append(sdn::ControlEventType::kServerFailed, server.value());
-  (void)clusters_->handle_server_failure(server);
+  ALVC_IGNORE_STATUS(clusters_->handle_server_failure(server),
+                     "ids were validated above; sweep_chains handles the fallout either way");
   return sweep_chains();
 }
 
@@ -717,7 +753,9 @@ Expected<std::size_t> NetworkOrchestrator::handle_link_failure(alvc::util::TorId
   if (topo.link_failed(tor, ops)) return std::size_t{0};
   log_.append(sdn::ControlEventType::kLinkFailed, tor.value(),
               "to OPS " + std::to_string(ops.value()));
-  (void)clusters_->handle_link_failure(tor, ops);
+  ALVC_IGNORE_STATUS(clusters_->handle_link_failure(tor, ops),
+                     "an infeasible AL repair leaves the cluster degraded; sweep_chains "
+                     "degrades the affected chains rather than aborting the handler");
   return sweep_chains();
 }
 
@@ -728,10 +766,13 @@ Expected<std::size_t> NetworkOrchestrator::handle_ops_recovery(alvc::util::OpsId
   }
   if (topo.ops_usable(ops)) return std::size_t{0};  // was not failed
   log_.append(sdn::ControlEventType::kOpsRecovered, ops.value());
-  (void)clusters_->handle_ops_recovery(ops, repair_builder_);
+  ALVC_IGNORE_STATUS(clusters_->handle_ops_recovery(ops, repair_builder_),
+                     "a failed cluster rebuild leaves it degraded; recovery proceeds anyway");
   // Cluster rebuilds may have shifted slices under healthy chains; fix
   // those first so capacity is settled before degraded chains compete.
-  (void)sweep_chains();
+  ALVC_IGNORE_STATUS(sweep_chains(),
+                     "repairs of healthy chains are logged per chain; this call returns "
+                     "only the count and the caller reports restorations instead");
   return drain_retry_queue();
 }
 
@@ -742,8 +783,9 @@ Expected<std::size_t> NetworkOrchestrator::handle_tor_recovery(alvc::util::TorId
   }
   if (topo.tor_usable(tor)) return std::size_t{0};
   log_.append(sdn::ControlEventType::kTorRecovered, tor.value());
-  (void)clusters_->handle_tor_recovery(tor, repair_builder_);
-  (void)sweep_chains();
+  ALVC_IGNORE_STATUS(clusters_->handle_tor_recovery(tor, repair_builder_),
+                     "a failed cluster rebuild leaves it degraded; recovery proceeds anyway");
+  ALVC_IGNORE_STATUS(sweep_chains(), "settle healthy chains first; restorations are returned");
   return drain_retry_queue();
 }
 
@@ -754,8 +796,9 @@ Expected<std::size_t> NetworkOrchestrator::handle_server_recovery(alvc::util::Se
   }
   if (topo.server_usable(server)) return std::size_t{0};
   log_.append(sdn::ControlEventType::kServerRecovered, server.value());
-  (void)clusters_->handle_server_recovery(server);
-  (void)sweep_chains();
+  ALVC_IGNORE_STATUS(clusters_->handle_server_recovery(server),
+                     "ids were validated above; a server recovery cannot fail an AL");
+  ALVC_IGNORE_STATUS(sweep_chains(), "settle healthy chains first; restorations are returned");
   return drain_retry_queue();
 }
 
@@ -768,8 +811,9 @@ Expected<std::size_t> NetworkOrchestrator::handle_link_recovery(alvc::util::TorI
   if (!topo.link_failed(tor, ops)) return std::size_t{0};
   log_.append(sdn::ControlEventType::kLinkRecovered, tor.value(),
               "to OPS " + std::to_string(ops.value()));
-  (void)clusters_->handle_link_recovery(tor, ops, repair_builder_);
-  (void)sweep_chains();
+  ALVC_IGNORE_STATUS(clusters_->handle_link_recovery(tor, ops, repair_builder_),
+                     "a failed cluster rebuild leaves it degraded; recovery proceeds anyway");
+  ALVC_IGNORE_STATUS(sweep_chains(), "settle healthy chains first; restorations are returned");
   return drain_retry_queue();
 }
 

@@ -74,6 +74,12 @@ struct OrchestratorStats {
   std::size_t chains_restored = 0;   // left degraded mode at full bandwidth
 };
 
+/// Threading contract: externally synchronized, single-writer. The retry
+/// queue (retry_queue_) and recovery epoch are plain members mutated only
+/// inside handle_*_failure / handle_*_recovery / drain_retry_queue on the
+/// calling thread; nothing here is touched by Executor workers. Callers
+/// that drive the orchestrator from several threads (the chaos suites)
+/// must wrap every call in one lock, as ChaosRunner does.
 class NetworkOrchestrator {
  public:
   /// The orchestrator borrows the cluster manager (clusters are built by

@@ -77,7 +77,8 @@ Status CloudNfvManager::scale(VnfInstanceId id, double factor) {
     if (factor > inst.scale) {
       pool_.release(inst.host, target - current);
     } else {
-      (void)pool_.reserve(inst.host, current - target);
+      ALVC_IGNORE_STATUS(pool_.reserve(inst.host, current - target),
+                         "rolling back a release we just made; the capacity is free");
     }
     return status;
   }

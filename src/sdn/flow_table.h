@@ -24,6 +24,11 @@ struct FlowRule {
 };
 
 /// Rules of one switch.
+///
+/// Threading contract (applies to FlowTableSet too): externally
+/// synchronized. Tables are mutated only by the SDN controller on the
+/// orchestrator's thread; they hold no lock of their own, so concurrent
+/// callers must serialize exactly as they do for the orchestrator.
 class FlowTable {
  public:
   /// Installs or overwrites the rule for `nfc`; returns true if new.

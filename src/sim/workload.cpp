@@ -13,9 +13,7 @@ WorkloadGenerator::WorkloadGenerator(const alvc::topology::DataCenterTopology& t
   if (params.arrival_rate_per_s <= 0) {
     throw std::invalid_argument("WorkloadGenerator: arrival rate must be positive");
   }
-  std::size_t services = 0;
-  for (const auto& vm : topo.vms()) services = std::max(services, vm.service.index() + 1);
-  by_service_.resize(services);
+  by_service_.resize(topo.service_count());
   for (const auto& vm : topo.vms()) by_service_[vm.service.index()].push_back(vm.id);
 }
 

@@ -99,13 +99,23 @@ void DataCenterTopology::connect_ops_ops(OpsId a, OpsId b) {
 
 void DataCenterTopology::add_server_homing(ServerId server, TorId tor) {
   auto& s = servers_.at(server.index());
-  (void)tors_.at(tor.index());  // bounds check
+  if (tor.index() >= tors_.size()) {
+    throw std::out_of_range("add_server_homing: bad ToR id");
+  }
   if (s.tor == tor) return;
   if (std::find(s.secondary_tors.begin(), s.secondary_tors.end(), tor) !=
       s.secondary_tors.end()) {
     return;
   }
   s.secondary_tors.push_back(tor);
+}
+
+std::size_t DataCenterTopology::service_count() const {
+  std::size_t count = 0;
+  for (const auto& vm : vms_) {
+    count = std::max(count, vm.service.index() + 1);
+  }
+  return count;
 }
 
 std::vector<TorId> DataCenterTopology::tors_of_vm(VmId id) const {
@@ -189,33 +199,40 @@ std::vector<OpsId> DataCenterTopology::usable_uplinks(TorId tor) const {
   return out;
 }
 
-const alvc::graph::Graph& DataCenterTopology::switch_graph() const {
-  // Double-checked lazy build: concurrent const readers (parallel AL
-  // construction) may race to warm the cache, so the build runs under a
-  // mutex and the valid flag publishes it with release/acquire ordering.
-  if (!switch_graph_valid_.load(std::memory_order_acquire)) {
-    const std::lock_guard<std::mutex> lock(switch_graph_mutex_);
-    if (!switch_graph_valid_.load(std::memory_order_relaxed)) {
-      alvc::graph::Graph g(tors_.size() + opss_.size());
-      for (const auto& t : tors_) {
-        if (t.failed) continue;
-        for (OpsId ops : t.uplinks) {
-          if (opss_[ops.index()].failed || link_failed(t.id, ops)) continue;
-          g.add_edge(tor_vertex(t.id), ops_vertex(ops));
-        }
-      }
-      for (const auto& o : opss_) {
-        if (o.failed) continue;
-        for (OpsId peer : o.peer_links) {
-          if (o.id < peer && !opss_[peer.index()].failed) {  // each undirected core link once
-            g.add_edge(ops_vertex(o.id), ops_vertex(peer));
-          }
-        }
-      }
-      switch_graph_ = std::move(g);
-      switch_graph_valid_.store(true, std::memory_order_release);
+void DataCenterTopology::warm_switch_graph() const {
+  const std::lock_guard<std::mutex> lock(switch_graph_mutex_);
+  if (switch_graph_valid_.load(std::memory_order_relaxed)) return;
+  alvc::graph::Graph g(tors_.size() + opss_.size());
+  for (const auto& t : tors_) {
+    if (t.failed) continue;
+    for (OpsId ops : t.uplinks) {
+      if (opss_[ops.index()].failed || link_failed(t.id, ops)) continue;
+      g.add_edge(tor_vertex(t.id), ops_vertex(ops));
     }
   }
+  for (const auto& o : opss_) {
+    if (o.failed) continue;
+    for (OpsId peer : o.peer_links) {
+      if (o.id < peer && !opss_[peer.index()].failed) {  // each undirected core link once
+        g.add_edge(ops_vertex(o.id), ops_vertex(peer));
+      }
+    }
+  }
+  switch_graph_ = std::move(g);
+  switch_graph_valid_.store(true, std::memory_order_release);
+}
+
+// Unchecked read of the guarded cache: the acquire load of the valid flag
+// pairs with warm_switch_graph's release store, so a reader that observes
+// valid==true sees the fully built graph, and the documented protocol (no
+// concurrent mutation while const readers are active) keeps it stable. The
+// analysis cannot model publication-then-quiescence, hence the suppression.
+const alvc::graph::Graph& DataCenterTopology::switch_graph() const
+    ALVC_NO_THREAD_SAFETY_ANALYSIS {
+  // Double-checked lazy build: concurrent const readers (parallel AL
+  // construction) may race to warm the cache; they serialise inside
+  // warm_switch_graph.
+  if (!switch_graph_valid_.load(std::memory_order_acquire)) warm_switch_graph();
   return switch_graph_;
 }
 

@@ -22,6 +22,7 @@
 #include "graph/graph.h"
 #include "topology/elements.h"
 #include "util/error.h"
+#include "util/thread_annotations.h"
 
 namespace alvc::topology {
 
@@ -116,6 +117,12 @@ class DataCenterTopology {
   /// The primary ToR a VM hangs off (via its server's rack).
   [[nodiscard]] TorId tor_of_vm(VmId id) const { return server(vm(id).server).tor; }
 
+  /// Number of distinct service groups: one past the highest service id any
+  /// VM carries (service ids are dense by convention). 0 for an empty
+  /// topology. Callers that size per-service tables use this instead of
+  /// doing id arithmetic themselves (alvc_lint `index-arithmetic`).
+  [[nodiscard]] std::size_t service_count() const;
+
   /// All ToRs a VM can reach (primary first, then secondary homings).
   [[nodiscard]] std::vector<TorId> tors_of_vm(VmId id) const;
 
@@ -145,6 +152,10 @@ class DataCenterTopology {
   [[nodiscard]] alvc::graph::BipartiteGraph tor_ops_graph() const;
 
  private:
+  /// Builds the switch graph under the cache mutex and publishes it via the
+  /// valid flag (release). Idempotent; racing callers serialise here.
+  void warm_switch_graph() const ALVC_EXCLUDES(switch_graph_mutex_);
+
   void invalidate_cache() noexcept {
     switch_graph_valid_.store(false, std::memory_order_release);
   }
@@ -159,7 +170,7 @@ class DataCenterTopology {
   std::unordered_set<std::uint64_t> failed_links_;  // keyed by link_key
 
   mutable std::mutex switch_graph_mutex_;
-  mutable alvc::graph::Graph switch_graph_;
+  mutable alvc::graph::Graph switch_graph_ ALVC_GUARDED_BY(switch_graph_mutex_);
   mutable std::atomic<bool> switch_graph_valid_{false};
 };
 

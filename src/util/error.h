@@ -39,7 +39,7 @@ enum class ErrorCode {
 }
 
 /// A recoverable failure: code plus human-readable context.
-struct Error {
+struct [[nodiscard]] Error {
   ErrorCode code = ErrorCode::kInternal;
   std::string message;
 
@@ -48,9 +48,12 @@ struct Error {
   }
 };
 
-/// Minimal expected-like type (std::expected is C++23).
+/// Minimal expected-like type (std::expected is C++23). Class-level
+/// [[nodiscard]]: every call returning an Expected must consume it — a
+/// dropped result silently swallows the error path. Teardown/rollback
+/// sites that genuinely cannot react use ALVC_IGNORE_STATUS below.
 template <typename T>
-class Expected {
+class [[nodiscard]] Expected {
  public:
   Expected(T value) : storage_(std::move(value)) {}  // NOLINT(google-explicit-constructor)
   Expected(Error error) : storage_(std::move(error)) {}  // NOLINT(google-explicit-constructor)
@@ -95,8 +98,9 @@ class Expected {
   std::variant<T, Error> storage_;
 };
 
-/// Expected<void> analogue.
-class Status {
+/// Expected<void> analogue. Class-level [[nodiscard]] for the same reason
+/// as Expected: a discarded Status is a dropped failure.
+class [[nodiscard]] Status {
  public:
   Status() = default;
   Status(Error error) : error_(std::move(error)) {}  // NOLINT(google-explicit-constructor)
@@ -116,3 +120,17 @@ class Status {
 };
 
 }  // namespace alvc::util
+
+/// Deliberately discards a [[nodiscard]] result, with a named reason.
+///
+/// The only sanctioned way to drop a Status/Expected (the alvc_lint
+/// `naked-void` rule rejects bare `(void)` casts): the reason string makes
+/// the judgement call reviewable at the call site. Legitimate uses are
+/// teardown/rollback paths where the outcome cannot change the action
+/// taken (e.g. terminating instances while unwinding a failed provision).
+/// The reason must be a non-empty string literal.
+#define ALVC_IGNORE_STATUS(expr, reason)                                       \
+  do {                                                                         \
+    static_assert(sizeof(reason) > 1, "ALVC_IGNORE_STATUS: empty reason");     \
+    (void)(expr); /* alvc-lint: allow(naked-void) — the macro itself */        \
+  } while (0)

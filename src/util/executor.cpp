@@ -6,9 +6,14 @@ namespace alvc::util {
 
 // ---- TaskGroup ----
 
+// Condition waits are spelled as explicit loops rather than
+// cv.wait(lock, pred): the thread-safety analysis checks a lambda body as
+// a separate function, so a predicate reading a guarded member would need
+// its own (unattachable) lock annotation.
+
 TaskGroup::~TaskGroup() {
   std::unique_lock<std::mutex> lock(mu_);
-  done_cv_.wait(lock, [&] { return pending_ == 0; });
+  while (pending_ != 0) done_cv_.wait(lock);
 }
 
 void TaskGroup::submit(std::function<void()> fn) {
@@ -21,7 +26,7 @@ void TaskGroup::submit(std::function<void()> fn) {
 
 void TaskGroup::wait_all() {
   std::unique_lock<std::mutex> lock(mu_);
-  done_cv_.wait(lock, [&] { return pending_ == 0; });
+  while (pending_ != 0) done_cv_.wait(lock);
   if (first_error_) {
     std::exception_ptr error = std::exchange(first_error_, nullptr);
     lock.unlock();
@@ -62,8 +67,15 @@ Executor::~Executor() {
   work_cv_.notify_all();
   for (std::thread& t : threads_) t.join();
   // Orphaned items (enqueued after shutdown began) still owe their group a
-  // completion, else ~TaskGroup would hang.
-  for (Item& item : queue_) item.group->finish_one(nullptr);
+  // completion, else ~TaskGroup would hang. All workers have joined, but
+  // take the lock anyway: it is uncontended and keeps the locking
+  // discipline uniform for the static analysis.
+  std::deque<Item> orphans;
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    orphans.swap(queue_);
+  }
+  for (Item& item : orphans) item.group->finish_one(nullptr);
 }
 
 std::unique_ptr<TaskGroup> Executor::new_task_group() {
@@ -83,7 +95,7 @@ void Executor::worker_loop() {
     Item item;
     {
       std::unique_lock<std::mutex> lock(mu_);
-      work_cv_.wait(lock, [&] { return shutdown_ || !queue_.empty(); });
+      while (!shutdown_ && queue_.empty()) work_cv_.wait(lock);
       if (queue_.empty()) return;  // shutdown with a drained queue
       item = std::move(queue_.front());
       queue_.pop_front();

@@ -21,6 +21,8 @@
 #include <thread>
 #include <vector>
 
+#include "util/thread_annotations.h"
+
 namespace alvc::util {
 
 class Executor;
@@ -36,25 +38,25 @@ class TaskGroup {
   TaskGroup& operator=(const TaskGroup&) = delete;
 
   /// Enqueues `fn` on the owning executor's pool.
-  void submit(std::function<void()> fn);
+  void submit(std::function<void()> fn) ALVC_EXCLUDES(mu_);
 
   /// Waits for every task submitted so far; rethrows the first exception
   /// thrown by a task (the group is reset and reusable afterwards).
-  void wait_all();
+  void wait_all() ALVC_EXCLUDES(mu_);
 
   /// Tasks submitted but not yet finished (racy; for tests/diagnostics).
-  [[nodiscard]] std::size_t pending() const;
+  [[nodiscard]] std::size_t pending() const ALVC_EXCLUDES(mu_);
 
  private:
   friend class Executor;
   explicit TaskGroup(Executor& exec) : exec_(&exec) {}
-  void finish_one(std::exception_ptr error);
+  void finish_one(std::exception_ptr error) ALVC_EXCLUDES(mu_);
 
   Executor* exec_;
   mutable std::mutex mu_;
   std::condition_variable done_cv_;
-  std::size_t pending_ = 0;
-  std::exception_ptr first_error_;
+  std::size_t pending_ ALVC_GUARDED_BY(mu_) = 0;
+  std::exception_ptr first_error_ ALVC_GUARDED_BY(mu_);
 };
 
 /// Fixed pool of worker threads. Threads start in the constructor and join
@@ -80,13 +82,13 @@ class Executor {
     std::function<void()> fn;
   };
 
-  void enqueue(TaskGroup* group, std::function<void()> fn);
-  void worker_loop();
+  void enqueue(TaskGroup* group, std::function<void()> fn) ALVC_EXCLUDES(mu_);
+  void worker_loop() ALVC_EXCLUDES(mu_);
 
   std::mutex mu_;
   std::condition_variable work_cv_;
-  std::deque<Item> queue_;
-  bool shutdown_ = false;
+  std::deque<Item> queue_ ALVC_GUARDED_BY(mu_);
+  bool shutdown_ ALVC_GUARDED_BY(mu_) = false;
   std::vector<std::thread> threads_;  // last: workers see members constructed
 };
 

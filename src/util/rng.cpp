@@ -43,14 +43,12 @@ std::uint64_t Rng::uniform_u64(std::uint64_t lo, std::uint64_t hi) {
   if (lo > hi) throw std::invalid_argument("uniform_u64: lo > hi");
   const std::uint64_t span = hi - lo;
   if (span == ~0ULL) return next();
-  // Rejection sampling to avoid modulo bias.
+  // Rejection sampling to avoid modulo bias: accept when r falls below the
+  // largest multiple of bound.
   const std::uint64_t bound = span + 1;
-  const std::uint64_t limit = (~0ULL) - ((~0ULL) % bound) - ((((~0ULL) % bound) + 1 == bound) ? 0 : 0);
-  std::uint64_t r = next();
-  // Use Lemire-style rejection: accept when r below largest multiple of bound.
   const std::uint64_t max_multiple = (~0ULL / bound) * bound;
+  std::uint64_t r = next();
   while (r >= max_multiple) r = next();
-  (void)limit;
   return lo + (r % bound);
 }
 

@@ -1,0 +1,60 @@
+// Clang Thread Safety Analysis annotations (compile away elsewhere).
+//
+// Annotating a mutex-protected member with ALVC_GUARDED_BY(mu_) and the
+// functions that lock it with ALVC_REQUIRES/ALVC_EXCLUDES turns the
+// locking discipline into a compiler-checked contract: a Clang build with
+// `-Wthread-safety -Werror` (cmake -DALVC_STATIC_ANALYSIS=ON, see
+// scripts/check.sh) rejects any access that does not hold the right lock,
+// on every build, not just on the interleavings a TSan soak happens to
+// explore. Under GCC (or any compiler without the attributes) every macro
+// expands to nothing, so annotated headers stay portable.
+//
+// Reference: https://clang.llvm.org/docs/ThreadSafetyAnalysis.html
+#pragma once
+
+#if defined(__clang__) && defined(__has_attribute)
+#if __has_attribute(guarded_by)
+#define ALVC_THREAD_ANNOTATION_(x) __attribute__((x))
+#endif
+#endif
+#ifndef ALVC_THREAD_ANNOTATION_
+#define ALVC_THREAD_ANNOTATION_(x)  // non-Clang: no-op
+#endif
+
+/// Member access requires holding the given capability (mutex).
+#define ALVC_GUARDED_BY(x) ALVC_THREAD_ANNOTATION_(guarded_by(x))
+/// Pointee access requires holding the given capability.
+#define ALVC_PT_GUARDED_BY(x) ALVC_THREAD_ANNOTATION_(pt_guarded_by(x))
+
+/// The caller must hold the capability when calling this function.
+#define ALVC_REQUIRES(...) \
+  ALVC_THREAD_ANNOTATION_(requires_capability(__VA_ARGS__))
+#define ALVC_REQUIRES_SHARED(...) \
+  ALVC_THREAD_ANNOTATION_(requires_shared_capability(__VA_ARGS__))
+
+/// The caller must NOT hold the capability (the function takes it itself;
+/// calling with it held would self-deadlock).
+#define ALVC_EXCLUDES(...) ALVC_THREAD_ANNOTATION_(locks_excluded(__VA_ARGS__))
+
+/// The function acquires / releases the capability.
+#define ALVC_ACQUIRE(...) ALVC_THREAD_ANNOTATION_(acquire_capability(__VA_ARGS__))
+#define ALVC_ACQUIRE_SHARED(...) \
+  ALVC_THREAD_ANNOTATION_(acquire_shared_capability(__VA_ARGS__))
+#define ALVC_RELEASE(...) ALVC_THREAD_ANNOTATION_(release_capability(__VA_ARGS__))
+#define ALVC_RELEASE_SHARED(...) \
+  ALVC_THREAD_ANNOTATION_(release_shared_capability(__VA_ARGS__))
+#define ALVC_TRY_ACQUIRE(...) \
+  ALVC_THREAD_ANNOTATION_(try_acquire_capability(__VA_ARGS__))
+
+/// Declares a type as a capability (for custom lock types).
+#define ALVC_CAPABILITY(x) ALVC_THREAD_ANNOTATION_(capability(x))
+#define ALVC_SCOPED_CAPABILITY ALVC_THREAD_ANNOTATION_(scoped_lockable)
+
+/// The function returns a reference to the given capability.
+#define ALVC_RETURN_CAPABILITY(x) ALVC_THREAD_ANNOTATION_(lock_returned(x))
+
+/// Escape hatch for protocols the analysis cannot model (e.g. reading a
+/// quiescent cache after its publication barrier). Every use must carry a
+/// comment explaining why the unchecked access is safe.
+#define ALVC_NO_THREAD_SAFETY_ANALYSIS \
+  ALVC_THREAD_ANNOTATION_(no_thread_safety_analysis)

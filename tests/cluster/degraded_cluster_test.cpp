@@ -11,6 +11,7 @@
 #include "cluster/cluster_manager.h"
 #include "support/fixtures.h"
 #include "util/executor.h"
+#include "util/error.h"
 
 namespace alvc::cluster {
 namespace {
@@ -105,12 +106,14 @@ TEST(DegradedClusterTest, OpsFailureRacingReoptimizeKeepsInvariants) {
       const OpsId victim{static_cast<OpsId::value_type>(round % 2)};
       {
         const std::lock_guard<std::mutex> lock(manager_mutex);
-        (void)f.manager.handle_ops_failure(victim);
+        ALVC_IGNORE_STATUS(f.manager.handle_ops_failure(victim),
+                           "chaos round: the victim may already be down");
       }
       std::this_thread::yield();
       {
         const std::lock_guard<std::mutex> lock(manager_mutex);
-        (void)f.manager.handle_ops_recovery(victim, builder);
+        ALVC_IGNORE_STATUS(f.manager.handle_ops_recovery(victim, builder),
+                           "chaos round: the victim may already be back up");
       }
     }
   });
@@ -126,9 +129,12 @@ TEST(DegradedClusterTest, OpsFailureRacingReoptimizeKeepsInvariants) {
 
   // Settle: recover both OPSs, then the cluster must be fully healthy.
   for (int o = 0; o < 2; ++o) {
-    (void)f.manager.handle_ops_recovery(OpsId{static_cast<OpsId::value_type>(o)}, builder);
+    ALVC_IGNORE_STATUS(
+        f.manager.handle_ops_recovery(OpsId{static_cast<OpsId::value_type>(o)}, builder),
+        "settling: the OPS may never have gone down");
   }
-  (void)f.manager.restore_degraded_clusters(builder);
+  ALVC_IGNORE_STATUS(f.manager.restore_degraded_clusters(builder),
+                     "the health assertions below are the oracle");
   EXPECT_FALSE(f.manager.find(f.cluster_id)->degraded);
   EXPECT_TRUE(f.manager.check_invariants().empty());
 }

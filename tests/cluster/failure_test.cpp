@@ -17,17 +17,17 @@ using alvc::util::ServiceId;
 TEST(OpsFailureTest, FailedOpsLeavesSwitchGraph) {
   ClusterFixture f;
   const auto edges_before = f.topo.switch_graph().edge_count();
-  f.topo.set_ops_failed(OpsId{1}, true);
+  ASSERT_TRUE(f.topo.set_ops_failed(OpsId{1}, true).is_ok());
   EXPECT_LT(f.topo.switch_graph().edge_count(), edges_before);
   EXPECT_FALSE(f.topo.ops_usable(OpsId{1}));
-  f.topo.set_ops_failed(OpsId{1}, false);
+  ASSERT_TRUE(f.topo.set_ops_failed(OpsId{1}, false).is_ok());
   EXPECT_EQ(f.topo.switch_graph().edge_count(), edges_before);
 }
 
 TEST(OpsFailureTest, BuildersSkipFailedOps) {
   ClusterFixture f;  // fixture already built one cluster; use a fresh manager
   alvc::test::SliceFixture fresh;
-  fresh.topo.set_ops_failed(OpsId{0}, true);
+  ASSERT_TRUE(fresh.topo.set_ops_failed(OpsId{0}, true).is_ok());
   OpsOwnership ownership(fresh.topo.ops_count());
   const VertexCoverAlBuilder builder;
   const auto result = builder.build(fresh.topo, fresh.group, ownership);

@@ -205,7 +205,9 @@ TEST_P(ParallelBuildDifferentialTest, NullExecutorIsTheSerialPath) {
   auto a_ids = a.create_clusters_by_service(builder);
   auto b_ids = b.build_all_clusters(builder, /*executor=*/nullptr);
   ASSERT_EQ(a_ids.has_value(), b_ids.has_value());
-  if (a_ids) EXPECT_EQ(*a_ids, *b_ids);
+  if (a_ids) {
+    EXPECT_EQ(*a_ids, *b_ids);
+  }
   expect_identical_state(a, b, "null-executor seed=" + std::to_string(GetParam()));
 }
 

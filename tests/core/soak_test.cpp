@@ -5,6 +5,7 @@
 #include <gtest/gtest.h>
 
 #include "core/alvc.h"
+#include "util/error.h"
 
 namespace alvc::core {
 namespace {
@@ -56,7 +57,8 @@ TEST_P(SoakTest, HundredsOfMixedOperationsKeepEveryInvariant) {
       if (id) live_chains.push_back(*id);
     } else if (action < 0.4 && !live_chains.empty()) {
       const std::size_t i = rng.uniform_index(live_chains.size());
-      (void)dc.teardown_chain(live_chains[i]);
+      ALVC_IGNORE_STATUS(dc.teardown_chain(live_chains[i]),
+                         "soak: the per-step invariant sweep is the oracle");
       live_chains.erase(live_chains.begin() + static_cast<std::ptrdiff_t>(i));
     } else if (action < 0.55) {
       // VM churn on a random cluster.
@@ -66,16 +68,20 @@ TEST_P(SoakTest, HundredsOfMixedOperationsKeepEveryInvariant) {
         const auto vm = vc->vms[rng.uniform_index(vc->vms.size())];
         const util::ServerId target{static_cast<util::ServerId::value_type>(
             rng.uniform_index(dc.topology().server_count()))};
-        (void)dc.clusters().migrate_vm(vc->id, vm, target);
+        ALVC_IGNORE_STATUS(dc.clusters().migrate_vm(vc->id, vm, target),
+                           "soak: an infeasible migration is a legal no-op");
       }
     } else if (action < 0.65 && !live_chains.empty()) {
-      (void)dc.orchestrator().scale_function(
-          live_chains[rng.uniform_index(live_chains.size())], 0, 1.0 + rng.uniform01());
+      ALVC_IGNORE_STATUS(
+          dc.orchestrator().scale_function(live_chains[rng.uniform_index(live_chains.size())], 0,
+                                           1.0 + rng.uniform01()),
+          "soak: scaling a chain that may have died is a legal no-op");
     } else if (action < 0.75 && failures_injected < 6) {
       const util::OpsId victim{static_cast<util::OpsId::value_type>(
           rng.uniform_index(dc.topology().ops_count()))};
       if (dc.topology().ops_usable(victim)) {
-        (void)dc.orchestrator().handle_ops_failure(victim);
+        ALVC_IGNORE_STATUS(dc.orchestrator().handle_ops_failure(victim),
+                           "soak: recovery quality is judged by the invariant sweep");
         ++failures_injected;
         // handle_ops_failure may tear chains down; resync our list.
         std::erase_if(live_chains, [&](util::NfcId id) {
@@ -86,7 +92,8 @@ TEST_P(SoakTest, HundredsOfMixedOperationsKeepEveryInvariant) {
       const auto clusters = dc.clusters().clusters();
       const auto* vc = clusters[rng.uniform_index(clusters.size())];
       const cluster::VertexCoverAlBuilder builder;
-      (void)dc.clusters().reoptimize_cluster(vc->id, builder);
+      ALVC_IGNORE_STATUS(dc.clusters().reoptimize_cluster(vc->id, builder),
+                         "soak: a skipped reoptimization is acceptable");
     } else if (!live_chains.empty()) {
       // Operator migration of function 0 toward a random slice server.
       const auto id = live_chains[rng.uniform_index(live_chains.size())];
@@ -96,8 +103,10 @@ TEST_P(SoakTest, HundredsOfMixedOperationsKeepEveryInvariant) {
         if (vc != nullptr && !vc->layer.tors.empty()) {
           const auto& tor = dc.topology().tor(vc->layer.tors.front());
           if (!tor.servers.empty()) {
-            (void)dc.orchestrator().migrate_function(
-                id, 0, nfv::HostRef{tor.servers[rng.uniform_index(tor.servers.size())]});
+            ALVC_IGNORE_STATUS(
+                dc.orchestrator().migrate_function(
+                    id, 0, nfv::HostRef{tor.servers[rng.uniform_index(tor.servers.size())]}),
+                "soak: an unplaceable operator migration is a legal no-op");
           }
         }
       }
@@ -112,7 +121,9 @@ TEST_P(SoakTest, HundredsOfMixedOperationsKeepEveryInvariant) {
     ASSERT_TRUE(dc.orchestrator().cloud().pool().is_consistent()) << "step " << step;
   }
   // Teardown everything; the DC must come back to a clean slate.
-  for (auto id : live_chains) (void)dc.teardown_chain(id);
+  for (auto id : live_chains) {
+    ALVC_IGNORE_STATUS(dc.teardown_chain(id), "final drain: emptiness is asserted below");
+  }
   EXPECT_EQ(dc.orchestrator().slices().slice_count(), 0u);
   EXPECT_EQ(dc.orchestrator().cloud().lifecycle().active_count(), 0u);
   EXPECT_EQ(dc.orchestrator().controller().tables().total_rules(), 0u);

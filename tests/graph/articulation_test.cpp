@@ -95,12 +95,10 @@ TEST_P(ArticulationPropertyTest, RemovalOfCutVertexDisconnectsItsComponent) {
   }
   const auto component_count_without = [&](std::size_t removed) {
     UnionFind uf(n);
-    std::size_t isolated = 1;  // the removed vertex itself
     for (const Edge& e : g.edges()) {
       if (e.from == removed || e.to == removed) continue;
       uf.unite(e.from, e.to);
     }
-    (void)isolated;
     return uf.component_count();  // includes `removed` as its own set
   };
   const auto baseline = [&] {

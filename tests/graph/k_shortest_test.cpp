@@ -89,7 +89,9 @@ TEST_P(KShortestPropertyTest, PathsAreValidLooplessDistinctAndOrdered) {
     for (std::size_t i = 0; i + 1 < path.size(); ++i) {
       EXPECT_TRUE(g.has_edge(path[i], path[i + 1]));
     }
-    if (p > 0) EXPECT_GE(path.size(), paths[p - 1].size()) << "length-ordered";
+    if (p > 0) {
+      EXPECT_GE(path.size(), paths[p - 1].size()) << "length-ordered";
+    }
   }
   // First path is a true shortest path.
   if (!paths.empty()) {

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include "util/rng.h"
+#include "util/error.h"
 
 namespace alvc::graph {
 namespace {
@@ -77,7 +78,7 @@ TEST(FlowNetworkTest, FlowConservationOnArcs) {
   const auto e2 = net.add_edge(1, 3, 2.0);
   net.add_edge(0, 2, 1.0);
   net.add_edge(2, 3, 1.0);
-  (void)net.max_flow(0, 3);
+  ALVC_IGNORE_STATUS(net.max_flow(0, 3), "the aggregate is re-derived per-arc below");
   EXPECT_DOUBLE_EQ(net.flow_on(e1), 2.0);
   EXPECT_DOUBLE_EQ(net.flow_on(e2), 2.0);
   EXPECT_DOUBLE_EQ(net.capacity_of(e1), 2.0);

@@ -73,7 +73,7 @@ TEST(TopologySerializeTest, RoundTripPreservesStructure) {
 
 TEST(TopologySerializeTest, RoundTripThroughText) {
   auto original = build_topology(rich_params());
-  original.set_ops_failed(alvc::util::OpsId{3}, true);
+  ASSERT_TRUE(original.set_ops_failed(alvc::util::OpsId{3}, true).is_ok());
   const auto text = dump(topology_to_json(original), 2);
   const auto parsed = parse(text);
   ASSERT_TRUE(parsed.has_value());
@@ -189,7 +189,7 @@ TEST(DotExportTest, ContainsEveryElement) {
   const auto colored = to_dot(f.topo, f.manager);
   EXPECT_NE(colored.find("fillcolor"), std::string::npos);
 
-  f.topo.set_ops_failed(alvc::util::OpsId{1}, true);
+  ASSERT_TRUE(f.topo.set_ops_failed(alvc::util::OpsId{1}, true).is_ok());
   const auto failed = to_dot(f.topo, f.manager);
   EXPECT_NE(failed.find("color=red"), std::string::npos);
 }

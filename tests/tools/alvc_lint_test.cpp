@@ -1,0 +1,112 @@
+// Drives the alvc_lint rule engine over the seeded fixtures: every rule
+// must flag its fixture (at the expected lines) and pass the clean one.
+#include <algorithm>
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "lint.h"
+
+namespace {
+
+using alvc::lint::Finding;
+using alvc::lint::lint_source;
+
+std::string read_fixture(const std::string& name) {
+  const std::string path = std::string(ALVC_LINT_FIXTURE_DIR) + "/" + name;
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.is_open()) << "missing fixture " << path;
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+std::multiset<std::pair<std::string, std::size_t>> rules_and_lines(
+    const std::vector<Finding>& findings) {
+  std::multiset<std::pair<std::string, std::size_t>> out;
+  for (const auto& f : findings) out.insert({f.rule, f.line});
+  return out;
+}
+
+TEST(AlvcLintTest, FlagsNondeterministicRng) {
+  const auto findings = lint_source("tests/sim/bad.cc", read_fixture("nondeterministic_rng.cc"));
+  EXPECT_EQ(rules_and_lines(findings),
+            (std::multiset<std::pair<std::string, std::size_t>>{
+                {"nondeterministic-rng", 7},
+                {"nondeterministic-rng", 8},
+                {"nondeterministic-rng", 9}}));
+}
+
+TEST(AlvcLintTest, FlagsIndexArithmeticOutsideTopology) {
+  const auto content = read_fixture("index_arithmetic.cc");
+  const auto outside = lint_source("src/orchestrator/bad.cc", content);
+  EXPECT_EQ(rules_and_lines(outside),
+            (std::multiset<std::pair<std::string, std::size_t>>{{"index-arithmetic", 9}}));
+  // The same code is legal where the layout contract lives.
+  EXPECT_TRUE(lint_source("src/topology/fine.cc", content).empty());
+  EXPECT_TRUE(lint_source("src/graph/fine.cc", content).empty());
+}
+
+TEST(AlvcLintTest, FlagsNakedVoidDiscards) {
+  const auto findings = lint_source("src/sdn/bad.cc", read_fixture("naked_void.cc"));
+  EXPECT_EQ(rules_and_lines(findings),
+            (std::multiset<std::pair<std::string, std::size_t>>{{"naked-void", 10},
+                                                                {"naked-void", 11}}));
+}
+
+TEST(AlvcLintTest, FlagsLayeringIncludeFromLowerLayers) {
+  const auto content = read_fixture("layering_include.cc");
+  const auto lower = lint_source("src/cluster/layering_include.cc", content);
+  EXPECT_EQ(rules_and_lines(lower),
+            (std::multiset<std::pair<std::string, std::size_t>>{{"layering-include", 4}}));
+  // The orchestrator itself — and layers above it (io, sim, faults, core) —
+  // may include orchestrator headers.
+  EXPECT_TRUE(lint_source("src/orchestrator/fine.cc", content).empty());
+  EXPECT_TRUE(lint_source("src/io/fine.cc", content).empty());
+  EXPECT_TRUE(lint_source("src/faults/fine.cc", content).empty());
+}
+
+TEST(AlvcLintTest, PassesCleanFixture) {
+  const auto findings = lint_source("src/util/clean.cc", read_fixture("clean.cc"));
+  EXPECT_TRUE(findings.empty()) << alvc::lint::to_string(findings.front());
+}
+
+TEST(AlvcLintTest, ThrowAssertionsAreExemptFromNakedVoid) {
+  // EXPECT_THROW((void)f(), ...) needs the cast; the value never exists.
+  const auto findings = lint_source(
+      "tests/util/x.cc", "EXPECT_THROW((void)f(), std::out_of_range);\nASSERT_THROW((void)g(), E);\n");
+  EXPECT_TRUE(findings.empty());
+}
+
+TEST(AlvcLintTest, IncludePathsSurviveStringStripping) {
+  // The layering rule must still see the quoted path on #include lines.
+  const auto findings =
+      lint_source("src/util/x.cc", "#include \"orchestrator/orchestrator.h\"\n");
+  EXPECT_EQ(rules_and_lines(findings),
+            (std::multiset<std::pair<std::string, std::size_t>>{{"layering-include", 1}}));
+}
+
+TEST(AlvcLintTest, SuppressionIsPerRule) {
+  // An allow() for one rule must not silence another on the same line.
+  const auto findings = lint_source(
+      "src/sdn/bad.cc", "void f() { (void)g(); }  // alvc-lint: allow(nondeterministic-rng)\n");
+  EXPECT_EQ(rules_and_lines(findings),
+            (std::multiset<std::pair<std::string, std::size_t>>{{"naked-void", 1}}));
+}
+
+TEST(AlvcLintTest, StripsBlockCommentsAcrossLines) {
+  const auto findings = lint_source("src/util/x.cc", "/* rand( spans\n lines rand( */\nint x;\n");
+  EXPECT_TRUE(findings.empty());
+}
+
+TEST(AlvcLintTest, FindingFormatIsPathLineRule) {
+  const auto findings = lint_source("src/sdn/bad.cc", "void f() { (void)g(); }\n");
+  ASSERT_EQ(findings.size(), 1u);
+  const auto text = alvc::lint::to_string(findings.front());
+  EXPECT_NE(text.find("src/sdn/bad.cc:1: [naked-void]"), std::string::npos) << text;
+}
+
+}  // namespace

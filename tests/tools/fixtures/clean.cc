@@ -1,0 +1,20 @@
+// Fixture: a file every rule must pass.
+//
+// Prose daring the comment/string stripper: rand() and srand() and
+// std::random_device belong in comments, and "(void)ignored" in a string
+// literal is data, not code.
+#include <string>
+
+struct FakeStatus {
+  bool ok;
+};
+
+FakeStatus do_thing();
+
+int clean(unsigned long n) {
+  if (!do_thing().ok) return -1;                     // result consumed, not dropped
+  const std::string prose = "(void)do_thing() and rand() are only words here";
+  // A suppressed discard is legal when it names its rule:
+  (void)do_thing();  // alvc-lint: allow(naked-void) — fixture demonstrates suppression
+  return static_cast<int>(n + prose.size());
+}

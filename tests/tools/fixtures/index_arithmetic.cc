@@ -1,0 +1,10 @@
+// Fixture: a seeded `index-arithmetic` violation. The vertex layout (ToRs
+// first, then OPSs) belongs to topology/ and graph/; everyone else must go
+// through a helper like DataCenterTopology::ops_vertex().
+struct FakeId {
+  unsigned long index() const { return 7; }
+};
+
+unsigned long ops_vertex_by_hand(FakeId id, unsigned long tor_count) {
+  return tor_count + id.index();  // violation: layout arithmetic outside topology/
+}

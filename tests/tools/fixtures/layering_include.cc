@@ -1,0 +1,6 @@
+// Fixture: a seeded `layering-include` violation. The test feeds this file
+// to the linter under the synthetic path "src/cluster/layering_include.cc",
+// where a lower layer is reaching up into the orchestrator.
+#include "orchestrator/orchestrator.h"  // violation (when under src/cluster/)
+
+int lower_layer_peeking_up() { return 0; }

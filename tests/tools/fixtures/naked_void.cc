@@ -1,0 +1,12 @@
+// Fixture: seeded `naked-void` violations — discarding a Status without a
+// named reason. The sanctioned spelling is ALVC_IGNORE_STATUS(expr, "why").
+struct FakeStatus {
+  bool ok;
+};
+
+FakeStatus do_thing();
+
+void teardown() {
+  (void)do_thing();              // violation: silent discard
+  static_cast<void>(do_thing()); // violation: same discard, C++ spelling
+}

@@ -1,0 +1,11 @@
+// Fixture: seeded `nondeterministic-rng` violations. Never compiled; the
+// alvc_lint test asserts the linter flags lines 7 through 9.
+#include <cstdlib>
+#include <random>
+
+int entropy() {
+  std::random_device device;  // violation: hardware entropy breaks replay
+  std::srand(device());       // violation: global unseeded RNG state
+  int salt = std::rand();     // violation: rand() is not seed-stable
+  return salt;
+}

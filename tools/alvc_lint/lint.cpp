@@ -1,0 +1,197 @@
+#include "lint.h"
+
+#include <algorithm>
+#include <cctype>
+#include <regex>
+
+namespace alvc::lint {
+
+namespace {
+
+/// Lexer state that survives line breaks (block comments only; strings and
+/// char literals cannot span lines in this codebase).
+struct ScanState {
+  bool in_block_comment = false;
+};
+
+/// Replaces comments and string/char literal bodies with spaces so rule
+/// patterns only ever match code. Keeps column positions stable.
+std::string strip_noncode(const std::string& line, ScanState& state) {
+  std::string out(line.size(), ' ');
+  bool in_string = false;
+  bool in_char = false;
+  // Preprocessor directives keep their string bodies: an #include's quoted
+  // path is exactly what the layering rule needs to see.
+  const std::size_t first = line.find_first_not_of(" \t");
+  const bool keep_strings = first != std::string::npos && line[first] == '#';
+  for (std::size_t i = 0; i < line.size(); ++i) {
+    const char c = line[i];
+    const char next = i + 1 < line.size() ? line[i + 1] : '\0';
+    if (state.in_block_comment) {
+      if (c == '*' && next == '/') {
+        state.in_block_comment = false;
+        ++i;
+      }
+      continue;
+    }
+    if (in_string) {
+      if (keep_strings) out[i] = c;
+      if (c == '\\') {
+        ++i;
+      } else if (c == '"') {
+        in_string = false;
+      }
+      continue;
+    }
+    if (in_char) {
+      if (c == '\\') {
+        ++i;
+      } else if (c == '\'') {
+        in_char = false;
+      }
+      continue;
+    }
+    if (c == '/' && next == '/') break;  // rest of the line is a comment
+    if (c == '/' && next == '*') {
+      state.in_block_comment = true;
+      ++i;
+      continue;
+    }
+    if (c == '"') {
+      if (keep_strings) out[i] = c;
+      in_string = true;
+      continue;
+    }
+    // A ' between identifier chars is C++14 digit separator (1'000), not a
+    // char literal open.
+    if (c == '\'') {
+      const bool digit_sep = i > 0 && (std::isalnum(static_cast<unsigned char>(line[i - 1])) != 0) &&
+                             (std::isalnum(static_cast<unsigned char>(next)) != 0);
+      if (!digit_sep) {
+        in_char = true;
+        continue;
+      }
+    }
+    out[i] = c;
+  }
+  // Unterminated string at end of line: treat as closed (defensive).
+  return out;
+}
+
+/// The layer a source path belongs to: the directory segment right after
+/// "src/", or empty when the file is not under src/.
+std::string_view src_layer(std::string_view path) {
+  std::size_t pos = path.rfind("src/");
+  // Accept both "src/util/x.h" and "/abs/repo/src/util/x.h", but not
+  // "tests/util/x.h" (no preceding separator requirement beyond start).
+  if (pos == std::string_view::npos) return {};
+  if (pos != 0 && path[pos - 1] != '/') return {};
+  const std::size_t start = pos + 4;
+  const std::size_t end = path.find('/', start);
+  if (end == std::string_view::npos) return {};
+  return path.substr(start, end - start);
+}
+
+bool path_in_layer(std::string_view path, std::string_view layer) {
+  return src_layer(path) == layer;
+}
+
+struct Rule {
+  const char* name;
+  const char* message;
+  std::regex pattern;
+  /// Null = the rule applies everywhere.
+  bool (*applies)(std::string_view path);
+  /// A line containing any of these substrings (in code, after stripping) is
+  /// exempt. Used for idioms that force a match, e.g. EXPECT_THROW((void)f()).
+  std::vector<std::string> exempt_markers;
+};
+
+const std::vector<Rule>& rules() {
+  static const std::vector<Rule> kRules = [] {
+    std::vector<Rule> r;
+    const auto flags = std::regex::ECMAScript | std::regex::optimize;
+    r.push_back(Rule{
+        "nondeterministic-rng",
+        "nondeterministic source (unseeded RNG or wall clock); every stochastic path "
+        "must derive from an explicit seed (use util::Rng)",
+        // `.rand(`/`->rand(` (a member named rand) stay legal; `::rand(`
+        // and a bare `rand(` do not. Same shape for time().
+        std::regex(R"((^|[^\w.>])rand\s*\(|(^|[^\w.>])srand\s*\(|random_device|)"
+                   R"(system_clock\s*::\s*now|high_resolution_clock\s*::\s*now|)"
+                   R"((^|[^\w.>])time\s*\(\s*(NULL|nullptr|0)?\s*\))",
+                   flags),
+        nullptr});
+    r.push_back(Rule{
+        "index-arithmetic",
+        "arithmetic on TaggedId::index() outside topology/ and graph/; the vertex "
+        "layout is their private contract — add or use a helper instead",
+        std::regex(R"(\.index\s*\(\s*\)\s*[+\-*/%]|[+\-*/%]\s*[\w.]*(\.|->)index\s*\(\s*\))",
+                   flags),
+        [](std::string_view path) {
+          return !path_in_layer(path, "topology") && !path_in_layer(path, "graph");
+        }});
+    r.push_back(Rule{
+        "naked-void",
+        "bare discard of a result; use ALVC_IGNORE_STATUS(expr, \"reason\") so the "
+        "judgement call is named and reviewable",
+        std::regex(R"(\(\s*void\s*\)\s*[\w(:!*&~]|static_cast\s*<\s*void\s*>)", flags),
+        nullptr,
+        // Throw-assertions need a (void) to satisfy [[nodiscard]], yet the
+        // value never materializes — the expression is required to throw.
+        {"EXPECT_THROW", "ASSERT_THROW", "EXPECT_ANY_THROW", "ASSERT_ANY_THROW"}});
+    r.push_back(Rule{
+        "layering-include",
+        "layer below the orchestrator includes an orchestrator/ header; dependencies "
+        "flow util -> graph -> topology -> cluster -> nfv -> sdn -> orchestrator",
+        std::regex(R"(#\s*include\s*"orchestrator/)", flags),
+        [](std::string_view path) {
+          const std::string_view layer = src_layer(path);
+          return layer == "util" || layer == "graph" || layer == "topology" ||
+                 layer == "cluster" || layer == "nfv" || layer == "sdn";
+        }});
+    return r;
+  }();
+  return kRules;
+}
+
+bool line_allows(const std::string& raw_line, std::string_view rule) {
+  const std::string needle = "alvc-lint: allow(" + std::string(rule) + ")";
+  return raw_line.find(needle) != std::string::npos;
+}
+
+}  // namespace
+
+std::vector<Finding> lint_source(std::string_view path, std::string_view content) {
+  std::vector<Finding> findings;
+  ScanState state;
+  std::size_t line_no = 0;
+  std::size_t pos = 0;
+  while (pos <= content.size()) {
+    const std::size_t eol = content.find('\n', pos);
+    const std::string raw(content.substr(pos, eol == std::string_view::npos ? std::string_view::npos
+                                                                            : eol - pos));
+    ++line_no;
+    const std::string code = strip_noncode(raw, state);
+    for (const Rule& rule : rules()) {
+      if (rule.applies != nullptr && !rule.applies(path)) continue;
+      if (!std::regex_search(code, rule.pattern)) continue;
+      if (line_allows(raw, rule.name)) continue;
+      const bool exempt =
+          std::any_of(rule.exempt_markers.begin(), rule.exempt_markers.end(),
+                      [&](const std::string& m) { return code.find(m) != std::string::npos; });
+      if (exempt) continue;
+      findings.push_back(Finding{std::string(path), line_no, rule.name, rule.message});
+    }
+    if (eol == std::string_view::npos) break;
+    pos = eol + 1;
+  }
+  return findings;
+}
+
+std::string to_string(const Finding& finding) {
+  return finding.file + ":" + std::to_string(finding.line) + ": [" + finding.rule + "] " +
+         finding.message;
+}
+
+}  // namespace alvc::lint

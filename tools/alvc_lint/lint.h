@@ -1,0 +1,51 @@
+// alvc_lint: project-specific source rules clang-tidy cannot know.
+//
+// Four rules, each encoding a contract earlier PRs established:
+//
+//   nondeterministic-rng  no rand()/srand()/std::random_device/wall-clock
+//                         seeds in src/ or tests/ — every stochastic path
+//                         (schedules, workloads, differential suites) must
+//                         be a pure function of an explicit seed, or the
+//                         20-seed soaks and ALVC_TRACE_SEED replays lie.
+//   index-arithmetic      no arithmetic on TaggedId::index() outside
+//                         topology/ and graph/ — vertex layout (ToRs first,
+//                         then OPSs) is those layers' private contract;
+//                         everyone else asks for a helper.
+//   naked-void            no bare (void)/static_cast<void> discards — a
+//                         dropped Status is a swallowed failure; use
+//                         ALVC_IGNORE_STATUS(expr, "reason") instead. Lines
+//                         inside EXPECT_THROW/ASSERT_THROW are exempt: the
+//                         macro needs the cast, and the value never exists
+//                         because the expression is required to throw.
+//   layering-include      layers below the orchestrator (util, graph,
+//                         topology, cluster, nfv, sdn) must not include
+//                         orchestrator/ headers.
+//
+// A line suppresses a rule with `alvc-lint: allow(<rule>)` in a comment.
+// The scanner strips comments and string/char literals before matching, so
+// prose mentioning rand() does not trip the gate. Preprocessor lines keep
+// their string bodies — an #include's quoted path is what the layering rule
+// inspects.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace alvc::lint {
+
+struct Finding {
+  std::string file;
+  std::size_t line = 0;  // 1-based
+  std::string rule;
+  std::string message;
+};
+
+/// Lints one translation unit. `path` decides the path-scoped rules
+/// (layering, index arithmetic); `content` is the raw file text.
+[[nodiscard]] std::vector<Finding> lint_source(std::string_view path, std::string_view content);
+
+/// Formats a finding as "path:line: [rule] message".
+[[nodiscard]] std::string to_string(const Finding& finding);
+
+}  // namespace alvc::lint

@@ -1,0 +1,94 @@
+// alvc_lint driver: lints files and directory trees, exits non-zero on any
+// finding. See lint.h for the rules.
+//
+// Usage: alvc_lint [--exclude SUBSTR]... <file-or-dir>...
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "lint.h"
+
+namespace {
+
+namespace fs = std::filesystem;
+
+bool lintable(const fs::path& path) {
+  const auto ext = path.extension().string();
+  return ext == ".h" || ext == ".hpp" || ext == ".cpp" || ext == ".cc";
+}
+
+bool excluded(const std::string& path, const std::vector<std::string>& excludes) {
+  for (const auto& pattern : excludes) {
+    if (path.find(pattern) != std::string::npos) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<std::string> roots;
+  std::vector<std::string> excludes;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--exclude") {
+      if (i + 1 >= argc) {
+        std::cerr << "alvc_lint: --exclude needs an argument\n";
+        return 2;
+      }
+      excludes.push_back(argv[++i]);
+    } else if (arg == "--help" || arg == "-h") {
+      std::cout << "usage: alvc_lint [--exclude SUBSTR]... <file-or-dir>...\n";
+      return 0;
+    } else {
+      roots.push_back(arg);
+    }
+  }
+  if (roots.empty()) {
+    std::cerr << "alvc_lint: no inputs (try --help)\n";
+    return 2;
+  }
+
+  std::vector<std::string> files;
+  for (const auto& root : roots) {
+    std::error_code ec;
+    if (fs::is_directory(root, ec)) {
+      for (const auto& entry : fs::recursive_directory_iterator(root)) {
+        if (entry.is_regular_file() && lintable(entry.path())) {
+          files.push_back(entry.path().generic_string());
+        }
+      }
+    } else if (fs::is_regular_file(root, ec)) {
+      files.push_back(root);
+    } else {
+      std::cerr << "alvc_lint: no such file or directory: " << root << "\n";
+      return 2;
+    }
+  }
+  std::sort(files.begin(), files.end());
+
+  std::size_t linted = 0;
+  std::size_t finding_count = 0;
+  for (const auto& file : files) {
+    if (excluded(file, excludes)) continue;
+    std::ifstream in(file, std::ios::binary);
+    if (!in) {
+      std::cerr << "alvc_lint: cannot read " << file << "\n";
+      return 2;
+    }
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    ++linted;
+    for (const auto& finding : alvc::lint::lint_source(file, buffer.str())) {
+      std::cout << alvc::lint::to_string(finding) << "\n";
+      ++finding_count;
+    }
+  }
+  std::cout << "alvc_lint: " << linted << " files, " << finding_count << " finding"
+            << (finding_count == 1 ? "" : "s") << "\n";
+  return finding_count == 0 ? 0 : 1;
+}
