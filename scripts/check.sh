@@ -1,8 +1,9 @@
 #!/usr/bin/env bash
 # One-command gate: static analysis first, then configure + build + ctest,
 # then the thread-safety suites again under ThreadSanitizer, the
-# failure/recovery suites under AddressSanitizer, and the full suite under
-# UndefinedBehaviorSanitizer.
+# failure/recovery suites under AddressSanitizer, the telemetry subsystem
+# with hooks compiled OFF (plus an ON-vs-OFF bit-identical seeded sim diff
+# and a bench smoke), and the full suite under UndefinedBehaviorSanitizer.
 #
 # The static stage runs BEFORE any test and has three parts:
 #   1. alvc_lint        — project rules (determinism, id arithmetic, naked
@@ -21,6 +22,7 @@
 #   ALVC_SKIP_TSAN=1 scripts/check.sh   # skip the TSan pass (e.g. unsupported host)
 #   ALVC_SKIP_ASAN=1 scripts/check.sh   # skip the ASan pass
 #   ALVC_SKIP_UBSAN=1 scripts/check.sh  # skip the UBSan pass
+#   ALVC_SKIP_TELEMETRY=1 scripts/check.sh  # skip the telemetry ON/OFF leg
 #   ALVC_JOBS=8 scripts/check.sh        # override parallelism
 set -euo pipefail
 
@@ -95,6 +97,35 @@ else
 
   echo "== ctest -L failures (under ASan) =="
   ctest --test-dir build-asan --output-on-failure -j "$jobs" -L failures
+fi
+
+if [[ "${ALVC_SKIP_TELEMETRY:-0}" == "1" ]]; then
+  echo "== telemetry pass skipped (ALVC_SKIP_TELEMETRY=1) =="
+else
+  echo "== configure + build (-DALVC_TELEMETRY=OFF) =="
+  cmake -B build-notelemetry -S . -DALVC_TELEMETRY=OFF >/dev/null
+  cmake --build build-notelemetry -j "$jobs" --target \
+    datacenter_sim telemetry_determinism_test bench_telemetry_overhead
+
+  echo "== telemetry: hooks compile to no-ops and determinism holds when OFF =="
+  ctest --test-dir build-notelemetry --output-on-failure -j "$jobs" \
+    -R 'Telemetry(Determinism|Export)Test'
+
+  echo "== telemetry: seeded sim output is bit-identical ON vs OFF =="
+  # datacenter_sim is fully seeded; instrumentation must never perturb the
+  # simulation itself, so the two builds' stdout must match byte-for-byte.
+  ./build/examples/datacenter_sim > build/telemetry-on.out
+  ./build-notelemetry/examples/datacenter_sim > build-notelemetry/telemetry-off.out
+  diff build/telemetry-on.out build-notelemetry/telemetry-off.out
+  ./build/examples/datacenter_sim > build/telemetry-on2.out
+  diff build/telemetry-on.out build/telemetry-on2.out
+
+  echo "== telemetry: overhead bench smoke (ON and OFF builds) =="
+  cmake --build build -j "$jobs" --target bench_telemetry_overhead
+  ./build/bench/bench_telemetry_overhead \
+    --benchmark_min_time=0.01 --benchmark_filter='BM_(CounterAdd|HookMacro)' >/dev/null
+  ./build-notelemetry/bench/bench_telemetry_overhead \
+    --benchmark_min_time=0.01 --benchmark_filter='BM_(CounterAdd|HookMacro)' >/dev/null
 fi
 
 if [[ "${ALVC_SKIP_UBSAN:-0}" == "1" ]]; then

@@ -7,6 +7,7 @@
 #include "graph/articulation.h"
 #include "graph/set_cover.h"
 #include "graph/vertex_cover.h"
+#include "telemetry/telemetry.h"
 #include "util/bitset.h"
 
 namespace alvc::cluster {
@@ -30,6 +31,7 @@ std::vector<TorId> tors_of_group(const DataCenterTopology& topo, std::span<const
 /// Stage 1 (paper): minimum ToR set covering all VMs of the group.
 std::vector<TorId> select_tors(const DataCenterTopology& topo, std::span<const VmId> group,
                                bool exact, std::size_t node_budget) {
+  ALVC_SPAN(span, "al_builder.select_tors");
   const BipartiteGraph g = topo.vm_tor_graph(group);
   std::vector<std::size_t> chosen;
   if (exact) {
@@ -53,6 +55,7 @@ Expected<std::vector<OpsId>> select_ops(const DataCenterTopology& topo,
                                         std::span<const TorId> tors,
                                         const OpsOwnership& ownership, bool exact,
                                         std::size_t node_budget) {
+  ALVC_SPAN(span, "al_builder.select_ops");
   // Left = selected ToRs (dense re-index), right = all OPSs; edges only to
   // free OPSs so ownership exclusivity is respected by construction.
   BipartiteGraph g(tors.size(), topo.ops_count());
@@ -90,6 +93,7 @@ Expected<std::vector<OpsId>> select_ops(const DataCenterTopology& topo,
 std::size_t augment_layer_connectivity(const DataCenterTopology& topo,
                                        const OpsOwnership& ownership, AbstractionLayer& layer,
                                        bool& connected) {
+  ALVC_SPAN(span, "al_builder.augment_connectivity");
   const auto& g = topo.switch_graph();
   std::size_t added = 0;
 
@@ -192,6 +196,10 @@ Expected<AlBuildResult> finish(const DataCenterTopology& topo, const OpsOwnershi
   } else {
     result.connected = cluster_subgraph_connected(topo, result.layer);
   }
+  ALVC_COUNT("al_builder.builds");
+  ALVC_OBSERVE("al_builder.layer_tors", 0, 64, 32, result.layer.tors.size());
+  ALVC_OBSERVE("al_builder.layer_opss", 0, 64, 32, result.layer.opss.size());
+  ALVC_COUNT_N("al_builder.augmented_ops", result.augmented_ops);
   return result;
 }
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "cluster/service.h"
+#include "telemetry/telemetry.h"
 
 namespace alvc::cluster {
 
@@ -43,6 +44,7 @@ Expected<ClusterId> ClusterManager::commit_built(ServiceId service, std::span<co
 
 Expected<ClusterId> ClusterManager::create_cluster(ServiceId service, std::span<const VmId> group,
                                                    const AlBuilder& builder) {
+  ALVC_SPAN(span, "cluster.create_cluster");
   if (auto status = check_group_free(group); !status.is_ok()) return status.error();
   auto built = builder.build(*topo_, group, ownership_);
   if (!built) return built.error();
@@ -65,14 +67,17 @@ Expected<std::vector<ClusterId>> ClusterManager::create_clusters_by_service(
 Expected<std::vector<ClusterId>> ClusterManager::build_all_clusters(const AlBuilder& builder,
                                                                     alvc::util::Executor* executor,
                                                                     BatchBuildStats* stats) {
+  ALVC_SPAN(span, "cluster.build_all_clusters");
   const auto groups = group_vms_by_service(*topo_);
   BatchBuildStats local;
   for (const auto& group : groups) {
     if (!group.empty()) ++local.groups;
   }
+  ALVC_COUNT_N("cluster.build.groups", local.groups);
 
   if (executor == nullptr) {
     local.serial_rebuilds = local.groups;
+    ALVC_COUNT_N("cluster.build.serial_rebuilds", local.serial_rebuilds);
     if (stats != nullptr) *stats += local;
     return create_clusters_by_service(builder);
   }
@@ -128,6 +133,8 @@ Expected<std::vector<ClusterId>> ClusterManager::build_all_clusters(const AlBuil
     for (OpsId o : find(*id)->layer.opss) dirty.set(o.index());
     ids.push_back(*id);
   }
+  ALVC_COUNT_N("cluster.build.parallel_commits", local.parallel_commits);
+  ALVC_COUNT_N("cluster.build.serial_rebuilds", local.serial_rebuilds);
   if (stats != nullptr) *stats += local;
   return ids;
 }
@@ -165,6 +172,8 @@ Expected<UpdateCost> ClusterManager::add_vm(ClusterId id, VmId vm) {
   }
   vc->vms.push_back(vm);
   cost.flow_rules += 1;  // install the VM's rule at its ToR
+  ALVC_COUNT("cluster.churn.vm_adds");
+  ALVC_OBSERVE("cluster.churn.update_cost", 0, 32, 32, cost.total());
   return cost;
 }
 
@@ -186,6 +195,8 @@ Expected<UpdateCost> ClusterManager::remove_vm(ClusterId id, VmId vm) {
   if (!tor_still_used && vc->layer.contains_tor(tor)) {
     cost += uncover_tor(*vc, tor);
   }
+  ALVC_COUNT("cluster.churn.vm_removes");
+  ALVC_OBSERVE("cluster.churn.update_cost", 0, 32, 32, cost.total());
   return cost;
 }
 
@@ -218,6 +229,8 @@ Expected<UpdateCost> ClusterManager::migrate_vm(ClusterId id, VmId vm, ServerId 
   if (!old_tor_still_used && vc->layer.contains_tor(old_tor)) {
     cost += uncover_tor(*vc, old_tor);
   }
+  ALVC_COUNT("cluster.churn.vm_migrations");
+  ALVC_OBSERVE("cluster.churn.update_cost", 0, 32, 32, cost.total());
   return cost;
 }
 
@@ -280,11 +293,14 @@ Expected<UpdateCost> ClusterManager::reoptimize_cluster(ClusterId id, const AlBu
 Expected<std::vector<UpdateCost>> ClusterManager::reoptimize_clusters(
     std::span<const ClusterId> ids, const AlBuilder& builder, alvc::util::Executor* executor,
     BatchBuildStats* stats) {
+  ALVC_SPAN(span, "cluster.reoptimize_clusters");
   BatchBuildStats local;
   local.groups = ids.size();
+  ALVC_COUNT_N("cluster.reoptimize.groups", local.groups);
 
   if (executor == nullptr) {
     local.serial_rebuilds = ids.size();
+    ALVC_COUNT_N("cluster.reoptimize.serial_rebuilds", local.serial_rebuilds);
     std::vector<UpdateCost> costs;
     costs.reserve(ids.size());
     for (ClusterId id : ids) {
@@ -363,6 +379,8 @@ Expected<std::vector<UpdateCost>> ClusterManager::reoptimize_clusters(
     }
     costs.push_back(*cost);
   }
+  ALVC_COUNT_N("cluster.reoptimize.parallel_commits", local.parallel_commits);
+  ALVC_COUNT_N("cluster.reoptimize.serial_rebuilds", local.serial_rebuilds);
   if (stats != nullptr) *stats += local;
   return costs;
 }
@@ -372,6 +390,8 @@ Expected<UpdateCost> ClusterManager::handle_ops_failure(alvc::util::OpsId ops) {
     return Error{ErrorCode::kInvalidArgument, "bad OPS id"};
   }
   if (!topo_->ops_usable(ops)) return UpdateCost{};  // already failed: nothing new to repair
+  ALVC_SPAN(span, "cluster.handle_ops_failure");
+  ALVC_COUNT("cluster.failures.ops");
   const ClusterId owner = ownership_.owner(ops);
   ALVC_IGNORE_STATUS(topo_->set_ops_failed(ops, true), "the ops id was validated above");
   UpdateCost cost;
@@ -388,10 +408,12 @@ Expected<UpdateCost> ClusterManager::handle_ops_failure(alvc::util::OpsId ops) {
   auto repair = repair_coverage(*vc);
   if (!repair) return repair.error();
   cost += *repair;
+  ALVC_OBSERVE("cluster.repair.update_cost", 0, 128, 32, cost.total());
   return cost;
 }
 
 Expected<UpdateCost> ClusterManager::repair_coverage(VirtualCluster& vc) {
+  ALVC_SPAN(span, "cluster.repair_coverage");
   UpdateCost cost;
   // Repair on a candidate copy so an infeasible repair leaves the cluster
   // merely degraded, never holding OPSs it does not own.
@@ -439,6 +461,7 @@ Expected<UpdateCost> ClusterManager::repair_coverage(VirtualCluster& vc) {
 }
 
 UpdateCost ClusterManager::rebuild_cluster(VirtualCluster& vc, const AlBuilder& builder) {
+  ALVC_SPAN(span, "cluster.rebuild_cluster");
   // Which members can the network still reach? A VM counts when at least
   // one of its home ToRs is up with at least one usable uplink.
   std::vector<VmId> reachable;
@@ -523,6 +546,8 @@ Expected<UpdateCost> ClusterManager::handle_tor_failure(TorId tor, const AlBuild
     return Error{ErrorCode::kInvalidArgument, "bad ToR id"};
   }
   if (!topo_->tor_usable(tor)) return UpdateCost{};  // already failed
+  ALVC_SPAN(span, "cluster.handle_tor_failure");
+  ALVC_COUNT("cluster.failures.tor");
   ALVC_IGNORE_STATUS(topo_->set_tor_failed(tor, true), "the tor id was validated above");
   UpdateCost cost;
   for (ClusterId id : sorted_cluster_ids()) {
@@ -533,6 +558,7 @@ Expected<UpdateCost> ClusterManager::handle_tor_failure(TorId tor, const AlBuild
     cost.flow_rules += 1;
     cost += rebuild_cluster(*vc, builder);
   }
+  ALVC_OBSERVE("cluster.repair.update_cost", 0, 128, 32, cost.total());
   return cost;
 }
 
@@ -558,6 +584,8 @@ Expected<UpdateCost> ClusterManager::handle_link_failure(TorId tor, alvc::util::
   if (auto status = topo_->set_link_failed(tor, ops, true); !status.is_ok()) {
     return status.error();  // kNotFound: no such link
   }
+  ALVC_SPAN(span, "cluster.handle_link_failure");
+  ALVC_COUNT("cluster.failures.link");
   UpdateCost cost;
   for (ClusterId id : sorted_cluster_ids()) {
     VirtualCluster* vc = find_mutable(id);
@@ -575,6 +603,8 @@ Expected<UpdateCost> ClusterManager::handle_ops_recovery(alvc::util::OpsId ops,
     return Error{ErrorCode::kInvalidArgument, "bad OPS id"};
   }
   if (topo_->ops_usable(ops)) return UpdateCost{};  // was not failed
+  ALVC_SPAN(span, "cluster.handle_ops_recovery");
+  ALVC_COUNT("cluster.recoveries.ops");
   ALVC_IGNORE_STATUS(topo_->set_ops_failed(ops, false), "the ops id was validated above");
   return restore_degraded_clusters(builder);
 }
@@ -584,6 +614,8 @@ Expected<UpdateCost> ClusterManager::handle_tor_recovery(TorId tor, const AlBuil
     return Error{ErrorCode::kInvalidArgument, "bad ToR id"};
   }
   if (topo_->tor_usable(tor)) return UpdateCost{};  // was not failed
+  ALVC_SPAN(span, "cluster.handle_tor_recovery");
+  ALVC_COUNT("cluster.recoveries.tor");
   ALVC_IGNORE_STATUS(topo_->set_tor_failed(tor, false), "the tor id was validated above");
   return restore_degraded_clusters(builder);
 }
@@ -597,10 +629,13 @@ Expected<UpdateCost> ClusterManager::handle_link_recovery(TorId tor, alvc::util:
   if (auto status = topo_->set_link_failed(tor, ops, false); !status.is_ok()) {
     return status.error();
   }
+  ALVC_SPAN(span, "cluster.handle_link_recovery");
+  ALVC_COUNT("cluster.recoveries.link");
   return restore_degraded_clusters(builder);
 }
 
 Expected<UpdateCost> ClusterManager::restore_degraded_clusters(const AlBuilder& builder) {
+  ALVC_SPAN(span, "cluster.restore_degraded_clusters");
   UpdateCost cost;
   for (ClusterId id : sorted_cluster_ids()) {
     VirtualCluster* vc = find_mutable(id);

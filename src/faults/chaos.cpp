@@ -1,10 +1,13 @@
 #include "faults/chaos.h"
 
 #include <algorithm>
+#include <map>
+#include <tuple>
 #include <unordered_set>
 
 #include "faults/state_auditor.h"
 #include "sim/event_queue.h"
+#include "telemetry/telemetry.h"
 #include "util/rng.h"
 
 namespace alvc::faults {
@@ -37,9 +40,28 @@ ChaosReport ChaosRunner::run() {
     }
   };
 
+  // Failure time per element, so a matching repair can report how long the
+  // element was down (the failure -> recovery latency the paper's degraded
+  // -mode discussion cares about).
+  std::map<std::tuple<int, std::uint32_t, std::uint32_t>, double> down_since;
   FaultInjector::schedule(queue, std::move(events), [&](const FaultEvent& event) {
     (event.failure ? report.failures_injected : report.repairs_injected) += 1;
-    if (!apply_fault(*orch_, event)) ++report.handler_errors;
+    const auto element =
+        std::make_tuple(static_cast<int>(event.kind), event.id, event.ops);
+    if (event.failure) {
+      ALVC_COUNT("faults.injected.failures");
+      down_since.emplace(element, event.time_s);
+    } else {
+      ALVC_COUNT("faults.injected.repairs");
+      if (const auto it = down_since.find(element); it != down_since.end()) {
+        ALVC_OBSERVE("faults.recovery_latency_s", 0, 64, 32, event.time_s - it->second);
+        down_since.erase(it);
+      }
+    }
+    if (!apply_fault(*orch_, event)) {
+      ++report.handler_errors;
+      ALVC_COUNT("faults.handler_errors");
+    }
     if (params_.audit_every_event) record_violations(StateAuditor::audit(*orch_));
   });
 
@@ -54,12 +76,19 @@ ChaosReport ChaosRunner::run() {
         const auto chains = orch_->chains();
         if (chains.empty()) {
           ++report.flows_deferred;
+          ALVC_COUNT("faults.flows.deferred");
           return;
         }
         const ProvisionedChain* chain = chains[next_chain++ % chains.size()];
         // A degraded chain with zero bandwidth is parked; anything holding
         // bandwidth (full or fractional) still serves traffic.
-        (chain->reserved_gbps > 0 ? report.flows_served : report.flows_deferred) += 1;
+        if (chain->reserved_gbps > 0) {
+          ++report.flows_served;
+          ALVC_COUNT("faults.flows.served");
+        } else {
+          ++report.flows_deferred;
+          ALVC_COUNT("faults.flows.deferred");
+        }
       });
       t += rng.exponential(params_.flow_rate_per_s);
     }
@@ -87,6 +116,8 @@ ChaosReport ChaosRunner::run() {
   for (std::uint32_t id : baseline) {
     if (!live.contains(id) && !accounted_gone.contains(id)) ++report.chains_unaccounted;
   }
+  // Silent loss is the one number that must never drift from zero unnoticed.
+  ALVC_COUNT_N("faults.chains.unaccounted", report.chains_unaccounted);
   report.chains_lost = orch_->stats().chains_lost;
   report.chains_restored = orch_->stats().chains_restored;
   return report;

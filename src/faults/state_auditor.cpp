@@ -4,6 +4,8 @@
 #include <unordered_set>
 #include <variant>
 
+#include "telemetry/telemetry.h"
+
 namespace alvc::faults {
 
 using alvc::orchestrator::ProvisionedChain;
@@ -91,6 +93,8 @@ void audit_chain(const DataCenterTopology& topo, const ProvisionedChain& chain,
 
 std::vector<std::string> StateAuditor::audit(
     const alvc::orchestrator::NetworkOrchestrator& orch) {
+  ALVC_SPAN(span, "faults.state_audit");
+  ALVC_COUNT("faults.audit.runs");
   std::vector<std::string> out;
   const auto& clusters = orch.clusters();
   const auto& topo = clusters.topology();
@@ -134,6 +138,7 @@ std::vector<std::string> StateAuditor::audit(
     }
   }
 
+  ALVC_COUNT_N("faults.audit.violations", out.size());
   return out;
 }
 

@@ -6,6 +6,7 @@
 #include <unordered_set>
 
 #include "graph/max_flow.h"
+#include "telemetry/telemetry.h"
 
 namespace alvc::orchestrator {
 
@@ -74,12 +75,30 @@ AdmissionDecision AdmissionController::check(const alvc::nfv::NfcSpec& spec,
 }
 
 void AdmissionController::record(const AdmissionDecision& decision) noexcept {
+  // The single choke point every admission verdict flows through; the
+  // telemetry counters mirror stats_ so dashboards and the in-process
+  // AdmissionStats always agree.
   switch (decision.outcome) {
-    case AdmissionOutcome::kAdmitted: ++stats_.admitted; break;
-    case AdmissionOutcome::kRejectedMalformed: ++stats_.rejected_malformed; break;
-    case AdmissionOutcome::kRejectedBandwidth: ++stats_.rejected_bandwidth; break;
-    case AdmissionOutcome::kRejectedCapacityFlow: ++stats_.rejected_capacity_flow; break;
-    case AdmissionOutcome::kRejectedResources: ++stats_.rejected_resources; break;
+    case AdmissionOutcome::kAdmitted:
+      ++stats_.admitted;
+      ALVC_COUNT("orchestrator.admission.admitted");
+      break;
+    case AdmissionOutcome::kRejectedMalformed:
+      ++stats_.rejected_malformed;
+      ALVC_COUNT("orchestrator.admission.rejected_malformed");
+      break;
+    case AdmissionOutcome::kRejectedBandwidth:
+      ++stats_.rejected_bandwidth;
+      ALVC_COUNT("orchestrator.admission.rejected_bandwidth");
+      break;
+    case AdmissionOutcome::kRejectedCapacityFlow:
+      ++stats_.rejected_capacity_flow;
+      ALVC_COUNT("orchestrator.admission.rejected_capacity_flow");
+      break;
+    case AdmissionOutcome::kRejectedResources:
+      ++stats_.rejected_resources;
+      ALVC_COUNT("orchestrator.admission.rejected_resources");
+      break;
   }
 }
 

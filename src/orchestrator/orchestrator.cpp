@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <unordered_set>
 
+#include "telemetry/telemetry.h"
+
 namespace alvc::orchestrator {
 
 using alvc::cluster::VirtualCluster;
@@ -33,6 +35,7 @@ const VirtualCluster* NetworkOrchestrator::cluster_for_service(ServiceId service
 
 std::vector<Status> NetworkOrchestrator::preadmit_chains(
     std::span<const alvc::nfv::NfcSpec> specs, alvc::util::Executor* executor) {
+  ALVC_SPAN(span, "orchestrator.preadmit_chains");
   struct Screened {
     const VirtualCluster* vc = nullptr;
     AdmissionDecision decision;
@@ -73,24 +76,29 @@ std::vector<Status> NetworkOrchestrator::preadmit_chains(
 
 Expected<NfcId> NetworkOrchestrator::provision_chain(const alvc::nfv::NfcSpec& spec,
                                                      const PlacementStrategy& placement) {
+  ALVC_SPAN(span, "orchestrator.provision_chain");
   const VirtualCluster* vc = cluster_for_service(spec.service);
   if (vc == nullptr) {
     ++stats_.provision_failures;
+    ALVC_COUNT("orchestrator.provision.failures");
     return Error{ErrorCode::kNotFound,
                  "no cluster serves service " + std::to_string(spec.service.value())};
   }
   if (vc->layer.tors.empty()) {
     ++stats_.provision_failures;
+    ALVC_COUNT("orchestrator.provision.failures");
     return Error{ErrorCode::kInfeasible, "cluster has an empty abstraction layer"};
   }
   if (auto status = admission_.admit(spec, *vc, cloud_.pool()); !status.is_ok()) {
     ++stats_.provision_failures;
+    ALVC_COUNT("orchestrator.provision.failures");
     return status.error();
   }
   const NfcId id{next_id_++};
   auto slice = slices_.allocate(vc->id, id, spec.bandwidth_gbps);
   if (!slice) {
     ++stats_.provision_failures;
+    ALVC_COUNT("orchestrator.provision.failures");
     return slice.error();
   }
 
@@ -102,6 +110,7 @@ Expected<NfcId> NetworkOrchestrator::provision_chain(const alvc::nfv::NfcSpec& s
   if (!placed) {
     ALVC_IGNORE_STATUS(slices_.release(id), "unwinding a failed provision; slice just allocated");
     ++stats_.provision_failures;
+    ALVC_COUNT("orchestrator.provision.failures");
     return placed.error();
   }
   // place() reserved capacity directly in the pool; release those raw
@@ -128,6 +137,7 @@ Expected<NfcId> NetworkOrchestrator::provision_chain(const alvc::nfv::NfcSpec& s
     }
     ALVC_IGNORE_STATUS(slices_.release(id), "unwinding a failed provision; slice just allocated");
     ++stats_.provision_failures;
+    ALVC_COUNT("orchestrator.provision.failures");
     return Error{ErrorCode::kInternal, "deployment failed after successful placement"};
   }
 
@@ -146,6 +156,7 @@ Expected<NfcId> NetworkOrchestrator::provision_chain(const alvc::nfv::NfcSpec& s
     }
     ALVC_IGNORE_STATUS(slices_.release(id), "unwinding a failed provision; slice just allocated");
     ++stats_.provision_failures;
+    ALVC_COUNT("orchestrator.provision.failures");
     return route.error();
   }
   std::size_t rules = 0;
@@ -159,6 +170,7 @@ Expected<NfcId> NetworkOrchestrator::provision_chain(const alvc::nfv::NfcSpec& s
       ALVC_IGNORE_STATUS(slices_.release(id),
                          "unwinding a failed provision; slice just allocated");
       ++stats_.provision_failures;
+      ALVC_COUNT("orchestrator.provision.failures");
       return status.error();
     }
   }
@@ -171,9 +183,21 @@ Expected<NfcId> NetworkOrchestrator::provision_chain(const alvc::nfv::NfcSpec& s
     }
     ALVC_IGNORE_STATUS(slices_.release(id), "unwinding a failed provision; slice just allocated");
     ++stats_.provision_failures;
+    ALVC_COUNT("orchestrator.provision.failures");
     return status.error();
   }
   rules = controller_.chain_rule_count(id);
+
+  ALVC_OBSERVE("orchestrator.route.path_length", 0, 64, 32,
+               static_cast<double>(route->vertices.size()));
+  ALVC_OBSERVE("orchestrator.route.conversions", 0, 16, 16,
+               static_cast<double>(placed->conversions.mid_chain));
+  // Without the abstraction layer every inter-function hop would cost an
+  // O/E/O conversion; mid-chain conversions actually incurred are the rest.
+  ALVC_COUNT_N("orchestrator.oeo.conversions_saved",
+               spec.functions.size() > placed->conversions.mid_chain
+                   ? spec.functions.size() - placed->conversions.mid_chain
+                   : 0);
 
   ProvisionedChain chain{.record = alvc::nfv::NfcRecord{.id = id, .spec = spec},
                          .cluster = vc->id,
@@ -187,34 +211,41 @@ Expected<NfcId> NetworkOrchestrator::provision_chain(const alvc::nfv::NfcSpec& s
   log_.append(sdn::ControlEventType::kSliceAllocated, slice->value());
   log_.append(sdn::ControlEventType::kChainProvisioned, id.value(), spec.name);
   ++stats_.chains_provisioned;
+  ALVC_COUNT("orchestrator.chains.provisioned");
   return id;
 }
 
 Expected<NfcId> NetworkOrchestrator::provision_forwarding_graph(
     const alvc::nfv::GraphNfcSpec& gspec, const PlacementStrategy& placement) {
+  ALVC_SPAN(span, "orchestrator.provision_forwarding_graph");
   if (auto status = gspec.graph.validate(); !status.is_ok()) {
     ++stats_.provision_failures;
+    ALVC_COUNT("orchestrator.provision.failures");
     return status.error();
   }
   const alvc::nfv::NfcSpec spec = gspec.to_linear_spec();
   const VirtualCluster* vc = cluster_for_service(spec.service);
   if (vc == nullptr) {
     ++stats_.provision_failures;
+    ALVC_COUNT("orchestrator.provision.failures");
     return Error{ErrorCode::kNotFound,
                  "no cluster serves service " + std::to_string(spec.service.value())};
   }
   if (vc->layer.tors.empty()) {
     ++stats_.provision_failures;
+    ALVC_COUNT("orchestrator.provision.failures");
     return Error{ErrorCode::kInfeasible, "cluster has an empty abstraction layer"};
   }
   if (auto status = admission_.admit(spec, *vc, cloud_.pool()); !status.is_ok()) {
     ++stats_.provision_failures;
+    ALVC_COUNT("orchestrator.provision.failures");
     return status.error();
   }
   const NfcId id{next_id_++};
   auto slice = slices_.allocate(vc->id, id, spec.bandwidth_gbps);
   if (!slice) {
     ++stats_.provision_failures;
+    ALVC_COUNT("orchestrator.provision.failures");
     return slice.error();
   }
 
@@ -226,6 +257,7 @@ Expected<NfcId> NetworkOrchestrator::provision_forwarding_graph(
   if (!placed) {
     ALVC_IGNORE_STATUS(slices_.release(id), "unwinding a failed provision; slice just allocated");
     ++stats_.provision_failures;
+    ALVC_COUNT("orchestrator.provision.failures");
     return placed.error();
   }
   for (std::size_t i = 0; i < placed->hosts.size(); ++i) {
@@ -248,6 +280,7 @@ Expected<NfcId> NetworkOrchestrator::provision_forwarding_graph(
     }
     ALVC_IGNORE_STATUS(slices_.release(id), "unwinding a failed provision; slice just allocated");
     ++stats_.provision_failures;
+    ALVC_COUNT("orchestrator.provision.failures");
     return Error{ErrorCode::kInternal, "deployment failed after successful placement"};
   }
 
@@ -266,6 +299,7 @@ Expected<NfcId> NetworkOrchestrator::provision_forwarding_graph(
     }
     ALVC_IGNORE_STATUS(slices_.release(id), "unwinding a failed provision; slice just allocated");
     ++stats_.provision_failures;
+    ALVC_COUNT("orchestrator.provision.failures");
     return route.error();
   }
   for (const auto& leg : route->legs) {
@@ -278,6 +312,7 @@ Expected<NfcId> NetworkOrchestrator::provision_forwarding_graph(
       ALVC_IGNORE_STATUS(slices_.release(id),
                          "unwinding a failed provision; slice just allocated");
       ++stats_.provision_failures;
+      ALVC_COUNT("orchestrator.provision.failures");
       return status.error();
     }
   }
@@ -290,10 +325,20 @@ Expected<NfcId> NetworkOrchestrator::provision_forwarding_graph(
     }
     ALVC_IGNORE_STATUS(slices_.release(id), "unwinding a failed provision; slice just allocated");
     ++stats_.provision_failures;
+    ALVC_COUNT("orchestrator.provision.failures");
     return status.error();
   }
   // The DAG's conversion count is authoritative for this chain.
   placed->conversions = route->conversions;
+
+  ALVC_OBSERVE("orchestrator.route.path_length", 0, 64, 32,
+               static_cast<double>(route->vertices.size()));
+  ALVC_OBSERVE("orchestrator.route.conversions", 0, 16, 16,
+               static_cast<double>(placed->conversions.mid_chain));
+  ALVC_COUNT_N("orchestrator.oeo.conversions_saved",
+               spec.functions.size() > placed->conversions.mid_chain
+                   ? spec.functions.size() - placed->conversions.mid_chain
+                   : 0);
 
   ProvisionedChain chain{.record = alvc::nfv::NfcRecord{.id = id, .spec = spec},
                          .cluster = vc->id,
@@ -309,10 +354,12 @@ Expected<NfcId> NetworkOrchestrator::provision_forwarding_graph(
   log_.append(sdn::ControlEventType::kSliceAllocated, slice->value());
   log_.append(sdn::ControlEventType::kChainProvisioned, id.value(), spec.name);
   ++stats_.chains_provisioned;
+  ALVC_COUNT("orchestrator.chains.provisioned");
   return id;
 }
 
 Status NetworkOrchestrator::teardown_chain(NfcId id) {
+  ALVC_SPAN(span, "orchestrator.teardown_chain");
   const auto it = chains_.find(id);
   if (it == chains_.end()) {
     return Error{ErrorCode::kNotFound, "no chain " + std::to_string(id.value())};
@@ -330,6 +377,7 @@ Status NetworkOrchestrator::teardown_chain(NfcId id) {
   log_.append(sdn::ControlEventType::kSliceReleased, id.value());
   log_.append(sdn::ControlEventType::kChainTornDown, id.value());
   ++stats_.chains_torn_down;
+  ALVC_COUNT("orchestrator.chains.torn_down");
   return Status::ok();
 }
 
@@ -522,6 +570,7 @@ void NetworkOrchestrator::park_chain(ProvisionedChain& chain) {
 }
 
 double NetworkOrchestrator::fit_chain(ProvisionedChain& chain) {
+  ALVC_SPAN(span, "orchestrator.fit_chain");
   const NfcId id = chain.record.id;
   const VirtualCluster* vc = clusters_->find(chain.cluster);
   if (vc == nullptr || vc->layer.tors.empty()) return 0;
@@ -600,7 +649,12 @@ void NetworkOrchestrator::mark_degraded(ProvisionedChain& chain, double fraction
   const bool entered = !chain.degraded;
   chain.degraded = true;
   chain.degraded_reason = reason;
-  if (entered) ++stats_.chains_degraded;
+  if (entered) {
+    ++stats_.chains_degraded;
+    ALVC_COUNT("orchestrator.chains.degraded_transitions");
+  }
+  // Which rung of the degraded-mode ladder the chain landed on.
+  ALVC_OBSERVE("orchestrator.degraded.fraction", 0.0, 1.0, 8, fraction);
   log_.append(sdn::ControlEventType::kChainDegraded, chain.record.id.value(),
               reason + " (serving " + std::to_string(static_cast<int>(fraction * 100)) +
                   "% of demanded bandwidth)");
@@ -608,6 +662,7 @@ void NetworkOrchestrator::mark_degraded(ProvisionedChain& chain, double fraction
 }
 
 std::size_t NetworkOrchestrator::sweep_chains() {
+  ALVC_SPAN(span, "orchestrator.sweep_chains");
   std::size_t repaired = 0;
   for (NfcId id : sorted_chain_ids()) {
     const auto it = chains_.find(id);
@@ -633,6 +688,7 @@ std::size_t NetworkOrchestrator::sweep_chains() {
       ++repaired;
       log_.append(sdn::ControlEventType::kChainRepaired, id.value());
       ++stats_.chains_repaired;
+      ALVC_COUNT("orchestrator.chains.repaired");
     } else {
       mark_degraded(chain, fraction, "full-bandwidth refit infeasible after failure");
     }
@@ -641,6 +697,7 @@ std::size_t NetworkOrchestrator::sweep_chains() {
 }
 
 std::size_t NetworkOrchestrator::drain_retry_queue() {
+  ALVC_SPAN(span, "orchestrator.drain_retry_queue");
   ++recovery_epoch_;
   std::sort(retry_queue_.begin(), retry_queue_.end(),
             [](const RetryEntry& a, const RetryEntry& b) { return a.id < b.id; });
@@ -663,6 +720,7 @@ std::size_t NetworkOrchestrator::drain_retry_queue() {
       chain.degraded_reason.clear();
       ++restored;
       ++stats_.chains_restored;
+      ALVC_COUNT("orchestrator.chains.restored");
       log_.append(sdn::ControlEventType::kChainRestored, entry.id.value());
       continue;
     }
@@ -674,6 +732,7 @@ std::size_t NetworkOrchestrator::drain_retry_queue() {
     keep.push_back(entry);
   }
   retry_queue_ = std::move(keep);
+  ALVC_GAUGE_SET("orchestrator.retry_queue.depth", static_cast<double>(retry_queue_.size()));
   return restored;
 }
 
@@ -682,6 +741,7 @@ void NetworkOrchestrator::enqueue_retry(NfcId id) {
     if (entry.id == id) return;
   }
   retry_queue_.push_back(RetryEntry{.id = id});
+  ALVC_GAUGE_SET("orchestrator.retry_queue.depth", static_cast<double>(retry_queue_.size()));
 }
 
 std::vector<NfcId> NetworkOrchestrator::sorted_chain_ids() const {
@@ -701,6 +761,7 @@ std::size_t NetworkOrchestrator::degraded_chain_count() const noexcept {
 }
 
 Expected<std::size_t> NetworkOrchestrator::handle_ops_failure(alvc::util::OpsId ops) {
+  ALVC_SPAN(span, "orchestrator.handle_ops_failure");
   const auto& topo = clusters_->topology();
   if (ops.index() >= topo.ops_count()) {
     return Error{ErrorCode::kInvalidArgument, "bad OPS id"};
@@ -715,6 +776,7 @@ Expected<std::size_t> NetworkOrchestrator::handle_ops_failure(alvc::util::OpsId 
 }
 
 Expected<std::size_t> NetworkOrchestrator::handle_tor_failure(alvc::util::TorId tor) {
+  ALVC_SPAN(span, "orchestrator.handle_tor_failure");
   const auto& topo = clusters_->topology();
   if (tor.index() >= topo.tor_count()) {
     return Error{ErrorCode::kInvalidArgument, "bad ToR id"};
@@ -729,6 +791,7 @@ Expected<std::size_t> NetworkOrchestrator::handle_tor_failure(alvc::util::TorId 
 }
 
 Expected<std::size_t> NetworkOrchestrator::handle_server_failure(alvc::util::ServerId server) {
+  ALVC_SPAN(span, "orchestrator.handle_server_failure");
   const auto& topo = clusters_->topology();
   if (server.index() >= topo.server_count()) {
     return Error{ErrorCode::kInvalidArgument, "bad server id"};
@@ -742,6 +805,7 @@ Expected<std::size_t> NetworkOrchestrator::handle_server_failure(alvc::util::Ser
 
 Expected<std::size_t> NetworkOrchestrator::handle_link_failure(alvc::util::TorId tor,
                                                                alvc::util::OpsId ops) {
+  ALVC_SPAN(span, "orchestrator.handle_link_failure");
   const auto& topo = clusters_->topology();
   if (tor.index() >= topo.tor_count() || ops.index() >= topo.ops_count()) {
     return Error{ErrorCode::kInvalidArgument, "bad link endpoint id"};
@@ -760,6 +824,7 @@ Expected<std::size_t> NetworkOrchestrator::handle_link_failure(alvc::util::TorId
 }
 
 Expected<std::size_t> NetworkOrchestrator::handle_ops_recovery(alvc::util::OpsId ops) {
+  ALVC_SPAN(span, "orchestrator.handle_ops_recovery");
   const auto& topo = clusters_->topology();
   if (ops.index() >= topo.ops_count()) {
     return Error{ErrorCode::kInvalidArgument, "bad OPS id"};
@@ -777,6 +842,7 @@ Expected<std::size_t> NetworkOrchestrator::handle_ops_recovery(alvc::util::OpsId
 }
 
 Expected<std::size_t> NetworkOrchestrator::handle_tor_recovery(alvc::util::TorId tor) {
+  ALVC_SPAN(span, "orchestrator.handle_tor_recovery");
   const auto& topo = clusters_->topology();
   if (tor.index() >= topo.tor_count()) {
     return Error{ErrorCode::kInvalidArgument, "bad ToR id"};
@@ -790,6 +856,7 @@ Expected<std::size_t> NetworkOrchestrator::handle_tor_recovery(alvc::util::TorId
 }
 
 Expected<std::size_t> NetworkOrchestrator::handle_server_recovery(alvc::util::ServerId server) {
+  ALVC_SPAN(span, "orchestrator.handle_server_recovery");
   const auto& topo = clusters_->topology();
   if (server.index() >= topo.server_count()) {
     return Error{ErrorCode::kInvalidArgument, "bad server id"};
@@ -804,6 +871,7 @@ Expected<std::size_t> NetworkOrchestrator::handle_server_recovery(alvc::util::Se
 
 Expected<std::size_t> NetworkOrchestrator::handle_link_recovery(alvc::util::TorId tor,
                                                                 alvc::util::OpsId ops) {
+  ALVC_SPAN(span, "orchestrator.handle_link_recovery");
   const auto& topo = clusters_->topology();
   if (tor.index() >= topo.tor_count() || ops.index() >= topo.ops_count()) {
     return Error{ErrorCode::kInvalidArgument, "bad link endpoint id"};

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "telemetry/telemetry.h"
+
 namespace alvc::sdn {
 
 using alvc::util::Error;
@@ -33,6 +35,7 @@ Status SdnController::install_path(NfcId nfc, std::span<const std::size_t> path)
     }
   }
   ++stats_.paths_installed;
+  ALVC_COUNT("sdn.paths.installed");
   return Status::ok();
 }
 
@@ -44,7 +47,10 @@ std::size_t SdnController::remove_chain(NfcId nfc) {
     if (tables_.table(v).remove(nfc)) ++removed;
   }
   stats_.rules_removed += removed;
-  if (removed > 0) ++stats_.paths_removed;
+  if (removed > 0) {
+    ++stats_.paths_removed;
+    ALVC_COUNT("sdn.paths.removed");
+  }
   chain_switches_.erase(it);
   return removed;
 }

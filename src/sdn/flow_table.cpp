@@ -1,12 +1,26 @@
 #include "sdn/flow_table.h"
 
+#include "telemetry/telemetry.h"
+
 namespace alvc::sdn {
 
 bool FlowTable::install(NfcId nfc, std::size_t next_hop) {
-  return rules_.insert_or_assign(nfc, next_hop).second;
+  const bool inserted = rules_.insert_or_assign(nfc, next_hop).second;
+  // Rule churn is the currency of the ABL1 update-cost experiments; count
+  // fresh installs and overwrites separately.
+  if (inserted) {
+    ALVC_COUNT("sdn.rules.installed");
+  } else {
+    ALVC_COUNT("sdn.rules.replaced");
+  }
+  return inserted;
 }
 
-bool FlowTable::remove(NfcId nfc) { return rules_.erase(nfc) > 0; }
+bool FlowTable::remove(NfcId nfc) {
+  const bool removed = rules_.erase(nfc) > 0;
+  if (removed) ALVC_COUNT("sdn.rules.removed");
+  return removed;
+}
 
 std::optional<std::size_t> FlowTable::lookup(NfcId nfc) const {
   const auto it = rules_.find(nfc);

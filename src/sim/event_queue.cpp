@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "telemetry/telemetry.h"
+
 namespace alvc::sim {
 
 void EventQueue::schedule(SimTime at, Action action) {
@@ -16,6 +18,9 @@ bool EventQueue::step() {
   Entry entry = std::move(const_cast<Entry&>(heap_.top()));
   heap_.pop();
   now_ = entry.time;
+  // Every dispatched event advances the tracer's logical clock, so spans
+  // opened inside handlers carry simulation time (bit-reproducible traces).
+  ALVC_TELEMETRY_SET_TIME_S(now_);
   ++processed_;
   entry.action();
   return true;

@@ -11,7 +11,41 @@ std::string TrafficMetrics::summary() const {
      << " mean_conversions=" << conversions.mean() << " energy_j=" << total_energy_j;
   if (switch_utilization.count() > 0) {
     os << " mean_util=" << switch_utilization.mean() << " peak_util=" << peak_utilization;
+    if (has_hottest_switch()) os << " hottest_switch=" << hottest_switch;
   }
+  return os.str();
+}
+
+std::string TrafficMetrics::csv_header() {
+  return "flows,intra_fraction,unroutable,mean_hops,mean_latency_us,mean_conversions,"
+         "total_bytes,energy_j,mean_util,peak_util,hottest_switch";
+}
+
+std::string TrafficMetrics::csv_row() const {
+  std::ostringstream os;
+  os << flows << ',' << intra_fraction() << ',' << unroutable_flows << ',' << hops.mean() << ','
+     << latency_us.mean() << ',' << conversions.mean() << ',' << total_bytes << ','
+     << total_energy_j << ',' << switch_utilization.mean() << ',' << peak_utilization << ',';
+  // SIZE_MAX is an in-memory sentinel, not a vertex id; never leak it into
+  // a file someone will plot.
+  if (has_hottest_switch()) os << hottest_switch;
+  return os.str();
+}
+
+std::string TrafficMetrics::to_json() const {
+  std::ostringstream os;
+  os << "{\"flows\":" << flows << ",\"intra_fraction\":" << intra_fraction()
+     << ",\"unroutable\":" << unroutable_flows << ",\"mean_hops\":" << hops.mean()
+     << ",\"mean_latency_us\":" << latency_us.mean()
+     << ",\"mean_conversions\":" << conversions.mean() << ",\"total_bytes\":" << total_bytes
+     << ",\"energy_j\":" << total_energy_j << ",\"mean_util\":" << switch_utilization.mean()
+     << ",\"peak_util\":" << peak_utilization << ",\"hottest_switch\":";
+  if (has_hottest_switch()) {
+    os << hottest_switch;
+  } else {
+    os << "null";
+  }
+  os << '}';
   return os.str();
 }
 

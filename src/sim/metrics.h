@@ -28,7 +28,18 @@ struct TrafficMetrics {
   [[nodiscard]] double intra_fraction() const noexcept {
     return flows == 0 ? 0.0 : static_cast<double>(intra_cluster_flows) / static_cast<double>(flows);
   }
+  /// True when at least one switch carried traffic, i.e. hottest_switch is a
+  /// real vertex rather than the SIZE_MAX sentinel.
+  [[nodiscard]] bool has_hottest_switch() const noexcept {
+    return hottest_switch != static_cast<std::size_t>(-1);
+  }
   [[nodiscard]] std::string summary() const;
+  /// Header matching csv_row(); one fixed column set, sentinel-safe.
+  [[nodiscard]] static std::string csv_header();
+  /// One CSV row; hottest_switch is left empty when it is the sentinel.
+  [[nodiscard]] std::string csv_row() const;
+  /// Single JSON object; hottest_switch is null when it is the sentinel.
+  [[nodiscard]] std::string to_json() const;
 };
 
 }  // namespace alvc::sim

@@ -1,0 +1,170 @@
+#include "telemetry/export.h"
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "util/csv.h"
+
+namespace alvc::telemetry {
+
+using alvc::util::Error;
+using alvc::util::ErrorCode;
+using alvc::util::Status;
+
+void append_json_string(std::string& out, std::string_view text) {
+  out += '"';
+  for (char c : text) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buffer[8];
+          std::snprintf(buffer, sizeof buffer, "\\u%04x", c);
+          out += buffer;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+}
+
+void append_json_number(std::string& out, double number) {
+  if (number == std::floor(number) && std::abs(number) < 1e15) {
+    out += std::to_string(static_cast<long long>(number));
+  } else {
+    std::ostringstream os;
+    os.precision(17);
+    os << number;
+    out += os.str();
+  }
+}
+
+namespace {
+
+void append_uint(std::string& out, std::uint64_t n) { out += std::to_string(n); }
+
+void append_counter_line(std::string& out, const MetricRegistry::CounterValue& c) {
+  out += R"({"type":"counter","name":)";
+  append_json_string(out, c.name);
+  out += ",\"value\":";
+  append_uint(out, c.value);
+  out += "}\n";
+}
+
+void append_gauge_line(std::string& out, const MetricRegistry::GaugeValue& g) {
+  out += R"({"type":"gauge","name":)";
+  append_json_string(out, g.name);
+  out += ",\"value\":";
+  append_json_number(out, g.value);
+  out += "}\n";
+}
+
+void append_histogram_line(std::string& out, const MetricRegistry::HistogramValue& h) {
+  out += R"({"type":"histogram","name":)";
+  append_json_string(out, h.name);
+  out += ",\"lo\":";
+  append_json_number(out, h.snapshot.lo);
+  out += ",\"hi\":";
+  append_json_number(out, h.snapshot.hi);
+  out += ",\"buckets\":[";
+  for (std::size_t i = 0; i < h.snapshot.buckets.size(); ++i) {
+    if (i != 0) out += ',';
+    append_uint(out, h.snapshot.buckets[i]);
+  }
+  out += "],\"underflow\":";
+  append_uint(out, h.snapshot.underflow);
+  out += ",\"overflow\":";
+  append_uint(out, h.snapshot.overflow);
+  out += ",\"count\":";
+  append_uint(out, h.snapshot.count);
+  out += ",\"sum\":";
+  append_json_number(out, h.snapshot.sum);
+  out += "}\n";
+}
+
+void append_span_line(std::string& out, const SpanRecord& s) {
+  out += R"({"type":"span","id":)";
+  append_uint(out, s.id);
+  out += ",\"parent\":";
+  append_uint(out, s.parent);
+  out += ",\"name\":";
+  append_json_string(out, s.name);
+  out += ",\"start_us\":";
+  append_json_number(out, s.start_us);
+  out += ",\"end_us\":";
+  append_json_number(out, s.end_us);
+  out += "}\n";
+}
+
+}  // namespace
+
+std::string to_ndjson(const MetricRegistry::Snapshot& metrics, std::span<const SpanRecord> spans) {
+  std::string out;
+  for (const auto& c : metrics.counters) append_counter_line(out, c);
+  for (const auto& g : metrics.gauges) append_gauge_line(out, g);
+  for (const auto& h : metrics.histograms) append_histogram_line(out, h);
+  for (const SpanRecord& s : spans) append_span_line(out, s);
+  return out;
+}
+
+std::string metrics_to_csv(const MetricRegistry::Snapshot& metrics) {
+  alvc::util::CsvWriter csv({"type", "name", "value", "count", "sum", "lo", "hi", "underflow",
+                             "overflow", "buckets"});
+  for (const auto& c : metrics.counters) {
+    csv.row_values("counter", c.name, c.value, "", "", "", "", "", "", "");
+  }
+  for (const auto& g : metrics.gauges) {
+    std::string value;
+    append_json_number(value, g.value);
+    csv.row_values("gauge", g.name, value, "", "", "", "", "", "", "");
+  }
+  for (const auto& h : metrics.histograms) {
+    std::string sum;
+    append_json_number(sum, h.snapshot.sum);
+    std::string lo;
+    append_json_number(lo, h.snapshot.lo);
+    std::string hi;
+    append_json_number(hi, h.snapshot.hi);
+    std::string buckets;
+    for (std::size_t i = 0; i < h.snapshot.buckets.size(); ++i) {
+      if (i != 0) buckets += ';';
+      buckets += std::to_string(h.snapshot.buckets[i]);
+    }
+    csv.row_values("histogram", h.name, "", h.snapshot.count, sum, lo, hi, h.snapshot.underflow,
+                   h.snapshot.overflow, buckets);
+  }
+  return csv.str();
+}
+
+std::string spans_to_csv(std::span<const SpanRecord> spans) {
+  alvc::util::CsvWriter csv({"id", "parent", "name", "start_us", "end_us"});
+  for (const SpanRecord& s : spans) {
+    std::string start;
+    append_json_number(start, s.start_us);
+    std::string end;
+    append_json_number(end, s.end_us);
+    csv.row_values(s.id, s.parent, s.name, start, end);
+  }
+  return csv.str();
+}
+
+Status write_file(const std::string& path, std::string_view content) {
+  std::ofstream file(path, std::ios::binary | std::ios::trunc);
+  if (!file) {
+    return Error{ErrorCode::kInvalidArgument, "cannot open " + path + " for writing"};
+  }
+  file.write(content.data(), static_cast<std::streamsize>(content.size()));
+  if (!file) return Error{ErrorCode::kInternal, "short write to " + path};
+  return Status::ok();
+}
+
+}  // namespace alvc::telemetry

@@ -1,0 +1,49 @@
+// Deterministic NDJSON / CSV export of metric snapshots and span traces.
+//
+// Telemetry sits just above util/ in the layer stack, below io/, so it
+// cannot reuse io/json directly; the emitters here follow the exact same
+// conventions (escape set, integral-number fast path, precision(17) for
+// fractions) so telemetry output byte-matches what io/json would print.
+//
+// NDJSON schema — one self-describing JSON object per line, keys sorted:
+//   {"type":"counter","name":...,"value":N}
+//   {"type":"gauge","name":...,"value":X}
+//   {"type":"histogram","name":...,"lo":X,"hi":X,"buckets":[...],
+//    "underflow":N,"overflow":N,"count":N,"sum":X}
+//   {"type":"span","id":N,"parent":N,"name":...,"start_us":X,"end_us":X}
+// Metrics print name-sorted (counters, then gauges, then histograms), then
+// spans in completion order. Two captures of the same seeded run under the
+// logical clock are byte-identical.
+#pragma once
+
+#include <span>
+#include <string>
+#include <string_view>
+
+#include "telemetry/metric_registry.h"
+#include "telemetry/span.h"
+#include "util/error.h"
+
+namespace alvc::telemetry {
+
+/// Appends `text` as a JSON string literal (quotes + io/json escape set).
+void append_json_string(std::string& out, std::string_view text);
+/// Appends a number using the io/json convention: integral values with no
+/// fraction, everything else at precision(17).
+void append_json_number(std::string& out, double number);
+
+/// The full NDJSON document (metrics then spans), '\n'-terminated lines.
+[[nodiscard]] std::string to_ndjson(const MetricRegistry::Snapshot& metrics,
+                                    std::span<const SpanRecord> spans);
+
+/// Metrics as CSV: type,name,value,count,sum,lo,hi,underflow,overflow,buckets
+/// (histogram-only columns empty for counters/gauges; buckets ';'-joined).
+[[nodiscard]] std::string metrics_to_csv(const MetricRegistry::Snapshot& metrics);
+
+/// Spans as CSV: id,parent,name,start_us,end_us.
+[[nodiscard]] std::string spans_to_csv(std::span<const SpanRecord> spans);
+
+/// Writes `content` to `path` (the NDJSON/CSV strings above).
+[[nodiscard]] alvc::util::Status write_file(const std::string& path, std::string_view content);
+
+}  // namespace alvc::telemetry

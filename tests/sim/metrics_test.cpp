@@ -1,0 +1,79 @@
+// TrafficMetrics reporting: the hottest-switch field must reach summary(),
+// and the SIZE_MAX "no traffic" sentinel must never leak into CSV/JSON.
+#include "sim/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace alvc::sim {
+namespace {
+
+TrafficMetrics loaded_metrics() {
+  TrafficMetrics m;
+  m.flows = 10;
+  m.intra_cluster_flows = 5;
+  m.unroutable_flows = 1;
+  m.hops.add(2.0);
+  m.hops.add(4.0);
+  m.latency_us.add(100.0);
+  m.conversions.add(1.0);
+  m.total_bytes = 1e6;
+  m.total_energy_j = 2.5;
+  m.switch_utilization.add(0.25);
+  m.switch_utilization.add(0.75);
+  m.peak_utilization = 0.75;
+  m.hottest_switch = 3;
+  return m;
+}
+
+TEST(TrafficMetricsTest, SummaryNamesTheHottestSwitch) {
+  const TrafficMetrics m = loaded_metrics();
+  const std::string s = m.summary();
+  EXPECT_NE(s.find("peak_util=0.75"), std::string::npos) << s;
+  EXPECT_NE(s.find("hottest_switch=3"), std::string::npos) << s;
+}
+
+TEST(TrafficMetricsTest, SummaryOmitsSentinelHottestSwitch) {
+  TrafficMetrics m = loaded_metrics();
+  m.hottest_switch = static_cast<std::size_t>(-1);
+  EXPECT_EQ(m.summary().find("hottest_switch"), std::string::npos);
+  // And a run with no switch samples prints neither utilization nor switch.
+  const TrafficMetrics empty;
+  EXPECT_EQ(empty.summary().find("mean_util"), std::string::npos);
+  EXPECT_EQ(empty.summary().find("hottest_switch"), std::string::npos);
+}
+
+TEST(TrafficMetricsTest, CsvHeaderMatchesRowArity) {
+  const TrafficMetrics m = loaded_metrics();
+  const std::string header = TrafficMetrics::csv_header();
+  const std::string row = m.csv_row();
+  const auto commas = [](const std::string& s) {
+    std::size_t n = 0;
+    for (char c : s) n += c == ',' ? 1 : 0;
+    return n;
+  };
+  EXPECT_EQ(commas(header), commas(row));
+  EXPECT_NE(header.find("hottest_switch"), std::string::npos);
+  EXPECT_EQ(row.substr(row.rfind(',') + 1), "3");
+}
+
+TEST(TrafficMetricsTest, CsvLeavesSentinelHottestSwitchEmpty) {
+  TrafficMetrics m = loaded_metrics();
+  m.hottest_switch = static_cast<std::size_t>(-1);
+  const std::string row = m.csv_row();
+  EXPECT_EQ(row.back(), ',');  // trailing empty field, not SIZE_MAX
+  EXPECT_EQ(row.find("18446744073709551615"), std::string::npos);
+}
+
+TEST(TrafficMetricsTest, JsonUsesNullForSentinelHottestSwitch) {
+  TrafficMetrics m = loaded_metrics();
+  EXPECT_NE(m.to_json().find("\"hottest_switch\":3"), std::string::npos);
+  m.hottest_switch = static_cast<std::size_t>(-1);
+  const std::string json = m.to_json();
+  EXPECT_NE(json.find("\"hottest_switch\":null"), std::string::npos);
+  EXPECT_EQ(json.find("18446744073709551615"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace alvc::sim

@@ -1,0 +1,180 @@
+// MetricRegistry: sharded counters under concurrent writers, histogram
+// bucket-edge semantics, and the sharded-merge == serial-accumulation
+// property the snapshot contract promises.
+#include "telemetry/metric_registry.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <thread>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace alvc::telemetry {
+namespace {
+
+TEST(CounterTest, AccumulatesAndResetsInPlace) {
+  Counter c;
+  EXPECT_EQ(c.value(), 0u);
+  c.add();
+  c.add(41);
+  EXPECT_EQ(c.value(), 42u);
+  c.reset();
+  EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(CounterTest, ConcurrentWritersLoseNothing) {
+  constexpr std::size_t kThreads = 8;
+  constexpr std::uint64_t kPerThread = 10000;
+  Counter c;
+  std::vector<std::thread> workers;
+  workers.reserve(kThreads);
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&c] {
+      for (std::uint64_t i = 0; i < kPerThread; ++i) c.add();
+    });
+  }
+  for (auto& w : workers) w.join();
+  EXPECT_EQ(c.value(), kThreads * kPerThread);
+}
+
+TEST(GaugeTest, LastWriteWinsAndAddAccumulates) {
+  Gauge g;
+  g.set(3.5);
+  EXPECT_DOUBLE_EQ(g.value(), 3.5);
+  g.add(1.5);
+  EXPECT_DOUBLE_EQ(g.value(), 5.0);
+  g.reset();
+  EXPECT_DOUBLE_EQ(g.value(), 0.0);
+}
+
+TEST(HistogramTest, BucketEdges) {
+  // [0, 10) in 5 buckets of width 2.
+  Histogram h(0.0, 10.0, 5);
+  h.record(0.0);    // lo lands in bucket 0
+  h.record(1.999);  // still bucket 0
+  h.record(2.0);    // bucket 1 (left-closed boundaries)
+  h.record(9.999);  // last bucket
+  h.record(10.0);   // hi is exclusive -> overflow
+  h.record(-0.001);  // below lo -> underflow
+  const HistogramSnapshot snap = h.snapshot();
+  EXPECT_EQ(snap.buckets, (std::vector<std::uint64_t>{2, 1, 0, 0, 1}));
+  EXPECT_EQ(snap.underflow, 1u);
+  EXPECT_EQ(snap.overflow, 1u);
+  EXPECT_EQ(snap.count, 6u);
+  EXPECT_DOUBLE_EQ(snap.sum, 0.0 + 1.999 + 2.0 + 9.999 + 10.0 - 0.001);
+}
+
+TEST(HistogramTest, MeanIncludesOutOfRangeSamples) {
+  Histogram h(0.0, 1.0, 2);
+  h.record(4.0);  // overflow still contributes to count and sum
+  h.record(2.0);
+  EXPECT_DOUBLE_EQ(h.snapshot().mean(), 3.0);
+}
+
+// Property: merging per-thread shards yields exactly the bucket counts a
+// single-threaded accumulation of the same multiset of samples produces.
+TEST(HistogramTest, ShardedMergeMatchesSerialAccumulation) {
+  constexpr std::uint64_t kSeed = 20260806;
+  constexpr std::size_t kThreads = 6;
+  constexpr std::size_t kPerThread = 4000;
+
+  // Pre-generate all samples so the serial reference sees the same data.
+  alvc::util::Rng rng(kSeed);
+  std::vector<std::vector<double>> samples(kThreads);
+  for (auto& part : samples) {
+    part.reserve(kPerThread);
+    // Range [-2, 14) deliberately overshoots [0, 10) on both sides so the
+    // under/overflow cells participate in the property too.
+    for (std::size_t i = 0; i < kPerThread; ++i) part.push_back(rng.uniform(-2.0, 14.0));
+  }
+
+  Histogram sharded(0.0, 10.0, 20);
+  std::vector<std::thread> workers;
+  workers.reserve(kThreads);
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&sharded, &part = samples[t]] {
+      for (double s : part) sharded.record(s);
+    });
+  }
+  for (auto& w : workers) w.join();
+
+  Histogram serial(0.0, 10.0, 20);
+  for (const auto& part : samples) {
+    for (double s : part) serial.record(s);
+  }
+
+  const HistogramSnapshot got = sharded.snapshot();
+  const HistogramSnapshot want = serial.snapshot();
+  EXPECT_EQ(got.buckets, want.buckets);
+  EXPECT_EQ(got.underflow, want.underflow);
+  EXPECT_EQ(got.overflow, want.overflow);
+  EXPECT_EQ(got.count, want.count);
+  // The integer cells must match exactly; the sum is a float reduction whose
+  // addition order depends on thread interleaving.
+  EXPECT_NEAR(got.sum, want.sum, 1e-6 * std::abs(want.sum));
+}
+
+TEST(MetricRegistryTest, HandlesAreStableAcrossLookupsAndReset) {
+  MetricRegistry reg;
+  Counter& a = reg.counter("x.count");
+  Counter& b = reg.counter("x.count");
+  EXPECT_EQ(&a, &b);
+  a.add(7);
+  reg.reset();
+  EXPECT_EQ(a.value(), 0u);  // zeroed in place, not reallocated
+  EXPECT_EQ(&reg.counter("x.count"), &a);
+  a.add(1);
+  EXPECT_EQ(reg.counter("x.count").value(), 1u);
+}
+
+TEST(MetricRegistryTest, FirstHistogramRegistrationFixesBuckets) {
+  MetricRegistry reg;
+  Histogram& h = reg.histogram("h", 0.0, 10.0, 5);
+  Histogram& again = reg.histogram("h", -1.0, 99.0, 50);
+  EXPECT_EQ(&h, &again);
+  EXPECT_DOUBLE_EQ(again.lo(), 0.0);
+  EXPECT_DOUBLE_EQ(again.hi(), 10.0);
+  EXPECT_EQ(again.bucket_count(), 5u);
+}
+
+TEST(MetricRegistryTest, SnapshotIsNameSorted) {
+  MetricRegistry reg;
+  reg.counter("z.last").add(1);
+  reg.counter("a.first").add(2);
+  reg.gauge("m.mid").set(3.0);
+  reg.histogram("b.hist", 0, 1, 2).record(0.5);
+  const auto snap = reg.snapshot();
+  ASSERT_EQ(snap.counters.size(), 2u);
+  EXPECT_EQ(snap.counters[0].name, "a.first");
+  EXPECT_EQ(snap.counters[0].value, 2u);
+  EXPECT_EQ(snap.counters[1].name, "z.last");
+  ASSERT_EQ(snap.gauges.size(), 1u);
+  EXPECT_DOUBLE_EQ(snap.gauges[0].value, 3.0);
+  ASSERT_EQ(snap.histograms.size(), 1u);
+  EXPECT_EQ(snap.histograms[0].snapshot.count, 1u);
+  EXPECT_EQ(reg.metric_count(), 4u);
+}
+
+TEST(MetricRegistryTest, ConcurrentRegistrationYieldsOneMetricPerName) {
+  MetricRegistry reg;
+  constexpr std::size_t kThreads = 8;
+  std::vector<Counter*> handles(kThreads, nullptr);
+  std::vector<std::thread> workers;
+  workers.reserve(kThreads);
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&reg, &handles, t] {
+      Counter& c = reg.counter("contended.name");
+      c.add();
+      handles[t] = &c;
+    });
+  }
+  for (auto& w : workers) w.join();
+  for (std::size_t t = 1; t < kThreads; ++t) EXPECT_EQ(handles[t], handles[0]);
+  EXPECT_EQ(reg.counter("contended.name").value(), kThreads);
+  EXPECT_EQ(reg.metric_count(), 1u);
+}
+
+}  // namespace
+}  // namespace alvc::telemetry

@@ -69,6 +69,25 @@ TEST(AlvcLintTest, FlagsLayeringIncludeFromLowerLayers) {
   EXPECT_TRUE(lint_source("src/faults/fine.cc", content).empty());
 }
 
+TEST(AlvcLintTest, FlagsRawChronoClockOutsideTelemetry) {
+  const auto content = read_fixture("raw_steady_clock.cc");
+  const auto outside = lint_source("src/sim/bad.cc", content);
+  EXPECT_EQ(rules_and_lines(outside),
+            (std::multiset<std::pair<std::string, std::size_t>>{{"raw-chrono-clock", 7},
+                                                                {"raw-chrono-clock", 8}}));
+  // The telemetry layer owns the clocks, and core/experiment.h wraps them
+  // for benches; both read them legally.
+  EXPECT_TRUE(lint_source("src/telemetry/span.cc", content).empty());
+  EXPECT_TRUE(lint_source("src/core/experiment.h", content).empty());
+}
+
+TEST(AlvcLintTest, TelemetryIsBelowTheOrchestrator) {
+  const auto findings =
+      lint_source("src/telemetry/bad.cc", "#include \"orchestrator/orchestrator.h\"\n");
+  EXPECT_EQ(rules_and_lines(findings),
+            (std::multiset<std::pair<std::string, std::size_t>>{{"layering-include", 1}}));
+}
+
 TEST(AlvcLintTest, PassesCleanFixture) {
   const auto findings = lint_source("src/util/clean.cc", read_fixture("clean.cc"));
   EXPECT_TRUE(findings.empty()) << alvc::lint::to_string(findings.front());

@@ -1,0 +1,10 @@
+// Fixture: seeded `raw-chrono-clock` violations. Never compiled; the
+// alvc_lint test asserts the linter flags lines 7 and 8 everywhere except
+// src/telemetry/ and core/experiment.h.
+#include <chrono>
+
+double elapsed_s() {
+  const auto start = std::chrono::steady_clock::now();  // violation: raw clock read
+  using clock = std::chrono::steady_clock;              // violation: raw clock alias
+  return std::chrono::duration<double>(clock::now() - start).count();
+}

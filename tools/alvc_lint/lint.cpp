@@ -143,12 +143,24 @@ const std::vector<Rule>& rules() {
     r.push_back(Rule{
         "layering-include",
         "layer below the orchestrator includes an orchestrator/ header; dependencies "
-        "flow util -> graph -> topology -> cluster -> nfv -> sdn -> orchestrator",
+        "flow util -> telemetry -> graph -> topology -> cluster -> nfv -> sdn -> orchestrator",
         std::regex(R"(#\s*include\s*"orchestrator/)", flags),
         [](std::string_view path) {
           const std::string_view layer = src_layer(path);
-          return layer == "util" || layer == "graph" || layer == "topology" ||
-                 layer == "cluster" || layer == "nfv" || layer == "sdn";
+          return layer == "util" || layer == "telemetry" || layer == "graph" ||
+                 layer == "topology" || layer == "cluster" || layer == "nfv" || layer == "sdn";
+        }});
+    r.push_back(Rule{
+        "raw-chrono-clock",
+        "raw std::chrono clock read outside the telemetry layer; route timing through "
+        "telemetry::Tracer (logical or steady mode) or core::Experiment so seeded runs "
+        "stay bit-reproducible",
+        // steady_clock is the one clock the rng rule leaves legal — it is
+        // monotonic, but a raw read still smuggles wall time into results.
+        std::regex(R"(steady_clock\s*::\s*now|std\s*::\s*chrono\s*::\s*steady_clock)", flags),
+        [](std::string_view path) {
+          return !path_in_layer(path, "telemetry") &&
+                 path.find("core/experiment.h") == std::string_view::npos;
         }});
     return r;
   }();

@@ -1,6 +1,6 @@
 // alvc_lint: project-specific source rules clang-tidy cannot know.
 //
-// Four rules, each encoding a contract earlier PRs established:
+// Five rules, each encoding a contract earlier PRs established:
 //
 //   nondeterministic-rng  no rand()/srand()/std::random_device/wall-clock
 //                         seeds in src/ or tests/ — every stochastic path
@@ -17,9 +17,13 @@
 //                         inside EXPECT_THROW/ASSERT_THROW are exempt: the
 //                         macro needs the cast, and the value never exists
 //                         because the expression is required to throw.
-//   layering-include      layers below the orchestrator (util, graph,
-//                         topology, cluster, nfv, sdn) must not include
-//                         orchestrator/ headers.
+//   layering-include      layers below the orchestrator (util, telemetry,
+//                         graph, topology, cluster, nfv, sdn) must not
+//                         include orchestrator/ headers.
+//   raw-chrono-clock      no raw std::chrono::steady_clock reads outside
+//                         src/telemetry/ and core/experiment.h — timing goes
+//                         through telemetry::Tracer (whose logical mode keeps
+//                         seeded sims bit-reproducible) or core::Experiment.
 //
 // A line suppresses a rule with `alvc-lint: allow(<rule>)` in a comment.
 // The scanner strips comments and string/char literals before matching, so
