@@ -3,15 +3,23 @@
 # then the thread-safety suites again under ThreadSanitizer, the
 # failure/recovery suites under AddressSanitizer, the telemetry subsystem
 # with hooks compiled OFF (plus an ON-vs-OFF bit-identical seeded sim diff
-# and a bench smoke), and the full suite under UndefinedBehaviorSanitizer.
+# and a bench smoke), the full suite under UndefinedBehaviorSanitizer, and
+# a benchmark smoke that writes machine-readable JSON.
+#
+# The same legs back the CI pipeline (.github/workflows/ci.yml): each CI
+# job runs `scripts/check.sh --ci <leg>`, so the workflow and the local
+# gate cannot drift apart.
 #
 # The static stage runs BEFORE any test and has three parts:
 #   1. alvc_lint        — project rules (determinism, id arithmetic, naked
 #                         discards, layering); always runs, failure is fatal.
 #   2. -Wthread-safety  — clang thread-safety analysis of the ALVC_GUARDED_BY
-#                         annotations, built with -DALVC_STATIC_ANALYSIS=ON;
-#                         runs when clang++ is on PATH, else skipped with a
-#                         warning (the annotations compile away on GCC).
+#                         annotations, built with -DALVC_STATIC_ANALYSIS=ON.
+#                         clang++ is REQUIRED: a silent skip here once meant
+#                         the annotations went unchecked until CI. On a
+#                         clang-less host, opt out explicitly with
+#                         ALVC_SKIP_CLANG_STATIC=1 (the annotations still
+#                         compile away under the host compiler).
 #   3. clang-tidy       — .clang-tidy checks over src/; best-effort, runs
 #                         when a clang-tidy binary is on PATH, never fatal
 #                         on absence.
@@ -19,6 +27,10 @@
 # Usage:
 #   scripts/check.sh                    # static gate + full ctest + sanitizer legs
 #   scripts/check.sh --static-only      # static gate only (fast pre-commit loop)
+#   scripts/check.sh --ci <leg>         # exactly one CI leg: static, tier1,
+#                                       #   tsan, asan, ubsan, telemetry,
+#                                       #   bench-smoke
+#   ALVC_SKIP_CLANG_STATIC=1 scripts/check.sh  # clang-less host: skip TSA build
 #   ALVC_SKIP_TSAN=1 scripts/check.sh   # skip the TSan pass (e.g. unsupported host)
 #   ALVC_SKIP_ASAN=1 scripts/check.sh   # skip the ASan pass
 #   ALVC_SKIP_UBSAN=1 scripts/check.sh  # skip the UBSan pass
@@ -29,79 +41,77 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 jobs="${ALVC_JOBS:-$(nproc 2>/dev/null || echo 2)}"
-static_only=0
-for arg in "$@"; do
-  case "$arg" in
-    --static-only) static_only=1 ;;
-    *) echo "unknown argument: $arg" >&2; exit 2 ;;
-  esac
-done
 
-echo "== static: alvc_lint =="
-cmake -B build -S . >/dev/null
-cmake --build build -j "$jobs" --target alvc_lint
-./build/tools/alvc_lint --exclude tests/tools/fixtures src tests tools
+leg_lint() {
+  echo "== static: alvc_lint =="
+  cmake -B build -S . >/dev/null
+  cmake --build build -j "$jobs" --target alvc_lint
+  ./build/tools/alvc_lint --exclude tests/tools/fixtures src tests tools
+}
 
-if command -v clang++ >/dev/null 2>&1; then
+leg_clang_static() {
+  if ! command -v clang++ >/dev/null 2>&1; then
+    if [[ "${ALVC_SKIP_CLANG_STATIC:-0}" == "1" ]]; then
+      echo "== static: clang++ not found; thread-safety analysis SKIPPED (ALVC_SKIP_CLANG_STATIC=1) =="
+      echo "   (annotations still compile away cleanly under the host compiler)"
+      return 0
+    fi
+    echo "error: clang++ not found, but the -Wthread-safety static gate requires it." >&2
+    echo "       Install clang, or run with ALVC_SKIP_CLANG_STATIC=1 to skip this" >&2
+    echo "       leg explicitly (CI still enforces it)." >&2
+    exit 1
+  fi
   echo "== static: clang -Wthread-safety (-DALVC_STATIC_ANALYSIS=ON) =="
   cmake -B build-static -S . -DALVC_STATIC_ANALYSIS=ON \
     -DCMAKE_CXX_COMPILER=clang++ >/dev/null
   cmake --build build-static -j "$jobs"
-else
-  echo "== static: clang++ not found; thread-safety analysis skipped =="
-  echo "   (annotations still compile away cleanly under the host compiler)"
-fi
+}
 
-if command -v clang-tidy >/dev/null 2>&1; then
-  echo "== static: clang-tidy (best effort) =="
-  # compile_commands.json is exported by the plain configure above.
-  mapfile -t tidy_sources < <(find src -name '*.cpp' | sort)
-  clang-tidy -p build --quiet "${tidy_sources[@]}"
-else
-  echo "== static: clang-tidy not found; tidy stage skipped (non-fatal) =="
-fi
+leg_clang_tidy() {
+  if command -v clang-tidy >/dev/null 2>&1; then
+    echo "== static: clang-tidy (best effort) =="
+    # compile_commands.json is exported by the plain configure above.
+    mapfile -t tidy_sources < <(find src -name '*.cpp' | sort)
+    clang-tidy -p build --quiet "${tidy_sources[@]}"
+  else
+    echo "== static: clang-tidy not found; tidy stage skipped (non-fatal) =="
+  fi
+}
 
-if [[ "$static_only" == "1" ]]; then
-  echo "== static gate passed (--static-only) =="
-  exit 0
-fi
+leg_tier1() {
+  echo "== configure + build (plain) =="
+  cmake -B build -S . >/dev/null
+  cmake --build build -j "$jobs"
 
-echo "== configure + build (plain) =="
-cmake --build build -j "$jobs"
+  echo "== ctest (full suite) =="
+  ctest --test-dir build --output-on-failure -j "$jobs"
+}
 
-echo "== ctest (full suite) =="
-ctest --test-dir build --output-on-failure -j "$jobs"
-
-if [[ "${ALVC_SKIP_TSAN:-0}" == "1" ]]; then
-  echo "== TSan pass skipped (ALVC_SKIP_TSAN=1) =="
-else
+leg_tsan() {
   echo "== configure + build (ThreadSanitizer) =="
   cmake -B build-tsan -S . -DALVC_SANITIZE=thread >/dev/null
   cmake --build build-tsan -j "$jobs" --target \
     util_executor_test cluster_parallel_build_differential_test \
-    cluster_degraded_cluster_test
+    cluster_degraded_cluster_test telemetry_metric_registry_test
 
   echo "== ctest -L sanitize (under TSan) =="
   ctest --test-dir build-tsan --output-on-failure -j "$jobs" -L sanitize
-fi
+}
 
-if [[ "${ALVC_SKIP_ASAN:-0}" == "1" ]]; then
-  echo "== ASan pass skipped (ALVC_SKIP_ASAN=1) =="
-else
+leg_asan() {
   echo "== configure + build (AddressSanitizer) =="
   cmake -B build-asan -S . -DALVC_SANITIZE=address >/dev/null
   cmake --build build-asan -j "$jobs" --target \
     topology_failure_api_test cluster_failure_test cluster_degraded_cluster_test \
     orchestrator_failure_test faults_fault_injector_test faults_state_auditor_test \
-    faults_chaos_soak_test
+    faults_chaos_soak_test orchestrator_route_cache_test \
+    orchestrator_route_cache_differential_test
 
   echo "== ctest -L failures (under ASan) =="
   ctest --test-dir build-asan --output-on-failure -j "$jobs" -L failures
-fi
+}
 
-if [[ "${ALVC_SKIP_TELEMETRY:-0}" == "1" ]]; then
-  echo "== telemetry pass skipped (ALVC_SKIP_TELEMETRY=1) =="
-else
+leg_telemetry() {
   echo "== configure + build (-DALVC_TELEMETRY=OFF) =="
   cmake -B build-notelemetry -S . -DALVC_TELEMETRY=OFF >/dev/null
   cmake --build build-notelemetry -j "$jobs" --target \
@@ -114,6 +124,8 @@ else
   echo "== telemetry: seeded sim output is bit-identical ON vs OFF =="
   # datacenter_sim is fully seeded; instrumentation must never perturb the
   # simulation itself, so the two builds' stdout must match byte-for-byte.
+  cmake -B build -S . >/dev/null
+  cmake --build build -j "$jobs" --target datacenter_sim bench_telemetry_overhead
   ./build/examples/datacenter_sim > build/telemetry-on.out
   ./build-notelemetry/examples/datacenter_sim > build-notelemetry/telemetry-off.out
   diff build/telemetry-on.out build-notelemetry/telemetry-off.out
@@ -121,22 +133,100 @@ else
   diff build/telemetry-on.out build/telemetry-on2.out
 
   echo "== telemetry: overhead bench smoke (ON and OFF builds) =="
-  cmake --build build -j "$jobs" --target bench_telemetry_overhead
   ./build/bench/bench_telemetry_overhead \
     --benchmark_min_time=0.01 --benchmark_filter='BM_(CounterAdd|HookMacro)' >/dev/null
   ./build-notelemetry/bench/bench_telemetry_overhead \
     --benchmark_min_time=0.01 --benchmark_filter='BM_(CounterAdd|HookMacro)' >/dev/null
-fi
+}
 
-if [[ "${ALVC_SKIP_UBSAN:-0}" == "1" ]]; then
-  echo "== UBSan pass skipped (ALVC_SKIP_UBSAN=1) =="
-else
+leg_ubsan() {
   echo "== configure + build (UndefinedBehaviorSanitizer) =="
   cmake -B build-ubsan -S . -DALVC_SANITIZE=undefined >/dev/null
   cmake --build build-ubsan -j "$jobs"
 
   echo "== ctest (full suite, under UBSan) =="
   ctest --test-dir build-ubsan --output-on-failure -j "$jobs"
+}
+
+leg_bench_smoke() {
+  echo "== bench smoke: route cache + parallel AL build (tiny sizes, JSON out) =="
+  cmake -B build -S . >/dev/null
+  cmake --build build -j "$jobs" --target bench_route_cache bench_parallel_al_build
+  mkdir -p build/bench-smoke
+  ./build/bench/bench_route_cache \
+    --benchmark_min_time=0.01 \
+    --benchmark_out=build/bench-smoke/route_cache.json \
+    --benchmark_out_format=json
+  ./build/bench/bench_parallel_al_build \
+    --benchmark_min_time=0.01 \
+    --benchmark_out=build/bench-smoke/parallel_al_build.json \
+    --benchmark_out_format=json
+  echo "== bench smoke artifacts in build/bench-smoke/ =="
+}
+
+static_only=0
+ci_leg=""
+while [[ $# -gt 0 ]]; do
+  case "$1" in
+    --static-only) static_only=1; shift ;;
+    --ci)
+      [[ $# -ge 2 ]] || { echo "--ci requires a leg name" >&2; exit 2; }
+      ci_leg="$2"; shift 2 ;;
+    *) echo "unknown argument: $1" >&2; exit 2 ;;
+  esac
+done
+
+if [[ -n "$ci_leg" ]]; then
+  case "$ci_leg" in
+    static) leg_lint; leg_clang_static; leg_clang_tidy ;;
+    tier1) leg_tier1 ;;
+    tsan) leg_tsan ;;
+    asan) leg_asan ;;
+    ubsan) leg_ubsan ;;
+    telemetry) leg_telemetry ;;
+    bench-smoke) leg_bench_smoke ;;
+    *) echo "unknown CI leg: $ci_leg (expected static, tier1, tsan, asan, ubsan, telemetry, bench-smoke)" >&2
+       exit 2 ;;
+  esac
+  echo "== CI leg '$ci_leg' passed =="
+  exit 0
 fi
+
+leg_lint
+leg_clang_static
+leg_clang_tidy
+
+if [[ "$static_only" == "1" ]]; then
+  echo "== static gate passed (--static-only) =="
+  exit 0
+fi
+
+leg_tier1
+
+if [[ "${ALVC_SKIP_TSAN:-0}" == "1" ]]; then
+  echo "== TSan pass skipped (ALVC_SKIP_TSAN=1) =="
+else
+  leg_tsan
+fi
+
+if [[ "${ALVC_SKIP_ASAN:-0}" == "1" ]]; then
+  echo "== ASan pass skipped (ALVC_SKIP_ASAN=1) =="
+else
+  leg_asan
+fi
+
+if [[ "${ALVC_SKIP_TELEMETRY:-0}" == "1" ]]; then
+  echo "== telemetry pass skipped (ALVC_SKIP_TELEMETRY=1) =="
+else
+  leg_telemetry
+fi
+
+if [[ "${ALVC_SKIP_UBSAN:-0}" == "1" ]]; then
+  echo "== UBSan pass skipped (ALVC_SKIP_UBSAN=1) =="
+else
+  leg_ubsan
+fi
+
+leg_bench_smoke
 
 echo "== all checks passed =="

@@ -39,6 +39,10 @@ Expected<ClusterId> ClusterManager::commit_built(ServiceId service, std::span<co
                     .layer = std::move(built.layer),
                     .connected = built.connected};
   clusters_.emplace(id, std::move(vc));
+  // AL membership defines slice subgraphs; epoch-versioned route caches
+  // must see every change to it, so each layer mutation below bumps the
+  // topology's mutation epoch even though no element changed.
+  topo_->bump_mutation_epoch();
   return id;
 }
 
@@ -146,6 +150,7 @@ Status ClusterManager::destroy_cluster(ClusterId id) {
   }
   ownership_.release_all(id);
   clusters_.erase(it);
+  topo_->bump_mutation_epoch();
   return Status::ok();
 }
 
@@ -273,6 +278,7 @@ Expected<UpdateCost> ClusterManager::apply_reoptimized(VirtualCluster& vc, AlBui
   }
   vc.layer = std::move(rebuilt.layer);
   vc.connected = rebuilt.connected;
+  topo_->bump_mutation_epoch();
   return cost;
 }
 
@@ -401,6 +407,7 @@ Expected<UpdateCost> ClusterManager::handle_ops_failure(alvc::util::OpsId ops) {
 
   // The hardware is gone regardless of how the repair goes: evict it.
   std::erase(vc->layer.opss, ops);
+  topo_->bump_mutation_epoch();
   ownership_.release(std::span<const alvc::util::OpsId>(&ops, 1), owner);
   cost.ops_changes += 1;
   cost.flow_rules += 1;
@@ -453,6 +460,7 @@ Expected<UpdateCost> ClusterManager::repair_coverage(VirtualCluster& vc) {
   }
   vc.layer = std::move(candidate);
   vc.connected = connected;
+  topo_->bump_mutation_epoch();
   // Uplink repair fixes ToR-to-OPS coverage only; the cluster may still be
   // degraded for an unrelated reason (e.g. a member rack's ToR is down and
   // its VMs are unreachable), so re-derive the flag from actual coverage.
@@ -486,6 +494,7 @@ UpdateCost ClusterManager::rebuild_cluster(VirtualCluster& vc, const AlBuilder& 
     vc.layer.tors.clear();
     vc.connected = true;  // vacuously
     vc.degraded = !vc.vms.empty();
+    topo_->bump_mutation_epoch();
     return cost;
   }
 
@@ -538,6 +547,7 @@ UpdateCost ClusterManager::rebuild_cluster(VirtualCluster& vc, const AlBuilder& 
   vc.layer = std::move(rebuilt->layer);
   vc.connected = rebuilt->connected;
   vc.degraded = reachable.size() != vc.vms.size();
+  topo_->bump_mutation_epoch();
   return cost;
 }
 
@@ -554,6 +564,7 @@ Expected<UpdateCost> ClusterManager::handle_tor_failure(TorId tor, const AlBuild
     VirtualCluster* vc = find_mutable(id);
     if (vc == nullptr || !vc->layer.contains_tor(tor)) continue;
     std::erase(vc->layer.tors, tor);
+    topo_->bump_mutation_epoch();
     cost.tor_changes += 1;
     cost.flow_rules += 1;
     cost += rebuild_cluster(*vc, builder);
@@ -730,6 +741,7 @@ Expected<UpdateCost> ClusterManager::cover_tor(VirtualCluster& vc, TorId tor) {
   }
   vc.layer = std::move(candidate);
   vc.connected = connected;
+  topo_->bump_mutation_epoch();
   return cost;
 }
 
@@ -746,6 +758,7 @@ UpdateCost ClusterManager::uncover_tor(VirtualCluster& vc, TorId tor) {
     ownership_.release(vc.layer.opss, vc.id);
     vc.layer.opss.clear();
     vc.connected = true;
+    topo_->bump_mutation_epoch();
     return cost;
   }
   // Release OPSs that no longer uplink any remaining ToR, as long as the
@@ -767,6 +780,7 @@ UpdateCost ClusterManager::uncover_tor(VirtualCluster& vc, TorId tor) {
     }
   }
   vc.connected = cluster_subgraph_connected(*topo_, vc.layer);
+  topo_->bump_mutation_epoch();
   return cost;
 }
 

@@ -125,6 +125,12 @@ std::vector<std::string> StateAuditor::audit(
     }
   }
 
+  // Route cache: everything the cache would serve right now must still be
+  // servable (walks live hardware, carries an intact path fingerprint).
+  for (const std::string& v : orch.route_cache().check_coherence(clusters.clusters())) {
+    out.push_back("route-cache: " + v);
+  }
+
   // Bandwidth: reservations fit capacity and ride live links.
   for (const auto& link : orch.bandwidth().reserved_links()) {
     const std::string tag =

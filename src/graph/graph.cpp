@@ -4,6 +4,24 @@
 
 namespace alvc::graph {
 
+std::uint64_t fingerprint_mix(std::uint64_t fp, std::uint64_t value) noexcept {
+  // FNV-1a over the value's eight octets; byte-wise so every bit of the
+  // input diffuses through the 64-bit state.
+  constexpr std::uint64_t kPrime = 1099511628211ULL;
+  for (int shift = 0; shift < 64; shift += 8) {
+    fp ^= (value >> shift) & 0xffULL;
+    fp *= kPrime;
+  }
+  return fp;
+}
+
+std::uint64_t path_fingerprint(std::span<const std::size_t> vertices) noexcept {
+  std::uint64_t fp = kFingerprintSeed;
+  fp = fingerprint_mix(fp, vertices.size());
+  for (std::size_t v : vertices) fp = fingerprint_mix(fp, v);
+  return fp;
+}
+
 std::size_t Graph::add_vertex() {
   adjacency_.emplace_back();
   return adjacency_.size() - 1;

@@ -6,10 +6,23 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <span>
 #include <vector>
 
 namespace alvc::graph {
+
+/// FNV-1a offset basis; the seed every fingerprint chain starts from.
+inline constexpr std::uint64_t kFingerprintSeed = 14695981039346656037ULL;
+
+/// Folds one 64-bit value into a running fingerprint (order-sensitive:
+/// mixing [a, b] and [b, a] yields different results).
+[[nodiscard]] std::uint64_t fingerprint_mix(std::uint64_t fp, std::uint64_t value) noexcept;
+
+/// 64-bit fingerprint of a vertex sequence. Two paths fingerprint equal
+/// only if they visit the same vertices in the same order (modulo hash
+/// collisions); used to detect cached-path corruption cheaply.
+[[nodiscard]] std::uint64_t path_fingerprint(std::span<const std::size_t> vertices) noexcept;
 
 struct Edge {
   std::size_t from = 0;

@@ -24,7 +24,21 @@ NetworkOrchestrator::NetworkOrchestrator(alvc::cluster::ClusterManager& clusters
       controller_(clusters.topology()),
       admission_(clusters.topology(), catalog),
       bandwidth_(clusters.topology()),
-      router_(clusters.topology()) {}
+      router_(clusters.topology()),
+      route_cache_(clusters.topology()) {}
+
+Expected<ChainRoute> NetworkOrchestrator::route_linear(const VirtualCluster& vc,
+                                                       std::span<const HostRef> hosts) {
+  const alvc::util::TorId ingress = vc.layer.tors.front();
+  const alvc::util::TorId egress = vc.layer.tors.back();
+  // Plain shortest-path legs are bandwidth-independent, so every cached
+  // route lives under the kFull tier; degraded refits reuse the same path
+  // at a lower reservation rather than re-routing per rung.
+  if (route_cache_enabled_) {
+    return route_cache_.route(router_, vc, ingress, egress, hosts, BandwidthTier::kFull);
+  }
+  return router_.route(vc, ingress, egress, hosts);
+}
 
 const VirtualCluster* NetworkOrchestrator::cluster_for_service(ServiceId service) const {
   for (const VirtualCluster* vc : clusters_->clusters()) {
@@ -148,7 +162,7 @@ Expected<NfcId> NetworkOrchestrator::provision_chain(const alvc::nfv::NfcSpec& s
   auto route = load_balanced_routing_
                    ? router_.route_balanced(*vc, ingress, egress, placed->hosts, bandwidth_,
                                             routing_k_)
-                   : router_.route(*vc, ingress, egress, placed->hosts);
+                   : route_linear(*vc, placed->hosts);
   if (!route) {
     for (auto inst : instances) {
       ALVC_IGNORE_STATUS(cloud_.terminate(inst),
@@ -291,7 +305,10 @@ Expected<NfcId> NetworkOrchestrator::provision_forwarding_graph(
 
   const alvc::util::TorId ingress = vc->layer.tors.front();
   const alvc::util::TorId egress = vc->layer.tors.back();
-  auto route = router_.route_graph(*vc, ingress, egress, gspec.graph, node_hosts);
+  auto route = route_cache_enabled_
+                   ? route_cache_.route_graph(router_, *vc, ingress, egress, gspec.graph,
+                                              node_hosts, BandwidthTier::kFull)
+                   : router_.route_graph(*vc, ingress, egress, gspec.graph, node_hosts);
   if (!route) {
     for (auto inst : instances) {
       ALVC_IGNORE_STATUS(cloud_.terminate(inst),
@@ -373,6 +390,10 @@ Status NetworkOrchestrator::teardown_chain(NfcId id) {
   }
   bandwidth_.release_walk(it->second.route.vertices, it->second.reserved_gbps);
   ALVC_IGNORE_STATUS(slices_.release(id), "teardown: chain is going away regardless");
+  // Cluster ids can be reused by a later build; a reused id must never see
+  // this tenant's paths, so teardown drops them eagerly instead of waiting
+  // for the epoch to catch the mismatch.
+  route_cache_.invalidate_slice(it->second.cluster);
   chains_.erase(it);
   log_.append(sdn::ControlEventType::kSliceReleased, id.value());
   log_.append(sdn::ControlEventType::kChainTornDown, id.value());
@@ -436,7 +457,7 @@ Status NetworkOrchestrator::migrate_function(NfcId id, std::size_t function_inde
   // Tentatively compute the new route before committing anything.
   auto hosts = chain.placement.hosts;
   hosts[function_index] = target;
-  auto route = router_.route(*vc, vc->layer.tors.front(), vc->layer.tors.back(), hosts);
+  auto route = route_linear(*vc, hosts);
   if (!route) return route.error();
   // Move the bandwidth reservation (conservative: new walk reserved while
   // the old one is still held, so shared links must fit both briefly).
@@ -619,8 +640,7 @@ double NetworkOrchestrator::fit_chain(ProvisionedChain& chain) {
   }
   finalize_placement(chain.placement);
 
-  auto route =
-      router_.route(*vc, vc->layer.tors.front(), vc->layer.tors.back(), chain.placement.hosts);
+  auto route = route_linear(*vc, chain.placement.hosts);
   if (!route) return 0;
   for (const auto& leg : route->legs) {
     if (!controller_.install_path(id, leg).is_ok()) {
@@ -637,6 +657,11 @@ double NetworkOrchestrator::fit_chain(ProvisionedChain& chain) {
       chain.route = std::move(*route);
       chain.reserved_gbps = gbps;
       chain.flow_rules = controller_.chain_rule_count(id);
+      // Keep the slice record's bandwidth (and its epoch) in step with the
+      // rung actually achieved.
+      ALVC_IGNORE_STATUS(slices_.set_bandwidth(id, gbps),
+                         "a parked chain can outlive its slice record only transiently; "
+                         "the reservation above is the source of truth");
       return fraction;
     }
   }

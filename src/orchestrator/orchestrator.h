@@ -28,6 +28,7 @@
 #include "orchestrator/bandwidth.h"
 #include "orchestrator/oeo.h"
 #include "orchestrator/placement.h"
+#include "orchestrator/route_cache.h"
 #include "orchestrator/routing.h"
 #include "orchestrator/slice.h"
 #include "sdn/cloud_manager.h"
@@ -100,6 +101,16 @@ class NetworkOrchestrator {
     load_balanced_routing_ = enabled;
     routing_k_ = k;
   }
+
+  /// Toggles the epoch-versioned route cache on the shortest-path hot path
+  /// (provision, refit, migration). On by default; the differential suite
+  /// flips it off to prove cached and uncached routing are bit-identical.
+  /// Load-balanced routes never use the cache (they depend on the live
+  /// bandwidth ledger, not just the slice subgraph).
+  void set_route_cache_enabled(bool enabled) noexcept { route_cache_enabled_ = enabled; }
+  [[nodiscard]] bool route_cache_enabled() const noexcept { return route_cache_enabled_; }
+  [[nodiscard]] const RouteCache& route_cache() const noexcept { return route_cache_; }
+  [[nodiscard]] RouteCache& route_cache() noexcept { return route_cache_; }
 
   /// Batch admission pre-screen: evaluates every spec's admission decision
   /// (against the cluster serving its service) without provisioning
@@ -199,6 +210,12 @@ class NetworkOrchestrator {
  private:
   const alvc::cluster::VirtualCluster* cluster_for_service(alvc::util::ServiceId service) const;
 
+  /// Linear-chain route ingress -> hosts -> egress with the cluster's
+  /// default anchors, served from the route cache when enabled (identical
+  /// to the plain router by construction — see route_cache.h).
+  [[nodiscard]] alvc::util::Expected<ChainRoute> route_linear(
+      const alvc::cluster::VirtualCluster& vc, std::span<const alvc::nfv::HostRef> hosts);
+
   /// One degraded chain waiting for another restoration attempt.
   struct RetryEntry {
     NfcId id;
@@ -247,6 +264,7 @@ class NetworkOrchestrator {
   AdmissionController admission_;
   BandwidthLedger bandwidth_;
   ChainRouter router_;
+  RouteCache route_cache_;
   std::unordered_map<NfcId, ProvisionedChain> chains_;
   sdn::ControlPlaneLog log_;
   OrchestratorStats stats_;
@@ -256,6 +274,7 @@ class NetworkOrchestrator {
   std::uint64_t recovery_epoch_ = 0;  // counts recovery events (backoff clock)
   NfcId::value_type next_id_ = 0;
   bool load_balanced_routing_ = false;
+  bool route_cache_enabled_ = true;
   std::size_t routing_k_ = 4;
 };
 

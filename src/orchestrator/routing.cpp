@@ -15,9 +15,8 @@ using alvc::util::ErrorCode;
 using alvc::util::OpsId;
 using alvc::util::ServerId;
 
-namespace {
+namespace routing_detail {
 
-/// Vertices a chain of `cluster` may traverse, plus any explicit extras.
 std::unordered_set<std::size_t> slice_vertices(const alvc::topology::DataCenterTopology& topo,
                                                const alvc::cluster::VirtualCluster& cluster,
                                                std::span<const std::size_t> extras) {
@@ -28,7 +27,6 @@ std::unordered_set<std::size_t> slice_vertices(const alvc::topology::DataCenterT
   return allowed;
 }
 
-/// Shortest slice-internal path from `from` to `to`; kInfeasible when none.
 alvc::util::Expected<std::vector<std::size_t>> route_leg(
     const alvc::topology::DataCenterTopology& topo,
     const std::unordered_set<std::size_t>& allowed, std::size_t from, std::size_t to,
@@ -43,6 +41,13 @@ alvc::util::Expected<std::vector<std::size_t>> route_leg(
   }
   return std::move(*path);
 }
+
+}  // namespace routing_detail
+
+namespace {
+
+using routing_detail::route_leg;
+using routing_detail::slice_vertices;
 
 /// Concatenates legs into the walk and tallies hop domains.
 void finish_route(const alvc::topology::DataCenterTopology& topo, ChainRoute& route) {
@@ -71,24 +76,41 @@ std::size_t ChainRouter::attach_vertex(const HostRef& host) const {
   return topo_->ops_vertex(std::get<OpsId>(host));
 }
 
-Expected<ChainRoute> ChainRouter::route(const alvc::cluster::VirtualCluster& cluster,
-                                        TorId ingress, TorId egress,
-                                        std::span<const HostRef> hosts) const {
+std::vector<std::size_t> ChainRouter::chain_stops(TorId ingress, TorId egress,
+                                                  std::span<const HostRef> hosts) const {
   std::vector<std::size_t> stops;
+  stops.reserve(hosts.size() + 2);
   stops.push_back(topo_->tor_vertex(ingress));
   for (const HostRef& host : hosts) stops.push_back(attach_vertex(host));
   stops.push_back(topo_->tor_vertex(egress));
+  return stops;
+}
 
-  const auto allowed = slice_vertices(*topo_, cluster, stops);
+Expected<ChainRoute> ChainRouter::route_via(
+    const alvc::cluster::VirtualCluster& /*cluster: the leg source closes over the slice*/,
+    TorId ingress, TorId egress, std::span<const HostRef> hosts,
+    const RouteLegSource& legs) const {
+  const auto stops = chain_stops(ingress, egress, hosts);
   ChainRoute route;
   route.conversions = count_conversions(hosts);
   for (std::size_t i = 0; i + 1 < stops.size(); ++i) {
-    auto leg = route_leg(*topo_, allowed, stops[i], stops[i + 1], i);
+    auto leg = legs(stops[i], stops[i + 1], i);
     if (!leg) return leg.error();
     route.legs.push_back(std::move(*leg));
   }
   finish_route(*topo_, route);
   return route;
+}
+
+Expected<ChainRoute> ChainRouter::route(const alvc::cluster::VirtualCluster& cluster,
+                                        TorId ingress, TorId egress,
+                                        std::span<const HostRef> hosts) const {
+  const auto stops = chain_stops(ingress, egress, hosts);
+  const auto allowed = slice_vertices(*topo_, cluster, stops);
+  return route_via(cluster, ingress, egress, hosts,
+                   [&](std::size_t from, std::size_t to, std::size_t leg_index) {
+                     return route_leg(*topo_, allowed, from, to, leg_index);
+                   });
 }
 
 Expected<ChainRoute> ChainRouter::route_balanced(const alvc::cluster::VirtualCluster& cluster,
@@ -144,31 +166,45 @@ Expected<ChainRoute> ChainRouter::route_graph(const alvc::cluster::VirtualCluste
     return Error{ErrorCode::kInvalidArgument, "node_hosts size != graph node count"};
   }
   if (auto status = graph.validate(); !status.is_ok()) return status.error();
+  std::vector<std::size_t> extras;
+  extras.reserve(node_hosts.size() + 2);
+  for (const HostRef& host : node_hosts) extras.push_back(attach_vertex(host));
+  extras.push_back(topo_->tor_vertex(ingress));
+  extras.push_back(topo_->tor_vertex(egress));
+  const auto allowed = slice_vertices(*topo_, cluster, extras);
+  return route_graph_via(cluster, ingress, egress, graph, node_hosts,
+                         [&](std::size_t from, std::size_t to, std::size_t leg_index) {
+                           return route_leg(*topo_, allowed, from, to, leg_index);
+                         });
+}
+
+Expected<ChainRoute> ChainRouter::route_graph_via(const alvc::cluster::VirtualCluster& cluster,
+                                                  TorId ingress, TorId egress,
+                                                  const alvc::nfv::ForwardingGraph& graph,
+                                                  std::span<const HostRef> node_hosts,
+                                                  const RouteLegSource& legs) const {
+  if (node_hosts.size() != graph.node_count()) {
+    return Error{ErrorCode::kInvalidArgument, "node_hosts size != graph node count"};
+  }
+  if (auto status = graph.validate(); !status.is_ok()) return status.error();
 
   std::vector<std::size_t> attach(node_hosts.size());
-  std::vector<std::size_t> extras;
-  for (std::size_t i = 0; i < node_hosts.size(); ++i) {
-    attach[i] = attach_vertex(node_hosts[i]);
-    extras.push_back(attach[i]);
-  }
+  for (std::size_t i = 0; i < node_hosts.size(); ++i) attach[i] = attach_vertex(node_hosts[i]);
   const std::size_t ingress_v = topo_->tor_vertex(ingress);
   const std::size_t egress_v = topo_->tor_vertex(egress);
-  extras.push_back(ingress_v);
-  extras.push_back(egress_v);
-  const auto allowed = slice_vertices(*topo_, cluster, extras);
 
   ChainRoute route;
   std::size_t leg_index = 0;
   // Ingress -> entry node.
   {
-    auto leg = route_leg(*topo_, allowed, ingress_v, attach[graph.entry()], leg_index++);
+    auto leg = legs(ingress_v, attach[graph.entry()], leg_index++);
     if (!leg) return leg.error();
     route.legs.push_back(std::move(*leg));
   }
   // One leg per DAG edge; conversions per optical->electronic edge.
   std::size_t conversions = 0;
   for (const auto& edge : graph.edges()) {
-    auto leg = route_leg(*topo_, allowed, attach[edge.from], attach[edge.to], leg_index++);
+    auto leg = legs(attach[edge.from], attach[edge.to], leg_index++);
     if (!leg) return leg.error();
     route.legs.push_back(std::move(*leg));
     if (alvc::nfv::is_optical_host(node_hosts[edge.from]) &&
@@ -178,7 +214,7 @@ Expected<ChainRoute> ChainRouter::route_graph(const alvc::cluster::VirtualCluste
   }
   // Every exit -> egress.
   for (std::size_t exit : graph.exits()) {
-    auto leg = route_leg(*topo_, allowed, attach[exit], egress_v, leg_index++);
+    auto leg = legs(attach[exit], egress_v, leg_index++);
     if (!leg) return leg.error();
     route.legs.push_back(std::move(*leg));
   }

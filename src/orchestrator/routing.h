@@ -7,7 +7,10 @@
 // a chain cannot ride another cluster's switches.
 #pragma once
 
+#include <cstddef>
+#include <functional>
 #include <span>
+#include <unordered_set>
 #include <vector>
 
 #include "cluster/virtual_cluster.h"
@@ -37,6 +40,31 @@ struct ChainRoute {
   }
 };
 
+/// Supplies one leg of a chain route: the slice-internal path `from` ->
+/// `to` for leg number `leg_index`. ChainRouter's default source runs a
+/// filtered BFS; the route cache wraps the same BFS behind a memo so both
+/// paths share every other step of route assembly (stop construction,
+/// junction dedup, hop tallies) and stay bit-identical by construction.
+using RouteLegSource = std::function<alvc::util::Expected<std::vector<std::size_t>>(
+    std::size_t from, std::size_t to, std::size_t leg_index)>;
+
+/// The BFS primitives route() is built from, exposed so the route cache's
+/// miss path runs EXACTLY the computation it memoizes.
+namespace routing_detail {
+
+/// Vertices a chain of `cluster` may traverse, plus any explicit extras.
+[[nodiscard]] std::unordered_set<std::size_t> slice_vertices(
+    const alvc::topology::DataCenterTopology& topo,
+    const alvc::cluster::VirtualCluster& cluster, std::span<const std::size_t> extras);
+
+/// Shortest slice-internal path from `from` to `to`; kInfeasible when none.
+[[nodiscard]] alvc::util::Expected<std::vector<std::size_t>> route_leg(
+    const alvc::topology::DataCenterTopology& topo,
+    const std::unordered_set<std::size_t>& allowed, std::size_t from, std::size_t to,
+    std::size_t leg_index);
+
+}  // namespace routing_detail
+
 class ChainRouter {
  public:
   explicit ChainRouter(const alvc::topology::DataCenterTopology& topo) : topo_(&topo) {}
@@ -46,6 +74,14 @@ class ChainRouter {
   [[nodiscard]] Expected<ChainRoute> route(const alvc::cluster::VirtualCluster& cluster,
                                            TorId ingress, TorId egress,
                                            std::span<const alvc::nfv::HostRef> hosts) const;
+
+  /// route() with the per-leg path computation delegated to `legs`: same
+  /// stops, same assembly, same conversion counting. route() itself is this
+  /// with the default BFS source.
+  [[nodiscard]] Expected<ChainRoute> route_via(const alvc::cluster::VirtualCluster& cluster,
+                                               TorId ingress, TorId egress,
+                                               std::span<const alvc::nfv::HostRef> hosts,
+                                               const RouteLegSource& legs) const;
 
   /// Load-balanced variant of route(): each leg considers the k shortest
   /// slice-internal paths and takes the one with the largest bottleneck
@@ -67,9 +103,20 @@ class ChainRouter {
       const alvc::nfv::ForwardingGraph& graph,
       std::span<const alvc::nfv::HostRef> node_hosts) const;
 
+  /// route_graph() with the per-leg computation delegated to `legs`.
+  [[nodiscard]] Expected<ChainRoute> route_graph_via(
+      const alvc::cluster::VirtualCluster& cluster, TorId ingress, TorId egress,
+      const alvc::nfv::ForwardingGraph& graph, std::span<const alvc::nfv::HostRef> node_hosts,
+      const RouteLegSource& legs) const;
+
   /// Switch-graph vertex where a host attaches (server -> its rack ToR,
   /// optoelectronic router -> its OPS vertex).
   [[nodiscard]] std::size_t attach_vertex(const alvc::nfv::HostRef& host) const;
+
+  /// The stop sequence route() visits: ingress ToR vertex, each host's
+  /// attach vertex in order, egress ToR vertex.
+  [[nodiscard]] std::vector<std::size_t> chain_stops(
+      TorId ingress, TorId egress, std::span<const alvc::nfv::HostRef> hosts) const;
 
  private:
   const alvc::topology::DataCenterTopology* topo_;

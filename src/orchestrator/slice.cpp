@@ -35,6 +35,21 @@ Status SliceManager::release(NfcId nfc) {
   return Status::ok();
 }
 
+Status SliceManager::set_bandwidth(NfcId nfc, double bandwidth_gbps) {
+  if (bandwidth_gbps < 0) {
+    return Error{ErrorCode::kInvalidArgument, "negative bandwidth"};
+  }
+  const auto it = by_nfc_.find(nfc);
+  if (it == by_nfc_.end()) {
+    return Error{ErrorCode::kNotFound, "no slice for NFC " + std::to_string(nfc.value())};
+  }
+  if (it->second.bandwidth_gbps != bandwidth_gbps) {
+    it->second.bandwidth_gbps = bandwidth_gbps;
+    ++it->second.epoch;
+  }
+  return Status::ok();
+}
+
 std::optional<OpticalSlice> SliceManager::slice_of_chain(NfcId nfc) const {
   const auto it = by_nfc_.find(nfc);
   if (it == by_nfc_.end()) return std::nullopt;

@@ -7,6 +7,7 @@
 // per-slice resource view (which OPSs / ToRs / servers the chain may use).
 #pragma once
 
+#include <cstdint>
 #include <optional>
 #include <unordered_map>
 #include <vector>
@@ -28,6 +29,10 @@ struct OpticalSlice {
   ClusterId cluster;  // the VC whose AL forms this slice
   NfcId nfc;          // the one chain bound to it
   double bandwidth_gbps = 0.0;
+  /// Bumped on every bandwidth change (degraded-ladder refits); consumers
+  /// holding per-slice derived state compare epochs instead of polling the
+  /// bandwidth value.
+  std::uint64_t epoch = 0;
 };
 
 class SliceManager {
@@ -39,6 +44,11 @@ class SliceManager {
 
   /// Releases the slice bound to `nfc`.
   [[nodiscard]] Status release(NfcId nfc);
+
+  /// Records the bandwidth `nfc`'s slice actually carries (degraded-mode
+  /// refits reserve a rung of the 1/2/4/8 ladder, not the spec's demand)
+  /// and bumps the slice epoch. kNotFound when the chain has no slice.
+  [[nodiscard]] Status set_bandwidth(NfcId nfc, double bandwidth_gbps);
 
   [[nodiscard]] std::optional<OpticalSlice> slice_of_chain(NfcId nfc) const;
   [[nodiscard]] std::optional<OpticalSlice> slice_of_cluster(ClusterId cluster) const;
