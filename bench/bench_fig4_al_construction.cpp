@@ -199,17 +199,22 @@ void run_builder_bench(benchmark::State& state, const Builder& builder) {
 void BM_VertexCoverAl(benchmark::State& state) {
   run_builder_bench(state, cluster::VertexCoverAlBuilder{});
 }
-BENCHMARK(BM_VertexCoverAl)->Arg(8)->Arg(32)->Arg(128)->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_VertexCoverAl)->Arg(8)->Arg(32)->Arg(128)->Arg(512)->Unit(benchmark::kMicrosecond);
 
 void BM_RandomAl(benchmark::State& state) {
   run_builder_bench(state, cluster::RandomAlBuilder{1});
 }
-BENCHMARK(BM_RandomAl)->Arg(8)->Arg(32)->Arg(128)->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_RandomAl)->Arg(8)->Arg(32)->Arg(128)->Arg(512)->Unit(benchmark::kMicrosecond);
 
 void BM_GreedySetCoverAl(benchmark::State& state) {
   run_builder_bench(state, cluster::GreedySetCoverAlBuilder{});
 }
-BENCHMARK(BM_GreedySetCoverAl)->Arg(8)->Arg(32)->Arg(128)->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_GreedySetCoverAl)
+    ->Arg(8)
+    ->Arg(32)
+    ->Arg(128)
+    ->Arg(512)
+    ->Unit(benchmark::kMicrosecond);
 
 void BM_ExactAl(benchmark::State& state) {
   run_builder_bench(state, cluster::ExactAlBuilder{});

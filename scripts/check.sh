@@ -30,6 +30,12 @@
 #   scripts/check.sh --ci <leg>         # exactly one CI leg: static, tier1,
 #                                       #   tsan, asan, ubsan, telemetry,
 #                                       #   bench-smoke
+#   scripts/check.sh --bench-json <out> # run the two tracked benchmarks
+#                                       #   (bench_route_cache,
+#                                       #   bench_fig4_al_construction) and
+#                                       #   write alvc-bench-trajectory-v1
+#                                       #   JSON; see emit_bench_json for
+#                                       #   baseline resolution
 #   ALVC_SKIP_CLANG_STATIC=1 scripts/check.sh  # clang-less host: skip TSA build
 #   ALVC_SKIP_TSAN=1 scripts/check.sh   # skip the TSan pass (e.g. unsupported host)
 #   ALVC_SKIP_ASAN=1 scripts/check.sh   # skip the ASan pass
@@ -105,7 +111,7 @@ leg_asan() {
     topology_failure_api_test cluster_failure_test cluster_degraded_cluster_test \
     orchestrator_failure_test faults_fault_injector_test faults_state_auditor_test \
     faults_chaos_soak_test orchestrator_route_cache_test \
-    orchestrator_route_cache_differential_test
+    orchestrator_route_cache_differential_test orchestrator_csr_chaos_differential_test
 
   echo "== ctest -L failures (under ASan) =="
   ctest --test-dir build-asan --output-on-failure -j "$jobs" -L failures
@@ -161,20 +167,109 @@ leg_bench_smoke() {
     --benchmark_min_time=0.01 \
     --benchmark_out=build/bench-smoke/parallel_al_build.json \
     --benchmark_out_format=json
+  emit_bench_json build/bench-smoke/BENCH_PR6.json
   echo "== bench smoke artifacts in build/bench-smoke/ =="
+}
+
+# emit_bench_json <out.json> — runs the two tracked benchmarks
+# (bench_route_cache and bench_fig4_al_construction) and writes an
+# alvc-bench-trajectory-v1 JSON: per benchmark name, the current cpu time
+# in microseconds next to a "before" baseline and the resulting speedup.
+# Baseline resolution, in order:
+#   1. $ALVC_BENCH_BASELINE_DIR/{route_cache,fig4}.json — raw
+#      google-benchmark JSON captured on the pre-change tree;
+#   2. the committed BENCH_PR6.json at the repo root (its `before` values
+#      carry forward, so CI tracks drift against the recorded trajectory);
+#   3. null (no baseline available; speedup omitted).
+emit_bench_json() {
+  local out="$1"
+  echo "== bench json: tracked benchmarks -> $out =="
+  cmake -B build -S . >/dev/null
+  cmake --build build -j "$jobs" --target bench_route_cache bench_fig4_al_construction
+  local tmpdir
+  tmpdir="$(mktemp -d)"
+  ./build/bench/bench_route_cache \
+    --benchmark_min_time=0.05 \
+    --benchmark_out="$tmpdir/route_cache.json" \
+    --benchmark_out_format=json
+  ./build/bench/bench_fig4_al_construction \
+    --benchmark_min_time=0.05 \
+    --benchmark_filter='/512$' \
+    --benchmark_out="$tmpdir/fig4.json" \
+    --benchmark_out_format=json
+  python3 - "$tmpdir" "$out" <<'PY'
+import json, os, sys
+
+tmpdir, out = sys.argv[1], sys.argv[2]
+baseline_dir = os.environ.get("ALVC_BENCH_BASELINE_DIR", "")
+
+def load_cpu_us(path):
+    with open(path) as f:
+        data = json.load(f)
+    result = {}
+    for b in data.get("benchmarks", []):
+        unit = b.get("time_unit", "ns")
+        scale = {"ns": 1e-3, "us": 1.0, "ms": 1e3, "s": 1e6}[unit]
+        result[b["name"]] = b["cpu_time"] * scale
+    return result
+
+after = {"bench_route_cache": load_cpu_us(f"{tmpdir}/route_cache.json"),
+         "bench_fig4_al_construction": load_cpu_us(f"{tmpdir}/fig4.json")}
+
+before = {}
+if baseline_dir:
+    for bench, raw in (("bench_route_cache", "route_cache.json"),
+                       ("bench_fig4_al_construction", "fig4.json")):
+        path = os.path.join(baseline_dir, raw)
+        if os.path.exists(path):
+            before[bench] = load_cpu_us(path)
+elif os.path.exists("BENCH_PR6.json"):
+    with open("BENCH_PR6.json") as f:
+        committed = json.load(f)
+    for row in committed.get("benchmarks", []):
+        if row.get("before_cpu_time_us") is not None:
+            before.setdefault(row["bench"], {})[row["name"]] = row["before_cpu_time_us"]
+
+rows = []
+for bench in sorted(after):
+    for name in after[bench]:
+        b = before.get(bench, {}).get(name)
+        row = {"bench": bench, "name": name,
+               "before_cpu_time_us": round(b, 3) if b is not None else None,
+               "after_cpu_time_us": round(after[bench][name], 3),
+               "speedup": round(b / after[bench][name], 2) if b else None}
+        rows.append(row)
+
+with open(out, "w") as f:
+    json.dump({"schema": "alvc-bench-trajectory-v1",
+               "generated_by": "scripts/check.sh --bench-json",
+               "benchmarks": rows}, f, indent=2)
+    f.write("\n")
+print(f"wrote {out} ({len(rows)} benchmarks)")
+PY
+  rm -rf "$tmpdir"
 }
 
 static_only=0
 ci_leg=""
+bench_json_out=""
 while [[ $# -gt 0 ]]; do
   case "$1" in
     --static-only) static_only=1; shift ;;
     --ci)
       [[ $# -ge 2 ]] || { echo "--ci requires a leg name" >&2; exit 2; }
       ci_leg="$2"; shift 2 ;;
+    --bench-json)
+      [[ $# -ge 2 ]] || { echo "--bench-json requires an output path" >&2; exit 2; }
+      bench_json_out="$2"; shift 2 ;;
     *) echo "unknown argument: $1" >&2; exit 2 ;;
   esac
 done
+
+if [[ -n "$bench_json_out" ]]; then
+  emit_bench_json "$bench_json_out"
+  exit 0
+fi
 
 if [[ -n "$ci_leg" ]]; then
   case "$ci_leg" in

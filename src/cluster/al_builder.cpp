@@ -1,10 +1,10 @@
 #include "cluster/al_builder.h"
 
 #include <algorithm>
-#include <queue>
 #include <set>
 
 #include "graph/articulation.h"
+#include "graph/scratch.h"
 #include "graph/set_cover.h"
 #include "graph/vertex_cover.h"
 #include "telemetry/telemetry.h"
@@ -95,14 +95,18 @@ std::size_t augment_layer_connectivity(const DataCenterTopology& topo,
                                        bool& connected) {
   ALVC_SPAN(span, "al_builder.augment_connectivity");
   const auto& g = topo.switch_graph();
+  const alvc::graph::CsrView csr = g.csr();
   std::size_t added = 0;
 
-  const auto in_layer = [&](std::size_t v) {
-    if (topo.is_ops_vertex(v)) return layer.contains_ops(topo.vertex_to_ops(v));
-    return layer.contains_tor(topo.vertex_to_tor(v));
-  };
+  // Layer membership as a stamped dense set, re-snapshotted each round:
+  // the per-neighbor in_layer test inside the BFS becomes one array load
+  // instead of a sorted-vector search. The recruit walk at the bottom only
+  // ever adds vertices the snapshot did NOT contain (pred-chain vertices
+  // are distinct), so the snapshot is observationally identical to the old
+  // live contains_ops/contains_tor queries.
+  alvc::graph::VertexSet layer_set;
   const auto traversable = [&](std::size_t v) {
-    if (in_layer(v)) return true;
+    if (layer_set.contains(v)) return true;
     // May recruit free, working optical switches only; foreign ToRs are
     // off-limits. (Failed OPSs have no switch-graph edges anyway; the
     // explicit check keeps the invariant local.)
@@ -111,31 +115,35 @@ std::size_t augment_layer_connectivity(const DataCenterTopology& topo,
     return ownership.is_free(ops) && topo.ops_usable(ops);
   };
 
+  constexpr std::size_t kNone = static_cast<std::size_t>(-1);
+  alvc::graph::VertexIndexMap component;
+  std::vector<std::size_t> members;
+  std::vector<std::size_t> frontier;
   for (;;) {
     // Label the layer's vertices by connected component (within the layer).
-    std::vector<std::size_t> members;
+    members.clear();
     for (TorId t : layer.tors) members.push_back(topo.tor_vertex(t));
     for (OpsId o : layer.opss) members.push_back(topo.ops_vertex(o));
     if (members.size() <= 1) {
       connected = true;
       return added;
     }
-    constexpr std::size_t kNone = static_cast<std::size_t>(-1);
-    std::vector<std::size_t> component(g.vertex_count(), kNone);
+    layer_set.reset(g.vertex_count());
+    for (std::size_t v : members) layer_set.insert(v);
+    component.reset(g.vertex_count());
     std::size_t comp_count = 0;
     for (std::size_t seed : members) {
-      if (component[seed] != kNone) continue;
+      if (component.contains(seed)) continue;
       const std::size_t label = comp_count++;
-      std::queue<std::size_t> queue;
-      component[seed] = label;
-      queue.push(seed);
-      while (!queue.empty()) {
-        const std::size_t v = queue.front();
-        queue.pop();
-        for (const auto& nb : g.neighbors(v)) {
-          if (component[nb.vertex] != kNone || !in_layer(nb.vertex)) continue;
-          component[nb.vertex] = label;
-          queue.push(nb.vertex);
+      frontier.clear();
+      component.put(seed, label);
+      frontier.push_back(seed);
+      for (std::size_t head = 0; head < frontier.size(); ++head) {
+        const std::size_t v = frontier[head];
+        for (const auto& nb : csr.neighbors(v)) {
+          if (component.contains(nb.vertex) || !layer_set.contains(nb.vertex)) continue;
+          component.put(nb.vertex, label);
+          frontier.push_back(nb.vertex);
         }
       }
     }
@@ -147,35 +155,36 @@ std::size_t augment_layer_connectivity(const DataCenterTopology& topo,
     // Multi-source BFS from component 0 through traversable vertices to the
     // nearest vertex of any other component; recruit the free OPSs on the
     // path.
-    std::vector<std::size_t> pred(g.vertex_count(), kNone);
-    std::vector<bool> visited(g.vertex_count(), false);
-    std::queue<std::size_t> queue;
+    alvc::graph::TraversalScratch& scratch = alvc::graph::thread_scratch();
+    scratch.begin(g.vertex_count());
     for (std::size_t v : members) {
-      if (component[v] == 0) {
-        visited[v] = true;
-        queue.push(v);
+      if (component.get(v) == 0) {
+        scratch.mark(v);
+        scratch.predecessor[v] = kNone;
+        scratch.frontier.push_back(v);
       }
     }
     std::size_t meet = kNone;
-    while (!queue.empty() && meet == kNone) {
-      const std::size_t v = queue.front();
-      queue.pop();
-      for (const auto& nb : g.neighbors(v)) {
-        if (visited[nb.vertex] || !traversable(nb.vertex)) continue;
-        visited[nb.vertex] = true;
-        pred[nb.vertex] = v;
-        if (component[nb.vertex] != kNone && component[nb.vertex] != 0) {
+    for (std::size_t head = 0; head < scratch.frontier.size() && meet == kNone; ++head) {
+      const std::size_t v = scratch.frontier[head];
+      for (const auto& nb : csr.neighbors(v)) {
+        if (scratch.seen(nb.vertex) || !traversable(nb.vertex)) continue;
+        scratch.mark(nb.vertex);
+        scratch.predecessor[nb.vertex] = v;
+        const std::size_t label = component.get(nb.vertex);
+        if (label != alvc::graph::kScratchNoVertex && label != 0) {
           meet = nb.vertex;
           break;
         }
-        queue.push(nb.vertex);
+        scratch.frontier.push_back(nb.vertex);
       }
     }
     if (meet == kNone) {
       connected = false;  // other components unreachable through free OPSs
       return added;
     }
-    for (std::size_t v = pred[meet]; v != kNone && !in_layer(v); v = pred[v]) {
+    for (std::size_t v = scratch.predecessor[meet]; v != kNone && !layer_set.contains(v);
+         v = scratch.predecessor[v]) {
       layer.opss.push_back(topo.vertex_to_ops(v));
       ++added;
     }
@@ -370,21 +379,25 @@ bool cluster_subgraph_connected(const DataCenterTopology& topo, const Abstractio
   for (OpsId o : layer.opss) members.push_back(topo.ops_vertex(o));
   if (members.size() <= 1) return true;
   const auto& g = topo.switch_graph();
-  std::set<std::size_t> member_set(members.begin(), members.end());
-  std::queue<std::size_t> queue;
-  std::set<std::size_t> seen;
-  queue.push(members.front());
-  seen.insert(members.front());
-  while (!queue.empty()) {
-    const std::size_t v = queue.front();
-    queue.pop();
-    for (const auto& nb : g.neighbors(v)) {
-      if (!member_set.contains(nb.vertex) || seen.contains(nb.vertex)) continue;
-      seen.insert(nb.vertex);
-      queue.push(nb.vertex);
+  const alvc::graph::CsrView csr = g.csr();
+  alvc::graph::VertexSet member_set;
+  member_set.reset(g.vertex_count());
+  for (std::size_t v : members) member_set.insert(v);
+  alvc::graph::TraversalScratch& scratch = alvc::graph::thread_scratch();
+  scratch.begin(g.vertex_count());
+  scratch.mark(members.front());
+  scratch.frontier.push_back(members.front());
+  std::size_t reached = 1;
+  for (std::size_t head = 0; head < scratch.frontier.size(); ++head) {
+    const std::size_t v = scratch.frontier[head];
+    for (const auto& nb : csr.neighbors(v)) {
+      if (!member_set.contains(nb.vertex) || scratch.seen(nb.vertex)) continue;
+      scratch.mark(nb.vertex);
+      ++reached;
+      scratch.frontier.push_back(nb.vertex);
     }
   }
-  return seen.size() == members.size();
+  return reached == member_set.size();
 }
 
 std::vector<OpsId> critical_ops(const DataCenterTopology& topo, const AbstractionLayer& layer) {

@@ -1,7 +1,8 @@
 #include "graph/articulation.h"
 
 #include <algorithm>
-#include <unordered_map>
+
+#include "graph/scratch.h"
 
 namespace alvc::graph {
 
@@ -10,14 +11,14 @@ namespace {
 /// Iterative Tarjan DFS (explicit stack: deep paths must not overflow the
 /// call stack on large cores).
 struct Tarjan {
-  const Graph& g;
+  CsrView csr;
   std::vector<int> disc;
   std::vector<int> low;
   std::vector<char> is_cut;
   int timer = 0;
 
   explicit Tarjan(const Graph& graph)
-      : g(graph), disc(graph.vertex_count(), -1), low(graph.vertex_count(), 0),
+      : csr(graph.csr()), disc(graph.vertex_count(), -1), low(graph.vertex_count(), 0),
         is_cut(graph.vertex_count(), 0) {}
 
   void run(std::size_t root) {
@@ -32,7 +33,7 @@ struct Tarjan {
     stack.push_back(Frame{root, root, 0, 0});
     while (!stack.empty()) {
       Frame& frame = stack.back();
-      const auto neighbors = g.neighbors(frame.vertex);
+      const auto neighbors = csr.neighbors(frame.vertex);
       if (frame.edge_index < neighbors.size()) {
         const std::size_t next = neighbors[frame.edge_index++].vertex;
         if (next == frame.vertex) continue;  // self loop
@@ -87,24 +88,26 @@ std::vector<std::size_t> articulation_points(const Graph& g) {
 
 std::vector<std::size_t> articulation_points_in_subgraph(const Graph& g,
                                                          std::span<const std::size_t> members) {
-  // Build the induced subgraph with dense re-indexing.
-  std::unordered_map<std::size_t, std::size_t> index;
+  // Dense re-indexing via a stamped map: first occurrence of each member
+  // gets the next dense id, matching the old unordered_map build order.
+  VertexIndexMap index;
+  index.reset(g.vertex_count());
+  std::vector<std::size_t> reverse;
   for (std::size_t v : members) {
     if (v >= g.vertex_count()) continue;
-    index.emplace(v, index.size());
+    if (!index.contains(v)) {
+      index.put(v, reverse.size());
+      reverse.push_back(v);
+    }
   }
-  Graph sub(index.size());
+  Graph sub(reverse.size());
   for (const Edge& e : g.edges()) {
-    const auto from = index.find(e.from);
-    const auto to = index.find(e.to);
-    if (from != index.end() && to != index.end()) {
-      sub.add_edge(from->second, to->second);
+    if (index.contains(e.from) && index.contains(e.to)) {
+      sub.add_edge(index.get(e.from), index.get(e.to));
     }
   }
   const auto cuts = articulation_points(sub);
   // Map back to original ids.
-  std::vector<std::size_t> reverse(index.size());
-  for (const auto& [orig, dense] : index) reverse[dense] = orig;
   std::vector<std::size_t> out;
   out.reserve(cuts.size());
   for (std::size_t c : cuts) out.push_back(reverse[c]);

@@ -6,26 +6,50 @@
 namespace alvc::graph {
 
 void BipartiteGraph::add_edge(std::size_t left, std::size_t right) {
-  if (left >= left_adj_.size()) throw std::out_of_range("BipartiteGraph: left out of range");
-  if (right >= right_adj_.size()) throw std::out_of_range("BipartiteGraph: right out of range");
-  left_adj_[left].push_back(right);
-  right_adj_[right].push_back(left);
-  ++edge_count_;
+  if (left >= left_count_) throw std::out_of_range("BipartiteGraph: left out of range");
+  if (right >= right_count_) throw std::out_of_range("BipartiteGraph: right out of range");
+  edges_.emplace_back(left, right);
+  csr_stale_ = true;
+}
+
+void BipartiteGraph::ensure_csr() const {
+  if (!csr_stale_) return;
+  left_offsets_.assign(left_count_ + 1, 0);
+  right_offsets_.assign(right_count_ + 1, 0);
+  for (const auto& [l, r] : edges_) {
+    ++left_offsets_[l + 1];
+    ++right_offsets_[r + 1];
+  }
+  for (std::size_t v = 0; v < left_count_; ++v) left_offsets_[v + 1] += left_offsets_[v];
+  for (std::size_t v = 0; v < right_count_; ++v) right_offsets_[v + 1] += right_offsets_[v];
+  left_neighbors_.resize(edges_.size());
+  right_neighbors_.resize(edges_.size());
+  std::vector<std::size_t> left_cursor(left_offsets_.begin(), left_offsets_.end() - 1);
+  std::vector<std::size_t> right_cursor(right_offsets_.begin(), right_offsets_.end() - 1);
+  for (const auto& [l, r] : edges_) {
+    left_neighbors_[left_cursor[l]++] = r;
+    right_neighbors_[right_cursor[r]++] = l;
+  }
+  csr_stale_ = false;
 }
 
 std::span<const std::size_t> BipartiteGraph::left_neighbors(std::size_t left) const {
-  if (left >= left_adj_.size()) throw std::out_of_range("BipartiteGraph: left out of range");
-  return left_adj_[left];
+  if (left >= left_count_) throw std::out_of_range("BipartiteGraph: left out of range");
+  ensure_csr();
+  return std::span<const std::size_t>(left_neighbors_.data() + left_offsets_[left],
+                                      left_offsets_[left + 1] - left_offsets_[left]);
 }
 
 std::span<const std::size_t> BipartiteGraph::right_neighbors(std::size_t right) const {
-  if (right >= right_adj_.size()) throw std::out_of_range("BipartiteGraph: right out of range");
-  return right_adj_[right];
+  if (right >= right_count_) throw std::out_of_range("BipartiteGraph: right out of range");
+  ensure_csr();
+  return std::span<const std::size_t>(right_neighbors_.data() + right_offsets_[right],
+                                      right_offsets_[right + 1] - right_offsets_[right]);
 }
 
 bool BipartiteGraph::has_edge(std::size_t left, std::size_t right) const {
   const auto neighbors = left_neighbors(left);
-  if (right >= right_adj_.size()) throw std::out_of_range("BipartiteGraph: right out of range");
+  if (right >= right_count_) throw std::out_of_range("BipartiteGraph: right out of range");
   return std::find(neighbors.begin(), neighbors.end(), right) != neighbors.end();
 }
 

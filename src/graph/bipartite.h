@@ -4,6 +4,12 @@
 // graphs: VM -> ToR (which ToR does each VM sit behind / connect to) and
 // ToR -> OPS (which optical switches each ToR uplinks to). Left and right
 // vertices are dense indices into their own ranges.
+//
+// Storage is an edge list plus lazily-built CSR adjacency per side (flat
+// neighbor array + offsets); the CSR fill runs in edge-insertion order so
+// every neighbor span reads in the order add_edge produced — the greedy
+// cover's tie-breaking depends on it. Single-threaded by design (each AL
+// build owns its bipartite graphs); no locking.
 #pragma once
 
 #include <cstddef>
@@ -15,11 +21,11 @@ namespace alvc::graph {
 class BipartiteGraph {
  public:
   BipartiteGraph(std::size_t left_count, std::size_t right_count)
-      : left_adj_(left_count), right_adj_(right_count) {}
+      : left_count_(left_count), right_count_(right_count) {}
 
-  [[nodiscard]] std::size_t left_count() const noexcept { return left_adj_.size(); }
-  [[nodiscard]] std::size_t right_count() const noexcept { return right_adj_.size(); }
-  [[nodiscard]] std::size_t edge_count() const noexcept { return edge_count_; }
+  [[nodiscard]] std::size_t left_count() const noexcept { return left_count_; }
+  [[nodiscard]] std::size_t right_count() const noexcept { return right_count_; }
+  [[nodiscard]] std::size_t edge_count() const noexcept { return edges_.size(); }
 
   /// Adds an edge (idempotence is not enforced; callers add each pair once).
   void add_edge(std::size_t left, std::size_t right);
@@ -35,9 +41,16 @@ class BipartiteGraph {
   [[nodiscard]] bool has_edge(std::size_t left, std::size_t right) const;
 
  private:
-  std::vector<std::vector<std::size_t>> left_adj_;
-  std::vector<std::vector<std::size_t>> right_adj_;
-  std::size_t edge_count_ = 0;
+  void ensure_csr() const;
+
+  std::size_t left_count_;
+  std::size_t right_count_;
+  std::vector<std::pair<std::size_t, std::size_t>> edges_;  // (left, right)
+  mutable std::vector<std::size_t> left_offsets_;
+  mutable std::vector<std::size_t> left_neighbors_;
+  mutable std::vector<std::size_t> right_offsets_;
+  mutable std::vector<std::size_t> right_neighbors_;
+  mutable bool csr_stale_ = true;
 };
 
 }  // namespace alvc::graph

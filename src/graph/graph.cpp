@@ -1,6 +1,10 @@
 #include "graph/graph.h"
 
+#include <mutex>
 #include <stdexcept>
+#include <utility>
+
+#include "graph/scratch.h"
 
 namespace alvc::graph {
 
@@ -22,9 +26,64 @@ std::uint64_t path_fingerprint(std::span<const std::size_t> vertices) noexcept {
   return fp;
 }
 
+TraversalScratch& thread_scratch() {
+  thread_local TraversalScratch scratch;
+  return scratch;
+}
+
+Graph::Graph(const Graph& other)
+    : kind_(other.kind_), vertex_count_(other.vertex_count_), edges_(other.edges_) {}
+
+Graph& Graph::operator=(const Graph& other) {
+  if (this == &other) return *this;
+  kind_ = other.kind_;
+  vertex_count_ = other.vertex_count_;
+  edges_ = other.edges_;
+  ++epoch_;  // cold cache: the old CSR arrays describe the old edge list
+  return *this;
+}
+
+Graph::Graph(Graph&& other) noexcept
+    : kind_(other.kind_), vertex_count_(other.vertex_count_), edges_(std::move(other.edges_)) {
+  // Move transfers a warm cache (no readers may race a move by contract).
+  const std::lock_guard<std::mutex> lock(other.csr_mutex_);
+  csr_offsets_ = std::move(other.csr_offsets_);
+  csr_adjacency_ = std::move(other.csr_adjacency_);
+  if (other.csr_built_epoch_.load(std::memory_order_relaxed) == other.epoch_) {
+    epoch_ = other.epoch_;
+    csr_built_epoch_.store(epoch_, std::memory_order_release);
+  }
+  other.csr_built_epoch_.store(0, std::memory_order_relaxed);
+  other.vertex_count_ = 0;
+  ++other.epoch_;
+}
+
+Graph& Graph::operator=(Graph&& other) noexcept {
+  if (this == &other) return *this;
+  kind_ = other.kind_;
+  vertex_count_ = other.vertex_count_;
+  edges_ = std::move(other.edges_);
+  {
+    std::scoped_lock lock(csr_mutex_, other.csr_mutex_);
+    csr_offsets_ = std::move(other.csr_offsets_);
+    csr_adjacency_ = std::move(other.csr_adjacency_);
+  }
+  if (other.csr_built_epoch_.load(std::memory_order_relaxed) == other.epoch_) {
+    epoch_ = other.epoch_;
+    csr_built_epoch_.store(epoch_, std::memory_order_release);
+  } else {
+    ++epoch_;
+    csr_built_epoch_.store(0, std::memory_order_relaxed);
+  }
+  other.csr_built_epoch_.store(0, std::memory_order_relaxed);
+  other.vertex_count_ = 0;
+  ++other.epoch_;
+  return *this;
+}
+
 std::size_t Graph::add_vertex() {
-  adjacency_.emplace_back();
-  return adjacency_.size() - 1;
+  ++epoch_;
+  return vertex_count_++;
 }
 
 std::size_t Graph::add_edge(std::size_t from, std::size_t to, double weight) {
@@ -32,29 +91,67 @@ std::size_t Graph::add_edge(std::size_t from, std::size_t to, double weight) {
   check_vertex(to);
   const std::size_t e = edges_.size();
   edges_.push_back(Edge{from, to, weight});
-  adjacency_[from].push_back(Neighbor{to, e, weight});
-  if (kind_ == Kind::kUndirected && from != to) {
-    adjacency_[to].push_back(Neighbor{from, e, weight});
-  }
+  ++epoch_;
   return e;
 }
 
-std::span<const Neighbor> Graph::neighbors(std::size_t v) const {
+void Graph::build_csr() const {
+  const std::lock_guard<std::mutex> lock(csr_mutex_);
+  if (csr_built_epoch_.load(std::memory_order_relaxed) == epoch_) return;
+  // Counting sort over the edge list. Walking edges in insertion order
+  // fills each vertex's slice in that same order, reproducing the old
+  // per-vertex push_back sequence exactly.
+  csr_offsets_.assign(vertex_count_ + 1, 0);
+  for (const Edge& e : edges_) {
+    ++csr_offsets_[e.from + 1];
+    if (kind_ == Kind::kUndirected && e.from != e.to) ++csr_offsets_[e.to + 1];
+  }
+  for (std::size_t v = 0; v < vertex_count_; ++v) csr_offsets_[v + 1] += csr_offsets_[v];
+  csr_adjacency_.resize(csr_offsets_[vertex_count_]);
+  std::vector<std::size_t> cursor(csr_offsets_.begin(), csr_offsets_.end() - 1);
+  for (std::size_t e = 0; e < edges_.size(); ++e) {
+    const Edge& edge = edges_[e];
+    csr_adjacency_[cursor[edge.from]++] = Neighbor{edge.to, e, edge.weight};
+    if (kind_ == Kind::kUndirected && edge.from != edge.to) {
+      csr_adjacency_[cursor[edge.to]++] = Neighbor{edge.from, e, edge.weight};
+    }
+  }
+  csr_built_epoch_.store(epoch_, std::memory_order_release);
+}
+
+void Graph::ensure_csr() const {
+  if (csr_built_epoch_.load(std::memory_order_acquire) != epoch_) build_csr();
+}
+
+// Unchecked reads of the guarded arrays: the acquire load in ensure_csr
+// pairs with build_csr's release store, and the documented protocol (no
+// concurrent mutation while const readers are active) keeps them stable.
+// The analysis cannot model publication-then-quiescence.
+std::span<const Neighbor> Graph::neighbors(std::size_t v) const ALVC_NO_THREAD_SAFETY_ANALYSIS {
   check_vertex(v);
-  return adjacency_[v];
+  ensure_csr();
+  return std::span<const Neighbor>(csr_adjacency_.data() + csr_offsets_[v],
+                                   csr_offsets_[v + 1] - csr_offsets_[v]);
+}
+
+CsrView Graph::csr() const ALVC_NO_THREAD_SAFETY_ANALYSIS {
+  ensure_csr();
+  return CsrView{.offsets = csr_offsets_, .adjacency = csr_adjacency_};
 }
 
 bool Graph::has_edge(std::size_t a, std::size_t b) const {
   check_vertex(a);
   check_vertex(b);
-  const auto& smaller = adjacency_[a].size() <= adjacency_[b].size() ? adjacency_[a] : adjacency_[b];
-  const std::size_t target = adjacency_[a].size() <= adjacency_[b].size() ? b : a;
+  const auto adj_a = neighbors(a);
+  const auto adj_b = neighbors(b);
+  const auto& smaller = adj_a.size() <= adj_b.size() ? adj_a : adj_b;
+  const std::size_t target = adj_a.size() <= adj_b.size() ? b : a;
   for (const auto& n : smaller) {
     if (n.vertex == target) return true;
   }
   // Directed graphs store the edge only on `from`, so check the other side too.
   if (kind_ == Kind::kDirected) {
-    for (const auto& n : adjacency_[a]) {
+    for (const auto& n : adj_a) {
       if (n.vertex == b) return true;
     }
     return false;
@@ -63,7 +160,7 @@ bool Graph::has_edge(std::size_t a, std::size_t b) const {
 }
 
 void Graph::check_vertex(std::size_t v) const {
-  if (v >= adjacency_.size()) throw std::out_of_range("Graph vertex out of range");
+  if (v >= vertex_count_) throw std::out_of_range("Graph vertex out of range");
 }
 
 }  // namespace alvc::graph

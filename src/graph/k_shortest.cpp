@@ -21,25 +21,29 @@ std::optional<std::vector<std::size_t>> constrained_bfs(
     return !filter || v == source || filter(v);
   };
   // Inline BFS honouring banned edges (graph::bfs has no edge filter).
-  std::vector<std::size_t> pred(g.vertex_count(), kNoVertex);
-  std::vector<char> seen(g.vertex_count(), 0);
-  std::vector<std::size_t> queue;
-  queue.push_back(source);
-  seen[source] = 1;
-  for (std::size_t head = 0; head < queue.size(); ++head) {
-    const std::size_t v = queue[head];
+  // Yen's loop calls this once per spur node per round; the thread scratch
+  // amortises the per-vertex state across all of them (each call completes
+  // before the next starts, so the one-owner contract holds).
+  const CsrView csr = g.csr();
+  TraversalScratch& scratch = thread_scratch();
+  scratch.begin(g.vertex_count());
+  scratch.mark(source);
+  scratch.predecessor[source] = kNoVertex;
+  scratch.frontier.push_back(source);
+  for (std::size_t head = 0; head < scratch.frontier.size(); ++head) {
+    const std::size_t v = scratch.frontier[head];
     if (v == target) break;
-    for (const auto& nb : g.neighbors(v)) {
-      if (seen[nb.vertex] || !combined(nb.vertex)) continue;
+    for (const auto& nb : csr.neighbors(v)) {
+      if (scratch.seen(nb.vertex) || !combined(nb.vertex)) continue;
       if (banned_edges.contains({v, nb.vertex})) continue;
-      seen[nb.vertex] = 1;
-      pred[nb.vertex] = v;
-      queue.push_back(nb.vertex);
+      scratch.mark(nb.vertex);
+      scratch.predecessor[nb.vertex] = v;
+      scratch.frontier.push_back(nb.vertex);
     }
   }
-  if (!seen[target]) return std::nullopt;
+  if (!scratch.seen(target)) return std::nullopt;
   std::vector<std::size_t> path;
-  for (std::size_t v = target; v != kNoVertex; v = pred[v]) path.push_back(v);
+  for (std::size_t v = target; v != kNoVertex; v = scratch.predecessor[v]) path.push_back(v);
   std::reverse(path.begin(), path.end());
   if (path.front() != source) return std::nullopt;
   return path;

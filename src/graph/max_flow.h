@@ -13,11 +13,18 @@ namespace alvc::graph {
 
 /// Directed flow network with residual bookkeeping. Add an undirected
 /// capacity with two add_edge calls (one per direction).
+///
+/// Arc indices per vertex live in a CSR layout (flat arc array + vertex
+/// offsets) rebuilt lazily before each max_flow run; the level-graph BFS
+/// and blocking-flow DFS walk contiguous slices instead of per-vertex
+/// vectors. Arc-index order within a slice matches insertion order, so
+/// augmenting paths (and the final per-arc flow split) are identical to the
+/// adjacency-list implementation's.
 class FlowNetwork {
  public:
   explicit FlowNetwork(std::size_t vertex_count);
 
-  [[nodiscard]] std::size_t vertex_count() const noexcept { return adjacency_.size(); }
+  [[nodiscard]] std::size_t vertex_count() const noexcept { return vertex_count_; }
 
   /// Adds a directed arc u->v with `capacity`; returns the arc index.
   /// A reverse residual arc with zero capacity is created automatically.
@@ -40,13 +47,20 @@ class FlowNetwork {
     double flow;
   };
 
+  void ensure_csr();
   bool bfs_layers(std::size_t s, std::size_t t);
   double dfs_push(std::size_t v, std::size_t t, double pushed);
 
+  std::size_t vertex_count_;
   std::vector<Arc> arcs_;
-  std::vector<std::vector<std::size_t>> adjacency_;  // arc indices per vertex
+  // CSR over arc indices: vertex v's arcs are arc_index_[offsets_[v] ..
+  // offsets_[v+1]). Stale whenever add_edge ran since the last build.
+  std::vector<std::size_t> offsets_;
+  std::vector<std::size_t> arc_index_;
+  bool csr_stale_ = true;
   std::vector<int> level_;
-  std::vector<std::size_t> next_arc_;
+  std::vector<std::size_t> next_arc_;  // cursor into [offsets_[v], offsets_[v+1])
+  std::vector<std::size_t> frontier_;  // flat BFS queue, reused across layers
 };
 
 }  // namespace alvc::graph

@@ -12,17 +12,20 @@ PathResult bfs(const Graph& g, std::size_t source, const VertexFilter& filter) {
   result.distance.assign(g.vertex_count(), kUnreachable);
   result.predecessor.assign(g.vertex_count(), kNoVertex);
   result.distance[source] = 0;
-  std::queue<std::size_t> queue;
-  queue.push(source);
-  while (!queue.empty()) {
-    const std::size_t v = queue.front();
-    queue.pop();
-    for (const auto& nb : g.neighbors(v)) {
+  const CsrView csr = g.csr();
+  // Flat FIFO frontier: `head` walks forward instead of popping, so the
+  // vector doubles as the visit log and never shuffles memory.
+  TraversalScratch& scratch = thread_scratch();
+  scratch.begin(g.vertex_count());
+  scratch.frontier.push_back(source);
+  for (std::size_t head = 0; head < scratch.frontier.size(); ++head) {
+    const std::size_t v = scratch.frontier[head];
+    for (const auto& nb : csr.neighbors(v)) {
       if (result.distance[nb.vertex] != kUnreachable) continue;
       if (filter && nb.vertex != source && !filter(nb.vertex)) continue;
       result.distance[nb.vertex] = result.distance[v] + 1;
       result.predecessor[nb.vertex] = v;
-      queue.push(nb.vertex);
+      scratch.frontier.push_back(nb.vertex);
     }
   }
   return result;
@@ -34,6 +37,7 @@ PathResult dijkstra(const Graph& g, std::size_t source, const VertexFilter& filt
   result.distance.assign(g.vertex_count(), kUnreachable);
   result.predecessor.assign(g.vertex_count(), kNoVertex);
   result.distance[source] = 0;
+  const CsrView csr = g.csr();
 
   using Entry = std::pair<double, std::size_t>;  // (distance, vertex)
   std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap;
@@ -42,7 +46,7 @@ PathResult dijkstra(const Graph& g, std::size_t source, const VertexFilter& filt
     const auto [dist, v] = heap.top();
     heap.pop();
     if (dist > result.distance[v]) continue;  // stale entry
-    for (const auto& nb : g.neighbors(v)) {
+    for (const auto& nb : csr.neighbors(v)) {
       if (nb.weight < 0) throw std::invalid_argument("dijkstra: negative edge weight");
       if (filter && nb.vertex != source && !filter(nb.vertex)) continue;
       const double cand = dist + nb.weight;
@@ -54,6 +58,48 @@ PathResult dijkstra(const Graph& g, std::size_t source, const VertexFilter& filt
     }
   }
   return result;
+}
+
+std::optional<std::vector<std::size_t>> bfs_path_to(const Graph& g, std::size_t source,
+                                                    std::size_t target,
+                                                    const VertexSet& allowed) {
+  if (source >= g.vertex_count()) throw std::out_of_range("bfs_path_to: source out of range");
+  if (target >= g.vertex_count()) throw std::out_of_range("bfs_path_to: target out of range");
+  const CsrView csr = g.csr();
+  TraversalScratch& scratch = thread_scratch();
+  scratch.begin(g.vertex_count());
+  scratch.mark(source);
+  scratch.predecessor[source] = kNoVertex;
+  scratch.frontier.push_back(source);
+  bool found = source == target;
+  for (std::size_t head = 0; !found && head < scratch.frontier.size(); ++head) {
+    const std::size_t v = scratch.frontier[head];
+    for (const auto& nb : csr.neighbors(v)) {
+      if (scratch.seen(nb.vertex)) continue;
+      // Same exemption the std::function filter applies: the source is
+      // traversable even when outside the allowed set.
+      if (nb.vertex != source && !allowed.contains(nb.vertex)) continue;
+      scratch.mark(nb.vertex);
+      scratch.predecessor[nb.vertex] = v;
+      if (nb.vertex == target) {
+        // Predecessors are fixed at discovery, so the path is already
+        // complete — the rest of this BFS level cannot change it.
+        found = true;
+        break;
+      }
+      scratch.frontier.push_back(nb.vertex);
+    }
+  }
+  if (!found) return std::nullopt;
+  std::vector<std::size_t> path;
+  for (std::size_t v = target; v != kNoVertex; v = scratch.predecessor[v]) {
+    path.push_back(v);
+    if (path.size() > g.vertex_count()) {
+      throw std::logic_error("bfs_path_to: predecessor cycle");
+    }
+  }
+  std::reverse(path.begin(), path.end());
+  return path;
 }
 
 std::optional<std::vector<std::size_t>> extract_path(const PathResult& result,

@@ -2,7 +2,17 @@
 //
 // Routing a flow through its NFC visits the chain's hosts in order; each
 // leg is a shortest path in the hybrid topology, optionally restricted to a
-// vertex subset (the slice's AL plus its ToRs).
+// vertex subset (the slice's AL plus its ToRs). Two API tiers:
+//   * bfs/dijkstra return the full distance/predecessor tree and accept an
+//     arbitrary std::function filter — the general tool.
+//   * bfs_path_to answers the one question the routing hot path asks
+//     (shortest path source -> target inside a VertexSet) with zero
+//     per-call allocation beyond the returned path: membership tests are
+//     one array load, traversal state lives in the reusable thread
+//     scratch, and the search stops the moment the target is discovered.
+//     Its result is IDENTICAL to extract_path(bfs(g, source, filter),
+//     target) for the equivalent filter — BFS sets a vertex's predecessor
+//     at discovery time, so stopping early cannot change the path.
 #pragma once
 
 #include <cstddef>
@@ -12,6 +22,7 @@
 #include <vector>
 
 #include "graph/graph.h"
+#include "graph/scratch.h"
 
 namespace alvc::graph {
 
@@ -34,6 +45,15 @@ using VertexFilter = std::function<bool(std::size_t)>;
 /// Dijkstra from `source` over edge weights (must be >= 0).
 [[nodiscard]] PathResult dijkstra(const Graph& g, std::size_t source,
                                   const VertexFilter& filter = nullptr);
+
+/// Shortest hop-count path source -> target traversing only vertices in
+/// `allowed` (source exempt, target must be in `allowed` to be reached).
+/// nullopt when unreachable. Bit-identical to the bfs + extract_path pair
+/// under the equivalent filter; this is the routing hot-path primitive.
+[[nodiscard]] std::optional<std::vector<std::size_t>> bfs_path_to(const Graph& g,
+                                                                  std::size_t source,
+                                                                  std::size_t target,
+                                                                  const VertexSet& allowed);
 
 /// Reconstructs source->target as a vertex sequence; nullopt if unreachable.
 [[nodiscard]] std::optional<std::vector<std::size_t>> extract_path(const PathResult& result,

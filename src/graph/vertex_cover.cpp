@@ -234,19 +234,26 @@ std::vector<std::size_t> greedy_one_sided_cover(const BipartiteGraph& g) {
     }
   }
 
+  // Incremental gains: gain[r] = number of edges from r to uncovered left
+  // vertices, maintained as vertices get covered, so each round is an O(nr)
+  // argmax scan instead of re-walking every right neighbor list (O(E)).
+  // Initially every neighbor of a right vertex is uncovered (it has degree
+  // >= 1), so gain starts at the full degree; covering a left vertex
+  // decrements once per incident edge, which reproduces the old per-edge
+  // counting exactly even with parallel edges.
+  std::vector<std::size_t> gain(nr);
+  for (std::size_t r = 0; r < nr; ++r) gain[r] = g.right_degree(r);
+
   std::vector<std::size_t> chosen;
   while (uncovered > 0) {
-    // "Max-weightage": right vertex covering the most uncovered VMs wins.
+    // "Max-weightage": right vertex covering the most uncovered VMs wins;
+    // the strict > keeps the legacy lowest-index tie-break.
     std::size_t best = nr;
     std::size_t best_gain = 0;
     for (std::size_t r = 0; r < nr; ++r) {
-      std::size_t gain = 0;
-      for (std::size_t l : g.right_neighbors(r)) {
-        if (!covered.test(l)) ++gain;
-      }
-      if (gain > best_gain) {
+      if (gain[r] > best_gain) {
         best = r;
-        best_gain = gain;
+        best_gain = gain[r];
       }
     }
     if (best == nr) break;  // unreachable if every non-isolated VM has an edge
@@ -255,6 +262,7 @@ std::vector<std::size_t> greedy_one_sided_cover(const BipartiteGraph& g) {
       if (!covered.test(l)) {
         covered.set(l);
         --uncovered;
+        for (std::size_t r : g.left_neighbors(l)) --gain[r];
       }
     }
   }

@@ -106,7 +106,7 @@ bool RouteCache::stops_in_slice(const VirtualCluster& cluster,
 }
 
 Expected<std::vector<std::size_t>> RouteCache::cached_leg(
-    const VirtualCluster& cluster, BandwidthTier tier, std::unordered_set<std::size_t>& allowed,
+    const VirtualCluster& cluster, BandwidthTier tier, alvc::graph::VertexSet& allowed,
     std::size_t from, std::size_t to, std::size_t leg_index) {
   // Trivial legs are cheaper to produce than to look up.
   if (from == to) return std::vector<std::size_t>{from};
@@ -140,10 +140,10 @@ Expected<std::vector<std::size_t>> RouteCache::cached_leg(
   }
   ++stats_.misses;
   ALVC_COUNT("orchestrator.route_cache.miss");
-  if (allowed.empty()) {
+  if (allowed.size() == 0) {
     // Built once per route() call, and only when some leg actually misses:
     // a fully cached route never pays the O(slice) set construction.
-    allowed = routing_detail::slice_vertices(*topo_, cluster, {});
+    routing_detail::slice_vertices(*topo_, cluster, {}, allowed);
   }
   auto leg = routing_detail::route_leg(*topo_, allowed, from, to, leg_index);
   // Infeasible legs are not cached: negative results would have to be
@@ -175,7 +175,7 @@ Expected<ChainRoute> RouteCache::route(const ChainRouter& router, const VirtualC
     ALVC_COUNT("orchestrator.route_cache.bypass");
     return router.route(cluster, ingress, egress, hosts);
   }
-  std::unordered_set<std::size_t> allowed;  // lazily filled by the first miss
+  alvc::graph::VertexSet allowed;  // lazily filled by the first miss
   return router.route_via(cluster, ingress, egress, hosts,
                           [&](std::size_t from, std::size_t to, std::size_t leg_index) {
                             return cached_leg(cluster, tier, allowed, from, to, leg_index);
@@ -199,7 +199,7 @@ Expected<ChainRoute> RouteCache::route_graph(const ChainRouter& router,
     ALVC_COUNT("orchestrator.route_cache.bypass");
     return router.route_graph(cluster, ingress, egress, graph, node_hosts);
   }
-  std::unordered_set<std::size_t> allowed;
+  alvc::graph::VertexSet allowed;
   return router.route_graph_via(cluster, ingress, egress, graph, node_hosts,
                                 [&](std::size_t from, std::size_t to, std::size_t leg_index) {
                                   return cached_leg(cluster, tier, allowed, from, to, leg_index);

@@ -39,7 +39,6 @@
 #include <span>
 #include <string>
 #include <unordered_map>
-#include <unordered_set>
 #include <vector>
 
 #include "cluster/virtual_cluster.h"
@@ -167,7 +166,7 @@ class RouteCache {
   /// router's own BFS on miss. `allowed` is built lazily on first miss.
   [[nodiscard]] Expected<std::vector<std::size_t>> cached_leg(
       const alvc::cluster::VirtualCluster& cluster, BandwidthTier tier,
-      std::unordered_set<std::size_t>& allowed, std::size_t from, std::size_t to,
+      alvc::graph::VertexSet& allowed, std::size_t from, std::size_t to,
       std::size_t leg_index);
 
   const alvc::topology::DataCenterTopology* topo_;

@@ -2,7 +2,6 @@
 
 #include <algorithm>
 #include <limits>
-#include <unordered_set>
 
 #include "graph/k_shortest.h"
 #include "graph/shortest_path.h"
@@ -17,24 +16,20 @@ using alvc::util::ServerId;
 
 namespace routing_detail {
 
-std::unordered_set<std::size_t> slice_vertices(const alvc::topology::DataCenterTopology& topo,
-                                               const alvc::cluster::VirtualCluster& cluster,
-                                               std::span<const std::size_t> extras) {
-  std::unordered_set<std::size_t> allowed;
+void slice_vertices(const alvc::topology::DataCenterTopology& topo,
+                    const alvc::cluster::VirtualCluster& cluster,
+                    std::span<const std::size_t> extras, alvc::graph::VertexSet& allowed) {
+  allowed.reset(topo.switch_graph().vertex_count());
   for (TorId t : cluster.layer.tors) allowed.insert(topo.tor_vertex(t));
   for (OpsId o : cluster.layer.opss) allowed.insert(topo.ops_vertex(o));
   for (std::size_t v : extras) allowed.insert(v);
-  return allowed;
 }
 
 alvc::util::Expected<std::vector<std::size_t>> route_leg(
-    const alvc::topology::DataCenterTopology& topo,
-    const std::unordered_set<std::size_t>& allowed, std::size_t from, std::size_t to,
-    std::size_t leg_index) {
+    const alvc::topology::DataCenterTopology& topo, const alvc::graph::VertexSet& allowed,
+    std::size_t from, std::size_t to, std::size_t leg_index) {
   if (from == to) return std::vector<std::size_t>{from};
-  const auto filter = [&](std::size_t v) { return allowed.contains(v); };
-  const auto result = alvc::graph::bfs(topo.switch_graph(), from, filter);
-  auto path = alvc::graph::extract_path(result, to);
+  auto path = alvc::graph::bfs_path_to(topo.switch_graph(), from, to, allowed);
   if (!path) {
     return Error{ErrorCode::kInfeasible,
                  "no slice-internal path for leg " + std::to_string(leg_index)};
@@ -106,7 +101,8 @@ Expected<ChainRoute> ChainRouter::route(const alvc::cluster::VirtualCluster& clu
                                         TorId ingress, TorId egress,
                                         std::span<const HostRef> hosts) const {
   const auto stops = chain_stops(ingress, egress, hosts);
-  const auto allowed = slice_vertices(*topo_, cluster, stops);
+  alvc::graph::VertexSet allowed;
+  slice_vertices(*topo_, cluster, stops, allowed);
   return route_via(cluster, ingress, egress, hosts,
                    [&](std::size_t from, std::size_t to, std::size_t leg_index) {
                      return route_leg(*topo_, allowed, from, to, leg_index);
@@ -122,7 +118,8 @@ Expected<ChainRoute> ChainRouter::route_balanced(const alvc::cluster::VirtualClu
   stops.push_back(topo_->tor_vertex(ingress));
   for (const HostRef& host : hosts) stops.push_back(attach_vertex(host));
   stops.push_back(topo_->tor_vertex(egress));
-  const auto allowed = slice_vertices(*topo_, cluster, stops);
+  alvc::graph::VertexSet allowed;
+  slice_vertices(*topo_, cluster, stops, allowed);
   const auto filter = [&](std::size_t v) { return allowed.contains(v); };
 
   ChainRoute route;
@@ -171,7 +168,8 @@ Expected<ChainRoute> ChainRouter::route_graph(const alvc::cluster::VirtualCluste
   for (const HostRef& host : node_hosts) extras.push_back(attach_vertex(host));
   extras.push_back(topo_->tor_vertex(ingress));
   extras.push_back(topo_->tor_vertex(egress));
-  const auto allowed = slice_vertices(*topo_, cluster, extras);
+  alvc::graph::VertexSet allowed;
+  slice_vertices(*topo_, cluster, extras, allowed);
   return route_graph_via(cluster, ingress, egress, graph, node_hosts,
                          [&](std::size_t from, std::size_t to, std::size_t leg_index) {
                            return route_leg(*topo_, allowed, from, to, leg_index);

@@ -10,10 +10,10 @@
 #include <cstddef>
 #include <functional>
 #include <span>
-#include <unordered_set>
 #include <vector>
 
 #include "cluster/virtual_cluster.h"
+#include "graph/scratch.h"
 #include "nfv/forwarding_graph.h"
 #include "nfv/lifecycle.h"
 #include "orchestrator/bandwidth.h"
@@ -52,16 +52,18 @@ using RouteLegSource = std::function<alvc::util::Expected<std::vector<std::size_
 /// miss path runs EXACTLY the computation it memoizes.
 namespace routing_detail {
 
-/// Vertices a chain of `cluster` may traverse, plus any explicit extras.
-[[nodiscard]] std::unordered_set<std::size_t> slice_vertices(
-    const alvc::topology::DataCenterTopology& topo,
-    const alvc::cluster::VirtualCluster& cluster, std::span<const std::size_t> extras);
+/// Vertices a chain of `cluster` may traverse, plus any explicit extras,
+/// filled into `allowed` (reset to the switch graph's vertex count first).
+/// A stamped dense set instead of a hash set: the BFS membership test on
+/// the routing hot path becomes one array load.
+void slice_vertices(const alvc::topology::DataCenterTopology& topo,
+                    const alvc::cluster::VirtualCluster& cluster,
+                    std::span<const std::size_t> extras, alvc::graph::VertexSet& allowed);
 
 /// Shortest slice-internal path from `from` to `to`; kInfeasible when none.
 [[nodiscard]] alvc::util::Expected<std::vector<std::size_t>> route_leg(
-    const alvc::topology::DataCenterTopology& topo,
-    const std::unordered_set<std::size_t>& allowed, std::size_t from, std::size_t to,
-    std::size_t leg_index);
+    const alvc::topology::DataCenterTopology& topo, const alvc::graph::VertexSet& allowed,
+    std::size_t from, std::size_t to, std::size_t leg_index);
 
 }  // namespace routing_detail
 

@@ -224,6 +224,9 @@ void DataCenterTopology::warm_switch_graph() const {
       }
     }
   }
+  // Warm the CSR adjacency before publication so concurrent readers never
+  // contend on the graph's own lazy build.
+  g.ensure_csr();
   switch_graph_ = std::move(g);
   switch_graph_valid_.store(true, std::memory_order_release);
 }

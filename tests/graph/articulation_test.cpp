@@ -5,6 +5,7 @@
 #include <set>
 
 #include "graph/union_find.h"
+#include "support/random_graph.h"
 #include "util/rng.h"
 
 namespace alvc::graph {
@@ -87,12 +88,7 @@ class ArticulationPropertyTest : public ::testing::TestWithParam<std::uint64_t> 
 TEST_P(ArticulationPropertyTest, RemovalOfCutVertexDisconnectsItsComponent) {
   alvc::util::Rng rng(GetParam());
   const std::size_t n = 8 + rng.uniform_index(10);
-  Graph g(n);
-  for (std::size_t i = 0; i < n; ++i) {
-    for (std::size_t j = i + 1; j < n; ++j) {
-      if (rng.bernoulli(0.22)) g.add_edge(i, j);
-    }
-  }
+  Graph g = alvc::test::random_gnp_graph(rng, n, 0.22);
   const auto component_count_without = [&](std::size_t removed) {
     UnionFind uf(n);
     for (const Edge& e : g.edges()) {

@@ -4,6 +4,7 @@
 
 #include <set>
 
+#include "support/random_graph.h"
 #include "util/rng.h"
 
 namespace alvc::graph {
@@ -70,12 +71,7 @@ class KShortestPropertyTest : public ::testing::TestWithParam<std::uint64_t> {};
 TEST_P(KShortestPropertyTest, PathsAreValidLooplessDistinctAndOrdered) {
   alvc::util::Rng rng(GetParam());
   const std::size_t n = 8 + rng.uniform_index(8);
-  Graph g(n);
-  for (std::size_t i = 0; i < n; ++i) {
-    for (std::size_t j = i + 1; j < n; ++j) {
-      if (rng.bernoulli(0.3)) g.add_edge(i, j);
-    }
-  }
+  Graph g = alvc::test::random_gnp_graph(rng, n, 0.3);
   const auto paths = k_shortest_paths(g, 0, n - 1, 6);
   std::set<std::vector<std::size_t>> unique(paths.begin(), paths.end());
   EXPECT_EQ(unique.size(), paths.size()) << "paths must be distinct";

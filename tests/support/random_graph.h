@@ -1,0 +1,96 @@
+// Seeded random graph generators shared by the graph test suites.
+//
+// Two modes:
+//   * G(n,p) — the loop the ad-hoc property-test builders used verbatim
+//     (ascending (i, j) pairs, one Bernoulli draw each), so tests that
+//     migrate here keep the exact same topology stream per seed.
+//   * Switch-shaped — a data-center-like instance (ToR tier + OPS tier,
+//     seeded uplink fan-out, ring core with chords, optional fault mask)
+//     that exercises the adjacency the orchestrator actually traverses:
+//     bipartite-ish uplinks, a sparse core, and holes where links failed.
+// All draws come from the caller-visible seed; a failing test prints the
+// seed and replays byte-for-byte.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <numeric>
+#include <vector>
+
+#include "graph/graph.h"
+#include "util/rng.h"
+
+namespace alvc::test {
+
+/// Erdős–Rényi G(n,p): each unordered pair {i, j}, i < j, gets an edge with
+/// probability `p`, drawn in ascending pair order.
+inline alvc::graph::Graph random_gnp_graph(alvc::util::Rng& rng, std::size_t n, double p) {
+  alvc::graph::Graph g(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) {
+      if (rng.bernoulli(p)) g.add_edge(i, j);
+    }
+  }
+  return g;
+}
+
+/// G(n,p) with integer weights in [1, 1 + max_extra] — Dijkstra fodder.
+inline alvc::graph::Graph random_weighted_gnp_graph(alvc::util::Rng& rng, std::size_t n,
+                                                    double p, std::size_t max_extra) {
+  alvc::graph::Graph g(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) {
+      if (rng.bernoulli(p)) {
+        g.add_edge(i, j, 1.0 + static_cast<double>(rng.uniform_index(max_extra + 1)));
+      }
+    }
+  }
+  return g;
+}
+
+struct SwitchTopologyParams {
+  std::size_t racks = 8;          // ToR vertices [0, racks)
+  std::size_t ops_per_rack = 2;   // OPS vertices [racks, racks + racks*ops_per_rack)
+  std::size_t fan_out = 3;        // distinct OPS uplinks attempted per ToR
+  double chord_probability = 0.1; // extra OPS-OPS core chords beyond the ring
+  double fault_fraction = 0.0;    // each candidate link masked (absent) w.p.
+  std::uint64_t seed = 1;
+};
+
+/// Switch-graph-shaped random instance. Vertices [0, racks) model ToRs and
+/// the rest OPSs; each ToR uplinks to `fan_out` distinct seeded OPSs, the
+/// OPS core is a ring plus seeded chords, and `fault_fraction` knocks out
+/// candidate links the way a failure sweep would (the switch-graph rebuild
+/// simply omits dead links, so a masked edge IS the production shape).
+inline alvc::graph::Graph random_switch_graph(const SwitchTopologyParams& params) {
+  const std::size_t ops_count = params.racks * params.ops_per_rack;
+  alvc::graph::Graph g(params.racks + ops_count);
+  alvc::util::Rng rng(params.seed);
+  std::vector<std::size_t> ops_pool(ops_count);
+  std::iota(ops_pool.begin(), ops_pool.end(), std::size_t{0});
+  for (std::size_t r = 0; r < params.racks; ++r) {
+    rng.shuffle(ops_pool);
+    const std::size_t uplinks = std::min(params.fan_out, ops_count);
+    for (std::size_t k = 0; k < uplinks; ++k) {
+      if (rng.bernoulli(params.fault_fraction)) continue;  // masked link
+      g.add_edge(r, params.racks + ops_pool[k]);
+    }
+  }
+  for (std::size_t o = 0; o + 1 < ops_count; ++o) {  // core ring
+    if (rng.bernoulli(params.fault_fraction)) continue;
+    g.add_edge(params.racks + o, params.racks + o + 1);
+  }
+  if (ops_count > 2 && !rng.bernoulli(params.fault_fraction)) {
+    g.add_edge(params.racks + ops_count - 1, params.racks);  // close the ring
+  }
+  for (std::size_t o = 0; o < ops_count; ++o) {  // seeded chords
+    if (!rng.bernoulli(params.chord_probability)) continue;
+    const std::size_t peer = rng.uniform_index(ops_count);
+    if (peer == o) continue;
+    if (rng.bernoulli(params.fault_fraction)) continue;
+    g.add_edge(params.racks + o, params.racks + peer);
+  }
+  return g;
+}
+
+}  // namespace alvc::test

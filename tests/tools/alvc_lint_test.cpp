@@ -81,6 +81,21 @@ TEST(AlvcLintTest, FlagsRawChronoClockOutsideTelemetry) {
   EXPECT_TRUE(lint_source("src/core/experiment.h", content).empty());
 }
 
+TEST(AlvcLintTest, FlagsMapAdjacencyInGraphAndTopology) {
+  const auto content = read_fixture("map_adjacency.cc");
+  const auto in_graph = lint_source("src/graph/bad.cc", content);
+  EXPECT_EQ(rules_and_lines(in_graph),
+            (std::multiset<std::pair<std::string, std::size_t>>{{"map-adjacency", 10},
+                                                                {"map-adjacency", 11}}));
+  // The allow() comment on line 16 suppresses; other layers keep their maps
+  // (cold-path registries, caches keyed by ids — not per-neighbor probes).
+  EXPECT_EQ(rules_and_lines(lint_source("src/topology/bad.cc", content)),
+            rules_and_lines(in_graph));
+  EXPECT_TRUE(lint_source("src/orchestrator/fine.cc", content).empty());
+  EXPECT_TRUE(lint_source("src/telemetry/fine.cc", content).empty());
+  EXPECT_TRUE(lint_source("tests/graph/fine.cc", content).empty());
+}
+
 TEST(AlvcLintTest, TelemetryIsBelowTheOrchestrator) {
   const auto findings =
       lint_source("src/telemetry/bad.cc", "#include \"orchestrator/orchestrator.h\"\n");

@@ -1,0 +1,17 @@
+// Fixture: seeded `map-adjacency` violations. Adjacency and per-vertex
+// state in graph/ and topology/ hot paths must live in CSR arrays or the
+// stamped scratch structures, not node-based maps (a hash probe per
+// neighbor visit is what the CSR refactor removed).
+#include <map>
+#include <unordered_map>
+#include <vector>
+
+struct BadAdjacency {
+  std::unordered_map<unsigned long, std::vector<unsigned long>> neighbors;  // violation
+  std::map<unsigned long, double> weight_by_vertex;                         // violation
+};
+
+struct SuppressedAdjacency {
+  // Cold-path metadata keyed by name is fine when called out explicitly.
+  std::unordered_map<int, int> debug_labels;  // alvc-lint: allow(map-adjacency)
+};

@@ -162,6 +162,16 @@ const std::vector<Rule>& rules() {
           return !path_in_layer(path, "telemetry") &&
                  path.find("core/experiment.h") == std::string_view::npos;
         }});
+    r.push_back(Rule{
+        "map-adjacency",
+        "node-based map (std::map/std::unordered_map) on a graph/topology hot path; "
+        "adjacency and per-vertex state belong in CSR arrays or stamped scratch "
+        "(graph/scratch.h) — a hash probe per neighbor visit is what the CSR "
+        "refactor removed",
+        std::regex(R"(std\s*::\s*unordered_map\s*<|std\s*::\s*map\s*<)", flags),
+        [](std::string_view path) {
+          return path_in_layer(path, "graph") || path_in_layer(path, "topology");
+        }});
     return r;
   }();
   return kRules;
