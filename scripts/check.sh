@@ -29,7 +29,7 @@
 #   scripts/check.sh --static-only      # static gate only (fast pre-commit loop)
 #   scripts/check.sh --ci <leg>         # exactly one CI leg: static, tier1,
 #                                       #   tsan, asan, ubsan, telemetry,
-#                                       #   bench-smoke
+#                                       #   overload-soak, bench-smoke
 #   scripts/check.sh --bench-json <out> # run the two tracked benchmarks
 #                                       #   (bench_route_cache,
 #                                       #   bench_fig4_al_construction) and
@@ -111,7 +111,8 @@ leg_asan() {
     topology_failure_api_test cluster_failure_test cluster_degraded_cluster_test \
     orchestrator_failure_test faults_fault_injector_test faults_state_auditor_test \
     faults_chaos_soak_test orchestrator_route_cache_test \
-    orchestrator_route_cache_differential_test orchestrator_csr_chaos_differential_test
+    orchestrator_route_cache_differential_test orchestrator_csr_chaos_differential_test \
+    faults_overload_soak_test orchestrator_strict_ladder_differential_test
 
   echo "== ctest -L failures (under ASan) =="
   ctest --test-dir build-asan --output-on-failure -j "$jobs" -L failures
@@ -154,6 +155,22 @@ leg_ubsan() {
   ctest --test-dir build-ubsan --output-on-failure -j "$jobs"
 }
 
+leg_overload_soak() {
+  echo "== overload soak: QoS allocator under flash crowds, churn, and faults =="
+  cmake -B build -S . >/dev/null
+  cmake --build build -j "$jobs" --target \
+    orchestrator_bandwidth_allocator_test orchestrator_strict_ladder_differential_test \
+    faults_overload_soak_test bench_overload_downgrade
+
+  echo "== ctest: water-filling properties, strict-ladder differential, 20-seed soak =="
+  ctest --test-dir build --output-on-failure -j "$jobs" \
+    -R '(WaterFill|Ladder|AllocationPlan|StrictLadderDifferential|OverloadSoak|QosRetryBackoff)'
+
+  echo "== overload downgrade bench smoke (experiment table asserts audits clean) =="
+  ./build/bench/bench_overload_downgrade \
+    --benchmark_min_time=0.01 --benchmark_filter='BM_(WaterFillPlan|RebalancePass)' >/dev/null
+}
+
 leg_bench_smoke() {
   echo "== bench smoke: route cache + parallel AL build (tiny sizes, JSON out) =="
   cmake -B build -S . >/dev/null
@@ -167,7 +184,7 @@ leg_bench_smoke() {
     --benchmark_min_time=0.01 \
     --benchmark_out=build/bench-smoke/parallel_al_build.json \
     --benchmark_out_format=json
-  emit_bench_json build/bench-smoke/BENCH_PR6.json
+  emit_bench_json build/bench-smoke/BENCH_PR7.json
   echo "== bench smoke artifacts in build/bench-smoke/ =="
 }
 
@@ -178,8 +195,8 @@ leg_bench_smoke() {
 # Baseline resolution, in order:
 #   1. $ALVC_BENCH_BASELINE_DIR/{route_cache,fig4}.json — raw
 #      google-benchmark JSON captured on the pre-change tree;
-#   2. the committed BENCH_PR6.json at the repo root (its `before` values
-#      carry forward, so CI tracks drift against the recorded trajectory);
+#   2. the newest committed BENCH_PR*.json at the repo root (its `before`
+#      values carry forward, so CI tracks drift against the trajectory);
 #   3. null (no baseline available; speedup omitted).
 emit_bench_json() {
   local out="$1"
@@ -223,12 +240,15 @@ if baseline_dir:
         path = os.path.join(baseline_dir, raw)
         if os.path.exists(path):
             before[bench] = load_cpu_us(path)
-elif os.path.exists("BENCH_PR6.json"):
-    with open("BENCH_PR6.json") as f:
-        committed = json.load(f)
-    for row in committed.get("benchmarks", []):
-        if row.get("before_cpu_time_us") is not None:
-            before.setdefault(row["bench"], {})[row["name"]] = row["before_cpu_time_us"]
+else:
+    import glob
+    committed_paths = sorted(glob.glob("BENCH_PR*.json"), reverse=True)
+    if committed_paths:
+        with open(committed_paths[0]) as f:
+            committed = json.load(f)
+        for row in committed.get("benchmarks", []):
+            if row.get("before_cpu_time_us") is not None:
+                before.setdefault(row["bench"], {})[row["name"]] = row["before_cpu_time_us"]
 
 rows = []
 for bench in sorted(after):
@@ -279,8 +299,9 @@ if [[ -n "$ci_leg" ]]; then
     asan) leg_asan ;;
     ubsan) leg_ubsan ;;
     telemetry) leg_telemetry ;;
+    overload-soak) leg_overload_soak ;;
     bench-smoke) leg_bench_smoke ;;
-    *) echo "unknown CI leg: $ci_leg (expected static, tier1, tsan, asan, ubsan, telemetry, bench-smoke)" >&2
+    *) echo "unknown CI leg: $ci_leg (expected static, tier1, tsan, asan, ubsan, telemetry, overload-soak, bench-smoke)" >&2
        exit 2 ;;
   esac
   echo "== CI leg '$ci_leg' passed =="
@@ -322,6 +343,7 @@ else
   leg_ubsan
 fi
 
+leg_overload_soak
 leg_bench_smoke
 
 echo "== all checks passed =="

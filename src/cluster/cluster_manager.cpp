@@ -784,6 +784,22 @@ UpdateCost ClusterManager::uncover_tor(VirtualCluster& vc, TorId tor) {
   return cost;
 }
 
+double ClusterManager::slice_uplink_capacity_gbps(ClusterId id) const {
+  const VirtualCluster* vc = find(id);
+  if (vc == nullptr) return 0;
+  double total = 0;
+  for (alvc::util::TorId t : vc->layer.tors) {
+    if (!topo_->tor_usable(t)) continue;
+    const auto& tor = topo_->tor(t);
+    for (alvc::util::OpsId o : tor.uplinks) {
+      if (!vc->layer.contains_ops(o)) continue;
+      if (!topo_->ops_usable(o) || topo_->link_failed(t, o)) continue;
+      total += std::min(tor.port_bandwidth_gbps, topo_->ops(o).port_bandwidth_gbps);
+    }
+  }
+  return total;
+}
+
 std::vector<std::string> ClusterManager::check_invariants() const {
   std::vector<std::string> violations;
   // Ownership consistency.

@@ -195,6 +195,13 @@ class ClusterManager {
     return *topo_;
   }
 
+  /// Aggregate bandwidth the cluster's slice can pull through its live
+  /// ToR-OPS uplinks: the sum over every intact slice-internal uplink of
+  /// min(ToR port, OPS port). An upper bound on what any allocation may
+  /// reserve inside the slice — the StateAuditor's per-slice capacity
+  /// invariant checks reservations against it. 0 for unknown clusters.
+  [[nodiscard]] double slice_uplink_capacity_gbps(ClusterId id) const;
+
   /// Checks every global invariant (ownership consistency, AL covers its
   /// group, no shared OPSs); used by tests and ABL benches.
   [[nodiscard]] std::vector<std::string> check_invariants() const;

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <map>
 #include <tuple>
+#include <unordered_map>
 #include <unordered_set>
 
 #include "faults/state_auditor.h"
@@ -15,6 +16,12 @@ namespace alvc::faults {
 using alvc::orchestrator::ProvisionedChain;
 using alvc::sdn::ControlEventType;
 using alvc::util::Rng;
+
+namespace {
+// Load-event provisions need some placement; greedy-optical is the
+// stateless default the rest of the suite leans on.
+const alvc::orchestrator::GreedyOpticalPlacement kFallbackPlacement;
+}  // namespace
 
 ChaosReport ChaosRunner::run() {
   ChaosReport report;
@@ -61,6 +68,47 @@ ChaosReport ChaosRunner::run() {
     if (!apply_fault(*orch_, event)) {
       ++report.handler_errors;
       ALVC_COUNT("faults.handler_errors");
+    }
+    if (params_.audit_every_event) record_violations(StateAuditor::audit(*orch_));
+  });
+
+  // Overload load events ride the same queue. Faults were scheduled first,
+  // so on a time tie the fault lands before the provision/teardown —
+  // deterministic either way, but this order exercises provisioning into a
+  // just-degraded fabric. Keys map to live chain ids so a departure finds
+  // the chain its arrival created (or skips one that was rejected).
+  report.load_events = params_.load.size();
+  std::unordered_map<std::uint32_t, alvc::util::NfcId> live_keys;
+  const alvc::orchestrator::PlacementStrategy* placement =
+      params_.placement != nullptr ? params_.placement : &kFallbackPlacement;
+  OverloadInjector::schedule(queue, params_.load, [&](const LoadEvent& event) {
+    if (event.provision) {
+      auto id = orch_->provision_chain(event.spec, *placement);
+      if (id) {
+        live_keys[event.key] = *id;
+        baseline.push_back(id->value());  // runtime chains join the accounting
+        ++report.load_provisioned;
+        ALVC_COUNT("faults.load.provisioned");
+        const ProvisionedChain* chain = orch_->chain(*id);
+        if (chain != nullptr && chain->degraded) {
+          ++report.load_provisioned_degraded;
+          ALVC_COUNT("faults.load.provisioned_degraded");
+        }
+      } else {
+        ++report.load_rejected;
+        ALVC_COUNT("faults.load.rejected");
+      }
+    } else if (const auto it = live_keys.find(event.key); it != live_keys.end()) {
+      if (orch_->chain(it->second) != nullptr) {
+        if (orch_->teardown_chain(it->second).is_ok()) {
+          ++report.load_torn_down;
+          ALVC_COUNT("faults.load.torn_down");
+        } else {
+          ++report.handler_errors;
+          ALVC_COUNT("faults.handler_errors");
+        }
+      }
+      live_keys.erase(it);
     }
     if (params_.audit_every_event) record_violations(StateAuditor::audit(*orch_));
   });

@@ -27,6 +27,12 @@ struct ChaosParams {
   /// Scripted events (e.g. FaultInjector::whole_rack / whole_al) merged
   /// into the stochastic schedule by time.
   std::vector<FaultEvent> scripted;
+  /// Load-side events (OverloadInjector scenarios): provisions and
+  /// teardowns interleaved with the fault schedule on the same queue, so
+  /// flash crowds land mid-outage and departures race repairs.
+  std::vector<LoadEvent> load;
+  /// Placement for load-event provisions; GreedyOpticalPlacement when null.
+  const alvc::orchestrator::PlacementStrategy* placement = nullptr;
   /// Poisson arrival rate of synthetic flows offered to live chains
   /// round-robin while faults land; 0 disables traffic interleaving.
   double flow_rate_per_s = 0;
@@ -44,6 +50,11 @@ struct ChaosReport {
   std::size_t handler_errors = 0;     // non-ok handler returns (want 0)
   std::size_t flows_served = 0;       // arrivals that found a serving chain
   std::size_t flows_deferred = 0;     // arrivals that hit a parked chain
+  std::size_t load_events = 0;        // overload events scheduled
+  std::size_t load_provisioned = 0;   // load provisions that were admitted
+  std::size_t load_provisioned_degraded = 0;  // ... at a reduced rung
+  std::size_t load_rejected = 0;      // load provisions refused outright
+  std::size_t load_torn_down = 0;     // load departures applied
   std::size_t audit_violations = 0;   // total across all audits (want 0)
   std::vector<std::string> violations;  // first few, timestamped
 

@@ -135,6 +135,85 @@ void FaultInjector::schedule(alvc::sim::EventQueue& queue, std::vector<FaultEven
   }
 }
 
+std::vector<LoadEvent> OverloadInjector::flash_crowd(std::span<const alvc::nfv::NfcSpec> specs,
+                                                     double at, double spacing_s, double hold_s,
+                                                     std::uint32_t first_key) {
+  std::vector<LoadEvent> events;
+  events.reserve(specs.size() * 2);
+  double t = at;
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    events.push_back(LoadEvent{
+        .time_s = t, .provision = true, .key = first_key + static_cast<std::uint32_t>(i),
+        .spec = specs[i]});
+    if (i + 1 < specs.size()) t += spacing_s;
+  }
+  if (hold_s > 0) {
+    const double departure = t + hold_s;
+    for (std::size_t i = 0; i < specs.size(); ++i) {
+      events.push_back(LoadEvent{.time_s = departure,
+                                 .provision = false,
+                                 .key = first_key + static_cast<std::uint32_t>(i)});
+    }
+  }
+  return events;
+}
+
+std::vector<LoadEvent> OverloadInjector::diurnal_ramp(std::span<const alvc::nfv::NfcSpec> specs,
+                                                      double period_s, double horizon_s,
+                                                      std::uint32_t first_key) {
+  std::vector<LoadEvent> events;
+  if (specs.empty() || period_s <= 0 || horizon_s <= 0) return events;
+  const double slot = period_s / (2.0 * static_cast<double>(specs.size() + 1));
+  std::uint32_t key = first_key;
+  for (std::size_t cycle = 0;; ++cycle) {
+    const double start = static_cast<double>(cycle) * period_s;
+    if (start >= horizon_s) break;
+    for (std::size_t i = 0; i < specs.size(); ++i, ++key) {
+      const double up = start + slot * static_cast<double>(i + 1);
+      const double down = start + period_s / 2 + slot * static_cast<double>(i + 1);
+      if (up >= horizon_s) break;
+      events.push_back(LoadEvent{.time_s = up, .provision = true, .key = key, .spec = specs[i]});
+      if (down < horizon_s) {
+        events.push_back(LoadEvent{.time_s = down, .provision = false, .key = key});
+      }
+    }
+  }
+  std::stable_sort(events.begin(), events.end(),
+                   [](const LoadEvent& a, const LoadEvent& b) { return a.time_s < b.time_s; });
+  return events;
+}
+
+std::vector<LoadEvent> OverloadInjector::lopri_churn(std::span<const alvc::nfv::NfcSpec> specs,
+                                                     double rate_per_s, double hold_s,
+                                                     double horizon_s, std::uint64_t seed,
+                                                     std::uint32_t first_key) {
+  std::vector<LoadEvent> events;
+  if (specs.empty() || rate_per_s <= 0 || horizon_s <= 0) return events;
+  Rng rng(seed);
+  std::uint32_t key = first_key;
+  double t = rng.exponential(rate_per_s);
+  while (t < horizon_s) {
+    alvc::nfv::NfcSpec spec = specs[rng.uniform_index(specs.size())];
+    spec.priority = alvc::nfv::PriorityClass::kLopri;
+    events.push_back(LoadEvent{.time_s = t, .provision = true, .key = key, .spec = std::move(spec)});
+    if (hold_s > 0 && t + hold_s < horizon_s) {
+      events.push_back(LoadEvent{.time_s = t + hold_s, .provision = false, .key = key});
+    }
+    ++key;
+    t += rng.exponential(rate_per_s);
+  }
+  std::stable_sort(events.begin(), events.end(),
+                   [](const LoadEvent& a, const LoadEvent& b) { return a.time_s < b.time_s; });
+  return events;
+}
+
+void OverloadInjector::schedule(alvc::sim::EventQueue& queue, std::vector<LoadEvent> events,
+                                std::function<void(const LoadEvent&)> apply) {
+  for (LoadEvent& event : events) {
+    queue.schedule(event.time_s, [event, apply]() { apply(event); });
+  }
+}
+
 Expected<std::size_t> apply_fault(alvc::orchestrator::NetworkOrchestrator& orch,
                                   const FaultEvent& event) {
   switch (event.kind) {

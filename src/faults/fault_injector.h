@@ -22,9 +22,11 @@
 
 #include <cstdint>
 #include <functional>
+#include <span>
 #include <vector>
 
 #include "cluster/virtual_cluster.h"
+#include "nfv/nfc.h"
 #include "sim/event_queue.h"
 #include "topology/topology.h"
 #include "util/error.h"
@@ -105,6 +107,53 @@ class FaultInjector {
   /// interleaved with whatever else the queue holds.
   static void schedule(alvc::sim::EventQueue& queue, std::vector<FaultEvent> events,
                        std::function<void(const FaultEvent&)> apply);
+};
+
+/// One provision or teardown at a point in simulated time — the load-side
+/// twin of FaultEvent, so overload scenarios interleave with fault
+/// schedules on the same EventQueue.
+struct LoadEvent {
+  double time_s = 0;
+  bool provision = true;  // false = tear down whatever `key` provisioned
+  /// Correlation cookie: a teardown refers to the provision that carried
+  /// the same key (the runner maps keys to live chain ids).
+  std::uint32_t key = 0;
+  /// provision only: the chain to ask for.
+  alvc::nfv::NfcSpec spec;
+};
+
+/// Deterministic overload-scenario generation, sharing FaultInjector's
+/// seeded-schedule machinery. Threading contract: stateless, pure
+/// functions of their arguments.
+class OverloadInjector {
+ public:
+  /// Flash crowd: every spec arrives in a burst starting at `at`, spaced
+  /// `spacing_s` apart, and (when hold_s > 0) all depart together
+  /// `hold_s` after the last arrival. Keys are first_key, first_key+1, ...
+  [[nodiscard]] static std::vector<LoadEvent> flash_crowd(
+      std::span<const alvc::nfv::NfcSpec> specs, double at, double spacing_s, double hold_s,
+      std::uint32_t first_key = 0);
+
+  /// Diurnal ramp: each period, the specs arrive one by one through the
+  /// first half of the period and depart one by one through the second
+  /// half — sustained oscillating oversubscription. Cycles repeat until
+  /// `horizon_s`. Keys are unique per (cycle, spec).
+  [[nodiscard]] static std::vector<LoadEvent> diurnal_ramp(
+      std::span<const alvc::nfv::NfcSpec> specs, double period_s, double horizon_s,
+      std::uint32_t first_key = 0);
+
+  /// Adversarial LOPRI churn: Poisson arrivals at `rate_per_s` (seeded,
+  /// deterministic), each a uniformly drawn spec forced to kLopri, holding
+  /// for `hold_s` before departing. Pressure comes and goes fast enough to
+  /// keep the allocator shedding and restoring.
+  [[nodiscard]] static std::vector<LoadEvent> lopri_churn(
+      std::span<const alvc::nfv::NfcSpec> specs, double rate_per_s, double hold_s,
+      double horizon_s, std::uint64_t seed, std::uint32_t first_key = 0);
+
+  /// Feeds `events` into `queue` so `apply` fires at each scheduled time,
+  /// mirroring FaultInjector::schedule.
+  static void schedule(alvc::sim::EventQueue& queue, std::vector<LoadEvent> events,
+                       std::function<void(const LoadEvent&)> apply);
 };
 
 /// Dispatches one event to the orchestrator's matching failure/recovery

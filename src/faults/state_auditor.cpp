@@ -1,7 +1,11 @@
 #include "faults/state_auditor.h"
 
+#include <algorithm>
 #include <cmath>
+#include <cstdint>
+#include <map>
 #include <unordered_set>
+#include <utility>
 #include <variant>
 
 #include "telemetry/telemetry.h"
@@ -141,6 +145,138 @@ std::vector<std::string> StateAuditor::audit(
     if (!vertex_usable(topo, link.u) || !vertex_usable(topo, link.v) ||
         !graph.has_edge(link.u, link.v)) {
       out.push_back(tag + ": reservation rides a dead link");
+    }
+  }
+
+  // Slice capacity: per cluster, the reservations riding its own ToR-OPS
+  // uplinks must fit within the slice's live aggregate uplink capacity.
+  for (const auto* vc : clusters.clusters()) {
+    double reserved = 0;
+    for (const auto& link : orch.bandwidth().reserved_links()) {
+      const bool u_ops = topo.is_ops_vertex(link.u);
+      const bool v_ops = topo.is_ops_vertex(link.v);
+      if (u_ops == v_ops) continue;  // ToR-OPS uplinks only
+      const OpsId ops = topo.vertex_to_ops(u_ops ? link.u : link.v);
+      const TorId tor = topo.vertex_to_tor(u_ops ? link.v : link.u);
+      if (!vc->layer.contains_ops(ops) || !vc->layer.contains_tor(tor)) continue;
+      reserved += link.gbps;
+    }
+    const double cap = clusters.slice_uplink_capacity_gbps(vc->id);
+    if (reserved > cap + kGbpsEps) {
+      out.push_back("slice " + std::to_string(vc->id.value()) + ": reserved " +
+                    std::to_string(reserved) + " Gbps exceeds its " + std::to_string(cap) +
+                    " Gbps live uplink capacity");
+    }
+  }
+
+  // QoS invariants: re-derive the allocator's resource view (each distinct
+  // route link at coeff 1.0 plus per-ToR aggregate uplink budgets) from
+  // primary state and check the fairness contracts the rebalance claims.
+  const auto policy = orch.allocation_policy();
+  if (policy != alvc::orchestrator::AllocationPolicy::kStrictLadder) {
+    using alvc::orchestrator::BandwidthAllocator;
+    // Resource key: (is ToR budget, id) — id is the packed (lo,hi) vertex
+    // pair for links, the ToR vertex for budgets.
+    using ResKey = std::pair<bool, std::uint64_t>;
+    struct ResView {
+      double cap = 0;
+      double used = 0;        // all classes
+      double used_hipri = 0;  // HIPRI reservations only
+    };
+    const double factor = orch.allocator().tor_budget_factor();
+    const auto uses_of = [&](const ProvisionedChain& chain) {
+      std::vector<std::pair<ResKey, double>> uses;
+      std::vector<std::uint64_t> links;
+      for (std::size_t i = 0; i + 1 < chain.route.vertices.size(); ++i) {
+        const auto [lo, hi] =
+            std::minmax(chain.route.vertices[i], chain.route.vertices[i + 1]);
+        if (lo == hi) continue;
+        links.push_back((static_cast<std::uint64_t>(lo) << 32) |
+                        static_cast<std::uint64_t>(hi & 0xffffffffULL));
+      }
+      std::sort(links.begin(), links.end());
+      links.erase(std::unique(links.begin(), links.end()), links.end());
+      for (std::uint64_t k : links) {
+        uses.emplace_back(ResKey{false, k}, 1.0);
+        if (factor <= 0) continue;
+        for (const std::size_t end :
+             {static_cast<std::size_t>(k >> 32), static_cast<std::size_t>(k & 0xffffffffULL)}) {
+          if (topo.is_ops_vertex(end)) continue;
+          const ResKey key{true, end};
+          const auto prior = std::find_if(uses.begin(), uses.end(),
+                                          [&](const auto& use) { return use.first == key; });
+          if (prior == uses.end()) {
+            uses.emplace_back(key, 1.0);
+          } else {
+            prior->second += 1.0;
+          }
+        }
+      }
+      return uses;
+    };
+    const auto capacity_of = [&](const ResKey& key) {
+      if (key.first) {
+        return factor * topo.tor(topo.vertex_to_tor(static_cast<std::size_t>(key.second)))
+                            .port_bandwidth_gbps;
+      }
+      return orch.bandwidth().capacity_gbps(static_cast<std::size_t>(key.second >> 32),
+                                            static_cast<std::size_t>(key.second & 0xffffffffULL));
+    };
+    std::map<ResKey, ResView> view;
+    for (const ProvisionedChain* chain : orch.chains()) {
+      if (chain->route.vertices.empty()) continue;
+      const bool hipri = chain->record.spec.priority == alvc::nfv::PriorityClass::kHipri;
+      for (const auto& [key, coeff] : uses_of(*chain)) {
+        ResView& res = view[key];
+        res.cap = capacity_of(key);
+        res.used += coeff * chain->reserved_gbps;
+        if (hipri) res.used_hipri += coeff * chain->reserved_gbps;
+      }
+    }
+    for (const ProvisionedChain* chain : orch.chains()) {
+      if (chain->route.vertices.empty()) continue;
+      const double demand = chain->record.spec.bandwidth_gbps;
+      const double held = chain->reserved_gbps;
+      if (held >= demand - kGbpsEps) continue;  // at full demand
+      const double next = BandwidthAllocator::next_rung_gbps(demand, held);
+      if (next <= held) continue;
+      const double add = next - held;
+      const auto uses = uses_of(*chain);
+      // Work conservation: a chain short of its demand must be blocked on
+      // at least one of its resources. Only flag when every resource has
+      // comfortable headroom (kGbpsEps margin, far coarser than the
+      // allocator's own 1e-9) so borderline fits never false-positive.
+      bool blocked = false;
+      for (const auto& [key, coeff] : uses) {
+        const ResView& res = view.at(key);
+        if (res.cap - res.used < coeff * add + kGbpsEps) {
+          blocked = true;
+          break;
+        }
+      }
+      if (!blocked) {
+        out.push_back(chain_tag(*chain) + ": holds " + std::to_string(held) + " of " +
+                      std::to_string(demand) +
+                      " Gbps yet every resource has headroom for the next rung");
+      }
+      // Priority-feasibility: under selective downgrade a short HIPRI
+      // chain must stay blocked even with every LOPRI reservation
+      // excluded — LOPRI never holds capacity a degraded HIPRI could use.
+      if (policy == alvc::orchestrator::AllocationPolicy::kPriorityDowngrade &&
+          chain->record.spec.priority == alvc::nfv::PriorityClass::kHipri) {
+        bool blocked_sans_lopri = false;
+        for (const auto& [key, coeff] : uses) {
+          const ResView& res = view.at(key);
+          if (res.cap - res.used_hipri < coeff * add + kGbpsEps) {
+            blocked_sans_lopri = true;
+            break;
+          }
+        }
+        if (!blocked_sans_lopri) {
+          out.push_back(chain_tag(*chain) +
+                        ": HIPRI short of demand while LOPRI holds its blocking capacity");
+        }
+      }
     }
   }
 

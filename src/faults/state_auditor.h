@@ -37,7 +37,18 @@ class StateAuditor {
   ///     current slice state walks live, in-slice hardware
   ///     (RouteCache::check_coherence);
   ///   * bandwidth — every reservation fits its link's capacity and rides
-  ///     a live link.
+  ///     a live link;
+  ///   * slice capacity — per slice, the sum of reservations on its
+  ///     ToR-OPS uplinks never exceeds the slice's live aggregate uplink
+  ///     capacity (ClusterManager::slice_uplink_capacity_gbps);
+  ///   * work conservation (QoS policies only) — a chain short of its
+  ///     demand must be blocked on at least one of its resources (route
+  ///     links + ToR budgets, mirroring the allocator's model); it must
+  ///     not sit below a rung every resource could comfortably carry;
+  ///   * priority-feasibility (kPriorityDowngrade only) — a HIPRI chain
+  ///     short of its demand must be blocked even with every LOPRI
+  ///     reservation excluded: LOPRI never holds capacity a degraded
+  ///     HIPRI could use.
   [[nodiscard]] static std::vector<std::string> audit(
       const alvc::orchestrator::NetworkOrchestrator& orch);
 };

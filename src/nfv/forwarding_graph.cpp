@@ -132,6 +132,7 @@ NfcSpec GraphNfcSpec::to_linear_spec() const {
   spec.name = name;
   spec.bandwidth_gbps = bandwidth_gbps;
   spec.service = service;
+  spec.priority = priority;
   for (std::size_t node : graph.topological_order()) {
     spec.functions.push_back(graph.function(node));
   }

@@ -75,6 +75,7 @@ struct GraphNfcSpec {
   ForwardingGraph graph;
   double bandwidth_gbps = 1.0;
   ServiceId service;
+  PriorityClass priority = PriorityClass::kHipri;
 
   /// The equivalent linear spec over the graph's topological order — what
   /// placement strategies consume (they place nodes; routing follows the

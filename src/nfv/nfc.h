@@ -21,6 +21,20 @@ using alvc::util::ServiceId;
 using alvc::util::TenantId;
 using alvc::util::VnfId;
 
+/// QoS class of a chain's traffic aggregate. Under overload the bandwidth
+/// allocator sheds kLopri aggregates first (heyp-agents' HIPRI/LOPRI
+/// split); under the legacy strict ladder the class is carried but has no
+/// behavioral effect.
+enum class PriorityClass : std::uint8_t { kHipri = 0, kLopri = 1 };
+
+[[nodiscard]] constexpr const char* to_string(PriorityClass cls) noexcept {
+  switch (cls) {
+    case PriorityClass::kHipri: return "hipri";
+    case PriorityClass::kLopri: return "lopri";
+  }
+  return "?";
+}
+
 /// Specification of a chain as requested by a tenant (before placement).
 struct NfcSpec {
   TenantId tenant;
@@ -32,6 +46,8 @@ struct NfcSpec {
   /// Service type of the VM group this chain serves (one VC hosts one NFC,
   /// §IV-C).
   ServiceId service;
+  /// QoS class of the chain's aggregate (tenant-declared).
+  PriorityClass priority = PriorityClass::kHipri;
 };
 
 /// Handle for a provisioned chain (assigned by the orchestrator).

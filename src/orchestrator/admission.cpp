@@ -18,6 +18,13 @@ using alvc::util::ErrorCode;
 AdmissionDecision AdmissionController::check(const alvc::nfv::NfcSpec& spec,
                                              const alvc::cluster::VirtualCluster& cluster,
                                              const alvc::nfv::HostingPool& pool) const {
+  return check_with_policy(spec, cluster, pool, AllocationPolicy::kStrictLadder);
+}
+
+AdmissionDecision AdmissionController::check_with_policy(
+    const alvc::nfv::NfcSpec& spec, const alvc::cluster::VirtualCluster& cluster,
+    const alvc::nfv::HostingPool& pool, AllocationPolicy policy) const {
+  const bool qos = policy != AllocationPolicy::kStrictLadder;
   if (spec.functions.empty()) {
     return {Error{ErrorCode::kRejected, "chain has no functions"},
             AdmissionOutcome::kRejectedMalformed};
@@ -35,23 +42,49 @@ AdmissionDecision AdmissionController::check(const alvc::nfv::NfcSpec& spec,
   for (alvc::util::OpsId o : cluster.layer.opss) {
     min_port = std::min(min_port, topo_->ops(o).port_bandwidth_gbps);
   }
+  // Under a QoS policy a full-demand bandwidth failure is downgraded to the
+  // largest ladder rung the slice can carry instead of hard-rejected; the
+  // rejection is kept around in case no rung fits either.
+  AdmissionDecision rejection;
+  bool needs_downgrade = false;
   if (spec.bandwidth_gbps > min_port) {
-    return {Error{ErrorCode::kRejected, "requested " + std::to_string(spec.bandwidth_gbps) +
-                                            " Gbps exceeds slice port " +
-                                            std::to_string(min_port) + " Gbps"},
-            AdmissionOutcome::kRejectedBandwidth};
+    rejection = {Error{ErrorCode::kRejected, "requested " + std::to_string(spec.bandwidth_gbps) +
+                                                 " Gbps exceeds slice port " +
+                                                 std::to_string(min_port) + " Gbps"},
+                 AdmissionOutcome::kRejectedBandwidth};
+    if (!qos) return rejection;
+    needs_downgrade = true;
   }
   // Max-flow feasibility between the chain's default anchors: a single
   // fat port does not help if some slice-internal cut is thinner.
+  double cap = min_port;
   if (!cluster.layer.tors.empty()) {
     const double capacity = slice_capacity_gbps(cluster, cluster.layer.tors.front(),
                                                 cluster.layer.tors.back());
-    if (spec.bandwidth_gbps > capacity + 1e-9) {
-      return {Error{ErrorCode::kRejected, "requested " + std::to_string(spec.bandwidth_gbps) +
-                                              " Gbps exceeds the slice's min-cut capacity of " +
-                                              std::to_string(capacity) + " Gbps"},
-              AdmissionOutcome::kRejectedCapacityFlow};
+    cap = std::min(cap, capacity);
+    if (!needs_downgrade && spec.bandwidth_gbps > capacity + 1e-9) {
+      rejection = {
+          Error{ErrorCode::kRejected, "requested " + std::to_string(spec.bandwidth_gbps) +
+                                          " Gbps exceeds the slice's min-cut capacity of " +
+                                          std::to_string(capacity) + " Gbps"},
+          AdmissionOutcome::kRejectedCapacityFlow};
+      if (!qos) return rejection;
+      needs_downgrade = true;
     }
+  }
+  double granted = spec.bandwidth_gbps;
+  AdmissionOutcome admitted_as = AdmissionOutcome::kAdmitted;
+  if (needs_downgrade) {
+    granted = 0;
+    for (double fraction : BandwidthAllocator::kLadder) {
+      if (fraction >= 1.0) continue;  // full demand already failed
+      if (spec.bandwidth_gbps * fraction <= cap + 1e-9) {
+        granted = spec.bandwidth_gbps * fraction;
+        break;
+      }
+    }
+    if (granted <= 0) return rejection;  // not even the 1/8 rung fits
+    admitted_as = AdmissionOutcome::kAdmittedDowngraded;
   }
   // Aggregate resource feasibility (necessary condition).
   Resources total_demand;
@@ -71,7 +104,7 @@ AdmissionDecision AdmissionController::check(const alvc::nfv::NfcSpec& spec,
     return {Error{ErrorCode::kRejected, "slice lacks aggregate capacity for the chain"},
             AdmissionOutcome::kRejectedResources};
   }
-  return {Status::ok(), AdmissionOutcome::kAdmitted};
+  return {Status::ok(), admitted_as, granted};
 }
 
 void AdmissionController::record(const AdmissionDecision& decision) noexcept {
@@ -82,6 +115,10 @@ void AdmissionController::record(const AdmissionDecision& decision) noexcept {
     case AdmissionOutcome::kAdmitted:
       ++stats_.admitted;
       ALVC_COUNT("orchestrator.admission.admitted");
+      break;
+    case AdmissionOutcome::kAdmittedDowngraded:
+      ++stats_.admitted_downgraded;
+      ALVC_COUNT("orchestrator.admission.admitted_downgraded");
       break;
     case AdmissionOutcome::kRejectedMalformed:
       ++stats_.rejected_malformed;
@@ -105,9 +142,15 @@ void AdmissionController::record(const AdmissionDecision& decision) noexcept {
 Status AdmissionController::admit(const alvc::nfv::NfcSpec& spec,
                                   const alvc::cluster::VirtualCluster& cluster,
                                   const alvc::nfv::HostingPool& pool) {
-  AdmissionDecision decision = check(spec, cluster, pool);
+  return admit_with_policy(spec, cluster, pool, AllocationPolicy::kStrictLadder).status;
+}
+
+AdmissionDecision AdmissionController::admit_with_policy(
+    const alvc::nfv::NfcSpec& spec, const alvc::cluster::VirtualCluster& cluster,
+    const alvc::nfv::HostingPool& pool, AllocationPolicy policy) {
+  AdmissionDecision decision = check_with_policy(spec, cluster, pool, policy);
   record(decision);
-  return decision.status;
+  return decision;
 }
 
 double AdmissionController::slice_capacity_gbps(const alvc::cluster::VirtualCluster& cluster,

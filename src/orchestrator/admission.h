@@ -11,6 +11,7 @@
 #include "nfv/catalog.h"
 #include "nfv/hosting.h"
 #include "nfv/nfc.h"
+#include "orchestrator/bandwidth_allocator.h"
 #include "topology/topology.h"
 #include "util/error.h"
 
@@ -20,6 +21,7 @@ using alvc::util::Status;
 
 struct AdmissionStats {
   std::size_t admitted = 0;
+  std::size_t admitted_downgraded = 0;  // admitted at a reduced ladder rung
   std::size_t rejected_bandwidth = 0;
   std::size_t rejected_capacity_flow = 0;  // max-flow check failed
   std::size_t rejected_resources = 0;
@@ -29,6 +31,7 @@ struct AdmissionStats {
 /// Which stats counter an admission decision lands in.
 enum class AdmissionOutcome {
   kAdmitted,
+  kAdmittedDowngraded,  // bandwidth infeasible in full; a lower rung fits
   kRejectedMalformed,
   kRejectedBandwidth,
   kRejectedCapacityFlow,
@@ -36,10 +39,13 @@ enum class AdmissionOutcome {
 };
 
 /// A check() decision: the status handed to the caller plus the counter it
-/// belongs to (so recording can be deferred, e.g. by the batch path).
+/// belongs to (so recording can be deferred, e.g. by the batch path), and
+/// the bandwidth actually granted (== the spec's demand unless the decision
+/// is kAdmittedDowngraded, 0 on rejection).
 struct AdmissionDecision {
   Status status;
   AdmissionOutcome outcome = AdmissionOutcome::kAdmitted;
+  double granted_gbps = 0;
 };
 
 class AdmissionController {
@@ -49,10 +55,21 @@ class AdmissionController {
       : topo_(&topo), catalog_(&catalog) {}
 
   /// Pure feasibility decision — no counter updates, safe to call from
-  /// several threads at once (reads topology/pool only).
+  /// several threads at once (reads topology/pool only). Identical to
+  /// check_with_policy under kStrictLadder.
   [[nodiscard]] AdmissionDecision check(const alvc::nfv::NfcSpec& spec,
                                         const alvc::cluster::VirtualCluster& cluster,
                                         const alvc::nfv::HostingPool& pool) const;
+
+  /// Policy-aware variant: under kWaterFill / kPriorityDowngrade a chain
+  /// whose full demand fails the bandwidth or min-cut check is admitted at
+  /// the largest ladder rung the slice can carry (kAdmittedDowngraded)
+  /// instead of hard-rejected — admission under pressure downgrades rather
+  /// than refuses. Malformed and resource rejections are unaffected.
+  [[nodiscard]] AdmissionDecision check_with_policy(const alvc::nfv::NfcSpec& spec,
+                                                    const alvc::cluster::VirtualCluster& cluster,
+                                                    const alvc::nfv::HostingPool& pool,
+                                                    AllocationPolicy policy) const;
 
   /// Applies a decision to the stats counters.
   void record(const AdmissionDecision& decision) noexcept;
@@ -62,6 +79,13 @@ class AdmissionController {
   [[nodiscard]] Status admit(const alvc::nfv::NfcSpec& spec,
                              const alvc::cluster::VirtualCluster& cluster,
                              const alvc::nfv::HostingPool& pool);
+
+  /// check_with_policy() + record(); the decision carries the granted
+  /// bandwidth the caller must provision at.
+  [[nodiscard]] AdmissionDecision admit_with_policy(const alvc::nfv::NfcSpec& spec,
+                                                    const alvc::cluster::VirtualCluster& cluster,
+                                                    const alvc::nfv::HostingPool& pool,
+                                                    AllocationPolicy policy);
 
   [[nodiscard]] const AdmissionStats& stats() const noexcept { return stats_; }
 

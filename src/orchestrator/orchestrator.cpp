@@ -28,14 +28,16 @@ NetworkOrchestrator::NetworkOrchestrator(alvc::cluster::ClusterManager& clusters
       route_cache_(clusters.topology()) {}
 
 Expected<ChainRoute> NetworkOrchestrator::route_linear(const VirtualCluster& vc,
-                                                       std::span<const HostRef> hosts) {
+                                                       std::span<const HostRef> hosts,
+                                                       alvc::nfv::PriorityClass cls) {
   const alvc::util::TorId ingress = vc.layer.tors.front();
   const alvc::util::TorId egress = vc.layer.tors.back();
   // Plain shortest-path legs are bandwidth-independent, so every cached
   // route lives under the kFull tier; degraded refits reuse the same path
-  // at a lower reservation rather than re-routing per rung.
+  // at a lower reservation rather than re-routing per rung. The priority
+  // class still partitions the key: HIPRI and LOPRI legs never alias.
   if (route_cache_enabled_) {
-    return route_cache_.route(router_, vc, ingress, egress, hosts, BandwidthTier::kFull);
+    return route_cache_.route(router_, vc, ingress, egress, hosts, BandwidthTier::kFull, cls);
   }
   return router_.route(vc, ingress, egress, hosts);
 }
@@ -103,13 +105,19 @@ Expected<NfcId> NetworkOrchestrator::provision_chain(const alvc::nfv::NfcSpec& s
     ALVC_COUNT("orchestrator.provision.failures");
     return Error{ErrorCode::kInfeasible, "cluster has an empty abstraction layer"};
   }
-  if (auto status = admission_.admit(spec, *vc, cloud_.pool()); !status.is_ok()) {
+  const AdmissionDecision admitted =
+      admission_.admit_with_policy(spec, *vc, cloud_.pool(), allocator_.policy());
+  if (!admitted.status.is_ok()) {
     ++stats_.provision_failures;
     ALVC_COUNT("orchestrator.provision.failures");
-    return status.error();
+    return admitted.status.error();
   }
+  // Under a QoS policy admission may grant a lower ladder rung than the
+  // spec demands (admit-with-downgrade); everything downstream provisions
+  // at the granted rate.
+  const double granted_gbps = admitted.granted_gbps;
   const NfcId id{next_id_++};
-  auto slice = slices_.allocate(vc->id, id, spec.bandwidth_gbps);
+  auto slice = slices_.allocate(vc->id, id, granted_gbps, spec.priority);
   if (!slice) {
     ++stats_.provision_failures;
     ALVC_COUNT("orchestrator.provision.failures");
@@ -162,7 +170,7 @@ Expected<NfcId> NetworkOrchestrator::provision_chain(const alvc::nfv::NfcSpec& s
   auto route = load_balanced_routing_
                    ? router_.route_balanced(*vc, ingress, egress, placed->hosts, bandwidth_,
                                             routing_k_)
-                   : route_linear(*vc, placed->hosts);
+                   : route_linear(*vc, placed->hosts, spec.priority);
   if (!route) {
     for (auto inst : instances) {
       ALVC_IGNORE_STATUS(cloud_.terminate(inst),
@@ -188,8 +196,7 @@ Expected<NfcId> NetworkOrchestrator::provision_chain(const alvc::nfv::NfcSpec& s
       return status.error();
     }
   }
-  if (auto status = bandwidth_.reserve_walk(route->vertices, spec.bandwidth_gbps);
-      !status.is_ok()) {
+  if (auto status = bandwidth_.reserve_walk(route->vertices, granted_gbps); !status.is_ok()) {
     controller_.remove_chain(id);
     for (auto inst : instances) {
       ALVC_IGNORE_STATUS(cloud_.terminate(inst),
@@ -220,12 +227,18 @@ Expected<NfcId> NetworkOrchestrator::provision_chain(const alvc::nfv::NfcSpec& s
                          .placement = std::move(*placed),
                          .route = std::move(*route),
                          .flow_rules = rules,
-                         .reserved_gbps = spec.bandwidth_gbps};
-  chains_.emplace(id, std::move(chain));
+                         .reserved_gbps = granted_gbps};
+  auto [chain_it, inserted] = chains_.emplace(id, std::move(chain));
   log_.append(sdn::ControlEventType::kSliceAllocated, slice->value());
   log_.append(sdn::ControlEventType::kChainProvisioned, id.value(), spec.name);
   ++stats_.chains_provisioned;
   ALVC_COUNT("orchestrator.chains.provisioned");
+  if (granted_gbps + 1e-9 < spec.bandwidth_gbps) {
+    ++stats_.chains_admitted_downgraded;
+    mark_degraded(chain_it->second, granted_gbps / spec.bandwidth_gbps,
+                  "admitted at reduced bandwidth under overload");
+  }
+  rebalance_bandwidth();  // no-op under kStrictLadder
   return id;
 }
 
@@ -250,13 +263,16 @@ Expected<NfcId> NetworkOrchestrator::provision_forwarding_graph(
     ALVC_COUNT("orchestrator.provision.failures");
     return Error{ErrorCode::kInfeasible, "cluster has an empty abstraction layer"};
   }
-  if (auto status = admission_.admit(spec, *vc, cloud_.pool()); !status.is_ok()) {
+  const AdmissionDecision admitted =
+      admission_.admit_with_policy(spec, *vc, cloud_.pool(), allocator_.policy());
+  if (!admitted.status.is_ok()) {
     ++stats_.provision_failures;
     ALVC_COUNT("orchestrator.provision.failures");
-    return status.error();
+    return admitted.status.error();
   }
+  const double granted_gbps = admitted.granted_gbps;
   const NfcId id{next_id_++};
-  auto slice = slices_.allocate(vc->id, id, spec.bandwidth_gbps);
+  auto slice = slices_.allocate(vc->id, id, granted_gbps, spec.priority);
   if (!slice) {
     ++stats_.provision_failures;
     ALVC_COUNT("orchestrator.provision.failures");
@@ -307,7 +323,7 @@ Expected<NfcId> NetworkOrchestrator::provision_forwarding_graph(
   const alvc::util::TorId egress = vc->layer.tors.back();
   auto route = route_cache_enabled_
                    ? route_cache_.route_graph(router_, *vc, ingress, egress, gspec.graph,
-                                              node_hosts, BandwidthTier::kFull)
+                                              node_hosts, BandwidthTier::kFull, spec.priority)
                    : router_.route_graph(*vc, ingress, egress, gspec.graph, node_hosts);
   if (!route) {
     for (auto inst : instances) {
@@ -333,8 +349,7 @@ Expected<NfcId> NetworkOrchestrator::provision_forwarding_graph(
       return status.error();
     }
   }
-  if (auto status = bandwidth_.reserve_walk(route->vertices, spec.bandwidth_gbps);
-      !status.is_ok()) {
+  if (auto status = bandwidth_.reserve_walk(route->vertices, granted_gbps); !status.is_ok()) {
     controller_.remove_chain(id);
     for (auto inst : instances) {
       ALVC_IGNORE_STATUS(cloud_.terminate(inst),
@@ -366,12 +381,18 @@ Expected<NfcId> NetworkOrchestrator::provision_forwarding_graph(
                          .flow_rules = controller_.chain_rule_count(id),
                          .graph = gspec.graph,
                          .forwarding_order = order,
-                         .reserved_gbps = spec.bandwidth_gbps};
-  chains_.emplace(id, std::move(chain));
+                         .reserved_gbps = granted_gbps};
+  auto [chain_it, inserted] = chains_.emplace(id, std::move(chain));
   log_.append(sdn::ControlEventType::kSliceAllocated, slice->value());
   log_.append(sdn::ControlEventType::kChainProvisioned, id.value(), spec.name);
   ++stats_.chains_provisioned;
   ALVC_COUNT("orchestrator.chains.provisioned");
+  if (granted_gbps + 1e-9 < spec.bandwidth_gbps) {
+    ++stats_.chains_admitted_downgraded;
+    mark_degraded(chain_it->second, granted_gbps / spec.bandwidth_gbps,
+                  "admitted at reduced bandwidth under overload");
+  }
+  rebalance_bandwidth();  // no-op under kStrictLadder
   return id;
 }
 
@@ -399,6 +420,7 @@ Status NetworkOrchestrator::teardown_chain(NfcId id) {
   log_.append(sdn::ControlEventType::kChainTornDown, id.value());
   ++stats_.chains_torn_down;
   ALVC_COUNT("orchestrator.chains.torn_down");
+  rebalance_bandwidth();  // freed capacity lets shed chains climb back
   return Status::ok();
 }
 
@@ -457,7 +479,7 @@ Status NetworkOrchestrator::migrate_function(NfcId id, std::size_t function_inde
   // Tentatively compute the new route before committing anything.
   auto hosts = chain.placement.hosts;
   hosts[function_index] = target;
-  auto route = route_linear(*vc, hosts);
+  auto route = route_linear(*vc, hosts, chain.record.spec.priority);
   if (!route) return route.error();
   // Move the bandwidth reservation (conservative: new walk reserved while
   // the old one is still held, so shared links must fit both briefly).
@@ -640,7 +662,7 @@ double NetworkOrchestrator::fit_chain(ProvisionedChain& chain) {
   }
   finalize_placement(chain.placement);
 
-  auto route = route_linear(*vc, chain.placement.hosts);
+  auto route = route_linear(*vc, chain.placement.hosts, chain.record.spec.priority);
   if (!route) return 0;
   for (const auto& leg : route->legs) {
     if (!controller_.install_path(id, leg).is_ok()) {
@@ -678,8 +700,16 @@ void NetworkOrchestrator::mark_degraded(ProvisionedChain& chain, double fraction
     ++stats_.chains_degraded;
     ALVC_COUNT("orchestrator.chains.degraded_transitions");
   }
-  // Which rung of the degraded-mode ladder the chain landed on.
+  // Which rung of the degraded-mode ladder the chain landed on, overall and
+  // per QoS class (macro names are literals, hence the branch).
   ALVC_OBSERVE("orchestrator.degraded.fraction", 0.0, 1.0, 8, fraction);
+  if (chain.record.spec.priority == alvc::nfv::PriorityClass::kHipri) {
+    ALVC_OBSERVE("orchestrator.degraded.fraction.hipri", 0.0, 1.0, 8, fraction);
+    if (entered) ALVC_COUNT("orchestrator.chains.degraded_transitions.hipri");
+  } else {
+    ALVC_OBSERVE("orchestrator.degraded.fraction.lopri", 0.0, 1.0, 8, fraction);
+    if (entered) ALVC_COUNT("orchestrator.chains.degraded_transitions.lopri");
+  }
   log_.append(sdn::ControlEventType::kChainDegraded, chain.record.id.value(),
               reason + " (serving " + std::to_string(static_cast<int>(fraction * 100)) +
                   "% of demanded bandwidth)");
@@ -738,6 +768,7 @@ std::size_t NetworkOrchestrator::drain_retry_queue() {
       keep.push_back(entry);  // still backing off
       continue;
     }
+    const double before_gbps = chain.reserved_gbps;
     park_chain(chain);  // releases any reduced-bandwidth partial state
     const double fraction = fit_chain(chain);
     if (fraction >= 1.0) {
@@ -747,6 +778,16 @@ std::size_t NetworkOrchestrator::drain_retry_queue() {
       ++stats_.chains_restored;
       ALVC_COUNT("orchestrator.chains.restored");
       log_.append(sdn::ControlEventType::kChainRestored, entry.id.value());
+      continue;
+    }
+    if (allocator_.policy() != AllocationPolicy::kStrictLadder &&
+        chain.record.spec.bandwidth_gbps * fraction > before_gbps + 1e-9) {
+      // The retry climbed the ladder without reaching full demand: it
+      // re-enters the queue at the tier it just won, eligible at the next
+      // recovery event, and the improving attempt does not count against
+      // the retry budget.
+      entry.not_before = recovery_epoch_ + 1;
+      keep.push_back(entry);
       continue;
     }
     ++entry.attempts;
@@ -767,6 +808,145 @@ void NetworkOrchestrator::enqueue_retry(NfcId id) {
   }
   retry_queue_.push_back(RetryEntry{.id = id});
   ALVC_GAUGE_SET("orchestrator.retry_queue.depth", static_cast<double>(retry_queue_.size()));
+}
+
+std::size_t NetworkOrchestrator::rebalance_bandwidth() {
+  if (allocator_.policy() == AllocationPolicy::kStrictLadder) return 0;
+  ALVC_SPAN(span, "orchestrator.rebalance_bandwidth");
+  constexpr double kEps = 1e-9;
+  const auto& topo = clusters_->topology();
+  const double factor = allocator_.tor_budget_factor();
+
+  // Snapshot every routed chain as the allocator sees it: each distinct
+  // route link is a resource (coeff 1.0, matching the ledger's once-per-
+  // distinct-link accounting), plus — when the ToR budget is enabled — one
+  // aggregate uplink budget per ToR the route crosses, with coeff = the
+  // number of incident route links (a through-ToR hop pays ingress and
+  // egress). Parked chains have no route and stay with the retry queue.
+  std::vector<NfcId> ids;
+  std::vector<AllocChain> alloc;
+  std::vector<AllocResource> resources;
+  std::unordered_map<std::uint64_t, std::uint32_t> link_index;
+  std::unordered_map<std::size_t, std::uint32_t> tor_budget_index;  // ToR vertex -> resource
+  for (NfcId id : sorted_chain_ids()) {
+    const ProvisionedChain& chain = chains_.at(id);
+    if (chain.route.vertices.empty()) continue;
+    AllocChain ac;
+    ac.id = id;
+    ac.cls = chain.record.spec.priority;
+    ac.demand_gbps = chain.record.spec.bandwidth_gbps;
+    std::vector<std::uint64_t> links;
+    for (std::size_t i = 0; i + 1 < chain.route.vertices.size(); ++i) {
+      const auto [lo, hi] = std::minmax(chain.route.vertices[i], chain.route.vertices[i + 1]);
+      if (lo == hi) continue;
+      links.push_back((static_cast<std::uint64_t>(lo) << 32) |
+                      static_cast<std::uint64_t>(hi & 0xffffffffULL));
+    }
+    std::sort(links.begin(), links.end());
+    links.erase(std::unique(links.begin(), links.end()), links.end());
+    std::vector<std::pair<std::uint32_t, double>> tor_uses;
+    for (std::uint64_t k : links) {
+      const auto u = static_cast<std::size_t>(k >> 32);
+      const auto v = static_cast<std::size_t>(k & 0xffffffffULL);
+      const auto [lit, fresh] =
+          link_index.try_emplace(k, static_cast<std::uint32_t>(resources.size()));
+      if (fresh) resources.push_back(AllocResource{bandwidth_.capacity_gbps(u, v)});
+      ac.uses.emplace_back(lit->second, 1.0);
+      if (factor <= 0) continue;
+      for (const std::size_t end : {u, v}) {
+        if (topo.is_ops_vertex(end)) continue;
+        const auto [tit, tor_fresh] =
+            tor_budget_index.try_emplace(end, static_cast<std::uint32_t>(resources.size()));
+        if (tor_fresh) {
+          resources.push_back(
+              AllocResource{factor * topo.tor(topo.vertex_to_tor(end)).port_bandwidth_gbps});
+        }
+        const auto prior = std::find_if(tor_uses.begin(), tor_uses.end(),
+                                        [&](const auto& use) { return use.first == tit->second; });
+        if (prior == tor_uses.end()) {
+          tor_uses.emplace_back(tit->second, 1.0);
+        } else {
+          prior->second += 1.0;
+        }
+      }
+    }
+    std::sort(tor_uses.begin(), tor_uses.end());
+    ac.uses.insert(ac.uses.end(), tor_uses.begin(), tor_uses.end());
+    ids.push_back(id);
+    alloc.push_back(std::move(ac));
+  }
+  if (alloc.empty()) return 0;
+
+  const AllocationPlan plan = allocator_.plan(alloc, resources);
+  ALVC_OBSERVE("orchestrator.alloc.waterfill.iterations", 0, 64, 16,
+               static_cast<double>(plan.fill_iterations));
+  if (plan.lopri_demotions > 0) {
+    ALVC_COUNT_N("orchestrator.alloc.lopri_demotions", plan.lopri_demotions);
+  }
+
+  std::size_t changed = 0;
+  // Shrink pass first: every release lands before any grow reserves, so
+  // the grow pass cannot be starved by capacity the plan already moved.
+  for (std::size_t i = 0; i < alloc.size(); ++i) {
+    ProvisionedChain& chain = chains_.at(ids[i]);
+    const double target = plan.target_gbps[i];
+    if (target + kEps >= chain.reserved_gbps) continue;
+    ++changed;
+    ++stats_.alloc_downgrades;
+    if (chain.record.spec.priority == alvc::nfv::PriorityClass::kHipri) {
+      ALVC_COUNT("orchestrator.alloc.downgrades.hipri");
+    } else {
+      ALVC_COUNT("orchestrator.alloc.downgrades.lopri");
+    }
+    if (target <= kEps) {
+      park_chain(chain);  // rules out, reservation released, route cleared
+      mark_degraded(chain, 0.0, "bandwidth shed by the allocator under overload");
+      continue;
+    }
+    bandwidth_.release_walk(chain.route.vertices, chain.reserved_gbps - target);
+    chain.reserved_gbps = target;
+    ALVC_IGNORE_STATUS(slices_.set_bandwidth(ids[i], target),
+                       "the reservation is the source of truth; the slice record follows");
+    mark_degraded(chain, target / chain.record.spec.bandwidth_gbps,
+                  "bandwidth shed by the allocator under overload");
+  }
+  // Grow pass, ids ascending (the plan's own climb order).
+  for (std::size_t i = 0; i < alloc.size(); ++i) {
+    ProvisionedChain& chain = chains_.at(ids[i]);
+    const double target = plan.target_gbps[i];
+    if (chain.route.vertices.empty()) continue;  // shed to zero above
+    if (target <= chain.reserved_gbps + kEps) continue;
+    if (!bandwidth_.reserve_walk(chain.route.vertices, target - chain.reserved_gbps).is_ok()) {
+      continue;  // defensive: the plan respects raw capacities, but never force it
+    }
+    chain.reserved_gbps = target;
+    ALVC_IGNORE_STATUS(slices_.set_bandwidth(ids[i], target),
+                       "the reservation is the source of truth; the slice record follows");
+    ++changed;
+    ++stats_.alloc_restores;
+    if (chain.record.spec.priority == alvc::nfv::PriorityClass::kHipri) {
+      ALVC_COUNT("orchestrator.alloc.restores.hipri");
+    } else {
+      ALVC_COUNT("orchestrator.alloc.restores.lopri");
+    }
+    const bool instances_ok =
+        std::all_of(chain.instances.begin(), chain.instances.end(),
+                    [](alvc::util::VnfInstanceId inst) { return inst.valid(); });
+    if (chain.degraded && instances_ok &&
+        target + kEps >= chain.record.spec.bandwidth_gbps) {
+      chain.degraded = false;
+      chain.degraded_reason.clear();
+      ++stats_.chains_restored;
+      ALVC_COUNT("orchestrator.chains.restored");
+      log_.append(sdn::ControlEventType::kChainRestored, ids[i].value(),
+                  "allocator rebalance restored full bandwidth");
+    }
+  }
+  if (changed > 0) {
+    ++stats_.alloc_rebalances;
+    ALVC_COUNT("orchestrator.alloc.rebalances");
+  }
+  return changed;
 }
 
 std::vector<NfcId> NetworkOrchestrator::sorted_chain_ids() const {
@@ -797,7 +977,9 @@ Expected<std::size_t> NetworkOrchestrator::handle_ops_failure(alvc::util::OpsId 
   log_.append(sdn::ControlEventType::kOpsFailed, ops.value());
   const auto repair = clusters_->handle_ops_failure(ops);
   if (repair.has_value()) log_.append(sdn::ControlEventType::kAlRepaired, ops.value());
-  return sweep_chains();
+  const std::size_t repaired = sweep_chains();
+  rebalance_bandwidth();
+  return repaired;
 }
 
 Expected<std::size_t> NetworkOrchestrator::handle_tor_failure(alvc::util::TorId tor) {
@@ -812,7 +994,9 @@ Expected<std::size_t> NetworkOrchestrator::handle_tor_failure(alvc::util::TorId 
   if (repair.has_value()) {
     log_.append(sdn::ControlEventType::kAlRepaired, tor.value(), "after ToR failure");
   }
-  return sweep_chains();
+  const std::size_t repaired = sweep_chains();
+  rebalance_bandwidth();
+  return repaired;
 }
 
 Expected<std::size_t> NetworkOrchestrator::handle_server_failure(alvc::util::ServerId server) {
@@ -825,7 +1009,9 @@ Expected<std::size_t> NetworkOrchestrator::handle_server_failure(alvc::util::Ser
   log_.append(sdn::ControlEventType::kServerFailed, server.value());
   ALVC_IGNORE_STATUS(clusters_->handle_server_failure(server),
                      "ids were validated above; sweep_chains handles the fallout either way");
-  return sweep_chains();
+  const std::size_t repaired = sweep_chains();
+  rebalance_bandwidth();
+  return repaired;
 }
 
 Expected<std::size_t> NetworkOrchestrator::handle_link_failure(alvc::util::TorId tor,
@@ -845,7 +1031,9 @@ Expected<std::size_t> NetworkOrchestrator::handle_link_failure(alvc::util::TorId
   ALVC_IGNORE_STATUS(clusters_->handle_link_failure(tor, ops),
                      "an infeasible AL repair leaves the cluster degraded; sweep_chains "
                      "degrades the affected chains rather than aborting the handler");
-  return sweep_chains();
+  const std::size_t repaired = sweep_chains();
+  rebalance_bandwidth();
+  return repaired;
 }
 
 Expected<std::size_t> NetworkOrchestrator::handle_ops_recovery(alvc::util::OpsId ops) {
@@ -863,7 +1051,9 @@ Expected<std::size_t> NetworkOrchestrator::handle_ops_recovery(alvc::util::OpsId
   ALVC_IGNORE_STATUS(sweep_chains(),
                      "repairs of healthy chains are logged per chain; this call returns "
                      "only the count and the caller reports restorations instead");
-  return drain_retry_queue();
+  const std::size_t restored = drain_retry_queue();
+  rebalance_bandwidth();
+  return restored;
 }
 
 Expected<std::size_t> NetworkOrchestrator::handle_tor_recovery(alvc::util::TorId tor) {
@@ -877,7 +1067,9 @@ Expected<std::size_t> NetworkOrchestrator::handle_tor_recovery(alvc::util::TorId
   ALVC_IGNORE_STATUS(clusters_->handle_tor_recovery(tor, repair_builder_),
                      "a failed cluster rebuild leaves it degraded; recovery proceeds anyway");
   ALVC_IGNORE_STATUS(sweep_chains(), "settle healthy chains first; restorations are returned");
-  return drain_retry_queue();
+  const std::size_t restored = drain_retry_queue();
+  rebalance_bandwidth();
+  return restored;
 }
 
 Expected<std::size_t> NetworkOrchestrator::handle_server_recovery(alvc::util::ServerId server) {
@@ -891,7 +1083,9 @@ Expected<std::size_t> NetworkOrchestrator::handle_server_recovery(alvc::util::Se
   ALVC_IGNORE_STATUS(clusters_->handle_server_recovery(server),
                      "ids were validated above; a server recovery cannot fail an AL");
   ALVC_IGNORE_STATUS(sweep_chains(), "settle healthy chains first; restorations are returned");
-  return drain_retry_queue();
+  const std::size_t restored = drain_retry_queue();
+  rebalance_bandwidth();
+  return restored;
 }
 
 Expected<std::size_t> NetworkOrchestrator::handle_link_recovery(alvc::util::TorId tor,
@@ -907,7 +1101,9 @@ Expected<std::size_t> NetworkOrchestrator::handle_link_recovery(alvc::util::TorI
   ALVC_IGNORE_STATUS(clusters_->handle_link_recovery(tor, ops, repair_builder_),
                      "a failed cluster rebuild leaves it degraded; recovery proceeds anyway");
   ALVC_IGNORE_STATUS(sweep_chains(), "settle healthy chains first; restorations are returned");
-  return drain_retry_queue();
+  const std::size_t restored = drain_retry_queue();
+  rebalance_bandwidth();
+  return restored;
 }
 
 const ProvisionedChain* NetworkOrchestrator::chain(NfcId id) const {

@@ -26,6 +26,7 @@
 #include "nfv/nfc.h"
 #include "orchestrator/admission.h"
 #include "orchestrator/bandwidth.h"
+#include "orchestrator/bandwidth_allocator.h"
 #include "orchestrator/oeo.h"
 #include "orchestrator/placement.h"
 #include "orchestrator/route_cache.h"
@@ -73,6 +74,11 @@ struct OrchestratorStats {
   std::size_t vnfs_relocated = 0;    // instances moved off failed hardware
   std::size_t chains_degraded = 0;   // entered degraded mode (cumulative)
   std::size_t chains_restored = 0;   // left degraded mode at full bandwidth
+  // QoS allocator activity (zero under kStrictLadder):
+  std::size_t chains_admitted_downgraded = 0;  // admitted below full demand
+  std::size_t alloc_rebalances = 0;            // rebalance passes that changed something
+  std::size_t alloc_downgrades = 0;            // chains shrunk by a rebalance
+  std::size_t alloc_restores = 0;              // chains grown back by a rebalance
 };
 
 /// Threading contract: externally synchronized, single-writer. The retry
@@ -111,6 +117,27 @@ class NetworkOrchestrator {
   [[nodiscard]] bool route_cache_enabled() const noexcept { return route_cache_enabled_; }
   [[nodiscard]] const RouteCache& route_cache() const noexcept { return route_cache_; }
   [[nodiscard]] RouteCache& route_cache() noexcept { return route_cache_; }
+
+  /// Selects the bandwidth allocation policy. kStrictLadder (default)
+  /// preserves the legacy behavior bit-for-bit: admission hard-rejects,
+  /// refits walk the 1/2/4/8 ladder, rebalance_bandwidth() is a no-op.
+  /// kWaterFill / kPriorityDowngrade add admit-with-downgrade and the
+  /// cross-chain rebalance on every provision/teardown/fault/recovery.
+  void set_allocation_policy(AllocationPolicy policy) noexcept { allocator_.set_policy(policy); }
+  [[nodiscard]] AllocationPolicy allocation_policy() const noexcept {
+    return allocator_.policy();
+  }
+  /// Shared-ToR aggregate budget knob (see BandwidthAllocator); 0 disables.
+  void set_tor_budget_factor(double factor) noexcept { allocator_.set_tor_budget_factor(factor); }
+  [[nodiscard]] const BandwidthAllocator& allocator() const noexcept { return allocator_; }
+
+  /// Re-runs the allocator over every routed chain and applies its plan:
+  /// shrinks (sheds) over-budget chains, grows chains with headroom back up
+  /// the ladder, marking degraded/restored as bandwidth moves. No-op under
+  /// kStrictLadder. Called automatically after provision, teardown, and
+  /// every failure/recovery handler; public so tests and operators can
+  /// force a pass. Returns the number of chains whose reservation changed.
+  std::size_t rebalance_bandwidth();
 
   /// Batch admission pre-screen: evaluates every spec's admission decision
   /// (against the cluster serving its service) without provisioning
@@ -214,7 +241,8 @@ class NetworkOrchestrator {
   /// default anchors, served from the route cache when enabled (identical
   /// to the plain router by construction — see route_cache.h).
   [[nodiscard]] alvc::util::Expected<ChainRoute> route_linear(
-      const alvc::cluster::VirtualCluster& vc, std::span<const alvc::nfv::HostRef> hosts);
+      const alvc::cluster::VirtualCluster& vc, std::span<const alvc::nfv::HostRef> hosts,
+      alvc::nfv::PriorityClass cls);
 
   /// One degraded chain waiting for another restoration attempt.
   struct RetryEntry {
@@ -263,6 +291,7 @@ class NetworkOrchestrator {
   SliceManager slices_;
   AdmissionController admission_;
   BandwidthLedger bandwidth_;
+  BandwidthAllocator allocator_;
   ChainRouter router_;
   RouteCache route_cache_;
   std::unordered_map<NfcId, ProvisionedChain> chains_;

@@ -24,6 +24,7 @@ std::size_t RouteCache::LegKeyHash::operator()(const LegKey& k) const noexcept {
   std::uint64_t fp = alvc::graph::kFingerprintSeed;
   fp = fingerprint_mix(fp, k.cluster);
   fp = fingerprint_mix(fp, k.tier);
+  fp = fingerprint_mix(fp, k.cls);
   fp = fingerprint_mix(fp, k.from);
   fp = fingerprint_mix(fp, k.to);
   return static_cast<std::size_t>(fp);
@@ -106,13 +107,14 @@ bool RouteCache::stops_in_slice(const VirtualCluster& cluster,
 }
 
 Expected<std::vector<std::size_t>> RouteCache::cached_leg(
-    const VirtualCluster& cluster, BandwidthTier tier, alvc::graph::VertexSet& allowed,
-    std::size_t from, std::size_t to, std::size_t leg_index) {
+    const VirtualCluster& cluster, BandwidthTier tier, alvc::nfv::PriorityClass cls,
+    alvc::graph::VertexSet& allowed, std::size_t from, std::size_t to, std::size_t leg_index) {
   // Trivial legs are cheaper to produce than to look up.
   if (from == to) return std::vector<std::size_t>{from};
   const std::uint64_t epoch = topo_->mutation_epoch();
   const std::uint64_t fp = slice_state(cluster, epoch);
-  const LegKey key{cluster.id.value(), static_cast<std::uint8_t>(tier), from, to};
+  const LegKey key{cluster.id.value(), static_cast<std::uint8_t>(tier),
+                   static_cast<std::uint8_t>(cls), from, to};
   Entry& entry = legs_[key];
   for (std::size_t i = 0; i < entry.variants.size(); ++i) {
     Variant& v = entry.variants[i];
@@ -165,7 +167,8 @@ Expected<std::vector<std::size_t>> RouteCache::cached_leg(
 
 Expected<ChainRoute> RouteCache::route(const ChainRouter& router, const VirtualCluster& cluster,
                                        TorId ingress, TorId egress,
-                                       std::span<const HostRef> hosts, BandwidthTier tier) {
+                                       std::span<const HostRef> hosts, BandwidthTier tier,
+                                       alvc::nfv::PriorityClass cls) {
   ALVC_SPAN(span, "orchestrator.route_cache.route");
   const auto stops = router.chain_stops(ingress, egress, hosts);
   if (!stops_in_slice(cluster, stops)) {
@@ -178,7 +181,7 @@ Expected<ChainRoute> RouteCache::route(const ChainRouter& router, const VirtualC
   alvc::graph::VertexSet allowed;  // lazily filled by the first miss
   return router.route_via(cluster, ingress, egress, hosts,
                           [&](std::size_t from, std::size_t to, std::size_t leg_index) {
-                            return cached_leg(cluster, tier, allowed, from, to, leg_index);
+                            return cached_leg(cluster, tier, cls, allowed, from, to, leg_index);
                           });
 }
 
@@ -187,7 +190,7 @@ Expected<ChainRoute> RouteCache::route_graph(const ChainRouter& router,
                                              TorId egress,
                                              const alvc::nfv::ForwardingGraph& graph,
                                              std::span<const HostRef> node_hosts,
-                                             BandwidthTier tier) {
+                                             BandwidthTier tier, alvc::nfv::PriorityClass cls) {
   ALVC_SPAN(span, "orchestrator.route_cache.route_graph");
   std::vector<std::size_t> stops;
   stops.reserve(node_hosts.size() + 2);
@@ -202,7 +205,8 @@ Expected<ChainRoute> RouteCache::route_graph(const ChainRouter& router,
   alvc::graph::VertexSet allowed;
   return router.route_graph_via(cluster, ingress, egress, graph, node_hosts,
                                 [&](std::size_t from, std::size_t to, std::size_t leg_index) {
-                                  return cached_leg(cluster, tier, allowed, from, to, leg_index);
+                                  return cached_leg(cluster, tier, cls, allowed, from, to,
+                                                    leg_index);
                                 });
 }
 

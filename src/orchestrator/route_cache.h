@@ -42,6 +42,7 @@
 #include <vector>
 
 #include "cluster/virtual_cluster.h"
+#include "nfv/nfc.h"
 #include "orchestrator/routing.h"
 #include "topology/topology.h"
 #include "util/error.h"
@@ -82,19 +83,20 @@ class RouteCache {
   /// state provably matches. Requests whose stops leave the slice (an
   /// ingress/egress or attach vertex outside the AL) bypass the cache and
   /// delegate to the router untouched.
-  [[nodiscard]] Expected<ChainRoute> route(const ChainRouter& router,
-                                           const alvc::cluster::VirtualCluster& cluster,
-                                           TorId ingress, TorId egress,
-                                           std::span<const alvc::nfv::HostRef> hosts,
-                                           BandwidthTier tier);
+  /// `cls` partitions the key space by QoS class: a HIPRI leg and a LOPRI
+  /// leg between the same endpoints never share a cached variant, so a
+  /// class-aware leg source can diverge per class without aliasing.
+  [[nodiscard]] Expected<ChainRoute> route(
+      const ChainRouter& router, const alvc::cluster::VirtualCluster& cluster, TorId ingress,
+      TorId egress, std::span<const alvc::nfv::HostRef> hosts, BandwidthTier tier,
+      alvc::nfv::PriorityClass cls = alvc::nfv::PriorityClass::kHipri);
 
   /// Cached counterpart of `router.route_graph(...)` (same contract).
-  [[nodiscard]] Expected<ChainRoute> route_graph(const ChainRouter& router,
-                                                 const alvc::cluster::VirtualCluster& cluster,
-                                                 TorId ingress, TorId egress,
-                                                 const alvc::nfv::ForwardingGraph& graph,
-                                                 std::span<const alvc::nfv::HostRef> node_hosts,
-                                                 BandwidthTier tier);
+  [[nodiscard]] Expected<ChainRoute> route_graph(
+      const ChainRouter& router, const alvc::cluster::VirtualCluster& cluster, TorId ingress,
+      TorId egress, const alvc::nfv::ForwardingGraph& graph,
+      std::span<const alvc::nfv::HostRef> node_hosts, BandwidthTier tier,
+      alvc::nfv::PriorityClass cls = alvc::nfv::PriorityClass::kHipri);
 
   /// Drops every cached leg of `cluster`'s slice (all tiers). Called on
   /// slice teardown so a reused cluster id can never see another tenant's
@@ -121,6 +123,7 @@ class RouteCache {
   struct LegKey {
     std::uint64_t cluster = 0;  // ClusterId value
     std::uint8_t tier = 0;
+    std::uint8_t cls = 0;  // PriorityClass value
     std::uint64_t from = 0;
     std::uint64_t to = 0;
     bool operator==(const LegKey&) const = default;
@@ -166,8 +169,8 @@ class RouteCache {
   /// router's own BFS on miss. `allowed` is built lazily on first miss.
   [[nodiscard]] Expected<std::vector<std::size_t>> cached_leg(
       const alvc::cluster::VirtualCluster& cluster, BandwidthTier tier,
-      alvc::graph::VertexSet& allowed, std::size_t from, std::size_t to,
-      std::size_t leg_index);
+      alvc::nfv::PriorityClass cls, alvc::graph::VertexSet& allowed, std::size_t from,
+      std::size_t to, std::size_t leg_index);
 
   const alvc::topology::DataCenterTopology* topo_;
   std::unordered_map<LegKey, Entry, LegKeyHash> legs_;

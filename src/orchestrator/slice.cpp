@@ -7,7 +7,8 @@ namespace alvc::orchestrator {
 using alvc::util::Error;
 using alvc::util::ErrorCode;
 
-Expected<SliceId> SliceManager::allocate(ClusterId cluster, NfcId nfc, double bandwidth_gbps) {
+Expected<SliceId> SliceManager::allocate(ClusterId cluster, NfcId nfc, double bandwidth_gbps,
+                                         alvc::nfv::PriorityClass priority) {
   if (bandwidth_gbps < 0) {
     return Error{ErrorCode::kInvalidArgument, "negative bandwidth"};
   }
@@ -20,7 +21,7 @@ Expected<SliceId> SliceManager::allocate(ClusterId cluster, NfcId nfc, double ba
                  "NFC " + std::to_string(nfc.value()) + " already has a slice"};
   }
   const SliceId id{next_id_++};
-  by_nfc_.emplace(nfc, OpticalSlice{id, cluster, nfc, bandwidth_gbps});
+  by_nfc_.emplace(nfc, OpticalSlice{id, cluster, nfc, bandwidth_gbps, priority});
   by_cluster_.emplace(cluster, nfc);
   return id;
 }

@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "cluster/virtual_cluster.h"
+#include "nfv/nfc.h"
 #include "util/error.h"
 #include "util/ids.h"
 
@@ -29,6 +30,9 @@ struct OpticalSlice {
   ClusterId cluster;  // the VC whose AL forms this slice
   NfcId nfc;          // the one chain bound to it
   double bandwidth_gbps = 0.0;
+  /// QoS class of the bound chain's aggregate; the bandwidth allocator
+  /// sheds kLopri slices first under overload.
+  alvc::nfv::PriorityClass priority = alvc::nfv::PriorityClass::kHipri;
   /// Bumped on every bandwidth change (degraded-ladder refits); consumers
   /// holding per-slice derived state compare epochs instead of polling the
   /// bandwidth value.
@@ -40,7 +44,9 @@ class SliceManager {
   /// Binds `cluster`'s AL to `nfc` as a new slice. kConflict if the cluster
   /// already backs a slice (one VC hosts one NFC) or the chain already has
   /// one.
-  [[nodiscard]] Expected<SliceId> allocate(ClusterId cluster, NfcId nfc, double bandwidth_gbps);
+  [[nodiscard]] Expected<SliceId> allocate(
+      ClusterId cluster, NfcId nfc, double bandwidth_gbps,
+      alvc::nfv::PriorityClass priority = alvc::nfv::PriorityClass::kHipri);
 
   /// Releases the slice bound to `nfc`.
   [[nodiscard]] Status release(NfcId nfc);

@@ -1,0 +1,235 @@
+// Overload soak: 20 seeds of faults *and* load churn under the
+// kPriorityDowngrade policy. Flash crowds land mid-outage, adversarial
+// LOPRI churn keeps the allocator shedding and restoring, and a diurnal
+// ramp sustains oversubscription — while the auditor re-checks every
+// cross-layer invariant (including work conservation and priority-
+// feasibility) after every single event. Also pins down the retry queue's
+// backoff clock: a degraded chain is retried on recovery *epochs*, not on
+// element relevance, so even a fully healed fabric waits out the window.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "core/alvc.h"
+#include "faults/chaos.h"
+#include "faults/state_auditor.h"
+#include "support/fixtures.h"
+#include "util/error.h"
+
+namespace alvc::faults {
+namespace {
+
+using alvc::nfv::NfcSpec;
+using alvc::nfv::PriorityClass;
+using alvc::nfv::VnfType;
+using alvc::orchestrator::AllocationPolicy;
+using alvc::orchestrator::NetworkOrchestrator;
+using alvc::test::ClusterFixture;
+using alvc::util::OpsId;
+using alvc::util::ServerId;
+using alvc::util::ServiceId;
+
+constexpr std::uint64_t kSeeds = 20;
+
+NfcSpec make_spec(const core::DataCenter& dc, std::uint32_t service, double gbps,
+                  PriorityClass cls) {
+  NfcSpec spec;
+  spec.service = ServiceId{service};
+  spec.name = "load-" + std::to_string(service);
+  spec.bandwidth_gbps = gbps;
+  spec.priority = cls;
+  spec.functions = {*dc.catalog().find_by_type(VnfType::kFirewall),
+                    *dc.catalog().find_by_type(VnfType::kNat)};
+  return spec;
+}
+
+core::DataCenter make_qos_dc(std::uint64_t seed) {
+  core::DataCenterConfig config;
+  config.topology.rack_count = 6;
+  config.topology.servers_per_rack = 2;
+  config.topology.vms_per_server = 2;
+  config.topology.ops_count = 16;
+  config.topology.tor_ops_degree = 6;
+  config.topology.optoelectronic_fraction = 0.75;
+  config.topology.service_count = 3;
+  config.topology.seed = seed * 7 + 1;
+  config.seed = seed;
+  core::DataCenter dc(config);
+  auto clusters = dc.build_clusters();
+  if (!clusters.has_value()) throw std::runtime_error(clusters.error().to_string());
+  dc.orchestrator().set_allocation_policy(AllocationPolicy::kPriorityDowngrade);
+  // Baseline chain: demand above the 10 Gbps uplink ports, so QoS admission
+  // grants a reduced rung instead of hard-rejecting.
+  ALVC_IGNORE_STATUS(
+      dc.provision_chain(make_spec(dc, 0, 16.0, PriorityClass::kHipri),
+                         core::PlacementAlgorithm::kGreedyOptical),
+      "warm-up: capacity conflicts just mean fewer live chains");
+  return dc;
+}
+
+TEST(OverloadSoakTest, PriorityDowngradeSurvivesFlashCrowdsAndChurn) {
+  std::size_t total_load_events = 0;
+  std::size_t total_provisioned = 0;
+  std::size_t total_provisioned_degraded = 0;
+  std::size_t total_rejected = 0;
+  std::size_t total_torn_down = 0;
+  std::size_t total_alloc_downgrades = 0;
+  std::size_t total_alloc_restores = 0;
+  std::size_t total_admitted_downgraded = 0;
+
+  for (std::uint64_t seed = 1; seed <= kSeeds; ++seed) {
+    ALVC_TRACE_SEED(seed);
+    auto dc = make_qos_dc(seed);
+
+    ChaosParams params;
+    params.schedule.ops = {.mtbf_s = 35, .mttr_s = 7};
+    params.schedule.tor = {.mtbf_s = 55, .mttr_s = 6};
+    params.schedule.server = {.mtbf_s = 45, .mttr_s = 5};
+    params.schedule.link = {.mtbf_s = 40, .mttr_s = 6};
+    params.schedule.horizon_s = 40;
+    params.schedule.seed = seed;
+    params.flow_rate_per_s = 20;
+    params.traffic_seed = seed * 3 + 1;
+    const auto* vc0 = dc.clusters().clusters().front();
+    if (!vc0->layer.opss.empty()) {
+      params.scripted = FaultInjector::whole_al(*vc0, 12.0, 8.0, 0.5);
+    }
+
+    // Load side: a flash crowd that lands inside the whole-AL outage, a
+    // diurnal ramp of heavy demands, and Poisson LOPRI churn throughout.
+    const std::vector<NfcSpec> crowd{
+        make_spec(dc, 0, 16.0, PriorityClass::kHipri),
+        make_spec(dc, 1, 16.0, PriorityClass::kLopri),
+        make_spec(dc, 2, 16.0, PriorityClass::kHipri),
+    };
+    const std::vector<NfcSpec> heavy{
+        make_spec(dc, 1, 16.0, PriorityClass::kHipri),
+        make_spec(dc, 2, 8.0, PriorityClass::kLopri),
+    };
+    auto load = OverloadInjector::flash_crowd(crowd, 13.0, 0.3, 10.0, /*first_key=*/1000);
+    const auto ramp = OverloadInjector::diurnal_ramp(heavy, 20.0, 40.0, /*first_key=*/2000);
+    const auto churn = OverloadInjector::lopri_churn(crowd, 0.4, 5.0, 40.0, seed * 11 + 3,
+                                                     /*first_key=*/3000);
+    load.insert(load.end(), ramp.begin(), ramp.end());
+    load.insert(load.end(), churn.begin(), churn.end());
+    params.load = std::move(load);
+
+    ChaosRunner runner(dc.orchestrator(), params);
+    const ChaosReport report = runner.run();
+
+    EXPECT_GT(report.load_events, 0u);
+    EXPECT_EQ(report.handler_errors, 0u);
+    EXPECT_EQ(report.audit_violations, 0u)
+        << (report.violations.empty() ? "" : report.violations.front());
+    EXPECT_EQ(report.chains_unaccounted, 0u) << "a chain was silently lost";
+    EXPECT_TRUE(report.clean());
+
+    total_load_events += report.load_events;
+    total_provisioned += report.load_provisioned;
+    total_provisioned_degraded += report.load_provisioned_degraded;
+    total_rejected += report.load_rejected;
+    total_torn_down += report.load_torn_down;
+    total_alloc_downgrades += dc.orchestrator().stats().alloc_downgrades;
+    total_alloc_restores += dc.orchestrator().stats().alloc_restores;
+    total_admitted_downgraded += dc.orchestrator().stats().chains_admitted_downgraded;
+  }
+
+  // The soak must exercise the QoS machinery, not pass vacuously.
+  EXPECT_GT(total_load_events, 200u);
+  EXPECT_GT(total_provisioned, 20u);
+  EXPECT_GT(total_rejected, 0u) << "no arrival ever hit a busy or broken slice";
+  EXPECT_GT(total_torn_down, 0u);
+  EXPECT_GT(total_admitted_downgraded, 0u) << "admit-with-downgrade never fired";
+  EXPECT_GT(total_provisioned_degraded, 0u);
+  EXPECT_GT(total_alloc_downgrades, 0u) << "the allocator never shed anything";
+  EXPECT_GT(total_alloc_restores, 0u) << "no shed chain ever climbed back";
+}
+
+/// ClusterFixture (2 racks, 4 OPS: O0/O2 optoelectronic) plus an
+/// orchestrator running a QoS policy, for surgical fault sequencing.
+struct QosRetryFixture : ClusterFixture {
+  NetworkOrchestrator orch{manager, catalog};
+
+  QosRetryFixture() { orch.set_allocation_policy(AllocationPolicy::kWaterFill); }
+
+  alvc::util::NfcId provision() {
+    NfcSpec spec;
+    spec.name = "chain";
+    spec.service = ServiceId{0};
+    spec.bandwidth_gbps = 1.0;
+    spec.functions = {*catalog.find_by_type(VnfType::kFirewall),
+                      *catalog.find_by_type(VnfType::kNat)};
+    const alvc::orchestrator::GreedyOpticalPlacement placement;
+    auto id = orch.provision_chain(spec, placement);
+    if (!id.has_value()) throw std::runtime_error(id.error().to_string());
+    return *id;
+  }
+};
+
+// The retry queue is clocked in recovery epochs with exponential backoff:
+//   epoch 1 — first (failing) attempt charges the budget, next try at 1+2^1.
+//   epoch 2 — skipped: still backing off.
+//   epoch 3 — eligible again; fit still fails (every OPS is down), next
+//             try at 3+2^2 = 7.
+//   epoch 4 — O0 recovers: the slice collapses to rack 0 and a full-rate
+//             fit IS feasible, yet the entry is still backing off.
+//   epochs 5-6 — O3 and O1 recover (O3 re-covers ToR 1, so the repaired
+//             slice {O0,O3} is ring-adjacent and routable); still waiting.
+//   epoch 7 — O2 recovers. O2 is not even part of the repaired slice, but
+//             the backoff window has elapsed, the retry fires, and the
+//             chain restores to full bandwidth — the clock, not element
+//             relevance, gates restoration.
+TEST(QosRetryBackoffTest, BackoffClockGatesRestorationNotElementRelevance) {
+  QosRetryFixture f;
+  const auto id = f.provision();
+
+  // Take down every OPS: the slice loses all connectivity, the chain parks.
+  for (std::size_t i = 0; i < f.topo.ops_count(); ++i) {
+    ASSERT_TRUE(f.orch.handle_ops_failure(OpsId{static_cast<OpsId::value_type>(i)}).has_value());
+  }
+  const auto* chain = f.orch.chain(id);
+  ASSERT_NE(chain, nullptr);
+  EXPECT_TRUE(chain->degraded);
+  EXPECT_DOUBLE_EQ(chain->reserved_gbps, 0.0);
+  EXPECT_EQ(f.orch.retry_queue_size(), 1u);
+
+  // Epochs 1-3: unrelated server bounces pump the recovery clock while the
+  // fabric stays dark. The retry fails at epoch 1 (backs off to 3) and
+  // again at epoch 3 (backs off to 7).
+  const ServerId pump{3};
+  for (int epoch = 1; epoch <= 3; ++epoch) {
+    ASSERT_TRUE(f.orch.handle_server_failure(pump).has_value());
+    ASSERT_TRUE(f.orch.handle_server_recovery(pump).has_value());
+    EXPECT_TRUE(f.orch.chain(id)->degraded);
+    EXPECT_EQ(f.orch.retry_queue_size(), 1u);
+  }
+
+  // Epoch 4: O0 recovers and the coverage repair shrinks the slice to the
+  // one rack O0 can serve — a full-rate single-rack fit is feasible right
+  // now, but the entry is backing off and the drain must skip it.
+  ASSERT_TRUE(f.orch.handle_ops_recovery(OpsId{0}).has_value());
+  EXPECT_TRUE(f.orch.chain(id)->degraded) << "retried before its backoff expired";
+
+  // Epochs 5 and 6: O3 then O1 recover. O3 re-covers ToR 1, giving a
+  // connected two-rack slice; the fabric is nearly healed, yet the chain
+  // still waits out its window.
+  ASSERT_TRUE(f.orch.handle_ops_recovery(OpsId{3}).has_value());
+  ASSERT_TRUE(f.orch.handle_ops_recovery(OpsId{1}).has_value());
+  EXPECT_TRUE(f.orch.chain(id)->degraded) << "healed fabric must not bypass the backoff clock";
+  EXPECT_EQ(f.orch.retry_queue_size(), 1u);
+
+  // Epoch 7: O2 recovers — an OPS the repaired slice doesn't even use. The
+  // backoff window has elapsed, so the retry fires and restores the chain.
+  ASSERT_TRUE(f.orch.handle_ops_recovery(OpsId{2}).has_value());
+  EXPECT_FALSE(f.orch.chain(id)->degraded);
+  EXPECT_DOUBLE_EQ(f.orch.chain(id)->reserved_gbps, 1.0);
+  EXPECT_EQ(f.orch.stats().chains_restored, 1u);
+  EXPECT_EQ(f.orch.retry_queue_size(), 0u);
+
+  // And the end state is audit-clean under the QoS policy.
+  EXPECT_TRUE(StateAuditor::audit(f.orch).empty());
+}
+
+}  // namespace
+}  // namespace alvc::faults

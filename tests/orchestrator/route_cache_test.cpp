@@ -212,6 +212,37 @@ TEST(RouteCacheTest, BandwidthTiersPartitionTheKeySpace) {
   EXPECT_GT(f.cache.stats().hits, 0u);
 }
 
+TEST(RouteCacheTest, PriorityClassesPartitionTheKeySpace) {
+  CacheFixture f;
+  // Same endpoints, same hosts, same tier — only the QoS class differs. A
+  // HIPRI and a LOPRI leg must never share a cached variant, or a class
+  // flip on re-provision would serve the other class's path unchecked.
+  ASSERT_TRUE(f.cache
+                  .route(f.router, f.cluster(), f.ingress, f.egress, f.hosts,
+                         BandwidthTier::kFull, alvc::nfv::PriorityClass::kHipri)
+                  .has_value());
+  const auto misses_hipri = f.cache.stats().misses;
+  ASSERT_TRUE(f.cache
+                  .route(f.router, f.cluster(), f.ingress, f.egress, f.hosts,
+                         BandwidthTier::kFull, alvc::nfv::PriorityClass::kLopri)
+                  .has_value());
+  EXPECT_GT(f.cache.stats().misses, misses_hipri) << "classes must not alias";
+  EXPECT_EQ(f.cache.stats().hits, 0u);
+
+  // Each class hits its own entry afterwards — the partition is stable.
+  const auto misses_both = f.cache.stats().misses;
+  ASSERT_TRUE(f.cache
+                  .route(f.router, f.cluster(), f.ingress, f.egress, f.hosts,
+                         BandwidthTier::kFull, alvc::nfv::PriorityClass::kLopri)
+                  .has_value());
+  ASSERT_TRUE(f.cache
+                  .route(f.router, f.cluster(), f.ingress, f.egress, f.hosts,
+                         BandwidthTier::kFull, alvc::nfv::PriorityClass::kHipri)
+                  .has_value());
+  EXPECT_EQ(f.cache.stats().misses, misses_both);
+  EXPECT_GE(f.cache.stats().hits, 2u);
+}
+
 TEST(RouteCacheTest, StopOutsideTheSliceBypassesTheCache) {
   CacheFixture f;
   // A third rack outside the cluster's AL: its ToR is a stop the slice
