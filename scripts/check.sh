@@ -10,26 +10,37 @@
 # job runs `scripts/check.sh --ci <leg>`, so the workflow and the local
 # gate cannot drift apart.
 #
-# The static stage runs BEFORE any test and has three parts:
+# The static stage runs BEFORE any test and has four parts:
 #   1. alvc_lint        — project rules (determinism, id arithmetic, naked
 #                         discards, layering); always runs, failure is fatal.
-#   2. -Wthread-safety  — clang thread-safety analysis of the ALVC_GUARDED_BY
+#   2. alvc_analyze     — whole-program passes (lock-order cycles, blocking
+#                         calls under locks, unordered-container iteration
+#                         escaping in hash order, call-level layering);
+#                         always runs against tools/alvc_analyze/baseline.txt
+#                         and writes a run-stats JSON next to the bench
+#                         artifacts. Failure is fatal.
+#   3. -Wthread-safety  — clang thread-safety analysis of the ALVC_GUARDED_BY
 #                         annotations, built with -DALVC_STATIC_ANALYSIS=ON.
 #                         clang++ is REQUIRED: a silent skip here once meant
 #                         the annotations went unchecked until CI. On a
 #                         clang-less host, opt out explicitly with
 #                         ALVC_SKIP_CLANG_STATIC=1 (the annotations still
 #                         compile away under the host compiler).
-#   3. clang-tidy       — .clang-tidy checks over src/; best-effort, runs
+#   4. clang-tidy       — .clang-tidy checks over src/; best-effort, runs
 #                         when a clang-tidy binary is on PATH, never fatal
 #                         on absence.
+#
+# The TSan and ASan legs additionally build with -DALVC_LOCK_ORDER_CHECK=ON,
+# so every mutex acquisition in those soaks asserts the static lock-order
+# ranks (src/util/lock_rank.h) at runtime.
 #
 # Usage:
 #   scripts/check.sh                    # static gate + full ctest + sanitizer legs
 #   scripts/check.sh --static-only      # static gate only (fast pre-commit loop)
-#   scripts/check.sh --ci <leg>         # exactly one CI leg: static, tier1,
-#                                       #   tsan, asan, ubsan, telemetry,
-#                                       #   overload-soak, bench-smoke
+#   scripts/check.sh --ci <leg>         # exactly one CI leg: static, analyze,
+#                                       #   tier1, tsan, asan, ubsan,
+#                                       #   telemetry, overload-soak,
+#                                       #   bench-smoke
 #   scripts/check.sh --bench-json <out> # run the two tracked benchmarks
 #                                       #   (bench_route_cache,
 #                                       #   bench_fig4_al_construction) and
@@ -53,6 +64,18 @@ leg_lint() {
   cmake -B build -S . >/dev/null
   cmake --build build -j "$jobs" --target alvc_lint
   ./build/tools/alvc_lint --exclude tests/tools/fixtures src tests tools
+}
+
+leg_analyze() {
+  echo "== static: alvc_analyze (whole-program lock order & determinism) =="
+  cmake -B build -S . >/dev/null
+  cmake --build build -j "$jobs" --target alvc_analyze
+  mkdir -p build/analyze
+  ./build/tools/alvc_analyze \
+    --exclude tests/tools/fixtures --exclude tests/tools/analyze_fixtures \
+    --baseline tools/alvc_analyze/baseline.txt \
+    --stats-json build/analyze/alvc-analyze-stats.json \
+    src tests tools
 }
 
 leg_clang_static() {
@@ -95,7 +118,7 @@ leg_tier1() {
 
 leg_tsan() {
   echo "== configure + build (ThreadSanitizer) =="
-  cmake -B build-tsan -S . -DALVC_SANITIZE=thread >/dev/null
+  cmake -B build-tsan -S . -DALVC_SANITIZE=thread -DALVC_LOCK_ORDER_CHECK=ON >/dev/null
   cmake --build build-tsan -j "$jobs" --target \
     util_executor_test cluster_parallel_build_differential_test \
     cluster_degraded_cluster_test telemetry_metric_registry_test
@@ -106,7 +129,7 @@ leg_tsan() {
 
 leg_asan() {
   echo "== configure + build (AddressSanitizer) =="
-  cmake -B build-asan -S . -DALVC_SANITIZE=address >/dev/null
+  cmake -B build-asan -S . -DALVC_SANITIZE=address -DALVC_LOCK_ORDER_CHECK=ON >/dev/null
   cmake --build build-asan -j "$jobs" --target \
     topology_failure_api_test cluster_failure_test cluster_degraded_cluster_test \
     orchestrator_failure_test faults_fault_injector_test faults_state_auditor_test \
@@ -293,7 +316,8 @@ fi
 
 if [[ -n "$ci_leg" ]]; then
   case "$ci_leg" in
-    static) leg_lint; leg_clang_static; leg_clang_tidy ;;
+    static) leg_lint; leg_analyze; leg_clang_static; leg_clang_tidy ;;
+    analyze) leg_analyze ;;
     tier1) leg_tier1 ;;
     tsan) leg_tsan ;;
     asan) leg_asan ;;
@@ -301,7 +325,7 @@ if [[ -n "$ci_leg" ]]; then
     telemetry) leg_telemetry ;;
     overload-soak) leg_overload_soak ;;
     bench-smoke) leg_bench_smoke ;;
-    *) echo "unknown CI leg: $ci_leg (expected static, tier1, tsan, asan, ubsan, telemetry, overload-soak, bench-smoke)" >&2
+    *) echo "unknown CI leg: $ci_leg (expected static, analyze, tier1, tsan, asan, ubsan, telemetry, overload-soak, bench-smoke)" >&2
        exit 2 ;;
   esac
   echo "== CI leg '$ci_leg' passed =="
@@ -309,6 +333,7 @@ if [[ -n "$ci_leg" ]]; then
 fi
 
 leg_lint
+leg_analyze
 leg_clang_static
 leg_clang_tidy
 

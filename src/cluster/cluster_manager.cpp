@@ -815,7 +815,10 @@ std::vector<std::string> ClusterManager::check_invariants() const {
     }
   }
   std::vector<char> vm_seen(topo_->vm_count(), 0);
-  for (const auto& [id, vc] : clusters_) {
+  // Audit in id order, not hash order: invariant reports are diffed across
+  // runs by the chaos soaks.
+  for (const ClusterId id : sorted_cluster_ids()) {
+    const VirtualCluster& vc = clusters_.at(id);
     for (alvc::util::OpsId ops : vc.layer.opss) {
       if (ownership_.owner(ops) != id) {
         violations.push_back("cluster " + std::to_string(id.value()) + " lists OPS " +

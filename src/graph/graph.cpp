@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "graph/scratch.h"
+#include "util/lock_rank.h"
 
 namespace alvc::graph {
 
@@ -46,6 +47,7 @@ Graph& Graph::operator=(const Graph& other) {
 Graph::Graph(Graph&& other) noexcept
     : kind_(other.kind_), vertex_count_(other.vertex_count_), edges_(std::move(other.edges_)) {
   // Move transfers a warm cache (no readers may race a move by contract).
+  ALVC_LOCK_RANK(alvc::util::lock_rank::kGraphCsr, "graph.csr");
   const std::lock_guard<std::mutex> lock(other.csr_mutex_);
   csr_offsets_ = std::move(other.csr_offsets_);
   csr_adjacency_ = std::move(other.csr_adjacency_);
@@ -64,6 +66,8 @@ Graph& Graph::operator=(Graph&& other) noexcept {
   vertex_count_ = other.vertex_count_;
   edges_ = std::move(other.edges_);
   {
+    // One rank scope for the pair: scoped_lock acquires both atomically.
+    ALVC_LOCK_RANK(alvc::util::lock_rank::kGraphCsr, "graph.csr");
     std::scoped_lock lock(csr_mutex_, other.csr_mutex_);
     csr_offsets_ = std::move(other.csr_offsets_);
     csr_adjacency_ = std::move(other.csr_adjacency_);
@@ -96,6 +100,7 @@ std::size_t Graph::add_edge(std::size_t from, std::size_t to, double weight) {
 }
 
 void Graph::build_csr() const {
+  ALVC_LOCK_RANK(alvc::util::lock_rank::kGraphCsr, "graph.csr");
   const std::lock_guard<std::mutex> lock(csr_mutex_);
   if (csr_built_epoch_.load(std::memory_order_relaxed) == epoch_) return;
   // Counting sort over the edge list. Walking edges in insertion order

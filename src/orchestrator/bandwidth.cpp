@@ -81,6 +81,10 @@ std::vector<BandwidthLedger::ReservedLink> BandwidthLedger::reserved_links() con
                                .v = static_cast<std::size_t>(k & 0xffffffffULL),
                                .gbps = gbps});
   }
+  // reserved_ iterates in hash order; exports must not.
+  std::sort(out.begin(), out.end(), [](const ReservedLink& a, const ReservedLink& b) {
+    return a.u != b.u ? a.u < b.u : a.v < b.v;
+  });
   return out;
 }
 

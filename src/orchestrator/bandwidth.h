@@ -51,7 +51,8 @@ class BandwidthLedger {
     std::size_t v = 0;
     double gbps = 0;
   };
-  /// Every link with a non-zero reservation, unordered.
+  /// Every link with a non-zero reservation, sorted by (u, v) so exports
+  /// and telemetry are deterministic.
   [[nodiscard]] std::vector<ReservedLink> reserved_links() const;
 
  private:

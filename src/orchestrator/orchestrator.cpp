@@ -1124,7 +1124,8 @@ std::vector<const ProvisionedChain*> NetworkOrchestrator::chains() const {
 std::vector<std::string> NetworkOrchestrator::check_isolation() const {
   std::vector<std::string> violations;
   const auto& topo = clusters_->topology();
-  for (const auto& [id, chain] : chains_) {
+  for (const NfcId id : sorted_chain_ids()) {
+    const ProvisionedChain& chain = chains_.at(id);
     const VirtualCluster* vc = clusters_->find(chain.cluster);
     if (vc == nullptr) {
       violations.push_back("chain " + std::to_string(id.value()) + " references a dead cluster");

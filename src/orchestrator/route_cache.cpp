@@ -1,6 +1,7 @@
 #include "orchestrator/route_cache.h"
 
 #include <algorithm>
+#include <tuple>
 #include <utility>
 
 #include "graph/graph.h"
@@ -242,10 +243,21 @@ std::size_t RouteCache::variant_count() const noexcept {
 std::vector<std::string> RouteCache::check_coherence(
     std::span<const VirtualCluster* const> clusters) const {
   std::vector<std::string> violations;
+  // Audit in key order, not hash order: coherence reports are compared
+  // across runs by the differential suites.
+  std::vector<std::pair<const LegKey*, const Entry*>> legs;
+  legs.reserve(legs_.size());
+  for (const auto& [key, entry] : legs_) legs.emplace_back(&key, &entry);
+  std::sort(legs.begin(), legs.end(), [](const auto& a, const auto& b) {
+    return std::tie(a.first->cluster, a.first->tier, a.first->cls, a.first->from, a.first->to) <
+           std::tie(b.first->cluster, b.first->tier, b.first->cls, b.first->from, b.first->to);
+  });
   for (const VirtualCluster* vc : clusters) {
     if (vc == nullptr) continue;
     const std::uint64_t fp = slice_fingerprint(*vc);
-    for (const auto& [key, entry] : legs_) {
+    for (const auto& [key_ptr, entry_ptr] : legs) {
+      const LegKey& key = *key_ptr;
+      const Entry& entry = *entry_ptr;
       if (key.cluster != vc->id.value()) continue;
       for (const Variant& v : entry.variants) {
         if (v.slice_fp != fp) continue;  // not servable right now; exempt

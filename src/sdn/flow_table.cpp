@@ -1,5 +1,7 @@
 #include "sdn/flow_table.h"
 
+#include <algorithm>
+
 #include "telemetry/telemetry.h"
 
 namespace alvc::sdn {
@@ -32,6 +34,9 @@ std::vector<FlowRule> FlowTable::rules() const {
   std::vector<FlowRule> out;
   out.reserve(rules_.size());
   for (const auto& [nfc, next_hop] : rules_) out.push_back(FlowRule{nfc, next_hop});
+  // rules_ iterates in hash order; the exported table must not.
+  std::sort(out.begin(), out.end(),
+            [](const FlowRule& a, const FlowRule& b) { return a.nfc < b.nfc; });
   return out;
 }
 

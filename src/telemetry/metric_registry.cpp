@@ -1,6 +1,7 @@
 #include "telemetry/metric_registry.h"
 
 #include <algorithm>
+#include "util/lock_rank.h"
 
 namespace alvc::telemetry {
 
@@ -101,6 +102,7 @@ void Histogram::reset() noexcept {
 }
 
 Counter& MetricRegistry::counter(const std::string& name) {
+  ALVC_LOCK_RANK(alvc::util::lock_rank::kTelemetryMetricRegistry, "telemetry.metric_registry");
   const std::lock_guard<std::mutex> lock(mu_);
   auto& slot = counters_[name];
   if (slot == nullptr) slot = std::make_unique<Counter>();
@@ -108,6 +110,7 @@ Counter& MetricRegistry::counter(const std::string& name) {
 }
 
 Gauge& MetricRegistry::gauge(const std::string& name) {
+  ALVC_LOCK_RANK(alvc::util::lock_rank::kTelemetryMetricRegistry, "telemetry.metric_registry");
   const std::lock_guard<std::mutex> lock(mu_);
   auto& slot = gauges_[name];
   if (slot == nullptr) slot = std::make_unique<Gauge>();
@@ -116,6 +119,7 @@ Gauge& MetricRegistry::gauge(const std::string& name) {
 
 Histogram& MetricRegistry::histogram(const std::string& name, double lo, double hi,
                                      std::size_t buckets) {
+  ALVC_LOCK_RANK(alvc::util::lock_rank::kTelemetryMetricRegistry, "telemetry.metric_registry");
   const std::lock_guard<std::mutex> lock(mu_);
   auto& slot = histograms_[name];
   if (slot == nullptr) slot = std::make_unique<Histogram>(lo, hi, buckets);
@@ -123,6 +127,7 @@ Histogram& MetricRegistry::histogram(const std::string& name, double lo, double 
 }
 
 MetricRegistry::Snapshot MetricRegistry::snapshot() const {
+  ALVC_LOCK_RANK(alvc::util::lock_rank::kTelemetryMetricRegistry, "telemetry.metric_registry");
   const std::lock_guard<std::mutex> lock(mu_);
   Snapshot out;
   out.counters.reserve(counters_.size());
@@ -141,6 +146,7 @@ MetricRegistry::Snapshot MetricRegistry::snapshot() const {
 }
 
 void MetricRegistry::reset() {
+  ALVC_LOCK_RANK(alvc::util::lock_rank::kTelemetryMetricRegistry, "telemetry.metric_registry");
   const std::lock_guard<std::mutex> lock(mu_);
   for (const auto& [name, metric] : counters_) metric->reset();
   for (const auto& [name, metric] : gauges_) metric->reset();
@@ -148,6 +154,7 @@ void MetricRegistry::reset() {
 }
 
 std::size_t MetricRegistry::metric_count() const {
+  ALVC_LOCK_RANK(alvc::util::lock_rank::kTelemetryMetricRegistry, "telemetry.metric_registry");
   const std::lock_guard<std::mutex> lock(mu_);
   return counters_.size() + gauges_.size() + histograms_.size();
 }

@@ -2,6 +2,8 @@
 
 #include <utility>
 
+#include "util/lock_rank.h"
+
 namespace alvc::telemetry {
 
 namespace {
@@ -49,27 +51,32 @@ double Tracer::now_us() const noexcept {
 }
 
 void Tracer::clear() {
+  ALVC_LOCK_RANK(alvc::util::lock_rank::kTelemetryTracer, "telemetry.tracer");
   const std::lock_guard<std::mutex> lock(mu_);
   next_id_ = 1;
   spans_.clear();
 }
 
 std::vector<SpanRecord> Tracer::spans() const {
+  ALVC_LOCK_RANK(alvc::util::lock_rank::kTelemetryTracer, "telemetry.tracer");
   const std::lock_guard<std::mutex> lock(mu_);
   return spans_;
 }
 
 std::size_t Tracer::span_count() const {
+  ALVC_LOCK_RANK(alvc::util::lock_rank::kTelemetryTracer, "telemetry.tracer");
   const std::lock_guard<std::mutex> lock(mu_);
   return spans_.size();
 }
 
 std::uint64_t Tracer::open_span() {
+  ALVC_LOCK_RANK(alvc::util::lock_rank::kTelemetryTracer, "telemetry.tracer");
   const std::lock_guard<std::mutex> lock(mu_);
   return next_id_++;
 }
 
 void Tracer::record(SpanRecord record) {
+  ALVC_LOCK_RANK(alvc::util::lock_rank::kTelemetryTracer, "telemetry.tracer");
   const std::lock_guard<std::mutex> lock(mu_);
   spans_.push_back(std::move(record));
 }

@@ -4,6 +4,7 @@
 #include <mutex>
 #include <stdexcept>
 #include <utility>
+#include "util/lock_rank.h"
 
 namespace alvc::topology {
 
@@ -206,6 +207,7 @@ std::vector<OpsId> DataCenterTopology::usable_uplinks(TorId tor) const {
 }
 
 void DataCenterTopology::warm_switch_graph() const {
+  ALVC_LOCK_RANK(alvc::util::lock_rank::kTopologySwitchGraphCache, "topology.switch_graph_cache");
   const std::lock_guard<std::mutex> lock(switch_graph_mutex_);
   if (switch_graph_valid_.load(std::memory_order_relaxed)) return;
   alvc::graph::Graph g(tors_.size() + opss_.size());

@@ -2,6 +2,8 @@
 
 #include <utility>
 
+#include "util/lock_rank.h"
+
 namespace alvc::util {
 
 // ---- TaskGroup ----
@@ -12,12 +14,14 @@ namespace alvc::util {
 // its own (unattachable) lock annotation.
 
 TaskGroup::~TaskGroup() {
+  ALVC_LOCK_RANK(alvc::util::lock_rank::kExecutorTaskGroup, "util.executor.task_group");
   std::unique_lock<std::mutex> lock(mu_);
   while (pending_ != 0) done_cv_.wait(lock);
 }
 
 void TaskGroup::submit(std::function<void()> fn) {
   {
+    ALVC_LOCK_RANK(alvc::util::lock_rank::kExecutorTaskGroup, "util.executor.task_group");
     const std::lock_guard<std::mutex> lock(mu_);
     ++pending_;
   }
@@ -25,6 +29,7 @@ void TaskGroup::submit(std::function<void()> fn) {
 }
 
 void TaskGroup::wait_all() {
+  ALVC_LOCK_RANK(alvc::util::lock_rank::kExecutorTaskGroup, "util.executor.task_group");
   std::unique_lock<std::mutex> lock(mu_);
   while (pending_ != 0) done_cv_.wait(lock);
   if (first_error_) {
@@ -35,11 +40,13 @@ void TaskGroup::wait_all() {
 }
 
 std::size_t TaskGroup::pending() const {
+  ALVC_LOCK_RANK(alvc::util::lock_rank::kExecutorTaskGroup, "util.executor.task_group");
   const std::lock_guard<std::mutex> lock(mu_);
   return pending_;
 }
 
 void TaskGroup::finish_one(std::exception_ptr error) {
+  ALVC_LOCK_RANK(alvc::util::lock_rank::kExecutorTaskGroup, "util.executor.task_group");
   const std::lock_guard<std::mutex> lock(mu_);
   if (error && !first_error_) first_error_ = std::move(error);
   --pending_;
@@ -61,6 +68,7 @@ Executor::Executor(std::size_t threads) {
 
 Executor::~Executor() {
   {
+    ALVC_LOCK_RANK(alvc::util::lock_rank::kExecutorQueue, "util.executor.queue");
     const std::lock_guard<std::mutex> lock(mu_);
     shutdown_ = true;
   }
@@ -72,6 +80,7 @@ Executor::~Executor() {
   // discipline uniform for the static analysis.
   std::deque<Item> orphans;
   {
+    ALVC_LOCK_RANK(alvc::util::lock_rank::kExecutorQueue, "util.executor.queue");
     const std::lock_guard<std::mutex> lock(mu_);
     orphans.swap(queue_);
   }
@@ -84,6 +93,7 @@ std::unique_ptr<TaskGroup> Executor::new_task_group() {
 
 void Executor::enqueue(TaskGroup* group, std::function<void()> fn) {
   {
+    ALVC_LOCK_RANK(alvc::util::lock_rank::kExecutorQueue, "util.executor.queue");
     const std::lock_guard<std::mutex> lock(mu_);
     queue_.push_back(Item{group, std::move(fn)});
   }
@@ -94,6 +104,7 @@ void Executor::worker_loop() {
   for (;;) {
     Item item;
     {
+      ALVC_LOCK_RANK(alvc::util::lock_rank::kExecutorQueue, "util.executor.queue");
       std::unique_lock<std::mutex> lock(mu_);
       while (!shutdown_ && queue_.empty()) work_cv_.wait(lock);
       if (queue_.empty()) return;  // shutdown with a drained queue

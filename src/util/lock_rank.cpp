@@ -1,0 +1,53 @@
+#include "util/lock_rank.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace alvc::util {
+
+namespace {
+
+struct Held {
+  int rank;
+  const char* name;
+};
+
+// Fixed-size stack: the deepest legal nesting is the full rank table, and
+// a plain array keeps acquire() allocation-free (it runs under mutexes on
+// the hot path when the check is on).
+constexpr std::size_t kMaxHeld = 16;
+thread_local Held t_held[kMaxHeld];  // NOLINT(modernize-avoid-c-arrays)
+thread_local std::size_t t_depth = 0;
+
+}  // namespace
+
+void LockRank::acquire(int rank, const char* name) {
+  if (t_depth > 0) {
+    const Held& top = t_held[t_depth - 1];
+    if (rank <= top.rank) {
+      std::fprintf(stderr,
+                   "alvc lock-order violation: acquiring \"%s\" (rank %d) while holding \"%s\" "
+                   "(rank %d); ranks must strictly increase (see util/lock_rank.h)\n",
+                   name, rank, top.name, top.rank);
+      std::abort();
+    }
+  }
+  if (t_depth == kMaxHeld) {
+    std::fprintf(stderr, "alvc lock-order: held-lock stack overflow acquiring \"%s\"\n", name);
+    std::abort();
+  }
+  t_held[t_depth] = Held{rank, name};
+  ++t_depth;
+}
+
+void LockRank::release(int rank) {
+  if (t_depth == 0 || t_held[t_depth - 1].rank != rank) {
+    std::fprintf(stderr, "alvc lock-order: non-LIFO release of rank %d\n", rank);
+    std::abort();
+  }
+  --t_depth;
+}
+
+std::size_t LockRank::held_depth() noexcept { return t_depth; }
+
+}  // namespace alvc::util

@@ -2,6 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <set>
+#include <string>
+#include <vector>
+
 #include "cluster/service.h"
 #include "topology/builder.h"
 #include "util/error.h"
@@ -57,6 +61,40 @@ TEST(ClusterManagerTest, CreateAllServiceClusters) {
   // Exclusivity: no OPS shared between clusters is implied by ownership;
   // verify via invariants.
   EXPECT_TRUE(manager.check_invariants().empty());
+}
+
+TEST(ClusterManagerTest, InvariantReportIsInClusterIdOrder) {
+  // Regression: clusters_ is an unordered_map, so the audit walks
+  // sorted_cluster_ids() — alvc_analyze's unordered-escape pass flagged the
+  // raw iteration (chaos soaks diff invariant reports across runs).
+  auto topo = build_topology(default_params());
+  ClusterManager manager(topo);
+  const VertexCoverAlBuilder builder;
+  const auto ids = manager.create_clusters_by_service(builder);
+  ASSERT_TRUE(ids.has_value()) << ids.error().to_string();
+  ASSERT_EQ(ids->size(), 3u);
+  // Fail one AL OPS per cluster out-of-band (no repair runs), so every
+  // cluster contributes at least one violation.
+  for (const auto id : *ids) {
+    const auto* vc = manager.find(id);
+    ASSERT_NE(vc, nullptr);
+    ASSERT_FALSE(vc->layer.opss.empty());
+    ASSERT_TRUE(topo.set_ops_failed(vc->layer.opss.front(), true).is_ok());
+  }
+  const auto violations = manager.check_invariants();
+  ASSERT_GE(violations.size(), 3u);
+  std::vector<unsigned long> seen;
+  for (const auto& v : violations) {
+    const auto pos = v.find("cluster ");
+    if (pos == std::string::npos) continue;
+    seen.push_back(std::stoul(v.substr(pos + 8)));
+  }
+  ASSERT_GE(seen.size(), 3u);
+  for (std::size_t i = 1; i < seen.size(); ++i) {
+    EXPECT_LE(seen[i - 1], seen[i]) << violations[i - 1] << " before " << violations[i];
+  }
+  EXPECT_EQ(std::set<unsigned long>(seen.begin(), seen.end()).size(), 3u)
+      << "every cluster should report its failed OPS";
 }
 
 TEST(ClusterManagerTest, VmCannotJoinTwoClusters) {

@@ -49,6 +49,26 @@ TEST(BandwidthLedgerTest, ReserveAndRelease) {
   EXPECT_EQ(ledger.reserved_link_count(), 0u);
 }
 
+TEST(BandwidthLedgerTest, ReservedLinksExportInLinkOrder) {
+  // Regression: reserved_ is an unordered_map, so the export must sort —
+  // alvc_analyze's unordered-escape pass flagged the raw iteration.
+  LedgerFixture f;
+  BandwidthLedger ledger(f.topo);
+  const std::vector<std::size_t> scrambled{1, 3, 2, 0};
+  const std::vector<std::size_t> extra{0, 2};
+  ASSERT_TRUE(ledger.reserve_walk(scrambled, 2.0).is_ok());
+  ASSERT_TRUE(ledger.reserve_walk(extra, 1.0).is_ok());
+  const auto links = ledger.reserved_links();
+  ASSERT_EQ(links.size(), 3u);
+  EXPECT_EQ(links[0].u, 0u);
+  EXPECT_EQ(links[0].v, 2u);
+  EXPECT_DOUBLE_EQ(links[0].gbps, 3.0);  // walk link + the extra reserve
+  EXPECT_EQ(links[1].u, 1u);
+  EXPECT_EQ(links[1].v, 3u);
+  EXPECT_EQ(links[2].u, 2u);
+  EXPECT_EQ(links[2].v, 3u);
+}
+
 TEST(BandwidthLedgerTest, AtomicRejection) {
   LedgerFixture f;
   BandwidthLedger ledger(f.topo);

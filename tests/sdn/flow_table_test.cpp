@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdint>
+
 namespace alvc::sdn {
 namespace {
 
@@ -23,6 +25,23 @@ TEST(FlowTableTest, InstallOverwrites) {
   EXPECT_FALSE(table.install(NfcId{1}, 9));  // overwrite, not new
   EXPECT_EQ(*table.lookup(NfcId{1}), 9u);
   EXPECT_EQ(table.size(), 1u);
+}
+
+TEST(FlowTableTest, RulesExportInNfcOrder) {
+  // Regression: rules_ is an unordered_map, so the export must sort —
+  // alvc_analyze's unordered-escape pass flagged the raw iteration (the
+  // state auditor diffs exported tables across runs).
+  FlowTable table;
+  for (const std::uint64_t id : {7u, 2u, 9u, 1u, 5u, 3u}) {
+    EXPECT_TRUE(table.install(NfcId{id}, id + 100));
+  }
+  const auto rules = table.rules();
+  ASSERT_EQ(rules.size(), 6u);
+  for (std::size_t i = 1; i < rules.size(); ++i) {
+    EXPECT_LT(rules[i - 1].nfc, rules[i].nfc);
+  }
+  EXPECT_EQ(rules.front().nfc, NfcId{1});
+  EXPECT_EQ(rules.back().nfc, NfcId{9});
 }
 
 TEST(FlowTableSetTest, TotalRules) {

@@ -1,0 +1,153 @@
+// Drives the alvc_analyze passes over the seeded fixtures: each pass must
+// flag its true positives at the expected lines, honor allow() waivers, and
+// stay silent on the clean fixture. Fixtures are fed under synthetic src/
+// paths because the layering pass keys off the directory layout.
+#include <cstddef>
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "analyze.h"
+#include "gtest/gtest.h"
+
+namespace {
+
+using alvc::analyze::Analyzer;
+using alvc::analyze::Finding;
+
+std::string read_fixture(const std::string& name) {
+  const std::string path = std::string(ALVC_ANALYZE_FIXTURE_DIR) + "/" + name;
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.is_open()) << "missing fixture " << path;
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+std::multiset<std::pair<std::string, std::size_t>> passes_and_lines(
+    const std::vector<Finding>& findings) {
+  std::multiset<std::pair<std::string, std::size_t>> out;
+  for (const auto& f : findings) out.insert({f.pass, f.line});
+  return out;
+}
+
+TEST(AlvcAnalyzeTest, DetectsSingleTuLockCycle) {
+  Analyzer analyzer;
+  analyzer.add_source("src/util/lock_cycle.cc", read_fixture("lock_cycle.cc"));
+  const auto result = analyzer.run();
+  ASSERT_EQ(result.findings.size(), 1u);
+  EXPECT_EQ(result.findings[0].pass, "lock-cycle");
+  EXPECT_NE(result.findings[0].message.find("Accounts::audit_mu"), std::string::npos)
+      << result.findings[0].message;
+  EXPECT_NE(result.findings[0].message.find("Accounts::ledger_mu"), std::string::npos);
+  EXPECT_EQ(result.stats.cycles, 1u);
+  // Both orders made it into the exported graph.
+  EXPECT_EQ(result.edges.size(), 2u);
+}
+
+TEST(AlvcAnalyzeTest, CrossTuCycleNeedsTheWholeProgramLink) {
+  {
+    Analyzer half;
+    half.add_source("src/util/pool.cc", read_fixture("lock_cycle_xtu_a.cc"));
+    const auto result = half.run();
+    EXPECT_TRUE(result.findings.empty())
+        << alvc::analyze::to_string(result.findings.front());
+  }
+  Analyzer analyzer;
+  analyzer.add_source("src/util/pool.cc", read_fixture("lock_cycle_xtu_a.cc"));
+  analyzer.add_source("src/util/registry.cc", read_fixture("lock_cycle_xtu_b.cc"));
+  const auto result = analyzer.run();
+  ASSERT_EQ(result.findings.size(), 1u);
+  EXPECT_EQ(result.findings[0].pass, "lock-cycle");
+  EXPECT_NE(result.findings[0].message.find("Pool::pool_mu"), std::string::npos)
+      << result.findings[0].message;
+  EXPECT_NE(result.findings[0].message.find("Registry::registry_mu"), std::string::npos);
+}
+
+TEST(AlvcAnalyzeTest, FlagsBlockingCallsWhileLocked) {
+  Analyzer analyzer;
+  analyzer.add_source("src/util/worker.cc", read_fixture("blocked_while_held.cc"));
+  const auto result = analyzer.run();
+  // Line 15: sleep under lock. Line 43: cv.wait with a second mutex pinned.
+  // The single-lock cv.wait (line 20) and unlock-then-sleep (line 26) are
+  // legal; line 31 is waived by its allow() comment.
+  EXPECT_EQ(passes_and_lines(result.findings),
+            (std::multiset<std::pair<std::string, std::size_t>>{
+                {"lock-held-blocking", 15}, {"lock-held-blocking", 43}}));
+  EXPECT_EQ(passes_and_lines(result.suppressed),
+            (std::multiset<std::pair<std::string, std::size_t>>{
+                {"lock-held-blocking", 31}}));
+}
+
+TEST(AlvcAnalyzeTest, FlagsUnorderedIterationEscapes) {
+  Analyzer analyzer;
+  analyzer.add_source("src/util/exporter.cc", read_fixture("unordered_escape.cc"));
+  const auto result = analyzer.run();
+  // Line 15: member map escapes in hash order. Line 47: local map ditto.
+  // dump_sorted (sort after the loop) and total (commutative sink) are
+  // legal; line 36 is waived by its allow() comment.
+  EXPECT_EQ(passes_and_lines(result.findings),
+            (std::multiset<std::pair<std::string, std::size_t>>{
+                {"unordered-escape", 15}, {"unordered-escape", 47}}));
+  EXPECT_EQ(passes_and_lines(result.suppressed),
+            (std::multiset<std::pair<std::string, std::size_t>>{
+                {"unordered-escape", 36}}));
+}
+
+TEST(AlvcAnalyzeTest, FlagsUpwardLayerCalls) {
+  Analyzer analyzer;
+  analyzer.add_source("src/cluster/layering_call.cc", read_fixture("layering_call.cc"));
+  analyzer.add_source("src/orchestrator/layering_callee.cc",
+                      read_fixture("layering_callee.cc"));
+  const auto result = analyzer.run();
+  // Line 18: qualified upward call. Line 26: unqualified call resolving
+  // uniquely into the orchestrator layer. The downward call (line 22) is
+  // legal; line 30 is waived.
+  EXPECT_EQ(passes_and_lines(result.findings),
+            (std::multiset<std::pair<std::string, std::size_t>>{
+                {"layering-call", 18}, {"layering-call", 26}}));
+  EXPECT_EQ(passes_and_lines(result.suppressed),
+            (std::multiset<std::pair<std::string, std::size_t>>{
+                {"layering-call", 30}}));
+}
+
+TEST(AlvcAnalyzeTest, CleanFixtureHasNoFindings) {
+  Analyzer analyzer;
+  analyzer.add_source("src/util/ledger.cc", read_fixture("clean.cc"));
+  const auto result = analyzer.run();
+  EXPECT_TRUE(result.findings.empty())
+      << alvc::analyze::to_string(result.findings.front());
+  EXPECT_TRUE(result.suppressed.empty());
+  // Consistent nesting still shows up as one (acyclic) edge.
+  ASSERT_EQ(result.edges.size(), 1u);
+  EXPECT_EQ(result.edges[0].from, "Ledger::first_mu");
+  EXPECT_EQ(result.edges[0].to, "Ledger::second_mu");
+  EXPECT_EQ(result.stats.cycles, 0u);
+}
+
+TEST(AlvcAnalyzeTest, StatsCountTheModel) {
+  Analyzer analyzer;
+  analyzer.add_source("src/util/lock_cycle.cc", read_fixture("lock_cycle.cc"));
+  analyzer.add_source("src/util/ledger.cc", read_fixture("clean.cc"));
+  const auto result = analyzer.run();
+  EXPECT_EQ(result.stats.tus, 2u);
+  EXPECT_EQ(result.stats.mutexes, 4u);
+  EXPECT_GE(result.stats.functions, 7u);
+  EXPECT_GE(result.stats.lock_sites, 9u);
+  EXPECT_GT(result.stats.lines, 0u);
+}
+
+TEST(AlvcAnalyzeTest, FindingFormatIsPathLinePass) {
+  Finding finding;
+  finding.file = "src/util/worker.cc";
+  finding.line = 15;
+  finding.pass = "lock-held-blocking";
+  finding.message = "blocking call";
+  EXPECT_EQ(alvc::analyze::to_string(finding),
+            "src/util/worker.cc:15: [lock-held-blocking] blocking call");
+}
+
+}  // namespace

@@ -1,0 +1,151 @@
+// End-to-end coverage of the alvc_lint driver (main.cpp): argument
+// handling, exit codes, directory walking, --exclude, and --suppressions
+// file parsing. The rule engine itself is covered in-process by
+// alvc_lint_test.cpp; these tests run the real binary (path injected by
+// CMake as ALVC_LINT_BIN) the way check.sh and ctest do.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+namespace {
+
+namespace fs = std::filesystem;
+
+struct RunResult {
+  int exit_code = -1;
+  std::string output;  // stdout + stderr, interleaved
+};
+
+/// Runs the lint binary with `args`, capturing output and the exit code.
+RunResult run_lint(const std::string& args, const fs::path& capture) {
+  const std::string cmd =
+      std::string(ALVC_LINT_BIN) + " " + args + " > " + capture.string() + " 2>&1";
+  const int raw = std::system(cmd.c_str());
+  RunResult result;
+  result.exit_code = WIFEXITED(raw) ? WEXITSTATUS(raw) : -1;
+  std::ifstream in(capture);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  result.output = buffer.str();
+  return result;
+}
+
+struct CliFixture : ::testing::Test {
+  fs::path dir;
+
+  void SetUp() override {
+    dir = fs::temp_directory_path() /
+          ("alvc_lint_cli_" +
+           std::to_string(::testing::UnitTest::GetInstance()->random_seed()) + "_" +
+           std::to_string(reinterpret_cast<std::uintptr_t>(this)));
+    fs::create_directories(dir / "src" / "sdn");
+  }
+  void TearDown() override {
+    std::error_code ec;
+    fs::remove_all(dir, ec);
+  }
+
+  void write(const fs::path& rel, const std::string& content) const {
+    std::ofstream out(dir / rel);
+    out << content;
+  }
+
+  RunResult run(const std::string& args) { return run_lint(args, dir / "out.txt"); }
+};
+
+TEST_F(CliFixture, HelpExitsZeroAndPrintsUsage) {
+  const auto result = run("--help");
+  EXPECT_EQ(result.exit_code, 0);
+  EXPECT_NE(result.output.find("usage:"), std::string::npos);
+  EXPECT_NE(result.output.find("--suppressions"), std::string::npos);
+}
+
+TEST_F(CliFixture, NoInputsIsAUsageError) {
+  const auto result = run("");
+  EXPECT_EQ(result.exit_code, 2);
+  EXPECT_NE(result.output.find("no inputs"), std::string::npos);
+}
+
+TEST_F(CliFixture, MissingPathIsAUsageError) {
+  const auto result = run((dir / "does_not_exist").string());
+  EXPECT_EQ(result.exit_code, 2);
+  EXPECT_NE(result.output.find("no such file or directory"), std::string::npos);
+}
+
+TEST_F(CliFixture, MissingFlagArgumentsAreUsageErrors) {
+  EXPECT_EQ(run("--exclude").exit_code, 2);
+  EXPECT_EQ(run("--suppressions").exit_code, 2);
+}
+
+TEST_F(CliFixture, CleanTreeExitsZero) {
+  write("src/sdn/fine.cc", "int answer() { return 42; }\n");
+  const auto result = run(dir.string());
+  EXPECT_EQ(result.exit_code, 0);
+  EXPECT_NE(result.output.find("1 files, 0 findings"), std::string::npos);
+}
+
+TEST_F(CliFixture, FindingExitsOneAndNamesTheRule) {
+  write("src/sdn/bad.cc", "void f() { (void)g(); }\n");
+  const auto result = run(dir.string());
+  EXPECT_EQ(result.exit_code, 1);
+  EXPECT_NE(result.output.find("[naked-void]"), std::string::npos);
+  EXPECT_NE(result.output.find("bad.cc:1"), std::string::npos);
+}
+
+TEST_F(CliFixture, ExcludeSkipsMatchingFiles) {
+  write("src/sdn/bad.cc", "void f() { (void)g(); }\n");
+  const auto result = run("--exclude bad.cc " + dir.string());
+  EXPECT_EQ(result.exit_code, 0);
+  EXPECT_NE(result.output.find("0 files, 0 findings"), std::string::npos);
+}
+
+TEST_F(CliFixture, SuppressionsFileWaivesMatchingFindings) {
+  write("src/sdn/bad.cc", "void f() { (void)g(); }\n");
+  write("waivers.txt",
+        "# known discard, tracked in the baseline\n"
+        "\n"
+        "src/sdn/bad.cc:naked-void\n");
+  const auto result = run("--suppressions " + (dir / "waivers.txt").string() + " " + dir.string());
+  EXPECT_EQ(result.exit_code, 0);
+  // Waived findings stay visible in the log, tagged as suppressed.
+  EXPECT_NE(result.output.find("(suppressed)"), std::string::npos);
+  EXPECT_NE(result.output.find("(1 suppressed)"), std::string::npos);
+}
+
+TEST_F(CliFixture, SuppressionRuleMustMatch) {
+  write("src/sdn/bad.cc", "void f() { (void)g(); }\n");
+  write("waivers.txt", "src/sdn/bad.cc:nondeterministic-rng\n");
+  const auto result = run("--suppressions " + (dir / "waivers.txt").string() + " " + dir.string());
+  EXPECT_EQ(result.exit_code, 1);  // wrong rule: the finding stands
+}
+
+TEST_F(CliFixture, SuppressionWildcardMatchesEveryRule) {
+  write("src/sdn/bad.cc", "void f() { (void)g(); }\n");
+  write("waivers.txt", "src/sdn:*\n");
+  const auto result = run("--suppressions " + (dir / "waivers.txt").string() + " " + dir.string());
+  EXPECT_EQ(result.exit_code, 0);
+}
+
+TEST_F(CliFixture, UnreadableSuppressionsFileIsFatal) {
+  write("src/sdn/fine.cc", "int x;\n");
+  const auto result =
+      run("--suppressions " + (dir / "missing.txt").string() + " " + dir.string());
+  EXPECT_EQ(result.exit_code, 2);
+  EXPECT_NE(result.output.find("cannot read suppressions file"), std::string::npos);
+}
+
+TEST_F(CliFixture, MalformedSuppressionLineIsFatal) {
+  write("src/sdn/fine.cc", "int x;\n");
+  write("waivers.txt", "no-colon-here\n");
+  const auto result =
+      run("--suppressions " + (dir / "waivers.txt").string() + " " + dir.string());
+  EXPECT_EQ(result.exit_code, 2);
+  EXPECT_NE(result.output.find("malformed suppression"), std::string::npos);
+}
+
+}  // namespace

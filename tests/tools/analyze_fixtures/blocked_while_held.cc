@@ -1,0 +1,45 @@
+// Fixture: blocking calls under a held lock. The single-lock cv.wait idiom
+// and unlock-before-sleep stay legal; sleeping or double-lock waiting with
+// a mutex pinned is flagged.
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+#include <thread>
+
+struct Worker {
+  std::mutex work_mu;
+  std::condition_variable cv;
+
+  void nap() {
+    std::lock_guard<std::mutex> g(work_mu);
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+
+  void idle() {
+    std::unique_lock<std::mutex> lk(work_mu);
+    cv.wait(lk);  // one lock held: the cv releases it — legal idiom
+  }
+
+  void unlock_then_nap() {
+    std::unique_lock<std::mutex> lk(work_mu);
+    lk.unlock();
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));  // lock released
+  }
+
+  void nap_waived() {
+    std::lock_guard<std::mutex> g(work_mu);
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));  // alvc-analyze: allow(lock-held-blocking) — drain throttle, held < 1us
+  }
+};
+
+struct TwoLockWaiter {
+  std::mutex first_mu;
+  std::mutex second_mu;
+  std::condition_variable cv2;
+
+  void bad_wait() {
+    std::unique_lock<std::mutex> a(first_mu);
+    std::unique_lock<std::mutex> b(second_mu);
+    cv2.wait(b);  // releases second_mu but keeps first_mu pinned
+  }
+};

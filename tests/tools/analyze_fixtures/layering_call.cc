@@ -1,0 +1,34 @@
+// Fixture: upward calls in the layer ladder. Fed to the analyzer under the
+// path src/cluster/layering_call.cc, so cluster (rank 4) is the caller
+// layer: calling down into graph is legal, calling up into the
+// orchestrator — by qualified name or via a uniquely resolved free
+// function — is not.
+namespace alvc::orchestrator {
+void replan();
+}
+
+namespace alvc::graph {
+void relabel();
+}
+
+namespace alvc::cluster {
+
+struct Manager {
+  void rebuild() {
+    alvc::orchestrator::replan();
+  }
+
+  void rebuild_down() {
+    alvc::graph::relabel();  // downward call: legal
+  }
+
+  void rebuild_unqualified() {
+    replan_everything();  // resolves uniquely into src/orchestrator: flagged
+  }
+
+  void rebuild_waived() {
+    alvc::orchestrator::replan();  // alvc-analyze: allow(layering-call) — bootstrap shim, removed with issue #12
+  }
+};
+
+}  // namespace alvc::cluster

@@ -1,0 +1,8 @@
+// Fixture (pair with layering_call.cc): fed to the analyzer under the path
+// src/orchestrator/layering_callee.cc so replan_everything() resolves as an
+// orchestrator-layer function.
+namespace alvc::orchestrator {
+
+void replan_everything() {}
+
+}  // namespace alvc::orchestrator

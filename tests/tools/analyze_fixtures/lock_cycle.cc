@@ -1,0 +1,18 @@
+// Fixture: a single-TU lock-order cycle. post() orders ledger -> audit,
+// reconcile() orders audit -> ledger; the two edges close a cycle.
+#include <mutex>
+
+struct Accounts {
+  std::mutex ledger_mu;
+  std::mutex audit_mu;
+
+  void post() {
+    std::lock_guard<std::mutex> a(ledger_mu);
+    std::lock_guard<std::mutex> b(audit_mu);
+  }
+
+  void reconcile() {
+    std::lock_guard<std::mutex> b(audit_mu);
+    std::lock_guard<std::mutex> a(ledger_mu);
+  }
+};

@@ -1,0 +1,23 @@
+// Fixture (pair with lock_cycle_xtu_b.cc): half of a cross-TU lock-order
+// cycle. Pool::drain holds pool_mu and calls touch_registry(), which the
+// other TU implements by taking Registry::registry_mu. Analyzed alone this
+// TU is clean — the cycle only exists after the whole-program link.
+#include <mutex>
+
+struct Pool {
+  std::mutex pool_mu;
+  void drain();
+};
+
+void touch_registry();  // defined in lock_cycle_xtu_b.cc
+
+void Pool::drain() {
+  std::lock_guard<std::mutex> g(pool_mu);
+  touch_registry();
+}
+
+Pool g_pool;
+
+void refill_pool() {
+  std::lock_guard<std::mutex> g(g_pool.pool_mu);
+}

@@ -1,0 +1,22 @@
+// Fixture (pair with lock_cycle_xtu_a.cc): the other half of the cross-TU
+// cycle. Registry::flush holds registry_mu and calls refill_pool(), which
+// the first TU implements by taking Pool::pool_mu.
+#include <mutex>
+
+struct Registry {
+  std::mutex registry_mu;
+  void flush();
+};
+
+void refill_pool();  // defined in lock_cycle_xtu_a.cc
+
+void Registry::flush() {
+  std::lock_guard<std::mutex> g(registry_mu);
+  refill_pool();
+}
+
+Registry g_registry;
+
+void touch_registry() {
+  g_registry.flush();
+}

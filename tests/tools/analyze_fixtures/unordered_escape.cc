@@ -1,0 +1,49 @@
+// Fixture: hash-order escapes. Iterating an unordered container is fine
+// until the visit order reaches an order-preserving sink with no sort at
+// the escape point.
+#include <algorithm>
+#include <cstddef>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+struct Exporter {
+  std::unordered_map<int, std::string> rows;
+
+  std::vector<std::string> dump() const {
+    std::vector<std::string> out;
+    for (const auto& [id, row] : rows) {
+      out.push_back(row);
+    }
+    return out;
+  }
+
+  std::vector<std::string> dump_sorted() const {
+    std::vector<std::string> out;
+    for (const auto& [id, row] : rows) out.push_back(row);
+    std::sort(out.begin(), out.end());  // sorted at the escape point: legal
+    return out;
+  }
+
+  std::size_t total() const {
+    std::size_t n = 0;
+    for (const auto& [id, row] : rows) n += row.size();  // commutative: legal
+    return n;
+  }
+
+  std::vector<std::string> dump_waived() const {
+    std::vector<std::string> out;
+    for (const auto& [id, row] : rows) {  // alvc-analyze: allow(unordered-escape) — consumer re-sorts
+      out.push_back(row);
+    }
+    return out;
+  }
+};
+
+std::vector<int> local_escape() {
+  std::unordered_map<int, int> seen;
+  seen[1] = 2;
+  std::vector<int> out;
+  for (const auto& [k, v] : seen) out.push_back(k);
+  return out;
+}

@@ -1,0 +1,42 @@
+// Fixture: seeded `raw-lock` violations. Every mutex acquisition in src/
+// must be an RAII guard — a naked lock() call or a recursive mutex hides
+// the acquisition from the alvc_analyze lock-order model and the runtime
+// LockRank scopes.
+#include <mutex>
+
+struct BadLocker {
+  std::recursive_mutex rec_mu;  // violation: recursive locking defeats ranking
+  std::mutex mu;
+
+  void touch() {
+    mu.lock();  // violation: naked acquisition, no RAII guard
+    mu.unlock();
+  }
+};
+
+struct GoodLocker {
+  std::mutex mu;
+  int value = 0;
+
+  int read() {
+    const std::lock_guard<std::mutex> lock(mu);  // RAII guard: legal
+    return value;
+  }
+
+  bool try_read(int* out) {
+    // try_lock is not a naked lock(): the caller handles failure inline.
+    if (!mu.try_lock()) return false;
+    *out = value;
+    mu.unlock();
+    return true;
+  }
+};
+
+struct SuppressedLocker {
+  std::mutex mu;
+
+  void adopt() {
+    mu.lock();  // alvc-lint: allow(raw-lock) — handing off to adopt_lock below
+    const std::lock_guard<std::mutex> lock(mu, std::adopt_lock);
+  }
+};

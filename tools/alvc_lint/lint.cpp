@@ -1,82 +1,13 @@
 #include "lint.h"
 
 #include <algorithm>
-#include <cctype>
 #include <regex>
+
+#include "scan.h"
 
 namespace alvc::lint {
 
 namespace {
-
-/// Lexer state that survives line breaks (block comments only; strings and
-/// char literals cannot span lines in this codebase).
-struct ScanState {
-  bool in_block_comment = false;
-};
-
-/// Replaces comments and string/char literal bodies with spaces so rule
-/// patterns only ever match code. Keeps column positions stable.
-std::string strip_noncode(const std::string& line, ScanState& state) {
-  std::string out(line.size(), ' ');
-  bool in_string = false;
-  bool in_char = false;
-  // Preprocessor directives keep their string bodies: an #include's quoted
-  // path is exactly what the layering rule needs to see.
-  const std::size_t first = line.find_first_not_of(" \t");
-  const bool keep_strings = first != std::string::npos && line[first] == '#';
-  for (std::size_t i = 0; i < line.size(); ++i) {
-    const char c = line[i];
-    const char next = i + 1 < line.size() ? line[i + 1] : '\0';
-    if (state.in_block_comment) {
-      if (c == '*' && next == '/') {
-        state.in_block_comment = false;
-        ++i;
-      }
-      continue;
-    }
-    if (in_string) {
-      if (keep_strings) out[i] = c;
-      if (c == '\\') {
-        ++i;
-      } else if (c == '"') {
-        in_string = false;
-      }
-      continue;
-    }
-    if (in_char) {
-      if (c == '\\') {
-        ++i;
-      } else if (c == '\'') {
-        in_char = false;
-      }
-      continue;
-    }
-    if (c == '/' && next == '/') break;  // rest of the line is a comment
-    if (c == '/' && next == '*') {
-      state.in_block_comment = true;
-      ++i;
-      continue;
-    }
-    if (c == '"') {
-      if (keep_strings) out[i] = c;
-      in_string = true;
-      continue;
-    }
-    // A ' between identifier chars is C++14 digit separator (1'000), not a
-    // char literal open.
-    if (c == '\'') {
-      const bool digit_sep = i > 0 && (std::isalnum(static_cast<unsigned char>(line[i - 1])) != 0) &&
-                             (std::isalnum(static_cast<unsigned char>(next)) != 0);
-      if (!digit_sep) {
-        in_char = true;
-        continue;
-      }
-    }
-    out[i] = c;
-  }
-  // Unterminated string at end of line: treat as closed (defensive).
-  return out;
-}
 
 /// The layer a source path belongs to: the directory segment right after
 /// "src/", or empty when the file is not under src/.
@@ -172,6 +103,18 @@ const std::vector<Rule>& rules() {
         [](std::string_view path) {
           return path_in_layer(path, "graph") || path_in_layer(path, "topology");
         }});
+    r.push_back(Rule{
+        "raw-lock",
+        "recursive mutex or naked lock() call outside an RAII guard; hold every "
+        "mutex through lock_guard/unique_lock/scoped_lock so alvc_analyze and the "
+        "LockRank runtime can see the acquisition (recursive locking hides "
+        "re-entrancy the lock-order model cannot rank)",
+        // `.lock()` / `->lock()` with an empty argument list is a manual
+        // acquisition; `try_lock`/`unlock` and RAII declarations that merely
+        // NAME a guard `lock` do not match (the guard name is followed by
+        // `(mu_)`, never by an empty call).
+        std::regex(R"(std\s*::\s*recursive_mutex|(\.|->)\s*lock\s*\(\s*\))", flags),
+        [](std::string_view path) { return !src_layer(path).empty(); }});
     return r;
   }();
   return kRules;

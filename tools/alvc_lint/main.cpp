@@ -1,7 +1,12 @@
 // alvc_lint driver: lints files and directory trees, exits non-zero on any
-// finding. See lint.h for the rules.
+// unsuppressed finding. See lint.h for the rules.
 //
-// Usage: alvc_lint [--exclude SUBSTR]... <file-or-dir>...
+// Usage: alvc_lint [--exclude SUBSTR]... [--suppressions FILE] <file-or-dir>...
+//
+// The suppressions file waives known findings without touching the source:
+// one `path-substring:rule` entry per line (rule `*` matches every rule),
+// `#` comments and blank lines ignored. Waived findings are still printed,
+// tagged `(suppressed)`, so drift stays visible in the log.
 #include <algorithm>
 #include <filesystem>
 #include <fstream>
@@ -28,11 +33,53 @@ bool excluded(const std::string& path, const std::vector<std::string>& excludes)
   return false;
 }
 
+struct Suppression {
+  std::string path_substring;
+  std::string rule;  // "*" matches every rule
+};
+
+/// Parses a suppressions file (`path-substring:rule` per line, `#` comments).
+/// Returns false (with a message on stderr) on an unreadable file or a
+/// malformed line — a silently ignored suppression would un-gate the tree.
+bool parse_suppressions(const std::string& path, std::vector<Suppression>& out) {
+  std::ifstream in(path);
+  if (!in) {
+    std::cerr << "alvc_lint: cannot read suppressions file " << path << "\n";
+    return false;
+  }
+  std::string line;
+  std::size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    const std::size_t start = line.find_first_not_of(" \t");
+    if (start == std::string::npos || line[start] == '#') continue;
+    const std::size_t end = line.find_last_not_of(" \t\r");
+    const std::string entry = line.substr(start, end - start + 1);
+    const std::size_t colon = entry.rfind(':');
+    if (colon == std::string::npos || colon == 0 || colon + 1 == entry.size()) {
+      std::cerr << "alvc_lint: " << path << ":" << line_no
+                << ": malformed suppression (want path-substring:rule): " << entry << "\n";
+      return false;
+    }
+    out.push_back(Suppression{entry.substr(0, colon), entry.substr(colon + 1)});
+  }
+  return true;
+}
+
+bool suppressed(const alvc::lint::Finding& finding, const std::vector<Suppression>& entries) {
+  for (const auto& s : entries) {
+    if (finding.file.find(s.path_substring) == std::string::npos) continue;
+    if (s.rule == "*" || s.rule == finding.rule) return true;
+  }
+  return false;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   std::vector<std::string> roots;
   std::vector<std::string> excludes;
+  std::vector<Suppression> suppressions;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--exclude") {
@@ -41,8 +88,15 @@ int main(int argc, char** argv) {
         return 2;
       }
       excludes.push_back(argv[++i]);
+    } else if (arg == "--suppressions") {
+      if (i + 1 >= argc) {
+        std::cerr << "alvc_lint: --suppressions needs an argument\n";
+        return 2;
+      }
+      if (!parse_suppressions(argv[++i], suppressions)) return 2;
     } else if (arg == "--help" || arg == "-h") {
-      std::cout << "usage: alvc_lint [--exclude SUBSTR]... <file-or-dir>...\n";
+      std::cout << "usage: alvc_lint [--exclude SUBSTR]... [--suppressions FILE] "
+                   "<file-or-dir>...\n";
       return 0;
     } else {
       roots.push_back(arg);
@@ -73,6 +127,7 @@ int main(int argc, char** argv) {
 
   std::size_t linted = 0;
   std::size_t finding_count = 0;
+  std::size_t suppressed_count = 0;
   for (const auto& file : files) {
     if (excluded(file, excludes)) continue;
     std::ifstream in(file, std::ios::binary);
@@ -84,11 +139,18 @@ int main(int argc, char** argv) {
     buffer << in.rdbuf();
     ++linted;
     for (const auto& finding : alvc::lint::lint_source(file, buffer.str())) {
+      if (suppressed(finding, suppressions)) {
+        std::cout << alvc::lint::to_string(finding) << " (suppressed)\n";
+        ++suppressed_count;
+        continue;
+      }
       std::cout << alvc::lint::to_string(finding) << "\n";
       ++finding_count;
     }
   }
   std::cout << "alvc_lint: " << linted << " files, " << finding_count << " finding"
-            << (finding_count == 1 ? "" : "s") << "\n";
+            << (finding_count == 1 ? "" : "s");
+  if (suppressed_count > 0) std::cout << " (" << suppressed_count << " suppressed)";
+  std::cout << "\n";
   return finding_count == 0 ? 0 : 1;
 }

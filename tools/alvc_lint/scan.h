@@ -1,0 +1,85 @@
+// Shared source scanner for the static-analysis tools (alvc_lint,
+// alvc_analyze): strips comments and string/char literal bodies so rule
+// patterns and the analyzer's parser only ever match code.
+//
+// The stripper is line-oriented and keeps column positions stable (every
+// stripped character becomes a space), so findings can point at the raw
+// line. Block-comment state survives line breaks via ScanState; strings
+// and char literals cannot span lines in this codebase.
+#pragma once
+
+#include <cctype>
+#include <string>
+
+namespace alvc::lint {
+
+/// Lexer state that survives line breaks (block comments only).
+struct ScanState {
+  bool in_block_comment = false;
+};
+
+/// Replaces comments and string/char literal bodies with spaces so rule
+/// patterns only ever match code. Keeps column positions stable.
+/// Preprocessor directives keep their string bodies: an #include's quoted
+/// path is exactly what the layering rule needs to see.
+inline std::string strip_noncode(const std::string& line, ScanState& state) {
+  std::string out(line.size(), ' ');
+  bool in_string = false;
+  bool in_char = false;
+  const std::size_t first = line.find_first_not_of(" \t");
+  const bool keep_strings = first != std::string::npos && line[first] == '#';
+  for (std::size_t i = 0; i < line.size(); ++i) {
+    const char c = line[i];
+    const char next = i + 1 < line.size() ? line[i + 1] : '\0';
+    if (state.in_block_comment) {
+      if (c == '*' && next == '/') {
+        state.in_block_comment = false;
+        ++i;
+      }
+      continue;
+    }
+    if (in_string) {
+      if (keep_strings) out[i] = c;
+      if (c == '\\') {
+        ++i;
+      } else if (c == '"') {
+        in_string = false;
+      }
+      continue;
+    }
+    if (in_char) {
+      if (c == '\\') {
+        ++i;
+      } else if (c == '\'') {
+        in_char = false;
+      }
+      continue;
+    }
+    if (c == '/' && next == '/') break;  // rest of the line is a comment
+    if (c == '/' && next == '*') {
+      state.in_block_comment = true;
+      ++i;
+      continue;
+    }
+    if (c == '"') {
+      if (keep_strings) out[i] = c;
+      in_string = true;
+      continue;
+    }
+    // A ' between identifier chars is C++14 digit separator (1'000), not a
+    // char literal open.
+    if (c == '\'') {
+      const bool digit_sep = i > 0 && (std::isalnum(static_cast<unsigned char>(line[i - 1])) != 0) &&
+                             (std::isalnum(static_cast<unsigned char>(next)) != 0);
+      if (!digit_sep) {
+        in_char = true;
+        continue;
+      }
+    }
+    out[i] = c;
+  }
+  // Unterminated string at end of line: treat as closed (defensive).
+  return out;
+}
+
+}  // namespace alvc::lint
