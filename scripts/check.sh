@@ -40,7 +40,7 @@
 #   scripts/check.sh --ci <leg>         # exactly one CI leg: static, analyze,
 #                                       #   tier1, tsan, asan, ubsan,
 #                                       #   telemetry, overload-soak,
-#                                       #   bench-smoke
+#                                       #   elastic-soak, bench-smoke
 #   scripts/check.sh --bench-json <out> # run the two tracked benchmarks
 #                                       #   (bench_route_cache,
 #                                       #   bench_fig4_al_construction) and
@@ -135,7 +135,8 @@ leg_asan() {
     orchestrator_failure_test faults_fault_injector_test faults_state_auditor_test \
     faults_chaos_soak_test orchestrator_route_cache_test \
     orchestrator_route_cache_differential_test orchestrator_csr_chaos_differential_test \
-    faults_overload_soak_test orchestrator_strict_ladder_differential_test
+    faults_overload_soak_test orchestrator_strict_ladder_differential_test \
+    elastic_scaling_test elastic_migration_test elastic_elastic_soak_test
 
   echo "== ctest -L failures (under ASan) =="
   ctest --test-dir build-asan --output-on-failure -j "$jobs" -L failures
@@ -143,13 +144,15 @@ leg_asan() {
 
 leg_telemetry() {
   echo "== configure + build (-DALVC_TELEMETRY=OFF) =="
+  # elastic_scaling_test rides along so the elastic control loop's gauge and
+  # counter hooks are proven to compile away with telemetry off.
   cmake -B build-notelemetry -S . -DALVC_TELEMETRY=OFF >/dev/null
   cmake --build build-notelemetry -j "$jobs" --target \
-    datacenter_sim telemetry_determinism_test bench_telemetry_overhead
+    datacenter_sim telemetry_determinism_test bench_telemetry_overhead elastic_scaling_test
 
   echo "== telemetry: hooks compile to no-ops and determinism holds when OFF =="
   ctest --test-dir build-notelemetry --output-on-failure -j "$jobs" \
-    -R 'Telemetry(Determinism|Export)Test'
+    -R 'Telemetry(Determinism|Export)Test|ScalingFixture'
 
   echo "== telemetry: seeded sim output is bit-identical ON vs OFF =="
   # datacenter_sim is fully seeded; instrumentation must never perturb the
@@ -194,10 +197,27 @@ leg_overload_soak() {
     --benchmark_min_time=0.01 --benchmark_filter='BM_(WaterFillPlan|RebalancePass)' >/dev/null
 }
 
-leg_bench_smoke() {
-  echo "== bench smoke: route cache + parallel AL build (tiny sizes, JSON out) =="
+leg_elastic_soak() {
+  echo "== elastic soak: demand-driven scaling + live migration under faults =="
   cmake -B build -S . >/dev/null
-  cmake --build build -j "$jobs" --target bench_route_cache bench_parallel_al_build
+  cmake --build build -j "$jobs" --target \
+    nfv_lifecycle_scale_test elastic_demand_model_test elastic_scaling_test \
+    elastic_migration_test elastic_elastic_soak_test bench_elastic_scaling
+
+  echo "== ctest: demand model, scaling/migration branches, 20-seed elastic soak =="
+  ctest --test-dir build --output-on-failure -j "$jobs" \
+    -R '(DemandModel|SharedWaveform|ScalingFixture|ScalingQos|MigrationFixture|ElasticSoak|LifecycleScale|CloudScale)'
+
+  echo "== elastic bench smoke (experiment table asserts the 3x AL-update ratio) =="
+  ./build/bench/bench_elastic_scaling \
+    --benchmark_min_time=0.01 --benchmark_filter='BM_ElasticTick' >/dev/null
+}
+
+leg_bench_smoke() {
+  echo "== bench smoke: route cache + parallel AL build + elastic (tiny sizes, JSON out) =="
+  cmake -B build -S . >/dev/null
+  cmake --build build -j "$jobs" --target \
+    bench_route_cache bench_parallel_al_build bench_elastic_scaling
   mkdir -p build/bench-smoke
   ./build/bench/bench_route_cache \
     --benchmark_min_time=0.01 \
@@ -207,7 +227,11 @@ leg_bench_smoke() {
     --benchmark_min_time=0.01 \
     --benchmark_out=build/bench-smoke/parallel_al_build.json \
     --benchmark_out_format=json
-  emit_bench_json build/bench-smoke/BENCH_PR7.json
+  ./build/bench/bench_elastic_scaling \
+    --benchmark_min_time=0.01 \
+    --benchmark_out=build/bench-smoke/elastic_scaling.json \
+    --benchmark_out_format=json
+  emit_bench_json build/bench-smoke/BENCH_PR9.json
   echo "== bench smoke artifacts in build/bench-smoke/ =="
 }
 
@@ -324,8 +348,9 @@ if [[ -n "$ci_leg" ]]; then
     ubsan) leg_ubsan ;;
     telemetry) leg_telemetry ;;
     overload-soak) leg_overload_soak ;;
+    elastic-soak) leg_elastic_soak ;;
     bench-smoke) leg_bench_smoke ;;
-    *) echo "unknown CI leg: $ci_leg (expected static, analyze, tier1, tsan, asan, ubsan, telemetry, overload-soak, bench-smoke)" >&2
+    *) echo "unknown CI leg: $ci_leg (expected static, analyze, tier1, tsan, asan, ubsan, telemetry, overload-soak, elastic-soak, bench-smoke)" >&2
        exit 2 ;;
   esac
   echo "== CI leg '$ci_leg' passed =="
@@ -369,6 +394,7 @@ else
 fi
 
 leg_overload_soak
+leg_elastic_soak
 leg_bench_smoke
 
 echo "== all checks passed =="

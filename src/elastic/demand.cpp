@@ -1,0 +1,57 @@
+#include "elastic/demand.h"
+
+#include <algorithm>
+
+#include "sim/waveform.h"
+#include "util/rng.h"
+
+namespace alvc::elastic {
+
+using alvc::util::Rng;
+
+std::uint64_t DemandModel::chain_seed(NfcId id) const noexcept {
+  // Splitmix-style scramble of (seed, chain id): adjacent ids must not
+  // produce correlated substreams.
+  std::uint64_t x = params_.seed;
+  x ^= 0x9e3779b97f4a7c15ULL * (static_cast<std::uint64_t>(id.value()) + 1);
+  x ^= x >> 31;
+  return x;
+}
+
+void DemandModel::track(NfcId id, double base_gbps) {
+  if (series_.contains(id)) return;
+  ChainSeries series;
+  series.base_gbps = base_gbps;
+  Rng rng(chain_seed(id));
+  // Draw order is part of the series' identity: phase first, then the
+  // flash schedule, so adding knobs later must append draws, not reorder.
+  series.phase_s = rng.uniform(0.0, params_.diurnal_period_s > 0 ? params_.diurnal_period_s : 1.0);
+  if (params_.flash_rate_per_s > 0 && params_.horizon_s > 0) {
+    alvc::sim::poisson_arrivals(rng, params_.flash_rate_per_s, params_.horizon_s,
+                                [&](double t) { series.flash_times_s.push_back(t); });
+  }
+  series_.emplace(id, std::move(series));
+}
+
+void DemandModel::forget(NfcId id) { series_.erase(id); }
+
+double DemandModel::demand_gbps(NfcId id, double now_s) const {
+  const auto it = series_.find(id);
+  if (it == series_.end()) return 0;
+  const ChainSeries& s = it->second;
+  double factor = 1.0;
+  factor += params_.diurnal_amplitude *
+            alvc::sim::diurnal_wave(now_s + s.phase_s, params_.diurnal_period_s);
+  for (double at : s.flash_times_s) {
+    factor += params_.flash_magnitude *
+              alvc::sim::flash_pulse(now_s, at, params_.flash_ramp_s, params_.flash_hold_s);
+  }
+  if (params_.churn_amplitude > 0 && params_.churn_bucket_s > 0 && now_s >= 0) {
+    const auto bucket = static_cast<std::uint64_t>(now_s / params_.churn_bucket_s);
+    const double noise = 2.0 * alvc::sim::hash_noise(chain_seed(id), bucket) - 1.0;
+    factor += params_.churn_amplitude * noise;
+  }
+  return std::max(0.0, s.base_gbps * factor);
+}
+
+}  // namespace alvc::elastic

@@ -1,0 +1,88 @@
+// Seeded per-chain demand model (the elasticity loop's sensor).
+//
+// Chains are provisioned at a nominal bandwidth, but real traffic moves:
+// diurnal waves, flash crowds, and adversarial churn (the usagegen shapes
+// ROADMAP names). DemandModel turns a (seed, chain, time) triple into the
+// Gbps the chain's tenants are pushing *right now*, as a pure function —
+// no wall clock, no hidden state — so the scaling loop, the soak suite,
+// and the bench all observe the identical series for a given seed.
+//
+// The waveform math is shared with faults::OverloadInjector via
+// sim/waveform.h: the injector schedules discrete provision/teardown
+// events from these shapes, the demand model evaluates their continuous
+// twins, and the two stay in agreement by construction.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "nfv/nfc.h"
+#include "util/ids.h"
+
+namespace alvc::elastic {
+
+using alvc::util::NfcId;
+
+/// Shape parameters for every tracked chain. Each chain derives its own
+/// substream (phase offset, flash schedule, churn stream) from `seed` and
+/// its id, so chains are decorrelated but individually reproducible.
+struct DemandParams {
+  /// Diurnal triangle wave: period and peak-over-base amplitude
+  /// (amplitude 1.0 means demand doubles at mid-period).
+  double diurnal_period_s = 20.0;
+  double diurnal_amplitude = 1.0;
+  /// Flash crowds arrive as a per-chain Poisson process over the horizon;
+  /// each adds `flash_magnitude` x base at full height.
+  double flash_rate_per_s = 0.05;
+  double flash_magnitude = 2.0;
+  double flash_ramp_s = 0.5;
+  double flash_hold_s = 3.0;
+  /// Adversarial churn: zero-mean hash noise of this relative amplitude,
+  /// re-drawn every `churn_bucket_s` of simulated time.
+  double churn_amplitude = 0.15;
+  double churn_bucket_s = 1.0;
+  /// Flash schedules are materialised up to this horizon at track() time.
+  double horizon_s = 60.0;
+  std::uint64_t seed = 1;
+};
+
+/// Precomputed per-chain series state (pure data; evaluation is const).
+struct ChainSeries {
+  double base_gbps = 0;
+  double phase_s = 0;                  // diurnal phase offset
+  std::vector<double> flash_times_s;   // Poisson flash-crowd onsets
+};
+
+class DemandModel {
+ public:
+  explicit DemandModel(const DemandParams& params) : params_(params) {}
+
+  /// Starts tracking a chain at `base_gbps` nominal demand, deriving its
+  /// substream deterministically from (params.seed, id). Re-tracking an
+  /// already-tracked chain is a no-op (the series is stable).
+  void track(NfcId id, double base_gbps);
+
+  /// Stops tracking (chain torn down or lost).
+  void forget(NfcId id);
+
+  [[nodiscard]] bool tracked(NfcId id) const { return series_.contains(id); }
+  [[nodiscard]] std::size_t tracked_count() const noexcept { return series_.size(); }
+
+  /// Instantaneous demand of a tracked chain at `now_s`, in Gbps;
+  /// 0 for untracked chains. Never negative.
+  [[nodiscard]] double demand_gbps(NfcId id, double now_s) const;
+
+  [[nodiscard]] const DemandParams& params() const noexcept { return params_; }
+  /// Tracked series in ascending chain-id order (std::map keeps iteration
+  /// deterministic for audits and gauges).
+  [[nodiscard]] const std::map<NfcId, ChainSeries>& series() const noexcept { return series_; }
+
+ private:
+  [[nodiscard]] std::uint64_t chain_seed(NfcId id) const noexcept;
+
+  DemandParams params_;
+  std::map<NfcId, ChainSeries> series_;
+};
+
+}  // namespace alvc::elastic

@@ -1,0 +1,148 @@
+#include "elastic/migration.h"
+
+#include <algorithm>
+#include <tuple>
+#include <vector>
+
+#include "telemetry/telemetry.h"
+
+namespace alvc::elastic {
+
+using alvc::nfv::HostRef;
+using alvc::orchestrator::NetworkOrchestrator;
+using alvc::orchestrator::ProvisionedChain;
+using alvc::topology::Resources;
+using alvc::util::NfcId;
+using alvc::util::OpsId;
+using alvc::util::ServerId;
+
+namespace {
+
+double dimension_ratio(double used, double nominal) noexcept {
+  return nominal > 0 ? used / nominal : 0.0;
+}
+
+/// Deterministic candidate ordering: coldest first, optical before
+/// electronic on ties (the paper's preference), then by id.
+using CandidateKey = std::tuple<double, int, std::uint32_t>;
+
+CandidateKey candidate_key(double util, const HostRef& host) {
+  if (const auto* ops = std::get_if<OpsId>(&host)) return {util, 0, ops->value()};
+  return {util, 1, std::get<ServerId>(host).value()};
+}
+
+}  // namespace
+
+double MigrationPlanner::utilization(const NetworkOrchestrator& orch, const HostRef& host) {
+  const auto& topo = orch.cloud().pool().topology();
+  Resources nominal;
+  if (const auto* ops = std::get_if<OpsId>(&host)) {
+    nominal = topo.ops(*ops).compute;
+  } else {
+    nominal = topo.server(std::get<ServerId>(host)).capacity;
+  }
+  const Resources used = orch.cloud().pool().reserved_on(host);
+  double util = dimension_ratio(used.cpu_cores, nominal.cpu_cores);
+  util = std::max(util, dimension_ratio(used.memory_gb, nominal.memory_gb));
+  util = std::max(util, dimension_ratio(used.storage_gb, nominal.storage_gb));
+  return util;
+}
+
+std::optional<HostRef> MigrationPlanner::pick_target(const ProvisionedChain& chain,
+                                                     std::size_t fi) const {
+  const auto* vc = orch_->clusters().find(chain.cluster);
+  if (vc == nullptr) return std::nullopt;
+  const auto& topo = orch_->clusters().topology();
+  const auto& pool = orch_->cloud().pool();
+  const auto& desc = orch_->cloud().catalog().descriptor(chain.record.spec.functions[fi]);
+  const HostRef current = chain.placement.hosts[fi];
+
+  std::optional<HostRef> best;
+  CandidateKey best_key{};
+  const auto consider = [&](const HostRef& host) {
+    if (host == current) return;
+    if (!pool.fits(host, desc.demand)) return;
+    const double util = utilization(*orch_, host);
+    if (util >= policy_.hot_utilization) return;  // moving heat, not shedding it
+    const CandidateKey key = candidate_key(util, host);
+    if (!best || key < best_key) {
+      best = host;
+      best_key = key;
+    }
+  };
+
+  for (OpsId ops : vc->layer.opss) {
+    if (!topo.ops(ops).optoelectronic || !topo.ops_usable(ops)) continue;
+    if (desc.electronic_only) continue;
+    consider(HostRef{ops});
+  }
+  for (alvc::util::TorId tor : vc->layer.tors) {
+    if (!topo.tor_usable(tor)) continue;
+    for (ServerId server : topo.tor(tor).servers) {
+      if (!topo.server_usable(server)) continue;
+      consider(HostRef{server});
+    }
+  }
+  return best;
+}
+
+std::size_t MigrationPlanner::tick(double now_s) {
+  std::vector<NfcId> ids;
+  for (const auto* chain : orch_->chains()) ids.push_back(chain->record.id);
+  std::sort(ids.begin(), ids.end());
+
+  std::size_t moves = 0;
+  for (NfcId id : ids) {
+    if (moves >= policy_.max_moves_per_tick) break;
+    const ProvisionedChain* chain = orch_->chain(id);
+    if (chain == nullptr || chain->degraded) continue;
+    if (const auto it = last_move_s_.find(id);
+        it != last_move_s_.end() && now_s - it->second < policy_.cooldown_s) {
+      continue;
+    }
+    for (std::size_t fi = 0; fi < chain->placement.hosts.size(); ++fi) {
+      if (fi >= chain->instances.size() || !chain->instances[fi].valid()) continue;
+      if (utilization(*orch_, chain->placement.hosts[fi]) < policy_.hot_utilization) continue;
+      const auto target = pick_target(*chain, fi);
+      if (!target) {
+        ++stats_.no_target;
+        ALVC_COUNT("elastic.migration.no_target");
+        continue;
+      }
+      const CostSnapshot before = UpdateCostLedger::snapshot(*orch_);
+      if (mode_ == ExecutionMode::kIncremental) {
+        if (orch_->migrate_function(id, fi, *target).is_ok()) {
+          ledger_->charge(ActionKind::kMigration, *orch_, before);
+          ++stats_.migrations;
+          ALVC_COUNT("elastic.migration.actions");
+          last_move_s_[id] = now_s;
+          ++moves;
+        } else {
+          ++stats_.failed;
+        }
+      } else {
+        // Baseline: tear the whole chain down and admit it afresh. `chain`
+        // is invalid past this point, so the inner loop must end here.
+        const alvc::nfv::NfcSpec spec = chain->record.spec;
+        if (!orch_->teardown_chain(id).is_ok()) {
+          ++stats_.failed;
+          break;
+        }
+        if (const auto fresh = orch_->provision_chain(spec, *placement_)) {
+          ledger_->charge(ActionKind::kReprovision, *orch_, before);
+          ++stats_.reprovisions;
+          ALVC_COUNT("elastic.migration.reprovisions");
+          last_move_s_[*fresh] = now_s;
+          if (on_reprovision_) on_reprovision_(id, *fresh);
+          ++moves;
+        } else {
+          ++stats_.lost;  // admission raced away; the log shows the teardown
+        }
+      }
+      break;  // one move per chain per tick
+    }
+  }
+  return moves;
+}
+
+}  // namespace alvc::elastic

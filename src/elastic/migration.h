@@ -1,0 +1,104 @@
+// Live VNF migration to relieve hot hosts (actuator, part 2).
+//
+// When a host (server or optoelectronic router) runs close to its
+// capacity, chains with instances on it are migrated — one function at a
+// time — onto the coldest host inside the same slice. Two execution
+// modes, which is the whole point of the ledger:
+//
+//   * kIncremental — NetworkOrchestrator::migrate_function: terminate old
+//     instance + deploy fresh on the target, re-route, swap rules. The AL
+//     itself is only touched twice (the paper's ~2 AL updates/migration).
+//   * kReprovision — the strawman the paper argues against: tear the whole
+//     chain down and provision it again. Every instance is redeployed and
+//     the slice is released and re-allocated, so a k-function chain costs
+//     2k + 2 AL updates.
+//
+// The planner never moves degraded chains (the fault-recovery path owns
+// those) and caps moves per tick so a hot spot drains gradually instead
+// of thundering.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <map>
+
+#include "elastic/ledger.h"
+#include "orchestrator/orchestrator.h"
+#include "orchestrator/placement.h"
+
+namespace alvc::elastic {
+
+enum class ExecutionMode : std::uint8_t { kIncremental, kReprovision };
+
+[[nodiscard]] constexpr std::string_view to_string(ExecutionMode mode) noexcept {
+  return mode == ExecutionMode::kIncremental ? "incremental" : "reprovision";
+}
+
+struct MigrationPolicy {
+  /// A host is hot when any resource dimension is used above this fraction
+  /// of nominal capacity.
+  double hot_utilization = 0.85;
+  /// Upper bound on moves per tick (drain gradually).
+  std::size_t max_moves_per_tick = 2;
+  /// Minimum simulated seconds between moves of the same chain.
+  double cooldown_s = 4.0;
+};
+
+struct MigrationStats {
+  std::size_t migrations = 0;    // incremental moves that committed
+  std::size_t reprovisions = 0;  // teardown + reprovision cycles
+  std::size_t failed = 0;        // the orchestrator refused the move
+  std::size_t lost = 0;          // reprovision torn down but re-admission failed
+  std::size_t no_target = 0;     // hot instance with no feasible target
+};
+
+class MigrationPlanner {
+ public:
+  /// `placement` is only used by kReprovision (the baseline re-runs full
+  /// placement); it must outlive the planner.
+  MigrationPlanner(alvc::orchestrator::NetworkOrchestrator& orch, UpdateCostLedger& ledger,
+                   const alvc::orchestrator::PlacementStrategy& placement,
+                   const MigrationPolicy& policy = {},
+                   ExecutionMode mode = ExecutionMode::kIncremental)
+      : orch_(&orch), ledger_(&ledger), placement_(&placement), policy_(policy), mode_(mode) {}
+
+  void set_mode(ExecutionMode mode) noexcept { mode_ = mode; }
+  [[nodiscard]] ExecutionMode mode() const noexcept { return mode_; }
+
+  /// Reprovisioning retires the old chain id and mints a new one; owners
+  /// tracking per-chain state (DemandModel) hook this to remap.
+  void set_on_reprovision(std::function<void(alvc::util::NfcId, alvc::util::NfcId)> fn) {
+    on_reprovision_ = std::move(fn);
+  }
+
+  /// One relief pass at simulated time `now_s`: scan chains in ascending
+  /// id order, move at most one hot instance per chain, stop after
+  /// `max_moves_per_tick`. Returns moves executed.
+  std::size_t tick(double now_s);
+
+  /// Utilization of `host` in the orchestrator's hosting pool: the max
+  /// over resource dimensions of used / nominal. 0 for hosts with no
+  /// capacity at all. Public for tests and hot-spot introspection.
+  [[nodiscard]] static double utilization(const alvc::orchestrator::NetworkOrchestrator& orch,
+                                          const alvc::nfv::HostRef& host);
+
+  [[nodiscard]] const MigrationStats& stats() const noexcept { return stats_; }
+  [[nodiscard]] const MigrationPolicy& policy() const noexcept { return policy_; }
+
+ private:
+  /// Coldest feasible in-slice target for function `fi` of `chain`, or
+  /// nullopt. Deterministic: ties break optical-first, then by id.
+  [[nodiscard]] std::optional<alvc::nfv::HostRef> pick_target(
+      const alvc::orchestrator::ProvisionedChain& chain, std::size_t fi) const;
+
+  alvc::orchestrator::NetworkOrchestrator* orch_;
+  UpdateCostLedger* ledger_;
+  const alvc::orchestrator::PlacementStrategy* placement_;
+  MigrationPolicy policy_;
+  ExecutionMode mode_;
+  MigrationStats stats_;
+  std::map<alvc::util::NfcId, double> last_move_s_;
+  std::function<void(alvc::util::NfcId, alvc::util::NfcId)> on_reprovision_;
+};
+
+}  // namespace alvc::elastic

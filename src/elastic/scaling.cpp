@@ -1,0 +1,108 @@
+#include "elastic/scaling.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "telemetry/telemetry.h"
+
+namespace alvc::elastic {
+
+using alvc::orchestrator::NetworkOrchestrator;
+using alvc::orchestrator::ProvisionedChain;
+using alvc::util::NfcId;
+
+namespace {
+constexpr double kEps = 1e-9;
+}
+
+double ScalingController::chain_scale(const NetworkOrchestrator& orch,
+                                      const ProvisionedChain& chain) {
+  double scale = 0;
+  bool any = false;
+  for (auto inst : chain.instances) {
+    if (!inst.valid()) continue;  // degraded slot
+    const double s = orch.cloud().lifecycle().instance(inst).scale;
+    scale = any ? std::min(scale, s) : s;
+    any = true;
+  }
+  return any ? scale : 1.0;
+}
+
+bool ScalingController::hipri_impaired() const {
+  for (const auto* chain : orch_->chains()) {
+    if (chain->record.spec.priority != alvc::nfv::PriorityClass::kHipri) continue;
+    if (chain->degraded) return true;
+    if (chain->reserved_gbps + kEps < chain->record.spec.bandwidth_gbps) return true;
+  }
+  return false;
+}
+
+std::size_t ScalingController::tick(double now_s) {
+  // Snapshot ids first: scale_function never erases chains, but iterating
+  // a sorted id list keeps the pass order deterministic regardless of the
+  // orchestrator's hash-map layout.
+  std::vector<NfcId> ids;
+  for (const auto* chain : orch_->chains()) ids.push_back(chain->record.id);
+  std::sort(ids.begin(), ids.end());
+
+  const bool impaired = policy_.protect_hipri && hipri_impaired();
+  std::size_t applied = 0;
+  for (NfcId id : ids) {
+    const ProvisionedChain* chain = orch_->chain(id);
+    if (chain == nullptr) continue;
+    if (chain->degraded) {
+      ++stats_.skipped_degraded;
+      continue;
+    }
+    const double granted = chain->reserved_gbps;
+    if (granted <= kEps) continue;
+    const double demand = demand_->demand_gbps(id, now_s);
+    const double scale = chain_scale(*orch_, *chain);
+    const double served = granted * scale;
+
+    double target = std::ceil(demand / granted - kEps);
+    target = std::clamp(target, 1.0, policy_.max_scale);
+
+    const bool want_out = demand > policy_.scale_out_ratio * served && target > scale;
+    const bool want_in = demand < policy_.scale_in_ratio * served && target < scale;
+    if (!want_out && !want_in) continue;
+
+    if (want_out && impaired &&
+        chain->record.spec.priority == alvc::nfv::PriorityClass::kLopri) {
+      ++stats_.deferred_hipri_protect;
+      ALVC_COUNT("elastic.scale_out.deferred_hipri");
+      continue;
+    }
+    if (const auto it = last_action_s_.find(id);
+        it != last_action_s_.end() && now_s - it->second < policy_.cooldown_s) {
+      ++stats_.skipped_cooldown;
+      continue;
+    }
+
+    const CostSnapshot before = UpdateCostLedger::snapshot(*orch_);
+    std::size_t moved = 0;
+    for (std::size_t fi = 0; fi < chain->instances.size(); ++fi) {
+      if (!chain->instances[fi].valid()) continue;
+      if (orch_->scale_function(id, fi, target).is_ok()) {
+        ++moved;
+      } else {
+        ++stats_.rejected;  // e.g. host cannot take the increase
+      }
+    }
+    if (moved == 0) continue;
+    ledger_->charge(want_out ? ActionKind::kScaleOut : ActionKind::kScaleIn, *orch_, before);
+    last_action_s_[id] = now_s;
+    ++applied;
+    if (want_out) {
+      ++stats_.scale_outs;
+      ALVC_COUNT("elastic.scale_out.actions");
+    } else {
+      ++stats_.scale_ins;
+      ALVC_COUNT("elastic.scale_in.actions");
+    }
+  }
+  return applied;
+}
+
+}  // namespace alvc::elastic

@@ -113,6 +113,21 @@ ChaosReport ChaosRunner::run() {
     if (params_.audit_every_event) record_violations(StateAuditor::audit(*orch_));
   });
 
+  // Periodic controller ticks (the elastic control loop) ride the same
+  // queue, scheduled after faults and load so a tick at a tied timestamp
+  // observes the event that just landed, and audited like any other event.
+  if (params_.tick_period_s > 0 && params_.on_tick) {
+    for (double t = params_.tick_period_s; t < params_.schedule.horizon_s;
+         t += params_.tick_period_s) {
+      queue.schedule(t, [this, t, &report, &record_violations]() {
+        params_.on_tick(t);
+        ++report.controller_ticks;
+        ALVC_COUNT("faults.controller.ticks");
+        if (params_.audit_every_event) record_violations(StateAuditor::audit(*orch_));
+      });
+    }
+  }
+
   // Traffic: Poisson arrivals offered round-robin to the chain population,
   // pre-generated so the schedule is deterministic in the traffic seed.
   std::size_t next_chain = 0;

@@ -14,6 +14,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -37,6 +38,14 @@ struct ChaosParams {
   /// round-robin while faults land; 0 disables traffic interleaving.
   double flow_rate_per_s = 0;
   std::uint64_t traffic_seed = 1;
+  /// Periodic controller hook (e.g. the elastic control loop): invoked at
+  /// t = tick_period_s, 2*tick_period_s, ... below the horizon, on the
+  /// same event queue as faults and load — so scaling decisions land
+  /// mid-outage and migrations race repairs. The runner's single-threaded
+  /// loop serializes the hook with every other orchestrator call, keeping
+  /// the external-synchronization contract intact. 0 disables.
+  double tick_period_s = 0;
+  std::function<void(double now_s)> on_tick;
   /// Audit after every fault event (the soak contract). Disable only for
   /// throughput benchmarks where the audit would dominate.
   bool audit_every_event = true;
@@ -55,6 +64,7 @@ struct ChaosReport {
   std::size_t load_provisioned_degraded = 0;  // ... at a reduced rung
   std::size_t load_rejected = 0;      // load provisions refused outright
   std::size_t load_torn_down = 0;     // load departures applied
+  std::size_t controller_ticks = 0;   // on_tick invocations
   std::size_t audit_violations = 0;   // total across all audits (want 0)
   std::vector<std::string> violations;  // first few, timestamped
 

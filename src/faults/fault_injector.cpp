@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "orchestrator/orchestrator.h"
+#include "sim/waveform.h"
 #include "util/rng.h"
 
 namespace alvc::faults {
@@ -140,15 +141,14 @@ std::vector<LoadEvent> OverloadInjector::flash_crowd(std::span<const alvc::nfv::
                                                      std::uint32_t first_key) {
   std::vector<LoadEvent> events;
   events.reserve(specs.size() * 2);
-  double t = at;
+  const auto arrivals = alvc::sim::burst_arrival_times(specs.size(), at, spacing_s);
   for (std::size_t i = 0; i < specs.size(); ++i) {
     events.push_back(LoadEvent{
-        .time_s = t, .provision = true, .key = first_key + static_cast<std::uint32_t>(i),
-        .spec = specs[i]});
-    if (i + 1 < specs.size()) t += spacing_s;
+        .time_s = arrivals[i], .provision = true,
+        .key = first_key + static_cast<std::uint32_t>(i), .spec = specs[i]});
   }
-  if (hold_s > 0) {
-    const double departure = t + hold_s;
+  if (hold_s > 0 && !arrivals.empty()) {
+    const double departure = arrivals.back() + hold_s;
     for (std::size_t i = 0; i < specs.size(); ++i) {
       events.push_back(LoadEvent{.time_s = departure,
                                  .provision = false,
@@ -163,14 +163,14 @@ std::vector<LoadEvent> OverloadInjector::diurnal_ramp(std::span<const alvc::nfv:
                                                       std::uint32_t first_key) {
   std::vector<LoadEvent> events;
   if (specs.empty() || period_s <= 0 || horizon_s <= 0) return events;
-  const double slot = period_s / (2.0 * static_cast<double>(specs.size() + 1));
+  const double slot = alvc::sim::diurnal_slot_s(period_s, specs.size());
   std::uint32_t key = first_key;
   for (std::size_t cycle = 0;; ++cycle) {
     const double start = static_cast<double>(cycle) * period_s;
     if (start >= horizon_s) break;
     for (std::size_t i = 0; i < specs.size(); ++i, ++key) {
-      const double up = start + slot * static_cast<double>(i + 1);
-      const double down = start + period_s / 2 + slot * static_cast<double>(i + 1);
+      const double up = alvc::sim::diurnal_up_s(start, slot, i);
+      const double down = alvc::sim::diurnal_down_s(start, period_s, slot, i);
       if (up >= horizon_s) break;
       events.push_back(LoadEvent{.time_s = up, .provision = true, .key = key, .spec = specs[i]});
       if (down < horizon_s) {
@@ -191,8 +191,9 @@ std::vector<LoadEvent> OverloadInjector::lopri_churn(std::span<const alvc::nfv::
   if (specs.empty() || rate_per_s <= 0 || horizon_s <= 0) return events;
   Rng rng(seed);
   std::uint32_t key = first_key;
-  double t = rng.exponential(rate_per_s);
-  while (t < horizon_s) {
+  // The spec pick draws from the same stream *between* inter-arrival draws;
+  // poisson_arrivals preserves that order (see sim/waveform.h).
+  alvc::sim::poisson_arrivals(rng, rate_per_s, horizon_s, [&](double t) {
     alvc::nfv::NfcSpec spec = specs[rng.uniform_index(specs.size())];
     spec.priority = alvc::nfv::PriorityClass::kLopri;
     events.push_back(LoadEvent{.time_s = t, .provision = true, .key = key, .spec = std::move(spec)});
@@ -200,8 +201,7 @@ std::vector<LoadEvent> OverloadInjector::lopri_churn(std::span<const alvc::nfv::
       events.push_back(LoadEvent{.time_s = t + hold_s, .provision = false, .key = key});
     }
     ++key;
-    t += rng.exponential(rate_per_s);
-  }
+  });
   std::stable_sort(events.begin(), events.end(),
                    [](const LoadEvent& a, const LoadEvent& b) { return a.time_s < b.time_s; });
   return events;

@@ -280,6 +280,79 @@ std::vector<std::string> StateAuditor::audit(
     }
   }
 
+  // VNF instance accounting (the elastic loop's scale/migrate actions must
+  // never leak): (a) every chain's instance list matches its placement
+  // slot-for-slot; (b) every non-terminated instance is referenced by
+  // exactly one chain slot — no orphans after a migration, no sharing —
+  // and carries a positive scale factor; (c) per host, the hosting pool's
+  // reserved books equal the sum of live instances' scaled demand
+  // (demand-accounting conservation).
+  {
+    using alvc::nfv::VnfState;
+    using alvc::util::VnfInstanceId;
+    const auto& lifecycle = orch.cloud().lifecycle();
+    std::map<std::uint32_t, std::size_t> references;
+    for (const ProvisionedChain* chain : orch.chains()) {
+      if (chain->instances.size() != chain->placement.hosts.size()) {
+        out.push_back(chain_tag(*chain) + ": " + std::to_string(chain->instances.size()) +
+                      " instance slots for " + std::to_string(chain->placement.hosts.size()) +
+                      " placed functions");
+      }
+      for (auto inst : chain->instances) {
+        if (inst.valid()) ++references[inst.value()];
+      }
+    }
+    // (is_ops, id) -> scaled demand of live instances there; std::map so
+    // any violation text comes out in a deterministic order.
+    std::map<std::pair<bool, std::uint32_t>, alvc::topology::Resources> hosted;
+    for (std::size_t raw = 0; raw < lifecycle.instance_count(); ++raw) {
+      const VnfInstanceId id{static_cast<VnfInstanceId::value_type>(raw)};
+      const auto& inst = lifecycle.instance(id);
+      const auto ref_it = references.find(inst.id.value());
+      const std::size_t refs = ref_it == references.end() ? 0 : ref_it->second;
+      const std::string tag = "instance " + std::to_string(inst.id.value());
+      if (inst.state == VnfState::kTerminated) {
+        if (refs != 0) out.push_back(tag + ": terminated yet still referenced by a chain");
+        continue;
+      }
+      if (refs == 0) {
+        out.push_back(tag + ": live (" + std::string(to_string(inst.state)) +
+                      ") but referenced by no chain — orphaned");
+      } else if (refs > 1) {
+        out.push_back(tag + ": referenced by " + std::to_string(refs) + " chain slots");
+      }
+      if (inst.scale <= 0) {
+        out.push_back(tag + ": non-positive scale factor " + std::to_string(inst.scale));
+      }
+      const auto key = std::holds_alternative<OpsId>(inst.host)
+                           ? std::pair{true, std::get<OpsId>(inst.host).value()}
+                           : std::pair{false, std::get<ServerId>(inst.host).value()};
+      hosted[key] += orch.cloud().reserved_demand(inst.id);
+    }
+    constexpr double kResEps = 1e-6;
+    const auto check_host = [&](const alvc::nfv::HostRef& host, bool is_ops, std::uint32_t id) {
+      const auto it = hosted.find({is_ops, id});
+      const alvc::topology::Resources expected =
+          it == hosted.end() ? alvc::topology::Resources{} : it->second;
+      const alvc::topology::Resources booked = orch.cloud().pool().reserved_on(host);
+      if (std::abs(booked.cpu_cores - expected.cpu_cores) > kResEps ||
+          std::abs(booked.memory_gb - expected.memory_gb) > kResEps ||
+          std::abs(booked.storage_gb - expected.storage_gb) > kResEps) {
+        out.push_back(std::string(is_ops ? "ops " : "server ") + std::to_string(id) +
+                      ": pool books " + std::to_string(booked.cpu_cores) + " cores but live " +
+                      "instances sum to " + std::to_string(expected.cpu_cores) +
+                      " (reservation conservation)");
+      }
+    };
+    for (const auto& server : topo.servers()) {
+      check_host(alvc::nfv::HostRef{server.id}, false, server.id.value());
+    }
+    for (const auto& ops : topo.opss()) {
+      if (!ops.optoelectronic) continue;
+      check_host(alvc::nfv::HostRef{ops.id}, true, ops.id.value());
+    }
+  }
+
   ALVC_COUNT_N("faults.audit.violations", out.size());
   return out;
 }

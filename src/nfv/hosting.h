@@ -47,6 +47,11 @@ class HostingPool {
   [[nodiscard]] std::vector<alvc::util::ServerId> electronic_hosts_with_capacity(
       const Resources& demand) const;
 
+  /// Capacity currently reserved on `host` (zero for untouched hosts).
+  /// Exposed so cross-layer audits can check reservation conservation:
+  /// the pool's books must equal the sum of live instances' scaled demand.
+  [[nodiscard]] Resources reserved_on(const HostRef& host) const { return used_or_zero(host); }
+
   /// True if no host is over-committed.
   [[nodiscard]] bool is_consistent() const;
 

@@ -80,7 +80,13 @@ Status VnfLifecycleManager::terminate(VnfInstanceId id) {
 Status VnfLifecycleManager::scale(VnfInstanceId id, double factor) {
   if (factor <= 0) return Error{ErrorCode::kInvalidArgument, "scale factor must be positive"};
   if (auto s = transition(id, VnfState::kScaling); !s.is_ok()) return s;
-  find(id)->scale = factor;
+  VnfInstance* inst = find(id);
+  if (inst == nullptr) {
+    // Unreachable after a successful transition (which resolved the id),
+    // but a scale must never dereference an unchecked lookup.
+    return Error{ErrorCode::kInternal, "instance vanished mid-scale"};
+  }
+  inst->scale = factor;
   return transition(id, VnfState::kActive);
 }
 

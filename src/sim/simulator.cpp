@@ -159,16 +159,16 @@ TrafficMetrics simulate_traffic(const alvc::cluster::ClusterManager& clusters,
   // Utilization: offered load per switch over the run horizon vs its port
   // capacity. The horizon is the simulated wall clock (last arrival).
   const double duration_s = std::max(queue.now(), 1e-9);
-  std::vector<double> utilization(vertex_bytes.size(), 0.0);
+  std::vector<double> vertex_util(vertex_bytes.size(), 0.0);
   for (std::size_t v = 0; v < vertex_bytes.size(); ++v) {
     if (vertex_bytes[v] <= 0) continue;
     const double port_gbps = topo.is_ops_vertex(v)
                                  ? topo.ops(topo.vertex_to_ops(v)).port_bandwidth_gbps
                                  : topo.tor(topo.vertex_to_tor(v)).port_bandwidth_gbps;
-    utilization[v] = (vertex_bytes[v] * 8.0) / (duration_s * port_gbps * 1e9);
-    metrics.switch_utilization.add(utilization[v]);
-    if (utilization[v] > metrics.peak_utilization) {
-      metrics.peak_utilization = utilization[v];
+    vertex_util[v] = (vertex_bytes[v] * 8.0) / (duration_s * port_gbps * 1e9);
+    metrics.switch_utilization.add(vertex_util[v]);
+    if (vertex_util[v] > metrics.peak_utilization) {
+      metrics.peak_utilization = vertex_util[v];
       metrics.hottest_switch = v;
     }
   }
@@ -183,7 +183,7 @@ TrafficMetrics simulate_traffic(const alvc::cluster::ClusterManager& clusters,
       double queue_delay = 0;
       if (path_index < flow_paths.size()) {
         for (std::size_t v : flow_paths[path_index]) {
-          const double rho = std::min(utilization[v], config.latency.max_utilization);
+          const double rho = std::min(vertex_util[v], config.latency.max_utilization);
           if (rho > 0) {
             queue_delay += config.latency.switch_service_us * rho / (1.0 - rho);
           }

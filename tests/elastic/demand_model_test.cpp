@@ -1,0 +1,188 @@
+// DemandModel: determinism, shape bounds, and the shared-waveform
+// contract — the discrete schedules OverloadInjector emits and the
+// continuous series DemandModel evaluates must flow from the same
+// sim/waveform.h primitives.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "elastic/demand.h"
+#include "faults/fault_injector.h"
+#include "nfv/catalog.h"
+#include "sim/waveform.h"
+#include "util/rng.h"
+
+namespace alvc::elastic {
+namespace {
+
+using alvc::faults::LoadEvent;
+using alvc::faults::OverloadInjector;
+using alvc::util::NfcId;
+using alvc::util::Rng;
+
+DemandParams quiet_params() {
+  DemandParams p;
+  p.diurnal_amplitude = 0;
+  p.flash_rate_per_s = 0;
+  p.churn_amplitude = 0;
+  return p;
+}
+
+TEST(DemandModelTest, UntrackedChainHasZeroDemand) {
+  DemandModel model{DemandParams{}};
+  EXPECT_DOUBLE_EQ(model.demand_gbps(NfcId{3}, 5.0), 0.0);
+  EXPECT_FALSE(model.tracked(NfcId{3}));
+}
+
+TEST(DemandModelTest, QuietParamsHoldTheBaseline) {
+  DemandModel model{quiet_params()};
+  model.track(NfcId{1}, 4.0);
+  for (double t = 0; t < 60.0; t += 0.7) {
+    EXPECT_DOUBLE_EQ(model.demand_gbps(NfcId{1}, t), 4.0);
+  }
+}
+
+TEST(DemandModelTest, SeriesIsDeterministicAndStableUnderRetrack) {
+  DemandParams params;
+  params.seed = 42;
+  DemandModel a{params};
+  DemandModel b{params};
+  a.track(NfcId{7}, 2.0);
+  b.track(NfcId{7}, 2.0);
+  b.track(NfcId{7}, 999.0);  // re-track must not rebuild the series
+  for (double t = 0; t < 40.0; t += 0.31) {
+    EXPECT_DOUBLE_EQ(a.demand_gbps(NfcId{7}, t), b.demand_gbps(NfcId{7}, t));
+  }
+  // Distinct chains under the same seed get decorrelated substreams.
+  a.track(NfcId{8}, 2.0);
+  bool differs = false;
+  for (double t = 0; t < 40.0 && !differs; t += 0.31) {
+    differs = std::abs(a.demand_gbps(NfcId{7}, t) - a.demand_gbps(NfcId{8}, t)) > 1e-9;
+  }
+  EXPECT_TRUE(differs);
+}
+
+TEST(DemandModelTest, DiurnalWaveStaysInsideItsEnvelopeAndActuallyMoves) {
+  DemandParams params = quiet_params();
+  params.diurnal_amplitude = 1.0;
+  params.diurnal_period_s = 10.0;
+  DemandModel model{params};
+  model.track(NfcId{1}, 3.0);
+  double lo = 1e18, hi = -1e18;
+  for (double t = 0; t < 20.0; t += 0.05) {
+    const double d = model.demand_gbps(NfcId{1}, t);
+    EXPECT_GE(d, 3.0 - 1e-9);
+    EXPECT_LE(d, 6.0 + 1e-9);
+    lo = std::min(lo, d);
+    hi = std::max(hi, d);
+  }
+  // A full period was sampled, so both extremes must have been visited.
+  EXPECT_NEAR(lo, 3.0, 0.1);
+  EXPECT_NEAR(hi, 6.0, 0.1);
+}
+
+TEST(DemandModelTest, FlashCrowdsSpikeAboveTheDiurnalCeiling) {
+  DemandParams params = quiet_params();
+  params.flash_rate_per_s = 0.5;  // essentially guaranteed within the horizon
+  params.flash_magnitude = 3.0;
+  params.horizon_s = 60.0;
+  DemandModel model{params};
+  model.track(NfcId{1}, 2.0);
+  double hi = 0;
+  for (double t = 0; t < 60.0; t += 0.05) hi = std::max(hi, model.demand_gbps(NfcId{1}, t));
+  EXPECT_GT(hi, 2.0 * (1.0 + params.flash_magnitude) - 0.5) << "no flash reached full height";
+}
+
+TEST(DemandModelTest, ChurnNoiseIsBoundedAndZeroMeanish) {
+  DemandParams params = quiet_params();
+  params.churn_amplitude = 0.2;
+  params.churn_bucket_s = 0.5;
+  DemandModel model{params};
+  model.track(NfcId{1}, 10.0);
+  double sum = 0;
+  std::size_t n = 0;
+  for (double t = 0; t < 200.0; t += 0.5) {
+    const double d = model.demand_gbps(NfcId{1}, t);
+    EXPECT_GE(d, 8.0 - 1e-9);
+    EXPECT_LE(d, 12.0 + 1e-9);
+    sum += d;
+    ++n;
+  }
+  EXPECT_NEAR(sum / static_cast<double>(n), 10.0, 0.5);
+}
+
+// ---- shared-waveform contract with OverloadInjector ----------------------
+
+std::vector<alvc::nfv::NfcSpec> three_specs() {
+  const auto catalog = alvc::nfv::VnfCatalog::make_default();
+  alvc::nfv::NfcSpec spec;
+  spec.functions = {*catalog.find_by_type(alvc::nfv::VnfType::kFirewall)};
+  return {spec, spec, spec};
+}
+
+TEST(SharedWaveformTest, FlashCrowdArrivalsAreBurstArrivalTimes) {
+  const auto specs = three_specs();
+  const auto events = OverloadInjector::flash_crowd(specs, 13.0, 0.3, 10.0, 100);
+  const auto expected = alvc::sim::burst_arrival_times(specs.size(), 13.0, 0.3);
+  std::size_t arrivals = 0;
+  for (const LoadEvent& e : events) {
+    if (!e.provision) {
+      // Joint departure: last arrival + hold.
+      EXPECT_DOUBLE_EQ(e.time_s, expected.back() + 10.0);
+      continue;
+    }
+    ASSERT_LT(arrivals, expected.size());
+    EXPECT_DOUBLE_EQ(e.time_s, expected[arrivals++]);
+  }
+  EXPECT_EQ(arrivals, expected.size());
+}
+
+TEST(SharedWaveformTest, DiurnalRampTimesComeFromTheSharedSlotMath) {
+  const auto specs = three_specs();
+  const double period = 20.0, horizon = 40.0;
+  const auto events = OverloadInjector::diurnal_ramp(specs, period, horizon, 0);
+  const double slot = alvc::sim::diurnal_slot_s(period, specs.size());
+  std::vector<double> expected;
+  for (std::size_t cycle = 0; cycle * period < horizon; ++cycle) {
+    const double start = static_cast<double>(cycle) * period;
+    for (std::size_t i = 0; i < specs.size(); ++i) {
+      const double up = alvc::sim::diurnal_up_s(start, slot, i);
+      const double down = alvc::sim::diurnal_down_s(start, period, slot, i);
+      if (up >= horizon) break;
+      expected.push_back(up);
+      if (down < horizon) expected.push_back(down);
+    }
+  }
+  std::sort(expected.begin(), expected.end());
+  ASSERT_EQ(events.size(), expected.size());
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    EXPECT_DOUBLE_EQ(events[i].time_s, expected[i]);
+  }
+}
+
+TEST(SharedWaveformTest, LopriChurnPreservesTheHistoricalDrawOrder) {
+  const auto specs = three_specs();
+  const std::uint64_t seed = 77;
+  const auto events = OverloadInjector::lopri_churn(specs, 0.4, 5.0, 40.0, seed, 0);
+  // Replay the exact draw order by hand: inter-arrival draw, then the
+  // spec pick from the same stream, repeated.
+  Rng rng(seed);
+  std::vector<std::pair<double, std::size_t>> expected;  // (arrival, spec index)
+  alvc::sim::poisson_arrivals(rng, 0.4, 40.0, [&](double t) {
+    expected.emplace_back(t, rng.uniform_index(specs.size()));
+  });
+  std::size_t arrivals = 0;
+  for (const LoadEvent& e : events) {
+    if (!e.provision) continue;
+    ASSERT_LT(arrivals, expected.size());
+    EXPECT_DOUBLE_EQ(e.time_s, expected[arrivals].first);
+    EXPECT_EQ(e.spec.priority, alvc::nfv::PriorityClass::kLopri);
+    ++arrivals;
+  }
+  EXPECT_EQ(arrivals, expected.size());
+}
+
+}  // namespace
+}  // namespace alvc::elastic

@@ -116,6 +116,22 @@ TEST(AlvcLintTest, TelemetryIsBelowTheOrchestrator) {
             (std::multiset<std::pair<std::string, std::size_t>>{{"layering-include", 1}}));
 }
 
+TEST(AlvcLintTest, ElasticIsAboveEveryOtherSrcLayer) {
+  const std::string content = "#include \"elastic/controller.h\"\n";
+  // No src/ layer — not even the application-rank ones — may depend on the
+  // elastic loop; it is wired in from outside.
+  for (const char* path : {"src/core/bad.cc", "src/faults/bad.cc", "src/orchestrator/bad.cc",
+                           "src/util/bad.cc"}) {
+    EXPECT_EQ(rules_and_lines(lint_source(path, content)),
+              (std::multiset<std::pair<std::string, std::size_t>>{{"elastic-include", 1}}))
+        << path;
+  }
+  // The subsystem's own files and out-of-src consumers include it freely.
+  EXPECT_TRUE(lint_source("src/elastic/controller.cpp", content).empty());
+  EXPECT_TRUE(lint_source("tests/elastic/fine.cc", content).empty());
+  EXPECT_TRUE(lint_source("bench/bench_elastic_scaling.cpp", content).empty());
+}
+
 TEST(AlvcLintTest, PassesCleanFixture) {
   const auto findings = lint_source("src/util/clean.cc", read_fixture("clean.cc"));
   EXPECT_TRUE(findings.empty()) << alvc::lint::to_string(findings.front());

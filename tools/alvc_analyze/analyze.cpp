@@ -15,13 +15,16 @@
 namespace alvc::analyze {
 namespace {
 
-// Layer ranks, mirroring alvc_lint's include rule. Layers above the
-// orchestrator (io, sim, faults, core) share one application rank.
+// Layer ranks, mirroring alvc_lint's include rules. Layers above the
+// orchestrator (io, sim, faults, core) share one application rank; the
+// elastic control loop sits above even those — nothing below may call it
+// (it is driven from outside via the ChaosParams tick hook).
 const std::map<std::string, int>& layer_ranks() {
   static const std::map<std::string, int> kRanks = {
       {"util", 0},   {"telemetry", 1}, {"graph", 2}, {"topology", 3},
       {"cluster", 4}, {"nfv", 5},      {"sdn", 6},   {"orchestrator", 7},
-      {"io", 8},     {"sim", 8},       {"faults", 8}, {"core", 8}};
+      {"io", 8},     {"sim", 8},       {"faults", 8}, {"core", 8},
+      {"elastic", 9}};
   return kRanks;
 }
 

@@ -18,8 +18,8 @@
 //   layering-call        call-graph layering: a layer may only call
 //                        downwards (util < telemetry < graph < topology <
 //                        cluster < nfv < sdn < orchestrator < io/sim/
-//                        faults/core), mirroring alvc_lint's include rule at
-//                        call granularity.
+//                        faults/core < elastic), mirroring alvc_lint's
+//                        include rules at call granularity.
 //
 // A finding on line N is waived by an `alvc-analyze: allow(<pass>)` comment
 // on that line ("*" waives every pass). The driver (main.cpp) additionally

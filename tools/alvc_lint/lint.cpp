@@ -82,6 +82,16 @@ const std::vector<Rule>& rules() {
                  layer == "topology" || layer == "cluster" || layer == "nfv" || layer == "sdn";
         }});
     r.push_back(Rule{
+        "elastic-include",
+        "src/ layer includes an elastic/ header; the elastic control loop is the top "
+        "of the stack — it drives the orchestrator and is wired in from outside "
+        "(tests, benches, the faults tick hook), never included from below",
+        std::regex(R"(#\s*include\s*"elastic/)", flags),
+        [](std::string_view path) {
+          const std::string_view layer = src_layer(path);
+          return !layer.empty() && layer != "elastic";
+        }});
+    r.push_back(Rule{
         "raw-chrono-clock",
         "raw std::chrono clock read outside the telemetry layer; route timing through "
         "telemetry::Tracer (logical or steady mode) or core::Experiment so seeded runs "

@@ -1,6 +1,6 @@
 // alvc_lint: project-specific source rules clang-tidy cannot know.
 //
-// Seven rules, each encoding a contract earlier PRs established:
+// Eight rules, each encoding a contract earlier PRs established:
 //
 //   nondeterministic-rng  no rand()/srand()/std::random_device/wall-clock
 //                         seeds in src/ or tests/ — every stochastic path
@@ -20,6 +20,11 @@
 //   layering-include      layers below the orchestrator (util, telemetry,
 //                         graph, topology, cluster, nfv, sdn) must not
 //                         include orchestrator/ headers.
+//   elastic-include       no src/ layer other than elastic/ itself includes
+//                         elastic/ headers — the elastic control loop sits
+//                         at the very top of the stack and is composed from
+//                         outside (tests, benches, the ChaosParams tick
+//                         hook), never depended on from below.
 //   raw-chrono-clock      no raw std::chrono::steady_clock reads outside
 //                         src/telemetry/ and core/experiment.h — timing goes
 //                         through telemetry::Tracer (whose logical mode keeps
