@@ -1,0 +1,104 @@
+#!/usr/bin/env python3
+"""Bench regression gate over alvc-bench-trajectory-v1 files.
+
+usage: bench_gate.py <fresh.json> [<baseline.json>]
+
+Compares the fresh run's after_cpu_time_us per (bench, name) row against
+the baseline's. Without an explicit baseline the newest committed
+BENCH_PR*.json in the current directory (the repo root in CI) is used;
+with no committed trajectory at all the gate passes vacuously so the
+first PR that introduces benchmarks can land.
+
+A row is a regression when fresh > baseline * (1 + tolerance). The
+tolerance defaults to 0.25 and can be widened for a noisy host via
+ALVC_BENCH_TOLERANCE (a fraction, e.g. ALVC_BENCH_TOLERANCE=0.60).
+Rows present on only one side are reported but never fatal: new
+benchmarks must not need a baseline edit to land, and retired ones must
+not wedge the gate.
+
+Exit codes: 0 clean, 1 regression, 2 usage or malformed input.
+"""
+
+import glob
+import json
+import os
+import sys
+
+
+def fail_usage(message):
+    print(f"bench_gate: {message}", file=sys.stderr)
+    sys.exit(2)
+
+
+def load(path):
+    try:
+        with open(path) as f:
+            data = json.load(f)
+    except OSError as err:
+        fail_usage(f"cannot read {path}: {err.strerror}")
+    except json.JSONDecodeError as err:
+        fail_usage(f"{path} is not valid JSON: {err}")
+    if data.get("schema") != "alvc-bench-trajectory-v1":
+        fail_usage(f"{path}: expected schema alvc-bench-trajectory-v1, "
+                   f"got {data.get('schema')!r}")
+    return {(row["bench"], row["name"]): row["after_cpu_time_us"]
+            for row in data.get("benchmarks", [])
+            if row.get("after_cpu_time_us") is not None}
+
+
+def main(argv):
+    if len(argv) < 2 or len(argv) > 3:
+        fail_usage("usage: bench_gate.py <fresh.json> [<baseline.json>]")
+    fresh_path = argv[1]
+    if len(argv) == 3:
+        baseline_path = argv[2]
+    else:
+        committed = sorted(glob.glob("BENCH_PR*.json"), reverse=True)
+        if not committed:
+            print("bench_gate: no committed BENCH_PR*.json baseline; "
+                  "gate passes vacuously")
+            return 0
+        baseline_path = committed[0]
+
+    try:
+        tolerance = float(os.environ.get("ALVC_BENCH_TOLERANCE", "0.25"))
+    except ValueError:
+        fail_usage("ALVC_BENCH_TOLERANCE must be a number (a fraction, e.g. 0.25)")
+    if tolerance < 0:
+        fail_usage("ALVC_BENCH_TOLERANCE must be >= 0")
+
+    fresh = load(fresh_path)
+    baseline = load(baseline_path)
+    print(f"bench_gate: {fresh_path} vs {baseline_path} "
+          f"(tolerance {tolerance:.0%})")
+
+    regressions = []
+    for key in sorted(baseline):
+        bench, name = key
+        if key not in fresh:
+            print(f"  [gone] {bench}/{name}: not in the fresh run")
+            continue
+        before, after = baseline[key], fresh[key]
+        if before <= 0:
+            print(f"  [skip] {bench}/{name}: non-positive baseline {before}")
+            continue
+        ratio = after / before
+        verdict = "ok" if ratio <= 1 + tolerance else "REGRESSED"
+        print(f"  [{verdict}] {bench}/{name}: "
+              f"{before:.1f}us -> {after:.1f}us ({ratio:.2f}x)")
+        if verdict == "REGRESSED":
+            regressions.append((bench, name, ratio))
+    for bench, name in sorted(set(fresh) - set(baseline)):
+        print(f"  [new] {bench}/{name}: {fresh[(bench, name)]:.1f}us, no baseline")
+
+    if regressions:
+        print(f"bench_gate: {len(regressions)} benchmark(s) regressed beyond "
+              f"{tolerance:.0%}; widen with ALVC_BENCH_TOLERANCE if the host "
+              f"is noisy", file=sys.stderr)
+        return 1
+    print("bench_gate: no regressions")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

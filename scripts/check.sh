@@ -40,13 +40,17 @@
 #   scripts/check.sh --ci <leg>         # exactly one CI leg: static, analyze,
 #                                       #   tier1, tsan, asan, ubsan,
 #                                       #   telemetry, overload-soak,
-#                                       #   elastic-soak, bench-smoke
-#   scripts/check.sh --bench-json <out> # run the two tracked benchmarks
+#                                       #   elastic-soak, bench-smoke,
+#                                       #   scale-soak
+#   scripts/check.sh --bench-json <out> # run the tracked benchmarks
 #                                       #   (bench_route_cache,
-#                                       #   bench_fig4_al_construction) and
+#                                       #   bench_fig4_al_construction,
+#                                       #   bench_sharded_control_plane) and
 #                                       #   write alvc-bench-trajectory-v1
 #                                       #   JSON; see emit_bench_json for
 #                                       #   baseline resolution
+#                                       #   (ALVC_BENCH_SCALE=full adds the
+#                                       #   million-VM rows, Release build)
 #   ALVC_SKIP_CLANG_STATIC=1 scripts/check.sh  # clang-less host: skip TSA build
 #   ALVC_SKIP_TSAN=1 scripts/check.sh   # skip the TSan pass (e.g. unsupported host)
 #   ALVC_SKIP_ASAN=1 scripts/check.sh   # skip the ASan pass
@@ -214,10 +218,11 @@ leg_elastic_soak() {
 }
 
 leg_bench_smoke() {
-  echo "== bench smoke: route cache + parallel AL build + elastic (tiny sizes, JSON out) =="
+  echo "== bench smoke: route cache + parallel AL build + elastic + sharded (tiny sizes, JSON out) =="
   cmake -B build -S . >/dev/null
   cmake --build build -j "$jobs" --target \
-    bench_route_cache bench_parallel_al_build bench_elastic_scaling
+    bench_route_cache bench_parallel_al_build bench_elastic_scaling \
+    bench_sharded_control_plane
   mkdir -p build/bench-smoke
   ./build/bench/bench_route_cache \
     --benchmark_min_time=0.01 \
@@ -231,16 +236,46 @@ leg_bench_smoke() {
     --benchmark_min_time=0.01 \
     --benchmark_out=build/bench-smoke/elastic_scaling.json \
     --benchmark_out_format=json
-  emit_bench_json build/bench-smoke/BENCH_PR9.json
+  ./build/bench/bench_sharded_control_plane \
+    --benchmark_min_time=0.01 \
+    --benchmark_out=build/bench-smoke/sharded_control_plane.json \
+    --benchmark_out_format=json
+  emit_bench_json build/bench-smoke/BENCH_PR10.json
+  echo "== bench regression gate: fresh trajectory vs newest committed BENCH_PR*.json =="
+  # >25% slower on any tracked row fails the job; a noisy host can widen
+  # the band with ALVC_BENCH_TOLERANCE (a fraction, e.g. 0.60).
+  python3 scripts/bench_gate.py build/bench-smoke/BENCH_PR10.json
   echo "== bench smoke artifacts in build/bench-smoke/ =="
 }
 
-# emit_bench_json <out.json> — runs the two tracked benchmarks
-# (bench_route_cache and bench_fig4_al_construction) and writes an
+leg_scale_soak() {
+  echo "== scale soak: sharded-vs-serial differential + million-VM smoke (Release) =="
+  cmake -B build-scale -S . -DCMAKE_BUILD_TYPE=Release >/dev/null
+  cmake --build build-scale -j "$jobs" --target \
+    orchestrator_sharded_differential_test faults_scale_soak_test
+
+  echo "== sharded differential, shard counts {1,2,4,8} (reduced seed set) =="
+  # CI runs fewer seeds than the local default (20) to bound wall clock;
+  # override with ALVC_SHARD_DIFF_SEEDS.
+  ALVC_SHARD_DIFF_SEEDS="${ALVC_SHARD_DIFF_SEEDS:-6}" ctest --test-dir build-scale \
+    --output-on-failure -R 'ShardedDifferentialTest'
+
+  echo "== million-VM smoke: 100k chains over 1M VMs under mixed faults =="
+  ALVC_SCALE_SOAK=1 ctest --test-dir build-scale --output-on-failure \
+    --timeout 3000 -R 'ScaleSoakTest'
+}
+
+# emit_bench_json <out.json> — runs the tracked benchmarks
+# (bench_route_cache, bench_fig4_al_construction, and the mid-scale
+# bench_sharded_control_plane serial/sharded cycles) and writes an
 # alvc-bench-trajectory-v1 JSON: per benchmark name, the current cpu time
 # in microseconds next to a "before" baseline and the resulting speedup.
+# With ALVC_BENCH_SCALE=full, the million-VM sharded benchmark also runs
+# (from the Release build-scale tree — Debug at that size is minutes of
+# topology build alone) and its rows are merged in; CI runs without the
+# env, so those rows show up as [gone] in the gate, which is non-fatal.
 # Baseline resolution, in order:
-#   1. $ALVC_BENCH_BASELINE_DIR/{route_cache,fig4}.json — raw
+#   1. $ALVC_BENCH_BASELINE_DIR/{route_cache,fig4,sharded}.json — raw
 #      google-benchmark JSON captured on the pre-change tree;
 #   2. the newest committed BENCH_PR*.json at the repo root (its `before`
 #      values carry forward, so CI tracks drift against the trajectory);
@@ -249,7 +284,8 @@ emit_bench_json() {
   local out="$1"
   echo "== bench json: tracked benchmarks -> $out =="
   cmake -B build -S . >/dev/null
-  cmake --build build -j "$jobs" --target bench_route_cache bench_fig4_al_construction
+  cmake --build build -j "$jobs" --target \
+    bench_route_cache bench_fig4_al_construction bench_sharded_control_plane
   local tmpdir
   tmpdir="$(mktemp -d)"
   ./build/bench/bench_route_cache \
@@ -261,6 +297,19 @@ emit_bench_json() {
     --benchmark_filter='/512$' \
     --benchmark_out="$tmpdir/fig4.json" \
     --benchmark_out_format=json
+  ALVC_BENCH_SCALE= ./build/bench/bench_sharded_control_plane \
+    --benchmark_min_time=0.05 \
+    --benchmark_out="$tmpdir/sharded.json" \
+    --benchmark_out_format=json
+  if [[ "${ALVC_BENCH_SCALE:-}" == "full" ]]; then
+    echo "== bench json: million-VM sharded rows (Release build-scale) =="
+    cmake -B build-scale -S . -DCMAKE_BUILD_TYPE=Release >/dev/null
+    cmake --build build-scale -j "$jobs" --target bench_sharded_control_plane
+    ALVC_BENCH_SCALE=full ./build-scale/bench/bench_sharded_control_plane \
+      --benchmark_filter='MillionVm' \
+      --benchmark_out="$tmpdir/sharded_full.json" \
+      --benchmark_out_format=json
+  fi
   python3 - "$tmpdir" "$out" <<'PY'
 import json, os, sys
 
@@ -278,12 +327,17 @@ def load_cpu_us(path):
     return result
 
 after = {"bench_route_cache": load_cpu_us(f"{tmpdir}/route_cache.json"),
-         "bench_fig4_al_construction": load_cpu_us(f"{tmpdir}/fig4.json")}
+         "bench_fig4_al_construction": load_cpu_us(f"{tmpdir}/fig4.json"),
+         "bench_sharded_control_plane": load_cpu_us(f"{tmpdir}/sharded.json")}
+full_path = os.path.join(tmpdir, "sharded_full.json")
+if os.path.exists(full_path):
+    after["bench_sharded_control_plane"].update(load_cpu_us(full_path))
 
 before = {}
 if baseline_dir:
     for bench, raw in (("bench_route_cache", "route_cache.json"),
-                       ("bench_fig4_al_construction", "fig4.json")):
+                       ("bench_fig4_al_construction", "fig4.json"),
+                       ("bench_sharded_control_plane", "sharded.json")):
         path = os.path.join(baseline_dir, raw)
         if os.path.exists(path):
             before[bench] = load_cpu_us(path)
@@ -324,7 +378,9 @@ while [[ $# -gt 0 ]]; do
   case "$1" in
     --static-only) static_only=1; shift ;;
     --ci)
-      [[ $# -ge 2 ]] || { echo "--ci requires a leg name" >&2; exit 2; }
+      # An empty leg name must fail loudly: before this check, `--ci ""`
+      # parsed fine and silently ran the FULL local gate instead of one leg.
+      [[ $# -ge 2 && -n "$2" ]] || { echo "--ci requires a non-empty leg name" >&2; exit 2; }
       ci_leg="$2"; shift 2 ;;
     --bench-json)
       [[ $# -ge 2 ]] || { echo "--bench-json requires an output path" >&2; exit 2; }
@@ -350,7 +406,8 @@ if [[ -n "$ci_leg" ]]; then
     overload-soak) leg_overload_soak ;;
     elastic-soak) leg_elastic_soak ;;
     bench-smoke) leg_bench_smoke ;;
-    *) echo "unknown CI leg: $ci_leg (expected static, analyze, tier1, tsan, asan, ubsan, telemetry, overload-soak, elastic-soak, bench-smoke)" >&2
+    scale-soak) leg_scale_soak ;;
+    *) echo "unknown CI leg: $ci_leg (expected static, analyze, tier1, tsan, asan, ubsan, telemetry, overload-soak, elastic-soak, bench-smoke, scale-soak)" >&2
        exit 2 ;;
   esac
   echo "== CI leg '$ci_leg' passed =="

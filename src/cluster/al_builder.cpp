@@ -32,7 +32,30 @@ std::vector<TorId> tors_of_group(const DataCenterTopology& topo, std::span<const
 std::vector<TorId> select_tors(const DataCenterTopology& topo, std::span<const VmId> group,
                                bool exact, std::size_t node_budget) {
   ALVC_SPAN(span, "al_builder.select_tors");
-  const BipartiteGraph g = topo.vm_tor_graph(group);
+  // Left = the group's VMs, right = only the live ToRs those VMs connect
+  // to, dense re-indexed in ascending id order so the greedy cover's
+  // lowest-index tie-break is untouched (a failed ToR covered nobody
+  // before, so dropping it entirely is equivalent). vm_tor_graph sizes the
+  // right side to every ToR in the DC, which made each build O(#ToRs) and
+  // a 100k-cluster batch build quadratic.
+  std::vector<TorId::value_type> candidates;
+  for (const VmId vm : group) {
+    for (TorId t : topo.tors_of_vm(vm)) {
+      if (topo.tor_usable(t)) candidates.push_back(t.value());
+    }
+  }
+  std::sort(candidates.begin(), candidates.end());
+  candidates.erase(std::unique(candidates.begin(), candidates.end()), candidates.end());
+  const auto dense_index = [&](TorId t) {
+    return static_cast<std::size_t>(
+        std::lower_bound(candidates.begin(), candidates.end(), t.value()) - candidates.begin());
+  };
+  BipartiteGraph g(group.size(), candidates.size());
+  for (std::size_t i = 0; i < group.size(); ++i) {
+    for (TorId t : topo.tors_of_vm(group[i])) {
+      if (topo.tor_usable(t)) g.add_edge(i, dense_index(t));
+    }
+  }
   std::vector<std::size_t> chosen;
   if (exact) {
     if (auto result = alvc::graph::exact_one_sided_cover(g, node_budget)) {
@@ -45,7 +68,7 @@ std::vector<TorId> select_tors(const DataCenterTopology& topo, std::span<const V
   }
   std::vector<TorId> tors;
   tors.reserve(chosen.size());
-  for (std::size_t t : chosen) tors.push_back(TorId{static_cast<TorId::value_type>(t)});
+  for (std::size_t t : chosen) tors.push_back(TorId{candidates[t]});
   return tors;
 }
 
@@ -56,14 +79,29 @@ Expected<std::vector<OpsId>> select_ops(const DataCenterTopology& topo,
                                         const OpsOwnership& ownership, bool exact,
                                         std::size_t node_budget) {
   ALVC_SPAN(span, "al_builder.select_ops");
-  // Left = selected ToRs (dense re-index), right = all OPSs; edges only to
-  // free OPSs so ownership exclusivity is respected by construction.
-  BipartiteGraph g(tors.size(), topo.ops_count());
+  // Left = selected ToRs (dense re-index), right = the OPSs on those ToRs'
+  // uplink windows (dense re-index in ascending id order, so the greedy
+  // cover's lowest-index tie-break is untouched); edges only to free OPSs
+  // so ownership exclusivity is respected by construction. Sizing the
+  // right side to the whole pool made every build O(pool), which turned a
+  // 100k-cluster batch build quadratic.
+  std::vector<OpsId::value_type> candidates;
+  for (const TorId tor : tors) {
+    for (OpsId ops : topo.tor(tor).uplinks) candidates.push_back(ops.value());
+  }
+  std::sort(candidates.begin(), candidates.end());
+  candidates.erase(std::unique(candidates.begin(), candidates.end()), candidates.end());
+  const auto dense_index = [&](OpsId ops) {
+    return static_cast<std::size_t>(
+        std::lower_bound(candidates.begin(), candidates.end(), ops.value()) -
+        candidates.begin());
+  };
+  BipartiteGraph g(tors.size(), candidates.size());
   for (std::size_t i = 0; i < tors.size(); ++i) {
     bool any = false;
     for (OpsId ops : topo.tor(tors[i]).uplinks) {
       if (ownership.is_free(ops) && topo.link_usable(tors[i], ops)) {
-        g.add_edge(i, ops.index());
+        g.add_edge(i, dense_index(ops));
         any = true;
       }
     }
@@ -84,7 +122,7 @@ Expected<std::vector<OpsId>> select_ops(const DataCenterTopology& topo,
   }
   std::vector<OpsId> opss;
   opss.reserve(chosen.size());
-  for (std::size_t o : chosen) opss.push_back(OpsId{static_cast<OpsId::value_type>(o)});
+  for (std::size_t o : chosen) opss.push_back(OpsId{candidates[o]});
   return opss;
 }
 

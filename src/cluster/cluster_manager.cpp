@@ -1,6 +1,9 @@
 #include "cluster/cluster_manager.h"
 
 #include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <memory>
 
 #include "cluster/service.h"
 #include "telemetry/telemetry.h"
@@ -13,15 +16,45 @@ using alvc::util::ErrorCode;
 using alvc::util::TorId;
 
 ClusterManager::ClusterManager(DataCenterTopology& topo)
-    : topo_(&topo), ownership_(topo.ops_count()) {}
+    : topo_(&topo),
+      ownership_(topo.ops_count()),
+      vm_owner_(topo.vm_count(), ClusterId::invalid()) {}
+
+void ClusterManager::set_vm_owner(VmId vm, ClusterId owner) {
+  const std::size_t slot = vm.index();
+  if (slot >= vm_owner_.size()) {
+    // The topology gained VMs since construction; track it (sizing, not
+    // vertex-layout arithmetic).
+    vm_owner_.resize(std::max(topo_->vm_count(), slot + 1), ClusterId::invalid());
+  }
+  vm_owner_[slot] = owner;
+}
+
+ClusterId ClusterManager::vm_owner(VmId vm) const noexcept {
+  return vm.index() < vm_owner_.size() ? vm_owner_[vm.index()] : ClusterId::invalid();
+}
+
+void ClusterManager::set_degraded(VirtualCluster& vc, bool degraded) {
+  vc.degraded = degraded;
+  if (degraded) {
+    degraded_ids_.insert(vc.id);
+  } else {
+    degraded_ids_.erase(vc.id);
+  }
+}
+
+std::vector<ClusterId> ClusterManager::degraded_cluster_ids() const {
+  return {degraded_ids_.begin(), degraded_ids_.end()};
+}
 
 Status ClusterManager::check_group_free(std::span<const VmId> group) const {
+  // The owner index makes this O(|group|); exclusivity guarantees the
+  // owner it reports is the one the old full scan would have found.
   for (VmId vm : group) {
-    for (const auto& [cid, vc] : clusters_) {
-      if (vc.contains_vm(vm)) {
-        return Error{ErrorCode::kConflict, "VM " + std::to_string(vm.value()) +
-                                               " already in cluster " + std::to_string(cid.value())};
-      }
+    const ClusterId owner = vm_owner(vm);
+    if (owner.valid()) {
+      return Error{ErrorCode::kConflict, "VM " + std::to_string(vm.value()) +
+                                             " already in cluster " + std::to_string(owner.value())};
     }
   }
   return Status::ok();
@@ -39,6 +72,9 @@ Expected<ClusterId> ClusterManager::commit_built(ServiceId service, std::span<co
                     .layer = std::move(built.layer),
                     .connected = built.connected};
   clusters_.emplace(id, std::move(vc));
+  for (VmId vm : group) set_vm_owner(vm, id);
+  auto& peers = by_service_[service.value()];
+  peers.insert(std::upper_bound(peers.begin(), peers.end(), id), id);
   // AL membership defines slice subgraphs; epoch-versioned route caches
   // must see every change to it, so each layer mutation below bumps the
   // topology's mutation epoch even though no element changed.
@@ -94,14 +130,27 @@ Expected<std::vector<ClusterId>> ClusterManager::build_all_clusters(const AlBuil
   };
   const OpsOwnership snapshot = ownership_;
   std::vector<Speculation> spec(groups.size());
+  // Each worker thread refreshes one thread-local copy of the snapshot per
+  // batch instead of copying it per task: the builder only reads ownership
+  // (the copy exists so each task can attach its own read log), and a
+  // per-task copy is O(groups x pool) — tens of gigabytes of memcpy for a
+  // 100k-group build over a 100k-OPS pool.
+  static std::atomic<std::uint64_t> batch_counter{0};
+  const std::uint64_t batch = ++batch_counter;
   auto tasks = executor->new_task_group();
   for (std::size_t s = 0; s < groups.size(); ++s) {
     if (groups[s].empty()) continue;
-    tasks->submit([&, s] {
-      OpsOwnership local_view = snapshot;
-      spec[s].reads = alvc::util::DynamicBitset(local_view.ops_count());
-      local_view.set_read_log(&spec[s].reads);
-      spec[s].result.emplace(builder.build(*topo_, groups[s], local_view));
+    tasks->submit([&, s, batch] {
+      thread_local std::uint64_t view_batch = 0;
+      thread_local std::unique_ptr<OpsOwnership> view;
+      if (view_batch != batch) {
+        view = std::make_unique<OpsOwnership>(snapshot);
+        view_batch = batch;
+      }
+      spec[s].reads = alvc::util::DynamicBitset(view->ops_count());
+      view->set_read_log(&spec[s].reads);
+      spec[s].result.emplace(builder.build(*topo_, groups[s], *view));
+      view->set_read_log(nullptr);
     });
   }
   tasks->wait_all();
@@ -149,6 +198,13 @@ Status ClusterManager::destroy_cluster(ClusterId id) {
     return Error{ErrorCode::kNotFound, "no cluster " + std::to_string(id.value())};
   }
   ownership_.release_all(id);
+  for (VmId vm : it->second.vms) set_vm_owner(vm, ClusterId::invalid());
+  const auto peers = by_service_.find(it->second.service.value());
+  if (peers != by_service_.end()) {
+    std::erase(peers->second, id);
+    if (peers->second.empty()) by_service_.erase(peers);
+  }
+  degraded_ids_.erase(id);
   clusters_.erase(it);
   topo_->bump_mutation_epoch();
   return Status::ok();
@@ -160,10 +216,8 @@ Expected<UpdateCost> ClusterManager::add_vm(ClusterId id, VmId vm) {
   if (vc->contains_vm(vm)) {
     return Error{ErrorCode::kInvalidArgument, "VM already in this cluster"};
   }
-  for (const auto& [cid, other] : clusters_) {
-    if (cid != id && other.contains_vm(vm)) {
-      return Error{ErrorCode::kConflict, "VM belongs to another cluster"};
-    }
+  if (const ClusterId owner = vm_owner(vm); owner.valid() && owner != id) {
+    return Error{ErrorCode::kConflict, "VM belongs to another cluster"};
   }
   UpdateCost cost;
   const auto homes = topo_->tors_of_vm(vm);
@@ -176,6 +230,7 @@ Expected<UpdateCost> ClusterManager::add_vm(ClusterId id, VmId vm) {
     cost += *extend;
   }
   vc->vms.push_back(vm);
+  set_vm_owner(vm, id);
   cost.flow_rules += 1;  // install the VM's rule at its ToR
   ALVC_COUNT("cluster.churn.vm_adds");
   ALVC_OBSERVE("cluster.churn.update_cost", 0, 32, 32, cost.total());
@@ -189,6 +244,7 @@ Expected<UpdateCost> ClusterManager::remove_vm(ClusterId id, VmId vm) {
   if (it == vc->vms.end()) return Error{ErrorCode::kNotFound, "VM not in cluster"};
   const TorId tor = topo_->tor_of_vm(vm);
   vc->vms.erase(it);
+  set_vm_owner(vm, ClusterId::invalid());
   UpdateCost cost;
   cost.flow_rules += 1;  // remove the VM's rule
   // Shrink only when no remaining member reaches the ToR by ANY homing, so
@@ -391,7 +447,8 @@ Expected<std::vector<UpdateCost>> ClusterManager::reoptimize_clusters(
   return costs;
 }
 
-Expected<UpdateCost> ClusterManager::handle_ops_failure(alvc::util::OpsId ops) {
+Expected<UpdateCost> ClusterManager::handle_ops_failure(alvc::util::OpsId ops,
+                                                        std::vector<ClusterId>* touched) {
   if (ops.index() >= topo_->ops_count()) {
     return Error{ErrorCode::kInvalidArgument, "bad OPS id"};
   }
@@ -401,9 +458,10 @@ Expected<UpdateCost> ClusterManager::handle_ops_failure(alvc::util::OpsId ops) {
   const ClusterId owner = ownership_.owner(ops);
   ALVC_IGNORE_STATUS(topo_->set_ops_failed(ops, true), "the ops id was validated above");
   UpdateCost cost;
-  if (!owner.valid()) return cost;
+  if (!owner.valid()) return cost;  // free-pool OPS: no AL touches anything it routed
   VirtualCluster* vc = find_mutable(owner);
   if (vc == nullptr) return cost;  // stale ownership; nothing to repair
+  if (touched != nullptr) touched->push_back(owner);
 
   // The hardware is gone regardless of how the repair goes: evict it.
   std::erase(vc->layer.opss, ops);
@@ -440,7 +498,7 @@ Expected<UpdateCost> ClusterManager::repair_coverage(VirtualCluster& vc) {
     }
     if (!pick.valid()) {
       vc.connected = cluster_subgraph_connected(*topo_, vc.layer);
-      vc.degraded = true;
+      set_degraded(vc, true);
       return Error{ErrorCode::kInfeasible,
                    "AL repair: ToR " + std::to_string(tor.value()) + " has no usable uplink"};
     }
@@ -455,7 +513,7 @@ Expected<UpdateCost> ClusterManager::repair_coverage(VirtualCluster& vc) {
   cost.ops_changes += added;
   cost.flow_rules += added;
   if (auto status = ownership_.acquire(candidate.opss, vc.id); !status.is_ok()) {
-    vc.degraded = true;
+    set_degraded(vc, true);
     return status.error();
   }
   vc.layer = std::move(candidate);
@@ -464,7 +522,7 @@ Expected<UpdateCost> ClusterManager::repair_coverage(VirtualCluster& vc) {
   // Uplink repair fixes ToR-to-OPS coverage only; the cluster may still be
   // degraded for an unrelated reason (e.g. a member rack's ToR is down and
   // its VMs are unreachable), so re-derive the flag from actual coverage.
-  vc.degraded = !al_covers_group(*topo_, vc.vms, vc.layer);
+  set_degraded(vc, !al_covers_group(*topo_, vc.vms, vc.layer));
   return cost;
 }
 
@@ -493,7 +551,7 @@ UpdateCost ClusterManager::rebuild_cluster(VirtualCluster& vc, const AlBuilder& 
     vc.layer.opss.clear();
     vc.layer.tors.clear();
     vc.connected = true;  // vacuously
-    vc.degraded = !vc.vms.empty();
+    set_degraded(vc, !vc.vms.empty());
     topo_->bump_mutation_epoch();
     return cost;
   }
@@ -504,7 +562,7 @@ UpdateCost ClusterManager::rebuild_cluster(VirtualCluster& vc, const AlBuilder& 
   if (!rebuilt) {
     // Keep the incumbent AL (it may still serve part of the group) and mark
     // the cluster degraded so a later recovery retries the rebuild.
-    vc.degraded = true;
+    set_degraded(vc, true);
     vc.connected = cluster_subgraph_connected(*topo_, vc.layer);
     return cost;
   }
@@ -541,17 +599,18 @@ UpdateCost ClusterManager::rebuild_cluster(VirtualCluster& vc, const AlBuilder& 
     // Should not happen (scratch proved feasibility); restore the old AL.
     ALVC_IGNORE_STATUS(ownership_.acquire(vc.layer.opss, vc.id),
                        "restoring the AL we just released; those OPSs are still free");
-    vc.degraded = true;
+    set_degraded(vc, true);
     return UpdateCost{};
   }
   vc.layer = std::move(rebuilt->layer);
   vc.connected = rebuilt->connected;
-  vc.degraded = reachable.size() != vc.vms.size();
+  set_degraded(vc, reachable.size() != vc.vms.size());
   topo_->bump_mutation_epoch();
   return cost;
 }
 
-Expected<UpdateCost> ClusterManager::handle_tor_failure(TorId tor, const AlBuilder& builder) {
+Expected<UpdateCost> ClusterManager::handle_tor_failure(TorId tor, const AlBuilder& builder,
+                                                        std::vector<ClusterId>* touched) {
   if (tor.index() >= topo_->tor_count()) {
     return Error{ErrorCode::kInvalidArgument, "bad ToR id"};
   }
@@ -563,6 +622,7 @@ Expected<UpdateCost> ClusterManager::handle_tor_failure(TorId tor, const AlBuild
   for (ClusterId id : sorted_cluster_ids()) {
     VirtualCluster* vc = find_mutable(id);
     if (vc == nullptr || !vc->layer.contains_tor(tor)) continue;
+    if (touched != nullptr) touched->push_back(id);
     std::erase(vc->layer.tors, tor);
     topo_->bump_mutation_epoch();
     cost.tor_changes += 1;
@@ -587,7 +647,8 @@ Status ClusterManager::handle_server_recovery(ServerId server) {
   return topo_->set_server_failed(server, false);
 }
 
-Expected<UpdateCost> ClusterManager::handle_link_failure(TorId tor, alvc::util::OpsId ops) {
+Expected<UpdateCost> ClusterManager::handle_link_failure(TorId tor, alvc::util::OpsId ops,
+                                                         std::vector<ClusterId>* touched) {
   if (tor.index() >= topo_->tor_count() || ops.index() >= topo_->ops_count()) {
     return Error{ErrorCode::kInvalidArgument, "bad link endpoint id"};
   }
@@ -601,6 +662,7 @@ Expected<UpdateCost> ClusterManager::handle_link_failure(TorId tor, alvc::util::
   for (ClusterId id : sorted_cluster_ids()) {
     VirtualCluster* vc = find_mutable(id);
     if (vc == nullptr || !vc->layer.contains_tor(tor)) continue;
+    if (touched != nullptr) touched->push_back(id);
     // An infeasible repair leaves this cluster degraded; keep sweeping —
     // one stranded cluster must not block the others.
     if (auto repair = repair_coverage(*vc)) cost += *repair;
@@ -609,7 +671,8 @@ Expected<UpdateCost> ClusterManager::handle_link_failure(TorId tor, alvc::util::
 }
 
 Expected<UpdateCost> ClusterManager::handle_ops_recovery(alvc::util::OpsId ops,
-                                                         const AlBuilder& builder) {
+                                                         const AlBuilder& builder,
+                                                         std::vector<ClusterId>* touched) {
   if (ops.index() >= topo_->ops_count()) {
     return Error{ErrorCode::kInvalidArgument, "bad OPS id"};
   }
@@ -617,10 +680,11 @@ Expected<UpdateCost> ClusterManager::handle_ops_recovery(alvc::util::OpsId ops,
   ALVC_SPAN(span, "cluster.handle_ops_recovery");
   ALVC_COUNT("cluster.recoveries.ops");
   ALVC_IGNORE_STATUS(topo_->set_ops_failed(ops, false), "the ops id was validated above");
-  return restore_degraded_clusters(builder);
+  return restore_degraded_clusters(builder, touched);
 }
 
-Expected<UpdateCost> ClusterManager::handle_tor_recovery(TorId tor, const AlBuilder& builder) {
+Expected<UpdateCost> ClusterManager::handle_tor_recovery(TorId tor, const AlBuilder& builder,
+                                                         std::vector<ClusterId>* touched) {
   if (tor.index() >= topo_->tor_count()) {
     return Error{ErrorCode::kInvalidArgument, "bad ToR id"};
   }
@@ -628,11 +692,12 @@ Expected<UpdateCost> ClusterManager::handle_tor_recovery(TorId tor, const AlBuil
   ALVC_SPAN(span, "cluster.handle_tor_recovery");
   ALVC_COUNT("cluster.recoveries.tor");
   ALVC_IGNORE_STATUS(topo_->set_tor_failed(tor, false), "the tor id was validated above");
-  return restore_degraded_clusters(builder);
+  return restore_degraded_clusters(builder, touched);
 }
 
 Expected<UpdateCost> ClusterManager::handle_link_recovery(TorId tor, alvc::util::OpsId ops,
-                                                          const AlBuilder& builder) {
+                                                          const AlBuilder& builder,
+                                                          std::vector<ClusterId>* touched) {
   if (tor.index() >= topo_->tor_count() || ops.index() >= topo_->ops_count()) {
     return Error{ErrorCode::kInvalidArgument, "bad link endpoint id"};
   }
@@ -642,18 +707,32 @@ Expected<UpdateCost> ClusterManager::handle_link_recovery(TorId tor, alvc::util:
   }
   ALVC_SPAN(span, "cluster.handle_link_recovery");
   ALVC_COUNT("cluster.recoveries.link");
-  return restore_degraded_clusters(builder);
+  return restore_degraded_clusters(builder, touched);
 }
 
-Expected<UpdateCost> ClusterManager::restore_degraded_clusters(const AlBuilder& builder) {
+Expected<UpdateCost> ClusterManager::restore_degraded_clusters(const AlBuilder& builder,
+                                                               std::vector<ClusterId>* touched) {
   ALVC_SPAN(span, "cluster.restore_degraded_clusters");
   UpdateCost cost;
-  for (ClusterId id : sorted_cluster_ids()) {
+  // Snapshot: rebuild_cluster() flips degraded flags, which edits the index
+  // mid-iteration. Ascending order matches the old sorted_cluster_ids() walk.
+  const std::vector<ClusterId> ids(degraded_ids_.begin(), degraded_ids_.end());
+  for (ClusterId id : ids) {
     VirtualCluster* vc = find_mutable(id);
     if (vc == nullptr || !vc->degraded) continue;
+    if (touched != nullptr) touched->push_back(id);
     cost += rebuild_cluster(*vc, builder);
   }
   return cost;
+}
+
+std::vector<ClusterId> ClusterManager::clusters_containing_tor(TorId tor) const {
+  std::vector<ClusterId> ids;
+  for (const auto& [id, vc] : clusters_) {
+    if (vc.layer.contains_tor(tor)) ids.push_back(id);
+  }
+  std::sort(ids.begin(), ids.end());
+  return ids;
 }
 
 std::vector<ClusterId> ClusterManager::sorted_cluster_ids() const {
@@ -667,6 +746,28 @@ std::vector<ClusterId> ClusterManager::sorted_cluster_ids() const {
 const VirtualCluster* ClusterManager::find(ClusterId id) const {
   const auto it = clusters_.find(id);
   return it == clusters_.end() ? nullptr : &it->second;
+}
+
+const VirtualCluster* ClusterManager::find_by_service(ServiceId service) const {
+  const auto it = by_service_.find(service.value());
+  if (it == by_service_.end() || it->second.empty()) return nullptr;
+  return find(it->second.front());
+}
+
+std::vector<ClusterId> ClusterManager::shard_cluster_ids(std::size_t shard,
+                                                         std::size_t shard_count) const {
+  std::vector<ClusterId> ids;
+  if (shard_count == 0) return ids;
+  for (ClusterId id : sorted_cluster_ids()) {
+    if (static_cast<std::size_t>(id.value()) % shard_count == shard) ids.push_back(id);
+  }
+  return ids;
+}
+
+Expected<std::vector<UpdateCost>> ClusterManager::reoptimize_shard(
+    std::size_t shard, std::size_t shard_count, const AlBuilder& builder,
+    alvc::util::Executor* executor, BatchBuildStats* stats) {
+  return reoptimize_clusters(shard_cluster_ids(shard, shard_count), builder, executor, stats);
 }
 
 VirtualCluster* ClusterManager::find_mutable(ClusterId id) {
@@ -842,6 +943,17 @@ std::vector<std::string> ClusterManager::check_invariants() const {
       if (vm_seen[vm.index()]++) {
         violations.push_back("VM " + std::to_string(vm.value()) + " in multiple clusters");
       }
+    }
+    // The degraded index feeds the scoped fault sweeps; a stale entry in
+    // either direction would silently shrink or inflate a blast radius.
+    if (vc.degraded != (degraded_ids_.count(id) != 0)) {
+      violations.push_back("cluster " + std::to_string(id.value()) +
+                           " degraded flag disagrees with the degraded index");
+    }
+  }
+  for (const ClusterId id : degraded_ids_) {
+    if (clusters_.find(id) == clusters_.end()) {
+      violations.push_back("degraded index lists unknown cluster " + std::to_string(id.value()));
     }
   }
   return violations;

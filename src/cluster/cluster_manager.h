@@ -12,6 +12,7 @@
 #pragma once
 
 #include <optional>
+#include <set>
 #include <span>
 #include <unordered_map>
 #include <vector>
@@ -136,25 +137,46 @@ class ClusterManager {
       std::span<const ClusterId> ids, const AlBuilder& builder,
       alvc::util::Executor* executor = nullptr, BatchBuildStats* stats = nullptr);
 
+  /// Cluster ids owned by control-plane shard `shard` of `shard_count`
+  /// (id % shard_count == shard, matching ControlAgent's partition),
+  /// ascending. Empty when no live id hashes to the shard.
+  [[nodiscard]] std::vector<ClusterId> shard_cluster_ids(std::size_t shard,
+                                                         std::size_t shard_count) const;
+
+  /// reoptimize_clusters over one control-plane shard's clusters: the
+  /// shard-aware entry the sharded orchestrator uses so each shard
+  /// reoptimizes only the clusters it owns.
+  [[nodiscard]] Expected<std::vector<UpdateCost>> reoptimize_shard(
+      std::size_t shard, std::size_t shard_count, const AlBuilder& builder,
+      alvc::util::Executor* executor = nullptr, BatchBuildStats* stats = nullptr);
+
   // ---- failure handling ----
   //
   // All handlers are idempotent: a second report of an element already in
   // the target state returns a zero cost with no side effects, so noisy
   // fault feeds cannot double-count repair work.
+  //
+  // Every AL-touching handler takes an optional `touched` list and appends
+  // the id of each cluster whose AL it examined as affected (even when the
+  // repair then failed or changed nothing) — the event's exact blast
+  // radius, which the sharded control plane uses to scope its post-event
+  // sweep to the affected chains instead of the whole population.
 
   /// Reacts to an OPS failure: marks it failed in the topology, evicts it
   /// from the owning AL (if any), re-covers the ToRs that lost their only
   /// AL uplink, and re-establishes connectivity. Returns the repair cost
   /// (zero if the OPS was unowned). kInfeasible when the AL cannot be
   /// repaired — the cluster is left covering what it can and disconnected.
-  [[nodiscard]] Expected<UpdateCost> handle_ops_failure(alvc::util::OpsId ops);
+  [[nodiscard]] Expected<UpdateCost> handle_ops_failure(alvc::util::OpsId ops,
+                                                        std::vector<ClusterId>* touched = nullptr);
 
   /// Reacts to a ToR failure: the rack is stranded, so every cluster whose
   /// AL contained the ToR drops it and re-runs the Fig. 4 cover pass (via
   /// `builder`) over its still-reachable members. Clusters whose rebuild is
   /// infeasible right now are left degraded, not destroyed.
   [[nodiscard]] Expected<UpdateCost> handle_tor_failure(alvc::util::TorId tor,
-                                                        const AlBuilder& builder);
+                                                        const AlBuilder& builder,
+                                                        std::vector<ClusterId>* touched = nullptr);
 
   /// Marks a server failed. ALs are a switch-level construct, so no AL
   /// changes: the orchestrator owns relocating the VNFs that lived there.
@@ -164,30 +186,54 @@ class ClusterManager {
   /// cluster that uses it (the AL may need a different uplink OPS).
   /// kNotFound when the link does not exist.
   [[nodiscard]] Expected<UpdateCost> handle_link_failure(alvc::util::TorId tor,
-                                                         alvc::util::OpsId ops);
+                                                         alvc::util::OpsId ops,
+                                                         std::vector<ClusterId>* touched = nullptr);
 
   /// Re-integrates a repaired OPS: it returns to the free pool and every
   /// degraded cluster gets one rebuild attempt with `builder`.
   [[nodiscard]] Expected<UpdateCost> handle_ops_recovery(alvc::util::OpsId ops,
-                                                         const AlBuilder& builder);
+                                                         const AlBuilder& builder,
+                                                         std::vector<ClusterId>* touched = nullptr);
   /// Same, for a repaired ToR (its rack becomes reachable again).
   [[nodiscard]] Expected<UpdateCost> handle_tor_recovery(alvc::util::TorId tor,
-                                                         const AlBuilder& builder);
+                                                         const AlBuilder& builder,
+                                                         std::vector<ClusterId>* touched = nullptr);
   /// Same, for a repaired ToR-OPS link.
   [[nodiscard]] Expected<UpdateCost> handle_link_recovery(alvc::util::TorId tor,
                                                           alvc::util::OpsId ops,
-                                                          const AlBuilder& builder);
+                                                          const AlBuilder& builder,
+                                                          std::vector<ClusterId>* touched = nullptr);
   /// Clears a server's failed flag (no AL impact, mirror of failure).
   [[nodiscard]] Status handle_server_recovery(ServerId server);
 
   /// One rebuild attempt (with `builder`) for every degraded cluster, in
-  /// ascending cluster id. Run after any capacity-restoring event.
-  [[nodiscard]] Expected<UpdateCost> restore_degraded_clusters(const AlBuilder& builder);
+  /// ascending cluster id. Run after any capacity-restoring event. Walks
+  /// the degraded-cluster index, so the pass costs O(degraded), not
+  /// O(clusters) — the difference between a recovery event and a full
+  /// control-plane scan at 10^5 clusters.
+  [[nodiscard]] Expected<UpdateCost> restore_degraded_clusters(
+      const AlBuilder& builder, std::vector<ClusterId>* touched = nullptr);
 
   // ---- inspection ----
 
   [[nodiscard]] std::size_t cluster_count() const noexcept { return clusters_.size(); }
   [[nodiscard]] const VirtualCluster* find(ClusterId id) const;
+  /// Live cluster with the lowest id serving `service` (the cluster every
+  /// chain for that service provisions onto), or null. O(1) via the
+  /// service index — at a million VMs the linear scan this replaces
+  /// dominated every provision.
+  [[nodiscard]] const VirtualCluster* find_by_service(alvc::util::ServiceId service) const;
+  /// Cluster a VM currently belongs to (invalid id when unowned). O(1) via
+  /// the owner index; the exclusivity invariant guarantees uniqueness.
+  [[nodiscard]] ClusterId vm_owner(VmId vm) const noexcept;
+  /// Clusters currently marked degraded, ascending. O(degraded) via the
+  /// index restore_degraded_clusters walks.
+  [[nodiscard]] std::vector<ClusterId> degraded_cluster_ids() const;
+  /// Clusters whose AL contains `tor`, ascending. O(cluster count) scan;
+  /// the orchestrator uses it as the blast radius of server events (settled
+  /// placements and routes never leave their cluster's slice, and slice
+  /// membership of a server keys on its primary ToR).
+  [[nodiscard]] std::vector<ClusterId> clusters_containing_tor(TorId tor) const;
   [[nodiscard]] std::vector<const VirtualCluster*> clusters() const;
   [[nodiscard]] const OpsOwnership& ownership() const noexcept { return ownership_; }
   [[nodiscard]] alvc::topology::DataCenterTopology& topology() noexcept { return *topo_; }
@@ -230,10 +276,27 @@ class ClusterManager {
   /// member) leaves/marks the cluster degraded instead.
   UpdateCost rebuild_cluster(VirtualCluster& vc, const AlBuilder& builder);
   [[nodiscard]] std::vector<ClusterId> sorted_cluster_ids() const;
+  /// Records `owner` (possibly invalid = none) for `vm` in the owner index,
+  /// growing it when the topology gained VMs since construction.
+  void set_vm_owner(VmId vm, ClusterId owner);
+  /// The one writer of VirtualCluster::degraded: keeps the flag and the
+  /// degraded-cluster index in lockstep (check_invariants cross-checks).
+  void set_degraded(VirtualCluster& vc, bool degraded);
 
   alvc::topology::DataCenterTopology* topo_;
   OpsOwnership ownership_;
   std::unordered_map<ClusterId, VirtualCluster> clusters_;
+  /// vm.index() -> owning cluster (invalid when unowned). Kept in step at
+  /// the two membership-changing sites (commit_built/destroy_cluster and
+  /// add_vm/remove_vm; migration never changes membership).
+  std::vector<ClusterId> vm_owner_;
+  /// service value -> live cluster ids serving it, ascending. front() is
+  /// what find_by_service returns.
+  std::unordered_map<alvc::util::ServiceId::value_type, std::vector<ClusterId>> by_service_;
+  /// Ids of clusters with the degraded flag set, ascending (std::set), so
+  /// restore passes and scoped sweeps iterate them without an O(clusters)
+  /// scan. Maintained solely by set_degraded and destroy_cluster.
+  std::set<ClusterId> degraded_ids_;
   ClusterId::value_type next_id_ = 0;
 };
 

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <cstdint>
 #include <map>
+#include <unordered_map>
 #include <unordered_set>
 #include <utility>
 #include <variant>
@@ -129,10 +130,15 @@ std::vector<std::string> StateAuditor::audit(
     }
   }
 
-  // Route cache: everything the cache would serve right now must still be
+  // Route cache(s): everything a cache would serve right now must still be
   // servable (walks live hardware, carries an intact path fingerprint).
-  for (const std::string& v : orch.route_cache().check_coherence(clusters.clusters())) {
-    out.push_back("route-cache: " + v);
+  // Under sharding each shard owns a cache over its own clusters' keys;
+  // coherence is per-entry, so checking each against the full cluster set
+  // is exactly the serial check partitioned.
+  for (const auto* cache : orch.route_caches()) {
+    for (const std::string& v : cache->check_coherence(clusters.clusters())) {
+      out.push_back("route-cache: " + v);
+    }
   }
 
   // Bandwidth: reservations fit capacity and ride live links.
@@ -150,17 +156,27 @@ std::vector<std::string> StateAuditor::audit(
 
   // Slice capacity: per cluster, the reservations riding its own ToR-OPS
   // uplinks must fit within the slice's live aggregate uplink capacity.
+  // One pass over the reservations: an OPS belongs to at most one AL (the
+  // exclusivity invariant, checked above via cluster invariants), so each
+  // uplink attributes to its owner in O(1) — the old clusters x
+  // reservations scan was quadratic and dominated the closing audit at the
+  // 100k-cluster scale.
+  std::unordered_map<std::uint32_t, double> slice_reserved;
+  for (const auto& link : orch.bandwidth().reserved_links()) {
+    const bool u_ops = topo.is_ops_vertex(link.u);
+    const bool v_ops = topo.is_ops_vertex(link.v);
+    if (u_ops == v_ops) continue;  // ToR-OPS uplinks only
+    const OpsId ops = topo.vertex_to_ops(u_ops ? link.u : link.v);
+    const TorId tor = topo.vertex_to_tor(u_ops ? link.v : link.u);
+    const auto owner = clusters.ownership().owner(ops);
+    if (!owner.valid()) continue;  // free-pool OPS: no slice to charge
+    const auto* vc = clusters.find(owner);
+    if (vc == nullptr || !vc->layer.contains_ops(ops) || !vc->layer.contains_tor(tor)) continue;
+    slice_reserved[owner.value()] += link.gbps;
+  }
   for (const auto* vc : clusters.clusters()) {
-    double reserved = 0;
-    for (const auto& link : orch.bandwidth().reserved_links()) {
-      const bool u_ops = topo.is_ops_vertex(link.u);
-      const bool v_ops = topo.is_ops_vertex(link.v);
-      if (u_ops == v_ops) continue;  // ToR-OPS uplinks only
-      const OpsId ops = topo.vertex_to_ops(u_ops ? link.u : link.v);
-      const TorId tor = topo.vertex_to_tor(u_ops ? link.v : link.u);
-      if (!vc->layer.contains_ops(ops) || !vc->layer.contains_tor(tor)) continue;
-      reserved += link.gbps;
-    }
+    const auto it = slice_reserved.find(vc->id.value());
+    const double reserved = it == slice_reserved.end() ? 0.0 : it->second;
     const double cap = clusters.slice_uplink_capacity_gbps(vc->id);
     if (reserved > cap + kGbpsEps) {
       out.push_back("slice " + std::to_string(vc->id.value()) + ": reserved " +

@@ -37,21 +37,28 @@ Expected<ChainRoute> NetworkOrchestrator::route_linear(const VirtualCluster& vc,
   // at a lower reservation rather than re-routing per rung. The priority
   // class still partitions the key: HIPRI and LOPRI legs never alias.
   if (route_cache_enabled_) {
-    return route_cache_.route(router_, vc, ingress, egress, hosts, BandwidthTier::kFull, cls);
+    return active_route_cache(vc.id).route(router_, vc, ingress, egress, hosts,
+                                           BandwidthTier::kFull, cls);
   }
   return router_.route(vc, ingress, egress, hosts);
 }
 
+RouteCache& NetworkOrchestrator::active_route_cache(ClusterId cluster) {
+  // Route-cache keys are per-cluster (LegKey.cluster), so per-shard caches
+  // partition the key space: the union over shards behaves exactly like the
+  // one global cache.
+  return agent_ != nullptr ? agent_->shard_for_cluster(cluster).cache() : route_cache_;
+}
+
 const VirtualCluster* NetworkOrchestrator::cluster_for_service(ServiceId service) const {
-  for (const VirtualCluster* vc : clusters_->clusters()) {
-    if (vc->service == service) return vc;
-  }
-  return nullptr;
+  return clusters_->find_by_service(service);
 }
 
 std::vector<Status> NetworkOrchestrator::preadmit_chains(
     std::span<const alvc::nfv::NfcSpec> specs, alvc::util::Executor* executor) {
   ALVC_SPAN(span, "orchestrator.preadmit_chains");
+  // A sharded control plane lends its executor to the screen by default.
+  if (executor == nullptr && agent_ != nullptr) executor = agent_->executor();
   struct Screened {
     const VirtualCluster* vc = nullptr;
     AdmissionDecision decision;
@@ -229,6 +236,7 @@ Expected<NfcId> NetworkOrchestrator::provision_chain(const alvc::nfv::NfcSpec& s
                          .flow_rules = rules,
                          .reserved_gbps = granted_gbps};
   auto [chain_it, inserted] = chains_.emplace(id, std::move(chain));
+  if (agent_ != nullptr) agent_->register_chain(id, vc->id);
   log_.append(sdn::ControlEventType::kSliceAllocated, slice->value());
   log_.append(sdn::ControlEventType::kChainProvisioned, id.value(), spec.name);
   ++stats_.chains_provisioned;
@@ -322,8 +330,9 @@ Expected<NfcId> NetworkOrchestrator::provision_forwarding_graph(
   const alvc::util::TorId ingress = vc->layer.tors.front();
   const alvc::util::TorId egress = vc->layer.tors.back();
   auto route = route_cache_enabled_
-                   ? route_cache_.route_graph(router_, *vc, ingress, egress, gspec.graph,
-                                              node_hosts, BandwidthTier::kFull, spec.priority)
+                   ? active_route_cache(vc->id).route_graph(router_, *vc, ingress, egress,
+                                                            gspec.graph, node_hosts,
+                                                            BandwidthTier::kFull, spec.priority)
                    : router_.route_graph(*vc, ingress, egress, gspec.graph, node_hosts);
   if (!route) {
     for (auto inst : instances) {
@@ -383,6 +392,7 @@ Expected<NfcId> NetworkOrchestrator::provision_forwarding_graph(
                          .forwarding_order = order,
                          .reserved_gbps = granted_gbps};
   auto [chain_it, inserted] = chains_.emplace(id, std::move(chain));
+  if (agent_ != nullptr) agent_->register_chain(id, vc->id);
   log_.append(sdn::ControlEventType::kSliceAllocated, slice->value());
   log_.append(sdn::ControlEventType::kChainProvisioned, id.value(), spec.name);
   ++stats_.chains_provisioned;
@@ -414,7 +424,8 @@ Status NetworkOrchestrator::teardown_chain(NfcId id) {
   // Cluster ids can be reused by a later build; a reused id must never see
   // this tenant's paths, so teardown drops them eagerly instead of waiting
   // for the epoch to catch the mismatch.
-  route_cache_.invalidate_slice(it->second.cluster);
+  active_route_cache(it->second.cluster).invalidate_slice(it->second.cluster);
+  if (agent_ != nullptr) agent_->unregister_chain(id, it->second.cluster);
   chains_.erase(it);
   log_.append(sdn::ControlEventType::kSliceReleased, id.value());
   log_.append(sdn::ControlEventType::kChainTornDown, id.value());
@@ -716,50 +727,103 @@ void NetworkOrchestrator::mark_degraded(ProvisionedChain& chain, double fraction
   enqueue_retry(chain.record.id);
 }
 
-std::size_t NetworkOrchestrator::sweep_chains() {
+NetworkOrchestrator::SweepVerdict NetworkOrchestrator::classify_chain(NfcId id) const {
+  const auto it = chains_.find(id);
+  if (it == chains_.end()) return SweepVerdict::kNone;
+  const ProvisionedChain& chain = it->second;
+  const VirtualCluster* vc = clusters_->find(chain.cluster);
+  if (chain.degraded) {
+    // The retry queue owns restoration, but a later failure can still hit
+    // the degraded chain's surviving residue — re-park and re-fit whatever
+    // best-effort slice remains so nothing stays on dead hardware.
+    return degraded_chain_disturbed(chain, vc) ? SweepVerdict::kRefitDegraded
+                                               : SweepVerdict::kNone;
+  }
+  return chain_needs_refit(chain, vc) ? SweepVerdict::kRefit : SweepVerdict::kNone;
+}
+
+void NetworkOrchestrator::apply_sweep_verdict(NfcId id, SweepVerdict verdict,
+                                              std::size_t& repaired) {
+  if (verdict == SweepVerdict::kNone) return;
+  const auto it = chains_.find(id);
+  if (it == chains_.end()) return;
+  ProvisionedChain& chain = it->second;
+  if (verdict == SweepVerdict::kRefitDegraded) {
+    park_chain(chain);
+    ALVC_IGNORE_STATUS(fit_chain(chain),
+                       "best-effort re-fit of a disturbed degraded chain; the achieved "
+                       "fraction is recorded in the chain state, retries own restoration");
+    return;
+  }
+  park_chain(chain);
+  const double fraction = fit_chain(chain);
+  if (fraction >= 1.0) {
+    ++repaired;
+    log_.append(sdn::ControlEventType::kChainRepaired, id.value());
+    ++stats_.chains_repaired;
+    ALVC_COUNT("orchestrator.chains.repaired");
+  } else {
+    mark_degraded(chain, fraction, "full-bandwidth refit infeasible after failure");
+  }
+}
+
+std::size_t NetworkOrchestrator::sweep_chains(const std::vector<alvc::util::ClusterId>* scope) {
   ALVC_SPAN(span, "orchestrator.sweep_chains");
   std::size_t repaired = 0;
+  if (agent_ != nullptr) {
+    // Two-phase pass: classify every chain shard-parallel (pure reads — see
+    // SweepVerdict's comment), then apply verdicts serially in ascending id
+    // order. Applying chain A never changes what classify would decide for
+    // chain B, so this equals the serial classify-as-you-go loop below.
+    // With a scope, only the blast radius is classified (see the header);
+    // chains elsewhere would classify kNone, which apply ignores anyway.
+    const ControlAgent::Classifier classify = [this](NfcId id, ScanItem& item) {
+      const SweepVerdict verdict = classify_chain(id);
+      if (verdict == SweepVerdict::kNone) return false;
+      item.verdict = static_cast<int>(verdict);
+      return true;
+    };
+    const auto findings =
+        scope != nullptr ? agent_->scan_scoped(*scope, classify) : agent_->scan(classify);
+    for (const ScanItem& finding : findings) {
+      apply_sweep_verdict(finding.id, static_cast<SweepVerdict>(finding.verdict), repaired);
+    }
+    return repaired;
+  }
   for (NfcId id : sorted_chain_ids()) {
-    const auto it = chains_.find(id);
-    if (it == chains_.end()) continue;
-    ProvisionedChain& chain = it->second;
-    const VirtualCluster* vc = clusters_->find(chain.cluster);
-    if (chain.degraded) {
-      // The retry queue owns restoration, but a later failure can still hit
-      // the degraded chain's surviving residue — re-park and re-fit whatever
-      // best-effort slice remains so nothing stays on dead hardware.
-      if (degraded_chain_disturbed(chain, vc)) {
-        park_chain(chain);
-        ALVC_IGNORE_STATUS(fit_chain(chain),
-                           "best-effort re-fit of a disturbed degraded chain; the achieved "
-                           "fraction is recorded in the chain state, retries own restoration");
-      }
-      continue;
-    }
-    if (!chain_needs_refit(chain, vc)) continue;
-    park_chain(chain);
-    const double fraction = fit_chain(chain);
-    if (fraction >= 1.0) {
-      ++repaired;
-      log_.append(sdn::ControlEventType::kChainRepaired, id.value());
-      ++stats_.chains_repaired;
-      ALVC_COUNT("orchestrator.chains.repaired");
-    } else {
-      mark_degraded(chain, fraction, "full-bandwidth refit infeasible after failure");
-    }
+    apply_sweep_verdict(id, classify_chain(id), repaired);
   }
   return repaired;
+}
+
+std::vector<alvc::util::ClusterId> NetworkOrchestrator::server_blast_radius(
+    alvc::util::ServerId server) const {
+  // VNF placements are not limited to the clusters owning the box's VMs:
+  // fit_chain places anywhere in the chain's slice, and a server is in a
+  // slice iff the AL contains its primary ToR. So the clusters containing
+  // that ToR are exactly the ones whose chains can be disturbed.
+  return clusters_->clusters_containing_tor(clusters_->topology().server(server).tor);
 }
 
 std::size_t NetworkOrchestrator::drain_retry_queue() {
   ALVC_SPAN(span, "orchestrator.drain_retry_queue");
   ++recovery_epoch_;
-  std::sort(retry_queue_.begin(), retry_queue_.end(),
-            [](const RetryEntry& a, const RetryEntry& b) { return a.id < b.id; });
+  // Sharded mode drains every shard's segment into one id-sorted batch
+  // (ids are unique across shards, so the merged order matches the serial
+  // queue's sort); entries the pass keeps go back to their owning shards.
+  std::vector<RetryEntry> entries;
+  if (agent_ != nullptr) {
+    entries = agent_->drain_retries();
+  } else {
+    std::sort(retry_queue_.begin(), retry_queue_.end(),
+              [](const RetryEntry& a, const RetryEntry& b) { return a.id < b.id; });
+    entries = std::move(retry_queue_);
+    retry_queue_.clear();
+  }
   constexpr std::size_t kMaxAttempts = 16;
   std::size_t restored = 0;
   std::vector<RetryEntry> keep;
-  for (RetryEntry entry : retry_queue_) {
+  for (RetryEntry entry : entries) {
     const auto it = chains_.find(entry.id);
     if (it == chains_.end()) continue;  // torn down meanwhile
     ProvisionedChain& chain = it->second;
@@ -797,17 +861,48 @@ std::size_t NetworkOrchestrator::drain_retry_queue() {
         recovery_epoch_ + (1ULL << std::min<std::size_t>(entry.attempts, 6));
     keep.push_back(entry);
   }
-  retry_queue_ = std::move(keep);
-  ALVC_GAUGE_SET("orchestrator.retry_queue.depth", static_cast<double>(retry_queue_.size()));
+  if (agent_ != nullptr) {
+    for (const RetryEntry& entry : keep) {
+      // Kept entries passed the liveness check above, so the chain exists.
+      agent_->enqueue_retry(entry, chains_.at(entry.id).cluster);
+    }
+  } else {
+    retry_queue_ = std::move(keep);
+  }
+  ALVC_GAUGE_SET("orchestrator.retry_queue.depth", static_cast<double>(retry_queue_size()));
   return restored;
 }
 
 void NetworkOrchestrator::enqueue_retry(NfcId id) {
+  if (agent_ != nullptr) {
+    // Per-shard dedupe equals the serial queue's global dedupe: a chain's
+    // cluster (hence shard) never changes while it lives.
+    if (!agent_->enqueue_retry(RetryEntry{.id = id}, chains_.at(id).cluster)) return;
+    ALVC_GAUGE_SET("orchestrator.retry_queue.depth", static_cast<double>(retry_queue_size()));
+    return;
+  }
   for (const RetryEntry& entry : retry_queue_) {
     if (entry.id == id) return;
   }
   retry_queue_.push_back(RetryEntry{.id = id});
   ALVC_GAUGE_SET("orchestrator.retry_queue.depth", static_cast<double>(retry_queue_.size()));
+}
+
+std::optional<std::vector<std::uint64_t>> NetworkOrchestrator::chain_link_keys(NfcId id) const {
+  const auto it = chains_.find(id);
+  if (it == chains_.end()) return std::nullopt;
+  const ProvisionedChain& chain = it->second;
+  if (chain.route.vertices.empty()) return std::nullopt;
+  std::vector<std::uint64_t> links;
+  for (std::size_t i = 0; i + 1 < chain.route.vertices.size(); ++i) {
+    const auto [lo, hi] = std::minmax(chain.route.vertices[i], chain.route.vertices[i + 1]);
+    if (lo == hi) continue;
+    links.push_back((static_cast<std::uint64_t>(lo) << 32) |
+                    static_cast<std::uint64_t>(hi & 0xffffffffULL));
+  }
+  std::sort(links.begin(), links.end());
+  links.erase(std::unique(links.begin(), links.end()), links.end());
+  return links;
 }
 
 std::size_t NetworkOrchestrator::rebalance_bandwidth() {
@@ -817,35 +912,48 @@ std::size_t NetworkOrchestrator::rebalance_bandwidth() {
   const auto& topo = clusters_->topology();
   const double factor = allocator_.tor_budget_factor();
 
-  // Snapshot every routed chain as the allocator sees it: each distinct
-  // route link is a resource (coeff 1.0, matching the ledger's once-per-
-  // distinct-link accounting), plus — when the ToR budget is enabled — one
-  // aggregate uplink budget per ToR the route crosses, with coeff = the
-  // number of incident route links (a through-ToR hop pays ingress and
-  // egress). Parked chains have no route and stay with the retry queue.
+  // Phase 1 (read-only): each routed chain's distinct route links, sorted —
+  // shard-parallel when sharded, one serial walk otherwise, ascending id
+  // either way. Parked chains have no route and stay with the retry queue.
+  std::vector<ScanItem> routed;
+  if (agent_ != nullptr) {
+    routed = agent_->scan([this](NfcId id, ScanItem& item) {
+      auto links = chain_link_keys(id);
+      if (!links) return false;
+      item.links = std::move(*links);
+      return true;
+    });
+  } else {
+    for (NfcId id : sorted_chain_ids()) {
+      auto links = chain_link_keys(id);
+      if (!links) continue;
+      ScanItem item;
+      item.id = id;
+      item.links = std::move(*links);
+      routed.push_back(std::move(item));
+    }
+  }
+
+  // Phase 2 (serial): index resources in encounter order and let the
+  // allocator plan. Each distinct route link is a resource (coeff 1.0,
+  // matching the ledger's once-per-distinct-link accounting), plus — when
+  // the ToR budget is enabled — one aggregate uplink budget per ToR the
+  // route crosses, with coeff = the number of incident route links (a
+  // through-ToR hop pays ingress and egress).
   std::vector<NfcId> ids;
   std::vector<AllocChain> alloc;
   std::vector<AllocResource> resources;
   std::unordered_map<std::uint64_t, std::uint32_t> link_index;
   std::unordered_map<std::size_t, std::uint32_t> tor_budget_index;  // ToR vertex -> resource
-  for (NfcId id : sorted_chain_ids()) {
+  for (const ScanItem& snapshot : routed) {
+    const NfcId id = snapshot.id;
     const ProvisionedChain& chain = chains_.at(id);
-    if (chain.route.vertices.empty()) continue;
     AllocChain ac;
     ac.id = id;
     ac.cls = chain.record.spec.priority;
     ac.demand_gbps = chain.record.spec.bandwidth_gbps;
-    std::vector<std::uint64_t> links;
-    for (std::size_t i = 0; i + 1 < chain.route.vertices.size(); ++i) {
-      const auto [lo, hi] = std::minmax(chain.route.vertices[i], chain.route.vertices[i + 1]);
-      if (lo == hi) continue;
-      links.push_back((static_cast<std::uint64_t>(lo) << 32) |
-                      static_cast<std::uint64_t>(hi & 0xffffffffULL));
-    }
-    std::sort(links.begin(), links.end());
-    links.erase(std::unique(links.begin(), links.end()), links.end());
     std::vector<std::pair<std::uint32_t, double>> tor_uses;
-    for (std::uint64_t k : links) {
+    for (std::uint64_t k : snapshot.links) {
       const auto u = static_cast<std::size_t>(k >> 32);
       const auto v = static_cast<std::size_t>(k & 0xffffffffULL);
       const auto [lit, fresh] =
@@ -957,6 +1065,60 @@ std::vector<NfcId> NetworkOrchestrator::sorted_chain_ids() const {
   return ids;
 }
 
+void NetworkOrchestrator::set_sharding(std::size_t shard_count, alvc::util::Executor* executor) {
+  if (agent_ != nullptr) {
+    // Fold the shards back first so a re-shard migrates pending retries.
+    retry_queue_ = agent_->drain_retries();
+    agent_.reset();
+    route_cache_.clear();
+  }
+  if (shard_count == 0) return;
+  agent_ = std::make_unique<ControlAgent>(clusters_->topology(), shard_count, executor);
+  route_cache_.clear();  // per-shard caches own routing now; start them cold
+  for (NfcId id : sorted_chain_ids()) {
+    agent_->register_chain(id, chains_.at(id).cluster);
+  }
+  std::sort(retry_queue_.begin(), retry_queue_.end(),
+            [](const RetryEntry& a, const RetryEntry& b) { return a.id < b.id; });
+  for (const RetryEntry& entry : retry_queue_) {
+    const auto it = chains_.find(entry.id);
+    if (it == chains_.end()) continue;  // dead chain: the next drain would drop it anyway
+    agent_->enqueue_retry(entry, it->second.cluster);
+  }
+  retry_queue_.clear();
+}
+
+std::vector<const RouteCache*> NetworkOrchestrator::route_caches() const {
+  std::vector<const RouteCache*> out;
+  if (agent_ == nullptr) {
+    out.push_back(&route_cache_);
+    return out;
+  }
+  out.reserve(agent_->shard_count());
+  for (std::size_t s = 0; s < agent_->shard_count(); ++s) {
+    out.push_back(&agent_->shard(s).cache());
+  }
+  return out;
+}
+
+RouteCacheStats NetworkOrchestrator::aggregate_route_cache_stats() const {
+  RouteCacheStats total;
+  for (const RouteCache* cache : route_caches()) {
+    const RouteCacheStats& s = cache->stats();
+    total.hits += s.hits;
+    total.revalidations += s.revalidations;
+    total.misses += s.misses;
+    total.stale_evictions += s.stale_evictions;
+    total.bypasses += s.bypasses;
+    total.invalidations += s.invalidations;
+  }
+  return total;
+}
+
+std::size_t NetworkOrchestrator::retry_queue_size() const noexcept {
+  return agent_ != nullptr ? agent_->retry_count() : retry_queue_.size();
+}
+
 std::size_t NetworkOrchestrator::degraded_chain_count() const noexcept {
   std::size_t n = 0;
   for (const auto& [id, chain] : chains_) {
@@ -975,9 +1137,10 @@ Expected<std::size_t> NetworkOrchestrator::handle_ops_failure(alvc::util::OpsId 
   // Repair the AL first (marks the OPS failed in the topology as a side
   // effect, so every later decision sees the failure).
   log_.append(sdn::ControlEventType::kOpsFailed, ops.value());
-  const auto repair = clusters_->handle_ops_failure(ops);
+  std::vector<alvc::util::ClusterId> touched;
+  const auto repair = clusters_->handle_ops_failure(ops, &touched);
   if (repair.has_value()) log_.append(sdn::ControlEventType::kAlRepaired, ops.value());
-  const std::size_t repaired = sweep_chains();
+  const std::size_t repaired = sweep_chains(agent_ != nullptr ? &touched : nullptr);
   rebalance_bandwidth();
   return repaired;
 }
@@ -990,11 +1153,12 @@ Expected<std::size_t> NetworkOrchestrator::handle_tor_failure(alvc::util::TorId 
   }
   if (!topo.tor_usable(tor)) return std::size_t{0};
   log_.append(sdn::ControlEventType::kTorFailed, tor.value());
-  const auto repair = clusters_->handle_tor_failure(tor, repair_builder_);
+  std::vector<alvc::util::ClusterId> touched;
+  const auto repair = clusters_->handle_tor_failure(tor, repair_builder_, &touched);
   if (repair.has_value()) {
     log_.append(sdn::ControlEventType::kAlRepaired, tor.value(), "after ToR failure");
   }
-  const std::size_t repaired = sweep_chains();
+  const std::size_t repaired = sweep_chains(agent_ != nullptr ? &touched : nullptr);
   rebalance_bandwidth();
   return repaired;
 }
@@ -1009,7 +1173,10 @@ Expected<std::size_t> NetworkOrchestrator::handle_server_failure(alvc::util::Ser
   log_.append(sdn::ControlEventType::kServerFailed, server.value());
   ALVC_IGNORE_STATUS(clusters_->handle_server_failure(server),
                      "ids were validated above; sweep_chains handles the fallout either way");
-  const std::size_t repaired = sweep_chains();
+  // Server events change no AL; the blast radius is the clusters whose
+  // slice contains the box (see server_blast_radius).
+  const std::vector<alvc::util::ClusterId> touched = server_blast_radius(server);
+  const std::size_t repaired = sweep_chains(agent_ != nullptr ? &touched : nullptr);
   rebalance_bandwidth();
   return repaired;
 }
@@ -1028,10 +1195,11 @@ Expected<std::size_t> NetworkOrchestrator::handle_link_failure(alvc::util::TorId
   if (topo.link_failed(tor, ops)) return std::size_t{0};
   log_.append(sdn::ControlEventType::kLinkFailed, tor.value(),
               "to OPS " + std::to_string(ops.value()));
-  ALVC_IGNORE_STATUS(clusters_->handle_link_failure(tor, ops),
+  std::vector<alvc::util::ClusterId> touched;
+  ALVC_IGNORE_STATUS(clusters_->handle_link_failure(tor, ops, &touched),
                      "an infeasible AL repair leaves the cluster degraded; sweep_chains "
                      "degrades the affected chains rather than aborting the handler");
-  const std::size_t repaired = sweep_chains();
+  const std::size_t repaired = sweep_chains(agent_ != nullptr ? &touched : nullptr);
   rebalance_bandwidth();
   return repaired;
 }
@@ -1044,11 +1212,15 @@ Expected<std::size_t> NetworkOrchestrator::handle_ops_recovery(alvc::util::OpsId
   }
   if (topo.ops_usable(ops)) return std::size_t{0};  // was not failed
   log_.append(sdn::ControlEventType::kOpsRecovered, ops.value());
-  ALVC_IGNORE_STATUS(clusters_->handle_ops_recovery(ops, repair_builder_),
+  std::vector<alvc::util::ClusterId> touched;
+  ALVC_IGNORE_STATUS(clusters_->handle_ops_recovery(ops, repair_builder_, &touched),
                      "a failed cluster rebuild leaves it degraded; recovery proceeds anyway");
   // Cluster rebuilds may have shifted slices under healthy chains; fix
   // those first so capacity is settled before degraded chains compete.
-  ALVC_IGNORE_STATUS(sweep_chains(),
+  // Outside the rebuilt (degraded) clusters a recovery only flips hardware
+  // dead -> alive, which moves sweep verdicts toward kNone, so the rebuilt
+  // clusters are the whole blast radius.
+  ALVC_IGNORE_STATUS(sweep_chains(agent_ != nullptr ? &touched : nullptr),
                      "repairs of healthy chains are logged per chain; this call returns "
                      "only the count and the caller reports restorations instead");
   const std::size_t restored = drain_retry_queue();
@@ -1064,9 +1236,11 @@ Expected<std::size_t> NetworkOrchestrator::handle_tor_recovery(alvc::util::TorId
   }
   if (topo.tor_usable(tor)) return std::size_t{0};
   log_.append(sdn::ControlEventType::kTorRecovered, tor.value());
-  ALVC_IGNORE_STATUS(clusters_->handle_tor_recovery(tor, repair_builder_),
+  std::vector<alvc::util::ClusterId> touched;
+  ALVC_IGNORE_STATUS(clusters_->handle_tor_recovery(tor, repair_builder_, &touched),
                      "a failed cluster rebuild leaves it degraded; recovery proceeds anyway");
-  ALVC_IGNORE_STATUS(sweep_chains(), "settle healthy chains first; restorations are returned");
+  ALVC_IGNORE_STATUS(sweep_chains(agent_ != nullptr ? &touched : nullptr),
+                     "settle healthy chains first; restorations are returned");
   const std::size_t restored = drain_retry_queue();
   rebalance_bandwidth();
   return restored;
@@ -1082,7 +1256,9 @@ Expected<std::size_t> NetworkOrchestrator::handle_server_recovery(alvc::util::Se
   log_.append(sdn::ControlEventType::kServerRecovered, server.value());
   ALVC_IGNORE_STATUS(clusters_->handle_server_recovery(server),
                      "ids were validated above; a server recovery cannot fail an AL");
-  ALVC_IGNORE_STATUS(sweep_chains(), "settle healthy chains first; restorations are returned");
+  const std::vector<alvc::util::ClusterId> touched = server_blast_radius(server);
+  ALVC_IGNORE_STATUS(sweep_chains(agent_ != nullptr ? &touched : nullptr),
+                     "settle healthy chains first; restorations are returned");
   const std::size_t restored = drain_retry_queue();
   rebalance_bandwidth();
   return restored;
@@ -1098,9 +1274,11 @@ Expected<std::size_t> NetworkOrchestrator::handle_link_recovery(alvc::util::TorI
   if (!topo.link_failed(tor, ops)) return std::size_t{0};
   log_.append(sdn::ControlEventType::kLinkRecovered, tor.value(),
               "to OPS " + std::to_string(ops.value()));
-  ALVC_IGNORE_STATUS(clusters_->handle_link_recovery(tor, ops, repair_builder_),
+  std::vector<alvc::util::ClusterId> touched;
+  ALVC_IGNORE_STATUS(clusters_->handle_link_recovery(tor, ops, repair_builder_, &touched),
                      "a failed cluster rebuild leaves it degraded; recovery proceeds anyway");
-  ALVC_IGNORE_STATUS(sweep_chains(), "settle healthy chains first; restorations are returned");
+  ALVC_IGNORE_STATUS(sweep_chains(agent_ != nullptr ? &touched : nullptr),
+                     "settle healthy chains first; restorations are returned");
   const std::size_t restored = drain_retry_queue();
   rebalance_bandwidth();
   return restored;

@@ -16,6 +16,7 @@
 //   SdnController   — flow-rule installation                (§IV-B)
 #pragma once
 
+#include <memory>
 #include <optional>
 #include <span>
 #include <unordered_map>
@@ -25,6 +26,7 @@
 #include "nfv/catalog.h"
 #include "nfv/nfc.h"
 #include "orchestrator/admission.h"
+#include "orchestrator/control_agent.h"
 #include "orchestrator/bandwidth.h"
 #include "orchestrator/bandwidth_allocator.h"
 #include "orchestrator/oeo.h"
@@ -118,6 +120,32 @@ class NetworkOrchestrator {
   [[nodiscard]] const RouteCache& route_cache() const noexcept { return route_cache_; }
   [[nodiscard]] RouteCache& route_cache() noexcept { return route_cache_; }
 
+  /// Splits the control plane into `shard_count` cluster-agent shards
+  /// (DESIGN.md §13): chains partition by backing cluster, and each shard
+  /// owns its slice of the route cache, retry queue, and rebalance
+  /// snapshot state. Read-only passes (sweep classification, rebalance
+  /// snapshots, retry bookkeeping) fan out across shards on `executor`
+  /// (serial when null); all mutations stay on the calling thread, applied
+  /// in ascending chain-id order, so every observable result is
+  /// byte-identical to the serial control plane at any shard count.
+  /// `shard_count == 0` returns to the serial path (pending retries move
+  /// back to the global queue). Live chains and queued retries migrate on
+  /// every transition; route caches restart cold. The executor must
+  /// outlive the orchestrator (or the next set_sharding call).
+  void set_sharding(std::size_t shard_count, alvc::util::Executor* executor = nullptr);
+  [[nodiscard]] bool sharded() const noexcept { return agent_ != nullptr; }
+  /// Shards configured (0 = serial control plane).
+  [[nodiscard]] std::size_t shard_count() const noexcept {
+    return agent_ == nullptr ? 0 : agent_->shard_count();
+  }
+  [[nodiscard]] const ControlAgent* agent() const noexcept { return agent_.get(); }
+  /// Every live route cache: the global one when serial, one per shard when
+  /// sharded. For audits (StateAuditor checks coherence of each).
+  [[nodiscard]] std::vector<const RouteCache*> route_caches() const;
+  /// Cache counters summed over route_caches() — shard-count invariant,
+  /// which the differential suite asserts.
+  [[nodiscard]] RouteCacheStats aggregate_route_cache_stats() const;
+
   /// Selects the bandwidth allocation policy. kStrictLadder (default)
   /// preserves the legacy behavior bit-for-bit: admission hard-rejects,
   /// refits walk the 1/2/4/8 ladder, rebalance_bandwidth() is a no-op.
@@ -210,7 +238,7 @@ class NetworkOrchestrator {
   /// Chains currently in degraded mode.
   [[nodiscard]] std::size_t degraded_chain_count() const noexcept;
   /// Degraded chains awaiting a retry (subset of degraded: bounded retries).
-  [[nodiscard]] std::size_t retry_queue_size() const noexcept { return retry_queue_.size(); }
+  [[nodiscard]] std::size_t retry_queue_size() const noexcept;
 
   [[nodiscard]] const ProvisionedChain* chain(NfcId id) const;
   [[nodiscard]] std::vector<const ProvisionedChain*> chains() const;
@@ -244,12 +272,9 @@ class NetworkOrchestrator {
       const alvc::cluster::VirtualCluster& vc, std::span<const alvc::nfv::HostRef> hosts,
       alvc::nfv::PriorityClass cls);
 
-  /// One degraded chain waiting for another restoration attempt.
-  struct RetryEntry {
-    NfcId id;
-    std::size_t attempts = 0;
-    std::uint64_t not_before = 0;  // earliest recovery epoch for the next try
-  };
+  /// Cache serving `cluster`'s routes: the shard's when sharded, the
+  /// global one otherwise.
+  [[nodiscard]] RouteCache& active_route_cache(alvc::util::ClusterId cluster);
 
   [[nodiscard]] bool host_usable(const alvc::nfv::HostRef& host) const;
   [[nodiscard]] bool host_in_slice(const alvc::nfv::HostRef& host,
@@ -277,8 +302,40 @@ class NetworkOrchestrator {
   double fit_chain(ProvisionedChain& chain);
   /// Marks a parked chain degraded (fraction < 1 after a fit attempt).
   void mark_degraded(ProvisionedChain& chain, double fraction, const std::string& reason);
-  /// Refit-or-degrade pass over all chains; returns full-bandwidth repairs.
-  std::size_t sweep_chains();
+
+  /// What the sweep decided for one chain. Classification reads only
+  /// topology failure state, AL membership, and the chain's own record —
+  /// never the cloud pool, bandwidth ledger, or controller state that
+  /// applying another chain's verdict mutates — so pre-classifying every
+  /// chain (shard-parallel) and applying in ascending id order is
+  /// byte-identical to the legacy classify-as-you-go loop.
+  enum class SweepVerdict : int {
+    kNone = 0,
+    kRefitDegraded = 1,  // disturbed degraded chain: best-effort re-fit
+    kRefit = 2,          // healthy chain needing a full-bandwidth refit
+  };
+  [[nodiscard]] SweepVerdict classify_chain(NfcId id) const;
+  void apply_sweep_verdict(NfcId id, SweepVerdict verdict, std::size_t& repaired);
+  /// Link keys of the chain's current route (rebalance snapshot), nullopt
+  /// when the chain is gone or unrouted. Sorted, deduplicated.
+  [[nodiscard]] std::optional<std::vector<std::uint64_t>> chain_link_keys(NfcId id) const;
+
+  /// Refit-or-degrade pass; returns full-bandwidth repairs. With a null
+  /// `scope` every chain is considered. A non-null scope (the fault's blast
+  /// radius: every cluster whose AL the event examined) lets the sharded
+  /// path walk only those clusters' membership indexes — sound because a
+  /// chain outside the blast radius classifies kNone (each sweep settles
+  /// all disturbances, so only the current event can create new work), and
+  /// kNone verdicts are no-ops. The serial path always walks every chain;
+  /// it is the reference the sharded differential compares against.
+  std::size_t sweep_chains(const std::vector<alvc::util::ClusterId>* scope = nullptr);
+  /// Clusters whose AL contains `server`'s primary ToR — the blast radius
+  /// of a server event (server events never change an AL). Containment,
+  /// not VM ownership: placement may use any server under the slice's
+  /// ToRs, so a chain with no VM on the box can still be disturbed.
+  /// Sorted, deduplicated.
+  [[nodiscard]] std::vector<alvc::util::ClusterId> server_blast_radius(
+      alvc::util::ServerId server) const;
   /// One restoration attempt per eligible retry entry; returns restores.
   std::size_t drain_retry_queue();
   void enqueue_retry(NfcId id);
@@ -299,6 +356,10 @@ class NetworkOrchestrator {
   OrchestratorStats stats_;
   /// Builder used for AL repairs after ToR failures and on recoveries.
   alvc::cluster::VertexCoverAlBuilder repair_builder_;
+  /// Sharded cluster-agent layer; null = serial control plane. When set,
+  /// per-chain state (route cache entries, retry segments) lives in the
+  /// agent's shards and retry_queue_ stays empty.
+  std::unique_ptr<ControlAgent> agent_;
   std::vector<RetryEntry> retry_queue_;
   std::uint64_t recovery_epoch_ = 0;  // counts recovery events (backoff clock)
   NfcId::value_type next_id_ = 0;

@@ -1,0 +1,41 @@
+#include "orchestrator/shard.h"
+
+#include <algorithm>
+
+namespace alvc::orchestrator {
+
+void ControlShard::add_chain(NfcId id, ClusterId cluster) {
+  std::vector<NfcId>& members = by_cluster_[cluster.value()];
+  const auto mit = std::lower_bound(members.begin(), members.end(), id);
+  if (mit != members.end() && *mit == id) return;  // already registered here
+  members.insert(mit, id);
+  if (++refs_[id.value()] > 1) return;  // known via another cluster
+  const auto it = std::lower_bound(chain_ids_.begin(), chain_ids_.end(), id);
+  chain_ids_.insert(it, id);
+}
+
+void ControlShard::remove_chain(NfcId id, ClusterId cluster) {
+  const auto cit = by_cluster_.find(cluster.value());
+  if (cit == by_cluster_.end()) return;
+  std::vector<NfcId>& members = cit->second;
+  const auto mit = std::lower_bound(members.begin(), members.end(), id);
+  if (mit == members.end() || *mit != id) return;
+  members.erase(mit);
+  if (members.empty()) by_cluster_.erase(cit);
+  const auto rit = refs_.find(id.value());
+  if (rit == refs_.end() || --rit->second > 0) return;  // still registered elsewhere
+  refs_.erase(rit);
+  const auto it = std::lower_bound(chain_ids_.begin(), chain_ids_.end(), id);
+  if (it != chain_ids_.end() && *it == id) chain_ids_.erase(it);
+}
+
+bool ControlShard::enqueue_retry(RetryEntry entry) {
+  for (const RetryEntry& queued : retries_) {
+    if (queued.id == entry.id) return false;
+  }
+  retries_.push_back(entry);
+  ++counters_.retries_enqueued;
+  return true;
+}
+
+}  // namespace alvc::orchestrator

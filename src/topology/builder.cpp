@@ -172,9 +172,17 @@ DataCenterTopology build_topology(const TopologyParams& params) {
     for (std::size_t s = 0; s < params.servers_per_rack; ++s) {
       const ServerId server = topo.add_server(tor, params.server_capacity);
       for (std::size_t v = 0; v < params.vms_per_server; ++v) {
-        const std::size_t service = params.service_skew > 0
-                                        ? rng.zipf(params.service_count, params.service_skew)
-                                        : rng.uniform_index(params.service_count);
+        // Block assignment draws nothing from the RNG, so enabling it
+        // cannot shift any other seeded stream. Contiguous blocks (not
+        // modulo) so each service's servers are physically adjacent and
+        // its AL stays rack-local.
+        const std::size_t total_servers = params.rack_count * params.servers_per_rack;
+        const std::size_t service =
+            params.server_local_services
+                ? std::min(server.index() * params.service_count / total_servers,
+                           params.service_count - 1)
+            : params.service_skew > 0 ? rng.zipf(params.service_count, params.service_skew)
+                                      : rng.uniform_index(params.service_count);
         topo.add_vm(server, ServiceId{static_cast<ServiceId::value_type>(service)},
                     params.vm_demand);
       }

@@ -50,6 +50,15 @@ struct TopologyParams {
   std::size_t service_count = 4;
   /// Zipf exponent for the service popularity skew (0 = uniform).
   double service_skew = 0.8;
+  /// When true, every VM on a server gets a deterministic block service
+  /// (service = server_index * service_count / total_servers) instead of a
+  /// random draw, consuming no RNG (existing seeds' streams are
+  /// untouched). Consecutive servers share a service, so each service
+  /// group is a contiguous run of servers/racks — e.g. with service_count
+  /// == rack_count every service is exactly one rack. That locality keeps
+  /// every AL O(rack) instead of O(datacenter), which is what lets the
+  /// million-VM scale soak build 10^4+ clusters. Overrides service_skew.
+  bool server_local_services = false;
   /// Probability that a server is additionally homed to a second, random
   /// ToR (multi-homed machines, Fig. 4). 0 disables multi-homing.
   double dual_homing_probability = 0.0;

@@ -1,0 +1,136 @@
+// CLI coverage for the check.sh driver and the bench regression gate:
+// argument handling that must fail fast (an empty --ci leg once silently
+// ran the FULL local gate on CI) and the gate's slowdown/tolerance
+// behavior on synthetic trajectories. Paths are injected by CMake as
+// ALVC_CHECK_SH and ALVC_BENCH_GATE_PY; every covered branch exits before
+// any build work, so the tests stay fast.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+namespace {
+
+namespace fs = std::filesystem;
+
+struct RunResult {
+  int exit_code = -1;
+  std::string output;  // stdout + stderr, interleaved
+};
+
+RunResult run_command(const std::string& cmd, const fs::path& capture) {
+  const int raw = std::system((cmd + " > " + capture.string() + " 2>&1").c_str());
+  RunResult result;
+  result.exit_code = WIFEXITED(raw) ? WEXITSTATUS(raw) : -1;
+  std::ifstream in(capture);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  result.output = buffer.str();
+  return result;
+}
+
+struct CliFixture : ::testing::Test {
+  fs::path dir;
+
+  void SetUp() override {
+    dir = fs::temp_directory_path() /
+          ("check_sh_cli_" +
+           std::to_string(::testing::UnitTest::GetInstance()->random_seed()) + "_" +
+           std::to_string(reinterpret_cast<std::uintptr_t>(this)));
+    fs::create_directories(dir);
+  }
+  void TearDown() override {
+    std::error_code ec;
+    fs::remove_all(dir, ec);
+  }
+
+  RunResult run_check(const std::string& args) {
+    return run_command(std::string("bash ") + ALVC_CHECK_SH + " " + args, dir / "out.txt");
+  }
+
+  RunResult run_gate(const std::string& args, const std::string& env = "") {
+    return run_command(env + " python3 " + ALVC_BENCH_GATE_PY + " " + args, dir / "out.txt");
+  }
+
+  /// Writes a minimal alvc-bench-trajectory-v1 file with one tracked row.
+  fs::path write_trajectory(const std::string& name, double after_us) const {
+    const fs::path path = dir / name;
+    std::ofstream out(path);
+    out << "{\n  \"schema\": \"alvc-bench-trajectory-v1\",\n  \"benchmarks\": [\n"
+        << "    {\"bench\": \"bench_route_cache\", \"name\": \"BM_Churn/0\",\n"
+        << "     \"before_cpu_time_us\": null, \"after_cpu_time_us\": " << after_us
+        << ", \"speedup\": null}\n  ]\n}\n";
+    return path;
+  }
+};
+
+TEST_F(CliFixture, EmptyCiLegFailsFastInsteadOfRunningTheFullGate) {
+  const auto result = run_check("--ci \"\"");
+  EXPECT_EQ(result.exit_code, 2);
+  EXPECT_NE(result.output.find("non-empty leg name"), std::string::npos);
+  EXPECT_EQ(result.output.find("configure"), std::string::npos)
+      << "an empty leg must not fall through to the full local gate";
+}
+
+TEST_F(CliFixture, MissingCiLegIsAUsageError) {
+  const auto result = run_check("--ci");
+  EXPECT_EQ(result.exit_code, 2);
+  EXPECT_NE(result.output.find("non-empty leg name"), std::string::npos);
+}
+
+TEST_F(CliFixture, UnknownCiLegIsAUsageErrorListingTheLegs) {
+  const auto result = run_check("--ci no-such-leg");
+  EXPECT_EQ(result.exit_code, 2);
+  EXPECT_NE(result.output.find("unknown CI leg"), std::string::npos);
+  EXPECT_NE(result.output.find("scale-soak"), std::string::npos);
+}
+
+TEST_F(CliFixture, UnknownArgumentIsAUsageError) {
+  EXPECT_EQ(run_check("--no-such-flag").exit_code, 2);
+}
+
+TEST_F(CliFixture, BenchGateFailsOnInjectedSlowdown) {
+  const auto baseline = write_trajectory("baseline.json", 100.0);
+  const auto fresh = write_trajectory("fresh.json", 140.0);  // 1.40x > 1.25x
+  const auto result = run_gate(fresh.string() + " " + baseline.string());
+  EXPECT_EQ(result.exit_code, 1);
+  EXPECT_NE(result.output.find("REGRESSED"), std::string::npos);
+}
+
+TEST_F(CliFixture, BenchGateToleranceEnvWidensTheBand) {
+  const auto baseline = write_trajectory("baseline.json", 100.0);
+  const auto fresh = write_trajectory("fresh.json", 140.0);
+  const auto result =
+      run_gate(fresh.string() + " " + baseline.string(), "ALVC_BENCH_TOLERANCE=0.60");
+  EXPECT_EQ(result.exit_code, 0);
+  EXPECT_NE(result.output.find("no regressions"), std::string::npos);
+}
+
+TEST_F(CliFixture, BenchGatePassesWithinTolerance) {
+  const auto baseline = write_trajectory("baseline.json", 100.0);
+  const auto fresh = write_trajectory("fresh.json", 110.0);  // 1.10x <= 1.25x
+  EXPECT_EQ(run_gate(fresh.string() + " " + baseline.string()).exit_code, 0);
+}
+
+TEST_F(CliFixture, BenchGatePassesVacuouslyWithoutACommittedBaseline) {
+  const auto fresh = write_trajectory("fresh.json", 100.0);
+  // cwd has no BENCH_PR*.json, so implicit baseline resolution finds none.
+  const auto result = run_command("cd " + dir.string() + " && python3 " + ALVC_BENCH_GATE_PY +
+                                      " " + fresh.string(),
+                                  dir / "out.txt");
+  EXPECT_EQ(result.exit_code, 0);
+  EXPECT_NE(result.output.find("vacuously"), std::string::npos);
+}
+
+TEST_F(CliFixture, BenchGateRejectsMalformedInput) {
+  const fs::path bad = dir / "bad.json";
+  std::ofstream(bad) << "{\"schema\": \"wrong\"}\n";
+  const auto baseline = write_trajectory("baseline.json", 100.0);
+  EXPECT_EQ(run_gate(bad.string() + " " + baseline.string()).exit_code, 2);
+  EXPECT_EQ(run_gate("").exit_code, 2);
+}
+
+}  // namespace
